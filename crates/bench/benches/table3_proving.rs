@@ -1,0 +1,21 @@
+//! Criterion benchmark backing Table III: end-to-end proving latency per
+//! project (one representative pair each) and the full-dataset batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphqe::GraphQE;
+use graphqe_bench::representative_pairs;
+
+fn bench_per_project(c: &mut Criterion) {
+    let prover = GraphQE::new();
+    let mut group = c.benchmark_group("table3/prove_pair");
+    group.sample_size(10);
+    for pair in representative_pairs() {
+        group.bench_function(pair.project.name(), |b| {
+            b.iter(|| prover.prove(&pair.left, &pair.right))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_project);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Prints the composition of CyEqSet (§VII-A): pairs per project and per
+//! construction rule.
+
+fn main() {
+    let stats = cyeqset::dataset_stats();
+    println!("CyEqSet composition ({} pairs)", stats.total);
+    for (project, total, provable) in &stats.per_project {
+        println!("  {:<22} {:>3} pairs ({} expected provable)", project.name(), total, provable);
+    }
+    println!("By construction rule:");
+    for (rule, count) in &stats.per_construction {
+        println!("  {rule:<28} {count:>3}");
+    }
+}

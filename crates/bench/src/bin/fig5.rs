@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5: the distribution of proving latency over CyEqSet.
+
+use graphqe::GraphQE;
+use graphqe_bench::{format_fig5, latency_distribution, run_cyeqset};
+
+fn main() {
+    let prover = GraphQE::new();
+    let results = run_cyeqset(&prover);
+    let distribution = latency_distribution(&results);
+    print!("{}", format_fig5(&distribution, results.len()));
+}

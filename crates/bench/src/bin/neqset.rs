@@ -1,0 +1,16 @@
+//! Regenerates the CyNeqSet experiment of §VII-B: all 148 mutated pairs must
+//! be rejected (never proven equivalent).
+
+use graphqe::GraphQE;
+use graphqe_bench::{format_neqset, run_cyneqset};
+
+fn main() {
+    let prover = GraphQE::new();
+    let results = run_cyneqset(&prover);
+    print!("{}", format_neqset(&results));
+    for result in &results {
+        if result.verdict.is_equivalent() {
+            println!("UNSOUND: {} was wrongly proven equivalent", result.pair.id);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table III: proved query pairs by project, plus the §VII-B
+//! failure breakdown when `--failures` is passed.
+
+use graphqe::GraphQE;
+use graphqe_bench::{failure_breakdown, format_table3, run_cyeqset, table3_rows};
+
+fn main() {
+    let show_failures = std::env::args().any(|a| a == "--failures");
+    let prover = GraphQE::new();
+    let results = run_cyeqset(&prover);
+    print!("{}", format_table3(&table3_rows(&results)));
+    if show_failures {
+        println!("\nFailure analysis (unknown verdicts by category):");
+        for (category, count) in failure_breakdown(&results) {
+            println!("  {category}: {count} pairs");
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! # graphqe
+//!
+//! **GraphQE** — an automated prover for Cypher query equivalence, the Rust
+//! reproduction of *"Proving Cypher Query Equivalence"* (ICDE 2025).
+//!
+//! The prover follows the four-stage workflow of Fig. 3 in the paper:
+//!
+//! 1. **Syntax & semantic check** — [`cypher_parser::parse_and_check`];
+//! 2. **Rule-based normalization** — [`cypher_normalizer::normalize_query`]
+//!    (Table II rules);
+//! 3. **G-expression construction** — [`gexpr::build_query`] (U-semiring
+//!    based graph-native algebraic representation);
+//! 4. **Decision** — [`liastar::check_equivalence`] (isomorphism matching +
+//!    LIA\*-style SMT reasoning on the from-scratch [`smt`] solver).
+//!
+//! On top of the paper's pipeline the prover adds a **counterexample
+//! search**: when equivalence cannot be proven, the reference evaluator is
+//! run on a pool of small graphs, and a differing graph certifies
+//! non-equivalence (this is how all CyNeqSet pairs are rejected).
+//!
+//! ```
+//! use graphqe::GraphQE;
+//!
+//! let prover = GraphQE::new();
+//! let verdict = prover.prove(
+//!     "MATCH (a)-[r:READ]->(b) RETURN a.name",
+//!     "MATCH (b)<-[r:READ]-(a) RETURN a.name",
+//! );
+//! assert!(verdict.is_equivalent());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counterexample;
+pub mod divide;
+pub mod verdict;
+
+use std::time::Instant;
+
+use cypher_parser::ast::{Clause, ProjectionItems, Query};
+use cypher_parser::{parse_and_check, CheckError};
+use cypher_normalizer::normalize_query;
+use gexpr::{build_query, BuildError, BuildOutput, ColumnKind};
+use liastar::{check_equivalence_with_stats, Decision};
+
+pub use counterexample::SearchConfig;
+pub use verdict::{Counterexample, FailureCategory, ProofStats, Verdict};
+
+/// The GraphQE prover with its configuration.
+#[derive(Debug, Clone)]
+pub struct GraphQE {
+    /// Apply the Table II normalization rules (stage ②). Disabled only by the
+    /// ablation benchmarks.
+    pub normalize: bool,
+    /// Search for a counterexample when equivalence cannot be proven.
+    pub search_counterexamples: bool,
+    /// Configuration of the counterexample search.
+    pub search_config: SearchConfig,
+    /// Maximum number of return-element permutations tried when mapping the
+    /// returned columns of the two queries (§IV-C).
+    pub max_column_permutations: usize,
+}
+
+impl Default for GraphQE {
+    fn default() -> Self {
+        GraphQE {
+            normalize: true,
+            search_counterexamples: true,
+            search_config: SearchConfig::default(),
+            max_column_permutations: 24,
+        }
+    }
+}
+
+impl GraphQE {
+    /// Creates a prover with the default configuration.
+    pub fn new() -> Self {
+        GraphQE::default()
+    }
+
+    /// Proves the (non-)equivalence of two Cypher query texts.
+    pub fn prove(&self, q1: &str, q2: &str) -> Verdict {
+        let start = Instant::now();
+        // Stage ①: syntax & semantic check.
+        let parsed1 = match parse_and_check(q1) {
+            Ok(query) => query,
+            Err(error) => return invalid(error),
+        };
+        let parsed2 = match parse_and_check(q2) {
+            Ok(query) => query,
+            Err(error) => return invalid(error),
+        };
+        let mut verdict = self.prove_queries(&parsed1, &parsed2);
+        if let Verdict::Equivalent(stats) = &mut verdict {
+            stats.latency = start.elapsed();
+        }
+        verdict
+    }
+
+    /// Proves the (non-)equivalence of two parsed queries.
+    pub fn prove_queries(&self, q1: &Query, q2: &Query) -> Verdict {
+        let start = Instant::now();
+        // Stage ②: rule-based normalization.
+        let (n1, n2) = if self.normalize {
+            (normalize_query(q1), normalize_query(q2))
+        } else {
+            (q1.clone(), q2.clone())
+        };
+
+        let outcome = self.prove_normalized(&n1, &n2);
+        match outcome {
+            Ok(mut stats) => {
+                stats.latency = start.elapsed();
+                Verdict::Equivalent(stats)
+            }
+            Err((category, reason)) => {
+                // Not proven: try to certify non-equivalence with a concrete
+                // counterexample graph.
+                if self.search_counterexamples {
+                    if let Some(example) =
+                        counterexample::find_counterexample(q1, q2, &self.search_config)
+                    {
+                        return Verdict::NotEquivalent(Box::new(example));
+                    }
+                }
+                Verdict::Unknown { category, reason }
+            }
+        }
+    }
+
+    /// The equivalence-proving part of the pipeline (stages ③ and ④),
+    /// including divide-and-conquer and return-element mapping.
+    fn prove_normalized(
+        &self,
+        q1: &Query,
+        q2: &Query,
+    ) -> Result<ProofStats, (FailureCategory, String)> {
+        // Divide-and-conquer for ORDER BY ... LIMIT/SKIP inside subqueries.
+        if divide::needs_divide_and_conquer(q1) || divide::needs_divide_and_conquer(q2) {
+            let segments1 = divide::split_into_segments(q1).ok_or((
+                FailureCategory::SortingTruncation,
+                "cannot split the first query into provable segments".to_string(),
+            ))?;
+            let segments2 = divide::split_into_segments(q2).ok_or((
+                FailureCategory::SortingTruncation,
+                "cannot split the second query into provable segments".to_string(),
+            ))?;
+            if segments1.len() != segments2.len() {
+                return Err((
+                    FailureCategory::SortingTruncation,
+                    format!(
+                        "the queries contain {} and {} ORDER BY ... LIMIT fragments",
+                        segments1.len() - 1,
+                        segments2.len() - 1
+                    ),
+                ));
+            }
+            let mut combined = ProofStats { used_divide_and_conquer: true, ..Default::default() };
+            for (a, b) in segments1.iter().zip(segments2.iter()) {
+                let stats = self.prove_segment(a, b)?;
+                combined.decision.pruned_zero += stats.decision.pruned_zero;
+                combined.decision.pruned_implied += stats.decision.pruned_implied;
+                combined.column_permutation = combined.column_permutation.max(stats.column_permutation);
+            }
+            return Ok(combined);
+        }
+        self.prove_segment(q1, q2)
+    }
+
+    /// Proves one pair of (sub)queries by G-expression construction and the
+    /// LIA* decision, trying return-element mappings as needed.
+    fn prove_segment(
+        &self,
+        q1: &Query,
+        q2: &Query,
+    ) -> Result<ProofStats, (FailureCategory, String)> {
+        let built1 = build_query(q1).map_err(categorize_build_error)?;
+        let built2 = build_query(q2).map_err(categorize_build_error)?;
+
+        if built1.columns != built2.columns {
+            // The paper: queries with different return arity can only be
+            // equivalent if both always return the empty result.
+            if both_always_empty(&built1, &built2) {
+                return Ok(ProofStats::default());
+            }
+            return Err((
+                FailureCategory::Other,
+                format!(
+                    "the queries return {} and {} columns",
+                    built1.columns, built2.columns
+                ),
+            ));
+        }
+
+        // Return-element mapping (§IV-C): try the identity first, then every
+        // kind-compatible permutation of the second query's RETURN items.
+        for (index, permutation) in
+            column_permutations(&built1.column_kinds, &built2.column_kinds)
+                .into_iter()
+                .take(self.max_column_permutations)
+                .enumerate()
+        {
+            let candidate = if is_identity(&permutation) {
+                built2.clone()
+            } else {
+                match build_query(&permute_returns(q2, &permutation)) {
+                    Ok(output) => output,
+                    Err(_) => continue,
+                }
+            };
+            let (decision, stats) = check_equivalence_with_stats(&built1.expr, &candidate.expr);
+            if decision == Decision::Proved {
+                return Ok(ProofStats {
+                    column_permutation: index,
+                    decision: stats,
+                    ..Default::default()
+                });
+            }
+        }
+        Err((categorize_unproved(q1, q2), "the G-expressions could not be proven equal".to_string()))
+    }
+}
+
+fn invalid(error: CheckError) -> Verdict {
+    Verdict::Unknown { category: FailureCategory::InvalidQuery, reason: error.to_string() }
+}
+
+fn categorize_build_error(error: BuildError) -> (FailureCategory, String) {
+    let category = match error.feature.as_deref() {
+        Some("sorting-truncation") => FailureCategory::SortingTruncation,
+        Some("nested-aggregate") => FailureCategory::NestedAggregate,
+        Some(_) => FailureCategory::UninterpretedFunction,
+        None => FailureCategory::Other,
+    };
+    (category, error.to_string())
+}
+
+/// When the decision procedure fails, classify the failure the way the
+/// paper's evaluation does (§VII-B).
+fn categorize_unproved(q1: &Query, q2: &Query) -> FailureCategory {
+    let text = format!(
+        "{} {}",
+        cypher_parser::pretty::query_to_string(q1),
+        cypher_parser::pretty::query_to_string(q2)
+    )
+    .to_ascii_uppercase();
+    // Scalar function calls (size, head, coalesce, ...), COLLECT and
+    // arbitrary-length paths are all modeled with uninterpreted symbols.
+    let mut uses_functions = false;
+    for query in [q1, q2] {
+        for part in &query.parts {
+            for clause in &part.clauses {
+                let mut check = |expr: &cypher_parser::ast::Expr| {
+                    expr.walk(&mut |e| {
+                        if matches!(e, cypher_parser::ast::Expr::FunctionCall { .. }) {
+                            uses_functions = true;
+                        }
+                    })
+                };
+                match clause {
+                    Clause::Match(m) => {
+                        if let Some(w) = &m.where_clause {
+                            check(w);
+                        }
+                    }
+                    Clause::Return(p) => {
+                        if let Some(items) = p.explicit_items() {
+                            for item in items {
+                                check(&item.expr);
+                            }
+                        }
+                    }
+                    Clause::With(w) => {
+                        if let Some(items) = w.projection.explicit_items() {
+                            for item in items {
+                                check(&item.expr);
+                            }
+                        }
+                    }
+                    Clause::Unwind(u) => check(&u.expr),
+                }
+            }
+        }
+    }
+    if uses_functions || text.contains("COLLECT(") || text.contains("*]") || text.contains("*..") {
+        FailureCategory::UninterpretedFunction
+    } else if text.contains("LIMIT") || text.contains("SKIP") || text.contains("ORDER BY") {
+        FailureCategory::SortingTruncation
+    } else {
+        FailureCategory::Other
+    }
+}
+
+/// Both queries are provably empty (their normalized G-expressions are 0).
+fn both_always_empty(b1: &BuildOutput, b2: &BuildOutput) -> bool {
+    gexpr::normalize(&b1.expr).is_zero() && gexpr::normalize(&b2.expr).is_zero()
+}
+
+/// All permutations of the second query's columns whose kinds match the first
+/// query's kinds position by position. The identity (if compatible) comes
+/// first.
+fn column_permutations(kinds1: &[ColumnKind], kinds2: &[ColumnKind]) -> Vec<Vec<usize>> {
+    let n = kinds1.len();
+    let mut result = Vec::new();
+    let mut current = Vec::new();
+    let mut used = vec![false; n];
+    fn recurse(
+        kinds1: &[ColumnKind],
+        kinds2: &[ColumnKind],
+        used: &mut Vec<bool>,
+        current: &mut Vec<usize>,
+        result: &mut Vec<Vec<usize>>,
+    ) {
+        let position = current.len();
+        if position == kinds1.len() {
+            result.push(current.clone());
+            return;
+        }
+        for candidate in 0..kinds2.len() {
+            if !used[candidate] && kinds2[candidate] == kinds1[position] {
+                used[candidate] = true;
+                current.push(candidate);
+                recurse(kinds1, kinds2, used, current, result);
+                current.pop();
+                used[candidate] = false;
+            }
+        }
+    }
+    recurse(kinds1, kinds2, &mut used, &mut current, &mut result);
+    // If no kind-compatible permutation exists (e.g. kinds were inferred
+    // differently), fall back to the identity so at least the direct
+    // comparison is attempted.
+    if result.is_empty() && n > 0 {
+        result.push((0..n).collect());
+    }
+    if n == 0 {
+        result.push(Vec::new());
+    }
+    // Put the identity first.
+    result.sort_by_key(|p| if is_identity(p) { 0 } else { 1 });
+    result
+}
+
+fn is_identity(permutation: &[usize]) -> bool {
+    permutation.iter().enumerate().all(|(i, p)| i == *p)
+}
+
+/// Reorders the items of every `RETURN` clause of the query according to
+/// `permutation` (output position `i` takes the item previously at
+/// `permutation[i]`).
+fn permute_returns(query: &Query, permutation: &[usize]) -> Query {
+    let mut result = query.clone();
+    for part in &mut result.parts {
+        if let Some(Clause::Return(projection)) = part.clauses.last_mut() {
+            if let ProjectionItems::Items(items) = &mut projection.items {
+                if items.len() == permutation.len() {
+                    let original = items.clone();
+                    for (position, &source) in permutation.iter().enumerate() {
+                        items[position] = original[source].clone();
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prover() -> GraphQE {
+        GraphQE::new()
+    }
+
+    #[test]
+    fn proves_the_paper_rewrites() {
+        let prover = prover();
+        // Renaming variables.
+        assert!(prover
+            .prove(
+                "MATCH (person)-[x:READ]->(book:Book) RETURN person.name",
+                "MATCH (n1)-[r1:READ]->(n2:Book) RETURN n1.name"
+            )
+            .is_equivalent());
+        // Reversing path direction.
+        assert!(prover
+            .prove(
+                "MATCH (a:Person)-[r:READ]->(b:Book) RETURN a, b",
+                "MATCH (b:Book)<-[r:READ]-(a:Person) RETURN a, b"
+            )
+            .is_equivalent());
+        // Splitting a graph pattern across MATCH clauses (with explicit
+        // injectivity).
+        assert!(prover
+            .prove(
+                "MATCH (a)-[r1]->(b)-[r2]->(c) WHERE r1 <> r2 RETURN a, c",
+                "MATCH (a)-[r1]->(b) MATCH (b)-[r2]->(c) WHERE r1 <> r2 RETURN a, c"
+            )
+            .is_equivalent());
+    }
+
+    #[test]
+    fn proves_normalization_dependent_pairs() {
+        let prover = prover();
+        // Undirected vs. explicit union of directions (rule ①).
+        assert!(prover
+            .prove(
+                "MATCH (n1)-[]-(n2) RETURN n1.name",
+                "MATCH (n1)-[]->(n2) RETURN n1.name UNION ALL MATCH (n1)<-[]-(n2) RETURN n1.name"
+            )
+            .is_equivalent());
+        // Bounded variable-length path vs. union of lengths (rule ②).
+        assert!(prover
+            .prove(
+                "MATCH (n1)-[*1..2]->(n2) RETURN n1",
+                "MATCH (n1)-[]->(n2) RETURN n1 UNION ALL MATCH (n1)-[]->()-[]->(n2) RETURN n1"
+            )
+            .is_equivalent());
+        // RETURN * expansion (rule ③).
+        assert!(prover
+            .prove(
+                "MATCH (x)-[z:R]->(y) RETURN *",
+                "MATCH (x)-[z:R]->(y) RETURN x, y, z"
+            )
+            .is_equivalent());
+        // Redundant WITH elimination (rule ④).
+        assert!(prover
+            .prove(
+                "MATCH (x) WITH x.name AS name RETURN name",
+                "MATCH (x) RETURN x.name"
+            )
+            .is_equivalent());
+        // id() equality simplification (rule ⑥).
+        assert!(prover
+            .prove(
+                "MATCH (n1), (n2) WHERE id(n1) = id(n2) RETURN n2",
+                "MATCH (n1) RETURN n1"
+            )
+            .is_equivalent());
+    }
+
+    #[test]
+    fn proves_listing_2_with_divide_and_conquer() {
+        let prover = prover();
+        let verdict = prover.prove(
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n2)<-[]-(n1) RETURN n2",
+        );
+        match &verdict {
+            Verdict::Equivalent(stats) => assert!(stats.used_divide_and_conquer),
+            other => panic!("expected equivalence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn maps_returned_elements_across_queries() {
+        // §IV-C example: the returned node variables appear in a different
+        // order but denote the same nodes.
+        let prover = prover();
+        assert!(prover
+            .prove(
+                "MATCH (n1)-[r:READ]->(n2) RETURN n1, n2",
+                "MATCH (n1)<-[r:READ]-(n2) RETURN n1, n2"
+            )
+            .is_equivalent());
+    }
+
+    #[test]
+    fn rejects_mutated_pairs_with_counterexamples() {
+        let prover = prover();
+        assert!(prover
+            .prove(
+                "MATCH (a:Person)-[r:READ]->(b) RETURN a.name",
+                "MATCH (a:Person)<-[r:READ]-(b) RETURN a.name"
+            )
+            .is_not_equivalent());
+        assert!(prover
+            .prove(
+                "MATCH (n:Person) WHERE n.age = 59 RETURN n.name",
+                "MATCH (n:Person) WHERE n.age = 60 RETURN n.name"
+            )
+            .is_not_equivalent());
+        assert!(prover
+            .prove(
+                "MATCH (a:Person) RETURN a UNION ALL MATCH (a:Person) RETURN a",
+                "MATCH (a:Person) RETURN a UNION MATCH (a:Person) RETURN a"
+            )
+            .is_not_equivalent());
+        assert!(prover
+            .prove(
+                "MATCH (n:Person)-[:READ]->(b) RETURN b.title",
+                "MATCH (n:Person)-[:READ]->(b) RETURN DISTINCT b.title"
+            )
+            .is_not_equivalent());
+    }
+
+    #[test]
+    fn reports_the_papers_failure_categories() {
+        let prover = GraphQE { search_counterexamples: false, ..GraphQE::new() };
+        // Nested aggregate computation.
+        let verdict = prover.prove(
+            "MATCH (n) RETURN SUM(n.a) / COUNT(n)",
+            "MATCH (n) RETURN SUM(n.a) / COUNT(n)",
+        );
+        match verdict {
+            Verdict::Unknown { category, .. } => {
+                assert_eq!(category, FailureCategory::NestedAggregate)
+            }
+            other => panic!("expected unknown, got {other}"),
+        }
+        // Inconsistent number of ORDER BY ... LIMIT fragments.
+        let verdict = prover.prove(
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
+            "MATCH (n1)-[]->(n2) RETURN n2",
+        );
+        match verdict {
+            Verdict::Unknown { category, .. } => {
+                assert_eq!(category, FailureCategory::SortingTruncation)
+            }
+            other => panic!("expected unknown, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_in_stage_1() {
+        let prover = GraphQE { search_counterexamples: false, ..GraphQE::new() };
+        let verdict = prover.prove("MATCH (n RETURN n", "MATCH (n) RETURN n");
+        match verdict {
+            Verdict::Unknown { category, .. } => {
+                assert_eq!(category, FailureCategory::InvalidQuery)
+            }
+            other => panic!("expected invalid-query verdict, got {other}"),
+        }
+        let verdict = prover.prove("MATCH (n) WHERE m.x = 1 RETURN n", "MATCH (n) RETURN n");
+        assert!(matches!(
+            verdict,
+            Verdict::Unknown { category: FailureCategory::InvalidQuery, .. }
+        ));
+    }
+
+    #[test]
+    fn ablation_without_normalization_loses_pairs() {
+        let with = GraphQE::new();
+        let without = GraphQE { normalize: false, search_counterexamples: false, ..GraphQE::new() };
+        let q1 = "MATCH (n1), (n2) WHERE id(n1) = id(n2) RETURN n2";
+        let q2 = "MATCH (n1) RETURN n1";
+        assert!(with.prove(q1, q2).is_equivalent());
+        assert!(!without.prove(q1, q2).is_equivalent());
+    }
+
+    #[test]
+    fn column_permutation_helpers() {
+        let kinds = vec![ColumnKind::Node, ColumnKind::Relationship, ColumnKind::Node];
+        let permutations = column_permutations(&kinds, &kinds);
+        assert!(permutations.contains(&vec![0, 1, 2]));
+        assert!(permutations.contains(&vec![2, 1, 0]));
+        assert_eq!(permutations.len(), 2);
+        assert!(is_identity(&permutations[0]));
+    }
+}

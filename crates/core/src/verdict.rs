@@ -1,0 +1,141 @@
+//! Prover verdicts, proof statistics and failure categories.
+
+use std::fmt;
+use std::time::Duration;
+
+use liastar::DecisionStats;
+use property_graph::PropertyGraph;
+
+/// The failure categories the paper's evaluation reports (§VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCategory {
+    /// Inconsistent `ORDER BY ... LIMIT ... SKIP ...` fragments inside
+    /// subqueries (limitation of the divide-and-conquer approach).
+    SortingTruncation,
+    /// Nested aggregates or aggregate computations
+    /// (`COUNT(SUM(n))`, `SUM(n)/COUNT(n)`).
+    NestedAggregate,
+    /// Features modeled with uninterpreted functions
+    /// (`COLLECT`, built-in functions, arbitrary-length paths).
+    UninterpretedFunction,
+    /// The input failed the syntax or semantic check (stage ①).
+    InvalidQuery,
+    /// Any other reason.
+    Other,
+}
+
+impl fmt::Display for FailureCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            FailureCategory::SortingTruncation => "sorting and truncation",
+            FailureCategory::NestedAggregate => "nested aggregate",
+            FailureCategory::UninterpretedFunction => "uninterpreted function",
+            FailureCategory::InvalidQuery => "invalid query",
+            FailureCategory::Other => "other",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// Statistics gathered while proving a pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProofStats {
+    /// Wall-clock time of the whole pipeline.
+    pub latency: Duration,
+    /// Whether the divide-and-conquer path for `ORDER BY ... LIMIT` inside
+    /// subqueries was taken.
+    pub used_divide_and_conquer: bool,
+    /// Which return-element mapping succeeded (0 = identity).
+    pub column_permutation: usize,
+    /// Statistics of the final G-expression decision.
+    pub decision: DecisionStats,
+}
+
+/// A concrete graph on which the two queries return different results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The differing property graph.
+    pub graph: PropertyGraph,
+    /// Number of rows the first query returned.
+    pub left_rows: usize,
+    /// Number of rows the second query returned.
+    pub right_rows: usize,
+}
+
+/// The outcome of proving a pair of Cypher queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The queries are semantically equivalent on every property graph.
+    Equivalent(ProofStats),
+    /// The queries are definitely not equivalent: a counterexample graph was
+    /// found on which their results differ.
+    NotEquivalent(Box<Counterexample>),
+    /// Neither equivalence nor a counterexample could be established.
+    Unknown {
+        /// The failure category (mirrors §VII-B of the paper).
+        category: FailureCategory,
+        /// Human readable explanation.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` if the verdict proves equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Verdict::Equivalent(_))
+    }
+
+    /// Returns `true` if the verdict certifies non-equivalence.
+    pub fn is_not_equivalent(&self) -> bool {
+        matches!(self, Verdict::NotEquivalent(_))
+    }
+
+    /// Returns `true` for an unknown verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Equivalent(stats) => {
+                write!(f, "EQUIVALENT (proved in {:?})", stats.latency)
+            }
+            Verdict::NotEquivalent(example) => write!(
+                f,
+                "NOT EQUIVALENT ({} vs {} rows on a {}-node counterexample graph)",
+                example.left_rows,
+                example.right_rows,
+                example.graph.node_count()
+            ),
+            Verdict::Unknown { category, reason } => {
+                write!(f, "UNKNOWN ({category}): {reason}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        let eq = Verdict::Equivalent(ProofStats::default());
+        assert!(eq.is_equivalent());
+        assert!(!eq.is_not_equivalent());
+        let unknown = Verdict::Unknown {
+            category: FailureCategory::Other,
+            reason: "x".to_string(),
+        };
+        assert!(unknown.is_unknown());
+        assert!(format!("{unknown}").contains("UNKNOWN"));
+    }
+
+    #[test]
+    fn failure_categories_display() {
+        assert_eq!(FailureCategory::SortingTruncation.to_string(), "sorting and truncation");
+        assert_eq!(FailureCategory::NestedAggregate.to_string(), "nested aggregate");
+    }
+}

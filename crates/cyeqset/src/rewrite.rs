@@ -1,0 +1,338 @@
+//! The three equivalent-rewriting rules used to construct CyEqSet from
+//! real-world queries (§VII-A of the paper): renaming variables, reversing
+//! path direction, and splitting graph patterns.
+
+use cypher_parser::ast::{Clause, Expr, PathPattern, PathSegment};
+use cypher_parser::{parse_query, pretty::query_to_string};
+
+/// Renames every node / relationship variable of the query to a fresh name
+/// (`node1`, `rel1`, ...), producing an equivalent query.
+pub fn rename_variables(query_text: &str) -> Option<String> {
+    let query = parse_query(query_text).ok()?;
+    let mut result = query.clone();
+    for part in &mut result.parts {
+        let mut mapping = std::collections::BTreeMap::new();
+        let mut nodes = 0;
+        let mut rels = 0;
+        for clause in &part.clauses {
+            if let Clause::Match(m) = clause {
+                for pattern in &m.patterns {
+                    for node in pattern.nodes() {
+                        if let Some(v) = &node.variable {
+                            mapping.entry(v.clone()).or_insert_with(|| {
+                                nodes += 1;
+                                format!("node{nodes}")
+                            });
+                        }
+                    }
+                    for rel in pattern.relationships() {
+                        if let Some(v) = &rel.variable {
+                            mapping.entry(v.clone()).or_insert_with(|| {
+                                rels += 1;
+                                format!("rel{rels}")
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if mapping.is_empty() {
+            return None;
+        }
+        rename_in_part(part, &mapping);
+    }
+    let rewritten = query_to_string(&result);
+    if rewritten == query_text {
+        None
+    } else {
+        Some(rewritten)
+    }
+}
+
+fn rename_in_part(
+    part: &mut cypher_parser::ast::SingleQuery,
+    mapping: &std::collections::BTreeMap<String, String>,
+) {
+    let rename = |name: &mut Option<String>| {
+        if let Some(v) = name {
+            if let Some(new) = mapping.get(v) {
+                *v = new.clone();
+            }
+        }
+    };
+    for clause in &mut part.clauses {
+        match clause {
+            Clause::Match(m) => {
+                for pattern in &mut m.patterns {
+                    rename(&mut pattern.start.variable);
+                    for segment in &mut pattern.segments {
+                        rename(&mut segment.relationship.variable);
+                        rename(&mut segment.node.variable);
+                    }
+                }
+                if let Some(w) = m.where_clause.take() {
+                    m.where_clause = Some(rename_expr(w, mapping));
+                }
+            }
+            Clause::Unwind(u) => {
+                u.expr = rename_expr(u.expr.clone(), mapping);
+            }
+            Clause::With(w) => {
+                rename_projection(&mut w.projection, mapping);
+                if let Some(p) = w.where_clause.take() {
+                    w.where_clause = Some(rename_expr(p, mapping));
+                }
+            }
+            Clause::Return(p) => rename_projection(p, mapping),
+        }
+    }
+}
+
+fn rename_projection(
+    projection: &mut cypher_parser::ast::Projection,
+    mapping: &std::collections::BTreeMap<String, String>,
+) {
+    if let cypher_parser::ast::ProjectionItems::Items(items) = &mut projection.items {
+        for item in items {
+            item.expr = rename_expr(item.expr.clone(), mapping);
+        }
+    }
+    for order in &mut projection.order_by {
+        order.expr = rename_expr(order.expr.clone(), mapping);
+    }
+}
+
+fn rename_expr(expr: Expr, mapping: &std::collections::BTreeMap<String, String>) -> Expr {
+    expr.map(&|e| match &e {
+        Expr::Variable(name) => match mapping.get(name) {
+            Some(new) => Expr::Variable(new.clone()),
+            None => e,
+        },
+        _ => e,
+    })
+}
+
+/// Reverses the direction of every path pattern: the pattern is written from
+/// its last node to its first node with every arrow flipped. The matched
+/// graphs (and therefore the results) are unchanged.
+pub fn reverse_direction(query_text: &str) -> Option<String> {
+    let query = parse_query(query_text).ok()?;
+    let mut result = query.clone();
+    let mut changed = false;
+    for part in &mut result.parts {
+        for clause in &mut part.clauses {
+            let Clause::Match(m) = clause else { continue };
+            for pattern in &mut m.patterns {
+                if pattern.segments.is_empty() || pattern.variable.is_some() {
+                    continue;
+                }
+                *pattern = reverse_path(pattern);
+                changed = true;
+            }
+        }
+    }
+    if !changed {
+        return None;
+    }
+    Some(query_to_string(&result))
+}
+
+fn reverse_path(pattern: &PathPattern) -> PathPattern {
+    // Nodes along the path: n0 -r1- n1 -r2- ... -rk- nk.
+    let nodes: Vec<_> = pattern.nodes().cloned().collect();
+    let rels: Vec<_> = pattern.relationships().cloned().collect();
+    let mut segments = Vec::new();
+    for i in (0..rels.len()).rev() {
+        let mut relationship = rels[i].clone();
+        relationship.direction = relationship.direction.reversed();
+        segments.push(PathSegment { relationship, node: nodes[i].clone() });
+    }
+    PathPattern {
+        variable: pattern.variable.clone(),
+        start: nodes[nodes.len() - 1].clone(),
+        segments,
+    }
+}
+
+/// Splits every multi-relationship path pattern into single-relationship
+/// patterns joined on their shared node variables, within the same `MATCH`
+/// clause (so relationship-injectivity is preserved). Anonymous intermediate
+/// nodes are given fresh names first so the join variables exist.
+pub fn split_pattern(query_text: &str) -> Option<String> {
+    let query = parse_query(query_text).ok()?;
+    let mut result = query.clone();
+    let mut changed = false;
+    let mut fresh = 0usize;
+    for part in &mut result.parts {
+        for clause in &mut part.clauses {
+            let Clause::Match(m) = clause else { continue };
+            let mut new_patterns = Vec::new();
+            for pattern in &m.patterns {
+                if pattern.segments.len() < 2
+                    || pattern.variable.is_some()
+                    || pattern.relationships().any(|r| r.is_var_length())
+                {
+                    new_patterns.push(pattern.clone());
+                    continue;
+                }
+                // Name anonymous intermediate nodes.
+                let mut named = pattern.clone();
+                for segment in &mut named.segments {
+                    if segment.node.variable.is_none() {
+                        fresh += 1;
+                        segment.node.variable = Some(format!("joint{fresh}"));
+                    }
+                }
+                if named.start.variable.is_none() {
+                    fresh += 1;
+                    named.start.variable = Some(format!("joint{fresh}"));
+                }
+                // Emit one single-segment pattern per relationship.
+                let nodes: Vec<_> = named.nodes().cloned().collect();
+                for (index, segment) in named.segments.iter().enumerate() {
+                    new_patterns.push(PathPattern {
+                        variable: None,
+                        start: nodes[index].clone(),
+                        segments: vec![segment.clone()],
+                    });
+                }
+                changed = true;
+            }
+            m.patterns = new_patterns;
+        }
+    }
+    if !changed {
+        return None;
+    }
+    Some(query_to_string(&result))
+}
+
+/// Commutes the top-level `AND` of every `WHERE` clause (`a AND b` becomes
+/// `b AND a`) — a trivially equivalent rewrite used to widen the dataset in
+/// the same spirit as the Calcite predicate rewrites.
+pub fn commute_conjuncts(query_text: &str) -> Option<String> {
+    let query = parse_query(query_text).ok()?;
+    let mut result = query.clone();
+    let mut changed = false;
+    for part in &mut result.parts {
+        for clause in &mut part.clauses {
+            let predicate = match clause {
+                Clause::Match(m) => &mut m.where_clause,
+                Clause::With(w) => &mut w.where_clause,
+                _ => continue,
+            };
+            if let Some(Expr::Binary(cypher_parser::ast::BinaryOp::And, lhs, rhs)) = predicate {
+                std::mem::swap(lhs, rhs);
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        Some(query_to_string(&result))
+    } else {
+        None
+    }
+}
+
+/// Reverses the order of the `RETURN` items. The result is equivalent up to
+/// the return-element mapping of §IV-C, which the prover performs.
+pub fn reorder_return_items(query_text: &str) -> Option<String> {
+    let query = parse_query(query_text).ok()?;
+    let mut result = query.clone();
+    let mut changed = false;
+    for part in &mut result.parts {
+        if let Some(Clause::Return(projection)) = part.clauses.last_mut() {
+            if projection.order_by.is_empty() {
+                if let cypher_parser::ast::ProjectionItems::Items(items) = &mut projection.items {
+                    if items.len() >= 2 {
+                        items.reverse();
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    if changed {
+        Some(query_to_string(&result))
+    } else {
+        None
+    }
+}
+
+/// Applies every rewrite rule, returning the rewrites that succeeded (used to
+/// expand a base query into several equivalent pairs).
+pub fn all_rewrites(query_text: &str) -> Vec<(String, String)> {
+    let mut rewrites = Vec::new();
+    if let Some(renamed) = rename_variables(query_text) {
+        rewrites.push(("rename-variables".to_string(), renamed));
+    }
+    if let Some(reversed) = reverse_direction(query_text) {
+        rewrites.push(("reverse-direction".to_string(), reversed));
+    }
+    if let Some(split) = split_pattern(query_text) {
+        rewrites.push(("split-pattern".to_string(), split));
+    }
+    if let Some(commuted) = commute_conjuncts(query_text) {
+        rewrites.push(("commute-conjuncts".to_string(), commuted));
+    }
+    // `reorder_return_items` is deliberately *not* included here: reordered
+    // columns are equivalent only modulo the return-element mapping, and the
+    // dataset keeps to pairs whose result tables are identical column by
+    // column (so the reference evaluator can serve as an oracle).
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_produces_different_but_parsable_text() {
+        let rewritten =
+            rename_variables("MATCH (a:Person)-[r:READ]->(b) WHERE a.age > 1 RETURN a.name, r")
+                .unwrap();
+        assert!(rewritten.contains("node1"));
+        assert!(rewritten.contains("rel1"));
+        assert!(parse_query(&rewritten).is_ok());
+    }
+
+    #[test]
+    fn reverse_flips_arrows_and_order() {
+        let rewritten =
+            reverse_direction("MATCH (a:Person)-[r:READ]->(b:Book) RETURN a.name").unwrap();
+        assert_eq!(rewritten, "MATCH (b:Book)<-[r:READ]-(a:Person) RETURN a.name");
+        let chain = reverse_direction("MATCH (a)-[r1]->(b)<-[r2]-(c) RETURN a").unwrap();
+        assert_eq!(chain, "MATCH (c)-[r2]->(b)<-[r1]-(a) RETURN a");
+    }
+
+    #[test]
+    fn split_produces_joined_single_segments() {
+        let rewritten = split_pattern("MATCH (a)-[r1]->(b)-[r2]->(c) RETURN a, c").unwrap();
+        assert_eq!(rewritten, "MATCH (a)-[r1]->(b), (b)-[r2]->(c) RETURN a, c");
+        // Single-relationship patterns are not split.
+        assert!(split_pattern("MATCH (a)-[r]->(b) RETURN a").is_none());
+    }
+
+    #[test]
+    fn rewrites_preserve_results_on_the_paper_graph() {
+        use property_graph::{evaluate_query, PropertyGraph};
+        let graph = PropertyGraph::paper_example();
+        let bases = [
+            "MATCH (a:Person)-[r:READ]->(b:Book) RETURN a.name, b.title",
+            "MATCH (a:Person)-[r1:READ]->(b)<-[r2:WRITE]-(c) RETURN c.name",
+            "MATCH (a)-[r]->(b) WHERE a.age > 26 RETURN b",
+        ];
+        for base in bases {
+            let original = parse_query(base).unwrap();
+            let expected = evaluate_query(&graph, &original).unwrap();
+            for (rule, rewritten) in all_rewrites(base) {
+                let query = parse_query(&rewritten).unwrap();
+                let actual = evaluate_query(&graph, &query).unwrap();
+                assert!(
+                    expected.bag_equal(&actual),
+                    "{rule} broke {base} -> {rewritten}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Semantic checking of parsed Cypher queries (stage ① of the GraphQE
+//! workflow).
+//!
+//! The paper's prover discards queries with semantic errors before building
+//! G-expressions. The two checks named in §III-C are implemented here, plus a
+//! couple of closely related scope checks:
+//!
+//! 1. **Incorrect variable references** — a variable used in `WHERE`,
+//!    projections, `ORDER BY` or property maps must be bound by an enclosing
+//!    `MATCH`, `UNWIND` or `WITH`.
+//! 2. **Incorrect relationship labels** — relationship patterns that share a
+//!    variable but declare different label sets are invalid because a
+//!    relationship has exactly one label.
+//! 3. A variable cannot denote both a node and a relationship.
+//! 4. Every top-level single query must end with a `RETURN` clause.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::*;
+
+/// A semantic error detected during stage ① checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticError {
+    /// Human readable message.
+    pub message: String,
+}
+
+impl SemanticError {
+    fn new(message: impl Into<String>) -> Self {
+        SemanticError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// The kind of graph entity a variable is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BindingKind {
+    Node,
+    Relationship,
+    Path,
+    /// A value binding introduced by `WITH ... AS x` or `UNWIND ... AS x`.
+    Value,
+}
+
+/// The set of variables visible at a given point of the query.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    bindings: BTreeMap<String, BindingKind>,
+}
+
+impl Scope {
+    fn bind(&mut self, name: &str, kind: BindingKind) -> Result<(), SemanticError> {
+        match self.bindings.get(name) {
+            Some(existing) if *existing != kind && kind != BindingKind::Value => {
+                Err(SemanticError::new(format!(
+                    "variable `{name}` is already bound as a {existing:?} and cannot be \
+                     re-bound as a {kind:?}"
+                )))
+            }
+            _ => {
+                self.bindings.insert(name.to_string(), kind);
+                Ok(())
+            }
+        }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.bindings.contains_key(name)
+    }
+}
+
+/// Checks a full query for semantic validity.
+pub fn check_semantics(query: &Query) -> Result<(), SemanticError> {
+    for part in &query.parts {
+        check_single_query(part, &Scope::default(), true)?;
+    }
+    Ok(())
+}
+
+fn check_single_query(
+    query: &SingleQuery,
+    outer: &Scope,
+    require_return: bool,
+) -> Result<(), SemanticError> {
+    let mut scope = outer.clone();
+    // Relationship variable -> label set, for the "one label per relationship"
+    // check across the whole single query.
+    let mut rel_labels: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
+    for clause in &query.clauses {
+        match clause {
+            Clause::Match(m) => {
+                // Patterns may refer to variables bound earlier (joins), so we
+                // first collect the new bindings, then check property maps and
+                // WHERE against the extended scope.
+                for pattern in &m.patterns {
+                    bind_path_pattern(pattern, &mut scope, &mut rel_labels)?;
+                }
+                for pattern in &m.patterns {
+                    for node in pattern.nodes() {
+                        for (_, value) in &node.properties {
+                            check_expr(value, &scope)?;
+                        }
+                    }
+                    for rel in pattern.relationships() {
+                        for (_, value) in &rel.properties {
+                            check_expr(value, &scope)?;
+                        }
+                    }
+                }
+                if let Some(predicate) = &m.where_clause {
+                    check_expr(predicate, &scope)?;
+                }
+            }
+            Clause::Unwind(u) => {
+                check_expr(&u.expr, &scope)?;
+                scope.bind(&u.alias, BindingKind::Value)?;
+            }
+            Clause::With(w) => {
+                check_projection(&w.projection, &scope)?;
+                scope = projected_scope(&w.projection, &scope)?;
+                if let Some(predicate) = &w.where_clause {
+                    check_expr(predicate, &scope)?;
+                }
+            }
+            Clause::Return(p) => {
+                check_projection(p, &scope)?;
+            }
+        }
+    }
+
+    if require_return && !matches!(query.clauses.last(), Some(Clause::Return(_))) {
+        return Err(SemanticError::new("a query must end with a RETURN clause"));
+    }
+    Ok(())
+}
+
+fn bind_path_pattern(
+    pattern: &PathPattern,
+    scope: &mut Scope,
+    rel_labels: &mut BTreeMap<String, Vec<String>>,
+) -> Result<(), SemanticError> {
+    if let Some(path_var) = &pattern.variable {
+        scope.bind(path_var, BindingKind::Path)?;
+    }
+    for node in pattern.nodes() {
+        if let Some(var) = &node.variable {
+            scope.bind(var, BindingKind::Node)?;
+        }
+    }
+    for rel in pattern.relationships() {
+        if let Some(var) = &rel.variable {
+            scope.bind(var, BindingKind::Relationship)?;
+            let mut labels = rel.labels.clone();
+            labels.sort();
+            match rel_labels.get(var) {
+                Some(existing) if *existing != labels => {
+                    return Err(SemanticError::new(format!(
+                        "relationship variable `{var}` is used with conflicting label sets \
+                         {existing:?} and {labels:?}; a relationship has exactly one label"
+                    )));
+                }
+                _ => {
+                    rel_labels.insert(var.clone(), labels);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_projection(projection: &Projection, scope: &Scope) -> Result<(), SemanticError> {
+    if let Some(items) = projection.explicit_items() {
+        for item in items {
+            check_expr(&item.expr, scope)?;
+        }
+    }
+    // ORDER BY may refer both to pre-projection variables and to the aliases
+    // introduced by the projection itself.
+    let extended = projected_scope(projection, scope)?;
+    for order in &projection.order_by {
+        if check_expr(&order.expr, scope).is_err() {
+            check_expr(&order.expr, &extended)?;
+        }
+    }
+    if let Some(skip) = &projection.skip {
+        check_expr(skip, scope)?;
+    }
+    if let Some(limit) = &projection.limit {
+        check_expr(limit, scope)?;
+    }
+    Ok(())
+}
+
+/// Computes the scope visible after a `WITH` projection.
+fn projected_scope(projection: &Projection, current: &Scope) -> Result<Scope, SemanticError> {
+    match projection.explicit_items() {
+        // `WITH *` keeps every binding.
+        None => Ok(current.clone()),
+        Some(items) => {
+            let mut scope = Scope::default();
+            for item in items {
+                match (&item.alias, &item.expr) {
+                    (Some(alias), _) => {
+                        scope.bind(alias, BindingKind::Value)?;
+                    }
+                    // `WITH n` keeps `n` under its own name (and kind).
+                    (None, Expr::Variable(name)) => {
+                        let kind = current
+                            .bindings
+                            .get(name)
+                            .copied()
+                            .unwrap_or(BindingKind::Value);
+                        scope.bind(name, kind)?;
+                    }
+                    (None, expr) => {
+                        // Un-aliased non-variable projections are addressable
+                        // by their textual form (Cypher allows this).
+                        scope.bind(&crate::pretty::expr_to_string(expr), BindingKind::Value)?;
+                    }
+                }
+            }
+            Ok(scope)
+        }
+    }
+}
+
+fn check_expr(expr: &Expr, scope: &Scope) -> Result<(), SemanticError> {
+    let mut error = None;
+    expr.walk(&mut |e| {
+        if error.is_some() {
+            return;
+        }
+        match e {
+            Expr::Variable(name) => {
+                if !scope.contains(name) {
+                    error = Some(SemanticError::new(format!(
+                        "reference to undefined variable `{name}`"
+                    )));
+                }
+            }
+            Expr::Exists(query) => {
+                // EXISTS subqueries see the outer scope and do not need a
+                // RETURN clause of their own.
+                for part in &query.parts {
+                    if let Err(e) = check_single_query(part, scope, false) {
+                        error = Some(e);
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn check(text: &str) -> Result<(), SemanticError> {
+        check_semantics(&parse_query(text).expect("syntax"))
+    }
+
+    #[test]
+    fn accepts_valid_queries() {
+        assert!(check("MATCH (n:Person) WHERE n.age = 59 RETURN n.name").is_ok());
+        assert!(check("MATCH (a)-[r]->(b) RETURN a, r, b").is_ok());
+        assert!(check("MATCH (a) WITH a.name AS name RETURN name").is_ok());
+        assert!(check("UNWIND [1, 2] AS x RETURN x").is_ok());
+        assert!(check("MATCH (a) RETURN a UNION MATCH (b) RETURN b").is_ok());
+        assert!(check("MATCH p = (a)-[]->(b) RETURN p").is_ok());
+        assert!(check("MATCH (a)-[r:X]->(b) MATCH (c)-[s:X]->(d) RETURN a, c").is_ok());
+    }
+
+    #[test]
+    fn rejects_undefined_variable_in_where() {
+        let err = check("MATCH (n) WHERE m.age = 1 RETURN n").unwrap_err();
+        assert!(err.message.contains("undefined variable `m`"));
+    }
+
+    #[test]
+    fn rejects_undefined_variable_in_return() {
+        let err = check("MATCH (n) RETURN q").unwrap_err();
+        assert!(err.message.contains("undefined variable `q`"));
+    }
+
+    #[test]
+    fn rejects_variable_lost_after_with() {
+        // After `WITH a.name AS name`, the binding `a` is no longer in scope.
+        let err = check("MATCH (a)-[r]->(b) WITH a.name AS name RETURN r").unwrap_err();
+        assert!(err.message.contains("undefined variable `r`"));
+    }
+
+    #[test]
+    fn with_star_keeps_bindings() {
+        assert!(check("MATCH (a)-[r]->(b) WITH * RETURN r").is_ok());
+    }
+
+    #[test]
+    fn rejects_conflicting_relationship_labels() {
+        let err = check("MATCH (a)-[r:READ]->(b) MATCH (c)-[r:WRITE]->(d) RETURN a").unwrap_err();
+        assert!(err.message.contains("conflicting label sets"));
+    }
+
+    #[test]
+    fn accepts_same_relationship_variable_with_same_label() {
+        assert!(check("MATCH (a)-[r:READ]->(b) MATCH (c)-[r:READ]->(d) RETURN a").is_ok());
+    }
+
+    #[test]
+    fn rejects_node_and_relationship_kind_clash() {
+        let err = check("MATCH (r)-[r]->(b) RETURN b").unwrap_err();
+        assert!(err.message.contains("already bound"));
+    }
+
+    #[test]
+    fn exists_subquery_sees_outer_scope() {
+        assert!(check(
+            "MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n"
+        )
+        .is_ok());
+        let err = check(
+            "MATCH (n) WHERE EXISTS { MATCH (x)-[:KNOWS]->(m) WHERE y.a = 1 RETURN m } RETURN n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("undefined variable `y`"));
+    }
+
+    #[test]
+    fn order_by_can_reference_alias_or_original() {
+        assert!(check("MATCH (n) RETURN n.name AS name ORDER BY name").is_ok());
+        assert!(check("MATCH (n) RETURN n.name AS name ORDER BY n.age").is_ok());
+    }
+
+    #[test]
+    fn property_map_expressions_are_checked() {
+        let err = check("MATCH (n {age: m.age}) RETURN n").unwrap_err();
+        assert!(err.message.contains("undefined variable `m`"));
+    }
+
+    #[test]
+    fn pattern_can_reference_earlier_binding_in_property_map() {
+        assert!(check("MATCH (n) MATCH (m {age: n.age}) RETURN m").is_ok());
+    }
+}

@@ -1,0 +1,316 @@
+//! Token kinds produced by the [`crate::lexer::Lexer`].
+//!
+//! Cypher keywords are case-insensitive; the lexer normalizes them into
+//! dedicated [`TokenKind`] variants so the parser never has to compare
+//! identifier text against keyword strings.
+
+use std::fmt;
+
+use crate::Span;
+
+/// A single lexical token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte range in the original query text.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a new token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // the keyword variants are self-describing
+pub enum TokenKind {
+    // ---- literals & names -------------------------------------------------
+    /// An identifier such as a variable, label, property key or function name.
+    Ident(String),
+    /// A signless integer literal.
+    Integer(i64),
+    /// A signless floating point literal.
+    Float(f64),
+    /// A single- or double-quoted string literal (escapes already resolved).
+    StringLit(String),
+    /// A query parameter, e.g. `$param`.
+    Parameter(String),
+
+    // ---- keywords ---------------------------------------------------------
+    Match,
+    Optional,
+    Where,
+    Return,
+    With,
+    Unwind,
+    As,
+    Union,
+    All,
+    Distinct,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Skip,
+    And,
+    Or,
+    Xor,
+    Not,
+    In,
+    Is,
+    Null,
+    True,
+    False,
+    Exists,
+    Starts,
+    Ends,
+    Contains,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Count,
+
+    // ---- punctuation ------------------------------------------------------
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns `true` if this token can begin a clause (used for error recovery).
+    pub fn is_clause_start(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Match
+                | TokenKind::Optional
+                | TokenKind::Return
+                | TokenKind::With
+                | TokenKind::Unwind
+                | TokenKind::Union
+        )
+    }
+
+    /// Human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Integer(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::StringLit(s) => format!("string {s:?}"),
+            TokenKind::Parameter(p) => format!("parameter `${p}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+
+    /// Maps an identifier to a keyword token, if it is one.
+    ///
+    /// Cypher keywords are matched case-insensitively. `COUNT` is kept as a
+    /// keyword because `COUNT(*)` needs special parsing.
+    pub fn keyword_from_str(ident: &str) -> Option<TokenKind> {
+        let upper = ident.to_ascii_uppercase();
+        let kind = match upper.as_str() {
+            "MATCH" => TokenKind::Match,
+            "OPTIONAL" => TokenKind::Optional,
+            "WHERE" => TokenKind::Where,
+            "RETURN" => TokenKind::Return,
+            "WITH" => TokenKind::With,
+            "UNWIND" => TokenKind::Unwind,
+            "AS" => TokenKind::As,
+            "UNION" => TokenKind::Union,
+            "ALL" => TokenKind::All,
+            "DISTINCT" => TokenKind::Distinct,
+            "ORDER" => TokenKind::Order,
+            "BY" => TokenKind::By,
+            "ASC" | "ASCENDING" => TokenKind::Asc,
+            "DESC" | "DESCENDING" => TokenKind::Desc,
+            "LIMIT" => TokenKind::Limit,
+            "SKIP" => TokenKind::Skip,
+            "AND" => TokenKind::And,
+            "OR" => TokenKind::Or,
+            "XOR" => TokenKind::Xor,
+            "NOT" => TokenKind::Not,
+            "IN" => TokenKind::In,
+            "IS" => TokenKind::Is,
+            "NULL" => TokenKind::Null,
+            "TRUE" => TokenKind::True,
+            "FALSE" => TokenKind::False,
+            "EXISTS" => TokenKind::Exists,
+            "STARTS" => TokenKind::Starts,
+            "ENDS" => TokenKind::Ends,
+            "CONTAINS" => TokenKind::Contains,
+            "CASE" => TokenKind::Case,
+            "WHEN" => TokenKind::When,
+            "THEN" => TokenKind::Then,
+            "ELSE" => TokenKind::Else,
+            "END" => TokenKind::End,
+            "COUNT" => TokenKind::Count,
+            _ => return None,
+        };
+        Some(kind)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::Integer(v) => return write!(f, "{v}"),
+            TokenKind::Float(v) => return write!(f, "{v}"),
+            TokenKind::StringLit(s) => return write!(f, "'{s}'"),
+            TokenKind::Parameter(p) => return write!(f, "${p}"),
+            TokenKind::Match => "MATCH",
+            TokenKind::Optional => "OPTIONAL",
+            TokenKind::Where => "WHERE",
+            TokenKind::Return => "RETURN",
+            TokenKind::With => "WITH",
+            TokenKind::Unwind => "UNWIND",
+            TokenKind::As => "AS",
+            TokenKind::Union => "UNION",
+            TokenKind::All => "ALL",
+            TokenKind::Distinct => "DISTINCT",
+            TokenKind::Order => "ORDER",
+            TokenKind::By => "BY",
+            TokenKind::Asc => "ASC",
+            TokenKind::Desc => "DESC",
+            TokenKind::Limit => "LIMIT",
+            TokenKind::Skip => "SKIP",
+            TokenKind::And => "AND",
+            TokenKind::Or => "OR",
+            TokenKind::Xor => "XOR",
+            TokenKind::Not => "NOT",
+            TokenKind::In => "IN",
+            TokenKind::Is => "IS",
+            TokenKind::Null => "NULL",
+            TokenKind::True => "TRUE",
+            TokenKind::False => "FALSE",
+            TokenKind::Exists => "EXISTS",
+            TokenKind::Starts => "STARTS",
+            TokenKind::Ends => "ENDS",
+            TokenKind::Contains => "CONTAINS",
+            TokenKind::Case => "CASE",
+            TokenKind::When => "WHEN",
+            TokenKind::Then => "THEN",
+            TokenKind::Else => "ELSE",
+            TokenKind::End => "END",
+            TokenKind::Count => "COUNT",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Semicolon => ";",
+            TokenKind::Dot => ".",
+            TokenKind::DotDot => "..",
+            TokenKind::Pipe => "|",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Caret => "^",
+            TokenKind::Eq => "=",
+            TokenKind::Neq => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(TokenKind::keyword_from_str("match"), Some(TokenKind::Match));
+        assert_eq!(TokenKind::keyword_from_str("MaTcH"), Some(TokenKind::Match));
+        assert_eq!(TokenKind::keyword_from_str("RETURN"), Some(TokenKind::Return));
+        assert_eq!(TokenKind::keyword_from_str("ascending"), Some(TokenKind::Asc));
+        assert_eq!(TokenKind::keyword_from_str("person"), None);
+    }
+
+    #[test]
+    fn clause_start_detection() {
+        assert!(TokenKind::Match.is_clause_start());
+        assert!(TokenKind::Return.is_clause_start());
+        assert!(!TokenKind::Where.is_clause_start());
+        assert!(!TokenKind::Ident("x".into()).is_clause_start());
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::Le.to_string(), "<=");
+        assert_eq!(TokenKind::Neq.to_string(), "<>");
+        assert_eq!(TokenKind::DotDot.to_string(), "..");
+        assert_eq!(TokenKind::Parameter("p".into()).to_string(), "$p");
+    }
+
+    #[test]
+    fn describe_mentions_payload() {
+        assert!(TokenKind::Ident("foo".into()).describe().contains("foo"));
+        assert!(TokenKind::Integer(42).describe().contains("42"));
+        assert!(TokenKind::Eof.describe().contains("end of input"));
+    }
+}

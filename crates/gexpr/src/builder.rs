@@ -1,0 +1,1183 @@
+//! Construction of G-expressions from Cypher ASTs (stage ③ of the GraphQE
+//! workflow, §IV-B of the paper).
+//!
+//! The builder walks the clauses of each single query, accumulating
+//! * the set of summation variables (one per node / relationship pattern and
+//!   per projected value),
+//! * the multiplicative factors describing the graph pattern, predicates and
+//!   projections, and
+//! * an environment mapping Cypher variable names to terms.
+//!
+//! Features the paper models with uninterpreted functions (arbitrary-length
+//! paths, built-in functions, `COLLECT`, sorting with truncation at the top
+//! level) are represented with uninterpreted [`GTerm::App`] /
+//! [`GAtom::Pred`] symbols; features the paper cannot handle (nested
+//! aggregates, `ORDER BY ... LIMIT` inside `WITH`) produce an
+//! [`UnsupportedFeature`](BuildError) error so the prover can report the same
+//! failure categories as the paper's evaluation.
+
+use std::collections::BTreeMap;
+
+use cypher_parser::ast::{
+    Aggregate, BinaryOp, Clause, Expr, Literal, MatchClause, NodePattern, PathPattern, Projection,
+    ProjectionItems, Query, RelDirection, RelationshipPattern, SingleQuery, UnaryOp, UnionKind,
+    UnwindClause, WithClause,
+};
+
+use crate::expr::GExpr;
+use crate::term::{CmpOp, GAggKind, GAtom, GConst, GTerm, VarId};
+
+/// An error raised while constructing a G-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildError {
+    /// Human readable message.
+    pub message: String,
+    /// The unsupported feature category, when the error mirrors one of the
+    /// paper's failure classes (e.g. `"sorting-truncation"`,
+    /// `"nested-aggregate"`).
+    pub feature: Option<String>,
+}
+
+impl BuildError {
+    fn new(message: impl Into<String>) -> Self {
+        BuildError { message: message.into(), feature: None }
+    }
+
+    fn unsupported(feature: &str, message: impl Into<String>) -> Self {
+        BuildError { message: message.into(), feature: Some(feature.to_string()) }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.feature {
+            Some(feature) => write!(f, "unsupported feature `{feature}`: {}", self.message),
+            None => write!(f, "G-expression construction error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The kind of value a result column carries — used by the prover to map
+/// returned elements across two queries (§IV-C "mapping returned elements").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// A node variable.
+    Node,
+    /// A relationship variable.
+    Relationship,
+    /// A property access, tagged with the property key.
+    Property(String),
+    /// An aggregate, tagged with the aggregate name.
+    Aggregate(String),
+    /// Any other expression.
+    Value,
+}
+
+/// The result of constructing a G-expression for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildOutput {
+    /// The G-expression `g(t)`.
+    pub expr: GExpr,
+    /// Number of output columns of the query.
+    pub columns: usize,
+    /// Per-column kind information for return-element mapping.
+    pub column_kinds: Vec<ColumnKind>,
+}
+
+/// What kind of entity a Cypher variable denotes (used for column kinds and
+/// the `null` padding of `OPTIONAL MATCH`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Node,
+    Relationship,
+    Value,
+}
+
+/// Builds the G-expression of a (normalized) Cypher query.
+pub fn build_query(query: &Query) -> Result<BuildOutput, BuildError> {
+    Builder::new().build_query(query)
+}
+
+/// The G-expression builder. Owns the variable counter so that every
+/// constructed variable is unique across the whole query (including
+/// subqueries and the emptiness tests of `OPTIONAL MATCH`).
+pub struct Builder {
+    next_var: u32,
+}
+
+/// Per-single-query accumulation state.
+#[derive(Debug, Clone, Default)]
+struct State {
+    vars: Vec<VarId>,
+    factors: Vec<GExpr>,
+    env: BTreeMap<String, GTerm>,
+    kinds: BTreeMap<String, VarKind>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// Creates a fresh builder.
+    pub fn new() -> Self {
+        Builder { next_var: 0 }
+    }
+
+    fn fresh(&mut self) -> VarId {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        id
+    }
+
+    /// Builds the G-expression of a full query (handling `UNION [ALL]`).
+    pub fn build_query(&mut self, query: &Query) -> Result<BuildOutput, BuildError> {
+        let mut parts = Vec::new();
+        let mut columns = None;
+        let mut kinds = None;
+        let mut any_distinct_union = false;
+        for (i, part) in query.parts.iter().enumerate() {
+            let output = self.build_single_query(part, &State::default())?;
+            match columns {
+                None => {
+                    columns = Some(output.columns);
+                    kinds = Some(output.column_kinds.clone());
+                }
+                Some(c) if c != output.columns => {
+                    return Err(BuildError::new(format!(
+                        "UNION sub-queries return {c} and {} columns",
+                        output.columns
+                    )));
+                }
+                Some(_) => {}
+            }
+            if i > 0 && query.unions[i - 1] == UnionKind::Distinct {
+                any_distinct_union = true;
+            }
+            parts.push(output.expr);
+        }
+        let combined = GExpr::add(parts);
+        let expr = if any_distinct_union { GExpr::squash(combined) } else { combined };
+        Ok(BuildOutput {
+            expr,
+            columns: columns.unwrap_or(0),
+            column_kinds: kinds.unwrap_or_default(),
+        })
+    }
+
+    /// Builds a single (non-union) query.
+    fn build_single_query(
+        &mut self,
+        query: &SingleQuery,
+        outer: &State,
+    ) -> Result<BuildOutput, BuildError> {
+        let mut state = outer.clone();
+        for (index, clause) in query.clauses.iter().enumerate() {
+            let is_last = index + 1 == query.clauses.len();
+            match clause {
+                Clause::Match(m) => self.build_match(&mut state, m)?,
+                Clause::Unwind(u) => self.build_unwind(&mut state, u)?,
+                Clause::With(w) => self.build_with(&mut state, w)?,
+                Clause::Return(p) => {
+                    if !is_last {
+                        return Err(BuildError::new("RETURN must be the final clause"));
+                    }
+                    return self.build_return(&mut state, p);
+                }
+            }
+        }
+        Err(BuildError::new("query does not end with a RETURN clause"))
+    }
+
+    // -- MATCH ---------------------------------------------------------------
+
+    fn build_match(&mut self, state: &mut State, clause: &MatchClause) -> Result<(), BuildError> {
+        if clause.optional {
+            return self.build_optional_match(state, clause);
+        }
+        let mut rel_terms = Vec::new();
+        for pattern in &clause.patterns {
+            self.build_path_pattern(state, pattern, &mut rel_terms)?;
+        }
+        self.add_injectivity(state, &rel_terms);
+        if let Some(predicate) = &clause.where_clause {
+            let factor = self.build_predicate(state, predicate)?;
+            state.factors.push(factor);
+        }
+        Ok(())
+    }
+
+    /// Relationship-injective semantics: distinct relationship patterns in one
+    /// `MATCH` clause must bind distinct relationships, modeled as
+    /// `not([e_i = e_j])` for every pair (§IV-B).
+    fn add_injectivity(&mut self, state: &mut State, rel_terms: &[GTerm]) {
+        for i in 0..rel_terms.len() {
+            for j in (i + 1)..rel_terms.len() {
+                state.factors.push(GExpr::not(GExpr::eq(
+                    rel_terms[i].clone(),
+                    rel_terms[j].clone(),
+                )));
+            }
+        }
+    }
+
+    /// `OPTIONAL MATCH` (left outer join, Table I):
+    /// `G(q1) × G(q2) + G(q1) × not(G(q2)) × isNULL(G(q2))`.
+    fn build_optional_match(
+        &mut self,
+        state: &mut State,
+        clause: &MatchClause,
+    ) -> Result<(), BuildError> {
+        // Build the optional part in a sub-state that sees the current
+        // bindings but accumulates its own variables and factors.
+        let mut optional = State {
+            vars: Vec::new(),
+            factors: Vec::new(),
+            env: state.env.clone(),
+            kinds: state.kinds.clone(),
+        };
+        let mut rel_terms = Vec::new();
+        for pattern in &clause.patterns {
+            self.build_path_pattern(&mut optional, pattern, &mut rel_terms)?;
+        }
+        self.add_injectivity(&mut optional, &rel_terms);
+        if let Some(predicate) = &clause.where_clause {
+            let factor = self.build_predicate(&optional, predicate)?;
+            optional.factors.push(factor);
+        }
+
+        let present = GExpr::mul(optional.factors.clone());
+
+        // Emptiness test over a fresh copy of the optional variables so the
+        // `not(...)` factor does not capture the row's own bindings.
+        let mut renaming = BTreeMap::new();
+        let mut fresh_vars = Vec::new();
+        for var in &optional.vars {
+            let fresh = self.fresh();
+            renaming.insert(*var, fresh);
+            fresh_vars.push(fresh);
+        }
+        let emptiness_body = present.rename_variables(&renaming);
+        let absent_guard = GExpr::not(GExpr::squash(GExpr::sum(fresh_vars, emptiness_body)));
+
+        // In the absent branch every newly bound variable is NULL.
+        let mut null_factors = vec![absent_guard];
+        for var in &optional.vars {
+            null_factors
+                .push(GExpr::eq(GTerm::Var(*var), GTerm::Const(GConst::Null)));
+        }
+        let absent = GExpr::mul(null_factors);
+
+        state.vars.extend(optional.vars.iter().copied());
+        state.factors.push(GExpr::add(vec![present, absent]));
+        state.env = optional.env;
+        state.kinds = optional.kinds;
+        Ok(())
+    }
+
+    fn build_path_pattern(
+        &mut self,
+        state: &mut State,
+        pattern: &PathPattern,
+        rel_terms: &mut Vec<GTerm>,
+    ) -> Result<(), BuildError> {
+        let mut trace = Vec::new();
+        let mut left = self.build_node_pattern(state, &pattern.start)?;
+        trace.push(left.clone());
+        for segment in &pattern.segments {
+            let right = self.build_node_pattern(state, &segment.node)?;
+            let rel = self.build_relationship_pattern(
+                state,
+                &segment.relationship,
+                &left,
+                &right,
+            )?;
+            if !segment.relationship.is_var_length() {
+                rel_terms.push(rel.clone());
+            }
+            trace.push(rel);
+            trace.push(right.clone());
+            left = right;
+        }
+        if let Some(path_var) = &pattern.variable {
+            let term = GTerm::app("path", trace);
+            state.env.insert(path_var.clone(), term);
+            state.kinds.insert(path_var.clone(), VarKind::Value);
+        }
+        Ok(())
+    }
+
+    fn build_node_pattern(
+        &mut self,
+        state: &mut State,
+        pattern: &NodePattern,
+    ) -> Result<GTerm, BuildError> {
+        let term = match &pattern.variable {
+            Some(name) => match state.env.get(name) {
+                Some(term) => term.clone(),
+                None => {
+                    let var = self.fresh();
+                    state.vars.push(var);
+                    state.env.insert(name.clone(), GTerm::Var(var));
+                    state.kinds.insert(name.clone(), VarKind::Node);
+                    GTerm::Var(var)
+                }
+            },
+            None => {
+                let var = self.fresh();
+                state.vars.push(var);
+                GTerm::Var(var)
+            }
+        };
+        state.factors.push(GExpr::NodeFn(term.clone()));
+        for label in &pattern.labels {
+            state.factors.push(GExpr::LabFn(term.clone(), label.clone()));
+        }
+        for (key, value) in &pattern.properties {
+            let value_term = self.build_term(state, value)?;
+            state
+                .factors
+                .push(GExpr::eq(GTerm::prop(term.clone(), key.clone()), value_term));
+        }
+        Ok(term)
+    }
+
+    fn build_relationship_pattern(
+        &mut self,
+        state: &mut State,
+        pattern: &RelationshipPattern,
+        left: &GTerm,
+        right: &GTerm,
+    ) -> Result<GTerm, BuildError> {
+        let term = match &pattern.variable {
+            Some(name) => match state.env.get(name) {
+                Some(term) => term.clone(),
+                None => {
+                    let var = self.fresh();
+                    state.vars.push(var);
+                    state.env.insert(name.clone(), GTerm::Var(var));
+                    state.kinds.insert(name.clone(), VarKind::Relationship);
+                    GTerm::Var(var)
+                }
+            },
+            None => {
+                let var = self.fresh();
+                state.vars.push(var);
+                GTerm::Var(var)
+            }
+        };
+        state.factors.push(GExpr::RelFn(term.clone()));
+
+        // A relationship has exactly one label, so alternatives combine with
+        // `+` rather than `×` (§IV-B).
+        match pattern.labels.len() {
+            0 => {}
+            1 => state.factors.push(GExpr::LabFn(term.clone(), pattern.labels[0].clone())),
+            _ => {
+                let alternatives = pattern
+                    .labels
+                    .iter()
+                    .map(|label| GExpr::LabFn(term.clone(), label.clone()))
+                    .collect();
+                state.factors.push(GExpr::add(alternatives));
+            }
+        }
+        for (key, value) in &pattern.properties {
+            let value_term = self.build_term(state, value)?;
+            state
+                .factors
+                .push(GExpr::eq(GTerm::prop(term.clone(), key.clone()), value_term));
+        }
+
+        // Arbitrary-length paths: treat the pattern as a single relationship
+        // entity marked UNBOUNDED (Table I); a bounded range keeps its bounds
+        // as an uninterpreted predicate so differing bounds never unify.
+        if let Some(length) = &pattern.length {
+            state.factors.push(GExpr::Unbounded(term.clone()));
+            if length.min.is_some() || length.max.is_some() {
+                state.factors.push(GExpr::Atom(GAtom::Pred(
+                    "varlen".to_string(),
+                    vec![
+                        term.clone(),
+                        GTerm::int(length.min.map(i64::from).unwrap_or(1)),
+                        GTerm::int(length.max.map(i64::from).unwrap_or(-1)),
+                    ],
+                )));
+            }
+        }
+
+        let src = GTerm::app("src", vec![term.clone()]);
+        let tgt = GTerm::app("tgt", vec![term.clone()]);
+        match pattern.direction {
+            RelDirection::Outgoing => {
+                state.factors.push(GExpr::eq(src, left.clone()));
+                state.factors.push(GExpr::eq(tgt, right.clone()));
+            }
+            RelDirection::Incoming => {
+                state.factors.push(GExpr::eq(src, right.clone()));
+                state.factors.push(GExpr::eq(tgt, left.clone()));
+            }
+            RelDirection::Undirected => {
+                let forward = GExpr::mul(vec![
+                    GExpr::eq(src.clone(), left.clone()),
+                    GExpr::eq(tgt.clone(), right.clone()),
+                ]);
+                let backward = GExpr::mul(vec![
+                    GExpr::eq(src, right.clone()),
+                    GExpr::eq(tgt, left.clone()),
+                ]);
+                state.factors.push(GExpr::add(vec![forward, backward]));
+            }
+        }
+        Ok(term)
+    }
+
+    // -- UNWIND ---------------------------------------------------------------
+
+    fn build_unwind(&mut self, state: &mut State, clause: &UnwindClause) -> Result<(), BuildError> {
+        let row_var = self.fresh();
+        state.vars.push(row_var);
+        let row_term = GTerm::Var(row_var);
+
+        // Resolve aliases introduced by WITH so `WITH [..] AS tmp UNWIND tmp`
+        // sees the underlying list literal.
+        let source = match &clause.expr {
+            Expr::Variable(name) => match state.env.get(name) {
+                Some(GTerm::App(app, args)) if app == "list" => {
+                    Some(ListSource::Terms(args.clone()))
+                }
+                _ => None,
+            },
+            Expr::List(items) => {
+                let mut terms = Vec::new();
+                for item in items {
+                    terms.push(self.build_term(state, item)?);
+                }
+                Some(ListSource::Terms(terms))
+            }
+            // UNWIND(COLLECT(x)) undoes the aggregation (§IV-B "Unwinding");
+            // the normalizer rewrites this form, but handle it here as well.
+            Expr::AggregateCall { func: Aggregate::Collect, arg, .. } => {
+                let term = self.build_term(state, arg)?;
+                Some(ListSource::Passthrough(term))
+            }
+            _ => None,
+        };
+
+        match source {
+            Some(ListSource::Terms(terms)) => {
+                // Constant list: the concatenation of one product per element
+                // (Table I, "Unwinding").
+                let mut alternatives = Vec::new();
+                for term in terms {
+                    alternatives.push(self.unwind_element(&row_term, &term));
+                }
+                state.factors.push(GExpr::add(alternatives));
+            }
+            Some(ListSource::Passthrough(term)) => {
+                state.factors.push(GExpr::eq(row_term.clone(), term));
+            }
+            None => {
+                // Arbitrary list expression: uninterpreted membership.
+                let list_term = self.build_term(state, &clause.expr)?;
+                state.factors.push(GExpr::Atom(GAtom::Pred(
+                    "unwind".to_string(),
+                    vec![row_term.clone(), list_term],
+                )));
+            }
+        }
+        state.env.insert(clause.alias.clone(), row_term);
+        state.kinds.insert(clause.alias.clone(), VarKind::Value);
+        Ok(())
+    }
+
+    fn unwind_element(&mut self, row: &GTerm, element: &GTerm) -> GExpr {
+        match element {
+            // A map literal pins each property of the row variable.
+            GTerm::App(name, args) if name == "map" => {
+                let mut factors = Vec::new();
+                let mut iter = args.iter();
+                while let (Some(key), Some(value)) = (iter.next(), iter.next()) {
+                    if let GTerm::Const(GConst::String(key)) = key {
+                        factors.push(GExpr::eq(
+                            GTerm::prop(row.clone(), key.clone()),
+                            value.clone(),
+                        ));
+                    }
+                }
+                GExpr::mul(factors)
+            }
+            other => GExpr::eq(row.clone(), other.clone()),
+        }
+    }
+
+    // -- WITH -----------------------------------------------------------------
+
+    fn build_with(&mut self, state: &mut State, clause: &WithClause) -> Result<(), BuildError> {
+        let projection = &clause.projection;
+        if projection.skip.is_some() || projection.limit.is_some() {
+            // §IV-B "Sorting with truncation": LIMIT/SKIP inside a subquery
+            // cannot be modeled directly; the prover's divide-and-conquer
+            // splits the query at this point instead.
+            return Err(BuildError::unsupported(
+                "sorting-truncation",
+                "ORDER BY ... LIMIT/SKIP inside WITH requires divide-and-conquer proving",
+            ));
+        }
+        // A bare ORDER BY inside WITH is ignored: its order is not guaranteed
+        // to survive the following clauses (§IV-B case (1)).
+
+        let items = self.projection_items(state, projection)?;
+        let has_aggregate = items.iter().any(|(_, expr)| expr.contains_aggregate());
+
+        if !has_aggregate && !projection.distinct {
+            // Pure renaming: bind the projected names directly to their terms
+            // (this is the temp-variable elimination of §IV-B applied during
+            // construction). The previous bindings go out of scope.
+            let mut new_env = BTreeMap::new();
+            let mut new_kinds = BTreeMap::new();
+            for (name, expr) in &items {
+                let term = self.build_term(state, expr)?;
+                new_kinds.insert(name.clone(), self.expr_kind(state, expr));
+                new_env.insert(name.clone(), term);
+            }
+            state.env = new_env;
+            state.kinds = new_kinds;
+        } else {
+            self.project_with_grouping(state, &items, projection.distinct)?;
+        }
+
+        if let Some(predicate) = &clause.where_clause {
+            let factor = self.build_predicate(state, predicate)?;
+            state.factors.push(factor);
+        }
+        Ok(())
+    }
+
+    /// Shared handling of `WITH DISTINCT ...` and `WITH`-level aggregation:
+    /// the current pattern is folded into a squashed group per combination of
+    /// grouping keys, and aggregate items become [`GTerm::Agg`] terms.
+    fn project_with_grouping(
+        &mut self,
+        state: &mut State,
+        items: &[(String, Expr)],
+        _distinct: bool,
+    ) -> Result<(), BuildError> {
+        let old_vars = state.vars.clone();
+        let old_factors = state.factors.clone();
+
+        let mut new_vars = Vec::new();
+        let mut key_equalities = Vec::new();
+        let mut agg_bindings = Vec::new();
+        let mut new_env = BTreeMap::new();
+        let mut new_kinds = BTreeMap::new();
+
+        for (name, expr) in items {
+            let var = self.fresh();
+            new_vars.push(var);
+            let var_term = GTerm::Var(var);
+            if expr.contains_aggregate() {
+                let agg_term = self.build_aggregate_term(state, expr, &key_equalities)?;
+                agg_bindings.push(GExpr::eq(var_term.clone(), agg_term));
+                new_kinds.insert(name.clone(), VarKind::Value);
+            } else {
+                let term = self.build_term(state, expr)?;
+                key_equalities.push(GExpr::eq(var_term.clone(), term));
+                new_kinds.insert(name.clone(), self.expr_kind(state, expr));
+            }
+            new_env.insert(name.clone(), var_term);
+        }
+
+        let mut group_factors = old_factors.clone();
+        group_factors.extend(key_equalities.clone());
+        let group = GExpr::squash(GExpr::sum(old_vars, GExpr::mul(group_factors)));
+
+        state.vars = new_vars;
+        state.factors = vec![group];
+        state.factors.extend(agg_bindings);
+        state.env = new_env;
+        state.kinds = new_kinds;
+        Ok(())
+    }
+
+    // -- RETURN ---------------------------------------------------------------
+
+    fn build_return(
+        &mut self,
+        state: &mut State,
+        projection: &Projection,
+    ) -> Result<BuildOutput, BuildError> {
+        let items = self.projection_items(state, projection)?;
+        let column_kinds: Vec<ColumnKind> = items
+            .iter()
+            .map(|(_, expr)| self.column_kind(state, expr))
+            .collect();
+        let columns = items.len();
+        let has_aggregate = items.iter().any(|(_, expr)| expr.contains_aggregate());
+
+        // Sorting with truncation at the outermost level (§IV-B): conditions
+        // on every output tuple via the order/limit/skip markers.
+        let mut ordering_factors = Vec::new();
+        for (index, order) in projection.order_by.iter().enumerate() {
+            let key = self.build_term(state, &order.expr)?;
+            let direction = if order.ascending { "asc" } else { "desc" };
+            ordering_factors.push(GExpr::Atom(GAtom::Pred(
+                "order".to_string(),
+                vec![GTerm::int(index as i64), GTerm::string(direction), key],
+            )));
+        }
+        if let Some(limit) = &projection.limit {
+            let term = self.build_term(state, limit)?;
+            ordering_factors
+                .push(GExpr::Atom(GAtom::Pred("limit".to_string(), vec![term])));
+        }
+        if let Some(skip) = &projection.skip {
+            let term = self.build_term(state, skip)?;
+            ordering_factors.push(GExpr::Atom(GAtom::Pred("skip".to_string(), vec![term])));
+        }
+
+        let expr = if has_aggregate {
+            // Group keys pin output columns through a squashed group; each
+            // aggregate column is pinned to its aggregate term.
+            let mut key_equalities = Vec::new();
+            let mut agg_equalities = Vec::new();
+            for (index, (_, item)) in items.iter().enumerate() {
+                let col = GTerm::OutCol(index);
+                if item.contains_aggregate() {
+                    let agg = self.build_aggregate_term(state, item, &key_equalities)?;
+                    agg_equalities.push(GExpr::eq(col, agg));
+                } else {
+                    let term = self.build_term(state, item)?;
+                    key_equalities.push(GExpr::eq(col, term));
+                }
+            }
+            let group_present = !key_equalities.is_empty();
+            let mut group_factors = state.factors.clone();
+            group_factors.extend(key_equalities);
+            group_factors.extend(ordering_factors.clone());
+            let group = GExpr::sum(state.vars.clone(), GExpr::mul(group_factors));
+            let mut final_factors = Vec::new();
+            if group_present {
+                final_factors.push(GExpr::squash(group));
+            } else {
+                // A global aggregate always returns exactly one row.
+                final_factors.push(GExpr::One);
+            }
+            final_factors.extend(agg_equalities);
+            final_factors.extend(if group_present { vec![] } else { ordering_factors });
+            GExpr::mul(final_factors)
+        } else {
+            let mut factors = state.factors.clone();
+            for (index, (_, item)) in items.iter().enumerate() {
+                let term = self.build_term(state, item)?;
+                factors.push(GExpr::eq(GTerm::OutCol(index), term));
+            }
+            factors.extend(ordering_factors);
+            let body = GExpr::sum(state.vars.clone(), GExpr::mul(factors));
+            if projection.distinct {
+                GExpr::squash(body)
+            } else {
+                body
+            }
+        };
+
+        Ok(BuildOutput { expr, columns, column_kinds })
+    }
+
+    /// Expands `*` and attaches output names to projection items.
+    fn projection_items(
+        &mut self,
+        state: &State,
+        projection: &Projection,
+    ) -> Result<Vec<(String, Expr)>, BuildError> {
+        match &projection.items {
+            ProjectionItems::Star => Ok(state
+                .env
+                .keys()
+                .map(|name| (name.clone(), Expr::Variable(name.clone())))
+                .collect()),
+            ProjectionItems::Items(items) => Ok(items
+                .iter()
+                .map(|item| (item.output_name(), item.expr.clone()))
+                .collect()),
+        }
+    }
+
+    /// Builds the aggregate term for a projection item that *is* an aggregate
+    /// call. Compound aggregate expressions (e.g. `SUM(x)/COUNT(x)`,
+    /// `COUNT(SUM(x))`) are not supported — the same limitation as GraphQE.
+    fn build_aggregate_term(
+        &mut self,
+        state: &State,
+        expr: &Expr,
+        key_equalities: &[GExpr],
+    ) -> Result<GTerm, BuildError> {
+        let (kind, distinct, arg_term) = match expr {
+            Expr::AggregateCall { func, distinct, arg } => {
+                if arg.contains_aggregate() {
+                    return Err(BuildError::unsupported(
+                        "nested-aggregate",
+                        format!("nested aggregate `{expr}` cannot be modeled"),
+                    ));
+                }
+                let kind = match func {
+                    Aggregate::Count => GAggKind::Count,
+                    Aggregate::Sum => GAggKind::Sum,
+                    Aggregate::Min => GAggKind::Min,
+                    Aggregate::Max => GAggKind::Max,
+                    Aggregate::Avg => GAggKind::Avg,
+                    Aggregate::Collect => GAggKind::Collect,
+                };
+                (kind, *distinct, self.build_term(state, arg)?)
+            }
+            Expr::CountStar { distinct } => {
+                (GAggKind::Count, *distinct, GTerm::app("star", vec![]))
+            }
+            other => {
+                return Err(BuildError::unsupported(
+                    "nested-aggregate",
+                    format!("aggregate computation `{other}` cannot be modeled"),
+                ));
+            }
+        };
+        // The group of the aggregate: the current pattern constrained to the
+        // same grouping keys as the output row.
+        let mut group_factors = state.factors.clone();
+        group_factors.extend(key_equalities.to_vec());
+        let group = GExpr::sum(state.vars.clone(), GExpr::mul(group_factors));
+        Ok(GTerm::Agg { kind, distinct, arg: Box::new(arg_term), group: Box::new(group) })
+    }
+
+    // -- expressions ------------------------------------------------------------
+
+    /// Compiles a boolean Cypher expression into a 0/1-valued G-expression.
+    fn build_predicate(&mut self, state: &State, expr: &Expr) -> Result<GExpr, BuildError> {
+        Ok(match expr {
+            Expr::Binary(BinaryOp::And, lhs, rhs) => GExpr::mul(vec![
+                self.build_predicate(state, lhs)?,
+                self.build_predicate(state, rhs)?,
+            ]),
+            Expr::Binary(BinaryOp::Or, lhs, rhs) => GExpr::squash(GExpr::add(vec![
+                self.build_predicate(state, lhs)?,
+                self.build_predicate(state, rhs)?,
+            ])),
+            Expr::Binary(BinaryOp::Xor, lhs, rhs) => {
+                let left = self.build_predicate(state, lhs)?;
+                let right = self.build_predicate(state, rhs)?;
+                GExpr::add(vec![
+                    GExpr::mul(vec![left.clone(), GExpr::not(right.clone())]),
+                    GExpr::mul(vec![GExpr::not(left), right]),
+                ])
+            }
+            Expr::Unary(UnaryOp::Not, inner) => {
+                GExpr::not(self.build_predicate(state, inner)?)
+            }
+            Expr::Binary(op, lhs, rhs) if op.is_comparison() => {
+                let cmp = match op {
+                    BinaryOp::Eq => CmpOp::Eq,
+                    BinaryOp::Neq => CmpOp::Neq,
+                    BinaryOp::Lt => CmpOp::Lt,
+                    BinaryOp::Le => CmpOp::Le,
+                    BinaryOp::Gt => CmpOp::Gt,
+                    BinaryOp::Ge => CmpOp::Ge,
+                    _ => unreachable!("is_comparison"),
+                };
+                GExpr::Atom(GAtom::Cmp(
+                    cmp,
+                    self.build_term(state, lhs)?,
+                    self.build_term(state, rhs)?,
+                ))
+            }
+            Expr::Binary(op @ (BinaryOp::In | BinaryOp::StartsWith | BinaryOp::EndsWith | BinaryOp::Contains), lhs, rhs) => {
+                let name = match op {
+                    BinaryOp::In => "in",
+                    BinaryOp::StartsWith => "startsWith",
+                    BinaryOp::EndsWith => "endsWith",
+                    BinaryOp::Contains => "contains",
+                    _ => unreachable!(),
+                };
+                GExpr::Atom(GAtom::Pred(
+                    name.to_string(),
+                    vec![self.build_term(state, lhs)?, self.build_term(state, rhs)?],
+                ))
+            }
+            Expr::IsNull { expr, negated } => {
+                GExpr::Atom(GAtom::IsNull(self.build_term(state, expr)?, *negated))
+            }
+            Expr::Literal(Literal::Boolean(true)) => GExpr::One,
+            Expr::Literal(Literal::Boolean(false)) => GExpr::Zero,
+            Expr::Literal(Literal::Null) => GExpr::Zero,
+            Expr::Exists(query) => self.build_exists(state, query)?,
+            other => {
+                // Any other expression used as a predicate: uninterpreted
+                // truthiness test.
+                GExpr::Atom(GAtom::Pred(
+                    "truthy".to_string(),
+                    vec![self.build_term(state, other)?],
+                ))
+            }
+        })
+    }
+
+    /// `EXISTS { subquery }`: the squashed multiplicity of the subquery's
+    /// pattern, with the outer bindings visible.
+    fn build_exists(&mut self, state: &State, query: &Query) -> Result<GExpr, BuildError> {
+        let mut parts = Vec::new();
+        for part in &query.parts {
+            let mut sub = State {
+                vars: Vec::new(),
+                factors: Vec::new(),
+                env: state.env.clone(),
+                kinds: state.kinds.clone(),
+            };
+            for clause in &part.clauses {
+                match clause {
+                    Clause::Match(m) => self.build_match(&mut sub, m)?,
+                    Clause::Unwind(u) => self.build_unwind(&mut sub, u)?,
+                    Clause::With(w) => self.build_with(&mut sub, w)?,
+                    // The projection of an EXISTS subquery is irrelevant; only
+                    // the existence of a matching row matters.
+                    Clause::Return(_) => {}
+                }
+            }
+            parts.push(GExpr::sum(sub.vars, GExpr::mul(sub.factors)));
+        }
+        Ok(GExpr::squash(GExpr::add(parts)))
+    }
+
+    /// Compiles a scalar Cypher expression into a term.
+    fn build_term(&mut self, state: &State, expr: &Expr) -> Result<GTerm, BuildError> {
+        Ok(match expr {
+            Expr::Literal(Literal::Integer(v)) => GTerm::Const(GConst::Integer(*v)),
+            Expr::Literal(Literal::Float(v)) => GTerm::Const(GConst::Float(*v)),
+            Expr::Literal(Literal::String(s)) => GTerm::Const(GConst::String(s.clone())),
+            Expr::Literal(Literal::Boolean(b)) => GTerm::Const(GConst::Boolean(*b)),
+            Expr::Literal(Literal::Null) => GTerm::Const(GConst::Null),
+            Expr::Variable(name) => state.env.get(name).cloned().ok_or_else(|| {
+                BuildError::new(format!("reference to unbound variable `{name}`"))
+            })?,
+            Expr::Parameter(name) => GTerm::app("param", vec![GTerm::string(name.clone())]),
+            Expr::Property(base, key) => {
+                GTerm::prop(self.build_term(state, base)?, key.clone())
+            }
+            Expr::FunctionCall { name, args } => {
+                let mut terms = Vec::new();
+                for arg in args {
+                    terms.push(self.build_term(state, arg)?);
+                }
+                GTerm::app(name.clone(), terms)
+            }
+            Expr::Unary(UnaryOp::Neg, inner) => {
+                GTerm::app("neg", vec![self.build_term(state, inner)?])
+            }
+            Expr::Unary(UnaryOp::Pos, inner) => self.build_term(state, inner)?,
+            Expr::Unary(UnaryOp::Not, inner) => {
+                GTerm::app("not", vec![self.build_term(state, inner)?])
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let name = match op {
+                    BinaryOp::Add => "add",
+                    BinaryOp::Sub => "sub",
+                    BinaryOp::Mul => "mul",
+                    BinaryOp::Div => "div",
+                    BinaryOp::Mod => "mod",
+                    BinaryOp::Pow => "pow",
+                    BinaryOp::Eq => "eq",
+                    BinaryOp::Neq => "neq",
+                    BinaryOp::Lt => "lt",
+                    BinaryOp::Le => "le",
+                    BinaryOp::Gt => "gt",
+                    BinaryOp::Ge => "ge",
+                    BinaryOp::And => "and",
+                    BinaryOp::Or => "or",
+                    BinaryOp::Xor => "xor",
+                    BinaryOp::In => "in",
+                    BinaryOp::StartsWith => "startsWith",
+                    BinaryOp::EndsWith => "endsWith",
+                    BinaryOp::Contains => "contains",
+                };
+                GTerm::app(
+                    name,
+                    vec![self.build_term(state, lhs)?, self.build_term(state, rhs)?],
+                )
+            }
+            Expr::IsNull { expr, negated } => GTerm::app(
+                if *negated { "isNotNull" } else { "isNull" },
+                vec![self.build_term(state, expr)?],
+            ),
+            Expr::List(items) => {
+                let mut terms = Vec::new();
+                for item in items {
+                    terms.push(self.build_term(state, item)?);
+                }
+                GTerm::app("list", terms)
+            }
+            Expr::Map(entries) => {
+                let mut terms = Vec::new();
+                for (key, value) in entries {
+                    terms.push(GTerm::string(key.clone()));
+                    terms.push(self.build_term(state, value)?);
+                }
+                GTerm::app("map", terms)
+            }
+            Expr::AggregateCall { .. } | Expr::CountStar { .. } => {
+                return Err(BuildError::unsupported(
+                    "nested-aggregate",
+                    "aggregates may only appear as whole projection items",
+                ));
+            }
+            Expr::Exists(query) => {
+                // EXISTS as a value: encode the squashed subquery multiplicity
+                // as an uninterpreted term over its display form.
+                let inner = self.build_exists(state, query)?;
+                GTerm::app("existsValue", vec![GTerm::string(inner.to_string())])
+            }
+            Expr::Case { branches, otherwise } => {
+                let mut terms = Vec::new();
+                for (cond, value) in branches {
+                    let predicate = self.build_predicate(state, cond)?;
+                    terms.push(GTerm::string(predicate.to_string()));
+                    terms.push(self.build_term(state, value)?);
+                }
+                if let Some(e) = otherwise {
+                    terms.push(self.build_term(state, e)?);
+                }
+                GTerm::app("case", terms)
+            }
+        })
+    }
+
+    fn expr_kind(&self, state: &State, expr: &Expr) -> VarKind {
+        match expr {
+            Expr::Variable(name) => state.kinds.get(name).copied().unwrap_or(VarKind::Value),
+            _ => VarKind::Value,
+        }
+    }
+
+    fn column_kind(&self, state: &State, expr: &Expr) -> ColumnKind {
+        match expr {
+            Expr::Variable(name) => match state.kinds.get(name) {
+                Some(VarKind::Node) => ColumnKind::Node,
+                Some(VarKind::Relationship) => ColumnKind::Relationship,
+                _ => ColumnKind::Value,
+            },
+            Expr::Property(_, key) => ColumnKind::Property(key.clone()),
+            Expr::AggregateCall { func, .. } => ColumnKind::Aggregate(func.name().to_string()),
+            Expr::CountStar { .. } => ColumnKind::Aggregate("COUNT".to_string()),
+            _ => ColumnKind::Value,
+        }
+    }
+}
+
+enum ListSource {
+    Terms(Vec<GTerm>),
+    Passthrough(GTerm),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse_query;
+
+    fn build(text: &str) -> BuildOutput {
+        build_query(&parse_query(text).unwrap()).unwrap()
+    }
+
+    fn build_err(text: &str) -> BuildError {
+        build_query(&parse_query(text).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn builds_the_overview_example() {
+        // §III-B: MATCH (n1)-[r]->(n2) WHERE n1.age=59 RETURN n1
+        let output = build("MATCH (n1)-[r]->(n2) WHERE n1.age = 59 RETURN n1");
+        assert_eq!(output.columns, 1);
+        assert_eq!(output.column_kinds, vec![ColumnKind::Node]);
+        let text = output.expr.to_string();
+        assert!(text.contains("Node(e0)"), "{text}");
+        assert!(text.contains("Rel("), "{text}");
+        assert!(text.contains("src("), "{text}");
+        assert!(text.contains("tgt("), "{text}");
+        assert!(text.contains("[e0.age = 59]"), "{text}");
+        assert!(text.contains("t.col1"), "{text}");
+    }
+
+    #[test]
+    fn node_pattern_with_labels_and_properties() {
+        let output = build("MATCH (n:Person:Author {age: 59}) RETURN n");
+        let text = output.expr.to_string();
+        assert!(text.contains("Lab(e0, Person)"));
+        assert!(text.contains("Lab(e0, Author)"));
+        assert!(text.contains("[e0.age = 59]"));
+    }
+
+    #[test]
+    fn relationship_multi_labels_use_disjunction() {
+        let output = build("MATCH (a)-[r:READ|WRITE]->(b) RETURN a");
+        let text = output.expr.to_string();
+        assert!(text.contains("Lab(e2, READ) + Lab(e2, WRITE)"), "{text}");
+    }
+
+    #[test]
+    fn injectivity_constraints_are_added_within_one_match() {
+        let output = build("MATCH (a)-[x]->(b)<-[y]-(c) RETURN a");
+        let text = output.expr.to_string();
+        assert!(text.contains("not([e2 = e4])"), "{text}");
+        // Across separate MATCH clauses there is no injectivity constraint.
+        let output = build("MATCH (a)-[x]->(b) MATCH (c)-[y]->(d) RETURN a");
+        assert!(!output.expr.to_string().contains("not(["));
+    }
+
+    #[test]
+    fn where_predicates_use_semiring_connectives() {
+        let output = build("MATCH (n) WHERE n.age > 29 OR n.age < 59 RETURN n");
+        let text = output.expr.to_string();
+        assert!(text.contains("‖"), "OR must be squashed: {text}");
+        let output = build("MATCH (n) WHERE n.a = 1 AND n.b = 2 RETURN n");
+        let text = output.expr.to_string();
+        assert!(text.contains("[e0.a = 1]"));
+        assert!(text.contains("[e0.b = 2]"));
+        let output = build("MATCH (n) WHERE NOT n.a = 1 RETURN n");
+        assert!(output.expr.to_string().contains("not([e0.a = 1])"));
+    }
+
+    #[test]
+    fn union_all_adds_and_union_squashes() {
+        let all = build("MATCH (a) RETURN a UNION ALL MATCH (b) RETURN b");
+        match &all.expr {
+            GExpr::Add(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected Add, got {other}"),
+        }
+        let distinct = build("MATCH (a) RETURN a UNION MATCH (b) RETURN b");
+        assert!(matches!(distinct.expr, GExpr::Squash(_)));
+    }
+
+    #[test]
+    fn return_distinct_squashes() {
+        let output = build("MATCH (n) RETURN DISTINCT n.name");
+        assert!(matches!(output.expr, GExpr::Squash(_)));
+    }
+
+    #[test]
+    fn optional_match_produces_left_outer_join_shape() {
+        let output = build("MATCH (a) OPTIONAL MATCH (a)-[r]->(b) RETURN a, b");
+        let text = output.expr.to_string();
+        assert!(text.contains("not(‖"), "{text}");
+        assert!(text.contains("= null]"), "{text}");
+    }
+
+    #[test]
+    fn variable_length_paths_use_unbounded() {
+        let output = build("MATCH (a)-[*]->(b) RETURN a");
+        assert!(output.expr.to_string().contains("UNBOUNDED("));
+        let bounded = build("MATCH (a)-[*1..3]->(b) RETURN a");
+        assert!(bounded.expr.to_string().contains("varlen("));
+    }
+
+    #[test]
+    fn aggregates_become_aggregate_terms() {
+        let output = build("MATCH (n:Person) RETURN SUM(n.age)");
+        let text = output.expr.to_string();
+        assert!(text.contains("SUM("), "{text}");
+        assert_eq!(output.column_kinds, vec![ColumnKind::Aggregate("SUM".into())]);
+        let grouped = build("MATCH (n:Person) RETURN n.name, COUNT(*)");
+        let text = grouped.expr.to_string();
+        assert!(text.contains("COUNT("), "{text}");
+        assert!(text.contains("‖"), "grouped aggregates squash the group: {text}");
+    }
+
+    #[test]
+    fn order_limit_skip_at_top_level_are_markers() {
+        let output = build("MATCH (n) RETURN n.name ORDER BY n.age DESC SKIP 2 LIMIT 5");
+        let text = output.expr.to_string();
+        assert!(text.contains("order("), "{text}");
+        assert!(text.contains("limit("), "{text}");
+        assert!(text.contains("skip("), "{text}");
+    }
+
+    #[test]
+    fn with_renaming_is_eliminated() {
+        // Rule ④-style WITH is folded away during construction, so both forms
+        // produce literally identical expressions (up to variable numbering).
+        let direct = build("MATCH (x) RETURN x.name");
+        let via_with = build("MATCH (x) WITH x.name AS name RETURN name");
+        assert_eq!(direct.expr.to_string(), via_with.expr.to_string());
+    }
+
+    #[test]
+    fn with_distinct_introduces_group_squash() {
+        let output = build("MATCH (p) WITH DISTINCT p.name AS name RETURN name");
+        let text = output.expr.to_string();
+        assert!(text.contains("‖"), "{text}");
+    }
+
+    #[test]
+    fn unwind_constant_list_enumerates_elements() {
+        let output = build(
+            "WITH [{c1: 0, c2: 1}, {c1: 2, c2: 3}] AS tmp UNWIND tmp AS row RETURN row.c1",
+        );
+        let text = output.expr.to_string();
+        assert!(text.contains("[e0.c1 = 0] × [e0.c2 = 1]"), "{text}");
+        assert!(text.contains("[e0.c1 = 2] × [e0.c2 = 3]"), "{text}");
+    }
+
+    #[test]
+    fn unwind_scalar_list() {
+        let output = build("UNWIND [1, 2, 3] AS x RETURN x");
+        let text = output.expr.to_string();
+        assert!(text.contains("[e0 = 1]"), "{text}");
+        assert!(text.contains("[e0 = 3]"), "{text}");
+    }
+
+    #[test]
+    fn exists_subquery_becomes_squashed_sum() {
+        let output =
+            build("MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n");
+        let text = output.expr.to_string();
+        assert!(text.contains("‖"), "{text}");
+        assert!(text.contains("Lab(e2, KNOWS)"), "{text}");
+    }
+
+    #[test]
+    fn with_limit_is_unsupported() {
+        let err = build_err("MATCH (n) WITH n ORDER BY n.p1 LIMIT 1 MATCH (n)-[]->(m) RETURN m");
+        assert_eq!(err.feature.as_deref(), Some("sorting-truncation"));
+    }
+
+    #[test]
+    fn nested_aggregates_are_unsupported() {
+        let err = build_err("MATCH (n) RETURN SUM(n.a) / COUNT(n)");
+        assert_eq!(err.feature.as_deref(), Some("nested-aggregate"));
+        let err = build_err("MATCH (n) RETURN COUNT(SUM(n.a))");
+        assert_eq!(err.feature.as_deref(), Some("nested-aggregate"));
+    }
+
+    #[test]
+    fn union_arity_mismatch_is_an_error() {
+        let err = build_err("MATCH (n) RETURN n UNION ALL MATCH (n) RETURN n, n.name");
+        assert!(err.message.contains("columns"));
+    }
+
+    #[test]
+    fn renamed_queries_produce_isomorphic_shapes() {
+        // Structural check used heavily by the prover: renaming Cypher
+        // variables must not change anything except entity variable numbers.
+        let a = build("MATCH (person)-[r:READ]->(book) RETURN person.name");
+        let b = build("MATCH (x)-[y:READ]->(z) RETURN x.name");
+        assert_eq!(a.expr.to_string(), b.expr.to_string());
+    }
+
+    #[test]
+    fn return_star_projects_all_bindings_alphabetically() {
+        let output = build("MATCH (x)-[z]->()-[y]->() RETURN *");
+        assert_eq!(output.columns, 3);
+        assert_eq!(
+            output.column_kinds,
+            vec![ColumnKind::Node, ColumnKind::Relationship, ColumnKind::Relationship]
+        );
+    }
+}

@@ -1,0 +1,510 @@
+//! Algebraic normalization of G-expressions.
+//!
+//! Normalization rewrites a G-expression into a *sum of summations of
+//! products* using only identities that hold in every U-semiring
+//! interpretation:
+//!
+//! * `×` distributes over `+`;
+//! * `Σ_v (a + b) = Σ_v a + Σ_v b` and `Σ_x Σ_y = Σ_{x,y}`;
+//! * `Σ_v [v = t] × F(v) = F(t)` when `t` does not mention `v`
+//!   (the paper's temporary-variable elimination);
+//! * idempotence of 0/1-valued factors (`Node(e) × Node(e) = Node(e)`);
+//! * constant folding of trivially true / false atoms
+//!   (`[c = c] = 1`, `[1 = 2] = 0`, `[x = x] = 1`, ...);
+//! * `‖x‖ = x` when `x` is itself 0/1-valued, plus the squash/not laws of
+//!   Definition 3.
+//!
+//! The result is deterministic (factors and summands are sorted by their
+//! rendering), which the isomorphism matcher in `liastar` relies on.
+
+use crate::expr::GExpr;
+use crate::term::{CmpOp, GAtom, GConst, GTerm, VarId};
+
+/// Normalizes a G-expression to the sum-of-summations-of-products form.
+pub fn normalize(expr: &GExpr) -> GExpr {
+    let mut current = expr.clone();
+    // The rewrite system is terminating but individual passes can enable new
+    // rewrites (e.g. variable elimination exposing constant atoms); iterate to
+    // a fixpoint with a safety bound.
+    for _ in 0..16 {
+        let next = normalize_once(&current);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    sort_expr(&current)
+}
+
+fn normalize_once(expr: &GExpr) -> GExpr {
+    match expr {
+        GExpr::Zero | GExpr::One | GExpr::Const(_) => expr.clone(),
+        GExpr::Atom(atom) => simplify_atom(atom),
+        GExpr::NodeFn(_) | GExpr::RelFn(_) | GExpr::LabFn(_, _) | GExpr::Unbounded(_) => {
+            expr.clone()
+        }
+        GExpr::Mul(items) => {
+            let items: Vec<GExpr> = items.iter().map(normalize_once).collect();
+            distribute_product(items)
+        }
+        GExpr::Add(items) => GExpr::add(items.iter().map(normalize_once).collect()),
+        GExpr::Squash(inner) => {
+            let inner = normalize_once(inner);
+            if is_zero_one(&inner) {
+                inner
+            } else {
+                match inner {
+                    // ‖a + b‖ where both are 0/1 still needs the squash; only
+                    // fully 0/1 expressions may drop it (handled above).
+                    other => GExpr::squash(other),
+                }
+            }
+        }
+        GExpr::Not(inner) => {
+            let inner = normalize_once(inner);
+            match inner {
+                // Brackets are 0/1-valued, so `not([φ]) = [¬φ]`.
+                GExpr::Atom(GAtom::Cmp(op, lhs, rhs)) => {
+                    simplify_atom(&GAtom::Cmp(op.negated(), lhs, rhs))
+                }
+                GExpr::Atom(GAtom::IsNull(term, negated)) => {
+                    simplify_atom(&GAtom::IsNull(term, !negated))
+                }
+                other => GExpr::not(other),
+            }
+        }
+        GExpr::Sum { vars, body } => {
+            let body = normalize_once(body);
+            match body {
+                // Σ over a sum splits into a sum of Σs.
+                GExpr::Add(items) => GExpr::add(
+                    items
+                        .into_iter()
+                        .map(|item| normalize_once(&GExpr::sum(vars.clone(), item)))
+                        .collect(),
+                ),
+                other => eliminate_pinned_variables(vars.clone(), other),
+            }
+        }
+    }
+}
+
+/// Distributes a product over any sum factors, eliminating duplicates of
+/// 0/1-valued factors and detecting trivial zeros.
+fn distribute_product(items: Vec<GExpr>) -> GExpr {
+    // First check whether any factor is a sum that must be expanded.
+    if let Some(position) = items.iter().position(|i| matches!(i, GExpr::Add(_))) {
+        let GExpr::Add(alternatives) = items[position].clone() else { unreachable!() };
+        let mut expanded = Vec::new();
+        for alternative in alternatives {
+            let mut factors = items.clone();
+            factors[position] = alternative;
+            expanded.push(normalize_once(&GExpr::mul(factors)));
+        }
+        return GExpr::add(expanded);
+    }
+    // Pull inner summations out of the product: `A × Σ_v B = Σ_v (A × B)`
+    // (sound because summation variables are globally unique).
+    if let Some(position) = items.iter().position(|i| matches!(i, GExpr::Sum { .. })) {
+        let GExpr::Sum { vars, body } = items[position].clone() else { unreachable!() };
+        let mut factors = items.clone();
+        factors[position] = *body;
+        return normalize_once(&GExpr::sum(vars, GExpr::mul(factors)));
+    }
+    // Deduplicate idempotent (0/1-valued) factors.
+    let mut deduped: Vec<GExpr> = Vec::new();
+    for item in items {
+        if item == GExpr::One {
+            continue;
+        }
+        if item == GExpr::Zero {
+            return GExpr::Zero;
+        }
+        if is_zero_one(&item) && deduped.contains(&item) {
+            continue;
+        }
+        // A factor and its negation in the same product make it zero.
+        if let GExpr::Not(inner) = &item {
+            if deduped.contains(inner) {
+                return GExpr::Zero;
+            }
+        }
+        if deduped.iter().any(|d| matches!(d, GExpr::Not(inner) if **inner == item)) {
+            return GExpr::Zero;
+        }
+        deduped.push(item);
+    }
+    GExpr::mul(deduped)
+}
+
+/// Applies `Σ_v [v = t] × F(v) = F(t)` repeatedly, then rebuilds the
+/// summation over the remaining variables.
+fn eliminate_pinned_variables(mut vars: Vec<VarId>, body: GExpr) -> GExpr {
+    let mut factors = match body {
+        GExpr::Mul(items) => items,
+        other => vec![other],
+    };
+    loop {
+        // Collect, per bound variable, every factor of the form [v = t]
+        // (or [t = v]) where `t` does not mention `v`.
+        let mut pins: Vec<(VarId, usize, GTerm)> = Vec::new();
+        for (index, factor) in factors.iter().enumerate() {
+            if let GExpr::Atom(GAtom::Cmp(CmpOp::Eq, lhs, rhs)) = factor {
+                for (var_side, other) in [(lhs, rhs), (rhs, lhs)] {
+                    if let GTerm::Var(v) = var_side {
+                        if vars.contains(v) && !other.mentions(*v) {
+                            pins.push((*v, index, other.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        if pins.is_empty() {
+            break;
+        }
+        // Pick the replacement *canonically* so that two isomorphic
+        // expressions built from differently shaped queries make the same
+        // choice: prefer replacement terms without bound variables (output
+        // columns, constants, outer terms), then the smallest
+        // variable-anonymized rendering. A variable whose minimal key is
+        // ambiguous (two pins with the same anonymized shape, e.g.
+        // `tgt(r1) = b` and `tgt(r2) = b`) is left alone — eliminating it
+        // would pick an arbitrary representative and break the isomorphism
+        // matching between the two queries.
+        let key = |term: &GTerm| {
+            let mut term_vars = Vec::new();
+            term.variables(&mut term_vars);
+            let has_bound = term_vars.iter().any(|v| vars.contains(v));
+            let anonymized = term.rename_vars(&|_| VarId(0)).to_string();
+            (has_bound, anonymized)
+        };
+        let mut best: Option<(usize, VarId, GTerm, (bool, String))> = None;
+        for candidate_var in vars.clone() {
+            let candidate_pins: Vec<_> =
+                pins.iter().filter(|(v, _, _)| *v == candidate_var).collect();
+            if candidate_pins.is_empty() {
+                continue;
+            }
+            let mut keyed: Vec<_> =
+                candidate_pins.iter().map(|(_, index, term)| (key(term), *index, term)).collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            // Ambiguous minimal key: skip this variable.
+            if keyed.len() > 1 && keyed[0].0 == keyed[1].0 {
+                continue;
+            }
+            let (candidate_key, index, term) = keyed.into_iter().next().expect("non-empty");
+            let better = match &best {
+                None => true,
+                Some((_, _, _, best_key)) => candidate_key < *best_key,
+            };
+            if better {
+                best = Some((index, candidate_var, (*term).clone(), candidate_key));
+            }
+        }
+        let Some((index, var, replacement, _)) = best else { break };
+        factors.remove(index);
+        factors = factors.iter().map(|f| f.substitute(var, &replacement)).collect();
+        vars.retain(|x| *x != var);
+    }
+    // Only keep summation variables that still occur in the body; a variable
+    // that no longer occurs contributes an unbounded domain factor which we
+    // must *not* drop, so it is kept as-is.
+    let rebuilt = distribute_product(factors);
+    match rebuilt {
+        GExpr::Add(items) => GExpr::add(
+            items.into_iter().map(|item| GExpr::sum(vars.clone(), item)).collect(),
+        ),
+        other => GExpr::sum(vars, other),
+    }
+}
+
+/// Folds atoms whose truth value is syntactically determined.
+fn simplify_atom(atom: &GAtom) -> GExpr {
+    let atom = atom.canonical();
+    if let GAtom::Cmp(op, lhs, rhs) = &atom {
+        // Identical terms.
+        if lhs == rhs {
+            return match op {
+                CmpOp::Eq | CmpOp::Le | CmpOp::Ge => GExpr::One,
+                CmpOp::Neq | CmpOp::Lt | CmpOp::Gt => GExpr::Zero,
+            };
+        }
+        // Comparisons between distinct constants.
+        if let (GTerm::Const(a), GTerm::Const(b)) = (lhs, rhs) {
+            if let Some(result) = compare_constants(*op, a, b) {
+                return if result { GExpr::One } else { GExpr::Zero };
+            }
+        }
+    }
+    if let GAtom::IsNull(GTerm::Const(c), negated) = &atom {
+        let is_null = matches!(c, GConst::Null);
+        let truth = if *negated { !is_null } else { is_null };
+        return if truth { GExpr::One } else { GExpr::Zero };
+    }
+    GExpr::Atom(atom)
+}
+
+fn compare_constants(op: CmpOp, a: &GConst, b: &GConst) -> Option<bool> {
+    // NULL comparisons are three-valued; conservatively treat them as
+    // undetermined and keep the atom.
+    if matches!(a, GConst::Null) || matches!(b, GConst::Null) {
+        return None;
+    }
+    let ord = match (a, b) {
+        (GConst::Integer(x), GConst::Integer(y)) => x.partial_cmp(y),
+        (GConst::Float(x), GConst::Float(y)) => x.partial_cmp(y),
+        (GConst::Integer(x), GConst::Float(y)) => (*x as f64).partial_cmp(y),
+        (GConst::Float(x), GConst::Integer(y)) => x.partial_cmp(&(*y as f64)),
+        (GConst::String(x), GConst::String(y)) => x.partial_cmp(y),
+        (GConst::Boolean(x), GConst::Boolean(y)) => x.partial_cmp(y),
+        // Values of different types are simply unequal.
+        _ => {
+            return Some(matches!(op, CmpOp::Neq));
+        }
+    }?;
+    Some(match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Neq => !ord.is_eq(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    })
+}
+
+/// Returns `true` if the expression is guaranteed to evaluate to 0 or 1 for
+/// every interpretation (and can therefore be deduplicated in a product and
+/// dropped under squash).
+pub fn is_zero_one(expr: &GExpr) -> bool {
+    match expr {
+        GExpr::Zero | GExpr::One => true,
+        GExpr::Const(v) => *v <= 1,
+        GExpr::Atom(_)
+        | GExpr::NodeFn(_)
+        | GExpr::RelFn(_)
+        | GExpr::LabFn(_, _)
+        | GExpr::Unbounded(_)
+        | GExpr::Squash(_)
+        | GExpr::Not(_) => true,
+        GExpr::Mul(items) => items.iter().all(is_zero_one),
+        GExpr::Add(_) | GExpr::Sum { .. } => false,
+    }
+}
+
+/// Sorts products and sums into a deterministic order (by rendered text).
+fn sort_expr(expr: &GExpr) -> GExpr {
+    match expr {
+        GExpr::Mul(items) => {
+            let mut items: Vec<GExpr> = items.iter().map(sort_expr).collect();
+            items.sort_by_key(|e| e.to_string());
+            GExpr::Mul(items)
+        }
+        GExpr::Add(items) => {
+            let mut items: Vec<GExpr> = items.iter().map(sort_expr).collect();
+            items.sort_by_key(|e| e.to_string());
+            GExpr::Add(items)
+        }
+        GExpr::Squash(inner) => GExpr::Squash(Box::new(sort_expr(inner))),
+        GExpr::Not(inner) => GExpr::Not(Box::new(sort_expr(inner))),
+        GExpr::Sum { vars, body } => {
+            GExpr::Sum { vars: vars.clone(), body: Box::new(sort_expr(body)) }
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::GAtom;
+
+    fn var(i: u32) -> GTerm {
+        GTerm::Var(VarId(i))
+    }
+
+    #[test]
+    fn distributes_product_over_sum() {
+        // Node(e) × ([a<10] + [a>20]) = Node(e)×[a<10] + Node(e)×[a>20]
+        // — the paper's §IV-C example becomes syntactically additive.
+        let expr = GExpr::sum(
+            vec![VarId(0)],
+            GExpr::mul(vec![
+                GExpr::NodeFn(var(0)),
+                GExpr::add(vec![
+                    GExpr::Atom(GAtom::Cmp(CmpOp::Lt, GTerm::prop(var(0), "age"), GTerm::int(10))),
+                    GExpr::Atom(GAtom::Cmp(CmpOp::Gt, GTerm::prop(var(0), "age"), GTerm::int(20))),
+                ]),
+            ]),
+        );
+        let normalized = normalize(&expr);
+        match normalized {
+            GExpr::Add(items) => {
+                assert_eq!(items.len(), 2);
+                for item in items {
+                    assert!(matches!(item, GExpr::Sum { .. }));
+                }
+            }
+            other => panic!("expected sum of summations, got {other}"),
+        }
+    }
+
+    #[test]
+    fn splits_summation_over_addition() {
+        let expr = GExpr::sum(
+            vec![VarId(0)],
+            GExpr::add(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(0))]),
+        );
+        let normalized = normalize(&expr);
+        assert!(matches!(normalized, GExpr::Add(ref items) if items.len() == 2));
+    }
+
+    #[test]
+    fn eliminates_pinned_variables() {
+        // Σ_{e0,e1} [e1 = e0.name] × Node(e0) × [t.col1 = e1]
+        //   = Σ_{e0} Node(e0) × [t.col1 = e0.name]
+        let expr = GExpr::sum(
+            vec![VarId(0), VarId(1)],
+            GExpr::mul(vec![
+                GExpr::eq(var(1), GTerm::prop(var(0), "name")),
+                GExpr::NodeFn(var(0)),
+                GExpr::eq(GTerm::OutCol(0), var(1)),
+            ]),
+        );
+        let normalized = normalize(&expr);
+        match &normalized {
+            GExpr::Sum { vars, body } => {
+                assert_eq!(vars, &vec![VarId(0)]);
+                let text = body.to_string();
+                assert!(text.contains("e0.name"), "{text}");
+                assert!(!text.contains("e1"), "{text}");
+            }
+            other => panic!("expected a single summation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn does_not_drop_unconstrained_variables() {
+        // Σ_{e1} Node(e0) keeps its summation (the multiplicity depends on the
+        // domain size).
+        let expr = GExpr::sum(vec![VarId(1)], GExpr::NodeFn(var(0)));
+        let normalized = normalize(&expr);
+        assert!(matches!(normalized, GExpr::Sum { .. }));
+    }
+
+    #[test]
+    fn folds_constant_atoms() {
+        assert_eq!(
+            normalize(&GExpr::eq(GTerm::int(1), GTerm::int(1))),
+            GExpr::One
+        );
+        assert_eq!(
+            normalize(&GExpr::eq(GTerm::int(1), GTerm::int(2))),
+            GExpr::Zero
+        );
+        assert_eq!(
+            normalize(&GExpr::eq(GTerm::string("a"), GTerm::int(2))),
+            GExpr::Zero
+        );
+        assert_eq!(normalize(&GExpr::eq(var(0), var(0))), GExpr::One);
+        assert_eq!(
+            normalize(&GExpr::Atom(GAtom::Cmp(CmpOp::Lt, var(0), var(0)))),
+            GExpr::Zero
+        );
+        assert_eq!(
+            normalize(&GExpr::Atom(GAtom::IsNull(GTerm::Const(GConst::Null), false))),
+            GExpr::One
+        );
+    }
+
+    #[test]
+    fn zero_factor_annihilates_product() {
+        let expr = GExpr::mul(vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::eq(GTerm::int(1), GTerm::int(2)),
+        ]);
+        assert_eq!(normalize(&expr), GExpr::Zero);
+    }
+
+    #[test]
+    fn contradictory_factor_and_negation_is_zero() {
+        let node = GExpr::NodeFn(var(0));
+        let expr = GExpr::mul(vec![node.clone(), GExpr::Not(Box::new(node))]);
+        assert_eq!(normalize(&expr), GExpr::Zero);
+    }
+
+    #[test]
+    fn deduplicates_idempotent_factors() {
+        let expr = GExpr::mul(vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::NodeFn(var(0)),
+            GExpr::LabFn(var(0), "Person".into()),
+        ]);
+        let normalized = normalize(&expr);
+        match normalized {
+            GExpr::Mul(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected product, got {other}"),
+        }
+    }
+
+    #[test]
+    fn squash_of_zero_one_expression_is_dropped() {
+        let inner = GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::LabFn(var(0), "A".into())]);
+        let expr = GExpr::squash(inner.clone());
+        assert_eq!(normalize(&expr), normalize(&inner));
+        // But a squash of a summation stays.
+        let summed = GExpr::squash(GExpr::sum(vec![VarId(0)], GExpr::NodeFn(var(0))));
+        assert!(matches!(normalize(&summed), GExpr::Squash(_)));
+    }
+
+    #[test]
+    fn canonical_ordering_makes_commuted_products_identical() {
+        let a = GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::LabFn(var(0), "A".into())]);
+        let b = GExpr::mul(vec![GExpr::LabFn(var(0), "A".into()), GExpr::NodeFn(var(0))]);
+        assert_eq!(normalize(&a), normalize(&b));
+        let c = GExpr::add(vec![GExpr::NodeFn(var(1)), GExpr::NodeFn(var(0))]);
+        let d = GExpr::add(vec![GExpr::NodeFn(var(0)), GExpr::NodeFn(var(1))]);
+        assert_eq!(normalize(&c), normalize(&d));
+    }
+
+    #[test]
+    fn pulls_summation_out_of_products() {
+        // A × Σ_v B = Σ_v (A × B).
+        let expr = GExpr::mul(vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::sum(vec![VarId(1)], GExpr::RelFn(var(1))),
+        ]);
+        let normalized = normalize(&expr);
+        match normalized {
+            GExpr::Sum { vars, body } => {
+                assert_eq!(vars, vec![VarId(1)]);
+                assert!(matches!(*body, GExpr::Mul(_)));
+            }
+            other => panic!("expected summation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent_on_samples() {
+        let samples = vec![
+            GExpr::sum(
+                vec![VarId(0), VarId(1)],
+                GExpr::mul(vec![
+                    GExpr::NodeFn(var(0)),
+                    GExpr::RelFn(var(1)),
+                    GExpr::add(vec![
+                        GExpr::LabFn(var(1), "A".into()),
+                        GExpr::LabFn(var(1), "B".into()),
+                    ]),
+                    GExpr::eq(GTerm::OutCol(0), var(0)),
+                ]),
+            ),
+            GExpr::squash(GExpr::add(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(0))])),
+            GExpr::not(GExpr::sum(vec![VarId(2)], GExpr::NodeFn(var(2)))),
+        ];
+        for sample in samples {
+            let once = normalize(&sample);
+            let twice = normalize(&once);
+            assert_eq!(once, twice, "normalization not idempotent for {sample}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Encoding of G-expression atoms into SMT terms.
+//!
+//! The encoding is used for two purposes:
+//!
+//! * **zero pruning** — a summand whose atoms are jointly unsatisfiable is
+//!   identically 0 and can be removed;
+//! * **implication pruning** — an atom implied by the other factors of its
+//!   product can be dropped (`[x > 5] × [x > 3] = [x > 5]`).
+//!
+//! Graph-native factors (`Node`, `Rel`, `Lab`, `UNBOUNDED`) and uninterpreted
+//! predicates are abstracted as free boolean variables: this over-approximates
+//! the set of interpretations, so unsatisfiability / validity results remain
+//! sound for the actual U-semiring semantics.
+
+use gexpr::{CmpOp, GAtom, GConst, GExpr, GTerm};
+use smt::Term;
+
+/// Translates a G-term into an SMT term.
+pub fn encode_term(term: &GTerm) -> Term {
+    match term {
+        GTerm::Var(v) => Term::value_var(format!("e{}", v.0)),
+        GTerm::OutCol(i) => Term::value_var(format!("t_col{i}")),
+        GTerm::Const(GConst::Integer(v)) => Term::IntConst(*v),
+        GTerm::Const(GConst::Float(v)) => Term::App(format!("const:f{v}"), vec![]),
+        GTerm::Const(GConst::String(s)) => Term::App(format!("const:s:{s}"), vec![]),
+        GTerm::Const(GConst::Boolean(b)) => Term::App(format!("const:b:{b}"), vec![]),
+        GTerm::Const(GConst::Null) => Term::App("const:null".to_string(), vec![]),
+        GTerm::Prop(base, key) => Term::App(format!("prop:{key}"), vec![encode_term(base)]),
+        GTerm::App(name, args) => {
+            Term::App(format!("fn:{name}"), args.iter().map(encode_term).collect())
+        }
+        GTerm::Agg { kind, distinct, arg, group } => {
+            // Aggregates are opaque for satisfiability purposes; identical
+            // aggregates map to the same symbol.
+            let key = format!("agg:{}:{}:{}|{}", kind.name(), distinct, arg, group);
+            Term::App(key, vec![])
+        }
+    }
+}
+
+/// Translates an atomic predicate into an SMT formula.
+pub fn encode_atom(atom: &GAtom) -> Term {
+    match atom {
+        GAtom::Cmp(op, lhs, rhs) => {
+            let l = encode_term(lhs);
+            let r = encode_term(rhs);
+            match op {
+                CmpOp::Eq => Term::eq(l, r),
+                CmpOp::Neq => Term::neq(l, r),
+                CmpOp::Lt => Term::lt(l, r),
+                CmpOp::Le => Term::le(l, r),
+                CmpOp::Gt => Term::gt(l, r),
+                CmpOp::Ge => Term::ge(l, r),
+            }
+        }
+        GAtom::IsNull(term, negated) => {
+            let encoded = Term::eq(encode_term(term), Term::App("const:null".to_string(), vec![]));
+            if *negated {
+                Term::not(encoded)
+            } else {
+                encoded
+            }
+        }
+        GAtom::Pred(name, args) => {
+            // Uninterpreted boolean predicate: a boolean-valued application is
+            // modeled as equality with a distinguished `true` constant so the
+            // congruence closure can reason about identical applications.
+            let application =
+                Term::App(format!("pred:{name}"), args.iter().map(encode_term).collect());
+            Term::eq(application, Term::App("const:b:true".to_string(), vec![]))
+        }
+    }
+}
+
+/// Translates a 0/1-valued factor into an SMT formula expressing "the factor
+/// is non-zero". Non-0/1 factors (sums, summations) are abstracted as free
+/// boolean variables named by their rendering.
+pub fn encode_factor(factor: &GExpr) -> Term {
+    match factor {
+        GExpr::Zero => Term::ff(),
+        GExpr::One | GExpr::Const(_) => Term::tt(),
+        GExpr::Atom(atom) => encode_atom(atom),
+        GExpr::NodeFn(t) => Term::eq(
+            Term::App("graph:node".to_string(), vec![encode_term(t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        GExpr::RelFn(t) => Term::eq(
+            Term::App("graph:rel".to_string(), vec![encode_term(t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        GExpr::LabFn(t, label) => Term::eq(
+            Term::App(format!("graph:lab:{label}"), vec![encode_term(t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        GExpr::Unbounded(t) => Term::eq(
+            Term::App("graph:unbounded".to_string(), vec![encode_term(t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        GExpr::Not(inner) => Term::not(encode_factor(inner)),
+        GExpr::Mul(items) => Term::and(items.iter().map(encode_factor).collect()),
+        GExpr::Add(items) => Term::or(items.iter().map(encode_factor).collect()),
+        GExpr::Squash(inner) => encode_factor(inner),
+        GExpr::Sum { .. } => Term::bool_var(format!("sum:{factor}")),
+    }
+}
+
+/// The conjunction of a whole product of factors ("is the product non-zero").
+pub fn encode_product(factors: &[GExpr]) -> Term {
+    Term::and(factors.iter().map(encode_factor).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gexpr::VarId;
+    use smt::check_formula;
+
+    fn var(i: u32) -> GTerm {
+        GTerm::Var(VarId(i))
+    }
+
+    #[test]
+    fn contradictory_products_are_unsat() {
+        // [e0.age = 1] × [e0.age = 2]
+        let factors = vec![
+            GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(1)),
+            GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(2)),
+        ];
+        assert!(check_formula(encode_product(&factors)).is_unsat());
+    }
+
+    #[test]
+    fn range_contradictions_are_unsat() {
+        // [e0.age < 10] × [e0.age > 20]
+        let factors = vec![
+            GExpr::Atom(GAtom::Cmp(CmpOp::Lt, GTerm::prop(var(0), "age"), GTerm::int(10))),
+            GExpr::Atom(GAtom::Cmp(CmpOp::Gt, GTerm::prop(var(0), "age"), GTerm::int(20))),
+        ];
+        assert!(check_formula(encode_product(&factors)).is_unsat());
+    }
+
+    #[test]
+    fn satisfiable_products_are_sat() {
+        let factors = vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::LabFn(var(0), "Person".into()),
+            GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(59)),
+        ];
+        assert!(check_formula(encode_product(&factors)).is_sat());
+    }
+
+    #[test]
+    fn distinct_string_constants_conflict() {
+        let factors = vec![
+            GExpr::eq(GTerm::prop(var(0), "name"), GTerm::string("Alice")),
+            GExpr::eq(GTerm::prop(var(0), "name"), GTerm::string("Bob")),
+        ];
+        assert!(check_formula(encode_product(&factors)).is_unsat());
+    }
+
+    #[test]
+    fn negated_factor_conflicts_with_factor() {
+        let node = GExpr::NodeFn(var(0));
+        let factors = vec![node.clone(), GExpr::Not(Box::new(node))];
+        assert!(check_formula(encode_product(&factors)).is_unsat());
+    }
+
+    #[test]
+    fn implication_between_ranges() {
+        // [x > 5] implies [x > 3].
+        let stronger = encode_factor(&GExpr::Atom(GAtom::Cmp(
+            CmpOp::Gt,
+            GTerm::prop(var(0), "x"),
+            GTerm::int(5),
+        )));
+        let weaker = encode_factor(&GExpr::Atom(GAtom::Cmp(
+            CmpOp::Gt,
+            GTerm::prop(var(0), "x"),
+            GTerm::int(3),
+        )));
+        assert!(smt::is_valid(Term::implies(stronger.clone(), weaker.clone())));
+        assert!(!smt::is_valid(Term::implies(weaker, stronger)));
+    }
+}

@@ -1,0 +1,300 @@
+//! Isomorphism matching of normalized G-expressions.
+//!
+//! Two normalized G-expressions are *isomorphic* when there is a bijective
+//! renaming of summation variables that makes them syntactically identical
+//! (products and sums are compared as multisets). By the U-semiring axioms,
+//! isomorphic expressions denote the same multiplicity function, so
+//! isomorphism is a sound sufficient condition for equivalence — this is the
+//! structural core of the decision procedure, with the SMT-backed reasoning
+//! layered on top in [`crate::check_equivalence`].
+
+use std::collections::BTreeMap;
+
+use gexpr::{GAtom, GExpr, GTerm, VarId};
+
+/// A (partial) injective variable mapping from the left expression to the
+/// right expression.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VarMapping {
+    forward: BTreeMap<VarId, VarId>,
+    backward: BTreeMap<VarId, VarId>,
+}
+
+impl VarMapping {
+    /// An empty mapping.
+    pub fn new() -> Self {
+        VarMapping::default()
+    }
+
+    /// Tries to record `from ↦ to`; fails if it would break injectivity or
+    /// contradict an existing entry.
+    pub fn bind(&mut self, from: VarId, to: VarId) -> bool {
+        match (self.forward.get(&from), self.backward.get(&to)) {
+            (Some(existing_to), _) => *existing_to == to,
+            (None, Some(existing_from)) => *existing_from == from,
+            (None, None) => {
+                self.forward.insert(from, to);
+                self.backward.insert(to, from);
+                true
+            }
+        }
+    }
+
+    /// The forward map.
+    pub fn forward(&self) -> &BTreeMap<VarId, VarId> {
+        &self.forward
+    }
+}
+
+/// Checks whether `left` and `right` are isomorphic, extending `mapping`.
+/// Returns the extended mapping on success.
+pub fn unify_expr(left: &GExpr, right: &GExpr, mapping: &VarMapping) -> Option<VarMapping> {
+    match (left, right) {
+        (GExpr::Zero, GExpr::Zero)
+        | (GExpr::One, GExpr::One) => Some(mapping.clone()),
+        (GExpr::Const(a), GExpr::Const(b)) if a == b => Some(mapping.clone()),
+        (GExpr::Atom(a), GExpr::Atom(b)) => unify_atom(a, b, mapping),
+        (GExpr::NodeFn(a), GExpr::NodeFn(b))
+        | (GExpr::RelFn(a), GExpr::RelFn(b))
+        | (GExpr::Unbounded(a), GExpr::Unbounded(b)) => unify_term(a, b, mapping),
+        (GExpr::LabFn(a, la), GExpr::LabFn(b, lb)) if la == lb => unify_term(a, b, mapping),
+        (GExpr::Squash(a), GExpr::Squash(b)) | (GExpr::Not(a), GExpr::Not(b)) => {
+            unify_expr(a, b, mapping)
+        }
+        (GExpr::Mul(a), GExpr::Mul(b)) | (GExpr::Add(a), GExpr::Add(b)) => {
+            unify_multiset(a, b, mapping)
+        }
+        (GExpr::Sum { vars: va, body: ba }, GExpr::Sum { vars: vb, body: bb }) => {
+            if va.len() != vb.len() {
+                return None;
+            }
+            unify_expr(ba, bb, mapping)
+        }
+        _ => None,
+    }
+}
+
+/// Finds a bijection between the two multisets of expressions under which
+/// every pair unifies, threading the variable mapping through.
+pub fn unify_multiset(
+    left: &[GExpr],
+    right: &[GExpr],
+    mapping: &VarMapping,
+) -> Option<VarMapping> {
+    if left.len() != right.len() {
+        return None;
+    }
+    if left.is_empty() {
+        return Some(mapping.clone());
+    }
+    let first = &left[0];
+    let rest: Vec<GExpr> = left[1..].to_vec();
+    for (index, candidate) in right.iter().enumerate() {
+        if let Some(extended) = unify_expr(first, candidate, mapping) {
+            let mut remaining = right.to_vec();
+            remaining.remove(index);
+            if let Some(result) = unify_multiset(&rest, &remaining, &extended) {
+                return Some(result);
+            }
+        }
+    }
+    None
+}
+
+fn unify_atom(left: &GAtom, right: &GAtom, mapping: &VarMapping) -> Option<VarMapping> {
+    match (left, right) {
+        (GAtom::Cmp(op_l, a1, a2), GAtom::Cmp(op_r, b1, b2)) => {
+            // Same orientation.
+            if op_l == op_r {
+                if let Some(m) = unify_term_pair(a1, a2, b1, b2, mapping) {
+                    return Some(m);
+                }
+            }
+            // Mirrored orientation ([a < b] vs [b > a], [a = b] vs [b = a]).
+            if *op_r == op_l.flipped() {
+                if let Some(m) = unify_term_pair(a1, a2, b2, b1, mapping) {
+                    return Some(m);
+                }
+            }
+            None
+        }
+        (GAtom::IsNull(a, na), GAtom::IsNull(b, nb)) if na == nb => unify_term(a, b, mapping),
+        (GAtom::Pred(name_a, args_a), GAtom::Pred(name_b, args_b))
+            if name_a == name_b && args_a.len() == args_b.len() =>
+        {
+            let mut current = mapping.clone();
+            for (a, b) in args_a.iter().zip(args_b.iter()) {
+                current = unify_term(a, b, &current)?;
+            }
+            Some(current)
+        }
+        _ => None,
+    }
+}
+
+fn unify_term_pair(
+    a1: &GTerm,
+    a2: &GTerm,
+    b1: &GTerm,
+    b2: &GTerm,
+    mapping: &VarMapping,
+) -> Option<VarMapping> {
+    let first = unify_term(a1, b1, mapping)?;
+    unify_term(a2, b2, &first)
+}
+
+/// Checks whether two terms unify under an injective variable renaming.
+pub fn unify_term(left: &GTerm, right: &GTerm, mapping: &VarMapping) -> Option<VarMapping> {
+    match (left, right) {
+        (GTerm::Var(a), GTerm::Var(b)) => {
+            let mut extended = mapping.clone();
+            if extended.bind(*a, *b) {
+                Some(extended)
+            } else {
+                None
+            }
+        }
+        (GTerm::OutCol(a), GTerm::OutCol(b)) if a == b => Some(mapping.clone()),
+        (GTerm::Const(a), GTerm::Const(b)) if a == b => Some(mapping.clone()),
+        (GTerm::Prop(base_a, key_a), GTerm::Prop(base_b, key_b)) if key_a == key_b => {
+            unify_term(base_a, base_b, mapping)
+        }
+        (GTerm::App(name_a, args_a), GTerm::App(name_b, args_b))
+            if name_a == name_b && args_a.len() == args_b.len() =>
+        {
+            let mut current = mapping.clone();
+            for (a, b) in args_a.iter().zip(args_b.iter()) {
+                current = unify_term(a, b, &current)?;
+            }
+            Some(current)
+        }
+        (
+            GTerm::Agg { kind: ka, distinct: da, arg: aa, group: ga },
+            GTerm::Agg { kind: kb, distinct: db, arg: ab, group: gb },
+        ) if ka == kb && da == db => {
+            let current = unify_term(aa, ab, mapping)?;
+            unify_expr(ga, gb, &current)
+        }
+        _ => None,
+    }
+}
+
+/// Convenience: `true` if the two expressions are isomorphic starting from an
+/// empty mapping.
+pub fn isomorphic(left: &GExpr, right: &GExpr) -> bool {
+    unify_expr(left, right, &VarMapping::new()).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gexpr::CmpOp;
+
+    fn var(i: u32) -> GTerm {
+        GTerm::Var(VarId(i))
+    }
+
+    #[test]
+    fn variable_renaming_is_found() {
+        let left = GExpr::mul(vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(59)),
+        ]);
+        let right = GExpr::mul(vec![
+            GExpr::NodeFn(var(7)),
+            GExpr::eq(GTerm::prop(var(7), "age"), GTerm::int(59)),
+        ]);
+        assert!(isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // e0 and e1 on the left cannot both map to e5 on the right.
+        let left = GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(1))]);
+        let right = GExpr::mul(vec![GExpr::NodeFn(var(5)), GExpr::RelFn(var(5))]);
+        assert!(!isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn products_are_compared_as_multisets() {
+        let left = GExpr::mul(vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::LabFn(var(0), "A".into()),
+            GExpr::RelFn(var(1)),
+        ]);
+        let right = GExpr::mul(vec![
+            GExpr::RelFn(var(3)),
+            GExpr::NodeFn(var(2)),
+            GExpr::LabFn(var(2), "A".into()),
+        ]);
+        assert!(isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn mirrored_comparisons_unify() {
+        let left = GExpr::Atom(GAtom::Cmp(CmpOp::Lt, var(0), GTerm::int(5)));
+        let right = GExpr::Atom(GAtom::Cmp(CmpOp::Gt, GTerm::int(5), var(9)));
+        assert!(isomorphic(&left, &right));
+        let left = GExpr::eq(var(0), var(1));
+        let right = GExpr::eq(var(4), var(3));
+        assert!(isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn different_constants_do_not_unify() {
+        let left = GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(59));
+        let right = GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(60));
+        assert!(!isomorphic(&left, &right));
+        let left = GExpr::LabFn(var(0), "Person".into());
+        let right = GExpr::LabFn(var(0), "Book".into());
+        assert!(!isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn out_columns_must_match_positionally() {
+        let left = GExpr::eq(GTerm::OutCol(0), var(0));
+        let right = GExpr::eq(GTerm::OutCol(0), var(5));
+        assert!(isomorphic(&left, &right));
+        let right = GExpr::eq(GTerm::OutCol(1), var(5));
+        assert!(!isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn summations_unify_through_their_bodies() {
+        let left = GExpr::sum(
+            vec![VarId(0), VarId(1)],
+            GExpr::mul(vec![
+                GExpr::NodeFn(var(0)),
+                GExpr::RelFn(var(1)),
+                GExpr::eq(GTerm::app("src", vec![var(1)]), var(0)),
+            ]),
+        );
+        let right = GExpr::sum(
+            vec![VarId(10), VarId(20)],
+            GExpr::mul(vec![
+                GExpr::RelFn(var(20)),
+                GExpr::NodeFn(var(10)),
+                GExpr::eq(GTerm::app("src", vec![var(20)]), var(10)),
+            ]),
+        );
+        assert!(isomorphic(&left, &right));
+        // Different arity of the summation is rejected.
+        let fewer = GExpr::sum(vec![VarId(10)], GExpr::NodeFn(var(10)));
+        assert!(!isomorphic(&left, &fewer));
+    }
+
+    #[test]
+    fn the_mapping_is_consistent_across_factors() {
+        // [src(e1) = e0] × [tgt(e1) = e0]  vs  [src(e3) = e2] × [tgt(e3) = e4]
+        // must NOT unify: e0 would have to map to both e2 and e4.
+        let left = GExpr::mul(vec![
+            GExpr::eq(GTerm::app("src", vec![var(1)]), var(0)),
+            GExpr::eq(GTerm::app("tgt", vec![var(1)]), var(0)),
+        ]);
+        let right = GExpr::mul(vec![
+            GExpr::eq(GTerm::app("src", vec![var(3)]), var(2)),
+            GExpr::eq(GTerm::app("tgt", vec![var(3)]), var(4)),
+        ]);
+        assert!(!isomorphic(&left, &right));
+    }
+}

@@ -1,0 +1,197 @@
+//! # cypher-normalizer
+//!
+//! Rule-based Cypher query normalization (stage ② of the GraphQE workflow,
+//! §V / Table II of the paper). Each rule rewrites the AST into an equivalent
+//! query that uses only features the G-expression builder models directly:
+//!
+//! | # | Rule |
+//! |---|------|
+//! | ① | eliminate undirected relationship patterns (union of both directions) |
+//! | ② | rewrite bounded variable-length paths into a union over the lengths |
+//! | ③ | expand `RETURN *` / `WITH *` into an explicit, alphabetically sorted item list |
+//! | ④ | eliminate redundant `WITH` clauses by inlining their aliases |
+//! | ⑤ | standardize variable names (`n1`, `r1`, ... in order of appearance) |
+//! | ⑥ | simplify `id(a) = id(b)` equalities into variable unification |
+//!
+//! The driver applies one rule per round, in the dependency order the paper
+//! describes (② before ⑤, ③ before ⑤, ⑤ before ⑥), until no rule fires.
+
+#![warn(missing_docs)]
+
+pub mod rules;
+
+use cypher_parser::ast::Query;
+
+/// Which rules fired during normalization (useful for ablation benchmarks).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NormalizationReport {
+    /// Rule ①: undirected relationships eliminated.
+    pub undirected_eliminated: usize,
+    /// Rule ②: bounded variable-length paths expanded.
+    pub var_length_expanded: usize,
+    /// Rule ③: `RETURN *` / `WITH *` expansions.
+    pub star_expanded: usize,
+    /// Rule ④: redundant `WITH` clauses inlined.
+    pub with_inlined: usize,
+    /// Rule ⑤: whether variables were renamed to the standard scheme.
+    pub variables_standardized: bool,
+    /// Rule ⑥: `id(x) = id(y)` equalities simplified.
+    pub id_equalities_simplified: usize,
+}
+
+/// Normalizes a query by applying the Table II rules to a fixpoint.
+pub fn normalize_query(query: &Query) -> Query {
+    normalize_query_with_report(query).0
+}
+
+/// [`normalize_query`] with a report of which rules fired.
+pub fn normalize_query_with_report(query: &Query) -> (Query, NormalizationReport) {
+    let mut report = NormalizationReport::default();
+    let mut current = query.clone();
+    // One rule per round, bounded to guarantee termination even in the
+    // presence of a rule interplay bug.
+    for _ in 0..64 {
+        if let Some(next) = rules::rule2_var_length::apply(&current) {
+            report.var_length_expanded += 1;
+            current = next;
+            continue;
+        }
+        if let Some(next) = rules::rule1_undirected::apply(&current) {
+            report.undirected_eliminated += 1;
+            current = next;
+            continue;
+        }
+        if let Some(next) = rules::rule3_return_star::apply(&current) {
+            report.star_expanded += 1;
+            current = next;
+            continue;
+        }
+        if let Some(next) = rules::rule4_redundant_with::apply(&current) {
+            report.with_inlined += 1;
+            current = next;
+            continue;
+        }
+        if let Some(next) = rules::rule6_id_equality::apply(&current) {
+            report.id_equalities_simplified += 1;
+            current = next;
+            continue;
+        }
+        break;
+    }
+    // Rule ⑤ last: pure renaming, applied once.
+    let (renamed, changed) = rules::rule5_standardize::apply(&current);
+    report.variables_standardized = changed;
+    (renamed, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::{parse_query, pretty::query_to_string};
+
+    fn normalize_text(text: &str) -> String {
+        query_to_string(&normalize_query(&parse_query(text).unwrap()))
+    }
+
+    #[test]
+    fn table_2_rule_1_undirected() {
+        let normalized = normalize_text("MATCH (n1)-[]-(n2) RETURN n1.name");
+        assert!(normalized.contains("UNION ALL"), "{normalized}");
+        assert!(normalized.contains("-->") || normalized.contains("]->") || normalized.contains(")-["), "{normalized}");
+    }
+
+    #[test]
+    fn table_2_rule_2_var_length() {
+        let normalized = normalize_text("MATCH (n1)-[*1..2]->(n2) RETURN n1");
+        assert!(normalized.contains("UNION ALL"), "{normalized}");
+        // The two-hop branch contains two relationship patterns.
+        assert!(normalized.matches("]->(").count() >= 2 || normalized.matches("-->").count() >= 1, "{normalized}");
+        // Unbounded paths are left untouched (modeled with UNBOUNDED instead).
+        let unbounded = normalize_text("MATCH (n1)-[*]->(n2) RETURN n1");
+        assert!(!unbounded.contains("UNION"), "{unbounded}");
+    }
+
+    #[test]
+    fn table_2_rule_3_return_star() {
+        let normalized = normalize_text("MATCH (x)-[z]->()-[y]->() RETURN *");
+        assert!(!normalized.contains('*'), "{normalized}");
+        // Alphabetical order of the projected variables (x, y, z renamed by
+        // rule ⑤ but still three items).
+        assert_eq!(normalized.matches(", ").count() >= 2, true, "{normalized}");
+    }
+
+    #[test]
+    fn table_2_rule_4_redundant_with() {
+        let normalized = normalize_text("MATCH (x) WITH x.name AS name RETURN name");
+        assert!(!normalized.contains("WITH"), "{normalized}");
+        assert!(normalized.contains(".name"), "{normalized}");
+        // A WITH with DISTINCT / ORDER BY / aggregates is kept.
+        let kept = normalize_text("MATCH (x) WITH DISTINCT x.name AS name RETURN name");
+        assert!(kept.contains("WITH"), "{kept}");
+    }
+
+    #[test]
+    fn table_2_rule_5_standardize() {
+        let normalized = normalize_text("MATCH (person)-[]->(book) RETURN person");
+        assert!(normalized.contains("(n1)"), "{normalized}");
+        assert!(normalized.contains("(n2)"), "{normalized}");
+        assert!(!normalized.contains("person"), "{normalized}");
+    }
+
+    #[test]
+    fn table_2_rule_6_id_equality() {
+        let normalized = normalize_text("MATCH (n1), (n2) WHERE id(n1) = id(n2) RETURN n2");
+        assert!(!normalized.contains("id("), "{normalized}");
+        // Only one node pattern remains.
+        assert_eq!(normalized, "MATCH (n1) RETURN n1");
+    }
+
+    #[test]
+    fn normalization_report_tracks_rules() {
+        let query = parse_query("MATCH (a)-[*1..2]->(b) RETURN *").unwrap();
+        let (_, report) = normalize_query_with_report(&query);
+        assert!(report.var_length_expanded >= 1);
+        assert!(report.star_expanded >= 1);
+        assert!(report.variables_standardized);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for text in [
+            "MATCH (n1)-[]-(n2) RETURN n1.name",
+            "MATCH (n1)-[*1..2]->(n2) RETURN n1",
+            "MATCH (x)-[z]->()-[y]->() RETURN *",
+            "MATCH (x) WITH x.name AS name RETURN name",
+            "MATCH (a)-[r:KNOWS]->(b) WHERE a.age > 1 RETURN b.name ORDER BY b.name LIMIT 3",
+        ] {
+            let once = normalize_query(&parse_query(text).unwrap());
+            let twice = normalize_query(&once);
+            assert_eq!(once, twice, "normalization not idempotent for {text}");
+        }
+    }
+
+    #[test]
+    fn preserves_results_on_the_paper_graph() {
+        // The normalizer must be semantics-preserving: check against the
+        // reference evaluator on the Fig. 1 graph.
+        use property_graph::{evaluate_query, PropertyGraph};
+        let graph = PropertyGraph::paper_example();
+        for text in [
+            "MATCH (n1)-[]-(n2) RETURN n1.name",
+            "MATCH (n1)-[*1..2]->(n2) RETURN n1.name",
+            "MATCH (x)-[z:READ]->(b) RETURN *",
+            "MATCH (x) WITH x.name AS name RETURN name",
+            "MATCH (a), (b) WHERE id(a) = id(b) RETURN b.name",
+            "MATCH (a:Person)-[r]->(b) WHERE a.age > 26 RETURN a.name, b.title",
+        ] {
+            let original = parse_query(text).unwrap();
+            let normalized = normalize_query(&original);
+            let before = evaluate_query(&graph, &original).unwrap();
+            let after = evaluate_query(&graph, &normalized).unwrap();
+            assert!(
+                before.bag_equal(&after),
+                "rule broke semantics for {text}:\nbefore={before}\nafter={after}"
+            );
+        }
+    }
+}

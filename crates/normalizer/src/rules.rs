@@ -1,0 +1,626 @@
+//! The individual normalization rules of Table II.
+//!
+//! Every rule exposes `apply(&Query) -> Option<Query>` returning `Some` when
+//! it rewrote something (rule ⑤ returns the rewritten query plus a change
+//! flag since it always succeeds). Rules must be semantics preserving; the
+//! crate-level tests check them against the reference evaluator.
+
+use cypher_parser::ast::*;
+
+/// Shared helpers for the rules.
+mod util {
+    use super::*;
+
+    /// Applies `f` to every expression embedded in a single query
+    /// (property maps, predicates, projections, `ORDER BY`, `UNWIND`).
+    pub fn map_expressions(query: &mut SingleQuery, f: &impl Fn(Expr) -> Expr) {
+        for clause in &mut query.clauses {
+            match clause {
+                Clause::Match(m) => {
+                    for pattern in &mut m.patterns {
+                        map_pattern(pattern, f);
+                    }
+                    if let Some(w) = m.where_clause.take() {
+                        m.where_clause = Some(w.map(f));
+                    }
+                }
+                Clause::Unwind(u) => {
+                    u.expr = u.expr.clone().map(f);
+                }
+                Clause::With(w) => {
+                    map_projection(&mut w.projection, f);
+                    if let Some(p) = w.where_clause.take() {
+                        w.where_clause = Some(p.map(f));
+                    }
+                }
+                Clause::Return(p) => map_projection(p, f),
+            }
+        }
+    }
+
+    pub fn map_projection(projection: &mut Projection, f: &impl Fn(Expr) -> Expr) {
+        if let ProjectionItems::Items(items) = &mut projection.items {
+            for item in items {
+                item.expr = item.expr.clone().map(f);
+            }
+        }
+        for order in &mut projection.order_by {
+            order.expr = order.expr.clone().map(f);
+        }
+        if let Some(skip) = projection.skip.take() {
+            projection.skip = Some(skip.map(f));
+        }
+        if let Some(limit) = projection.limit.take() {
+            projection.limit = Some(limit.map(f));
+        }
+    }
+
+    pub fn map_pattern(pattern: &mut PathPattern, f: &impl Fn(Expr) -> Expr) {
+        for (_, value) in &mut pattern.start.properties {
+            *value = value.clone().map(f);
+        }
+        for segment in &mut pattern.segments {
+            for (_, value) in &mut segment.relationship.properties {
+                *value = value.clone().map(f);
+            }
+            for (_, value) in &mut segment.node.properties {
+                *value = value.clone().map(f);
+            }
+        }
+    }
+
+    /// The variables visible at the end of the clause list (used by rule ③).
+    pub fn visible_variables(clauses: &[Clause]) -> Vec<String> {
+        let mut scope: Vec<String> = Vec::new();
+        for clause in clauses {
+            match clause {
+                Clause::Match(m) => {
+                    for pattern in &m.patterns {
+                        if let Some(v) = &pattern.variable {
+                            push_unique(&mut scope, v);
+                        }
+                        for node in pattern.nodes() {
+                            if let Some(v) = &node.variable {
+                                push_unique(&mut scope, v);
+                            }
+                        }
+                        for rel in pattern.relationships() {
+                            if let Some(v) = &rel.variable {
+                                push_unique(&mut scope, v);
+                            }
+                        }
+                    }
+                }
+                Clause::Unwind(u) => push_unique(&mut scope, &u.alias),
+                Clause::With(w) => {
+                    if let ProjectionItems::Items(items) = &w.projection.items {
+                        scope = items.iter().map(|item| item.output_name()).collect();
+                    }
+                }
+                Clause::Return(_) => {}
+            }
+        }
+        scope.sort();
+        scope
+    }
+
+    fn push_unique(scope: &mut Vec<String>, name: &str) {
+        if !scope.iter().any(|s| s == name) {
+            scope.push(name.to_string());
+        }
+    }
+
+    /// Rebuilds a query replacing part `index` by `replacements`, joined to
+    /// the rest with `UNION ALL`. Only used when the query has no
+    /// deduplicating unions (checked by the callers).
+    pub fn splice_parts(query: &Query, index: usize, replacements: Vec<SingleQuery>) -> Query {
+        let mut parts = Vec::new();
+        let mut unions = Vec::new();
+        for (i, part) in query.parts.iter().enumerate() {
+            if i == index {
+                for (j, replacement) in replacements.iter().enumerate() {
+                    if !parts.is_empty() {
+                        unions.push(if j == 0 && i > 0 {
+                            query.unions[i - 1]
+                        } else {
+                            UnionKind::All
+                        });
+                    }
+                    parts.push(replacement.clone());
+                }
+            } else {
+                if !parts.is_empty() {
+                    unions.push(if i > 0 { query.unions[i - 1] } else { UnionKind::All });
+                }
+                parts.push(part.clone());
+            }
+        }
+        Query { parts, unions }
+    }
+
+    pub fn all_unions_are_all(query: &Query) -> bool {
+        query.unions.iter().all(|u| *u == UnionKind::All)
+    }
+}
+
+/// Rule ①: eliminate undirected relationship patterns by splitting the query
+/// into a `UNION ALL` of the two directions.
+pub mod rule1_undirected {
+    use super::util;
+    use super::*;
+
+    /// Applies the rule to the first undirected, fixed-length relationship
+    /// pattern found.
+    pub fn apply(query: &Query) -> Option<Query> {
+        if !util::all_unions_are_all(query) {
+            return None;
+        }
+        for (part_index, part) in query.parts.iter().enumerate() {
+            for (clause_index, clause) in part.clauses.iter().enumerate() {
+                let Clause::Match(m) = clause else { continue };
+                for (pattern_index, pattern) in m.patterns.iter().enumerate() {
+                    for (segment_index, segment) in pattern.segments.iter().enumerate() {
+                        let rel = &segment.relationship;
+                        if rel.direction == RelDirection::Undirected && !rel.is_var_length() {
+                            let mut forward = part.clone();
+                            let mut backward = part.clone();
+                            set_direction(
+                                &mut forward,
+                                clause_index,
+                                pattern_index,
+                                segment_index,
+                                RelDirection::Outgoing,
+                            );
+                            set_direction(
+                                &mut backward,
+                                clause_index,
+                                pattern_index,
+                                segment_index,
+                                RelDirection::Incoming,
+                            );
+                            return Some(util::splice_parts(
+                                query,
+                                part_index,
+                                vec![forward, backward],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn set_direction(
+        part: &mut SingleQuery,
+        clause_index: usize,
+        pattern_index: usize,
+        segment_index: usize,
+        direction: RelDirection,
+    ) {
+        if let Clause::Match(m) = &mut part.clauses[clause_index] {
+            m.patterns[pattern_index].segments[segment_index].relationship.direction = direction;
+        }
+    }
+}
+
+/// Rule ②: rewrite bounded variable-length paths (`-[*1..3]->`) into the
+/// union of the fixed lengths.
+pub mod rule2_var_length {
+    use super::util;
+    use super::*;
+
+    /// Largest expansion the rule performs; longer ranges stay with the
+    /// uninterpreted `UNBOUNDED` modeling.
+    const MAX_EXPANSION: u32 = 5;
+
+    /// Applies the rule to the first bounded variable-length pattern found.
+    pub fn apply(query: &Query) -> Option<Query> {
+        if !util::all_unions_are_all(query) {
+            return None;
+        }
+        for (part_index, part) in query.parts.iter().enumerate() {
+            for (clause_index, clause) in part.clauses.iter().enumerate() {
+                let Clause::Match(m) = clause else { continue };
+                for (pattern_index, pattern) in m.patterns.iter().enumerate() {
+                    for (segment_index, segment) in pattern.segments.iter().enumerate() {
+                        let rel = &segment.relationship;
+                        let Some(length) = rel.length else { continue };
+                        let (Some(max), min) = (length.max, length.effective_min()) else {
+                            continue;
+                        };
+                        if rel.variable.is_some() || min == 0 || max < min || max > MAX_EXPANSION {
+                            continue;
+                        }
+                        let mut replacements = Vec::new();
+                        for hops in min..=max {
+                            let mut copy = part.clone();
+                            expand(
+                                &mut copy,
+                                clause_index,
+                                pattern_index,
+                                segment_index,
+                                hops,
+                            );
+                            replacements.push(copy);
+                        }
+                        return Some(util::splice_parts(query, part_index, replacements));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Replaces segment `segment_index` by `hops` copies of a single-hop
+    /// relationship with the same labels / properties / direction, chained
+    /// through anonymous nodes.
+    fn expand(
+        part: &mut SingleQuery,
+        clause_index: usize,
+        pattern_index: usize,
+        segment_index: usize,
+        hops: u32,
+    ) {
+        let Clause::Match(m) = &mut part.clauses[clause_index] else { return };
+        let pattern = &mut m.patterns[pattern_index];
+        let original = pattern.segments[segment_index].clone();
+        let mut replacement_segments = Vec::new();
+        for hop in 0..hops {
+            let relationship = RelationshipPattern {
+                variable: None,
+                labels: original.relationship.labels.clone(),
+                properties: original.relationship.properties.clone(),
+                direction: original.relationship.direction,
+                length: None,
+            };
+            let node = if hop + 1 == hops {
+                original.node.clone()
+            } else {
+                NodePattern::anonymous()
+            };
+            replacement_segments.push(PathSegment { relationship, node });
+        }
+        pattern.segments.splice(segment_index..=segment_index, replacement_segments);
+    }
+}
+
+/// Rule ③: expand `RETURN *` / `WITH *` into an explicit item list sorted
+/// alphabetically.
+pub mod rule3_return_star {
+    use super::util;
+    use super::*;
+
+    /// Applies the rule to the first star projection found.
+    pub fn apply(query: &Query) -> Option<Query> {
+        let mut result = query.clone();
+        let mut changed = false;
+        for part in &mut result.parts {
+            for index in 0..part.clauses.len() {
+                let scope = util::visible_variables(&part.clauses[..index]);
+                let projection = match &mut part.clauses[index] {
+                    Clause::With(w) => &mut w.projection,
+                    Clause::Return(p) => p,
+                    _ => continue,
+                };
+                if projection.items == ProjectionItems::Star && !scope.is_empty() {
+                    projection.items = ProjectionItems::Items(
+                        scope
+                            .iter()
+                            .map(|name| ProjectionItem::expr(Expr::Variable(name.clone())))
+                            .collect(),
+                    );
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            Some(result)
+        } else {
+            None
+        }
+    }
+}
+
+/// Rule ④: eliminate a redundant `WITH` clause (no `DISTINCT`, aggregation,
+/// ordering, truncation or filter) by inlining its aliases into the
+/// following clauses.
+pub mod rule4_redundant_with {
+    use super::util;
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Applies the rule to the first redundant `WITH` found.
+    pub fn apply(query: &Query) -> Option<Query> {
+        let mut result = query.clone();
+        for part in &mut result.parts {
+            for index in 0..part.clauses.len() {
+                let Clause::With(w) = &part.clauses[index] else { continue };
+                if w.projection.distinct
+                    || w.projection.has_sort_or_truncation()
+                    || w.where_clause.is_some()
+                {
+                    continue;
+                }
+                let Some(items) = w.projection.explicit_items() else { continue };
+                if items.iter().any(|item| item.expr.contains_aggregate()) {
+                    continue;
+                }
+                // Build the substitution output name -> defining expression.
+                let mut substitution: BTreeMap<String, Expr> = BTreeMap::new();
+                let mut trivial = true;
+                for item in items {
+                    let name = item.output_name();
+                    if item.alias.is_none() && matches!(item.expr, Expr::Variable(_)) {
+                        // `WITH x` keeps `x` as-is; nothing to substitute.
+                        continue;
+                    }
+                    trivial = false;
+                    substitution.insert(name, item.expr.clone());
+                }
+                // A WITH that only forwards variables is redundant as well.
+                let _ = trivial;
+                part.clauses.remove(index);
+                // Substitute in the remaining clauses of this part.
+                let mut tail = SingleQuery { clauses: part.clauses.split_off(index) };
+                util::map_expressions(&mut tail, &|expr| match &expr {
+                    Expr::Variable(name) => {
+                        substitution.get(name).cloned().unwrap_or(expr)
+                    }
+                    _ => expr,
+                });
+                part.clauses.extend(tail.clauses);
+                return Some(result);
+            }
+        }
+        None
+    }
+}
+
+/// Rule ⑤: standardize variable names to `n1, n2, ...` (nodes), `r1, ...`
+/// (relationships) and `p1, ...` (paths) in order of first appearance.
+pub mod rule5_standardize {
+    use super::util;
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Renames the variables of every part. Returns the rewritten query and
+    /// whether anything changed.
+    pub fn apply(query: &Query) -> (Query, bool) {
+        let mut result = query.clone();
+        let mut changed = false;
+        for part in &mut result.parts {
+            let mapping = build_mapping(part);
+            if mapping.iter().any(|(from, to)| from != to) {
+                changed = true;
+            }
+            rename_part(part, &mapping);
+        }
+        (result, changed)
+    }
+
+    fn build_mapping(part: &SingleQuery) -> BTreeMap<String, String> {
+        let mut mapping = BTreeMap::new();
+        let mut nodes = 0usize;
+        let mut rels = 0usize;
+        let mut paths = 0usize;
+        for clause in &part.clauses {
+            let Clause::Match(m) = clause else { continue };
+            for pattern in &m.patterns {
+                if let Some(v) = &pattern.variable {
+                    paths += 1;
+                    mapping.entry(v.clone()).or_insert_with(|| format!("p{paths}"));
+                }
+                for node in pattern.nodes() {
+                    if let Some(v) = &node.variable {
+                        if !mapping.contains_key(v) {
+                            nodes += 1;
+                            mapping.insert(v.clone(), format!("n{nodes}"));
+                        }
+                    }
+                }
+                for rel in pattern.relationships() {
+                    if let Some(v) = &rel.variable {
+                        if !mapping.contains_key(v) {
+                            rels += 1;
+                            mapping.insert(v.clone(), format!("r{rels}"));
+                        }
+                    }
+                }
+            }
+        }
+        mapping
+    }
+
+    fn rename_part(part: &mut SingleQuery, mapping: &BTreeMap<String, String>) {
+        for clause in &mut part.clauses {
+            if let Clause::Match(m) = clause {
+                for pattern in &mut m.patterns {
+                    if let Some(v) = &mut pattern.variable {
+                        if let Some(new) = mapping.get(v) {
+                            *v = new.clone();
+                        }
+                    }
+                    if let Some(v) = &mut pattern.start.variable {
+                        if let Some(new) = mapping.get(v) {
+                            *v = new.clone();
+                        }
+                    }
+                    for segment in &mut pattern.segments {
+                        if let Some(v) = &mut segment.relationship.variable {
+                            if let Some(new) = mapping.get(v) {
+                                *v = new.clone();
+                            }
+                        }
+                        if let Some(v) = &mut segment.node.variable {
+                            if let Some(new) = mapping.get(v) {
+                                *v = new.clone();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        util::map_expressions(part, &|expr| match &expr {
+            Expr::Variable(name) => match mapping.get(name) {
+                Some(new) => Expr::Variable(new.clone()),
+                None => expr,
+            },
+            _ => expr,
+        });
+    }
+}
+
+/// Rule ⑥: simplify `id(a) = id(b)` (or `a = b` on node variables) into a
+/// variable unification: `b` is replaced by `a` and duplicate bare node
+/// patterns are removed.
+pub mod rule6_id_equality {
+    use super::util;
+    use super::*;
+
+    /// Applies the rule to the first `id(a) = id(b)` conjunct found.
+    pub fn apply(query: &Query) -> Option<Query> {
+        let mut result = query.clone();
+        for part in &mut result.parts {
+            for clause_index in 0..part.clauses.len() {
+                let Clause::Match(m) = &mut part.clauses[clause_index] else { continue };
+                let Some(predicate) = &m.where_clause else { continue };
+                let Some((keep, drop, remainder)) = find_id_equality(predicate) else { continue };
+                m.where_clause = remainder;
+                // Substitute `drop` by `keep` throughout the part.
+                for clause in &mut part.clauses {
+                    if let Clause::Match(m) = clause {
+                        for pattern in &mut m.patterns {
+                            rename_pattern_variable(pattern, &drop, &keep);
+                        }
+                    }
+                }
+                util::map_expressions(part, &|expr| match &expr {
+                    Expr::Variable(name) if *name == drop => Expr::Variable(keep.clone()),
+                    _ => expr,
+                });
+                // Deduplicate bare single-node patterns that are now identical.
+                if let Clause::Match(m) = &mut part.clauses[clause_index] {
+                    let mut seen: Vec<PathPattern> = Vec::new();
+                    m.patterns.retain(|pattern| {
+                        let bare = pattern.segments.is_empty()
+                            && pattern.start.labels.is_empty()
+                            && pattern.start.properties.is_empty()
+                            && pattern.start.variable.is_some();
+                        if bare && seen.contains(pattern) {
+                            false
+                        } else {
+                            seen.push(pattern.clone());
+                            true
+                        }
+                    });
+                }
+                return Some(result);
+            }
+        }
+        None
+    }
+
+    fn rename_pattern_variable(pattern: &mut PathPattern, from: &str, to: &str) {
+        if pattern.start.variable.as_deref() == Some(from) {
+            pattern.start.variable = Some(to.to_string());
+        }
+        for segment in &mut pattern.segments {
+            if segment.node.variable.as_deref() == Some(from) {
+                segment.node.variable = Some(to.to_string());
+            }
+            if segment.relationship.variable.as_deref() == Some(from) {
+                segment.relationship.variable = Some(to.to_string());
+            }
+        }
+    }
+
+    /// Finds a conjunct `id(a) = id(b)` in the AND-tree of the predicate.
+    /// Returns `(a, b, predicate without the conjunct)`.
+    fn find_id_equality(predicate: &Expr) -> Option<(String, String, Option<Expr>)> {
+        let conjuncts = flatten_and(predicate);
+        for (index, conjunct) in conjuncts.iter().enumerate() {
+            if let Expr::Binary(BinaryOp::Eq, lhs, rhs) = conjunct {
+                if let (Some(a), Some(b)) = (id_argument(lhs), id_argument(rhs)) {
+                    if a != b {
+                        let mut remaining = conjuncts.clone();
+                        remaining.remove(index);
+                        let remainder = remaining
+                            .into_iter()
+                            .reduce(|acc, item| Expr::and(acc, item));
+                        return Some((a, b, remainder));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn flatten_and(expr: &Expr) -> Vec<Expr> {
+        match expr {
+            Expr::Binary(BinaryOp::And, lhs, rhs) => {
+                let mut out = flatten_and(lhs);
+                out.extend(flatten_and(rhs));
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Returns the variable inside `id(x)`, or the variable itself.
+    fn id_argument(expr: &Expr) -> Option<String> {
+        match expr {
+            Expr::FunctionCall { name, args } if name == "id" && args.len() == 1 => {
+                match &args[0] {
+                    Expr::Variable(v) => Some(v.clone()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse_query;
+
+    #[test]
+    fn rule1_skips_var_length_undirected() {
+        let query = parse_query("MATCH (a)-[*1..2]-(b) RETURN a").unwrap();
+        assert!(rule1_undirected::apply(&query).is_none());
+    }
+
+    #[test]
+    fn rule2_respects_expansion_bound() {
+        let query = parse_query("MATCH (a)-[*1..9]->(b) RETURN a").unwrap();
+        assert!(rule2_var_length::apply(&query).is_none());
+        let query = parse_query("MATCH (a)-[*2..3]->(b) RETURN a").unwrap();
+        let expanded = rule2_var_length::apply(&query).unwrap();
+        assert_eq!(expanded.parts.len(), 2);
+    }
+
+    #[test]
+    fn rule3_no_change_without_star() {
+        let query = parse_query("MATCH (a) RETURN a").unwrap();
+        assert!(rule3_return_star::apply(&query).is_none());
+    }
+
+    #[test]
+    fn rule4_keeps_filtering_with() {
+        let query = parse_query("MATCH (a) WITH a WHERE a.x = 1 RETURN a").unwrap();
+        assert!(rule4_redundant_with::apply(&query).is_none());
+    }
+
+    #[test]
+    fn rule6_requires_id_calls() {
+        let query = parse_query("MATCH (a), (b) WHERE a.x = b.x RETURN a").unwrap();
+        assert!(rule6_id_equality::apply(&query).is_none());
+        let query = parse_query("MATCH (a), (b) WHERE id(a) = id(b) RETURN b").unwrap();
+        let rewritten = rule6_id_equality::apply(&query).unwrap();
+        let Clause::Match(m) = &rewritten.parts[0].clauses[0] else { panic!() };
+        assert_eq!(m.patterns.len(), 1);
+        assert!(m.where_clause.is_none());
+    }
+}

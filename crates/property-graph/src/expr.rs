@@ -1,0 +1,368 @@
+//! Expression evaluation over binding rows.
+//!
+//! Expressions are evaluated under Cypher's three-valued logic: comparisons
+//! involving `NULL` yield `NULL`, and `WHERE` keeps only rows whose predicate
+//! evaluates to `TRUE`.
+
+use std::collections::BTreeMap;
+
+use cypher_parser::ast::{BinaryOp, Expr, Literal, UnaryOp};
+
+use crate::eval::{evaluate_single_query_on_rows, EvalError};
+use crate::graph::{EntityId, PropertyGraph};
+use crate::value::{and3, not3, or3, xor3, Value};
+
+/// A binding row: variable name → value.
+pub type Row = BTreeMap<String, Value>;
+
+/// Evaluation context shared by all expression evaluations of one query run.
+#[derive(Clone, Copy)]
+pub struct EvalCtx<'g> {
+    /// The property graph being queried.
+    pub graph: &'g PropertyGraph,
+    /// Bound on variable-length path expansion (see [`crate::eval::Evaluator`]).
+    pub max_var_length: u32,
+}
+
+impl<'g> EvalCtx<'g> {
+    /// Creates a context with the default variable-length bound.
+    pub fn new(graph: &'g PropertyGraph) -> Self {
+        EvalCtx { graph, max_var_length: graph.relationship_count() as u32 }
+    }
+}
+
+/// Evaluates an expression to a [`Value`] in the given row.
+pub fn eval_expr(ctx: EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Literal(lit) => Ok(eval_literal(lit)),
+        Expr::Variable(name) => Ok(row.get(name).cloned().unwrap_or(Value::Null)),
+        Expr::Parameter(name) => Err(EvalError::new(format!(
+            "unbound query parameter `${name}` (the evaluator does not take parameters)"
+        ))),
+        Expr::Property(base, key) => {
+            let base = eval_expr(ctx, row, base)?;
+            Ok(read_property(ctx, &base, key))
+        }
+        Expr::Unary(op, inner) => {
+            let value = eval_expr(ctx, row, inner)?;
+            Ok(match op {
+                UnaryOp::Not => bool3_to_value(not3(value.as_bool())),
+                UnaryOp::Neg => Value::Integer(0).sub(&value),
+                UnaryOp::Pos => value,
+            })
+        }
+        Expr::Binary(op, lhs, rhs) => eval_binary(ctx, row, *op, lhs, rhs),
+        Expr::IsNull { expr, negated } => {
+            let value = eval_expr(ctx, row, expr)?;
+            let is_null = value.is_null();
+            Ok(Value::Boolean(if *negated { !is_null } else { is_null }))
+        }
+        Expr::List(items) => {
+            let values = items
+                .iter()
+                .map(|item| eval_expr(ctx, row, item))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::List(values))
+        }
+        Expr::Map(entries) => {
+            let mut map = BTreeMap::new();
+            for (key, value) in entries {
+                map.insert(key.clone(), eval_expr(ctx, row, value)?);
+            }
+            Ok(Value::Map(map))
+        }
+        Expr::FunctionCall { name, args } => {
+            let values = args
+                .iter()
+                .map(|arg| eval_expr(ctx, row, arg))
+                .collect::<Result<Vec<_>, _>>()?;
+            eval_function(ctx, name, &values)
+        }
+        Expr::AggregateCall { .. } | Expr::CountStar { .. } => Err(EvalError::new(
+            "aggregate expressions can only appear in WITH/RETURN projections",
+        )),
+        Expr::Exists(query) => {
+            let result = evaluate_single_query_on_rows(ctx, query, vec![row.clone()], false)?;
+            Ok(Value::Boolean(!result.rows.is_empty()))
+        }
+        Expr::Case { branches, otherwise } => {
+            for (cond, value) in branches {
+                if eval_expr(ctx, row, cond)?.as_bool() == Some(true) {
+                    return eval_expr(ctx, row, value);
+                }
+            }
+            match otherwise {
+                Some(e) => eval_expr(ctx, row, e),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+/// Evaluates a predicate for `WHERE`: only `TRUE` passes.
+pub fn eval_predicate(ctx: EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<bool, EvalError> {
+    Ok(eval_expr(ctx, row, expr)?.as_bool() == Some(true))
+}
+
+fn eval_literal(lit: &Literal) -> Value {
+    match lit {
+        Literal::Integer(v) => Value::Integer(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::String(s) => Value::String(s.clone()),
+        Literal::Boolean(b) => Value::Boolean(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+fn eval_binary(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    op: BinaryOp,
+    lhs: &Expr,
+    rhs: &Expr,
+) -> Result<Value, EvalError> {
+    // Logical connectives get three-valued treatment and may short-circuit.
+    if op.is_logical() {
+        let left = eval_expr(ctx, row, lhs)?.as_bool();
+        let right = eval_expr(ctx, row, rhs)?.as_bool();
+        return Ok(bool3_to_value(match op {
+            BinaryOp::And => and3(left, right),
+            BinaryOp::Or => or3(left, right),
+            BinaryOp::Xor => xor3(left, right),
+            _ => unreachable!("is_logical covers only AND/OR/XOR"),
+        }));
+    }
+
+    let left = eval_expr(ctx, row, lhs)?;
+    let right = eval_expr(ctx, row, rhs)?;
+    Ok(match op {
+        BinaryOp::Eq => bool3_to_value(left.cypher_eq(&right)),
+        BinaryOp::Neq => bool3_to_value(not3(left.cypher_eq(&right))),
+        BinaryOp::Lt => bool3_to_value(left.cypher_cmp(&right).map(|o| o.is_lt())),
+        BinaryOp::Le => bool3_to_value(left.cypher_cmp(&right).map(|o| o.is_le())),
+        BinaryOp::Gt => bool3_to_value(left.cypher_cmp(&right).map(|o| o.is_gt())),
+        BinaryOp::Ge => bool3_to_value(left.cypher_cmp(&right).map(|o| o.is_ge())),
+        BinaryOp::Add => left.add(&right),
+        BinaryOp::Sub => left.sub(&right),
+        BinaryOp::Mul => left.mul(&right),
+        BinaryOp::Div => left.div(&right),
+        BinaryOp::Mod => left.rem(&right),
+        BinaryOp::Pow => left.pow(&right),
+        BinaryOp::In => eval_in(&left, &right),
+        BinaryOp::StartsWith => eval_string_predicate(&left, &right, |a, b| a.starts_with(b)),
+        BinaryOp::EndsWith => eval_string_predicate(&left, &right, |a, b| a.ends_with(b)),
+        BinaryOp::Contains => eval_string_predicate(&left, &right, |a, b| a.contains(b)),
+        BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => unreachable!("handled above"),
+    })
+}
+
+fn eval_in(needle: &Value, haystack: &Value) -> Value {
+    match haystack {
+        Value::Null => Value::Null,
+        Value::List(items) => {
+            let mut saw_null = false;
+            for item in items {
+                match needle.cypher_eq(item) {
+                    Some(true) => return Value::Boolean(true),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Value::Null
+            } else {
+                Value::Boolean(false)
+            }
+        }
+        _ => Value::Null,
+    }
+}
+
+fn eval_string_predicate(left: &Value, right: &Value, f: impl Fn(&str, &str) -> bool) -> Value {
+    match (left, right) {
+        (Value::String(a), Value::String(b)) => Value::Boolean(f(a, b)),
+        _ => Value::Null,
+    }
+}
+
+fn bool3_to_value(value: Option<bool>) -> Value {
+    match value {
+        Some(b) => Value::Boolean(b),
+        None => Value::Null,
+    }
+}
+
+/// Reads `base.key` where `base` may be a node, relationship or map.
+pub fn read_property(ctx: EvalCtx<'_>, base: &Value, key: &str) -> Value {
+    match base {
+        Value::Node(id) => ctx.graph.property(EntityId::Node(*id), key),
+        Value::Relationship(id) => ctx.graph.property(EntityId::Relationship(*id), key),
+        Value::Map(map) => map.get(key).cloned().unwrap_or(Value::Null),
+        _ => Value::Null,
+    }
+}
+
+/// Evaluates the built-in scalar functions that the evaluation dataset uses.
+/// Unknown functions evaluate to `NULL` (documented limitation of the
+/// reference evaluator; the prover treats them as uninterpreted symbols).
+fn eval_function(ctx: EvalCtx<'_>, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let arg = |i: usize| args.get(i).cloned().unwrap_or(Value::Null);
+    Ok(match name {
+        "id" => match arg(0) {
+            Value::Node(id) => Value::Integer(id.0 as i64),
+            // Relationship ids live in a disjoint range so that `id(n) = id(r)`
+            // can never hold between a node and a relationship.
+            Value::Relationship(id) => Value::Integer(1_000_000_000 + id.0 as i64),
+            _ => Value::Null,
+        },
+        "labels" => match arg(0) {
+            Value::Node(id) => Value::List(
+                ctx.graph.node(id).labels.iter().cloned().map(Value::String).collect(),
+            ),
+            _ => Value::Null,
+        },
+        "type" => match arg(0) {
+            Value::Relationship(id) => Value::String(ctx.graph.relationship(id).label.clone()),
+            _ => Value::Null,
+        },
+        "size" => match arg(0) {
+            Value::List(items) => Value::Integer(items.len() as i64),
+            Value::String(s) => Value::Integer(s.chars().count() as i64),
+            _ => Value::Null,
+        },
+        "length" => match arg(0) {
+            Value::Path(items) => Value::Integer((items.len().saturating_sub(1) / 2) as i64),
+            Value::List(items) => Value::Integer(items.len() as i64),
+            Value::String(s) => Value::Integer(s.chars().count() as i64),
+            _ => Value::Null,
+        },
+        "head" => match arg(0) {
+            Value::List(items) => items.first().cloned().unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
+        "last" => match arg(0) {
+            Value::List(items) => items.last().cloned().unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
+        "abs" => match arg(0) {
+            Value::Integer(v) => Value::Integer(v.abs()),
+            Value::Float(v) => Value::Float(v.abs()),
+            _ => Value::Null,
+        },
+        "toupper" | "toUpper" => match arg(0) {
+            Value::String(s) => Value::String(s.to_uppercase()),
+            _ => Value::Null,
+        },
+        "tolower" | "toLower" => match arg(0) {
+            Value::String(s) => Value::String(s.to_lowercase()),
+            _ => Value::Null,
+        },
+        "coalesce" => args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null),
+        "exists" => Value::Boolean(!arg(0).is_null()),
+        "startnode" => match arg(0) {
+            Value::Relationship(id) => Value::Node(ctx.graph.relationship(id).source),
+            _ => Value::Null,
+        },
+        "endnode" => match arg(0) {
+            Value::Relationship(id) => Value::Node(ctx.graph.relationship(id).target),
+            _ => Value::Null,
+        },
+        "index" => match (arg(0), arg(1)) {
+            (Value::List(items), Value::Integer(i)) if i >= 0 && (i as usize) < items.len() => {
+                items[i as usize].clone()
+            }
+            _ => Value::Null,
+        },
+        // Unknown / unmodelled functions: NULL (mirrors the prover treating
+        // them as uninterpreted).
+        _ => Value::Null,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use cypher_parser::parse_expression;
+
+    fn ctx_and_row() -> (PropertyGraph, Row) {
+        let graph = PropertyGraph::paper_example();
+        let mut row = Row::new();
+        row.insert("n".to_string(), Value::Node(NodeId(0)));
+        row.insert("x".to_string(), Value::Integer(5));
+        (graph, row)
+    }
+
+    fn eval(graph: &PropertyGraph, row: &Row, text: &str) -> Value {
+        let expr = parse_expression(text).unwrap();
+        eval_expr(EvalCtx::new(graph), row, &expr).unwrap()
+    }
+
+    #[test]
+    fn evaluates_property_access_and_comparison() {
+        let (graph, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &row, "n.age"), Value::Integer(59));
+        assert_eq!(eval(&graph, &row, "n.age = 59"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &row, "n.age > 100"), Value::Boolean(false));
+        assert_eq!(eval(&graph, &row, "n.missing = 1"), Value::Null);
+        assert_eq!(eval(&graph, &row, "n.missing IS NULL"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &row, "n.age IS NOT NULL"), Value::Boolean(true));
+    }
+
+    #[test]
+    fn evaluates_arithmetic_and_logic() {
+        let (graph, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &row, "x + 2 * 3"), Value::Integer(11));
+        assert_eq!(eval(&graph, &row, "x > 1 AND x < 10"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &row, "x > 1 AND n.missing = 1"), Value::Null);
+        assert_eq!(eval(&graph, &row, "x < 1 AND n.missing = 1"), Value::Boolean(false));
+        assert_eq!(eval(&graph, &row, "NOT x = 5"), Value::Boolean(false));
+        assert_eq!(eval(&graph, &row, "x IN [1, 5, 9]"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &row, "x IN [1, 2]"), Value::Boolean(false));
+    }
+
+    #[test]
+    fn evaluates_string_predicates_and_functions() {
+        let (graph, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &row, "n.name STARTS WITH 'J.'"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &row, "n.name CONTAINS 'Rowling'"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &row, "size('abc')"), Value::Integer(3));
+        assert_eq!(eval(&graph, &row, "coalesce(n.missing, 7)"), Value::Integer(7));
+        assert_eq!(eval(&graph, &row, "id(n)"), Value::Integer(0));
+        assert_eq!(eval(&graph, &row, "labels(n)"), Value::List(vec![Value::from("Person")]));
+        assert_eq!(eval(&graph, &row, "unknown_function(n)"), Value::Null);
+    }
+
+    #[test]
+    fn evaluates_case_and_maps_and_lists() {
+        let (graph, row) = ctx_and_row();
+        assert_eq!(
+            eval(&graph, &row, "CASE WHEN x > 3 THEN 'big' ELSE 'small' END"),
+            Value::from("big")
+        );
+        assert_eq!(eval(&graph, &row, "{a: 1, b: 2}.b"), Value::Integer(2));
+        assert_eq!(eval(&graph, &row, "[1, 2, 3][1]"), Value::Integer(2));
+        assert_eq!(eval(&graph, &row, "head([4, 5])"), Value::Integer(4));
+    }
+
+    #[test]
+    fn unbound_variables_are_null() {
+        let (graph, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &row, "missing_variable"), Value::Null);
+        assert_eq!(eval(&graph, &row, "missing_variable = 1"), Value::Null);
+    }
+
+    #[test]
+    fn parameters_are_rejected() {
+        let (graph, row) = ctx_and_row();
+        let expr = parse_expression("$p = 1").unwrap();
+        assert!(eval_expr(EvalCtx::new(&graph), &row, &expr).is_err());
+    }
+
+    #[test]
+    fn aggregates_outside_projections_are_rejected() {
+        let (graph, row) = ctx_and_row();
+        let expr = parse_expression("SUM(x)").unwrap();
+        assert!(eval_expr(EvalCtx::new(&graph), &row, &expr).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # property-graph
+//!
+//! The property graph substrate of GraphQE-rs: the graph model of
+//! Definition 1 of *"Proving Cypher Query Equivalence"* (ICDE 2025),
+//! isomorphism-based graph pattern matching with relationship-injective
+//! semantics (Definition 2), and a bag-semantics reference evaluator for the
+//! Cypher fragment the prover supports.
+//!
+//! The evaluator serves as the **oracle** of the reproduction: property tests
+//! check that queries proven equivalent return identical bags on random
+//! graphs, and the prover's counterexample search uses it to certify
+//! non-equivalence with a concrete differing graph.
+//!
+//! ```
+//! use property_graph::{evaluate_query, PropertyGraph};
+//! use cypher_parser::parse_query;
+//!
+//! let graph = PropertyGraph::paper_example();
+//! let query = parse_query(
+//!     "MATCH (reader:Person)-[:READ]->(b:Book)<-[:WRITE]-(writer) \
+//!      WHERE reader.name = 'Alice' RETURN writer.name",
+//! )
+//! .unwrap();
+//! let result = evaluate_query(&graph, &query).unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod expr;
+pub mod generator;
+pub mod graph;
+pub mod matching;
+pub mod value;
+
+pub use eval::{evaluate_query, EvalError, Evaluator, QueryResult};
+pub use expr::{EvalCtx, Row};
+pub use generator::{GeneratorConfig, GraphGenerator};
+pub use graph::{EntityId, NodeData, NodeId, PropertyGraph, RelData, RelId};
+pub use value::Value;

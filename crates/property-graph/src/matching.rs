@@ -1,0 +1,551 @@
+//! Isomorphism-based graph pattern matching (Definition 2 of the paper).
+//!
+//! Matching maps node patterns to nodes and relationship patterns to
+//! relationships of a [`PropertyGraph`], subject to:
+//!
+//! * label and property constraints on each pattern element;
+//! * structure preservation (relationship endpoints follow the pattern);
+//! * variable consistency (patterns sharing a variable match the same entity);
+//! * **relationship-injective semantics**: distinct relationship patterns
+//!   within one `MATCH` clause must match distinct relationships (§II-B).
+//!
+//! Variable-length patterns (`-[*1..3]->`) expand to simple paths whose
+//! relationships are pairwise distinct, each satisfying the pattern's label
+//! and property constraints.
+
+use cypher_parser::ast::{MatchClause, NodePattern, PathPattern, RelDirection, RelationshipPattern};
+
+use crate::eval::EvalError;
+use crate::expr::{eval_expr, EvalCtx, Row};
+use crate::graph::{EntityId, NodeId, RelId};
+use crate::value::Value;
+
+/// Finds all extensions of `base` that satisfy every pattern of the `MATCH`
+/// clause (and its `WHERE` predicate, which the caller applies separately so
+/// that `OPTIONAL MATCH` can treat it as part of the optional part).
+pub fn match_patterns(
+    ctx: EvalCtx<'_>,
+    patterns: &[PathPattern],
+    base: &Row,
+) -> Result<Vec<Row>, EvalError> {
+    let mut results = Vec::new();
+    let mut used = Vec::new();
+    match_pattern_list(ctx, patterns, 0, base.clone(), &mut used, &mut results)?;
+    Ok(results)
+}
+
+/// Convenience wrapper matching a whole clause including its `WHERE` filter.
+pub fn match_clause(
+    ctx: EvalCtx<'_>,
+    clause: &MatchClause,
+    base: &Row,
+) -> Result<Vec<Row>, EvalError> {
+    let rows = match_patterns(ctx, &clause.patterns, base)?;
+    match &clause.where_clause {
+        None => Ok(rows),
+        Some(predicate) => {
+            let mut kept = Vec::new();
+            for row in rows {
+                if crate::expr::eval_predicate(ctx, &row, predicate)? {
+                    kept.push(row);
+                }
+            }
+            Ok(kept)
+        }
+    }
+}
+
+fn match_pattern_list(
+    ctx: EvalCtx<'_>,
+    patterns: &[PathPattern],
+    index: usize,
+    row: Row,
+    used: &mut Vec<RelId>,
+    results: &mut Vec<Row>,
+) -> Result<(), EvalError> {
+    if index == patterns.len() {
+        results.push(row);
+        return Ok(());
+    }
+    let pattern = &patterns[index];
+    let candidates = candidate_nodes(ctx, &row, &pattern.start)?;
+    for node in candidates {
+        let mut next_row = row.clone();
+        bind_node(&mut next_row, &pattern.start, node);
+        let mut trace = vec![Value::Node(node)];
+        let used_before = used.len();
+        match_segments(
+            ctx,
+            pattern,
+            0,
+            node,
+            next_row,
+            used,
+            &mut trace,
+            &mut |ctx, row, used, trace| {
+                let mut row = row;
+                if let Some(path_var) = &pattern.variable {
+                    row.insert(path_var.clone(), Value::Path(trace.to_vec()));
+                }
+                match_pattern_list(ctx, patterns, index + 1, row, used, results)
+            },
+        )?;
+        used.truncate(used_before);
+    }
+    Ok(())
+}
+
+/// Matches the remaining segments of one path pattern, calling `on_complete`
+/// for every full match. `used` accumulates the relationships matched so far
+/// in the current `MATCH` clause (for relationship-injectivity) and is
+/// restored by callers after exploring each alternative.
+#[allow(clippy::too_many_arguments)]
+fn match_segments(
+    ctx: EvalCtx<'_>,
+    pattern: &PathPattern,
+    segment_index: usize,
+    current: NodeId,
+    row: Row,
+    used: &mut Vec<RelId>,
+    trace: &mut Vec<Value>,
+    on_complete: &mut dyn FnMut(EvalCtx<'_>, Row, &mut Vec<RelId>, &[Value]) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    if segment_index == pattern.segments.len() {
+        return on_complete(ctx, row, used, trace);
+    }
+    let segment = &pattern.segments[segment_index];
+    let rel_pattern = &segment.relationship;
+
+    if rel_pattern.is_var_length() {
+        match_var_length(ctx, pattern, segment_index, current, row, used, trace, on_complete)
+    } else {
+        let candidates = candidate_relationships(ctx, &row, rel_pattern, current)?;
+        for (rel, next_node) in candidates {
+            if violates_injectivity(&row, rel_pattern, rel, used) {
+                continue;
+            }
+            if !node_matches(ctx, &row, next_node, &segment.node)?
+                || !node_binding_consistent(&row, &segment.node, next_node)
+            {
+                continue;
+            }
+            let mut next_row = row.clone();
+            if let Some(var) = &rel_pattern.variable {
+                next_row.insert(var.clone(), Value::Relationship(rel));
+            }
+            bind_node(&mut next_row, &segment.node, next_node);
+            used.push(rel);
+            trace.push(Value::Relationship(rel));
+            trace.push(Value::Node(next_node));
+            match_segments(ctx, pattern, segment_index + 1, next_node, next_row, used, trace, on_complete)?;
+            trace.pop();
+            trace.pop();
+            used.pop();
+        }
+        Ok(())
+    }
+}
+
+/// Expands a variable-length relationship pattern into simple paths.
+#[allow(clippy::too_many_arguments)]
+fn match_var_length(
+    ctx: EvalCtx<'_>,
+    pattern: &PathPattern,
+    segment_index: usize,
+    start: NodeId,
+    row: Row,
+    used: &mut Vec<RelId>,
+    trace: &mut Vec<Value>,
+    on_complete: &mut dyn FnMut(EvalCtx<'_>, Row, &mut Vec<RelId>, &[Value]) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let segment = &pattern.segments[segment_index];
+    let rel_pattern = &segment.relationship;
+    let length = rel_pattern.length.expect("var-length pattern");
+    let min = length.effective_min();
+    let max = length.max.unwrap_or(ctx.max_var_length).max(min);
+
+    // Depth-first expansion of simple paths (no repeated relationship).
+    struct Frame {
+        node: NodeId,
+        rels: Vec<RelId>,
+    }
+    let mut stack = vec![Frame { node: start, rels: Vec::new() }];
+    while let Some(frame) = stack.pop() {
+        let hops = frame.rels.len() as u32;
+        if hops >= min {
+            // Try to close the pattern at this node.
+            let end = frame.node;
+            if node_matches(ctx, &row, end, &segment.node)?
+                && node_binding_consistent(&row, &segment.node, end)
+            {
+                let mut next_row = row.clone();
+                if let Some(var) = &rel_pattern.variable {
+                    next_row.insert(
+                        var.clone(),
+                        Value::List(frame.rels.iter().map(|r| Value::Relationship(*r)).collect()),
+                    );
+                }
+                bind_node(&mut next_row, &segment.node, end);
+                let used_before = used.len();
+                let trace_before = trace.len();
+                for rel in &frame.rels {
+                    used.push(*rel);
+                    trace.push(Value::Relationship(*rel));
+                }
+                trace.push(Value::Node(end));
+                match_segments(
+                    ctx,
+                    pattern,
+                    segment_index + 1,
+                    end,
+                    next_row,
+                    used,
+                    trace,
+                    on_complete,
+                )?;
+                trace.truncate(trace_before);
+                used.truncate(used_before);
+            }
+        }
+        if hops >= max {
+            continue;
+        }
+        // Extend the path by one more hop.
+        let extensions = candidate_relationships(ctx, &row, rel_pattern, frame.node)?;
+        for (rel, next) in extensions {
+            if frame.rels.contains(&rel) || used.contains(&rel) {
+                continue;
+            }
+            let mut rels = frame.rels.clone();
+            rels.push(rel);
+            stack.push(Frame { node: next, rels });
+        }
+    }
+    Ok(())
+}
+
+/// Returns `(relationship, neighbour)` pairs adjacent to `from` that satisfy
+/// the relationship pattern's direction, label and property constraints.
+fn candidate_relationships(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    pattern: &RelationshipPattern,
+    from: NodeId,
+) -> Result<Vec<(RelId, NodeId)>, EvalError> {
+    let mut out = Vec::new();
+    for rel_id in ctx.graph.relationship_ids() {
+        let rel = ctx.graph.relationship(rel_id);
+        let neighbour = match pattern.direction {
+            RelDirection::Outgoing => {
+                if rel.source != from {
+                    continue;
+                }
+                rel.target
+            }
+            RelDirection::Incoming => {
+                if rel.target != from {
+                    continue;
+                }
+                rel.source
+            }
+            RelDirection::Undirected => {
+                if rel.source == from {
+                    rel.target
+                } else if rel.target == from {
+                    rel.source
+                } else {
+                    continue;
+                }
+            }
+        };
+        if !pattern.labels.is_empty() && !pattern.labels.iter().any(|l| *l == rel.label) {
+            continue;
+        }
+        if !properties_match(ctx, row, EntityId::Relationship(rel_id), &pattern.properties)? {
+            continue;
+        }
+        // If the relationship variable is already bound, the candidate must be
+        // that exact relationship.
+        if let Some(var) = &pattern.variable {
+            if let Some(Value::Relationship(bound)) = row.get(var) {
+                if *bound != rel_id {
+                    continue;
+                }
+            }
+        }
+        out.push((rel_id, neighbour));
+    }
+    Ok(out)
+}
+
+/// Relationship-injectivity: a candidate violates injectivity when it was
+/// already matched by a *different* relationship pattern of the same `MATCH`
+/// clause. A pattern whose variable is already bound to this very
+/// relationship refers to the same relationship and is allowed.
+fn violates_injectivity(
+    row: &Row,
+    pattern: &RelationshipPattern,
+    rel: RelId,
+    used: &[RelId],
+) -> bool {
+    if !used.contains(&rel) {
+        return false;
+    }
+    match &pattern.variable {
+        Some(var) => !matches!(row.get(var), Some(Value::Relationship(bound)) if *bound == rel),
+        None => true,
+    }
+}
+
+fn candidate_nodes(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    pattern: &NodePattern,
+) -> Result<Vec<NodeId>, EvalError> {
+    // A bound variable restricts the candidates to the bound node.
+    if let Some(var) = &pattern.variable {
+        match row.get(var) {
+            Some(Value::Node(id)) => {
+                return if node_matches(ctx, row, *id, pattern)? { Ok(vec![*id]) } else { Ok(vec![]) };
+            }
+            Some(_) => return Ok(vec![]),
+            None => {}
+        }
+    }
+    let mut out = Vec::new();
+    for id in ctx.graph.node_ids() {
+        if node_matches(ctx, row, id, pattern)? {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+fn node_matches(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    id: NodeId,
+    pattern: &NodePattern,
+) -> Result<bool, EvalError> {
+    let node = ctx.graph.node(id);
+    if !pattern.labels.iter().all(|label| node.labels.contains(label)) {
+        return Ok(false);
+    }
+    properties_match(ctx, row, EntityId::Node(id), &pattern.properties)
+}
+
+/// If the node variable is already bound, the candidate must equal it.
+fn node_binding_consistent(row: &Row, pattern: &NodePattern, id: NodeId) -> bool {
+    match &pattern.variable {
+        Some(var) => match row.get(var) {
+            Some(Value::Node(bound)) => *bound == id,
+            Some(_) => false,
+            None => true,
+        },
+        None => true,
+    }
+}
+
+fn properties_match(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    entity: EntityId,
+    properties: &[(String, cypher_parser::ast::Expr)],
+) -> Result<bool, EvalError> {
+    for (key, expr) in properties {
+        let expected = eval_expr(ctx, row, expr)?;
+        let actual = ctx.graph.property(entity, key);
+        if actual.cypher_eq(&expected) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn bind_node(row: &mut Row, pattern: &NodePattern, id: NodeId) {
+    if let Some(var) = &pattern.variable {
+        row.insert(var.clone(), Value::Node(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+    use cypher_parser::ast::Clause;
+    use cypher_parser::parse_query;
+
+    fn patterns_of(query: &str) -> Vec<PathPattern> {
+        let query = parse_query(query).unwrap();
+        match &query.parts[0].clauses[0] {
+            Clause::Match(m) => m.patterns.clone(),
+            _ => panic!("expected MATCH"),
+        }
+    }
+
+    fn matches(graph: &PropertyGraph, query: &str) -> Vec<Row> {
+        let patterns = patterns_of(query);
+        match_patterns(EvalCtx::new(graph), &patterns, &Row::new()).unwrap()
+    }
+
+    #[test]
+    fn matches_labelled_nodes() {
+        let graph = PropertyGraph::paper_example();
+        assert_eq!(matches(&graph, "MATCH (n:Person) RETURN n").len(), 3);
+        assert_eq!(matches(&graph, "MATCH (n:Book) RETURN n").len(), 1);
+        assert_eq!(matches(&graph, "MATCH (n) RETURN n").len(), 4);
+        assert_eq!(matches(&graph, "MATCH (n:Missing) RETURN n").len(), 0);
+    }
+
+    #[test]
+    fn matches_property_constrained_nodes() {
+        let graph = PropertyGraph::paper_example();
+        let rows = matches(&graph, "MATCH (n:Person {name: 'Alice'}) RETURN n");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["n"], Value::Node(NodeId(3)));
+    }
+
+    #[test]
+    fn matches_directed_relationships() {
+        let graph = PropertyGraph::paper_example();
+        // Two READ relationships point at the book.
+        assert_eq!(matches(&graph, "MATCH (p)-[:READ]->(b) RETURN p").len(), 2);
+        // Reversed direction: nobody is read by the book.
+        assert_eq!(matches(&graph, "MATCH (p)<-[:READ]-(b) RETURN p").len(), 2);
+        assert_eq!(matches(&graph, "MATCH (b:Book)-[:READ]->(p) RETURN p").len(), 0);
+        // Undirected matches both directions.
+        assert_eq!(matches(&graph, "MATCH (p:Person)-[:READ]-(b) RETURN p").len(), 2);
+    }
+
+    #[test]
+    fn paper_listing_1_pattern() {
+        let graph = PropertyGraph::paper_example();
+        let rows = matches(
+            &graph,
+            "MATCH (reader:Person)-[:READ]->(book:Book)<-[:WRITE]-(writer) RETURN writer",
+        );
+        // Jack and Alice both read the book written by Rowling.
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row["writer"], Value::Node(NodeId(0)));
+            assert_eq!(row["book"], Value::Node(NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn relationship_injectivity_within_one_match() {
+        let graph = PropertyGraph::paper_example();
+        // The two relationship patterns may not match the same relationship
+        // (Fig. 2 discussion in the paper): p1 and p2 must be distinct readers
+        // or reader/writer combinations reached through distinct relationships.
+        let rows = matches(&graph, "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1");
+        for row in &rows {
+            assert_ne!(row["x"], row["y"]);
+        }
+        // Pairs: (Jack,Alice), (Alice,Jack), (Rowling,Jack), (Rowling,Alice),
+        // (Jack,Rowling), (Alice,Rowling) = 6.
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn no_injectivity_across_separate_matches() {
+        let graph = PropertyGraph::paper_example();
+        let q = parse_query("MATCH (a)-[r1]->(b) MATCH (c)-[r2]->(d) RETURN a").unwrap();
+        let Clause::Match(m1) = &q.parts[0].clauses[0] else { panic!() };
+        let Clause::Match(m2) = &q.parts[0].clauses[1] else { panic!() };
+        let ctx = EvalCtx::new(&graph);
+        let first = match_patterns(ctx, &m1.patterns, &Row::new()).unwrap();
+        let mut total = 0;
+        let mut same_rel = 0;
+        for row in &first {
+            for row2 in match_patterns(ctx, &m2.patterns, row).unwrap() {
+                total += 1;
+                if row2["r1"] == row2["r2"] {
+                    same_rel += 1;
+                }
+            }
+        }
+        // 3 x 3 combinations, including the 3 where both patterns matched the
+        // same relationship (allowed across different MATCH clauses).
+        assert_eq!(total, 9);
+        assert_eq!(same_rel, 3);
+    }
+
+    #[test]
+    fn shared_variables_join_patterns() {
+        let graph = PropertyGraph::paper_example();
+        let rows = matches(&graph, "MATCH (a:Person)-[:READ]->(b), (a)-[:READ]->(c) RETURN a");
+        // With injectivity the two READ patterns must use different
+        // relationships, but `a` is shared — no single person read two books,
+        // so only... each reader read exactly one book, so no matches.
+        assert_eq!(rows.len(), 0);
+        let rows = matches(&graph, "MATCH (a:Person)-[:READ]->(b) MATCH (a)-[:READ]->(c) RETURN a");
+        // Without a second relationship in the same clause there is exactly
+        // one extension per reader.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn variable_length_paths() {
+        let mut graph = PropertyGraph::new();
+        let a = graph.add_node(["N"], [("name", Value::from("a"))]);
+        let b = graph.add_node(["N"], [("name", Value::from("b"))]);
+        let c = graph.add_node(["N"], [("name", Value::from("c"))]);
+        let d = graph.add_node(["N"], [("name", Value::from("d"))]);
+        graph.add_relationship("E", a, b, Vec::<(String, Value)>::new());
+        graph.add_relationship("E", b, c, Vec::<(String, Value)>::new());
+        graph.add_relationship("E", c, d, Vec::<(String, Value)>::new());
+
+        // Paths of length exactly 2 starting anywhere: a->b->c and b->c->d.
+        assert_eq!(matches(&graph, "MATCH (x)-[*2]->(y) RETURN x").len(), 2);
+        // Length 1..3 from a: a->b, a->b->c, a->b->c->d.
+        let rows = matches(&graph, "MATCH (x {name: 'a'})-[*1..3]->(y) RETURN y");
+        assert_eq!(rows.len(), 3);
+        // Unbounded `*` reaches the same three targets from a.
+        let rows = matches(&graph, "MATCH (x {name: 'a'})-[*]->(y) RETURN y");
+        assert_eq!(rows.len(), 3);
+        // Zero-length paths are allowed with *0..1: the node itself plus b.
+        let rows = matches(&graph, "MATCH (x {name: 'a'})-[*0..1]->(y) RETURN y");
+        assert_eq!(rows.len(), 2);
+        // The relationship variable binds to the list of traversed edges.
+        let rows = matches(&graph, "MATCH (x {name: 'a'})-[r *2]->(y) RETURN r");
+        assert_eq!(rows.len(), 1);
+        match &rows[0]["r"] {
+            Value::List(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected list, got {other}"),
+        }
+    }
+
+    #[test]
+    fn variable_length_with_label_constraint() {
+        let mut graph = PropertyGraph::new();
+        let a = graph.add_node(["N"], Vec::<(String, Value)>::new());
+        let b = graph.add_node(["N"], Vec::<(String, Value)>::new());
+        let c = graph.add_node(["N"], Vec::<(String, Value)>::new());
+        graph.add_relationship("GOOD", a, b, Vec::<(String, Value)>::new());
+        graph.add_relationship("BAD", b, c, Vec::<(String, Value)>::new());
+        // Only the GOOD edge may be traversed.
+        assert_eq!(matches(&graph, "MATCH (x)-[:GOOD *1..2]->(y) RETURN y").len(), 1);
+        assert_eq!(matches(&graph, "MATCH (x)-[*1..2]->(y) RETURN y").len(), 3);
+    }
+
+    #[test]
+    fn named_paths_bind_path_values() {
+        let graph = PropertyGraph::paper_example();
+        let rows = matches(&graph, "MATCH p = (a:Person)-[:WRITE]->(b) RETURN p");
+        assert_eq!(rows.len(), 1);
+        match &rows[0]["p"] {
+            Value::Path(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected path, got {other}"),
+        }
+    }
+
+    #[test]
+    fn match_clause_applies_where() {
+        let graph = PropertyGraph::paper_example();
+        let q = parse_query("MATCH (n:Person) WHERE n.age > 26 RETURN n").unwrap();
+        let Clause::Match(m) = &q.parts[0].clauses[0] else { panic!() };
+        let rows = match_clause(EvalCtx::new(&graph), m, &Row::new()).unwrap();
+        assert_eq!(rows.len(), 2); // Rowling (59) and Alice (27).
+    }
+}

@@ -1,0 +1,488 @@
+//! The runtime value model of the Cypher evaluator.
+//!
+//! Values follow Cypher's semantics: `NULL` propagates through most
+//! operations, comparisons use three-valued logic, and ordering (used by
+//! `ORDER BY` and `DISTINCT`) is a total order over all values so results
+//! are deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::{NodeId, RelId};
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The SQL-like `NULL` value.
+    Null,
+    /// A boolean.
+    Boolean(bool),
+    /// A 64-bit integer.
+    Integer(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A map from string keys to values.
+    Map(BTreeMap<String, Value>),
+    /// A reference to a node of the evaluated graph.
+    Node(NodeId),
+    /// A reference to a relationship of the evaluated graph.
+    Relationship(RelId),
+    /// A path: alternating node and relationship references.
+    Path(Vec<Value>),
+}
+
+impl Value {
+    /// Returns `true` if the value is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a boolean predicate result
+    /// (`NULL` ⇒ `None`, non-boolean ⇒ `None`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `f64` if the value is numeric.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Integer(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value if the value is an integer.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Cypher equality (`=`): three-valued, `NULL` compared with anything is
+    /// `NULL` (represented as `None`).
+    pub fn cypher_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Integer(a), Value::Float(b)) => Some((*a as f64) == *b),
+            (Value::Float(a), Value::Integer(b)) => Some(*a == (*b as f64)),
+            (Value::List(a), Value::List(b)) => {
+                if a.len() != b.len() {
+                    return Some(false);
+                }
+                let mut saw_null = false;
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.cypher_eq(y) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            (a, b) => Some(a == b),
+        }
+    }
+
+    /// Cypher ordering comparison (`<`, `<=`, `>`, `>=`): `NULL` or
+    /// incomparable types yield `None`.
+    pub fn cypher_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Integer(a), Value::Integer(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Integer(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Integer(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::String(a), Value::String(b)) => Some(a.cmp(b)),
+            (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// A *total* order over all values used for `ORDER BY` and deterministic
+    /// bag comparisons. `NULL` sorts last (as in Cypher's default ascending
+    /// order); values of different types are ordered by a fixed type rank.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn type_rank(v: &Value) -> u8 {
+            match v {
+                Value::Map(_) => 0,
+                Value::Node(_) => 1,
+                Value::Relationship(_) => 2,
+                Value::List(_) => 3,
+                Value::Path(_) => 4,
+                Value::String(_) => 5,
+                Value::Boolean(_) => 6,
+                Value::Integer(_) | Value::Float(_) => 7,
+                Value::Null => 8,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Integer(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Integer(b)) => a.total_cmp(&(*b as f64)),
+            (Value::String(a), Value::String(b)) => a.cmp(b),
+            (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
+            (Value::Node(a), Value::Node(b)) => a.cmp(b),
+            (Value::Relationship(a), Value::Relationship(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b)) | (Value::Path(a), Value::Path(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.total_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                let mut ai = a.iter();
+                let mut bi = b.iter();
+                loop {
+                    match (ai.next(), bi.next()) {
+                        (None, None) => return Ordering::Equal,
+                        (None, Some(_)) => return Ordering::Less,
+                        (Some(_), None) => return Ordering::Greater,
+                        (Some((ka, va)), Some((kb, vb))) => {
+                            let ord = ka.cmp(kb).then_with(|| va.total_cmp(vb));
+                            if ord != Ordering::Equal {
+                                return ord;
+                            }
+                        }
+                    }
+                }
+            }
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// Addition following Cypher numeric promotion (integer + integer stays
+    /// integer). Non-numeric operands (except string concatenation and list
+    /// concatenation) produce `NULL`.
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Integer(a), Value::Integer(b)) => {
+                a.checked_add(*b).map(Value::Integer).unwrap_or(Value::Null)
+            }
+            (Value::String(a), Value::String(b)) => Value::String(format!("{a}{b}")),
+            (Value::List(a), Value::List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Value::List(out)
+            }
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(x), Some(y)) => Value::Float(x + y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Subtraction with the same promotion rules as [`Value::add`].
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Integer(a), Value::Integer(b)) => {
+                a.checked_sub(*b).map(Value::Integer).unwrap_or(Value::Null)
+            }
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(x), Some(y)) => Value::Float(x - y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Multiplication with the same promotion rules as [`Value::add`].
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Integer(a), Value::Integer(b)) => {
+                a.checked_mul(*b).map(Value::Integer).unwrap_or(Value::Null)
+            }
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(x), Some(y)) => Value::Float(x * y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Division. Integer division truncates; division by zero yields `NULL`.
+    pub fn div(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Integer(a), Value::Integer(b)) => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    a.checked_div(*b).map(Value::Integer).unwrap_or(Value::Null)
+                }
+            }
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(_), Some(y)) if y == 0.0 => Value::Null,
+                (Some(x), Some(y)) => Value::Float(x / y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Modulo. Modulo by zero yields `NULL`.
+    pub fn rem(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Integer(a), Value::Integer(b)) => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Integer(a % b)
+                }
+            }
+            (a, b) => match (a.as_number(), b.as_number()) {
+                (Some(_), Some(y)) if y == 0.0 => Value::Null,
+                (Some(x), Some(y)) => Value::Float(x % y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Exponentiation (always produces a float, as in Cypher).
+    pub fn pow(&self, other: &Value) -> Value {
+        match (self.as_number(), other.as_number()) {
+            (Some(x), Some(y)) => Value::Float(x.powf(y)),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Integer(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::String(s) => write!(f, "'{s}'"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Node(id) => write!(f, "node({})", id.0),
+            Value::Relationship(id) => write!(f, "rel({})", id.0),
+            Value::Path(items) => {
+                write!(f, "path(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+/// Three-valued logic conjunction.
+pub fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Three-valued logic disjunction.
+pub fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Three-valued logic exclusive or.
+pub fn xor3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x ^ y),
+        _ => None,
+    }
+}
+
+/// Three-valued logic negation.
+pub fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|b| !b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_propagates_through_equality() {
+        assert_eq!(Value::Null.cypher_eq(&Value::Integer(1)), None);
+        assert_eq!(Value::Integer(1).cypher_eq(&Value::Null), None);
+        assert_eq!(Value::Integer(1).cypher_eq(&Value::Integer(1)), Some(true));
+        assert_eq!(Value::Integer(1).cypher_eq(&Value::Integer(2)), Some(false));
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_comparison() {
+        assert_eq!(Value::Integer(2).cypher_eq(&Value::Float(2.0)), Some(true));
+        assert_eq!(
+            Value::Integer(2).cypher_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::String("a".into()).cypher_cmp(&Value::Integer(1)), None);
+    }
+
+    #[test]
+    fn list_equality_is_elementwise() {
+        let a = Value::List(vec![Value::Integer(1), Value::Integer(2)]);
+        let b = Value::List(vec![Value::Integer(1), Value::Integer(2)]);
+        let c = Value::List(vec![Value::Integer(1), Value::Integer(3)]);
+        let with_null = Value::List(vec![Value::Integer(1), Value::Null]);
+        assert_eq!(a.cypher_eq(&b), Some(true));
+        assert_eq!(a.cypher_eq(&c), Some(false));
+        assert_eq!(a.cypher_eq(&with_null), None);
+    }
+
+    #[test]
+    fn total_order_is_total_and_antisymmetric_on_samples() {
+        let samples = vec![
+            Value::Null,
+            Value::Boolean(true),
+            Value::Boolean(false),
+            Value::Integer(-3),
+            Value::Integer(7),
+            Value::Float(2.5),
+            Value::String("abc".into()),
+            Value::List(vec![Value::Integer(1)]),
+            Value::Node(NodeId(0)),
+            Value::Relationship(RelId(1)),
+        ];
+        for a in &samples {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &samples {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn null_sorts_last() {
+        assert_eq!(Value::Integer(1).total_cmp(&Value::Null), Ordering::Less);
+        assert_eq!(Value::Null.total_cmp(&Value::String("x".into())), Ordering::Greater);
+    }
+
+    #[test]
+    fn arithmetic_follows_cypher_promotion() {
+        assert_eq!(Value::Integer(2).add(&Value::Integer(3)), Value::Integer(5));
+        assert_eq!(Value::Integer(2).add(&Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(
+            Value::String("ab".into()).add(&Value::String("c".into())),
+            Value::String("abc".into())
+        );
+        assert_eq!(Value::Integer(7).div(&Value::Integer(2)), Value::Integer(3));
+        assert_eq!(Value::Integer(7).div(&Value::Integer(0)), Value::Null);
+        assert_eq!(Value::Integer(7).rem(&Value::Integer(0)), Value::Null);
+        assert_eq!(Value::Integer(1).add(&Value::Null), Value::Null);
+        assert_eq!(Value::Integer(i64::MAX).add(&Value::Integer(1)), Value::Null);
+    }
+
+    #[test]
+    fn list_concatenation() {
+        let a = Value::List(vec![Value::Integer(1)]);
+        let b = Value::List(vec![Value::Integer(2)]);
+        assert_eq!(
+            a.add(&b),
+            Value::List(vec![Value::Integer(1), Value::Integer(2)])
+        );
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        let t = Some(true);
+        let f = Some(false);
+        let n = None;
+        assert_eq!(and3(t, t), t);
+        assert_eq!(and3(t, f), f);
+        assert_eq!(and3(f, n), f);
+        assert_eq!(and3(t, n), n);
+        assert_eq!(or3(f, f), f);
+        assert_eq!(or3(f, t), t);
+        assert_eq!(or3(t, n), t);
+        assert_eq!(or3(f, n), n);
+        assert_eq!(xor3(t, f), t);
+        assert_eq!(xor3(t, n), n);
+        assert_eq!(not3(t), f);
+        assert_eq!(not3(n), n);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Integer(3).to_string(), "3");
+        assert_eq!(Value::String("x".into()).to_string(), "'x'");
+        assert_eq!(
+            Value::List(vec![Value::Integer(1), Value::Null]).to_string(),
+            "[1, null]"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Tseitin transformation of formulas into CNF over abstracted theory atoms.
+//!
+//! Boolean structure (`and`, `or`, `not`, `=>`, `ite`) is encoded with
+//! auxiliary variables; theory atoms (equalities, inequalities, boolean
+//! variables) become propositional variables whose meaning the lazy DPLL(T)
+//! loop later checks with the theory solvers.
+
+use std::collections::HashMap;
+
+use crate::sat::{Lit, SatSolver};
+use crate::term::Term;
+
+/// The result of abstracting a formula: the SAT solver is loaded with the
+/// CNF, and `atoms` maps each propositional variable back to its theory atom.
+#[derive(Debug, Default)]
+pub struct Abstraction {
+    /// Theory atom of each propositional variable (if the variable stands for
+    /// an atom rather than a Tseitin auxiliary).
+    pub atoms: HashMap<usize, Term>,
+    atom_vars: HashMap<Term, usize>,
+}
+
+impl Abstraction {
+    /// Creates an empty abstraction.
+    pub fn new() -> Self {
+        Abstraction::default()
+    }
+
+    /// Encodes `formula` and asserts it (top-level) into `solver`.
+    pub fn assert_formula(&mut self, solver: &mut SatSolver, formula: &Term) {
+        let literal = self.encode(solver, formula);
+        solver.add_clause(vec![literal]);
+    }
+
+    /// Returns the propositional variable of a theory atom, allocating one if
+    /// needed.
+    fn atom_var(&mut self, solver: &mut SatSolver, atom: &Term) -> usize {
+        if let Some(&var) = self.atom_vars.get(atom) {
+            return var;
+        }
+        let var = solver.new_var();
+        self.atom_vars.insert(atom.clone(), var);
+        self.atoms.insert(var, atom.clone());
+        var
+    }
+
+    /// Encodes a formula, returning a literal equivalent to it.
+    fn encode(&mut self, solver: &mut SatSolver, formula: &Term) -> Lit {
+        match formula {
+            Term::BoolConst(b) => {
+                // A fresh variable pinned to the constant.
+                let var = solver.new_var();
+                solver.add_clause(vec![Lit::new(var, *b)]);
+                Lit::new(var, true)
+            }
+            Term::Not(inner) => self.encode(solver, inner).negated(),
+            Term::And(items) => {
+                let literals: Vec<Lit> = items.iter().map(|i| self.encode(solver, i)).collect();
+                let output = Lit::new(solver.new_var(), true);
+                // output -> each literal.
+                for literal in &literals {
+                    solver.add_clause(vec![output.negated(), *literal]);
+                }
+                // all literals -> output.
+                let mut clause: Vec<Lit> = literals.iter().map(|l| l.negated()).collect();
+                clause.push(output);
+                solver.add_clause(clause);
+                output
+            }
+            Term::Or(items) => {
+                let literals: Vec<Lit> = items.iter().map(|i| self.encode(solver, i)).collect();
+                let output = Lit::new(solver.new_var(), true);
+                // each literal -> output.
+                for literal in &literals {
+                    solver.add_clause(vec![literal.negated(), output]);
+                }
+                // output -> some literal.
+                let mut clause = literals;
+                clause.push(output.negated());
+                solver.add_clause(clause);
+                output
+            }
+            Term::Implies(lhs, rhs) => {
+                let encoded = Term::or(vec![Term::not((**lhs).clone()), (**rhs).clone()]);
+                self.encode(solver, &encoded)
+            }
+            Term::Ite(cond, then_branch, else_branch) => {
+                let encoded = Term::and(vec![
+                    Term::or(vec![Term::not((**cond).clone()), (**then_branch).clone()]),
+                    Term::or(vec![(**cond).clone(), (**else_branch).clone()]),
+                ]);
+                self.encode(solver, &encoded)
+            }
+            // Anything else is a theory atom (boolean variable, equality,
+            // inequality).
+            atom => Lit::new(self.atom_var(solver, atom), true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatOutcome;
+
+    fn solve(formula: &Term) -> SatOutcome {
+        let mut solver = SatSolver::new();
+        let mut abstraction = Abstraction::new();
+        abstraction.assert_formula(&mut solver, formula);
+        solver.solve()
+    }
+
+    #[test]
+    fn propositional_tautologies_and_contradictions() {
+        let a = Term::bool_var("a");
+        let b = Term::bool_var("b");
+        // a ∧ ¬a is UNSAT.
+        assert_eq!(solve(&Term::and(vec![a.clone(), Term::not(a.clone())])), SatOutcome::Unsat);
+        // (a ∨ b) ∧ ¬a ∧ ¬b is UNSAT.
+        assert_eq!(
+            solve(&Term::and(vec![
+                Term::or(vec![a.clone(), b.clone()]),
+                Term::not(a.clone()),
+                Term::not(b.clone()),
+            ])),
+            SatOutcome::Unsat
+        );
+        // (a => b) ∧ a ∧ ¬b is UNSAT.
+        assert_eq!(
+            solve(&Term::and(vec![
+                Term::implies(a.clone(), b.clone()),
+                a.clone(),
+                Term::not(b.clone()),
+            ])),
+            SatOutcome::Unsat
+        );
+        // (a => b) ∧ a ∧ b is SAT.
+        assert!(matches!(
+            solve(&Term::and(vec![Term::implies(a.clone(), b.clone()), a, b])),
+            SatOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn atoms_are_shared() {
+        let atom = Term::eq(Term::int_var("x"), Term::int(1));
+        let mut solver = SatSolver::new();
+        let mut abstraction = Abstraction::new();
+        abstraction.assert_formula(
+            &mut solver,
+            &Term::or(vec![atom.clone(), Term::not(atom.clone())]),
+        );
+        // The same atom must map to a single propositional variable.
+        assert_eq!(abstraction.atoms.len(), 1);
+    }
+
+    #[test]
+    fn ite_encoding() {
+        let c = Term::bool_var("c");
+        let t = Term::bool_var("t");
+        let e = Term::bool_var("e");
+        // (ite c t e) ∧ c ∧ ¬t is UNSAT.
+        let formula = Term::and(vec![
+            Term::Ite(Box::new(c.clone()), Box::new(t.clone()), Box::new(e.clone())),
+            c,
+            Term::not(t),
+        ]);
+        assert_eq!(solve(&formula), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn bool_constants() {
+        assert!(matches!(solve(&Term::tt()), SatOutcome::Sat(_)));
+        assert_eq!(solve(&Term::ff()), SatOutcome::Unsat);
+    }
+}

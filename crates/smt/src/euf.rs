@@ -1,0 +1,255 @@
+//! Congruence closure for equality with uninterpreted functions (EUF).
+//!
+//! Given a conjunction of equalities and disequalities over variables,
+//! constants and function applications, the checker decides consistency by
+//! computing the congruence closure of the asserted equalities and checking
+//! every disequality (and every pair of distinct interpreted constants)
+//! against it.
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// The result of a theory consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TheoryResult {
+    /// The conjunction is consistent (a model exists for this theory).
+    Consistent,
+    /// The conjunction is inconsistent.
+    Inconsistent,
+}
+
+/// A congruence-closure based EUF solver.
+#[derive(Debug, Default)]
+pub struct CongruenceClosure {
+    /// All distinct sub-terms, indexed densely.
+    terms: Vec<Term>,
+    index: HashMap<Term, usize>,
+    parent: Vec<usize>,
+    /// Asserted disequalities (pairs of term indices).
+    disequalities: Vec<(usize, usize)>,
+}
+
+impl CongruenceClosure {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        CongruenceClosure::default()
+    }
+
+    fn intern(&mut self, term: &Term) -> usize {
+        if let Some(&index) = self.index.get(term) {
+            return index;
+        }
+        // Intern sub-terms of applications first so congruence can see them.
+        if let Term::App(_, args) = term {
+            for arg in args {
+                self.intern(arg);
+            }
+        }
+        let index = self.terms.len();
+        self.terms.push(term.clone());
+        self.parent.push(index);
+        self.index.insert(term.clone(), index);
+        index
+    }
+
+    fn find(&mut self, mut index: usize) -> usize {
+        while self.parent[index] != index {
+            self.parent[index] = self.parent[self.parent[index]];
+            index = self.parent[index];
+        }
+        index
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Asserts an equality between two terms.
+    pub fn assert_eq(&mut self, lhs: &Term, rhs: &Term) {
+        let a = self.intern(lhs);
+        let b = self.intern(rhs);
+        self.union(a, b);
+    }
+
+    /// Asserts a disequality between two terms.
+    pub fn assert_neq(&mut self, lhs: &Term, rhs: &Term) {
+        let a = self.intern(lhs);
+        let b = self.intern(rhs);
+        self.disequalities.push((a, b));
+    }
+
+    /// Checks consistency of the asserted literals.
+    pub fn check(&mut self) -> TheoryResult {
+        self.close_congruence();
+        // Disequalities must not join classes.
+        for (a, b) in self.disequalities.clone() {
+            if self.find(a) == self.find(b) {
+                return TheoryResult::Inconsistent;
+            }
+        }
+        // Two distinct interpreted constants in one class are inconsistent.
+        let class_count = self.terms.len();
+        let mut constant_of_class: HashMap<usize, Term> = HashMap::new();
+        for index in 0..class_count {
+            if let Some(constant) = interpreted_constant(&self.terms[index]) {
+                let root = self.find(index);
+                match constant_of_class.get(&root) {
+                    Some(existing) if *existing != constant => {
+                        return TheoryResult::Inconsistent;
+                    }
+                    _ => {
+                        constant_of_class.insert(root, constant);
+                    }
+                }
+            }
+        }
+        TheoryResult::Consistent
+    }
+
+    /// Returns `true` if the two terms are currently known to be equal.
+    pub fn are_equal(&mut self, lhs: &Term, rhs: &Term) -> bool {
+        // Intern first so newly mentioned applications participate in the
+        // congruence propagation.
+        let a = self.intern(lhs);
+        let b = self.intern(rhs);
+        self.close_congruence();
+        self.find(a) == self.find(b)
+    }
+
+    /// Propagates congruence (`x ≃ y ⇒ f(x) ≃ f(y)`) to a fixpoint.
+    fn close_congruence(&mut self) {
+        loop {
+            let mut changed = false;
+            // Signature table: (function name, argument class roots) -> term.
+            let mut signatures: HashMap<(String, Vec<usize>), usize> = HashMap::new();
+            for index in 0..self.terms.len() {
+                let signature = match self.terms[index].clone() {
+                    Term::App(name, args) => {
+                        let roots: Vec<usize> = args
+                            .iter()
+                            .map(|arg| {
+                                let i = self.intern(arg);
+                                self.find(i)
+                            })
+                            .collect();
+                        (name, roots)
+                    }
+                    _ => continue,
+                };
+                match signatures.get(&signature) {
+                    Some(&other) => {
+                        let ra = self.find(index);
+                        let rb = self.find(other);
+                        if ra != rb {
+                            self.parent[ra] = rb;
+                            changed = true;
+                        }
+                    }
+                    None => {
+                        signatures.insert(signature, index);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Interpreted constants: integers, booleans, and nullary applications whose
+/// name starts with `const:` (the encoding used for string / named constants).
+fn interpreted_constant(term: &Term) -> Option<Term> {
+    match term {
+        Term::IntConst(_) | Term::BoolConst(_) => Some(term.clone()),
+        Term::App(name, args) if args.is_empty() && name.starts_with("const:") => {
+            Some(term.clone())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Term {
+        Term::value_var(name)
+    }
+
+    fn f(name: &str, args: Vec<Term>) -> Term {
+        Term::App(name.to_string(), args)
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&v("a"), &v("b"));
+        cc.assert_eq(&v("b"), &v("c"));
+        assert!(cc.are_equal(&v("a"), &v("c")));
+        assert_eq!(cc.check(), TheoryResult::Consistent);
+        cc.assert_neq(&v("a"), &v("c"));
+        assert_eq!(cc.check(), TheoryResult::Inconsistent);
+    }
+
+    #[test]
+    fn congruence_propagates_through_functions() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&v("x"), &v("y"));
+        assert!(cc.are_equal(&f("f", vec![v("x")]), &f("f", vec![v("y")])));
+        // And functions of functions.
+        assert!(cc.are_equal(
+            &f("g", vec![f("f", vec![v("x")])]),
+            &f("g", vec![f("f", vec![v("y")])])
+        ));
+        // Different functions stay apart.
+        assert!(!cc.are_equal(&f("f", vec![v("x")]), &f("g", vec![v("x")])));
+    }
+
+    #[test]
+    fn classic_euf_inconsistency() {
+        // f(f(f(a))) = a ∧ f(f(f(f(f(a))))) = a ∧ f(a) ≠ a is inconsistent.
+        let a = v("a");
+        let fa = |n: usize| {
+            let mut t = a.clone();
+            for _ in 0..n {
+                t = f("f", vec![t]);
+            }
+            t
+        };
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&fa(3), &a);
+        cc.assert_eq(&fa(5), &a);
+        cc.assert_neq(&fa(1), &a);
+        assert_eq!(cc.check(), TheoryResult::Inconsistent);
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&v("x"), &Term::int(1));
+        cc.assert_eq(&v("x"), &Term::int(2));
+        assert_eq!(cc.check(), TheoryResult::Inconsistent);
+
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&v("x"), &f("const:alice", vec![]));
+        cc.assert_eq(&v("y"), &f("const:bob", vec![]));
+        assert_eq!(cc.check(), TheoryResult::Consistent);
+        cc.assert_eq(&v("x"), &v("y"));
+        assert_eq!(cc.check(), TheoryResult::Inconsistent);
+    }
+
+    #[test]
+    fn consistent_assignments_stay_consistent() {
+        let mut cc = CongruenceClosure::new();
+        cc.assert_eq(&v("a"), &v("b"));
+        cc.assert_neq(&v("a"), &v("c"));
+        cc.assert_neq(&f("f", vec![v("a")]), &f("g", vec![v("a")]));
+        assert_eq!(cc.check(), TheoryResult::Consistent);
+    }
+}

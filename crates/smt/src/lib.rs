@@ -1,0 +1,47 @@
+//! # smt
+//!
+//! A from-scratch SMT solver used as the decision substrate of GraphQE-rs
+//! (substituting for Z3, which the paper uses; see DESIGN.md for the
+//! substitution rationale).
+//!
+//! The solver decides quantifier-free formulas over **EUF** (equality with
+//! uninterpreted functions) and **LIA** (linear integer arithmetic) — exactly
+//! the fragment the LIA\*-based decision procedure of the paper produces
+//! after eliminating unbounded summations. The architecture is the classic
+//! lazy DPLL(T) loop:
+//!
+//! * [`sat`] — a CDCL SAT solver (watched literals, 1UIP learning,
+//!   non-chronological backjumping);
+//! * [`cnf`] — Tseitin transformation with theory-atom abstraction;
+//! * [`euf`] — congruence closure;
+//! * [`lia`] — Fourier–Motzkin based consistency with integer case splits;
+//! * [`solver`] — the combination loop and the public [`Solver`] API.
+//!
+//! `Unsat` answers are sound; `Sat` answers may over-approximate (see the
+//! module docs of [`solver`]), which can only make the equivalence prover
+//! less complete, never unsound.
+//!
+//! ```
+//! use smt::{Solver, Term};
+//!
+//! let mut solver = Solver::new();
+//! let x = Term::int_var("x");
+//! solver.assert(Term::le(x.clone(), Term::int(3)));
+//! solver.assert(Term::ge(x, Term::int(5)));
+//! assert!(solver.check().is_unsat());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod euf;
+pub mod lia;
+pub mod sat;
+pub mod solver;
+pub mod term;
+
+pub use euf::{CongruenceClosure, TheoryResult};
+pub use lia::{LiaProblem, LinearConstraint};
+pub use sat::{Lit, SatOutcome, SatSolver};
+pub use solver::{check_formula, is_valid, Model, SmtResult, Solver};
+pub use term::{Sort, SortTag, Term};

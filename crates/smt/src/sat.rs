@@ -1,0 +1,520 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The solver implements the standard architecture: two-watched-literal unit
+//! propagation, first-UIP conflict analysis with clause learning,
+//! non-chronological backjumping and activity-based decision ordering. It is
+//! deliberately compact — the propositional skeletons produced by the
+//! GraphQE decision procedure are small — but it is a complete SAT solver
+//! and is tested on classic pigeonhole / random instances.
+
+/// A literal: variable index with a sign. `Lit(2 * var)` is the positive
+/// literal, `Lit(2 * var + 1)` the negative one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Creates a literal from a variable index and a polarity.
+    pub fn new(var: usize, positive: bool) -> Lit {
+        Lit((var as u32) << 1 | u32::from(!positive))
+    }
+
+    /// The variable index of the literal.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// `true` if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The negated literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The result of a SAT check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable with the given assignment (indexed by variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+/// A CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<usize>>,
+    assignment: Vec<Value>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    activity: Vec<f64>,
+    activity_inc: f64,
+    propagate_head: usize,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver { activity_inc: 1.0, ..Default::default() }
+    }
+
+    /// The number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> usize {
+        let var = self.assignment.len();
+        self.assignment.push(Value::Unassigned);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        var
+    }
+
+    fn ensure_var(&mut self, var: usize) {
+        while self.num_vars() <= var {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals). An empty clause makes the
+    /// instance trivially unsatisfiable.
+    pub fn add_clause(&mut self, mut clause: Vec<Lit>) {
+        for lit in &clause {
+            self.ensure_var(lit.var());
+        }
+        clause.sort_by_key(|l| l.0);
+        clause.dedup();
+        // A clause containing `l` and `¬l` is a tautology.
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        let index = self.clauses.len();
+        match clause.len() {
+            0 => {
+                // Encode the empty clause as two contradictory unit clauses on
+                // a fresh variable.
+                let v = self.new_var();
+                self.clauses.push(vec![Lit::new(v, true)]);
+                self.clauses.push(vec![Lit::new(v, false)]);
+                return;
+            }
+            1 => {
+                self.clauses.push(clause);
+            }
+            _ => {
+                self.watches[clause[0].index()].push(index);
+                self.watches[clause[1].index()].push(index);
+                self.clauses.push(clause);
+            }
+        }
+    }
+
+    fn value(&self, lit: Lit) -> Value {
+        match self.assignment[lit.var()] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if lit.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if lit.is_positive() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.value(lit) {
+            Value::False => false,
+            Value::True => true,
+            Value::Unassigned => {
+                self.assignment[lit.var()] =
+                    if lit.is_positive() { Value::True } else { Value::False };
+                self.level[lit.var()] = self.decision_level();
+                self.reason[lit.var()] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation with two watched literals. Returns the index of a
+    /// conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            let false_lit = lit.negated();
+            let watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut keep = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            for (position, &clause_index) in watch_list.iter().enumerate() {
+                if conflict.is_some() {
+                    keep.extend_from_slice(&watch_list[position..]);
+                    break;
+                }
+                // Normalize so the false literal is at position 1.
+                let clause = &mut self.clauses[clause_index];
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                let first = clause[0];
+                if self.value(first) == Value::True {
+                    keep.push(clause_index);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[clause_index].len() {
+                    let candidate = self.clauses[clause_index][k];
+                    if self.value(candidate) != Value::False {
+                        self.clauses[clause_index].swap(1, k);
+                        self.watches[candidate.index()].push(clause_index);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                keep.push(clause_index);
+                if !self.enqueue(first, Some(clause_index)) {
+                    conflict = Some(clause_index);
+                }
+            }
+            self.watches[false_lit.index()] = keep;
+            if let Some(conflict) = conflict {
+                return Some(conflict);
+            }
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, var: usize) {
+        self.activity[var] += self.activity_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause and the level
+    /// to backjump to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut clause_index = Some(conflict);
+        let mut trail_position = self.trail.len();
+        #[allow(unused_assignments)]
+        let mut uip: Option<Lit> = None;
+        let mut skip_var: Option<usize> = None;
+
+        loop {
+            if let Some(ci) = clause_index {
+                let clause = self.clauses[ci].clone();
+                for lit in clause {
+                    let var = lit.var();
+                    // Skip the literal whose reason clause we are resolving on.
+                    if Some(var) == skip_var {
+                        continue;
+                    }
+                    if seen[var] || self.level[var] == 0 {
+                        continue;
+                    }
+                    seen[var] = true;
+                    self.bump_activity(var);
+                    if self.level[var] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(lit);
+                    }
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                trail_position -= 1;
+                let lit = self.trail[trail_position];
+                if seen[lit.var()] {
+                    uip = Some(lit.negated());
+                    skip_var = Some(lit.var());
+                    seen[lit.var()] = false;
+                    clause_index = self.reason[lit.var()];
+                    counter -= 1;
+                    break;
+                }
+            }
+            if counter == 0 {
+                break;
+            }
+        }
+        let asserting = uip.expect("conflict analysis always finds a UIP");
+        learned.push(asserting);
+        // The backjump level is the second-highest level in the learned clause.
+        let mut backjump = 0;
+        for lit in &learned {
+            if *lit != asserting {
+                backjump = backjump.max(self.level[lit.var()]);
+            }
+        }
+        // Place the asserting literal first.
+        let last = learned.len() - 1;
+        learned.swap(0, last);
+        (learned, backjump)
+    }
+
+    fn backjump(&mut self, level: u32) {
+        while let Some(&lit) = self.trail.last() {
+            if self.level[lit.var()] <= level {
+                break;
+            }
+            self.assignment[lit.var()] = Value::Unassigned;
+            self.reason[lit.var()] = None;
+            self.trail.pop();
+        }
+        self.trail_lim.truncate(level as usize);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn pick_branch_variable(&self) -> Option<usize> {
+        (0..self.num_vars())
+            .filter(|v| self.assignment[*v] == Value::Unassigned)
+            .max_by(|a, b| {
+                self.activity[*a]
+                    .partial_cmp(&self.activity[*b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Solves the clause set added so far. Each call restarts the search from
+    /// scratch (keeping learned clauses), so clauses may be added between
+    /// calls — the lazy DPLL(T) loop relies on this.
+    pub fn solve(&mut self) -> SatOutcome {
+        // Full restart: clear every assignment, then re-assert unit clauses.
+        for value in &mut self.assignment {
+            *value = Value::Unassigned;
+        }
+        for reason in &mut self.reason {
+            *reason = None;
+        }
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.propagate_head = 0;
+        for index in 0..self.clauses.len() {
+            if self.clauses[index].len() == 1 {
+                let lit = self.clauses[index][0];
+                if !self.enqueue(lit, Some(index)) {
+                    return SatOutcome::Unsat;
+                }
+            }
+        }
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if self.decision_level() == 0 {
+                    return SatOutcome::Unsat;
+                }
+                let (learned, backjump_level) = self.analyze(conflict);
+                self.backjump(backjump_level);
+                let asserting = learned[0];
+                let clause_index = self.clauses.len();
+                if learned.len() >= 2 {
+                    self.watches[learned[0].index()].push(clause_index);
+                    self.watches[learned[1].index()].push(clause_index);
+                }
+                self.clauses.push(learned);
+                self.activity_inc *= 1.05;
+                self.enqueue(asserting, Some(clause_index));
+            } else {
+                match self.pick_branch_variable() {
+                    None => {
+                        let model = self
+                            .assignment
+                            .iter()
+                            .map(|v| *v == Value::True)
+                            .collect();
+                        return SatOutcome::Sat(model);
+                    }
+                    Some(var) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(Lit::new(var, false), None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, positive: bool) -> Lit {
+        Lit::new(v, positive)
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let l = lit(3, true);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_positive());
+        assert_eq!(l.negated().var(), 3);
+        assert!(!l.negated().is_positive());
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn solves_trivial_instances() {
+        let mut solver = SatSolver::new();
+        solver.add_clause(vec![lit(0, true)]);
+        solver.add_clause(vec![lit(1, false)]);
+        match solver.solve() {
+            SatOutcome::Sat(model) => {
+                assert!(model[0]);
+                assert!(!model[1]);
+            }
+            SatOutcome::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn detects_direct_contradiction() {
+        let mut solver = SatSolver::new();
+        solver.add_clause(vec![lit(0, true)]);
+        solver.add_clause(vec![lit(0, false)]);
+        assert_eq!(solver.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn propagates_implication_chains() {
+        // (¬a ∨ b) ∧ (¬b ∨ c) ∧ a ∧ ¬c is UNSAT.
+        let mut solver = SatSolver::new();
+        solver.add_clause(vec![lit(0, false), lit(1, true)]);
+        solver.add_clause(vec![lit(1, false), lit(2, true)]);
+        solver.add_clause(vec![lit(0, true)]);
+        solver.add_clause(vec![lit(2, false)]);
+        assert_eq!(solver.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn solves_satisfiable_3sat() {
+        // (a ∨ b ∨ c) ∧ (¬a ∨ ¬b) ∧ (¬b ∨ ¬c) ∧ (¬a ∨ ¬c)
+        // — exactly one of a, b, c true.
+        let mut solver = SatSolver::new();
+        solver.add_clause(vec![lit(0, true), lit(1, true), lit(2, true)]);
+        solver.add_clause(vec![lit(0, false), lit(1, false)]);
+        solver.add_clause(vec![lit(1, false), lit(2, false)]);
+        solver.add_clause(vec![lit(0, false), lit(2, false)]);
+        match solver.solve() {
+            SatOutcome::Sat(model) => {
+                let trues = model.iter().take(3).filter(|b| **b).count();
+                assert_eq!(trues, 1);
+            }
+            SatOutcome::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes is UNSAT.
+    fn pigeonhole(pigeons: usize, holes: usize) -> SatSolver {
+        let mut solver = SatSolver::new();
+        let var = |p: usize, h: usize| p * holes + h;
+        // Each pigeon sits in some hole.
+        for p in 0..pigeons {
+            solver.add_clause((0..holes).map(|h| lit(var(p, h), true)).collect());
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    solver.add_clause(vec![lit(var(p1, h), false), lit(var(p2, h), false)]);
+                }
+            }
+        }
+        solver
+    }
+
+    #[test]
+    fn refutes_pigeonhole_4_into_3() {
+        assert_eq!(pigeonhole(4, 3).solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn satisfies_pigeonhole_3_into_3() {
+        assert!(matches!(pigeonhole(3, 3).solve(), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn models_satisfy_all_clauses() {
+        // Deterministic pseudo-random 3-SAT instances with a planted solution.
+        let mut seed = 0x1234_5678u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..20 {
+            let num_vars = 12;
+            let planted: Vec<bool> = (0..num_vars).map(|_| next() % 2 == 0).collect();
+            let mut solver = SatSolver::new();
+            let mut clauses = Vec::new();
+            for _ in 0..40 {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = next() % num_vars;
+                    clause.push(Lit::new(v, next() % 2 == 0));
+                }
+                // Force the clause to be satisfied by the planted assignment.
+                if !clause.iter().any(|l| planted[l.var()] == l.is_positive()) {
+                    let v = clause[0].var();
+                    clause[0] = Lit::new(v, planted[v]);
+                }
+                clauses.push(clause.clone());
+                solver.add_clause(clause);
+            }
+            match solver.solve() {
+                SatOutcome::Sat(model) => {
+                    for clause in &clauses {
+                        assert!(
+                            clause.iter().any(|l| model[l.var()] == l.is_positive()),
+                            "model does not satisfy {clause:?}"
+                        );
+                    }
+                }
+                SatOutcome::Unsat => panic!("planted instance must be SAT"),
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The lazy DPLL(T) solver: a CDCL SAT core enumerating boolean models of
+//! the abstracted formula, with EUF and LIA theory solvers refuting models
+//! whose theory literals are inconsistent.
+//!
+//! `Unsat` answers are sound: they are produced only when every boolean
+//! model is refuted by a genuine theory inconsistency. `Sat` answers may in
+//! rare cases be over-approximations (the EUF × LIA combination is not a full
+//! Nelson–Oppen combination and the LIA checker is rational-complete only),
+//! which affects completeness of the equivalence prover, never its soundness
+//! — mirroring §VI of the paper.
+
+use std::collections::BTreeMap;
+
+use crate::cnf::Abstraction;
+use crate::euf::{CongruenceClosure, TheoryResult};
+use crate::lia::{LiaProblem, LinearConstraint};
+use crate::sat::{Lit, SatOutcome, SatSolver};
+use crate::term::{SortTag, Term};
+
+/// The result of an SMT check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmtResult {
+    /// A theory-consistent boolean model was found.
+    Sat(Model),
+    /// The assertions are unsatisfiable.
+    Unsat,
+    /// The solver gave up (iteration budget exhausted).
+    Unknown,
+}
+
+impl SmtResult {
+    /// Returns `true` for [`SmtResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// Returns `true` for [`SmtResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+}
+
+/// A satisfying assignment, reported as the truth value of every theory atom.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Model {
+    /// Theory atoms and their assigned truth values.
+    pub atoms: Vec<(Term, bool)>,
+}
+
+/// The SMT solver front-end.
+#[derive(Debug, Default)]
+pub struct Solver {
+    assertions: Vec<Term>,
+    /// Maximum number of lazy refinement iterations before giving up.
+    pub max_iterations: usize,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver { assertions: Vec::new(), max_iterations: 10_000 }
+    }
+
+    /// Asserts a formula.
+    pub fn assert(&mut self, formula: Term) {
+        self.assertions.push(formula);
+    }
+
+    /// Checks satisfiability of the asserted formulas.
+    pub fn check(&self) -> SmtResult {
+        let formula = Term::and(self.assertions.clone());
+        if formula == Term::tt() {
+            return SmtResult::Sat(Model::default());
+        }
+        if formula == Term::ff() {
+            return SmtResult::Unsat;
+        }
+        let mut sat = SatSolver::new();
+        let mut abstraction = Abstraction::new();
+        abstraction.assert_formula(&mut sat, &formula);
+
+        for _ in 0..self.max_iterations {
+            match sat.solve() {
+                SatOutcome::Unsat => return SmtResult::Unsat,
+                SatOutcome::Sat(assignment) => {
+                    // Collect the theory literals implied by this model.
+                    let mut literals: Vec<(usize, Term, bool)> = Vec::new();
+                    for (&var, atom) in &abstraction.atoms {
+                        if var < assignment.len() {
+                            literals.push((var, atom.clone(), assignment[var]));
+                        }
+                    }
+                    if theory_consistent(&literals) {
+                        let model = Model {
+                            atoms: literals
+                                .into_iter()
+                                .map(|(_, atom, value)| (atom, value))
+                                .collect(),
+                        };
+                        return SmtResult::Sat(model);
+                    }
+                    // Refute this boolean model: at least one theory literal
+                    // must flip.
+                    let blocking: Vec<Lit> = literals
+                        .iter()
+                        .map(|(var, _, value)| Lit::new(*var, !value))
+                        .collect();
+                    sat.add_clause(blocking);
+                }
+            }
+        }
+        SmtResult::Unknown
+    }
+}
+
+/// Convenience helper: checks a single formula.
+pub fn check_formula(formula: Term) -> SmtResult {
+    let mut solver = Solver::new();
+    solver.assert(formula);
+    solver.check()
+}
+
+/// Convenience helper: returns `true` if `formula` is valid (its negation is
+/// unsatisfiable).
+pub fn is_valid(formula: Term) -> bool {
+    check_formula(Term::not(formula)).is_unsat()
+}
+
+// ---------------------------------------------------------------------------
+// Theory checking
+// ---------------------------------------------------------------------------
+
+/// Checks the conjunction of the given theory literals with the EUF and LIA
+/// solvers.
+fn theory_consistent(literals: &[(usize, Term, bool)]) -> bool {
+    let mut euf = CongruenceClosure::new();
+    let mut lia = LiaProblem::new();
+
+    for (_, atom, value) in literals {
+        match atom {
+            Term::Eq(lhs, rhs) => {
+                if *value {
+                    euf.assert_eq(lhs, rhs);
+                } else {
+                    euf.assert_neq(lhs, rhs);
+                }
+                if is_arithmetic(lhs) || is_arithmetic(rhs) {
+                    let constraint = linear_difference(lhs, rhs);
+                    if *value {
+                        lia.add_eq(constraint);
+                    } else {
+                        lia.add_neq(constraint);
+                    }
+                }
+            }
+            Term::Le(lhs, rhs) => {
+                let constraint = linear_difference(lhs, rhs);
+                if *value {
+                    lia.add_le(constraint);
+                } else {
+                    // ¬(lhs ≤ rhs) ⇔ rhs + 1 ≤ lhs over the integers.
+                    let flipped = linear_difference(rhs, lhs);
+                    lia.add_le(LinearConstraint {
+                        coefficients: flipped.coefficients,
+                        constant: flipped.constant - 1,
+                    });
+                }
+            }
+            // Pure boolean atoms impose no theory constraints.
+            _ => {}
+        }
+    }
+    euf.check() == TheoryResult::Consistent && lia.check() == TheoryResult::Consistent
+}
+
+/// Returns `true` if the term belongs to the arithmetic fragment.
+fn is_arithmetic(term: &Term) -> bool {
+    match term {
+        Term::IntConst(_) | Term::Add(_) | Term::MulConst(_, _) => true,
+        Term::Var(_, SortTag::Int) => true,
+        _ => false,
+    }
+}
+
+/// Linearizes `lhs - rhs` into a [`LinearConstraint`] with constant moved to
+/// the right-hand side: `lhs ≤ rhs` becomes `Σ coeff·var ≤ constant`.
+/// Non-arithmetic sub-terms (uninterpreted applications, value variables) are
+/// treated as opaque integer variables named by their rendering.
+fn linear_difference(lhs: &Term, rhs: &Term) -> LinearConstraint {
+    let mut coefficients: BTreeMap<String, i64> = BTreeMap::new();
+    let mut constant: i64 = 0;
+    accumulate(lhs, 1, &mut coefficients, &mut constant);
+    accumulate(rhs, -1, &mut coefficients, &mut constant);
+    coefficients.retain(|_, c| *c != 0);
+    LinearConstraint { coefficients, constant: -constant }
+}
+
+fn accumulate(
+    term: &Term,
+    sign: i64,
+    coefficients: &mut BTreeMap<String, i64>,
+    constant: &mut i64,
+) {
+    match term {
+        Term::IntConst(v) => *constant += sign * v,
+        Term::Add(items) => {
+            for item in items {
+                accumulate(item, sign, coefficients, constant);
+            }
+        }
+        Term::MulConst(c, inner) => accumulate(inner, sign * c, coefficients, constant),
+        Term::Var(name, _) => {
+            *coefficients.entry(name.clone()).or_insert(0) += sign;
+        }
+        other => {
+            *coefficients.entry(other.to_string()).or_insert(0) += sign;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::int_var("x")
+    }
+    fn y() -> Term {
+        Term::int_var("y")
+    }
+
+    #[test]
+    fn propositional_unsat() {
+        let a = Term::bool_var("a");
+        assert!(check_formula(Term::and(vec![a.clone(), Term::not(a)])).is_unsat());
+    }
+
+    #[test]
+    fn euf_reasoning() {
+        // a = b ∧ b = c ∧ f(a) ≠ f(c) is UNSAT.
+        let a = Term::value_var("a");
+        let b = Term::value_var("b");
+        let c = Term::value_var("c");
+        let f = |t: Term| Term::App("f".into(), vec![t]);
+        let formula = Term::and(vec![
+            Term::eq(a.clone(), b.clone()),
+            Term::eq(b, c.clone()),
+            Term::neq(f(a), f(c)),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+    }
+
+    #[test]
+    fn lia_reasoning() {
+        // x ≤ 3 ∧ x ≥ 5 is UNSAT.
+        let formula = Term::and(vec![
+            Term::le(x(), Term::int(3)),
+            Term::ge(x(), Term::int(5)),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+        // x ≤ 3 ∧ x ≥ 2 is SAT.
+        let formula = Term::and(vec![
+            Term::le(x(), Term::int(3)),
+            Term::ge(x(), Term::int(2)),
+        ]);
+        assert!(check_formula(formula).is_sat());
+    }
+
+    #[test]
+    fn combined_boolean_and_theory() {
+        // (x = 1 ∨ x = 2) ∧ x ≠ 1 ∧ x ≠ 2 is UNSAT.
+        let formula = Term::and(vec![
+            Term::or(vec![
+                Term::eq(x(), Term::int(1)),
+                Term::eq(x(), Term::int(2)),
+            ]),
+            Term::neq(x(), Term::int(1)),
+            Term::neq(x(), Term::int(2)),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+    }
+
+    #[test]
+    fn equality_feeds_arithmetic() {
+        // x = y ∧ x ≤ 3 ∧ y ≥ 5 is UNSAT.
+        let formula = Term::and(vec![
+            Term::eq(x(), y()),
+            Term::le(x(), Term::int(3)),
+            Term::ge(y(), Term::int(5)),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+    }
+
+    #[test]
+    fn validity_of_simple_arithmetic_facts() {
+        // x ≤ 3 ⇒ x ≤ 5 is valid.
+        assert!(is_valid(Term::implies(
+            Term::le(x(), Term::int(3)),
+            Term::le(x(), Term::int(5))
+        )));
+        // x ≤ 5 ⇒ x ≤ 3 is not valid.
+        assert!(!is_valid(Term::implies(
+            Term::le(x(), Term::int(5)),
+            Term::le(x(), Term::int(3))
+        )));
+        // x = 1 ∧ y = 1 ⇒ x = y is valid.
+        assert!(is_valid(Term::implies(
+            Term::and(vec![
+                Term::eq(x(), Term::int(1)),
+                Term::eq(y(), Term::int(1))
+            ]),
+            Term::eq(x(), y())
+        )));
+    }
+
+    #[test]
+    fn distinct_string_constants_are_unequal() {
+        let alice = Term::App("const:Alice".into(), vec![]);
+        let bob = Term::App("const:Bob".into(), vec![]);
+        let v = Term::value_var("v");
+        let formula = Term::and(vec![
+            Term::eq(v.clone(), alice),
+            Term::eq(v, bob),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+    }
+
+    #[test]
+    fn sat_models_report_atoms() {
+        let formula = Term::and(vec![
+            Term::eq(x(), Term::int(1)),
+            Term::bool_var("p"),
+        ]);
+        match check_formula(formula) {
+            SmtResult::Sat(model) => {
+                assert!(model
+                    .atoms
+                    .iter()
+                    .any(|(atom, value)| *value && matches!(atom, Term::Eq(_, _))));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninterpreted_functions_in_arithmetic() {
+        // f(x) ≤ 3 ∧ f(x) ≥ 5 is UNSAT (f(x) treated as an opaque integer).
+        let fx = Term::App("f".into(), vec![x()]);
+        let formula = Term::and(vec![
+            Term::le(fx.clone(), Term::int(3)),
+            Term::ge(fx, Term::int(5)),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+    }
+
+    #[test]
+    fn sum_decomposition_like_lia_star() {
+        // The shape produced by LIA*: v = v1 + v2, v1 ≥ 0, v2 ≥ 0, v ≥ 1,
+        // v1 = 0, v2 = 0 is UNSAT.
+        let v = Term::int_var("v");
+        let v1 = Term::int_var("v1");
+        let v2 = Term::int_var("v2");
+        let formula = Term::and(vec![
+            Term::eq(v.clone(), Term::add(vec![v1.clone(), v2.clone()])),
+            Term::ge(v1.clone(), Term::int(0)),
+            Term::ge(v2.clone(), Term::int(0)),
+            Term::ge(v, Term::int(1)),
+            Term::eq(v1, Term::int(0)),
+            Term::eq(v2, Term::int(0)),
+        ]);
+        assert!(check_formula(formula).is_unsat());
+    }
+}

@@ -1,0 +1,296 @@
+//! The term language of the SMT solver.
+//!
+//! The solver decides quantifier-free formulas over two theories:
+//! **EUF** (equality with uninterpreted functions) and **LIA** (linear
+//! integer arithmetic). This is exactly the fragment the LIA\*-based decision
+//! procedure of GraphQE produces after eliminating unbounded summations.
+
+use std::fmt;
+
+/// The sort (type) of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Booleans.
+    Bool,
+    /// Mathematical integers.
+    Int,
+    /// An uninterpreted value sort (graph entities, strings, ...).
+    Value,
+}
+
+/// A quantifier-free SMT term / formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A boolean constant.
+    BoolConst(bool),
+    /// An integer constant.
+    IntConst(i64),
+    /// A named variable of the given sort name (`"bool"`, `"int"`, `"value"`).
+    Var(String, SortTag),
+    /// An application of an uninterpreted function to arguments.
+    App(String, Vec<Term>),
+    /// Equality between two terms of the same sort.
+    Eq(Box<Term>, Box<Term>),
+    /// `lhs ≤ rhs` over integers.
+    Le(Box<Term>, Box<Term>),
+    /// Integer addition (n-ary).
+    Add(Vec<Term>),
+    /// Multiplication of a term by an integer constant.
+    MulConst(i64, Box<Term>),
+    /// Boolean negation.
+    Not(Box<Term>),
+    /// Boolean conjunction (n-ary).
+    And(Vec<Term>),
+    /// Boolean disjunction (n-ary).
+    Or(Vec<Term>),
+    /// Boolean implication.
+    Implies(Box<Term>, Box<Term>),
+    /// If-then-else over booleans (condition, then, else).
+    Ite(Box<Term>, Box<Term>, Box<Term>),
+}
+
+/// A serializable sort tag carried by variables (the solver does not run a
+/// full type checker; it trusts the construction site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SortTag {
+    /// Boolean variable.
+    Bool,
+    /// Integer variable.
+    Int,
+    /// Uninterpreted value variable.
+    Value,
+}
+
+impl Term {
+    /// A boolean variable.
+    pub fn bool_var(name: impl Into<String>) -> Term {
+        Term::Var(name.into(), SortTag::Bool)
+    }
+
+    /// An integer variable.
+    pub fn int_var(name: impl Into<String>) -> Term {
+        Term::Var(name.into(), SortTag::Int)
+    }
+
+    /// An uninterpreted value variable.
+    pub fn value_var(name: impl Into<String>) -> Term {
+        Term::Var(name.into(), SortTag::Value)
+    }
+
+    /// An integer constant.
+    pub fn int(v: i64) -> Term {
+        Term::IntConst(v)
+    }
+
+    /// The boolean constant `true`.
+    pub fn tt() -> Term {
+        Term::BoolConst(true)
+    }
+
+    /// The boolean constant `false`.
+    pub fn ff() -> Term {
+        Term::BoolConst(false)
+    }
+
+    /// Equality.
+    pub fn eq(lhs: Term, rhs: Term) -> Term {
+        Term::Eq(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Disequality.
+    pub fn neq(lhs: Term, rhs: Term) -> Term {
+        Term::Not(Box::new(Term::eq(lhs, rhs)))
+    }
+
+    /// `lhs ≤ rhs`.
+    pub fn le(lhs: Term, rhs: Term) -> Term {
+        Term::Le(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs < rhs` (encoded as `lhs + 1 ≤ rhs` over integers).
+    pub fn lt(lhs: Term, rhs: Term) -> Term {
+        Term::le(Term::Add(vec![lhs, Term::int(1)]), rhs)
+    }
+
+    /// `lhs ≥ rhs`.
+    pub fn ge(lhs: Term, rhs: Term) -> Term {
+        Term::le(rhs, lhs)
+    }
+
+    /// `lhs > rhs`.
+    pub fn gt(lhs: Term, rhs: Term) -> Term {
+        Term::lt(rhs, lhs)
+    }
+
+    /// N-ary conjunction with trivial simplification.
+    pub fn and(terms: Vec<Term>) -> Term {
+        let mut flat = Vec::new();
+        for term in terms {
+            match term {
+                Term::BoolConst(true) => {}
+                Term::BoolConst(false) => return Term::ff(),
+                Term::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Term::tt(),
+            1 => flat.into_iter().next().expect("one term"),
+            _ => Term::And(flat),
+        }
+    }
+
+    /// N-ary disjunction with trivial simplification.
+    pub fn or(terms: Vec<Term>) -> Term {
+        let mut flat = Vec::new();
+        for term in terms {
+            match term {
+                Term::BoolConst(false) => {}
+                Term::BoolConst(true) => return Term::tt(),
+                Term::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Term::ff(),
+            1 => flat.into_iter().next().expect("one term"),
+            _ => Term::Or(flat),
+        }
+    }
+
+    /// Negation with double-negation elimination.
+    pub fn not(term: Term) -> Term {
+        match term {
+            Term::BoolConst(b) => Term::BoolConst(!b),
+            Term::Not(inner) => *inner,
+            other => Term::Not(Box::new(other)),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(lhs: Term, rhs: Term) -> Term {
+        Term::Implies(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Addition.
+    pub fn add(terms: Vec<Term>) -> Term {
+        let mut flat = Vec::new();
+        for term in terms {
+            match term {
+                Term::Add(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            1 => flat.into_iter().next().expect("one term"),
+            _ => Term::Add(flat),
+        }
+    }
+
+    /// Returns `true` if the term is a boolean-sorted formula.
+    pub fn is_formula(&self) -> bool {
+        matches!(
+            self,
+            Term::BoolConst(_)
+                | Term::Var(_, SortTag::Bool)
+                | Term::Eq(_, _)
+                | Term::Le(_, _)
+                | Term::Not(_)
+                | Term::And(_)
+                | Term::Or(_)
+                | Term::Implies(_, _)
+                | Term::Ite(_, _, _)
+        )
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::BoolConst(b) => write!(f, "{b}"),
+            Term::IntConst(v) => write!(f, "{v}"),
+            Term::Var(name, _) => write!(f, "{name}"),
+            Term::App(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Eq(a, b) => write!(f, "(= {a} {b})"),
+            Term::Le(a, b) => write!(f, "(<= {a} {b})"),
+            Term::Add(items) => {
+                write!(f, "(+")?;
+                for item in items {
+                    write!(f, " {item}")?;
+                }
+                write!(f, ")")
+            }
+            Term::MulConst(c, t) => write!(f, "(* {c} {t})"),
+            Term::Not(t) => write!(f, "(not {t})"),
+            Term::And(items) => {
+                write!(f, "(and")?;
+                for item in items {
+                    write!(f, " {item}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Or(items) => {
+                write!(f, "(or")?;
+                for item in items {
+                    write!(f, " {item}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Implies(a, b) => write!(f, "(=> {a} {b})"),
+            Term::Ite(c, t, e) => write!(f, "(ite {c} {t} {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_simplify() {
+        assert_eq!(Term::and(vec![Term::tt(), Term::bool_var("a")]), Term::bool_var("a"));
+        assert_eq!(Term::and(vec![Term::ff(), Term::bool_var("a")]), Term::ff());
+        assert_eq!(Term::or(vec![Term::ff()]), Term::ff());
+        assert_eq!(Term::or(vec![Term::tt(), Term::bool_var("a")]), Term::tt());
+        assert_eq!(Term::not(Term::not(Term::bool_var("a"))), Term::bool_var("a"));
+        assert_eq!(Term::and(vec![]), Term::tt());
+        assert_eq!(Term::or(vec![]), Term::ff());
+    }
+
+    #[test]
+    fn comparison_sugar() {
+        let x = Term::int_var("x");
+        let y = Term::int_var("y");
+        assert_eq!(
+            Term::lt(x.clone(), y.clone()),
+            Term::le(Term::Add(vec![x.clone(), Term::int(1)]), y.clone())
+        );
+        assert_eq!(Term::ge(x.clone(), y.clone()), Term::le(y, x));
+    }
+
+    #[test]
+    fn display_renders_sexprs() {
+        let formula = Term::and(vec![
+            Term::eq(Term::int_var("x"), Term::int(3)),
+            Term::le(Term::int_var("y"), Term::int_var("x")),
+        ]);
+        assert_eq!(formula.to_string(), "(and (= x 3) (<= y x))");
+    }
+
+    #[test]
+    fn is_formula_distinguishes_sorts() {
+        assert!(Term::eq(Term::int_var("x"), Term::int(1)).is_formula());
+        assert!(Term::bool_var("p").is_formula());
+        assert!(!Term::int_var("x").is_formula());
+        assert!(!Term::App("f".into(), vec![Term::int_var("x")]).is_formula());
+    }
+}

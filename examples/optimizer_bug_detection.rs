@@ -1,0 +1,43 @@
+//! Use the prover the way the paper motivates it (§I): detecting faulty
+//! query rewrites such as the ones a graph-database optimizer might apply.
+//! Each candidate rewrite is checked; wrong ones are rejected together with
+//! a counterexample graph.
+//!
+//! Run with `cargo run --example optimizer_bug_detection`.
+
+use graphqe::{GraphQE, Verdict};
+
+fn main() {
+    let prover = GraphQE::new();
+    let original = "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE v.verified = true \
+                    RETURN u.name";
+    // Candidate rewrites an optimizer might propose.
+    let candidates = [
+        // Correct: push the property test into the pattern.
+        ("predicate pushdown", "MATCH (u:User)-[f:FOLLOWS]->(v:User {verified: true}) RETURN u.name"),
+        // Correct: reverse the pattern direction.
+        ("pattern reversal", "MATCH (v:User)<-[f:FOLLOWS]-(u:User) WHERE v.verified = true RETURN u.name"),
+        // Bug: the filter now applies to the follower instead of the followee.
+        ("wrong filter target", "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE u.verified = true RETURN u.name"),
+        // Bug: deduplication changes bag semantics.
+        ("spurious DISTINCT", "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE v.verified = true RETURN DISTINCT u.name"),
+    ];
+
+    println!("original: {original}\n");
+    for (name, candidate) in candidates {
+        match prover.prove(original, candidate) {
+            Verdict::Equivalent(stats) => {
+                println!("[ok]  {name}: equivalent (proved in {:?})", stats.latency)
+            }
+            Verdict::NotEquivalent(example) => println!(
+                "[BUG] {name}: rejected — differs on a {}-node graph ({} vs {} rows)",
+                example.graph.node_count(),
+                example.left_rows,
+                example.right_rows
+            ),
+            Verdict::Unknown { category, reason } => {
+                println!("[??]  {name}: unknown ({category}): {reason}")
+            }
+        }
+    }
+}

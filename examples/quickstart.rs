@@ -1,0 +1,26 @@
+//! Quickstart: prove two Cypher queries equivalent and reject a mutated one.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use graphqe::GraphQE;
+
+fn main() {
+    let prover = GraphQE::new();
+
+    // The rewrite of Listing 1 of the paper: reversing the path direction
+    // does not change the result.
+    let original = "MATCH (reader:Person)-[:READ]->(book:Book)<-[:WRITE]-(writer) \
+                    WHERE reader.name = 'Alice' RETURN writer.name";
+    let rewritten = "MATCH (writer)-[:WRITE]->(book:Book)<-[:READ]-(reader:Person) \
+                     WHERE reader.name = 'Alice' RETURN writer.name";
+    println!("Q1: {original}");
+    println!("Q2: {rewritten}");
+    println!("=> {}\n", prover.prove(original, rewritten));
+
+    // A faulty rewrite (wrong relationship label) is rejected with a
+    // counterexample graph.
+    let faulty = "MATCH (reader:Person)-[:WRITE]->(book:Book)<-[:READ]-(writer) \
+                  WHERE reader.name = 'Alice' RETURN writer.name";
+    println!("Q3 (faulty): {faulty}");
+    println!("=> {}", prover.prove(original, faulty));
+}

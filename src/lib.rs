@@ -1,0 +1,14 @@
+//! Umbrella crate for the GraphQE-rs workspace.
+//!
+//! This crate exists so that the workspace root can host runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). It simply
+//! re-exports the public crates of the workspace under stable names.
+
+pub use cypher_normalizer as normalizer;
+pub use cypher_parser as parser;
+pub use cyeqset;
+pub use gexpr;
+pub use graphqe;
+pub use liastar;
+pub use property_graph;
+pub use smt;
