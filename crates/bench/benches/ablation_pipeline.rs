@@ -1,20 +1,19 @@
 //! Ablation benchmark: pipeline latency with and without Table II
 //! normalization (DESIGN.md §7).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graphqe::GraphQE;
+use graphqe_bench::microbench::bench;
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let q1 = "MATCH (n1)-[*1..2]->(n2) RETURN n1";
     let q2 = "MATCH (n1)-[]->(n2) RETURN n1 UNION ALL MATCH (n1)-[]->()-[]->(n2) RETURN n1";
-    let mut group = c.benchmark_group("ablation/normalization");
-    group.sample_size(10);
+    println!("ablation/normalization");
     let full = GraphQE::new();
     let without = GraphQE { normalize: false, search_counterexamples: false, ..GraphQE::new() };
-    group.bench_function("with_normalization", |b| b.iter(|| full.prove(q1, q2)));
-    group.bench_function("without_normalization", |b| b.iter(|| without.prove(q1, q2)));
-    group.finish();
+    bench("with_normalization", 10, || {
+        std::hint::black_box(full.prove(q1, q2));
+    });
+    bench("without_normalization", 10, || {
+        std::hint::black_box(without.prove(q1, q2));
+    });
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

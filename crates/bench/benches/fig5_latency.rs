@@ -1,31 +1,22 @@
-//! Criterion benchmark backing Fig. 5: latency of the cheapest and the most
-//! expensive pipeline paths (structural proof vs. divide-and-conquer).
+//! Benchmark backing Fig. 5: latency of the cheapest and the most expensive
+//! pipeline paths (structural proof vs. divide-and-conquer).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graphqe::GraphQE;
+use graphqe_bench::microbench::bench;
 
-fn bench_latency_extremes(c: &mut Criterion) {
+fn main() {
     let prover = GraphQE::new();
-    let mut group = c.benchmark_group("fig5/latency");
-    group.sample_size(10);
-    group.bench_function("fast_structural_pair", |b| {
-        b.iter(|| {
-            prover.prove(
-                "MATCH (person)-[x:READ]->(book:Book) RETURN person.name",
-                "MATCH (n1)-[r1:READ]->(n2:Book) RETURN n1.name",
-            )
-        })
+    println!("fig5/latency");
+    bench("fast_structural_pair", 10, || {
+        std::hint::black_box(prover.prove(
+            "MATCH (person)-[x:READ]->(book:Book) RETURN person.name",
+            "MATCH (n1)-[r1:READ]->(n2:Book) RETURN n1.name",
+        ));
     });
-    group.bench_function("divide_and_conquer_pair", |b| {
-        b.iter(|| {
-            prover.prove(
-                "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
-                "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n2)<-[]-(n1) RETURN n2",
-            )
-        })
+    bench("divide_and_conquer_pair", 10, || {
+        std::hint::black_box(prover.prove(
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n2)<-[]-(n1) RETURN n2",
+        ));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_latency_extremes);
-criterion_main!(benches);

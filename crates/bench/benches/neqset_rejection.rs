@@ -1,31 +1,22 @@
-//! Criterion benchmark backing the CyNeqSet experiment: cost of rejecting a
-//! mutated pair via counterexample search.
+//! Benchmark backing the CyNeqSet experiment: cost of rejecting a mutated
+//! pair via counterexample search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graphqe::GraphQE;
+use graphqe_bench::microbench::bench;
 
-fn bench_rejection(c: &mut Criterion) {
+fn main() {
     let prover = GraphQE::new();
-    let mut group = c.benchmark_group("neqset/reject_pair");
-    group.sample_size(10);
-    group.bench_function("direction_flip", |b| {
-        b.iter(|| {
-            prover.prove(
-                "MATCH (a:Person)-[r:READ]->(b) RETURN a.name",
-                "MATCH (a:Person)<-[r:READ]-(b) RETURN a.name",
-            )
-        })
+    println!("neqset/reject_pair");
+    bench("direction_flip", 10, || {
+        std::hint::black_box(prover.prove(
+            "MATCH (a:Person)-[r:READ]->(b) RETURN a.name",
+            "MATCH (a:Person)<-[r:READ]-(b) RETURN a.name",
+        ));
     });
-    group.bench_function("distinct_toggle", |b| {
-        b.iter(|| {
-            prover.prove(
-                "MATCH (n:Person)-[:READ]->(b) RETURN b.title",
-                "MATCH (n:Person)-[:READ]->(b) RETURN DISTINCT b.title",
-            )
-        })
+    bench("distinct_toggle", 10, || {
+        std::hint::black_box(prover.prove(
+            "MATCH (n:Person)-[:READ]->(b) RETURN b.title",
+            "MATCH (n:Person)-[:READ]->(b) RETURN DISTINCT b.title",
+        ));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_rejection);
-criterion_main!(benches);

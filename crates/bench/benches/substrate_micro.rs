@@ -1,40 +1,43 @@
-//! Micro-benchmarks of the substrates: parser, evaluator, SMT solver and
-//! G-expression construction.
+//! Micro-benchmarks of the substrates: parser, evaluator, SMT solver,
+//! G-expression construction, and the two normalizers (tree vs. arena).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cypher_parser::parse_query;
+use graphqe_bench::microbench::bench;
 use property_graph::{evaluate_query, PropertyGraph};
 use smt::{Solver, Term};
 
-fn bench_substrates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates");
-    group.sample_size(20);
+fn main() {
+    println!("substrates");
     let text = "MATCH (reader:Person)-[:READ]->(book:Book)<-[:WRITE]-(writer) \
                 WHERE reader.name = 'Alice' RETURN writer.name";
-    group.bench_function("parser/listing1", |b| b.iter(|| parse_query(text).unwrap()));
+    bench("parser/listing1", 20, || {
+        std::hint::black_box(parse_query(text).unwrap());
+    });
 
     let graph = PropertyGraph::paper_example();
     let query = parse_query(text).unwrap();
-    group.bench_function("evaluator/listing1", |b| {
-        b.iter(|| evaluate_query(&graph, &query).unwrap())
+    bench("evaluator/listing1", 20, || {
+        std::hint::black_box(evaluate_query(&graph, &query).unwrap());
     });
 
     let parsed = parse_query(text).unwrap();
-    group.bench_function("gexpr/build_listing1", |b| {
-        b.iter(|| gexpr::build_query(&parsed).unwrap())
+    bench("gexpr/build_listing1", 20, || {
+        std::hint::black_box(gexpr::build_query(&parsed).unwrap());
     });
 
-    group.bench_function("smt/lia_unsat", |b| {
-        b.iter(|| {
-            let mut solver = Solver::new();
-            let x = Term::int_var("x");
-            solver.assert(Term::le(x.clone(), Term::int(3)));
-            solver.assert(Term::ge(x, Term::int(5)));
-            assert!(solver.check().is_unsat());
-        })
+    let built = gexpr::build_query(&parsed).unwrap();
+    bench("gexpr/normalize_tree_listing1", 20, || {
+        std::hint::black_box(gexpr::normalize_tree(&built.expr));
     });
-    group.finish();
+    bench("gexpr/normalize_arena_listing1", 20, || {
+        std::hint::black_box(gexpr::normalize(&built.expr));
+    });
+
+    bench("smt/lia_unsat", 20, || {
+        let mut solver = Solver::new();
+        let x = Term::int_var("x");
+        solver.assert(Term::le(x.clone(), Term::int(3)));
+        solver.assert(Term::ge(x, Term::int(5)));
+        assert!(solver.check().is_unsat());
+    });
 }
-
-criterion_group!(benches, bench_substrates);
-criterion_main!(benches);

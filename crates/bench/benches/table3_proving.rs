@@ -1,21 +1,16 @@
-//! Criterion benchmark backing Table III: end-to-end proving latency per
-//! project (one representative pair each) and the full-dataset batch.
+//! Benchmark backing Table III: end-to-end proving latency per project (one
+//! representative pair each). Plain `std::time` harness — see
+//! `graphqe_bench::microbench` for why Criterion is not used.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graphqe::GraphQE;
-use graphqe_bench::representative_pairs;
+use graphqe_bench::{microbench::bench, representative_pairs};
 
-fn bench_per_project(c: &mut Criterion) {
+fn main() {
     let prover = GraphQE::new();
-    let mut group = c.benchmark_group("table3/prove_pair");
-    group.sample_size(10);
+    println!("table3/prove_pair");
     for pair in representative_pairs() {
-        group.bench_function(pair.project.name(), |b| {
-            b.iter(|| prover.prove(&pair.left, &pair.right))
+        bench(pair.project.name(), 10, || {
+            std::hint::black_box(prover.prove(&pair.left, &pair.right));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_per_project);
-criterion_main!(benches);

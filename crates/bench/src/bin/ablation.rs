@@ -7,10 +7,7 @@ use graphqe_bench::run_cyeqset;
 fn main() {
     let configurations = [
         ("full pipeline", GraphQE::new()),
-        (
-            "without Table II normalization",
-            GraphQE { normalize: false, ..GraphQE::new() },
-        ),
+        ("without Table II normalization", GraphQE { normalize: false, ..GraphQE::new() }),
         (
             "without counterexample search",
             GraphQE { search_counterexamples: false, ..GraphQE::new() },
@@ -21,6 +18,9 @@ fn main() {
         let results = run_cyeqset(&prover);
         let proved = results.iter().filter(|r| r.verdict.is_equivalent()).count();
         let rejected = results.iter().filter(|r| r.verdict.is_not_equivalent()).count();
-        println!("  {name:<34} proved {proved:>3} / {} (spurious rejections: {rejected})", results.len());
+        println!(
+            "  {name:<34} proved {proved:>3} / {} (spurious rejections: {rejected})",
+            results.len()
+        );
     }
 }

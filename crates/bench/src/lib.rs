@@ -3,7 +3,9 @@
 
 #![warn(missing_docs)]
 
-use std::time::{Duration, Instant};
+pub mod microbench;
+
+use std::time::Duration;
 
 use cyeqset::{cyeqset, cyneqset, Project, QueryPair, TABLE3_TARGETS};
 use graphqe::{FailureCategory, GraphQE, Verdict};
@@ -29,14 +31,34 @@ pub fn run_cyneqset(prover: &GraphQE) -> Vec<PairResult> {
     run_pairs(prover, cyneqset())
 }
 
-fn run_pairs(prover: &GraphQE, pairs: Vec<QueryPair>) -> Vec<PairResult> {
+/// Proves a dataset through the parallel batch API (all available cores).
+///
+/// Note on latency semantics: each [`PairResult::latency`] is the wall-clock
+/// of that pair *as observed by its worker*, so under the parallel default it
+/// includes CPU contention from concurrently proved pairs. Reports that need
+/// per-pair latencies comparable to sequential measurements (e.g. Fig. 5)
+/// should call [`run_pairs_with_threads`] with `threads = 1`.
+pub fn run_pairs(prover: &GraphQE, pairs: Vec<QueryPair>) -> Vec<PairResult> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    run_pairs_with_threads(prover, pairs, threads)
+}
+
+/// [`run_pairs`] with an explicit worker count (1 = the sequential baseline).
+pub fn run_pairs_with_threads(
+    prover: &GraphQE,
+    pairs: Vec<QueryPair>,
+    threads: usize,
+) -> Vec<PairResult> {
+    let texts: Vec<(&str, &str)> =
+        pairs.iter().map(|pair| (pair.left.as_str(), pair.right.as_str())).collect();
+    let outcomes = prover.prove_batch_detailed(&texts, threads);
     pairs
         .into_iter()
-        .map(|pair| {
-            let start = Instant::now();
-            let verdict = prover.prove(&pair.left, &pair.right);
-            let latency = start.elapsed();
-            PairResult { pair, verdict, latency }
+        .zip(outcomes)
+        .map(|(pair, outcome)| PairResult {
+            pair,
+            verdict: outcome.verdict,
+            latency: outcome.latency,
         })
         .collect()
 }

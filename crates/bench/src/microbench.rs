@@ -1,0 +1,75 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the Criterion
+//! benches the crate originally shipped have been rewritten on top of this
+//! module: plain `harness = false` binaries that time closures with
+//! `std::time::Instant` and print a compact report. Statistical rigor is
+//! deliberately modest (median over a fixed number of samples after one
+//! warm-up); the reports exist to track relative movement between PRs, not
+//! to publish absolute numbers.
+
+use std::time::{Duration, Instant};
+
+/// The timing summary of one benchmarked closure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Benchmark label.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median sample duration.
+    pub median: Duration,
+    /// Mean sample duration.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+}
+
+impl Report {
+    /// One-line rendering, aligned for terminal output.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} median {:>12.3?}  mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            self.name, self.median, self.mean, self.min, self.samples
+        )
+    }
+}
+
+/// Times `f` for `samples` iterations (after one untimed warm-up) and prints
+/// the report.
+pub fn bench(name: &str, samples: usize, mut f: impl FnMut()) -> Report {
+    f(); // warm-up: fill caches, fault in lazily initialized state
+    let samples = samples.max(1);
+    let mut durations = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        durations.push(start.elapsed());
+    }
+    durations.sort();
+    let total: Duration = durations.iter().sum();
+    let report = Report {
+        name: name.to_string(),
+        samples,
+        median: durations[samples / 2],
+        mean: total / samples as u32,
+        min: durations[0],
+    };
+    println!("{}", report.line());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_statistics() {
+        let report = bench("noop", 5, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(report.samples, 5);
+        assert!(report.min <= report.median);
+        assert!(report.median <= Duration::from_secs(1));
+    }
+}

@@ -6,6 +6,10 @@
 //! instead the prover searches for a concrete property graph on which the
 //! two queries return different bags — a strictly stronger certificate.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use cypher_parser::ast::Query;
 use property_graph::{evaluate_query, GeneratorConfig, GraphGenerator, PropertyGraph};
 
@@ -27,29 +31,69 @@ impl Default for SearchConfig {
     }
 }
 
+/// The full identity of a candidate pool: search parameters plus the
+/// query-derived generator vocabulary. Used directly as the cache key (not a
+/// hash of it), so distinct configurations can never collide.
+#[derive(PartialEq, Eq, Hash)]
+struct PoolKey {
+    random_graphs: usize,
+    seed: u64,
+    vocabulary: GeneratorConfig,
+}
+
+thread_local! {
+    /// Exhausted candidate pools, keyed by the search configuration and the
+    /// query-derived generator vocabulary. The generator is deterministic,
+    /// so two searches with the same key explore the exact same graphs;
+    /// caching the pool once it has been fully generated means repeated
+    /// searches over the same vocabulary (equivalent-but-unprovable pairs in
+    /// a batch, repeated service requests) skip regeneration entirely. Pools
+    /// of searches that exit early with a witness are *not* cached — they
+    /// stay lazy.
+    static POOL_CACHE: RefCell<HashMap<PoolKey, Rc<Vec<PropertyGraph>>>> =
+        RefCell::new(HashMap::new());
+}
+
 /// Searches for a property graph on which the two queries disagree.
 pub fn find_counterexample(
     q1: &Query,
     q2: &Query,
     config: &SearchConfig,
 ) -> Option<Counterexample> {
-    for graph in candidate_graphs(config, q1, q2) {
-        let left = match evaluate_query(&graph, q1) {
-            Ok(result) => result,
-            Err(_) => continue,
-        };
-        let right = match evaluate_query(&graph, q2) {
-            Ok(result) => result,
-            Err(_) => continue,
-        };
+    let vocabulary = GeneratorConfig::from_queries(&[q1, q2]);
+    let key = PoolKey {
+        random_graphs: config.random_graphs,
+        seed: config.seed,
+        vocabulary: vocabulary.clone(),
+    };
+
+    let check = |graph: &PropertyGraph| -> Option<Counterexample> {
+        let left = evaluate_query(graph, q1).ok()?;
+        let right = evaluate_query(graph, q2).ok()?;
         if !left.bag_equal(&right) {
             return Some(Counterexample {
-                graph,
+                graph: graph.clone(),
                 left_rows: left.len(),
                 right_rows: right.len(),
             });
         }
+        None
+    };
+
+    if let Some(pool) = POOL_CACHE.with(|cache| cache.borrow().get(&key).cloned()) {
+        return pool.iter().find_map(check);
     }
+
+    let mut explored = Vec::new();
+    for graph in candidate_graphs(config, vocabulary) {
+        if let Some(example) = check(&graph) {
+            return Some(example);
+        }
+        explored.push(graph);
+    }
+    // The pool was exhausted without a witness; keep it for the next search
+    // over the same vocabulary.
+    POOL_CACHE.with(|cache| cache.borrow_mut().insert(key, Rc::new(explored)));
     None
 }
 
@@ -57,10 +101,16 @@ pub fn find_counterexample(
 /// tiny deterministic graphs, then random graphs of increasing size whose
 /// labels, property keys and constants are drawn from the queries themselves
 /// (so that their predicates actually select rows).
-fn candidate_graphs(config: &SearchConfig, q1: &Query, q2: &Query) -> Vec<PropertyGraph> {
-    let vocabulary = GeneratorConfig::from_queries(&[q1, q2]);
-    let mut graphs = vec![PropertyGraph::new(), PropertyGraph::paper_example()];
-
+///
+/// The candidates are produced **lazily**: random graphs past the first
+/// witnessing counterexample are never generated, let alone evaluated. On
+/// CyNeqSet most pairs are separated by one of the deterministic seed graphs
+/// or the first few random ones, so the bulk of the (previously eager) pool
+/// is skipped entirely.
+fn candidate_graphs(
+    config: &SearchConfig,
+    vocabulary: GeneratorConfig,
+) -> impl Iterator<Item = PropertyGraph> {
     // A small dense graph with self-loops and parallel edges: good at
     // separating direction / multiplicity differences.
     let mut dense = PropertyGraph::new();
@@ -72,20 +122,21 @@ fn candidate_graphs(config: &SearchConfig, q1: &Query, q2: &Query) -> Vec<Proper
     dense.add_relationship("KNOWS", a, a, Vec::<(String, property_graph::Value)>::new());
     dense.add_relationship("KNOWS", a, c, Vec::<(String, property_graph::Value)>::new());
     dense.add_relationship("KNOWS", c, b, Vec::<(String, property_graph::Value)>::new());
-    graphs.push(dense);
+    let seeds = vec![PropertyGraph::new(), PropertyGraph::paper_example(), dense];
 
-    let mut generator = GraphGenerator::with_config(config.seed, vocabulary.clone());
-    graphs.extend(generator.generate_many(config.random_graphs / 2));
+    let small_count = config.random_graphs / 2;
+    let large_count = config.random_graphs - small_count;
+    let mut small = GraphGenerator::with_config(config.seed, vocabulary.clone());
     // A second pool with larger graphs.
-    let mut generator = GraphGenerator::with_config(
+    let mut large = GraphGenerator::with_config(
         config.seed.wrapping_add(1),
         GeneratorConfig { max_nodes: 9, max_relationships: 16, ..vocabulary },
     );
-    graphs.extend(generator.generate_many(config.random_graphs - config.random_graphs / 2));
-    graphs
+    seeds
+        .into_iter()
+        .chain((0..small_count).map(move |_| small.generate()))
+        .chain((0..large_count).map(move |_| large.generate()))
 }
-
-
 
 #[cfg(test)]
 mod tests {
@@ -134,11 +185,21 @@ mod tests {
 
     #[test]
     fn equivalent_queries_have_no_counterexample() {
-        assert!(search(
-            "MATCH (a)-[r]->(b) RETURN a",
-            "MATCH (b)<-[r]-(a) RETURN a"
-        )
-        .is_none());
+        assert!(search("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a").is_none());
+    }
+
+    #[test]
+    fn repeated_searches_reuse_the_exhausted_pool_and_agree() {
+        // An equivalent pair exhausts the pool (no witness) and caches it;
+        // the second search over the same vocabulary must reach the same
+        // conclusion through the cached pool.
+        let q1 = "MATCH (a)-[r]->(b) RETURN a";
+        let q2 = "MATCH (b)<-[r]-(a) RETURN a";
+        assert!(search(q1, q2).is_none());
+        assert!(search(q1, q2).is_none());
+        // A non-equivalent pair with the same (default) vocabulary is still
+        // separated when scanning the now-cached pool.
+        assert!(search("MATCH (a)-[r]->(b) RETURN a", "MATCH (a)-[r]->(b) RETURN b").is_some());
     }
 
     #[test]

@@ -36,9 +36,7 @@ pub fn split_into_segments(query: &Query) -> Option<Vec<Query>> {
 
     for clause in &part.clauses {
         match clause {
-            Clause::With(w)
-                if w.projection.skip.is_some() || w.projection.limit.is_some() =>
-            {
+            Clause::With(w) if w.projection.skip.is_some() || w.projection.limit.is_some() => {
                 if w.where_clause.is_some() {
                     return None;
                 }
@@ -102,28 +100,19 @@ mod tests {
 
     #[test]
     fn splits_listing_2_queries_into_two_segments() {
-        let q = parse_query(
-            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
-        )
-        .unwrap();
+        let q =
+            parse_query("MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2")
+                .unwrap();
         let segments = split_into_segments(&q).unwrap();
         assert_eq!(segments.len(), 2);
-        assert_eq!(
-            query_to_string(&segments[0]),
-            "MATCH (n1) RETURN n1 ORDER BY n1.p1 LIMIT 1"
-        );
-        assert_eq!(
-            query_to_string(&segments[1]),
-            "MATCH (n1) MATCH (n1)-->(n2) RETURN n2"
-        );
+        assert_eq!(query_to_string(&segments[0]), "MATCH (n1) RETURN n1 ORDER BY n1.p1 LIMIT 1");
+        assert_eq!(query_to_string(&segments[1]), "MATCH (n1) MATCH (n1)-->(n2) RETURN n2");
     }
 
     #[test]
     fn refuses_non_variable_projections() {
-        let q = parse_query(
-            "MATCH (n1) WITH n1.name AS x ORDER BY x LIMIT 1 MATCH (m) RETURN m",
-        )
-        .unwrap();
+        let q = parse_query("MATCH (n1) WITH n1.name AS x ORDER BY x LIMIT 1 MATCH (m) RETURN m")
+            .unwrap();
         assert!(split_into_segments(&q).is_none());
     }
 

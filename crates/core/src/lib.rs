@@ -35,16 +35,27 @@ pub mod counterexample;
 pub mod divide;
 pub mod verdict;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use cypher_normalizer::normalize_query;
 use cypher_parser::ast::{Clause, ProjectionItems, Query};
 use cypher_parser::{parse_and_check, CheckError};
-use cypher_normalizer::normalize_query;
 use gexpr::{build_query, BuildError, BuildOutput, ColumnKind};
-use liastar::{check_equivalence_with_stats, Decision};
+use liastar::{check_equivalence_with_opts, DecideOptions, Decision};
 
 pub use counterexample::SearchConfig;
 pub use verdict::{Counterexample, FailureCategory, ProofStats, Verdict};
+
+/// One result of [`GraphQE::prove_batch_detailed`]: the verdict plus the
+/// wall-clock latency of the whole pipeline for that pair.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The verdict for the pair.
+    pub verdict: Verdict,
+    /// End-to-end latency of proving the pair (as observed by the worker).
+    pub latency: std::time::Duration,
+}
 
 /// The GraphQE prover with its configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +70,11 @@ pub struct GraphQE {
     /// Maximum number of return-element permutations tried when mapping the
     /// returned columns of the two queries (§IV-C).
     pub max_column_permutations: usize,
+    /// Decide with the reference tree normalizer instead of the memoizing
+    /// hash-consed arena. Verdicts are identical either way; this exists so
+    /// benchmarks can measure the arena speedup against the paper-faithful
+    /// baseline.
+    pub use_tree_normalizer: bool,
 }
 
 impl Default for GraphQE {
@@ -68,6 +84,7 @@ impl Default for GraphQE {
             search_counterexamples: true,
             search_config: SearchConfig::default(),
             max_column_permutations: 24,
+            use_tree_normalizer: false,
         }
     }
 }
@@ -95,6 +112,76 @@ impl GraphQE {
             stats.latency = start.elapsed();
         }
         verdict
+    }
+
+    /// Proves many pairs in one call, distributing them over all available
+    /// CPU cores. Results are returned in input order; each entry is exactly
+    /// what [`GraphQE::prove`] would return for that pair.
+    pub fn prove_batch<L, R>(&self, pairs: &[(L, R)]) -> Vec<Verdict>
+    where
+        L: AsRef<str> + Sync,
+        R: AsRef<str> + Sync,
+    {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.prove_batch_with_threads(pairs, threads)
+    }
+
+    /// [`GraphQE::prove_batch`] with an explicit worker-thread count.
+    pub fn prove_batch_with_threads<L, R>(&self, pairs: &[(L, R)], threads: usize) -> Vec<Verdict>
+    where
+        L: AsRef<str> + Sync,
+        R: AsRef<str> + Sync,
+    {
+        self.prove_batch_detailed(pairs, threads)
+            .into_iter()
+            .map(|outcome| outcome.verdict)
+            .collect()
+    }
+
+    /// Batch proving with per-pair wall-clock latencies, for benchmarking.
+    ///
+    /// Workers share the read-only prover configuration and pull pairs from a
+    /// single atomic cursor (dynamic load balancing — pair latencies vary by
+    /// orders of magnitude, so static chunking would straggle). Each worker
+    /// thread accumulates normalization results in its own thread-local
+    /// hash-consed arena, so structurally overlapping pairs — ubiquitous in
+    /// real workloads — are normalized once per worker.
+    pub fn prove_batch_detailed<L, R>(&self, pairs: &[(L, R)], threads: usize) -> Vec<BatchOutcome>
+    where
+        L: AsRef<str> + Sync,
+        R: AsRef<str> + Sync,
+    {
+        let prove_timed = |left: &str, right: &str| {
+            let start = Instant::now();
+            let verdict = self.prove(left, right);
+            BatchOutcome { verdict, latency: start.elapsed() }
+        };
+        let threads = threads.clamp(1, pairs.len().max(1));
+        if threads == 1 {
+            return pairs.iter().map(|(l, r)| prove_timed(l.as_ref(), r.as_ref())).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, BatchOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((left, right)) = pairs.get(index) else { break };
+                            local.push((index, prove_timed(left.as_ref(), right.as_ref())));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("prover worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(index, _)| *index);
+        indexed.into_iter().map(|(_, outcome)| outcome).collect()
     }
 
     /// Proves the (non-)equivalence of two parsed queries.
@@ -160,7 +247,8 @@ impl GraphQE {
                 let stats = self.prove_segment(a, b)?;
                 combined.decision.pruned_zero += stats.decision.pruned_zero;
                 combined.decision.pruned_implied += stats.decision.pruned_implied;
-                combined.column_permutation = combined.column_permutation.max(stats.column_permutation);
+                combined.column_permutation =
+                    combined.column_permutation.max(stats.column_permutation);
             }
             return Ok(combined);
         }
@@ -180,25 +268,21 @@ impl GraphQE {
         if built1.columns != built2.columns {
             // The paper: queries with different return arity can only be
             // equivalent if both always return the empty result.
-            if both_always_empty(&built1, &built2) {
+            if both_always_empty(&built1, &built2, self.use_tree_normalizer) {
                 return Ok(ProofStats::default());
             }
             return Err((
                 FailureCategory::Other,
-                format!(
-                    "the queries return {} and {} columns",
-                    built1.columns, built2.columns
-                ),
+                format!("the queries return {} and {} columns", built1.columns, built2.columns),
             ));
         }
 
         // Return-element mapping (§IV-C): try the identity first, then every
         // kind-compatible permutation of the second query's RETURN items.
-        for (index, permutation) in
-            column_permutations(&built1.column_kinds, &built2.column_kinds)
-                .into_iter()
-                .take(self.max_column_permutations)
-                .enumerate()
+        for (index, permutation) in column_permutations(&built1.column_kinds, &built2.column_kinds)
+            .into_iter()
+            .take(self.max_column_permutations)
+            .enumerate()
         {
             let candidate = if is_identity(&permutation) {
                 built2.clone()
@@ -208,7 +292,11 @@ impl GraphQE {
                     Err(_) => continue,
                 }
             };
-            let (decision, stats) = check_equivalence_with_stats(&built1.expr, &candidate.expr);
+            let (decision, stats) = check_equivalence_with_opts(
+                &built1.expr,
+                &candidate.expr,
+                DecideOptions { tree_normalizer: self.use_tree_normalizer },
+            );
             if decision == Decision::Proved {
                 return Ok(ProofStats {
                     column_permutation: index,
@@ -217,7 +305,10 @@ impl GraphQE {
                 });
             }
         }
-        Err((categorize_unproved(q1, q2), "the G-expressions could not be proven equal".to_string()))
+        Err((
+            categorize_unproved(q1, q2),
+            "the G-expressions could not be proven equal".to_string(),
+        ))
     }
 }
 
@@ -292,8 +383,10 @@ fn categorize_unproved(q1: &Query, q2: &Query) -> FailureCategory {
 }
 
 /// Both queries are provably empty (their normalized G-expressions are 0).
-fn both_always_empty(b1: &BuildOutput, b2: &BuildOutput) -> bool {
-    gexpr::normalize(&b1.expr).is_zero() && gexpr::normalize(&b2.expr).is_zero()
+fn both_always_empty(b1: &BuildOutput, b2: &BuildOutput, tree_normalizer: bool) -> bool {
+    let norm: fn(&gexpr::GExpr) -> gexpr::GExpr =
+        if tree_normalizer { gexpr::normalize_tree } else { gexpr::normalize };
+    norm(&b1.expr).is_zero() && norm(&b2.expr).is_zero()
 }
 
 /// All permutations of the second query's columns whose kinds match the first
@@ -419,24 +512,15 @@ mod tests {
             .is_equivalent());
         // RETURN * expansion (rule ③).
         assert!(prover
-            .prove(
-                "MATCH (x)-[z:R]->(y) RETURN *",
-                "MATCH (x)-[z:R]->(y) RETURN x, y, z"
-            )
+            .prove("MATCH (x)-[z:R]->(y) RETURN *", "MATCH (x)-[z:R]->(y) RETURN x, y, z")
             .is_equivalent());
         // Redundant WITH elimination (rule ④).
         assert!(prover
-            .prove(
-                "MATCH (x) WITH x.name AS name RETURN name",
-                "MATCH (x) RETURN x.name"
-            )
+            .prove("MATCH (x) WITH x.name AS name RETURN name", "MATCH (x) RETURN x.name")
             .is_equivalent());
         // id() equality simplification (rule ⑥).
         assert!(prover
-            .prove(
-                "MATCH (n1), (n2) WHERE id(n1) = id(n2) RETURN n2",
-                "MATCH (n1) RETURN n1"
-            )
+            .prove("MATCH (n1), (n2) WHERE id(n1) = id(n2) RETURN n2", "MATCH (n1) RETURN n1")
             .is_equivalent());
     }
 
@@ -499,10 +583,8 @@ mod tests {
     fn reports_the_papers_failure_categories() {
         let prover = GraphQE { search_counterexamples: false, ..GraphQE::new() };
         // Nested aggregate computation.
-        let verdict = prover.prove(
-            "MATCH (n) RETURN SUM(n.a) / COUNT(n)",
-            "MATCH (n) RETURN SUM(n.a) / COUNT(n)",
-        );
+        let verdict = prover
+            .prove("MATCH (n) RETURN SUM(n.a) / COUNT(n)", "MATCH (n) RETURN SUM(n.a) / COUNT(n)");
         match verdict {
             Verdict::Unknown { category, .. } => {
                 assert_eq!(category, FailureCategory::NestedAggregate)
@@ -547,6 +629,32 @@ mod tests {
         let q2 = "MATCH (n1) RETURN n1";
         assert!(with.prove(q1, q2).is_equivalent());
         assert!(!without.prove(q1, q2).is_equivalent());
+    }
+
+    #[test]
+    fn batch_proving_matches_sequential_verdicts_in_order() {
+        let prover = prover();
+        let pairs = vec![
+            ("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"),
+            ("MATCH (n:Person) RETURN n", "MATCH (n:Book) RETURN n"),
+            (
+                "MATCH (n) WHERE n.a = 1 AND n.b = 2 RETURN n",
+                "MATCH (n) WHERE n.b = 2 AND n.a = 1 RETURN n",
+            ),
+            ("MATCH (n) RETURN DISTINCT n.name", "MATCH (n) RETURN n.name"),
+        ];
+        for threads in [1, 3] {
+            let batch = prover.prove_batch_with_threads(&pairs, threads);
+            assert_eq!(batch.len(), pairs.len());
+            for ((left, right), verdict) in pairs.iter().zip(&batch) {
+                let solo = prover.prove(left, right);
+                assert_eq!(
+                    (solo.is_equivalent(), solo.is_not_equivalent()),
+                    (verdict.is_equivalent(), verdict.is_not_equivalent()),
+                    "batch verdict diverges for {left} vs {right} with {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -125,10 +125,8 @@ mod tests {
         let eq = Verdict::Equivalent(ProofStats::default());
         assert!(eq.is_equivalent());
         assert!(!eq.is_not_equivalent());
-        let unknown = Verdict::Unknown {
-            category: FailureCategory::Other,
-            reason: "x".to_string(),
-        };
+        let unknown =
+            Verdict::Unknown { category: FailureCategory::Other, reason: "x".to_string() };
         assert!(unknown.is_unknown());
         assert!(format!("{unknown}").contains("UNKNOWN"));
     }

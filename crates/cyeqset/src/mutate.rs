@@ -142,7 +142,8 @@ pub fn toggle_distinct(query_text: &str) -> Option<String> {
 /// Applies the mutation rules in a deterministic rotation starting at
 /// `index % 5`, returning the first one that applies together with its name.
 pub fn mutate(query_text: &str, index: usize) -> Option<(String, String)> {
-    let rules: [(&str, fn(&str) -> Option<String>); 5] = [
+    type MutationRule = (&'static str, fn(&str) -> Option<String>);
+    let rules: [MutationRule; 5] = [
         ("flip-direction", flip_direction),
         ("change-value-or-label", change_value_or_label),
         ("toggle-union", toggle_union),

@@ -328,10 +328,7 @@ mod tests {
             for (rule, rewritten) in all_rewrites(base) {
                 let query = parse_query(&rewritten).unwrap();
                 let actual = evaluate_query(&graph, &query).unwrap();
-                assert!(
-                    expected.bag_equal(&actual),
-                    "{rule} broke {base} -> {rewritten}"
-                );
+                assert!(expected.bag_equal(&actual), "{rule} broke {base} -> {rewritten}");
             }
         }
     }

@@ -424,7 +424,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
         )
     }
 
@@ -643,17 +648,14 @@ impl Expr {
             Expr::Property(e, key) => Expr::Property(Box::new(e.map(f)), key),
             Expr::Unary(op, e) => Expr::Unary(op, Box::new(e.map(f))),
             Expr::Binary(op, l, r) => Expr::Binary(op, Box::new(l.map(f)), Box::new(r.map(f))),
-            Expr::IsNull { expr, negated } => {
-                Expr::IsNull { expr: Box::new(expr.map(f)), negated }
-            }
+            Expr::IsNull { expr, negated } => Expr::IsNull { expr: Box::new(expr.map(f)), negated },
             Expr::List(items) => Expr::List(items.into_iter().map(|e| e.map(f)).collect()),
             Expr::Map(entries) => {
                 Expr::Map(entries.into_iter().map(|(k, v)| (k, v.map(f))).collect())
             }
-            Expr::FunctionCall { name, args } => Expr::FunctionCall {
-                name,
-                args: args.into_iter().map(|e| e.map(f)).collect(),
-            },
+            Expr::FunctionCall { name, args } => {
+                Expr::FunctionCall { name, args: args.into_iter().map(|e| e.map(f)).collect() }
+            }
             Expr::AggregateCall { func, distinct, arg } => {
                 Expr::AggregateCall { func, distinct, arg: Box::new(arg.map(f)) }
             }

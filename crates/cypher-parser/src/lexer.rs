@@ -261,10 +261,7 @@ impl<'a> Lexer<'a> {
                     } else {
                         // Walk back one byte and take the full char from the str.
                         let ch_start = self.pos - 1;
-                        let ch = self.input[ch_start..]
-                            .chars()
-                            .next()
-                            .expect("valid UTF-8 input");
+                        let ch = self.input[ch_start..].chars().next().expect("valid UTF-8 input");
                         value.push(ch);
                         self.pos = ch_start + ch.len_utf8();
                     }
@@ -414,14 +411,8 @@ mod tests {
     fn lexes_strings_with_escapes() {
         assert_eq!(kinds("'Alice'"), vec![TokenKind::StringLit("Alice".into())]);
         assert_eq!(kinds("\"Bob\""), vec![TokenKind::StringLit("Bob".into())]);
-        assert_eq!(
-            kinds(r"'it\'s'"),
-            vec![TokenKind::StringLit("it's".into())]
-        );
-        assert_eq!(
-            kinds(r#"'line\nbreak'"#),
-            vec![TokenKind::StringLit("line\nbreak".into())]
-        );
+        assert_eq!(kinds(r"'it\'s'"), vec![TokenKind::StringLit("it's".into())]);
+        assert_eq!(kinds(r#"'line\nbreak'"#), vec![TokenKind::StringLit("line\nbreak".into())]);
     }
 
     #[test]
@@ -445,11 +436,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("match return optional"), vec![
-            TokenKind::Match,
-            TokenKind::Return,
-            TokenKind::Optional
-        ]);
+        assert_eq!(
+            kinds("match return optional"),
+            vec![TokenKind::Match, TokenKind::Return, TokenKind::Optional]
+        );
     }
 
     #[test]
@@ -464,11 +454,10 @@ mod tests {
 
     #[test]
     fn bang_equals_is_not_equal() {
-        assert_eq!(kinds("a != b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Neq,
-            TokenKind::Ident("b".into())
-        ]);
+        assert_eq!(
+            kinds("a != b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Neq, TokenKind::Ident("b".into())]
+        );
         assert!(tokenize("a ! b").is_err());
     }
 

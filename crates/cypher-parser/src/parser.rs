@@ -216,8 +216,11 @@ impl Parser {
 
     fn parse_projection_item(&mut self) -> Result<ProjectionItem, ParseError> {
         let expr = self.parse_expression()?;
-        let alias =
-            if self.eat(&TokenKind::As) { Some(self.expect_ident("alias after AS")?) } else { None };
+        let alias = if self.eat(&TokenKind::As) {
+            Some(self.expect_ident("alias after AS")?)
+        } else {
+            None
+        };
         Ok(ProjectionItem { expr, alias })
     }
 
@@ -236,15 +239,14 @@ impl Parser {
 
     fn parse_path_pattern(&mut self) -> Result<PathPattern, ParseError> {
         // Optional path variable: `p = (...)...`
-        let variable = if matches!(self.peek(), TokenKind::Ident(_))
-            && *self.peek_at(1) == TokenKind::Eq
-        {
-            let name = self.expect_ident("path variable")?;
-            self.expect(&TokenKind::Eq)?;
-            Some(name)
-        } else {
-            None
-        };
+        let variable =
+            if matches!(self.peek(), TokenKind::Ident(_)) && *self.peek_at(1) == TokenKind::Eq {
+                let name = self.expect_ident("path variable")?;
+                self.expect(&TokenKind::Eq)?;
+                Some(name)
+            } else {
+                None
+            };
 
         let start = self.parse_node_pattern()?;
         let mut segments = Vec::new();
@@ -276,11 +278,7 @@ impl Parser {
     /// `-[...]->`, `<-[...]-`, `-[...]-`, `-->`, `<--` or `--`.
     fn parse_relationship_pattern(&mut self) -> Result<RelationshipPattern, ParseError> {
         let leading_lt = self.eat(&TokenKind::Lt);
-        if leading_lt {
-            self.expect(&TokenKind::Minus)?;
-        } else {
-            self.expect(&TokenKind::Minus)?;
-        }
+        self.expect(&TokenKind::Minus)?;
 
         let mut rel = RelationshipPattern {
             variable: None,
@@ -667,7 +665,8 @@ impl Parser {
             });
         }
         if distinct {
-            return self.error(format!("DISTINCT is only allowed in aggregate calls, not `{name}`"));
+            return self
+                .error(format!("DISTINCT is only allowed in aggregate calls, not `{name}`"));
         }
         Ok(Expr::FunctionCall { name: name.to_ascii_lowercase(), args })
     }
@@ -744,11 +743,8 @@ mod tests {
     fn parses_directions() {
         let q = parse_query("MATCH (a)-[r]->(b), (c)<-[s]-(d), (e)-[t]-(f) RETURN a").unwrap();
         let Clause::Match(m) = &q.parts[0].clauses[0] else { panic!() };
-        let dirs: Vec<_> = m
-            .patterns
-            .iter()
-            .map(|p| p.segments[0].relationship.direction)
-            .collect();
+        let dirs: Vec<_> =
+            m.patterns.iter().map(|p| p.segments[0].relationship.direction).collect();
         assert_eq!(
             dirs,
             vec![RelDirection::Outgoing, RelDirection::Incoming, RelDirection::Undirected]
@@ -836,10 +832,9 @@ mod tests {
 
     #[test]
     fn parses_union_and_union_all() {
-        let q = parse_query(
-            "MATCH (a) RETURN a UNION ALL MATCH (b) RETURN b UNION MATCH (c) RETURN c",
-        )
-        .unwrap();
+        let q =
+            parse_query("MATCH (a) RETURN a UNION ALL MATCH (b) RETURN b UNION MATCH (c) RETURN c")
+                .unwrap();
         assert_eq!(q.parts.len(), 3);
         assert_eq!(q.unions, vec![UnionKind::All, UnionKind::Distinct]);
     }
@@ -854,8 +849,9 @@ mod tests {
 
     #[test]
     fn parses_aggregates_and_count_star() {
-        let q = parse_query("MATCH (n:Person) RETURN COUNT(*), SUM(n.age), COLLECT(DISTINCT n.name)")
-            .unwrap();
+        let q =
+            parse_query("MATCH (n:Person) RETURN COUNT(*), SUM(n.age), COLLECT(DISTINCT n.name)")
+                .unwrap();
         let Clause::Return(p) = &q.parts[0].clauses[1] else { panic!() };
         let items = p.explicit_items().unwrap();
         assert_eq!(items[0].expr, Expr::CountStar { distinct: false });
@@ -871,10 +867,8 @@ mod tests {
 
     #[test]
     fn parses_exists_subquery() {
-        let q = parse_query(
-            "MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n",
-        )
-        .unwrap();
+        let q = parse_query("MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n")
+            .unwrap();
         let Clause::Match(m) = &q.parts[0].clauses[0] else { panic!() };
         assert!(matches!(m.where_clause, Some(Expr::Exists(_))));
     }
@@ -891,7 +885,11 @@ mod tests {
         let e = parse_expression("1 + 2 * 3").unwrap();
         assert_eq!(
             e,
-            Expr::binary(BinaryOp::Add, Expr::int(1), Expr::binary(BinaryOp::Mul, Expr::int(2), Expr::int(3)))
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::int(1),
+                Expr::binary(BinaryOp::Mul, Expr::int(2), Expr::int(3))
+            )
         );
         let e = parse_expression("a.x = 1 AND b.y = 2 OR c.z = 3").unwrap();
         match e {
@@ -955,7 +953,10 @@ mod tests {
         let e = parse_expression("id(n) = $target").unwrap();
         match e {
             Expr::Binary(BinaryOp::Eq, lhs, rhs) => {
-                assert_eq!(*lhs, Expr::FunctionCall { name: "id".into(), args: vec![Expr::var("n")] });
+                assert_eq!(
+                    *lhs,
+                    Expr::FunctionCall { name: "id".into(), args: vec![Expr::var("n")] }
+                );
                 assert_eq!(*rhs, Expr::Parameter("target".into()));
             }
             other => panic!("unexpected: {other:?}"),
@@ -973,10 +974,8 @@ mod tests {
 
     #[test]
     fn parses_multiple_matches_and_chained_clauses() {
-        let q = parse_query(
-            "MATCH (n1) MATCH (n1)-[]->(n2) WITH n2 MATCH (n2)-[]->(n3) RETURN n3",
-        )
-        .unwrap();
+        let q = parse_query("MATCH (n1) MATCH (n1)-[]->(n2) WITH n2 MATCH (n2)-[]->(n3) RETURN n3")
+            .unwrap();
         assert_eq!(q.parts[0].clauses.len(), 5);
     }
 
@@ -999,15 +998,13 @@ mod tests {
 
     #[test]
     fn parses_the_paper_listing_2_queries() {
-        let q1 = parse_query(
-            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2")
+                .unwrap();
         assert_eq!(q1.parts[0].clauses.len(), 4);
-        let q2 = parse_query(
-            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n2)<-[]-(n1) RETURN n2",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n2)<-[]-(n1) RETURN n2")
+                .unwrap();
         assert_eq!(q2.parts[0].clauses.len(), 4);
     }
 

@@ -35,9 +35,7 @@ pub fn clause_to_string(clause: &Clause) -> String {
                 out.push_str("OPTIONAL ");
             }
             out.push_str("MATCH ");
-            out.push_str(
-                &m.patterns.iter().map(path_to_string).collect::<Vec<_>>().join(", "),
-            );
+            out.push_str(&m.patterns.iter().map(path_to_string).collect::<Vec<_>>().join(", "));
             if let Some(w) = &m.where_clause {
                 out.push_str(" WHERE ");
                 out.push_str(&expr_to_string(w));
@@ -358,8 +356,7 @@ mod tests {
     fn round_trip(text: &str) {
         let first = parse_query(text).unwrap_or_else(|e| panic!("parse {text}: {e}"));
         let printed = query_to_string(&first);
-        let second =
-            parse_query(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        let second = parse_query(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
         assert_eq!(first, second, "round trip mismatch:\n  in:  {text}\n  out: {printed}");
     }
 
@@ -405,10 +402,7 @@ mod tests {
     #[test]
     fn prints_relationship_variants() {
         let q = parse_query("MATCH (a)-[*]->(b)<-[r:X|Y]-(c)--(d) RETURN a").unwrap();
-        assert_eq!(
-            query_to_string(&q),
-            "MATCH (a)-[*]->(b)<-[r:X|Y]-(c)--(d) RETURN a"
-        );
+        assert_eq!(query_to_string(&q), "MATCH (a)-[*]->(b)<-[r:X|Y]-(c)--(d) RETURN a");
     }
 
     #[test]

@@ -214,11 +214,8 @@ fn projected_scope(projection: &Projection, current: &Scope) -> Result<Scope, Se
                     }
                     // `WITH n` keeps `n` under its own name (and kind).
                     (None, Expr::Variable(name)) => {
-                        let kind = current
-                            .bindings
-                            .get(name)
-                            .copied()
-                            .unwrap_or(BindingKind::Value);
+                        let kind =
+                            current.bindings.get(name).copied().unwrap_or(BindingKind::Value);
                         scope.bind(name, kind)?;
                     }
                     (None, expr) => {
@@ -240,12 +237,9 @@ fn check_expr(expr: &Expr, scope: &Scope) -> Result<(), SemanticError> {
             return;
         }
         match e {
-            Expr::Variable(name) => {
-                if !scope.contains(name) {
-                    error = Some(SemanticError::new(format!(
-                        "reference to undefined variable `{name}`"
-                    )));
-                }
+            Expr::Variable(name) if !scope.contains(name) => {
+                error =
+                    Some(SemanticError::new(format!("reference to undefined variable `{name}`")));
             }
             Expr::Exists(query) => {
                 // EXISTS subqueries see the outer scope and do not need a
@@ -328,10 +322,9 @@ mod tests {
 
     #[test]
     fn exists_subquery_sees_outer_scope() {
-        assert!(check(
-            "MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n"
-        )
-        .is_ok());
+        assert!(
+            check("MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n").is_ok()
+        );
         let err = check(
             "MATCH (n) WHERE EXISTS { MATCH (x)-[:KNOWS]->(m) WHERE y.a = 1 RETURN m } RETURN n",
         )

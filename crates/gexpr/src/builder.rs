@@ -217,10 +217,9 @@ impl Builder {
     fn add_injectivity(&mut self, state: &mut State, rel_terms: &[GTerm]) {
         for i in 0..rel_terms.len() {
             for j in (i + 1)..rel_terms.len() {
-                state.factors.push(GExpr::not(GExpr::eq(
-                    rel_terms[i].clone(),
-                    rel_terms[j].clone(),
-                )));
+                state
+                    .factors
+                    .push(GExpr::not(GExpr::eq(rel_terms[i].clone(), rel_terms[j].clone())));
             }
         }
     }
@@ -267,8 +266,7 @@ impl Builder {
         // In the absent branch every newly bound variable is NULL.
         let mut null_factors = vec![absent_guard];
         for var in &optional.vars {
-            null_factors
-                .push(GExpr::eq(GTerm::Var(*var), GTerm::Const(GConst::Null)));
+            null_factors.push(GExpr::eq(GTerm::Var(*var), GTerm::Const(GConst::Null)));
         }
         let absent = GExpr::mul(null_factors);
 
@@ -290,12 +288,8 @@ impl Builder {
         trace.push(left.clone());
         for segment in &pattern.segments {
             let right = self.build_node_pattern(state, &segment.node)?;
-            let rel = self.build_relationship_pattern(
-                state,
-                &segment.relationship,
-                &left,
-                &right,
-            )?;
+            let rel =
+                self.build_relationship_pattern(state, &segment.relationship, &left, &right)?;
             if !segment.relationship.is_var_length() {
                 rel_terms.push(rel.clone());
             }
@@ -339,9 +333,7 @@ impl Builder {
         }
         for (key, value) in &pattern.properties {
             let value_term = self.build_term(state, value)?;
-            state
-                .factors
-                .push(GExpr::eq(GTerm::prop(term.clone(), key.clone()), value_term));
+            state.factors.push(GExpr::eq(GTerm::prop(term.clone(), key.clone()), value_term));
         }
         Ok(term)
     }
@@ -388,9 +380,7 @@ impl Builder {
         }
         for (key, value) in &pattern.properties {
             let value_term = self.build_term(state, value)?;
-            state
-                .factors
-                .push(GExpr::eq(GTerm::prop(term.clone(), key.clone()), value_term));
+            state.factors.push(GExpr::eq(GTerm::prop(term.clone(), key.clone()), value_term));
         }
 
         // Arbitrary-length paths: treat the pattern as a single relationship
@@ -426,10 +416,8 @@ impl Builder {
                     GExpr::eq(src.clone(), left.clone()),
                     GExpr::eq(tgt.clone(), right.clone()),
                 ]);
-                let backward = GExpr::mul(vec![
-                    GExpr::eq(src, right.clone()),
-                    GExpr::eq(tgt, left.clone()),
-                ]);
+                let backward =
+                    GExpr::mul(vec![GExpr::eq(src, right.clone()), GExpr::eq(tgt, left.clone())]);
                 state.factors.push(GExpr::add(vec![forward, backward]));
             }
         }
@@ -503,10 +491,8 @@ impl Builder {
                 let mut iter = args.iter();
                 while let (Some(key), Some(value)) = (iter.next(), iter.next()) {
                     if let GTerm::Const(GConst::String(key)) = key {
-                        factors.push(GExpr::eq(
-                            GTerm::prop(row.clone(), key.clone()),
-                            value.clone(),
-                        ));
+                        factors
+                            .push(GExpr::eq(GTerm::prop(row.clone(), key.clone()), value.clone()));
                     }
                 }
                 GExpr::mul(factors)
@@ -612,10 +598,8 @@ impl Builder {
         projection: &Projection,
     ) -> Result<BuildOutput, BuildError> {
         let items = self.projection_items(state, projection)?;
-        let column_kinds: Vec<ColumnKind> = items
-            .iter()
-            .map(|(_, expr)| self.column_kind(state, expr))
-            .collect();
+        let column_kinds: Vec<ColumnKind> =
+            items.iter().map(|(_, expr)| self.column_kind(state, expr)).collect();
         let columns = items.len();
         let has_aggregate = items.iter().any(|(_, expr)| expr.contains_aggregate());
 
@@ -632,8 +616,7 @@ impl Builder {
         }
         if let Some(limit) = &projection.limit {
             let term = self.build_term(state, limit)?;
-            ordering_factors
-                .push(GExpr::Atom(GAtom::Pred("limit".to_string(), vec![term])));
+            ordering_factors.push(GExpr::Atom(GAtom::Pred("limit".to_string(), vec![term])));
         }
         if let Some(skip) = &projection.skip {
             let term = self.build_term(state, skip)?;
@@ -700,10 +683,9 @@ impl Builder {
                 .keys()
                 .map(|name| (name.clone(), Expr::Variable(name.clone())))
                 .collect()),
-            ProjectionItems::Items(items) => Ok(items
-                .iter()
-                .map(|item| (item.output_name(), item.expr.clone()))
-                .collect()),
+            ProjectionItems::Items(items) => {
+                Ok(items.iter().map(|item| (item.output_name(), item.expr.clone())).collect())
+            }
         }
     }
 
@@ -773,9 +755,7 @@ impl Builder {
                     GExpr::mul(vec![GExpr::not(left), right]),
                 ])
             }
-            Expr::Unary(UnaryOp::Not, inner) => {
-                GExpr::not(self.build_predicate(state, inner)?)
-            }
+            Expr::Unary(UnaryOp::Not, inner) => GExpr::not(self.build_predicate(state, inner)?),
             Expr::Binary(op, lhs, rhs) if op.is_comparison() => {
                 let cmp = match op {
                     BinaryOp::Eq => CmpOp::Eq,
@@ -792,7 +772,12 @@ impl Builder {
                     self.build_term(state, rhs)?,
                 ))
             }
-            Expr::Binary(op @ (BinaryOp::In | BinaryOp::StartsWith | BinaryOp::EndsWith | BinaryOp::Contains), lhs, rhs) => {
+            Expr::Binary(
+                op
+                @ (BinaryOp::In | BinaryOp::StartsWith | BinaryOp::EndsWith | BinaryOp::Contains),
+                lhs,
+                rhs,
+            ) => {
                 let name = match op {
                     BinaryOp::In => "in",
                     BinaryOp::StartsWith => "startsWith",
@@ -815,10 +800,7 @@ impl Builder {
             other => {
                 // Any other expression used as a predicate: uninterpreted
                 // truthiness test.
-                GExpr::Atom(GAtom::Pred(
-                    "truthy".to_string(),
-                    vec![self.build_term(state, other)?],
-                ))
+                GExpr::Atom(GAtom::Pred("truthy".to_string(), vec![self.build_term(state, other)?]))
             }
         })
     }
@@ -861,9 +843,7 @@ impl Builder {
                 BuildError::new(format!("reference to unbound variable `{name}`"))
             })?,
             Expr::Parameter(name) => GTerm::app("param", vec![GTerm::string(name.clone())]),
-            Expr::Property(base, key) => {
-                GTerm::prop(self.build_term(state, base)?, key.clone())
-            }
+            Expr::Property(base, key) => GTerm::prop(self.build_term(state, base)?, key.clone()),
             Expr::FunctionCall { name, args } => {
                 let mut terms = Vec::new();
                 for arg in args {
@@ -900,10 +880,7 @@ impl Builder {
                     BinaryOp::EndsWith => "endsWith",
                     BinaryOp::Contains => "contains",
                 };
-                GTerm::app(
-                    name,
-                    vec![self.build_term(state, lhs)?, self.build_term(state, rhs)?],
-                )
+                GTerm::app(name, vec![self.build_term(state, lhs)?, self.build_term(state, rhs)?])
             }
             Expr::IsNull { expr, negated } => GTerm::app(
                 if *negated { "isNotNull" } else { "isNull" },
@@ -1117,9 +1094,8 @@ mod tests {
 
     #[test]
     fn unwind_constant_list_enumerates_elements() {
-        let output = build(
-            "WITH [{c1: 0, c2: 1}, {c1: 2, c2: 3}] AS tmp UNWIND tmp AS row RETURN row.c1",
-        );
+        let output =
+            build("WITH [{c1: 0, c2: 1}, {c1: 2, c2: 3}] AS tmp UNWIND tmp AS row RETURN row.c1");
         let text = output.expr.to_string();
         assert!(text.contains("[e0.c1 = 0] × [e0.c2 = 1]"), "{text}");
         assert!(text.contains("[e0.c1 = 2] × [e0.c2 = 3]"), "{text}");
@@ -1135,8 +1111,7 @@ mod tests {
 
     #[test]
     fn exists_subquery_becomes_squashed_sum() {
-        let output =
-            build("MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n");
+        let output = build("MATCH (n) WHERE EXISTS { MATCH (n)-[:KNOWS]->(m) RETURN m } RETURN n");
         let text = output.expr.to_string();
         assert!(text.contains("‖"), "{text}");
         assert!(text.contains("Lab(e2, KNOWS)"), "{text}");

@@ -95,6 +95,7 @@ impl GExpr {
     }
 
     /// Builds a negation, collapsing trivial cases.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(inner: GExpr) -> GExpr {
         match inner {
             GExpr::Zero => GExpr::One,
@@ -158,9 +159,7 @@ impl GExpr {
             GExpr::Atom(atom) => GExpr::Atom(atom.substitute(var, replacement)),
             GExpr::NodeFn(t) => GExpr::NodeFn(t.substitute(var, replacement)),
             GExpr::RelFn(t) => GExpr::RelFn(t.substitute(var, replacement)),
-            GExpr::LabFn(t, label) => {
-                GExpr::LabFn(t.substitute(var, replacement), label.clone())
-            }
+            GExpr::LabFn(t, label) => GExpr::LabFn(t.substitute(var, replacement), label.clone()),
             GExpr::Unbounded(t) => GExpr::Unbounded(t.substitute(var, replacement)),
             GExpr::Mul(items) => {
                 GExpr::Mul(items.iter().map(|i| i.substitute(var, replacement)).collect())
@@ -352,10 +351,8 @@ mod tests {
 
     #[test]
     fn free_variables_respect_binding() {
-        let body = GExpr::mul(vec![
-            GExpr::NodeFn(var(0)),
-            GExpr::eq(var(0), GTerm::prop(var(1), "x")),
-        ]);
+        let body =
+            GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::eq(var(0), GTerm::prop(var(1), "x"))]);
         let expr = GExpr::sum(vec![VarId(0)], body);
         let mut free = Vec::new();
         expr.free_variables(&mut free);

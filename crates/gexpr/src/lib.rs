@@ -28,12 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod expr;
 pub mod normalize;
 pub mod term;
 
+pub use arena::{GStore, NodeId, Sym, TermId};
 pub use builder::{build_query, BuildError, BuildOutput, Builder, ColumnKind};
 pub use expr::GExpr;
-pub use normalize::{is_zero_one, normalize};
+pub use normalize::{is_zero_one, normalize, normalize_tree};
 pub use term::{CmpOp, GAggKind, GAtom, GConst, GTerm, VarId};

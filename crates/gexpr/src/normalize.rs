@@ -21,7 +21,23 @@ use crate::expr::GExpr;
 use crate::term::{CmpOp, GAtom, GConst, GTerm, VarId};
 
 /// Normalizes a G-expression to the sum-of-summations-of-products form.
+///
+/// This is the fast path: it runs over the calling thread's hash-consed
+/// [`crate::arena::GStore`], where normalization results are memoized per
+/// node, so repeated normalization of structurally overlapping expressions
+/// (the common case when proving batches of related pairs) is a cache lookup.
+/// The result is identical to [`normalize_tree`].
 pub fn normalize(expr: &GExpr) -> GExpr {
+    crate::arena::normalize_via_arena(expr)
+}
+
+/// The paper-faithful reference normalizer over the plain [`GExpr`] tree —
+/// a bounded fixpoint of clone-and-rebuild rewrite passes.
+///
+/// Kept as the semantic baseline: property tests assert the arena-backed
+/// [`normalize`] agrees with it on every dataset pair, and the benchmark
+/// harness measures the arena speedup against it.
+pub fn normalize_tree(expr: &GExpr) -> GExpr {
     let mut current = expr.clone();
     // The rewrite system is terminating but individual passes can enable new
     // rewrites (e.g. variable elimination exposing constant atoms); iterate to
@@ -53,11 +69,9 @@ fn normalize_once(expr: &GExpr) -> GExpr {
             if is_zero_one(&inner) {
                 inner
             } else {
-                match inner {
-                    // ‖a + b‖ where both are 0/1 still needs the squash; only
-                    // fully 0/1 expressions may drop it (handled above).
-                    other => GExpr::squash(other),
-                }
+                // ‖a + b‖ where both are 0/1 still needs the squash; only
+                // fully 0/1 expressions may drop it (handled above).
+                GExpr::squash(inner)
             }
         }
         GExpr::Not(inner) => {
@@ -211,9 +225,9 @@ fn eliminate_pinned_variables(mut vars: Vec<VarId>, body: GExpr) -> GExpr {
     // must *not* drop, so it is kept as-is.
     let rebuilt = distribute_product(factors);
     match rebuilt {
-        GExpr::Add(items) => GExpr::add(
-            items.into_iter().map(|item| GExpr::sum(vars.clone(), item)).collect(),
-        ),
+        GExpr::Add(items) => {
+            GExpr::add(items.into_iter().map(|item| GExpr::sum(vars.clone(), item)).collect())
+        }
         other => GExpr::sum(vars, other),
     }
 }
@@ -244,7 +258,7 @@ fn simplify_atom(atom: &GAtom) -> GExpr {
     GExpr::Atom(atom)
 }
 
-fn compare_constants(op: CmpOp, a: &GConst, b: &GConst) -> Option<bool> {
+pub(crate) fn compare_constants(op: CmpOp, a: &GConst, b: &GConst) -> Option<bool> {
     // NULL comparisons are three-valued; conservatively treat them as
     // undetermined and keep the atom.
     if matches!(a, GConst::Null) || matches!(b, GConst::Null) {
@@ -393,23 +407,11 @@ mod tests {
 
     #[test]
     fn folds_constant_atoms() {
-        assert_eq!(
-            normalize(&GExpr::eq(GTerm::int(1), GTerm::int(1))),
-            GExpr::One
-        );
-        assert_eq!(
-            normalize(&GExpr::eq(GTerm::int(1), GTerm::int(2))),
-            GExpr::Zero
-        );
-        assert_eq!(
-            normalize(&GExpr::eq(GTerm::string("a"), GTerm::int(2))),
-            GExpr::Zero
-        );
+        assert_eq!(normalize(&GExpr::eq(GTerm::int(1), GTerm::int(1))), GExpr::One);
+        assert_eq!(normalize(&GExpr::eq(GTerm::int(1), GTerm::int(2))), GExpr::Zero);
+        assert_eq!(normalize(&GExpr::eq(GTerm::string("a"), GTerm::int(2))), GExpr::Zero);
         assert_eq!(normalize(&GExpr::eq(var(0), var(0))), GExpr::One);
-        assert_eq!(
-            normalize(&GExpr::Atom(GAtom::Cmp(CmpOp::Lt, var(0), var(0)))),
-            GExpr::Zero
-        );
+        assert_eq!(normalize(&GExpr::Atom(GAtom::Cmp(CmpOp::Lt, var(0), var(0)))), GExpr::Zero);
         assert_eq!(
             normalize(&GExpr::Atom(GAtom::IsNull(GTerm::Const(GConst::Null), false))),
             GExpr::One
@@ -418,10 +420,7 @@ mod tests {
 
     #[test]
     fn zero_factor_annihilates_product() {
-        let expr = GExpr::mul(vec![
-            GExpr::NodeFn(var(0)),
-            GExpr::eq(GTerm::int(1), GTerm::int(2)),
-        ]);
+        let expr = GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::eq(GTerm::int(1), GTerm::int(2))]);
         assert_eq!(normalize(&expr), GExpr::Zero);
     }
 

@@ -329,11 +329,9 @@ impl GAtom {
     /// Substitutes a variable by a term throughout the atom.
     pub fn substitute(&self, var: VarId, replacement: &GTerm) -> GAtom {
         match self {
-            GAtom::Cmp(op, lhs, rhs) => GAtom::Cmp(
-                *op,
-                lhs.substitute(var, replacement),
-                rhs.substitute(var, replacement),
-            ),
+            GAtom::Cmp(op, lhs, rhs) => {
+                GAtom::Cmp(*op, lhs.substitute(var, replacement), rhs.substitute(var, replacement))
+            }
             GAtom::IsNull(term, negated) => {
                 GAtom::IsNull(term.substitute(var, replacement), *negated)
             }

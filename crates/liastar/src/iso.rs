@@ -7,18 +7,33 @@
 //! isomorphism is a sound sufficient condition for equivalence — this is the
 //! structural core of the decision procedure, with the SMT-backed reasoning
 //! layered on top in [`crate::check_equivalence`].
+//!
+//! The matcher is a backtracking search. Instead of cloning the candidate
+//! variable mapping at every nondeterministic branch (the original, allocation
+//! heavy approach), a single [`VarMapping`] is threaded mutably through the
+//! search and an **undo trail** records each fresh binding; on a failed
+//! branch the trail is rolled back to the branch's checkpoint. Backtracking
+//! is thereby O(bindings undone) with zero allocation, instead of
+//! O(mapping size) clones per branch.
 
 use std::collections::BTreeMap;
 
 use gexpr::{GAtom, GExpr, GTerm, VarId};
 
 /// A (partial) injective variable mapping from the left expression to the
-/// right expression.
+/// right expression, with an undo trail for cheap backtracking.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct VarMapping {
     forward: BTreeMap<VarId, VarId>,
     backward: BTreeMap<VarId, VarId>,
+    /// Every binding ever inserted, in insertion order; `rollback_to`
+    /// removes a suffix of this trail from both maps.
+    trail: Vec<(VarId, VarId)>,
 }
+
+/// A point in the search to which a [`VarMapping`] can be rolled back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(usize);
 
 impl VarMapping {
     /// An empty mapping.
@@ -27,7 +42,7 @@ impl VarMapping {
     }
 
     /// Tries to record `from ↦ to`; fails if it would break injectivity or
-    /// contradict an existing entry.
+    /// contradict an existing entry. Fresh bindings are pushed on the trail.
     pub fn bind(&mut self, from: VarId, to: VarId) -> bool {
         match (self.forward.get(&from), self.backward.get(&to)) {
             (Some(existing_to), _) => *existing_to == to,
@@ -35,8 +50,23 @@ impl VarMapping {
             (None, None) => {
                 self.forward.insert(from, to);
                 self.backward.insert(to, from);
+                self.trail.push((from, to));
                 true
             }
+        }
+    }
+
+    /// The current position of the undo trail.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.trail.len())
+    }
+
+    /// Undoes every binding recorded after `mark`.
+    pub fn rollback_to(&mut self, mark: Checkpoint) {
+        while self.trail.len() > mark.0 {
+            let (from, to) = self.trail.pop().expect("trail length checked");
+            self.forward.remove(&from);
+            self.backward.remove(&to);
         }
     }
 
@@ -46,18 +76,26 @@ impl VarMapping {
     }
 }
 
-/// Checks whether `left` and `right` are isomorphic, extending `mapping`.
-/// Returns the extended mapping on success.
-pub fn unify_expr(left: &GExpr, right: &GExpr, mapping: &VarMapping) -> Option<VarMapping> {
+/// Checks whether `left` and `right` are isomorphic, extending `mapping`
+/// in place. On failure the mapping is restored to its entry state.
+pub fn unify_expr(left: &GExpr, right: &GExpr, mapping: &mut VarMapping) -> bool {
+    let mark = mapping.checkpoint();
+    let ok = unify_expr_inner(left, right, mapping);
+    if !ok {
+        mapping.rollback_to(mark);
+    }
+    ok
+}
+
+fn unify_expr_inner(left: &GExpr, right: &GExpr, mapping: &mut VarMapping) -> bool {
     match (left, right) {
-        (GExpr::Zero, GExpr::Zero)
-        | (GExpr::One, GExpr::One) => Some(mapping.clone()),
-        (GExpr::Const(a), GExpr::Const(b)) if a == b => Some(mapping.clone()),
+        (GExpr::Zero, GExpr::Zero) | (GExpr::One, GExpr::One) => true,
+        (GExpr::Const(a), GExpr::Const(b)) => a == b,
         (GExpr::Atom(a), GExpr::Atom(b)) => unify_atom(a, b, mapping),
         (GExpr::NodeFn(a), GExpr::NodeFn(b))
         | (GExpr::RelFn(a), GExpr::RelFn(b))
         | (GExpr::Unbounded(a), GExpr::Unbounded(b)) => unify_term(a, b, mapping),
-        (GExpr::LabFn(a, la), GExpr::LabFn(b, lb)) if la == lb => unify_term(a, b, mapping),
+        (GExpr::LabFn(a, la), GExpr::LabFn(b, lb)) => la == lb && unify_term(a, b, mapping),
         (GExpr::Squash(a), GExpr::Squash(b)) | (GExpr::Not(a), GExpr::Not(b)) => {
             unify_expr(a, b, mapping)
         }
@@ -65,70 +103,76 @@ pub fn unify_expr(left: &GExpr, right: &GExpr, mapping: &VarMapping) -> Option<V
             unify_multiset(a, b, mapping)
         }
         (GExpr::Sum { vars: va, body: ba }, GExpr::Sum { vars: vb, body: bb }) => {
-            if va.len() != vb.len() {
-                return None;
-            }
-            unify_expr(ba, bb, mapping)
+            va.len() == vb.len() && unify_expr(ba, bb, mapping)
         }
-        _ => None,
+        _ => false,
     }
 }
 
 /// Finds a bijection between the two multisets of expressions under which
-/// every pair unifies, threading the variable mapping through.
-pub fn unify_multiset(
-    left: &[GExpr],
-    right: &[GExpr],
-    mapping: &VarMapping,
-) -> Option<VarMapping> {
+/// every pair unifies, threading the variable mapping through. On failure the
+/// mapping is restored to its entry state.
+pub fn unify_multiset(left: &[GExpr], right: &[GExpr], mapping: &mut VarMapping) -> bool {
     if left.len() != right.len() {
-        return None;
+        return false;
     }
-    if left.is_empty() {
-        return Some(mapping.clone());
-    }
-    let first = &left[0];
-    let rest: Vec<GExpr> = left[1..].to_vec();
-    for (index, candidate) in right.iter().enumerate() {
-        if let Some(extended) = unify_expr(first, candidate, mapping) {
-            let mut remaining = right.to_vec();
-            remaining.remove(index);
-            if let Some(result) = unify_multiset(&rest, &remaining, &extended) {
-                return Some(result);
-            }
-        }
-    }
-    None
+    let mut used = vec![false; right.len()];
+    unify_multiset_from(left, right, 0, &mut used, mapping)
 }
 
-fn unify_atom(left: &GAtom, right: &GAtom, mapping: &VarMapping) -> Option<VarMapping> {
+fn unify_multiset_from(
+    left: &[GExpr],
+    right: &[GExpr],
+    position: usize,
+    used: &mut [bool],
+    mapping: &mut VarMapping,
+) -> bool {
+    if position == left.len() {
+        return true;
+    }
+    let first = &left[position];
+    for (index, candidate) in right.iter().enumerate() {
+        if used[index] {
+            continue;
+        }
+        let mark = mapping.checkpoint();
+        if unify_expr(first, candidate, mapping) {
+            used[index] = true;
+            if unify_multiset_from(left, right, position + 1, used, mapping) {
+                return true;
+            }
+            used[index] = false;
+        }
+        mapping.rollback_to(mark);
+    }
+    false
+}
+
+fn unify_atom(left: &GAtom, right: &GAtom, mapping: &mut VarMapping) -> bool {
     match (left, right) {
         (GAtom::Cmp(op_l, a1, a2), GAtom::Cmp(op_r, b1, b2)) => {
             // Same orientation.
-            if op_l == op_r {
-                if let Some(m) = unify_term_pair(a1, a2, b1, b2, mapping) {
-                    return Some(m);
-                }
+            if op_l == op_r && unify_term_pair(a1, a2, b1, b2, mapping) {
+                return true;
             }
             // Mirrored orientation ([a < b] vs [b > a], [a = b] vs [b = a]).
-            if *op_r == op_l.flipped() {
-                if let Some(m) = unify_term_pair(a1, a2, b2, b1, mapping) {
-                    return Some(m);
+            *op_r == op_l.flipped() && unify_term_pair(a1, a2, b2, b1, mapping)
+        }
+        (GAtom::IsNull(a, na), GAtom::IsNull(b, nb)) => na == nb && unify_term(a, b, mapping),
+        (GAtom::Pred(name_a, args_a), GAtom::Pred(name_b, args_b)) => {
+            if name_a != name_b || args_a.len() != args_b.len() {
+                return false;
+            }
+            let mark = mapping.checkpoint();
+            for (a, b) in args_a.iter().zip(args_b.iter()) {
+                if !unify_term(a, b, mapping) {
+                    mapping.rollback_to(mark);
+                    return false;
                 }
             }
-            None
+            true
         }
-        (GAtom::IsNull(a, na), GAtom::IsNull(b, nb)) if na == nb => unify_term(a, b, mapping),
-        (GAtom::Pred(name_a, args_a), GAtom::Pred(name_b, args_b))
-            if name_a == name_b && args_a.len() == args_b.len() =>
-        {
-            let mut current = mapping.clone();
-            for (a, b) in args_a.iter().zip(args_b.iter()) {
-                current = unify_term(a, b, &current)?;
-            }
-            Some(current)
-        }
-        _ => None,
+        _ => false,
     }
 }
 
@@ -137,52 +181,195 @@ fn unify_term_pair(
     a2: &GTerm,
     b1: &GTerm,
     b2: &GTerm,
-    mapping: &VarMapping,
-) -> Option<VarMapping> {
-    let first = unify_term(a1, b1, mapping)?;
-    unify_term(a2, b2, &first)
+    mapping: &mut VarMapping,
+) -> bool {
+    let mark = mapping.checkpoint();
+    if unify_term(a1, b1, mapping) && unify_term(a2, b2, mapping) {
+        return true;
+    }
+    mapping.rollback_to(mark);
+    false
 }
 
-/// Checks whether two terms unify under an injective variable renaming.
-pub fn unify_term(left: &GTerm, right: &GTerm, mapping: &VarMapping) -> Option<VarMapping> {
+/// Checks whether two terms unify under an injective variable renaming,
+/// extending `mapping` in place. On failure the mapping is restored.
+pub fn unify_term(left: &GTerm, right: &GTerm, mapping: &mut VarMapping) -> bool {
+    let mark = mapping.checkpoint();
+    let ok = unify_term_inner(left, right, mapping);
+    if !ok {
+        mapping.rollback_to(mark);
+    }
+    ok
+}
+
+fn unify_term_inner(left: &GTerm, right: &GTerm, mapping: &mut VarMapping) -> bool {
     match (left, right) {
-        (GTerm::Var(a), GTerm::Var(b)) => {
-            let mut extended = mapping.clone();
-            if extended.bind(*a, *b) {
-                Some(extended)
-            } else {
-                None
+        (GTerm::Var(a), GTerm::Var(b)) => mapping.bind(*a, *b),
+        (GTerm::OutCol(a), GTerm::OutCol(b)) => a == b,
+        (GTerm::Const(a), GTerm::Const(b)) => a == b,
+        (GTerm::Prop(base_a, key_a), GTerm::Prop(base_b, key_b)) => {
+            key_a == key_b && unify_term(base_a, base_b, mapping)
+        }
+        (GTerm::App(name_a, args_a), GTerm::App(name_b, args_b)) => {
+            if name_a != name_b || args_a.len() != args_b.len() {
+                return false;
             }
-        }
-        (GTerm::OutCol(a), GTerm::OutCol(b)) if a == b => Some(mapping.clone()),
-        (GTerm::Const(a), GTerm::Const(b)) if a == b => Some(mapping.clone()),
-        (GTerm::Prop(base_a, key_a), GTerm::Prop(base_b, key_b)) if key_a == key_b => {
-            unify_term(base_a, base_b, mapping)
-        }
-        (GTerm::App(name_a, args_a), GTerm::App(name_b, args_b))
-            if name_a == name_b && args_a.len() == args_b.len() =>
-        {
-            let mut current = mapping.clone();
             for (a, b) in args_a.iter().zip(args_b.iter()) {
-                current = unify_term(a, b, &current)?;
+                if !unify_term(a, b, mapping) {
+                    return false;
+                }
             }
-            Some(current)
+            true
         }
         (
             GTerm::Agg { kind: ka, distinct: da, arg: aa, group: ga },
             GTerm::Agg { kind: kb, distinct: db, arg: ab, group: gb },
-        ) if ka == kb && da == db => {
-            let current = unify_term(aa, ab, mapping)?;
-            unify_expr(ga, gb, &current)
-        }
-        _ => None,
+        ) => ka == kb && da == db && unify_term(aa, ab, mapping) && unify_expr(ga, gb, mapping),
+        _ => false,
     }
 }
 
 /// Convenience: `true` if the two expressions are isomorphic starting from an
 /// empty mapping.
 pub fn isomorphic(left: &GExpr, right: &GExpr) -> bool {
-    unify_expr(left, right, &VarMapping::new()).is_some()
+    unify_expr(left, right, &mut VarMapping::new())
+}
+
+/// The pre-refactor reference matcher: clones the whole mapping at every
+/// nondeterministic branch and the remaining multisets at every recursion
+/// level. Kept verbatim (modulo the trail field) as the benchmark baseline
+/// and as a differential-testing oracle for the trail-based matcher.
+pub mod cloning {
+    use super::VarMapping;
+    use gexpr::{GAtom, GExpr, GTerm};
+
+    /// Clone-per-branch variant of [`super::unify_expr`].
+    pub fn unify_expr(left: &GExpr, right: &GExpr, mapping: &VarMapping) -> Option<VarMapping> {
+        match (left, right) {
+            (GExpr::Zero, GExpr::Zero) | (GExpr::One, GExpr::One) => Some(mapping.clone()),
+            (GExpr::Const(a), GExpr::Const(b)) if a == b => Some(mapping.clone()),
+            (GExpr::Atom(a), GExpr::Atom(b)) => unify_atom(a, b, mapping),
+            (GExpr::NodeFn(a), GExpr::NodeFn(b))
+            | (GExpr::RelFn(a), GExpr::RelFn(b))
+            | (GExpr::Unbounded(a), GExpr::Unbounded(b)) => unify_term(a, b, mapping),
+            (GExpr::LabFn(a, la), GExpr::LabFn(b, lb)) if la == lb => unify_term(a, b, mapping),
+            (GExpr::Squash(a), GExpr::Squash(b)) | (GExpr::Not(a), GExpr::Not(b)) => {
+                unify_expr(a, b, mapping)
+            }
+            (GExpr::Mul(a), GExpr::Mul(b)) | (GExpr::Add(a), GExpr::Add(b)) => {
+                unify_multiset(a, b, mapping)
+            }
+            (GExpr::Sum { vars: va, body: ba }, GExpr::Sum { vars: vb, body: bb }) => {
+                if va.len() != vb.len() {
+                    return None;
+                }
+                unify_expr(ba, bb, mapping)
+            }
+            _ => None,
+        }
+    }
+
+    /// Clone-per-level variant of [`super::unify_multiset`].
+    pub fn unify_multiset(
+        left: &[GExpr],
+        right: &[GExpr],
+        mapping: &VarMapping,
+    ) -> Option<VarMapping> {
+        if left.len() != right.len() {
+            return None;
+        }
+        if left.is_empty() {
+            return Some(mapping.clone());
+        }
+        let first = &left[0];
+        let rest: Vec<GExpr> = left[1..].to_vec();
+        for (index, candidate) in right.iter().enumerate() {
+            if let Some(extended) = unify_expr(first, candidate, mapping) {
+                let mut remaining = right.to_vec();
+                remaining.remove(index);
+                if let Some(result) = unify_multiset(&rest, &remaining, &extended) {
+                    return Some(result);
+                }
+            }
+        }
+        None
+    }
+
+    fn unify_atom(left: &GAtom, right: &GAtom, mapping: &VarMapping) -> Option<VarMapping> {
+        match (left, right) {
+            (GAtom::Cmp(op_l, a1, a2), GAtom::Cmp(op_r, b1, b2)) => {
+                if op_l == op_r {
+                    if let Some(m) = unify_term_pair(a1, a2, b1, b2, mapping) {
+                        return Some(m);
+                    }
+                }
+                if *op_r == op_l.flipped() {
+                    if let Some(m) = unify_term_pair(a1, a2, b2, b1, mapping) {
+                        return Some(m);
+                    }
+                }
+                None
+            }
+            (GAtom::IsNull(a, na), GAtom::IsNull(b, nb)) if na == nb => unify_term(a, b, mapping),
+            (GAtom::Pred(name_a, args_a), GAtom::Pred(name_b, args_b))
+                if name_a == name_b && args_a.len() == args_b.len() =>
+            {
+                let mut current = mapping.clone();
+                for (a, b) in args_a.iter().zip(args_b.iter()) {
+                    current = unify_term(a, b, &current)?;
+                }
+                Some(current)
+            }
+            _ => None,
+        }
+    }
+
+    fn unify_term_pair(
+        a1: &GTerm,
+        a2: &GTerm,
+        b1: &GTerm,
+        b2: &GTerm,
+        mapping: &VarMapping,
+    ) -> Option<VarMapping> {
+        let first = unify_term(a1, b1, mapping)?;
+        unify_term(a2, b2, &first)
+    }
+
+    /// Clone-per-binding variant of [`super::unify_term`].
+    pub fn unify_term(left: &GTerm, right: &GTerm, mapping: &VarMapping) -> Option<VarMapping> {
+        match (left, right) {
+            (GTerm::Var(a), GTerm::Var(b)) => {
+                let mut extended = mapping.clone();
+                if extended.bind(*a, *b) {
+                    Some(extended)
+                } else {
+                    None
+                }
+            }
+            (GTerm::OutCol(a), GTerm::OutCol(b)) if a == b => Some(mapping.clone()),
+            (GTerm::Const(a), GTerm::Const(b)) if a == b => Some(mapping.clone()),
+            (GTerm::Prop(base_a, key_a), GTerm::Prop(base_b, key_b)) if key_a == key_b => {
+                unify_term(base_a, base_b, mapping)
+            }
+            (GTerm::App(name_a, args_a), GTerm::App(name_b, args_b))
+                if name_a == name_b && args_a.len() == args_b.len() =>
+            {
+                let mut current = mapping.clone();
+                for (a, b) in args_a.iter().zip(args_b.iter()) {
+                    current = unify_term(a, b, &current)?;
+                }
+                Some(current)
+            }
+            (
+                GTerm::Agg { kind: ka, distinct: da, arg: aa, group: ga },
+                GTerm::Agg { kind: kb, distinct: db, arg: ab, group: gb },
+            ) if ka == kb && da == db => {
+                let current = unify_term(aa, ab, mapping)?;
+                unify_expr(ga, gb, &current)
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +483,86 @@ mod tests {
             GExpr::eq(GTerm::app("tgt", vec![var(3)]), var(4)),
         ]);
         assert!(!isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn failed_unification_restores_the_mapping() {
+        let mut mapping = VarMapping::new();
+        assert!(mapping.bind(VarId(0), VarId(10)));
+        let before = mapping.clone();
+        // This fails mid-way: e0 is already bound to e10, so binding it to
+        // e11 is rejected after other bindings may have been recorded.
+        let left =
+            GExpr::mul(vec![GExpr::NodeFn(var(1)), GExpr::eq(var(0), GTerm::prop(var(1), "x"))]);
+        let right =
+            GExpr::mul(vec![GExpr::NodeFn(var(12)), GExpr::eq(var(11), GTerm::prop(var(12), "x"))]);
+        assert!(!unify_expr(&left, &right, &mut mapping));
+        assert_eq!(mapping, before, "mapping must be rolled back on failure");
+    }
+
+    #[test]
+    fn backtracking_explores_later_candidates() {
+        // The first candidate for Node(e0) is Node(e5), which dead-ends when
+        // the equality forces e0 ↦ e6; the matcher must undo and retry.
+        let left = GExpr::mul(vec![
+            GExpr::NodeFn(var(0)),
+            GExpr::NodeFn(var(1)),
+            GExpr::eq(GTerm::prop(var(0), "a"), GTerm::int(1)),
+        ]);
+        let right = GExpr::mul(vec![
+            GExpr::NodeFn(var(5)),
+            GExpr::NodeFn(var(6)),
+            GExpr::eq(GTerm::prop(var(6), "a"), GTerm::int(1)),
+        ]);
+        assert!(isomorphic(&left, &right));
+    }
+
+    #[test]
+    fn trail_matcher_agrees_with_cloning_reference() {
+        let cases: Vec<(GExpr, GExpr)> = vec![
+            (
+                GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(1))]),
+                GExpr::mul(vec![GExpr::RelFn(var(9)), GExpr::NodeFn(var(8))]),
+            ),
+            (
+                GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(1))]),
+                GExpr::mul(vec![GExpr::NodeFn(var(5)), GExpr::RelFn(var(5))]),
+            ),
+            (
+                GExpr::mul(vec![
+                    GExpr::eq(GTerm::app("src", vec![var(1)]), var(0)),
+                    GExpr::eq(GTerm::app("tgt", vec![var(1)]), var(0)),
+                ]),
+                GExpr::mul(vec![
+                    GExpr::eq(GTerm::app("src", vec![var(3)]), var(2)),
+                    GExpr::eq(GTerm::app("tgt", vec![var(3)]), var(4)),
+                ]),
+            ),
+            (
+                GExpr::sum(vec![VarId(0)], GExpr::NodeFn(var(0))),
+                GExpr::sum(vec![VarId(7)], GExpr::NodeFn(var(7))),
+            ),
+            (GExpr::eq(var(0), GTerm::int(1)), GExpr::eq(GTerm::int(1), var(2))),
+            (GExpr::eq(var(0), GTerm::int(1)), GExpr::eq(GTerm::int(2), var(2))),
+        ];
+        for (left, right) in cases {
+            let trail = isomorphic(&left, &right);
+            let reference = cloning::unify_expr(&left, &right, &VarMapping::new()).is_some();
+            assert_eq!(trail, reference, "matchers disagree on {left} vs {right}");
+        }
+    }
+
+    #[test]
+    fn rollback_is_scoped_to_the_checkpoint() {
+        let mut mapping = VarMapping::new();
+        assert!(mapping.bind(VarId(0), VarId(5)));
+        let mark = mapping.checkpoint();
+        assert!(mapping.bind(VarId(1), VarId(6)));
+        assert!(mapping.bind(VarId(2), VarId(7)));
+        mapping.rollback_to(mark);
+        assert_eq!(mapping.forward().len(), 1);
+        assert_eq!(mapping.forward().get(&VarId(0)), Some(&VarId(5)));
+        // The undone variables can be re-bound differently.
+        assert!(mapping.bind(VarId(1), VarId(9)));
     }
 }

@@ -29,11 +29,15 @@
 pub mod encode;
 pub mod iso;
 
-use gexpr::{normalize, GExpr};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use gexpr::arena::{with_thread_store, NodeId as ArenaNodeId};
+use gexpr::{normalize, normalize_tree, GExpr};
 use smt::{SmtResult, Solver, Term};
 
 pub use encode::{encode_atom, encode_factor, encode_product, encode_term};
-pub use iso::{isomorphic, unify_expr, unify_multiset, VarMapping};
+pub use iso::{isomorphic, unify_expr, unify_multiset, Checkpoint, VarMapping};
 
 /// The outcome of the equivalence decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +69,15 @@ pub struct DecisionStats {
     pub used_smt_arithmetic: bool,
 }
 
+/// Options of the decision procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecideOptions {
+    /// Use the reference tree normalizer instead of the memoizing hash-consed
+    /// arena. Results are identical; this exists so benchmarks can measure
+    /// the arena speedup against the paper-faithful baseline.
+    pub tree_normalizer: bool,
+}
+
 /// Decides whether two G-expressions are equivalent on every property graph.
 pub fn check_equivalence(g1: &GExpr, g2: &GExpr) -> Decision {
     check_equivalence_with_stats(g1, g2).0
@@ -72,32 +85,58 @@ pub fn check_equivalence(g1: &GExpr, g2: &GExpr) -> Decision {
 
 /// [`check_equivalence`] with decision statistics.
 pub fn check_equivalence_with_stats(g1: &GExpr, g2: &GExpr) -> (Decision, DecisionStats) {
+    check_equivalence_with_opts(g1, g2, DecideOptions::default())
+}
+
+/// [`check_equivalence_with_stats`] with explicit [`DecideOptions`].
+pub fn check_equivalence_with_opts(
+    g1: &GExpr,
+    g2: &GExpr,
+    opts: DecideOptions,
+) -> (Decision, DecisionStats) {
+    let norm: fn(&GExpr) -> GExpr = if opts.tree_normalizer { normalize_tree } else { normalize };
+    // The SMT-result caches are keyed by hash-consed arena ids, so they are
+    // only available on the arena path (the tree path stays paper-faithful
+    // and cache-free, as the benchmark baseline).
+    let cached = !opts.tree_normalizer;
     let mut stats = DecisionStats::default();
-    let left = normalize(&split_disjoint_squashes(g1));
-    let right = normalize(&split_disjoint_squashes(g2));
+    let left = norm(&split_disjoint_squashes(g1, cached));
+    let right = norm(&split_disjoint_squashes(g2, cached));
 
     // Quick path: syntactic equality after normalization.
     if left == right {
         return (Decision::Proved, stats);
     }
 
-    decide(&left, &right, &mut stats)
+    decide(&left, &right, &mut stats, cached)
 }
 
 /// Recursive decision: squashes are peeled in lock-step, then the summand
 /// lists are compared.
-fn decide(left: &GExpr, right: &GExpr, stats: &mut DecisionStats) -> (Decision, DecisionStats) {
+fn decide(
+    left: &GExpr,
+    right: &GExpr,
+    stats: &mut DecisionStats,
+    cached: bool,
+) -> (Decision, DecisionStats) {
     if let (GExpr::Squash(a), GExpr::Squash(b)) = (left, right) {
         // ‖A‖ = ‖B‖ is implied by A = B (sufficient condition).
-        return decide(a, b, stats);
+        return decide(a, b, stats, cached);
     }
 
-    let left_summands = simplify_summands(to_summands(left), stats);
-    let right_summands = simplify_summands(to_summands(right), stats);
+    let left_summands = simplify_summands(to_summands(left), stats, cached);
+    let right_summands = simplify_summands(to_summands(right), stats, cached);
     stats.summands = (left_summands.len(), right_summands.len());
 
-    // Structural bijection between the summand multisets.
-    if iso::unify_multiset(&left_summands, &right_summands, &VarMapping::new()).is_some() {
+    // Structural bijection between the summand multisets. The baseline
+    // (tree) configuration keeps the pre-refactor cloning matcher; the arena
+    // configuration uses the undo-trail matcher.
+    let bijective = if cached {
+        iso::unify_multiset(&left_summands, &right_summands, &mut VarMapping::new())
+    } else {
+        iso::cloning::unify_multiset(&left_summands, &right_summands, &VarMapping::new()).is_some()
+    };
+    if bijective {
         return (Decision::Proved, stats.clone());
     }
 
@@ -111,11 +150,11 @@ fn decide(left: &GExpr, right: &GExpr, stats: &mut DecisionStats) -> (Decision, 
     let mut left_counts: Vec<i64> = Vec::new();
     let mut right_counts: Vec<i64> = Vec::new();
     for summand in &left_summands {
-        let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand);
+        let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand, cached);
         left_counts[class] += 1;
     }
     for summand in &right_summands {
-        let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand);
+        let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand, cached);
         right_counts[class] += 1;
     }
 
@@ -145,9 +184,15 @@ fn class_index(
     left_counts: &mut Vec<i64>,
     right_counts: &mut Vec<i64>,
     summand: &GExpr,
+    cached: bool,
 ) -> usize {
     for (index, representative) in classes.iter().enumerate() {
-        if isomorphic(representative, summand) {
+        let same_class = if cached {
+            isomorphic(representative, summand)
+        } else {
+            iso::cloning::unify_expr(representative, summand, &VarMapping::new()).is_some()
+        };
+        if same_class {
             return index;
         }
     }
@@ -157,35 +202,69 @@ fn class_index(
     classes.len() - 1
 }
 
+thread_local! {
+    /// Cache of pairwise disjointness checks, keyed by arena node ids.
+    static DISJOINT_CACHE: RefCell<HashMap<(ArenaNodeId, ArenaNodeId), bool>> =
+        RefCell::new(HashMap::new());
+    /// Cache of [`simplify_summand`] results, keyed by the summand's arena
+    /// node id: the simplified summand (`None` = pruned as identically zero)
+    /// plus the number of implied atoms removed (replayed into the stats).
+    static SUMMAND_CACHE: RefCell<HashMap<ArenaNodeId, (Option<ArenaNodeId>, usize)>> =
+        RefCell::new(HashMap::new());
+}
+
+/// `true` iff the product `a × b` is unsatisfiable. With `cached`, the
+/// verdict is memoized under the pair of hash-consed ids, so the quadratic
+/// sweep of [`split_disjoint_squashes`] re-pays the SMT call only for pairs
+/// of alternatives never seen before on this thread.
+fn disjoint(a: &GExpr, b: &GExpr, cached: bool) -> bool {
+    let check = |a: &GExpr, b: &GExpr| {
+        let product = Term::and(vec![encode_factor(a), encode_factor(b)]);
+        smt::check_formula(product).is_unsat()
+    };
+    if !cached {
+        return check(a, b);
+    }
+    let key = with_thread_store(|store| (store.intern_expr(a), store.intern_expr(b)));
+    if let Some(hit) = DISJOINT_CACHE.with(|cache| cache.borrow().get(&key).copied()) {
+        return hit;
+    }
+    let result = check(a, b);
+    DISJOINT_CACHE.with(|cache| cache.borrow_mut().insert(key, result));
+    result
+}
+
 /// Rewrites `‖a + b + ...‖` into `a + b + ...` when every alternative is
 /// 0/1-valued and the alternatives are pairwise disjoint (their pairwise
 /// products are unsatisfiable). This is the LIA\*-style reasoning that makes
 /// `WHERE p OR q` over disjoint ranges equal to the `UNION ALL` of the two
 /// branches (the worked example of §IV-C).
-fn split_disjoint_squashes(expr: &GExpr) -> GExpr {
+fn split_disjoint_squashes(expr: &GExpr, cached: bool) -> GExpr {
     match expr {
         GExpr::Squash(inner) => {
-            let inner = split_disjoint_squashes(inner);
+            let inner = split_disjoint_squashes(inner, cached);
             if let GExpr::Add(items) = &inner {
                 let all_unit = items.iter().all(gexpr::is_zero_one);
                 let pairwise_disjoint = all_unit
-                    && items.iter().enumerate().all(|(i, a)| {
-                        items.iter().skip(i + 1).all(|b| {
-                            let product = Term::and(vec![encode_factor(a), encode_factor(b)]);
-                            smt::check_formula(product).is_unsat()
-                        })
-                    });
+                    && items
+                        .iter()
+                        .enumerate()
+                        .all(|(i, a)| items.iter().skip(i + 1).all(|b| disjoint(a, b, cached)));
                 if pairwise_disjoint {
                     return inner;
                 }
             }
             GExpr::squash(inner)
         }
-        GExpr::Mul(items) => GExpr::mul(items.iter().map(split_disjoint_squashes).collect()),
-        GExpr::Add(items) => GExpr::add(items.iter().map(split_disjoint_squashes).collect()),
-        GExpr::Not(inner) => GExpr::not(split_disjoint_squashes(inner)),
+        GExpr::Mul(items) => {
+            GExpr::mul(items.iter().map(|i| split_disjoint_squashes(i, cached)).collect())
+        }
+        GExpr::Add(items) => {
+            GExpr::add(items.iter().map(|i| split_disjoint_squashes(i, cached)).collect())
+        }
+        GExpr::Not(inner) => GExpr::not(split_disjoint_squashes(inner, cached)),
         GExpr::Sum { vars, body } => {
-            GExpr::sum(vars.clone(), split_disjoint_squashes(body))
+            GExpr::sum(vars.clone(), split_disjoint_squashes(body, cached))
         }
         other => other.clone(),
     }
@@ -202,14 +281,40 @@ fn to_summands(expr: &GExpr) -> Vec<GExpr> {
 
 /// SMT-backed simplification of summands: zero pruning and implied-atom
 /// elimination.
-fn simplify_summands(summands: Vec<GExpr>, stats: &mut DecisionStats) -> Vec<GExpr> {
+fn simplify_summands(summands: Vec<GExpr>, stats: &mut DecisionStats, cached: bool) -> Vec<GExpr> {
     let mut result = Vec::new();
     for summand in summands {
-        match simplify_summand(&summand, stats) {
+        match simplify_summand_cached(&summand, stats, cached) {
             Some(simplified) => result.push(simplified),
             None => stats.pruned_zero += 1,
         }
     }
+    result
+}
+
+/// Memoizing front end of [`simplify_summand`]: the result is cached under
+/// the summand's hash-consed id, so the SMT solver runs once per distinct
+/// summand per thread — across permutation retries of the same pair and
+/// across structurally overlapping pairs of a batch. This is the single
+/// hottest SMT call site of the prover.
+fn simplify_summand_cached(
+    summand: &GExpr,
+    stats: &mut DecisionStats,
+    cached: bool,
+) -> Option<GExpr> {
+    if !cached {
+        return simplify_summand(summand, stats);
+    }
+    let id = with_thread_store(|store| store.intern_expr(summand));
+    if let Some((result, implied)) = SUMMAND_CACHE.with(|cache| cache.borrow().get(&id).cloned()) {
+        stats.pruned_implied += implied;
+        return result.map(|rid| with_thread_store(|store| store.extern_expr(rid)));
+    }
+    let implied_before = stats.pruned_implied;
+    let result = simplify_summand(summand, stats);
+    let implied = stats.pruned_implied - implied_before;
+    let result_id = result.as_ref().map(|expr| with_thread_store(|store| store.intern_expr(expr)));
+    SUMMAND_CACHE.with(|cache| cache.borrow_mut().insert(id, (result_id, implied)));
     result
 }
 
@@ -236,8 +341,7 @@ fn simplify_summand(summand: &GExpr, stats: &mut DecisionStats) -> Option<GExpr>
         if matches!(factors[index], GExpr::Atom(_)) && factors.len() > 1 {
             let mut others = factors.clone();
             let candidate = others.remove(index);
-            let implication =
-                Term::implies(encode_product(&others), encode_factor(&candidate));
+            let implication = Term::implies(encode_product(&others), encode_factor(&candidate));
             if smt::is_valid(implication) {
                 factors.remove(index);
                 stats.pruned_implied += 1;
@@ -282,10 +386,7 @@ mod tests {
 
     #[test]
     fn reversed_direction_is_equivalent() {
-        assert!(equivalent(
-            "MATCH (a)-[r]->(b) RETURN a",
-            "MATCH (b)<-[r]-(a) RETURN a"
-        ));
+        assert!(equivalent("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"));
     }
 
     #[test]
@@ -317,18 +418,12 @@ mod tests {
 
     #[test]
     fn different_labels_are_not_proved() {
-        assert!(!equivalent(
-            "MATCH (n:Person) RETURN n",
-            "MATCH (n:Book) RETURN n"
-        ));
+        assert!(!equivalent("MATCH (n:Person) RETURN n", "MATCH (n:Book) RETURN n"));
     }
 
     #[test]
     fn different_directions_with_asymmetric_returns_are_not_proved() {
-        assert!(!equivalent(
-            "MATCH (a)-[r]->(b) RETURN b",
-            "MATCH (a)-[r]->(b) RETURN a"
-        ));
+        assert!(!equivalent("MATCH (a)-[r]->(b) RETURN b", "MATCH (a)-[r]->(b) RETURN a"));
     }
 
     #[test]
@@ -358,10 +453,7 @@ mod tests {
 
     #[test]
     fn distinct_vs_plain_is_not_proved() {
-        assert!(!equivalent(
-            "MATCH (n) RETURN DISTINCT n.name",
-            "MATCH (n) RETURN n.name"
-        ));
+        assert!(!equivalent("MATCH (n) RETURN DISTINCT n.name", "MATCH (n) RETURN n.name"));
     }
 
     #[test]
@@ -390,10 +482,7 @@ mod tests {
 
     #[test]
     fn with_renaming_is_equivalent_to_direct_projection() {
-        assert!(equivalent(
-            "MATCH (x) WITH x.name AS name RETURN name",
-            "MATCH (x) RETURN x.name"
-        ));
+        assert!(equivalent("MATCH (x) WITH x.name AS name RETURN name", "MATCH (x) RETURN x.name"));
     }
 
     #[test]

@@ -235,13 +235,7 @@ pub mod rule2_var_length {
                         let mut replacements = Vec::new();
                         for hops in min..=max {
                             let mut copy = part.clone();
-                            expand(
-                                &mut copy,
-                                clause_index,
-                                pattern_index,
-                                segment_index,
-                                hops,
-                            );
+                            expand(&mut copy, clause_index, pattern_index, segment_index, hops);
                             replacements.push(copy);
                         }
                         return Some(util::splice_parts(query, part_index, replacements));
@@ -274,11 +268,8 @@ pub mod rule2_var_length {
                 direction: original.relationship.direction,
                 length: None,
             };
-            let node = if hop + 1 == hops {
-                original.node.clone()
-            } else {
-                NodePattern::anonymous()
-            };
+            let node =
+                if hop + 1 == hops { original.node.clone() } else { NodePattern::anonymous() };
             replacement_segments.push(PathSegment { relationship, node });
         }
         pattern.segments.splice(segment_index..=segment_index, replacement_segments);
@@ -364,9 +355,7 @@ pub mod rule4_redundant_with {
                 // Substitute in the remaining clauses of this part.
                 let mut tail = SingleQuery { clauses: part.clauses.split_off(index) };
                 util::map_expressions(&mut tail, &|expr| match &expr {
-                    Expr::Variable(name) => {
-                        substitution.get(name).cloned().unwrap_or(expr)
-                    }
+                    Expr::Variable(name) => substitution.get(name).cloned().unwrap_or(expr),
                     _ => expr,
                 });
                 part.clauses.extend(tail.clauses);
@@ -545,9 +534,7 @@ pub mod rule6_id_equality {
                     if a != b {
                         let mut remaining = conjuncts.clone();
                         remaining.remove(index);
-                        let remainder = remaining
-                            .into_iter()
-                            .reduce(|acc, item| Expr::and(acc, item));
+                        let remainder = remaining.into_iter().reduce(Expr::and);
                         return Some((a, b, remainder));
                     }
                 }

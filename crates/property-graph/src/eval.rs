@@ -13,7 +13,7 @@ use cypher_parser::ast::{
     UnionKind, WithClause,
 };
 
-use crate::expr::{eval_expr, eval_predicate, EvalCtx, Row};
+use crate::expr::{eval_expr, eval_predicate, EvalCtx, Row, RowKey};
 use crate::graph::PropertyGraph;
 use crate::matching::match_clause;
 use crate::value::Value;
@@ -93,10 +93,7 @@ impl QueryResult {
         if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
             return false;
         }
-        self.rows
-            .iter()
-            .zip(other.rows.iter())
-            .all(|(a, b)| cmp_rows(a, b) == Ordering::Equal)
+        self.rows.iter().zip(other.rows.iter()).all(|(a, b)| cmp_rows(a, b) == Ordering::Equal)
     }
 }
 
@@ -122,19 +119,13 @@ impl fmt::Display for QueryResult {
 }
 
 /// The evaluator configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Evaluator {
     /// Upper bound on the number of hops explored for unbounded
     /// variable-length patterns (`-[*]->`). Defaults to the number of
     /// relationships in the graph, which is exhaustive because relationships
     /// may not repeat along a path.
     pub max_var_length: Option<u32>,
-}
-
-impl Default for Evaluator {
-    fn default() -> Self {
-        Evaluator { max_var_length: None }
-    }
 }
 
 impl Evaluator {
@@ -147,9 +138,7 @@ impl Evaluator {
     pub fn evaluate(&self, graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
         let ctx = EvalCtx {
             graph,
-            max_var_length: self
-                .max_var_length
-                .unwrap_or(graph.relationship_count() as u32),
+            max_var_length: self.max_var_length.unwrap_or(graph.relationship_count() as u32),
         };
         evaluate_union_query(ctx, query, vec![Row::new()], true)
     }
@@ -234,13 +223,13 @@ fn evaluate_single(
                         Value::List(items) => {
                             for item in items {
                                 let mut extended = row.clone();
-                                extended.insert(u.alias.clone(), item);
+                                extended.insert(RowKey::from(u.alias.as_str()), item);
                                 next.push(extended);
                             }
                         }
                         other => {
                             let mut extended = row.clone();
-                            extended.insert(u.alias.clone(), other);
+                            extended.insert(RowKey::from(u.alias.as_str()), other);
                             next.push(extended);
                         }
                     }
@@ -252,10 +241,8 @@ fn evaluate_single(
             }
             Clause::Return(p) => {
                 let (columns, projected) = apply_projection(ctx, p, &rows)?;
-                let result_rows = projected
-                    .into_iter()
-                    .map(|(values, _)| values)
-                    .collect::<Vec<_>>();
+                let result_rows =
+                    projected.into_iter().map(|(values, _)| values).collect::<Vec<_>>();
                 return Ok(QueryResult { columns, rows: result_rows });
             }
         }
@@ -280,7 +267,7 @@ fn apply_match(
             // NULL (left outer join semantics).
             let mut extended = row.clone();
             for name in pattern_variables(clause) {
-                extended.entry(name).or_insert(Value::Null);
+                extended.entry(RowKey::from(name.as_str())).or_insert(Value::Null);
             }
             next.push(extended);
         } else {
@@ -322,8 +309,8 @@ fn apply_with(
     let mut next = Vec::new();
     for (values, env) in projected {
         let mut row = Row::new();
-        for (name, value) in columns.iter().zip(values.into_iter()) {
-            row.insert(name.clone(), value);
+        for (name, value) in columns.iter().zip(values) {
+            row.insert(RowKey::from(name.as_str()), value);
         }
         if let Some(predicate) = &clause.where_clause {
             // The WHERE of a WITH sees both the projected names and (for
@@ -356,17 +343,16 @@ fn apply_projection(
         ProjectionItems::Star => {
             let mut names: Vec<String> = rows
                 .iter()
-                .flat_map(|r| r.keys().cloned())
+                .flat_map(|r| r.keys().map(|k| k.to_string()))
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
             names.sort();
             names.into_iter().map(|n| (n.clone(), Expr::Variable(n))).collect()
         }
-        ProjectionItems::Items(items) => items
-            .iter()
-            .map(|item| (item.output_name(), item.expr.clone()))
-            .collect(),
+        ProjectionItems::Items(items) => {
+            items.iter().map(|item| (item.output_name(), item.expr.clone())).collect()
+        }
     };
     let columns: Vec<String> = items.iter().map(|(name, _)| name.clone()).collect();
 
@@ -400,7 +386,7 @@ fn apply_projection(
             }
             let mut env = representative.clone();
             for (name, value) in columns.iter().zip(values.iter()) {
-                env.insert(name.clone(), value.clone());
+                env.insert(RowKey::from(name.as_str()), value.clone());
             }
             produced.push((values, env));
         }
@@ -412,7 +398,7 @@ fn apply_projection(
             }
             let mut env = row.clone();
             for (name, value) in columns.iter().zip(values.iter()) {
-                env.insert(name.clone(), value.clone());
+                env.insert(RowKey::from(name.as_str()), value.clone());
             }
             produced.push((values, env));
         }
@@ -516,20 +502,18 @@ fn eval_with_aggregates(
                 Box::new(value_to_placeholder("·agg_rhs")),
             );
             let mut row = representative.clone();
-            row.insert("·agg_lhs".to_string(), left);
-            row.insert("·agg_rhs".to_string(), right);
+            row.insert(RowKey::from("·agg_lhs"), left);
+            row.insert(RowKey::from("·agg_rhs"), right);
             eval_expr(ctx, &row, &lit)
         }
         Expr::Unary(op, inner) => {
             let value = eval_with_aggregates(ctx, group, representative, inner)?;
             let mut row = representative.clone();
-            row.insert("·agg".to_string(), value);
+            row.insert(RowKey::from("·agg"), value);
             eval_expr(ctx, &row, &Expr::Unary(*op, Box::new(value_to_placeholder("·agg"))))
         }
         _ if !expr.contains_aggregate() => eval_expr(ctx, representative, expr),
-        other => Err(EvalError::new(format!(
-            "unsupported aggregate expression shape: {other:?}"
-        ))),
+        other => Err(EvalError::new(format!("unsupported aggregate expression shape: {other:?}"))),
     }
 }
 
@@ -551,14 +535,8 @@ fn compute_aggregate(func: Aggregate, values: Vec<Value>) -> Value {
             }
             acc
         }
-        Aggregate::Min => values
-            .into_iter()
-            .min_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null),
-        Aggregate::Max => values
-            .into_iter()
-            .max_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null),
+        Aggregate::Min => values.into_iter().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null),
+        Aggregate::Max => values.into_iter().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null),
         Aggregate::Avg => {
             if values.is_empty() {
                 return Value::Null;
@@ -607,10 +585,7 @@ mod tests {
     #[test]
     fn evaluates_projection_aliases_and_order() {
         let graph = PropertyGraph::paper_example();
-        let result = run(
-            &graph,
-            "MATCH (p:Person) RETURN p.name AS name ORDER BY p.age DESC",
-        );
+        let result = run(&graph, "MATCH (p:Person) RETURN p.name AS name ORDER BY p.age DESC");
         assert_eq!(result.columns, vec!["name"]);
         assert_eq!(
             result.rows,
@@ -641,15 +616,11 @@ mod tests {
     #[test]
     fn evaluates_union_and_union_all() {
         let graph = PropertyGraph::paper_example();
-        let all = run(
-            &graph,
-            "MATCH (p:Person) RETURN p.name UNION ALL MATCH (p:Person) RETURN p.name",
-        );
+        let all =
+            run(&graph, "MATCH (p:Person) RETURN p.name UNION ALL MATCH (p:Person) RETURN p.name");
         assert_eq!(all.len(), 6);
-        let distinct = run(
-            &graph,
-            "MATCH (p:Person) RETURN p.name UNION MATCH (p:Person) RETURN p.name",
-        );
+        let distinct =
+            run(&graph, "MATCH (p:Person) RETURN p.name UNION MATCH (p:Person) RETURN p.name");
         assert_eq!(distinct.len(), 3);
     }
 
@@ -696,7 +667,8 @@ mod tests {
     #[test]
     fn evaluates_aggregates() {
         let graph = PropertyGraph::paper_example();
-        let result = run(&graph, "MATCH (p:Person) RETURN COUNT(*), SUM(p.age), MIN(p.age), MAX(p.age)");
+        let result =
+            run(&graph, "MATCH (p:Person) RETURN COUNT(*), SUM(p.age), MIN(p.age), MAX(p.age)");
         assert_eq!(result.rows.len(), 1);
         assert_eq!(cell(&result, 0, 0), &Value::Integer(3));
         assert_eq!(cell(&result, 0, 1), &Value::Integer(112));
@@ -805,8 +777,7 @@ mod tests {
     #[test]
     fn union_arity_mismatch_is_an_error() {
         let graph = PropertyGraph::paper_example();
-        let query =
-            parse_query("MATCH (n) RETURN n UNION ALL MATCH (n) RETURN n, n.name").unwrap();
+        let query = parse_query("MATCH (n) RETURN n UNION ALL MATCH (n) RETURN n, n.name").unwrap();
         assert!(evaluate_query(&graph, &query).is_err());
     }
 

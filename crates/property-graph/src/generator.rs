@@ -12,14 +12,13 @@
 //! and property keys makes pattern predicates actually select something.
 
 use cypher_parser::ast::{Clause, Expr, Literal, Query};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::graph::PropertyGraph;
+use crate::rng::DetRng;
 use crate::value::Value;
 
 /// Configuration of the random graph generator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GeneratorConfig {
     /// Maximum number of nodes (the actual count is sampled in `0..=max`).
     pub max_nodes: usize,
@@ -60,99 +59,133 @@ impl GeneratorConfig {
     /// constants mentioned by the given queries, so that generated graphs can
     /// actually satisfy the queries' predicates.
     pub fn from_queries(queries: &[&Query]) -> GeneratorConfig {
-    let mut config = GeneratorConfig::default();
-    let add_unique = |list: &mut Vec<String>, value: String| {
-        if !list.contains(&value) {
-            list.push(value);
-        }
-    };
-    let mut int_pool = Vec::new();
-    let mut string_pool = Vec::new();
-    let visit_expr = |expr: &Expr,
+        let mut config = GeneratorConfig::default();
+        let add_unique = |list: &mut Vec<String>, value: String| {
+            if !list.contains(&value) {
+                list.push(value);
+            }
+        };
+        let mut int_pool = Vec::new();
+        let mut string_pool = Vec::new();
+        let visit_expr = |expr: &Expr,
                           property_keys: &mut Vec<String>,
                           int_pool: &mut Vec<i64>,
                           string_pool: &mut Vec<String>| {
-        expr.walk(&mut |e| match e {
-            Expr::Property(_, key) => {
-                if !property_keys.contains(key) {
+            expr.walk(&mut |e| match e {
+                Expr::Property(_, key) if !property_keys.contains(key) => {
                     property_keys.push(key.clone());
                 }
-            }
-            Expr::Literal(Literal::Integer(v)) => {
-                for candidate in [*v - 1, *v, *v + 1] {
-                    if !int_pool.contains(&candidate) {
-                        int_pool.push(candidate);
+                Expr::Literal(Literal::Integer(v)) => {
+                    for candidate in [*v - 1, *v, *v + 1] {
+                        if !int_pool.contains(&candidate) {
+                            int_pool.push(candidate);
+                        }
                     }
                 }
-            }
-            Expr::Literal(Literal::String(s)) => {
-                if !string_pool.contains(s) {
+                Expr::Literal(Literal::String(s)) if !string_pool.contains(s) => {
                     string_pool.push(s.clone());
                 }
-            }
-            Expr::Literal(Literal::Boolean(_)) => {}
-            _ => {}
-        });
-    };
-    for query in queries {
-        for part in &query.parts {
-            for clause in &part.clauses {
-                match clause {
-                    Clause::Match(m) => {
-                        for pattern in &m.patterns {
-                            for node in pattern.nodes() {
-                                for label in &node.labels {
-                                    add_unique(&mut config.node_labels, label.clone());
+                Expr::Literal(Literal::Boolean(_)) => {}
+                _ => {}
+            });
+        };
+        for query in queries {
+            for part in &query.parts {
+                for clause in &part.clauses {
+                    match clause {
+                        Clause::Match(m) => {
+                            for pattern in &m.patterns {
+                                for node in pattern.nodes() {
+                                    for label in &node.labels {
+                                        add_unique(&mut config.node_labels, label.clone());
+                                    }
+                                    for (key, value) in &node.properties {
+                                        add_unique(&mut config.property_keys, key.clone());
+                                        visit_expr(
+                                            value,
+                                            &mut config.property_keys,
+                                            &mut int_pool,
+                                            &mut string_pool,
+                                        );
+                                    }
                                 }
-                                for (key, value) in &node.properties {
-                                    add_unique(&mut config.property_keys, key.clone());
-                                    visit_expr(value, &mut config.property_keys, &mut int_pool, &mut string_pool);
+                                for rel in pattern.relationships() {
+                                    for label in &rel.labels {
+                                        add_unique(&mut config.relationship_labels, label.clone());
+                                    }
+                                    for (key, value) in &rel.properties {
+                                        add_unique(&mut config.property_keys, key.clone());
+                                        visit_expr(
+                                            value,
+                                            &mut config.property_keys,
+                                            &mut int_pool,
+                                            &mut string_pool,
+                                        );
+                                    }
                                 }
                             }
-                            for rel in pattern.relationships() {
-                                for label in &rel.labels {
-                                    add_unique(&mut config.relationship_labels, label.clone());
+                            if let Some(predicate) = &m.where_clause {
+                                visit_expr(
+                                    predicate,
+                                    &mut config.property_keys,
+                                    &mut int_pool,
+                                    &mut string_pool,
+                                );
+                            }
+                        }
+                        Clause::Unwind(u) => visit_expr(
+                            &u.expr,
+                            &mut config.property_keys,
+                            &mut int_pool,
+                            &mut string_pool,
+                        ),
+                        Clause::With(w) => {
+                            if let Some(items) = w.projection.explicit_items() {
+                                for item in items {
+                                    visit_expr(
+                                        &item.expr,
+                                        &mut config.property_keys,
+                                        &mut int_pool,
+                                        &mut string_pool,
+                                    );
                                 }
-                                for (key, value) in &rel.properties {
-                                    add_unique(&mut config.property_keys, key.clone());
-                                    visit_expr(value, &mut config.property_keys, &mut int_pool, &mut string_pool);
+                            }
+                            if let Some(predicate) = &w.where_clause {
+                                visit_expr(
+                                    predicate,
+                                    &mut config.property_keys,
+                                    &mut int_pool,
+                                    &mut string_pool,
+                                );
+                            }
+                        }
+                        Clause::Return(p) => {
+                            if let Some(items) = p.explicit_items() {
+                                for item in items {
+                                    visit_expr(
+                                        &item.expr,
+                                        &mut config.property_keys,
+                                        &mut int_pool,
+                                        &mut string_pool,
+                                    );
                                 }
                             }
-                        }
-                        if let Some(predicate) = &m.where_clause {
-                            visit_expr(predicate, &mut config.property_keys, &mut int_pool, &mut string_pool);
-                        }
-                    }
-                    Clause::Unwind(u) => {
-                        visit_expr(&u.expr, &mut config.property_keys, &mut int_pool, &mut string_pool)
-                    }
-                    Clause::With(w) => {
-                        if let Some(items) = w.projection.explicit_items() {
-                            for item in items {
-                                visit_expr(&item.expr, &mut config.property_keys, &mut int_pool, &mut string_pool);
+                            for order in &p.order_by {
+                                visit_expr(
+                                    &order.expr,
+                                    &mut config.property_keys,
+                                    &mut int_pool,
+                                    &mut string_pool,
+                                );
                             }
-                        }
-                        if let Some(predicate) = &w.where_clause {
-                            visit_expr(predicate, &mut config.property_keys, &mut int_pool, &mut string_pool);
-                        }
-                    }
-                    Clause::Return(p) => {
-                        if let Some(items) = p.explicit_items() {
-                            for item in items {
-                                visit_expr(&item.expr, &mut config.property_keys, &mut int_pool, &mut string_pool);
-                            }
-                        }
-                        for order in &p.order_by {
-                            visit_expr(&order.expr, &mut config.property_keys, &mut int_pool, &mut string_pool);
                         }
                     }
                 }
             }
         }
-    }
-    config.int_pool = int_pool;
-    config.string_pool = string_pool;
-    config
+        config.int_pool = int_pool;
+        config.string_pool = string_pool;
+        config
     }
 }
 
@@ -160,35 +193,35 @@ impl GeneratorConfig {
 #[derive(Debug)]
 pub struct GraphGenerator {
     config: GeneratorConfig,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl GraphGenerator {
     /// Creates a generator with the given seed and default configuration.
     pub fn new(seed: u64) -> Self {
-        GraphGenerator { config: GeneratorConfig::default(), rng: StdRng::seed_from_u64(seed) }
+        GraphGenerator { config: GeneratorConfig::default(), rng: DetRng::seed_from_u64(seed) }
     }
 
     /// Creates a generator with an explicit configuration.
     pub fn with_config(seed: u64, config: GeneratorConfig) -> Self {
-        GraphGenerator { config, rng: StdRng::seed_from_u64(seed) }
+        GraphGenerator { config, rng: DetRng::seed_from_u64(seed) }
     }
 
     /// Generates the next random property graph.
     pub fn generate(&mut self) -> PropertyGraph {
         let mut graph = PropertyGraph::new();
-        let node_count = self.rng.gen_range(0..=self.config.max_nodes);
+        let node_count = self.rng.range_inclusive_usize(0, self.config.max_nodes);
         for _ in 0..node_count {
             let labels = self.sample_labels();
             let properties = self.sample_properties();
             graph.add_node(labels, properties);
         }
         if node_count > 0 {
-            let rel_count = self.rng.gen_range(0..=self.config.max_relationships);
+            let rel_count = self.rng.range_inclusive_usize(0, self.config.max_relationships);
             for _ in 0..rel_count {
-                let source = crate::graph::NodeId(self.rng.gen_range(0..node_count) as u32);
-                let target = crate::graph::NodeId(self.rng.gen_range(0..node_count) as u32);
-                let label_index = self.rng.gen_range(0..self.config.relationship_labels.len());
+                let source = crate::graph::NodeId(self.rng.range_usize(0, node_count) as u32);
+                let target = crate::graph::NodeId(self.rng.range_usize(0, node_count) as u32);
+                let label_index = self.rng.range_usize(0, self.config.relationship_labels.len());
                 let label = self.config.relationship_labels[label_index].clone();
                 let properties = self.sample_properties();
                 graph.add_relationship(label, source, target, properties);
@@ -203,40 +236,44 @@ impl GraphGenerator {
     }
 
     fn sample_labels(&mut self) -> Vec<String> {
-        let count = self.rng.gen_range(0..=2usize);
+        let count = self.rng.range_inclusive_usize(0, 2);
         (0..count)
             .map(|_| {
-                let index = self.rng.gen_range(0..self.config.node_labels.len());
+                let index = self.rng.range_usize(0, self.config.node_labels.len());
                 self.config.node_labels[index].clone()
             })
             .collect()
     }
 
     fn sample_properties(&mut self) -> Vec<(String, Value)> {
-        let count = self.rng.gen_range(0..=3usize);
+        let count = self.rng.range_inclusive_usize(0, 3);
         (0..count)
             .map(|_| {
-                let index = self.rng.gen_range(0..self.config.property_keys.len());
+                let index = self.rng.range_usize(0, self.config.property_keys.len());
                 let key = self.config.property_keys[index].clone();
-                let value = match self.rng.gen_range(0..5) {
-                    0 => Value::Integer(self.rng.gen_range(-self.config.max_int..=self.config.max_int)),
-                    1 => Value::String(
-                        ["Alice", "Bob", "x", "y"][self.rng.gen_range(0..4)].to_string(),
+                let value = match self.rng.range_usize(0, 5) {
+                    0 => Value::Integer(
+                        self.rng.range_inclusive_i64(-self.config.max_int, self.config.max_int),
                     ),
-                    2 => Value::Boolean(self.rng.gen_bool(0.5)),
-                    3 if !self.config.int_pool.is_empty() || !self.config.string_pool.is_empty() => {
+                    1 => Value::String(
+                        ["Alice", "Bob", "x", "y"][self.rng.range_usize(0, 4)].to_string(),
+                    ),
+                    2 => Value::Boolean(self.rng.chance(0.5)),
+                    3 if !self.config.int_pool.is_empty()
+                        || !self.config.string_pool.is_empty() =>
+                    {
                         // Sample a value from the query-derived pools so that
                         // predicates over query constants can actually match.
                         let ints = self.config.int_pool.len();
                         let total = ints + self.config.string_pool.len();
-                        let pick = self.rng.gen_range(0..total);
+                        let pick = self.rng.range_usize(0, total);
                         if pick < ints {
                             Value::Integer(self.config.int_pool[pick])
                         } else {
                             Value::String(self.config.string_pool[pick - ints].clone())
                         }
                     }
-                    _ => Value::Integer(self.rng.gen_range(0..=self.config.max_int)),
+                    _ => Value::Integer(self.rng.range_inclusive_i64(0, self.config.max_int)),
                 };
                 (key, value)
             })

@@ -172,26 +172,16 @@ impl PropertyGraph {
         let mut graph = PropertyGraph::new();
         let n1 = graph.add_node(
             ["Person"],
-            [
-                ("name", Value::from("J. K. Rowling")),
-                ("age", Value::from(59)),
-            ],
+            [("name", Value::from("J. K. Rowling")), ("age", Value::from(59))],
         );
         let n2 = graph.add_node(
             ["Book"],
-            [
-                ("title", Value::from("Harry Potter")),
-                ("language", Value::from("English")),
-            ],
+            [("title", Value::from("Harry Potter")), ("language", Value::from("English"))],
         );
-        let n3 = graph.add_node(
-            ["Person"],
-            [("name", Value::from("Jack")), ("age", Value::from(26))],
-        );
-        let n4 = graph.add_node(
-            ["Person"],
-            [("name", Value::from("Alice")), ("age", Value::from(27))],
-        );
+        let n3 =
+            graph.add_node(["Person"], [("name", Value::from("Jack")), ("age", Value::from(26))]);
+        let n4 =
+            graph.add_node(["Person"], [("name", Value::from("Alice")), ("age", Value::from(27))]);
         graph.add_relationship("WRITE", n1, n2, [("date", Value::from(1997))]);
         graph.add_relationship("READ", n3, n2, [("date", Value::from(2024))]);
         graph.add_relationship("READ", n4, n2, [("date", Value::from(2024))]);
@@ -201,7 +191,12 @@ impl PropertyGraph {
 
 impl fmt::Display for PropertyGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "PropertyGraph ({} nodes, {} relationships)", self.node_count(), self.relationship_count())?;
+        writeln!(
+            f,
+            "PropertyGraph ({} nodes, {} relationships)",
+            self.node_count(),
+            self.relationship_count()
+        )?;
         for id in self.node_ids() {
             let node = self.node(id);
             let labels: Vec<_> = node.labels.iter().map(String::as_str).collect();
@@ -231,14 +226,8 @@ mod tests {
         assert!(graph.node_has_label(NodeId(0), "Person"));
         assert!(graph.node_has_label(NodeId(1), "Book"));
         assert!(!graph.node_has_label(NodeId(1), "Person"));
-        assert_eq!(
-            graph.property(EntityId::Node(NodeId(0)), "name"),
-            Value::from("J. K. Rowling")
-        );
-        assert_eq!(
-            graph.property(EntityId::Relationship(RelId(0)), "date"),
-            Value::from(1997)
-        );
+        assert_eq!(graph.property(EntityId::Node(NodeId(0)), "name"), Value::from("J. K. Rowling"));
+        assert_eq!(graph.property(EntityId::Relationship(RelId(0)), "date"), Value::from(1997));
         assert_eq!(graph.property(EntityId::Node(NodeId(0)), "missing"), Value::Null);
     }
 

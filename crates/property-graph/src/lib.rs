@@ -32,6 +32,7 @@ pub mod expr;
 pub mod generator;
 pub mod graph;
 pub mod matching;
+pub mod rng;
 pub mod value;
 
 pub use eval::{evaluate_query, EvalError, Evaluator, QueryResult};

@@ -13,12 +13,18 @@
 //! relationships are pairwise distinct, each satisfying the pattern's label
 //! and property constraints.
 
-use cypher_parser::ast::{MatchClause, NodePattern, PathPattern, RelDirection, RelationshipPattern};
+use cypher_parser::ast::{
+    MatchClause, NodePattern, PathPattern, RelDirection, RelationshipPattern,
+};
 
 use crate::eval::EvalError;
-use crate::expr::{eval_expr, EvalCtx, Row};
+use crate::expr::{eval_expr, EvalCtx, Row, RowKey};
 use crate::graph::{EntityId, NodeId, RelId};
 use crate::value::Value;
+
+/// The continuation invoked for every complete match of a path pattern.
+type OnComplete<'a> =
+    &'a mut dyn FnMut(EvalCtx<'_>, Row, &mut Vec<RelId>, &[Value]) -> Result<(), EvalError>;
 
 /// Finds all extensions of `base` that satisfy every pattern of the `MATCH`
 /// clause (and its `WHERE` predicate, which the caller applies separately so
@@ -85,7 +91,7 @@ fn match_pattern_list(
             &mut |ctx, row, used, trace| {
                 let mut row = row;
                 if let Some(path_var) = &pattern.variable {
-                    row.insert(path_var.clone(), Value::Path(trace.to_vec()));
+                    row.insert(RowKey::from(path_var.as_str()), Value::Path(trace.to_vec()));
                 }
                 match_pattern_list(ctx, patterns, index + 1, row, used, results)
             },
@@ -108,7 +114,7 @@ fn match_segments(
     row: Row,
     used: &mut Vec<RelId>,
     trace: &mut Vec<Value>,
-    on_complete: &mut dyn FnMut(EvalCtx<'_>, Row, &mut Vec<RelId>, &[Value]) -> Result<(), EvalError>,
+    on_complete: OnComplete<'_>,
 ) -> Result<(), EvalError> {
     if segment_index == pattern.segments.len() {
         return on_complete(ctx, row, used, trace);
@@ -131,13 +137,22 @@ fn match_segments(
             }
             let mut next_row = row.clone();
             if let Some(var) = &rel_pattern.variable {
-                next_row.insert(var.clone(), Value::Relationship(rel));
+                next_row.insert(RowKey::from(var.as_str()), Value::Relationship(rel));
             }
             bind_node(&mut next_row, &segment.node, next_node);
             used.push(rel);
             trace.push(Value::Relationship(rel));
             trace.push(Value::Node(next_node));
-            match_segments(ctx, pattern, segment_index + 1, next_node, next_row, used, trace, on_complete)?;
+            match_segments(
+                ctx,
+                pattern,
+                segment_index + 1,
+                next_node,
+                next_row,
+                used,
+                trace,
+                on_complete,
+            )?;
             trace.pop();
             trace.pop();
             used.pop();
@@ -156,7 +171,7 @@ fn match_var_length(
     row: Row,
     used: &mut Vec<RelId>,
     trace: &mut Vec<Value>,
-    on_complete: &mut dyn FnMut(EvalCtx<'_>, Row, &mut Vec<RelId>, &[Value]) -> Result<(), EvalError>,
+    on_complete: OnComplete<'_>,
 ) -> Result<(), EvalError> {
     let segment = &pattern.segments[segment_index];
     let rel_pattern = &segment.relationship;
@@ -181,7 +196,7 @@ fn match_var_length(
                 let mut next_row = row.clone();
                 if let Some(var) = &rel_pattern.variable {
                     next_row.insert(
-                        var.clone(),
+                        RowKey::from(var.as_str()),
                         Value::List(frame.rels.iter().map(|r| Value::Relationship(*r)).collect()),
                     );
                 }
@@ -258,7 +273,7 @@ fn candidate_relationships(
                 }
             }
         };
-        if !pattern.labels.is_empty() && !pattern.labels.iter().any(|l| *l == rel.label) {
+        if !pattern.labels.is_empty() && !pattern.labels.contains(&rel.label) {
             continue;
         }
         if !properties_match(ctx, row, EntityId::Relationship(rel_id), &pattern.properties)? {
@@ -267,7 +282,7 @@ fn candidate_relationships(
         // If the relationship variable is already bound, the candidate must be
         // that exact relationship.
         if let Some(var) = &pattern.variable {
-            if let Some(Value::Relationship(bound)) = row.get(var) {
+            if let Some(Value::Relationship(bound)) = row.get(var.as_str()) {
                 if *bound != rel_id {
                     continue;
                 }
@@ -292,7 +307,9 @@ fn violates_injectivity(
         return false;
     }
     match &pattern.variable {
-        Some(var) => !matches!(row.get(var), Some(Value::Relationship(bound)) if *bound == rel),
+        Some(var) => {
+            !matches!(row.get(var.as_str()), Some(Value::Relationship(bound)) if *bound == rel)
+        }
         None => true,
     }
 }
@@ -304,9 +321,13 @@ fn candidate_nodes(
 ) -> Result<Vec<NodeId>, EvalError> {
     // A bound variable restricts the candidates to the bound node.
     if let Some(var) = &pattern.variable {
-        match row.get(var) {
+        match row.get(var.as_str()) {
             Some(Value::Node(id)) => {
-                return if node_matches(ctx, row, *id, pattern)? { Ok(vec![*id]) } else { Ok(vec![]) };
+                return if node_matches(ctx, row, *id, pattern)? {
+                    Ok(vec![*id])
+                } else {
+                    Ok(vec![])
+                };
             }
             Some(_) => return Ok(vec![]),
             None => {}
@@ -337,7 +358,7 @@ fn node_matches(
 /// If the node variable is already bound, the candidate must equal it.
 fn node_binding_consistent(row: &Row, pattern: &NodePattern, id: NodeId) -> bool {
     match &pattern.variable {
-        Some(var) => match row.get(var) {
+        Some(var) => match row.get(var.as_str()) {
             Some(Value::Node(bound)) => *bound == id,
             Some(_) => false,
             None => true,
@@ -364,7 +385,7 @@ fn properties_match(
 
 fn bind_node(row: &mut Row, pattern: &NodePattern, id: NodeId) {
     if let Some(var) = &pattern.variable {
-        row.insert(var.clone(), Value::Node(id));
+        row.insert(RowKey::from(var.as_str()), Value::Node(id));
     }
 }
 

@@ -235,8 +235,7 @@ impl Value {
                 }
             }
             (a, b) => match (a.as_number(), b.as_number()) {
-                (Some(_), Some(y)) if y == 0.0 => Value::Null,
-                (Some(x), Some(y)) => Value::Float(x / y),
+                (Some(x), Some(y)) if y != 0.0 => Value::Float(x / y),
                 _ => Value::Null,
             },
         }
@@ -254,8 +253,7 @@ impl Value {
                 }
             }
             (a, b) => match (a.as_number(), b.as_number()) {
-                (Some(_), Some(y)) if y == 0.0 => Value::Null,
-                (Some(x), Some(y)) => Value::Float(x % y),
+                (Some(x), Some(y)) if y != 0.0 => Value::Float(x % y),
                 _ => Value::Null,
             },
         }
@@ -384,10 +382,7 @@ mod tests {
     #[test]
     fn mixed_numeric_equality_and_comparison() {
         assert_eq!(Value::Integer(2).cypher_eq(&Value::Float(2.0)), Some(true));
-        assert_eq!(
-            Value::Integer(2).cypher_cmp(&Value::Float(2.5)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Integer(2).cypher_cmp(&Value::Float(2.5)), Some(Ordering::Less));
         assert_eq!(Value::String("a".into()).cypher_cmp(&Value::Integer(1)), None);
     }
 
@@ -451,10 +446,7 @@ mod tests {
     fn list_concatenation() {
         let a = Value::List(vec![Value::Integer(1)]);
         let b = Value::List(vec![Value::Integer(2)]);
-        assert_eq!(
-            a.add(&b),
-            Value::List(vec![Value::Integer(1), Value::Integer(2)])
-        );
+        assert_eq!(a.add(&b), Value::List(vec![Value::Integer(1), Value::Integer(2)]));
     }
 
     #[test]
@@ -480,9 +472,6 @@ mod tests {
     fn display_formats() {
         assert_eq!(Value::Integer(3).to_string(), "3");
         assert_eq!(Value::String("x".into()).to_string(), "'x'");
-        assert_eq!(
-            Value::List(vec![Value::Integer(1), Value::Null]).to_string(),
-            "[1, null]"
-        );
+        assert_eq!(Value::List(vec![Value::Integer(1), Value::Null]).to_string(), "[1, null]");
     }
 }

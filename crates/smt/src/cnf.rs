@@ -146,10 +146,8 @@ mod tests {
         let atom = Term::eq(Term::int_var("x"), Term::int(1));
         let mut solver = SatSolver::new();
         let mut abstraction = Abstraction::new();
-        abstraction.assert_formula(
-            &mut solver,
-            &Term::or(vec![atom.clone(), Term::not(atom.clone())]),
-        );
+        abstraction
+            .assert_formula(&mut solver, &Term::or(vec![atom.clone(), Term::not(atom.clone())]));
         // The same atom must map to a single propositional variable.
         assert_eq!(abstraction.atoms.len(), 1);
     }

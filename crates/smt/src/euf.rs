@@ -203,10 +203,9 @@ mod tests {
         cc.assert_eq(&v("x"), &v("y"));
         assert!(cc.are_equal(&f("f", vec![v("x")]), &f("f", vec![v("y")])));
         // And functions of functions.
-        assert!(cc.are_equal(
-            &f("g", vec![f("f", vec![v("x")])]),
-            &f("g", vec![f("f", vec![v("y")])])
-        ));
+        assert!(
+            cc.are_equal(&f("g", vec![f("f", vec![v("x")])]), &f("g", vec![f("f", vec![v("y")])]))
+        );
         // Different functions stay apart.
         assert!(!cc.are_equal(&f("f", vec![v("x")]), &f("g", vec![v("x")])));
     }

@@ -132,11 +132,7 @@ impl LiaProblem {
                 // Branch 2: Σ coeff·var ≥ constant + 1.
                 let mut greater = constraints.to_vec();
                 greater.push(LinearConstraint {
-                    coefficients: first
-                        .coefficients
-                        .iter()
-                        .map(|(k, v)| (k.clone(), -v))
-                        .collect(),
+                    coefficients: first.coefficients.iter().map(|(k, v)| (k.clone(), -v)).collect(),
                     constant: -(first.constant + 1),
                 });
                 self.check_split(rest, &greater)
@@ -180,7 +176,7 @@ fn rational_feasible(constraints: &[LinearConstraint]) -> bool {
             for up in &upper {
                 let a = -low.coefficients[&variable]; // > 0
                 let b = up.coefficients[&variable]; // > 0
-                // a·up + b·low eliminates the variable.
+                                                    // a·up + b·low eliminates the variable.
                 let mut coefficients: BTreeMap<String, i128> = BTreeMap::new();
                 for (name, coeff) in &up.coefficients {
                     *coefficients.entry(name.clone()).or_insert(0) += a as i128 * *coeff as i128;
@@ -241,10 +237,7 @@ mod tests {
         let mut problem = LiaProblem::new();
         problem.add_le(LinearConstraint::var_le_var("x", "y"));
         problem.add_le(LinearConstraint::var_le_var("y", "z"));
-        problem.add_le(LinearConstraint::new(
-            [("z".to_string(), 1), ("x".to_string(), -1)],
-            -1,
-        ));
+        problem.add_le(LinearConstraint::new([("z".to_string(), 1), ("x".to_string(), -1)], -1));
         assert_eq!(problem.check(), TheoryResult::Inconsistent);
         // Without the -1 it is feasible (all equal).
         let mut problem = LiaProblem::new();
@@ -289,18 +282,9 @@ mod tests {
         //   v1 = l1, v2 = l2, v3 = l1, l1 ≥ 0, l2 ≥ 0, l2 = 0  (from g1 = g2
         //   on the second summand), v1 ≠ v2 + v3.
         let mut problem = LiaProblem::new();
-        problem.add_eq(LinearConstraint::new(
-            [("v1".to_string(), 1), ("l1".to_string(), -1)],
-            0,
-        ));
-        problem.add_eq(LinearConstraint::new(
-            [("v2".to_string(), 1), ("l2".to_string(), -1)],
-            0,
-        ));
-        problem.add_eq(LinearConstraint::new(
-            [("v3".to_string(), 1), ("l1".to_string(), -1)],
-            0,
-        ));
+        problem.add_eq(LinearConstraint::new([("v1".to_string(), 1), ("l1".to_string(), -1)], 0));
+        problem.add_eq(LinearConstraint::new([("v2".to_string(), 1), ("l2".to_string(), -1)], 0));
+        problem.add_eq(LinearConstraint::new([("v3".to_string(), 1), ("l1".to_string(), -1)], 0));
         problem.add_le(LinearConstraint::var_ge_const("l1", 0));
         problem.add_le(LinearConstraint::var_ge_const("l2", 0));
         problem.add_eq(LinearConstraint::var_le_const("l2", 0));
@@ -315,19 +299,13 @@ mod tests {
     fn multi_variable_combination() {
         // x + y ≤ 2 ∧ x ≥ 2 ∧ y ≥ 2 is infeasible.
         let mut problem = LiaProblem::new();
-        problem.add_le(LinearConstraint::new(
-            [("x".to_string(), 1), ("y".to_string(), 1)],
-            2,
-        ));
+        problem.add_le(LinearConstraint::new([("x".to_string(), 1), ("y".to_string(), 1)], 2));
         problem.add_le(LinearConstraint::var_ge_const("x", 2));
         problem.add_le(LinearConstraint::var_ge_const("y", 2));
         assert_eq!(problem.check(), TheoryResult::Inconsistent);
         // x + y ≤ 4 with the same lower bounds is feasible.
         let mut problem = LiaProblem::new();
-        problem.add_le(LinearConstraint::new(
-            [("x".to_string(), 1), ("y".to_string(), 1)],
-            4,
-        ));
+        problem.add_le(LinearConstraint::new([("x".to_string(), 1), ("y".to_string(), 1)], 4));
         problem.add_le(LinearConstraint::var_ge_const("x", 2));
         problem.add_le(LinearConstraint::var_ge_const("y", 2));
         assert_eq!(problem.check(), TheoryResult::Consistent);

@@ -118,7 +118,6 @@ impl SatSolver {
                 let v = self.new_var();
                 self.clauses.push(vec![Lit::new(v, true)]);
                 self.clauses.push(vec![Lit::new(v, false)]);
-                return;
             }
             1 => {
                 self.clauses.push(clause);
@@ -247,8 +246,10 @@ impl SatSolver {
 
         loop {
             if let Some(ci) = clause_index {
-                let clause = self.clauses[ci].clone();
-                for lit in clause {
+                // Resolve on the clause by index: literals are copied out one
+                // at a time, so bumping activities needs no clause clone.
+                for k in 0..self.clauses[ci].len() {
+                    let lit = self.clauses[ci][k];
                     let var = lit.var();
                     // Skip the literal whose reason clause we are resolving on.
                     if Some(var) == skip_var {
@@ -312,13 +313,9 @@ impl SatSolver {
     }
 
     fn pick_branch_variable(&self) -> Option<usize> {
-        (0..self.num_vars())
-            .filter(|v| self.assignment[*v] == Value::Unassigned)
-            .max_by(|a, b| {
-                self.activity[*a]
-                    .partial_cmp(&self.activity[*b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        (0..self.num_vars()).filter(|v| self.assignment[*v] == Value::Unassigned).max_by(|a, b| {
+            self.activity[*a].partial_cmp(&self.activity[*b]).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Solves the clause set added so far. Each call restarts the search from
@@ -362,11 +359,7 @@ impl SatSolver {
             } else {
                 match self.pick_branch_variable() {
                     None => {
-                        let model = self
-                            .assignment
-                            .iter()
-                            .map(|v| *v == Value::True)
-                            .collect();
+                        let model = self.assignment.iter().map(|v| *v == Value::True).collect();
                         return SatOutcome::Sat(model);
                     }
                     Some(var) => {

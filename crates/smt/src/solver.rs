@@ -101,10 +101,8 @@ impl Solver {
                     }
                     // Refute this boolean model: at least one theory literal
                     // must flip.
-                    let blocking: Vec<Lit> = literals
-                        .iter()
-                        .map(|(var, _, value)| Lit::new(*var, !value))
-                        .collect();
+                    let blocking: Vec<Lit> =
+                        literals.iter().map(|(var, _, value)| Lit::new(*var, !value)).collect();
                     sat.add_clause(blocking);
                 }
             }
@@ -175,11 +173,10 @@ fn theory_consistent(literals: &[(usize, Term, bool)]) -> bool {
 
 /// Returns `true` if the term belongs to the arithmetic fragment.
 fn is_arithmetic(term: &Term) -> bool {
-    match term {
-        Term::IntConst(_) | Term::Add(_) | Term::MulConst(_, _) => true,
-        Term::Var(_, SortTag::Int) => true,
-        _ => false,
-    }
+    matches!(
+        term,
+        Term::IntConst(_) | Term::Add(_) | Term::MulConst(_, _) | Term::Var(_, SortTag::Int)
+    )
 }
 
 /// Linearizes `lhs - rhs` into a [`LinearConstraint`] with constant moved to
@@ -253,16 +250,10 @@ mod tests {
     #[test]
     fn lia_reasoning() {
         // x ≤ 3 ∧ x ≥ 5 is UNSAT.
-        let formula = Term::and(vec![
-            Term::le(x(), Term::int(3)),
-            Term::ge(x(), Term::int(5)),
-        ]);
+        let formula = Term::and(vec![Term::le(x(), Term::int(3)), Term::ge(x(), Term::int(5))]);
         assert!(check_formula(formula).is_unsat());
         // x ≤ 3 ∧ x ≥ 2 is SAT.
-        let formula = Term::and(vec![
-            Term::le(x(), Term::int(3)),
-            Term::ge(x(), Term::int(2)),
-        ]);
+        let formula = Term::and(vec![Term::le(x(), Term::int(3)), Term::ge(x(), Term::int(2))]);
         assert!(check_formula(formula).is_sat());
     }
 
@@ -270,10 +261,7 @@ mod tests {
     fn combined_boolean_and_theory() {
         // (x = 1 ∨ x = 2) ∧ x ≠ 1 ∧ x ≠ 2 is UNSAT.
         let formula = Term::and(vec![
-            Term::or(vec![
-                Term::eq(x(), Term::int(1)),
-                Term::eq(x(), Term::int(2)),
-            ]),
+            Term::or(vec![Term::eq(x(), Term::int(1)), Term::eq(x(), Term::int(2))]),
             Term::neq(x(), Term::int(1)),
             Term::neq(x(), Term::int(2)),
         ]);
@@ -294,21 +282,12 @@ mod tests {
     #[test]
     fn validity_of_simple_arithmetic_facts() {
         // x ≤ 3 ⇒ x ≤ 5 is valid.
-        assert!(is_valid(Term::implies(
-            Term::le(x(), Term::int(3)),
-            Term::le(x(), Term::int(5))
-        )));
+        assert!(is_valid(Term::implies(Term::le(x(), Term::int(3)), Term::le(x(), Term::int(5)))));
         // x ≤ 5 ⇒ x ≤ 3 is not valid.
-        assert!(!is_valid(Term::implies(
-            Term::le(x(), Term::int(5)),
-            Term::le(x(), Term::int(3))
-        )));
+        assert!(!is_valid(Term::implies(Term::le(x(), Term::int(5)), Term::le(x(), Term::int(3)))));
         // x = 1 ∧ y = 1 ⇒ x = y is valid.
         assert!(is_valid(Term::implies(
-            Term::and(vec![
-                Term::eq(x(), Term::int(1)),
-                Term::eq(y(), Term::int(1))
-            ]),
+            Term::and(vec![Term::eq(x(), Term::int(1)), Term::eq(y(), Term::int(1))]),
             Term::eq(x(), y())
         )));
     }
@@ -318,19 +297,13 @@ mod tests {
         let alice = Term::App("const:Alice".into(), vec![]);
         let bob = Term::App("const:Bob".into(), vec![]);
         let v = Term::value_var("v");
-        let formula = Term::and(vec![
-            Term::eq(v.clone(), alice),
-            Term::eq(v, bob),
-        ]);
+        let formula = Term::and(vec![Term::eq(v.clone(), alice), Term::eq(v, bob)]);
         assert!(check_formula(formula).is_unsat());
     }
 
     #[test]
     fn sat_models_report_atoms() {
-        let formula = Term::and(vec![
-            Term::eq(x(), Term::int(1)),
-            Term::bool_var("p"),
-        ]);
+        let formula = Term::and(vec![Term::eq(x(), Term::int(1)), Term::bool_var("p")]);
         match check_formula(formula) {
             SmtResult::Sat(model) => {
                 assert!(model
@@ -346,10 +319,8 @@ mod tests {
     fn uninterpreted_functions_in_arithmetic() {
         // f(x) ≤ 3 ∧ f(x) ≥ 5 is UNSAT (f(x) treated as an opaque integer).
         let fx = Term::App("f".into(), vec![x()]);
-        let formula = Term::and(vec![
-            Term::le(fx.clone(), Term::int(3)),
-            Term::ge(fx, Term::int(5)),
-        ]);
+        let formula =
+            Term::and(vec![Term::le(fx.clone(), Term::int(3)), Term::ge(fx, Term::int(5))]);
         assert!(check_formula(formula).is_unsat());
     }
 

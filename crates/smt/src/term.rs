@@ -159,6 +159,7 @@ impl Term {
     }
 
     /// Negation with double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(term: Term) -> Term {
         match term {
             Term::BoolConst(b) => Term::BoolConst(!b),

@@ -14,13 +14,25 @@ fn main() {
     // Candidate rewrites an optimizer might propose.
     let candidates = [
         // Correct: push the property test into the pattern.
-        ("predicate pushdown", "MATCH (u:User)-[f:FOLLOWS]->(v:User {verified: true}) RETURN u.name"),
+        (
+            "predicate pushdown",
+            "MATCH (u:User)-[f:FOLLOWS]->(v:User {verified: true}) RETURN u.name",
+        ),
         // Correct: reverse the pattern direction.
-        ("pattern reversal", "MATCH (v:User)<-[f:FOLLOWS]-(u:User) WHERE v.verified = true RETURN u.name"),
+        (
+            "pattern reversal",
+            "MATCH (v:User)<-[f:FOLLOWS]-(u:User) WHERE v.verified = true RETURN u.name",
+        ),
         // Bug: the filter now applies to the follower instead of the followee.
-        ("wrong filter target", "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE u.verified = true RETURN u.name"),
+        (
+            "wrong filter target",
+            "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE u.verified = true RETURN u.name",
+        ),
         // Bug: deduplication changes bag semantics.
-        ("spurious DISTINCT", "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE v.verified = true RETURN DISTINCT u.name"),
+        (
+            "spurious DISTINCT",
+            "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE v.verified = true RETURN DISTINCT u.name",
+        ),
     ];
 
     println!("original: {original}\n");

@@ -33,9 +33,11 @@ fn main() {
                     _ => true,
                 }
             });
-            println!("  {rule:<18} prover: {:<12} oracle: {}",
+            println!(
+                "  {rule:<18} prover: {:<12} oracle: {}",
                 if verdict.is_equivalent() { "EQUIVALENT" } else { "not proved" },
-                if oracle_agrees { "agrees" } else { "DISAGREES" });
+                if oracle_agrees { "agrees" } else { "DISAGREES" }
+            );
         }
         println!();
     }

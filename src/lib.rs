@@ -4,9 +4,9 @@
 //! (`examples/`) and cross-crate integration tests (`tests/`). It simply
 //! re-exports the public crates of the workspace under stable names.
 
+pub use cyeqset;
 pub use cypher_normalizer as normalizer;
 pub use cypher_parser as parser;
-pub use cyeqset;
 pub use gexpr;
 pub use graphqe;
 pub use liastar;

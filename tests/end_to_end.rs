@@ -10,11 +10,12 @@ use property_graph::{evaluate_query, GraphGenerator, PropertyGraph};
 fn prover_equivalence_agrees_with_the_oracle_on_sample_pairs() {
     let prover = GraphQE::new();
     let pairs = [
-        ("MATCH (person)-[x:READ]->(book:Book) RETURN person.name",
-         "MATCH (n1)-[r1:READ]->(n2:Book) RETURN n1.name"),
+        (
+            "MATCH (person)-[x:READ]->(book:Book) RETURN person.name",
+            "MATCH (n1)-[r1:READ]->(n2:Book) RETURN n1.name",
+        ),
         ("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"),
-        ("MATCH (n) WHERE n.age > 5 AND n.age > 3 RETURN n",
-         "MATCH (n) WHERE n.age > 5 RETURN n"),
+        ("MATCH (n) WHERE n.age > 5 AND n.age > 3 RETURN n", "MATCH (n) WHERE n.age > 5 RETURN n"),
         ("MATCH (x) WITH x.name AS name RETURN name", "MATCH (x) RETURN x.name"),
         // NOTE: the undirected-relationship rewrite (Table II rule 1) is not
         // cross-checked against the oracle here: like the paper's rule it
