@@ -1,0 +1,325 @@
+//! A minimal JSON reader for the benchmark reports.
+//!
+//! The build environment has no crates.io access, so `serde_json` is
+//! unavailable; this hand-rolled recursive-descent parser covers exactly the
+//! JSON subset the `BENCH_pr*.json` reports use (objects, arrays, strings
+//! with `\`-escapes, f64 numbers, booleans, null). It is used by the
+//! `bench_gate` CI binary to compare the current report against the
+//! committed previous one.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (sorted by key; duplicate keys keep the last value).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = Parser { bytes: text.as_bytes(), position: 0 };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.position != parser.bytes.len() {
+            return Err(format!("trailing characters at byte {}", parser.position));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// Nested member lookup along a path of keys.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Json> {
+        let mut current = self;
+        for key in path {
+            current = current.get(key)?;
+        }
+        Some(current)
+    }
+
+    /// The numeric value (`None` on non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an integer count.
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        if v >= 0.0 && v.fract() == 0.0 {
+            Some(v as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The string value (`None` on non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.position).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.position += 1;
+        Some(byte)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.position += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(found) if found == byte => Ok(()),
+            Some(found) => Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                byte as char,
+                self.position - 1,
+                found as char
+            )),
+            None => Err(format!("expected '{}' at end of input", byte as char)),
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), String> {
+        for expected in literal.bytes() {
+            self.expect(expected)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(Json::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected '{}' at byte {}", other as char, self.position)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.position += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(members)),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.position - 1)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.position += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.position - 1)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("invalid \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", self.position - 1)),
+                },
+                Some(byte) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = self.position - 1;
+                    let width = utf8_width(byte);
+                    for _ in 1..width {
+                        self.bump();
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.position])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(chunk);
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.position;
+        if self.peek() == Some(b'-') {
+            self.position += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.position += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.position])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>().map(Json::Number).map_err(|e| format!("invalid number {text}: {e}"))
+    }
+}
+
+fn utf8_width(byte: u8) -> usize {
+    match byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-12.5e1").unwrap(), Json::Number(-125.0));
+        assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::String("a\nb".to_string()));
+    }
+
+    #[test]
+    fn parses_bench_report_shape() {
+        let text = r#"{
+          "threads": 1,
+          "cyeqset": {
+            "arena_parallel_ms": 10.809,
+            "equivalent": 138,
+            "stages_ms": {"decide_tree": 28.158, "decide_arena": 2.628}
+          },
+          "list": [1, 2, 3]
+        }"#;
+        let parsed = Json::parse(text).unwrap();
+        assert_eq!(parsed.get("threads").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get_path(&["cyeqset", "equivalent"]).and_then(Json::as_u64), Some(138));
+        assert_eq!(
+            parsed.get_path(&["cyeqset", "stages_ms", "decide_arena"]).and_then(Json::as_f64),
+            Some(2.628)
+        );
+        assert_eq!(
+            parsed.get("list"),
+            Some(&Json::Array(vec![Json::Number(1.0), Json::Number(2.0), Json::Number(3.0)]))
+        );
+    }
+
+    #[test]
+    fn parses_the_committed_pr1_report() {
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr1.json"),
+        )
+        .expect("BENCH_pr1.json is committed");
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get_path(&["cyeqset", "equivalent"]).and_then(Json::as_u64), Some(138));
+        assert_eq!(
+            parsed.get_path(&["cyneqset", "not_equivalent"]).and_then(Json::as_u64),
+            Some(121)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let parsed = Json::parse("\"Σ‖×\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("Σ‖×"));
+    }
+}

@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+pub mod json;
 pub mod microbench;
 
 use std::time::Duration;
@@ -49,18 +51,28 @@ pub fn run_pairs_with_threads(
     pairs: Vec<QueryPair>,
     threads: usize,
 ) -> Vec<PairResult> {
+    run_pairs_report(prover, pairs, threads).0
+}
+
+/// [`run_pairs_with_threads`] plus the aggregate cache report of the run.
+pub fn run_pairs_report(
+    prover: &GraphQE,
+    pairs: Vec<QueryPair>,
+    threads: usize,
+) -> (Vec<PairResult>, graphqe::CacheStats) {
     let texts: Vec<(&str, &str)> =
         pairs.iter().map(|pair| (pair.left.as_str(), pair.right.as_str())).collect();
-    let outcomes = prover.prove_batch_detailed(&texts, threads);
-    pairs
+    let report = prover.prove_batch_report(&texts, threads);
+    let results = pairs
         .into_iter()
-        .zip(outcomes)
+        .zip(report.outcomes)
         .map(|(pair, outcome)| PairResult {
             pair,
             verdict: outcome.verdict,
             latency: outcome.latency,
         })
-        .collect()
+        .collect();
+    (results, report.cache)
 }
 
 /// One row of Table III.

@@ -54,6 +54,15 @@ thread_local! {
         RefCell::new(HashMap::new());
 }
 
+/// Drops every cached candidate pool of the calling thread. Part of the
+/// epoch-based eviction story: the pools (fully generated graph vectors,
+/// typically the largest allocations of a worker) would otherwise accumulate
+/// one entry per distinct query vocabulary forever. Pure memo — the
+/// generator is deterministic, so eviction only costs regeneration.
+pub fn clear_thread_pool_cache() {
+    POOL_CACHE.with(|cache| cache.borrow_mut().clear());
+}
+
 /// Searches for a property graph on which the two queries disagree.
 pub fn find_counterexample(
     q1: &Query,

@@ -57,6 +57,65 @@ pub struct BatchOutcome {
     pub latency: std::time::Duration,
 }
 
+/// Aggregate cache behavior over one batch run, so the per-stage timings of
+/// the detailed report are explainable: a fast decide stage with a high hit
+/// rate is memoization, not magic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Hits of the formula-level result cache inside `smt::Solver`.
+    pub smt_formula_hits: u64,
+    /// Misses of the formula-level result cache inside `smt::Solver`.
+    pub smt_formula_misses: u64,
+    /// Hits of the `liastar` summand-simplification cache.
+    pub summand_hits: u64,
+    /// Misses of the `liastar` summand-simplification cache.
+    pub summand_misses: u64,
+    /// Hits of the `liastar` pairwise-disjointness cache.
+    pub disjoint_hits: u64,
+    /// Misses of the `liastar` pairwise-disjointness cache.
+    pub disjoint_misses: u64,
+    /// Peak node count of any hash-consed arena during the run.
+    pub peak_arena_nodes: usize,
+    /// How many times a worker evicted its thread-local caches because the
+    /// arena outgrew [`GraphQE::arena_node_budget`].
+    pub epoch_resets: u64,
+}
+
+impl CacheStats {
+    /// Hit rate of the SMT formula cache in `[0, 1]` (0 when unused).
+    pub fn smt_formula_hit_rate(&self) -> f64 {
+        hit_rate(self.smt_formula_hits, self.smt_formula_misses)
+    }
+
+    /// Hit rate of the summand cache in `[0, 1]` (0 when unused).
+    pub fn summand_hit_rate(&self) -> f64 {
+        hit_rate(self.summand_hits, self.summand_misses)
+    }
+
+    /// Hit rate of the disjointness cache in `[0, 1]` (0 when unused).
+    pub fn disjoint_hit_rate(&self) -> f64 {
+        hit_rate(self.disjoint_hits, self.disjoint_misses)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// The full result of [`GraphQE::prove_batch_report`].
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-pair outcomes, in input order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Cache behavior aggregated over the whole run (all workers).
+    pub cache: CacheStats,
+}
+
 /// The GraphQE prover with its configuration.
 #[derive(Debug, Clone)]
 pub struct GraphQE {
@@ -75,6 +134,12 @@ pub struct GraphQE {
     /// benchmarks can measure the arena speedup against the paper-faithful
     /// baseline.
     pub use_tree_normalizer: bool,
+    /// Budget on the per-worker hash-consed arena during batch proving: once
+    /// a worker's thread-local `GStore` holds more nodes than this after
+    /// finishing a pair, the worker evicts every thread-local cache
+    /// (`liastar::reset_thread_caches`). Keeps long batch runs in bounded
+    /// memory; `0` disables the budget.
+    pub arena_node_budget: usize,
 }
 
 impl Default for GraphQE {
@@ -85,6 +150,10 @@ impl Default for GraphQE {
             search_config: SearchConfig::default(),
             max_column_permutations: 24,
             use_tree_normalizer: false,
+            // Roughly a few hundred MB of arena + memo tables in the worst
+            // case; the full CyEqSet+CyNeqSet run stays well under it, so
+            // the default only kicks in for service-scale streams.
+            arena_node_budget: 1 << 20,
         }
     }
 }
@@ -139,49 +208,101 @@ impl GraphQE {
     }
 
     /// Batch proving with per-pair wall-clock latencies, for benchmarking.
+    /// Identical to [`GraphQE::prove_batch_report`] minus the cache report.
+    pub fn prove_batch_detailed<L, R>(&self, pairs: &[(L, R)], threads: usize) -> Vec<BatchOutcome>
+    where
+        L: AsRef<str> + Sync,
+        R: AsRef<str> + Sync,
+    {
+        self.prove_batch_report(pairs, threads).outcomes
+    }
+
+    /// Batch proving with per-pair wall-clock latencies plus an aggregate
+    /// [`CacheStats`] report, for benchmarking.
     ///
     /// Workers share the read-only prover configuration and pull pairs from a
     /// single atomic cursor (dynamic load balancing — pair latencies vary by
     /// orders of magnitude, so static chunking would straggle). Each worker
     /// thread accumulates normalization results in its own thread-local
     /// hash-consed arena, so structurally overlapping pairs — ubiquitous in
-    /// real workloads — are normalized once per worker.
-    pub fn prove_batch_detailed<L, R>(&self, pairs: &[(L, R)], threads: usize) -> Vec<BatchOutcome>
+    /// real workloads — are normalized once per worker; once the arena
+    /// outgrows [`GraphQE::arena_node_budget`] the worker evicts its caches
+    /// (the epoch-based eviction story), which is counted in the report.
+    ///
+    /// The cache counters are process-global, so the reported deltas cover
+    /// exactly this run only when no other prover runs concurrently — true
+    /// for the benchmark binaries, which is what the report is for.
+    pub fn prove_batch_report<L, R>(&self, pairs: &[(L, R)], threads: usize) -> BatchReport
     where
         L: AsRef<str> + Sync,
         R: AsRef<str> + Sync,
     {
+        let smt_before = smt::formula_cache_stats();
+        let liastar_before = liastar::cache_counters();
+        // Scope the peak metric to this run: interning bumps the global
+        // counter, and workers fold in their arena size after every pair so
+        // warm arenas (which intern nothing new) are still counted.
+        gexpr::arena::reset_peak_node_count();
+        let epoch_resets = AtomicUsize::new(0);
+
         let prove_timed = |left: &str, right: &str| {
             let start = Instant::now();
             let verdict = self.prove(left, right);
-            BatchOutcome { verdict, latency: start.elapsed() }
+            let outcome = BatchOutcome { verdict, latency: start.elapsed() };
+            let arena_nodes = gexpr::arena::thread_store_node_count();
+            gexpr::arena::note_node_peak(arena_nodes);
+            if self.arena_node_budget > 0 && arena_nodes > self.arena_node_budget {
+                liastar::reset_thread_caches();
+                counterexample::clear_thread_pool_cache();
+                epoch_resets.fetch_add(1, Ordering::Relaxed);
+            }
+            outcome
         };
         let threads = threads.clamp(1, pairs.len().max(1));
-        if threads == 1 {
-            return pairs.iter().map(|(l, r)| prove_timed(l.as_ref(), r.as_ref())).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, BatchOutcome)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let index = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some((left, right)) = pairs.get(index) else { break };
-                            local.push((index, prove_timed(left.as_ref(), right.as_ref())));
-                        }
-                        local
+        let outcomes = if threads == 1 {
+            pairs.iter().map(|(l, r)| prove_timed(l.as_ref(), r.as_ref())).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, BatchOutcome)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some((left, right)) = pairs.get(index) else { break };
+                                local.push((index, prove_timed(left.as_ref(), right.as_ref())));
+                            }
+                            local
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("prover worker panicked"))
-                .collect()
-        });
-        indexed.sort_by_key(|(index, _)| *index);
-        indexed.into_iter().map(|(_, outcome)| outcome).collect()
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("prover worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(index, _)| *index);
+            indexed.into_iter().map(|(_, outcome)| outcome).collect()
+        };
+
+        let smt_after = smt::formula_cache_stats();
+        let liastar_after = liastar::cache_counters();
+        let cache = CacheStats {
+            smt_formula_hits: smt_after.0.saturating_sub(smt_before.0),
+            smt_formula_misses: smt_after.1.saturating_sub(smt_before.1),
+            summand_hits: liastar_after.summand_hits.saturating_sub(liastar_before.summand_hits),
+            summand_misses: liastar_after
+                .summand_misses
+                .saturating_sub(liastar_before.summand_misses),
+            disjoint_hits: liastar_after.disjoint_hits.saturating_sub(liastar_before.disjoint_hits),
+            disjoint_misses: liastar_after
+                .disjoint_misses
+                .saturating_sub(liastar_before.disjoint_misses),
+            peak_arena_nodes: gexpr::arena::peak_node_count(),
+            epoch_resets: epoch_resets.load(Ordering::Relaxed) as u64,
+        };
+        BatchReport { outcomes, cache }
     }
 
     /// Proves the (non-)equivalence of two parsed queries.
@@ -633,6 +754,7 @@ mod tests {
 
     #[test]
     fn batch_proving_matches_sequential_verdicts_in_order() {
+        let _serial = BATCH_REPORT_LOCK.lock().unwrap();
         let prover = prover();
         let pairs = vec![
             ("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"),
@@ -654,6 +776,57 @@ mod tests {
                     "batch verdict diverges for {left} vs {right} with {threads} threads"
                 );
             }
+        }
+    }
+
+    /// `prove_batch_report` documents that its process-global counters are
+    /// only meaningful without concurrent provers; tests that read the
+    /// report serialize on this lock.
+    static BATCH_REPORT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn batch_report_exposes_cache_behavior() {
+        let _serial = BATCH_REPORT_LOCK.lock().unwrap();
+        let prover = prover();
+        // A pair whose decision needs SMT summand simplification, twice: the
+        // second run must hit the summand cache.
+        let pair = (
+            "MATCH (n) WHERE n.age > 5 AND n.age > 3 RETURN n",
+            "MATCH (n) WHERE n.age > 5 RETURN n",
+        );
+        let report = prover.prove_batch_report(&[pair, pair], 1);
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcomes.iter().all(|o| o.verdict.is_equivalent()));
+        assert!(report.cache.summand_misses > 0, "first pair must miss");
+        assert!(report.cache.summand_hits > 0, "second pair must hit");
+        assert!(report.cache.peak_arena_nodes > 0);
+        assert_eq!(report.cache.epoch_resets, 0, "default budget must not trigger here");
+        let rate = report.cache.summand_hit_rate();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn tiny_arena_budget_triggers_epoch_resets_without_changing_verdicts() {
+        let _serial = BATCH_REPORT_LOCK.lock().unwrap();
+        let budgeted = GraphQE { arena_node_budget: 1, ..GraphQE::new() };
+        let pairs = vec![
+            ("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"),
+            ("MATCH (n:Person) RETURN n", "MATCH (n:Book) RETURN n"),
+            (
+                "MATCH (n) WHERE n.a = 1 AND n.b = 2 RETURN n",
+                "MATCH (n) WHERE n.b = 2 AND n.a = 1 RETURN n",
+            ),
+        ];
+        let report = budgeted.prove_batch_report(&pairs, 1);
+        assert_eq!(report.cache.epoch_resets, pairs.len() as u64);
+        let reference = prover();
+        for ((left, right), outcome) in pairs.iter().zip(&report.outcomes) {
+            let solo = reference.prove(left, right);
+            assert_eq!(
+                (solo.is_equivalent(), solo.is_not_equivalent()),
+                (outcome.verdict.is_equivalent(), outcome.verdict.is_not_equivalent()),
+                "epoch resets changed the verdict of {left} vs {right}"
+            );
         }
     }
 

@@ -28,6 +28,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::expr::GExpr;
 use crate::normalize::compare_constants;
@@ -161,6 +162,37 @@ pub struct GStore {
     node_text: HashMap<NodeId, String>,
     /// Memo: rendered text of a term.
     term_text: HashMap<TermId, String>,
+    /// Memo: every distinct variable occurring in a node (free *and*
+    /// Σ-bound, including inside aggregate groups), in first-occurrence
+    /// order — exactly what the iso matcher's structural walk binds on an
+    /// identical pair, powering its same-node fast path.
+    all_vars_cache: HashMap<NodeId, std::rc::Rc<[VarId]>>,
+    /// Bumped by [`GStore::reset_epoch`]; caches elsewhere that key on this
+    /// store's ids compare epochs to detect staleness.
+    epoch: u64,
+}
+
+/// High-water mark of [`GStore::node_count`] across every store of the
+/// process (updated on interning, so it also covers stores that were since
+/// epoch-reset). Drives the `peak_arena_nodes` benchmark metric.
+static PEAK_NODES: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide peak node count (see [`reset_peak_node_count`]).
+pub fn peak_node_count() -> usize {
+    PEAK_NODES.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide peak node counter (benchmark bookkeeping).
+pub fn reset_peak_node_count() {
+    PEAK_NODES.store(0, Ordering::Relaxed);
+}
+
+/// Folds an observed arena size into the process-wide peak. Interning
+/// already updates the peak, but after [`reset_peak_node_count`] a warm
+/// arena interns nothing new — batch workers call this with their current
+/// [`GStore::node_count`] so per-run peaks stay accurate.
+pub fn note_node_peak(nodes: usize) {
+    PEAK_NODES.fetch_max(nodes, Ordering::Relaxed);
 }
 
 impl GStore {
@@ -182,6 +214,115 @@ impl GStore {
     /// Number of distinct strings interned so far.
     pub fn string_count(&self) -> usize {
         self.strings.len()
+    }
+
+    /// The store's current epoch (starts at 0, bumped by
+    /// [`GStore::reset_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drops every interned node, term, string and memo entry and bumps the
+    /// store's epoch.
+    ///
+    /// This is the arena's eviction story: a long-running batch worker calls
+    /// this between pairs once the arena outgrows its budget, so memory stops
+    /// growing monotonically. **Every id handed out before the reset is
+    /// invalidated** — callers that cache ids must compare [`GStore::epoch`]
+    /// and drop their caches on mismatch (`liastar` does exactly that for its
+    /// summand and disjointness caches).
+    pub fn reset_epoch(&mut self) {
+        self.strings.clear();
+        self.string_ids.clear();
+        self.consts.clear();
+        self.const_ids.clear();
+        self.terms.clear();
+        self.term_ids.clear();
+        self.nodes.clear();
+        self.node_ids.clear();
+        self.once_cache.clear();
+        self.full_cache.clear();
+        self.sort_cache.clear();
+        self.node_text.clear();
+        self.term_text.clear();
+        self.all_vars_cache.clear();
+        self.epoch += 1;
+    }
+
+    /// Every distinct variable **occurring** in the node (at `Var` leaves,
+    /// including inside aggregate groups), in first-occurrence order.
+    ///
+    /// This is exactly the set of variables the iso matcher's structural
+    /// walk binds on an identical pair — Σ binder lists are deliberately
+    /// *not* included, because the walk only compares binder-list lengths
+    /// and never binds a binder that has no occurrence in the body (the
+    /// normalizer keeps such unused binders as unbounded domain factors).
+    /// Memoized per id and computed bottom-up through the memo, so shared
+    /// sub-DAGs are walked once per arena, not once per root.
+    pub fn node_all_variables(&mut self, n: NodeId) -> std::rc::Rc<[VarId]> {
+        if let Some(vars) = self.all_vars_cache.get(&n) {
+            return vars.clone();
+        }
+        let mut out = Vec::new();
+        match self.node_of(n).clone() {
+            ANode::Zero | ANode::One | ANode::Const(_) => {}
+            ANode::Atom(atom) => match atom {
+                AAtom::Cmp(_, lhs, rhs) => {
+                    self.collect_term_occurring_vars(lhs, &mut out);
+                    self.collect_term_occurring_vars(rhs, &mut out);
+                }
+                AAtom::IsNull(t, _) => self.collect_term_occurring_vars(t, &mut out),
+                AAtom::Pred(_, args) => {
+                    for arg in args.iter() {
+                        self.collect_term_occurring_vars(*arg, &mut out);
+                    }
+                }
+            },
+            ANode::NodeFn(t) | ANode::RelFn(t) | ANode::Unbounded(t) | ANode::Lab(t, _) => {
+                self.collect_term_occurring_vars(t, &mut out)
+            }
+            ANode::Mul(items) | ANode::Add(items) => {
+                for item in items.iter() {
+                    self.merge_node_vars(*item, &mut out);
+                }
+            }
+            ANode::Squash(inner) | ANode::Not(inner) => self.merge_node_vars(inner, &mut out),
+            ANode::Sum(_, body) => self.merge_node_vars(body, &mut out),
+        }
+        let vars: std::rc::Rc<[VarId]> = out.into();
+        self.all_vars_cache.insert(n, vars.clone());
+        vars
+    }
+
+    /// Merges a child node's (memoized) variable set into `out`.
+    fn merge_node_vars(&mut self, n: NodeId, out: &mut Vec<VarId>) {
+        let child = self.node_all_variables(n);
+        for v in child.iter() {
+            if !out.contains(v) {
+                out.push(*v);
+            }
+        }
+    }
+
+    fn collect_term_occurring_vars(&mut self, t: TermId, out: &mut Vec<VarId>) {
+        match self.term_of(t).clone() {
+            ATerm::Var(v) => {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            ATerm::OutCol(_) | ATerm::Const(_) => {}
+            ATerm::Prop(base, _) => self.collect_term_occurring_vars(base, out),
+            ATerm::App(_, args) => {
+                for arg in args.iter() {
+                    self.collect_term_occurring_vars(*arg, out);
+                }
+            }
+            ATerm::Agg { arg, group, .. } => {
+                self.collect_term_occurring_vars(arg, out);
+                self.merge_node_vars(group, out);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -245,6 +386,7 @@ impl GStore {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(n.clone());
         self.node_ids.insert(n, id);
+        PEAK_NODES.fetch_max(self.nodes.len(), Ordering::Relaxed);
         id
     }
 
@@ -1222,6 +1364,16 @@ pub fn with_thread_store<R>(f: impl FnOnce(&mut GStore) -> R) -> R {
     THREAD_STORE.with(|store| f(&mut store.borrow_mut()))
 }
 
+/// Node count of the calling thread's shared arena (budget checks).
+pub fn thread_store_node_count() -> usize {
+    with_thread_store(|store| store.node_count())
+}
+
+/// Epoch of the calling thread's shared arena.
+pub fn thread_store_epoch() -> u64 {
+    with_thread_store(|store| store.epoch())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1350,6 +1502,57 @@ mod tests {
             let twice = store.normalize_expr(&once);
             assert_eq!(once, twice, "not idempotent for {expr}");
         }
+    }
+
+    #[test]
+    fn reset_epoch_invalidates_and_recovers() {
+        let mut store = GStore::new();
+        let exprs = sample_expressions();
+        let old_ids: Vec<NodeId> = exprs.iter().map(|e| store.intern_expr(e)).collect();
+        let old_normal: Vec<GExpr> = exprs.iter().map(|e| store.normalize_expr(e)).collect();
+        let epoch_before = store.epoch();
+        store.reset_epoch();
+        assert_eq!(store.epoch(), epoch_before + 1, "epoch must advance");
+        assert_eq!(store.node_count(), 0, "all nodes dropped");
+        assert_eq!(store.term_count(), 0, "all terms dropped");
+        assert_eq!(store.string_count(), 0, "all strings dropped");
+        // Re-interning after the reset hands out dense ids from zero again,
+        // and normalization results are unchanged (fresh memo tables).
+        let new_ids: Vec<NodeId> = exprs.iter().map(|e| store.intern_expr(e)).collect();
+        assert_eq!(old_ids, new_ids, "deterministic interning order after reset");
+        for (expr, before) in exprs.iter().zip(&old_normal) {
+            assert_eq!(store.normalize_expr(expr), *before, "normalize changed for {expr}");
+        }
+    }
+
+    #[test]
+    fn node_all_variables_collects_occurrences_only() {
+        let mut store = GStore::new();
+        // Variables occurring at leaves are collected (free and Σ-bound)...
+        let expr = GExpr::sum(
+            vec![VarId(0)],
+            GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(1))]),
+        );
+        let id = store.intern_expr(&expr);
+        assert_eq!(store.node_all_variables(id).to_vec(), vec![VarId(0), VarId(1)]);
+        // ... but a Σ binder with no occurrence in the body is NOT: the iso
+        // matcher's walk never binds it (it only compares binder counts).
+        let unused = GExpr::sum(vec![VarId(9)], GExpr::NodeFn(var(0)));
+        let unused_id = store.intern_expr(&unused);
+        assert_eq!(store.node_all_variables(unused_id).to_vec(), vec![VarId(0)]);
+        // Memoized answers stay stable.
+        assert_eq!(store.node_all_variables(id).to_vec(), vec![VarId(0), VarId(1)]);
+    }
+
+    #[test]
+    fn peak_node_count_tracks_interning() {
+        let mut store = GStore::new();
+        store.intern_expr(&sample_expressions()[3]);
+        assert!(peak_node_count() >= store.node_count());
+        // A reset does not lower the recorded peak.
+        let peak = peak_node_count();
+        store.reset_epoch();
+        assert!(peak_node_count() >= peak);
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod expr;
 pub mod normalize;
 pub mod term;
 
-pub use arena::{GStore, NodeId, Sym, TermId};
+pub use arena::{
+    peak_node_count, reset_peak_node_count, thread_store_epoch, thread_store_node_count,
+    with_thread_store, GStore, NodeId, Sym, TermId,
+};
 pub use builder::{build_query, BuildError, BuildOutput, Builder, ColumnKind};
 pub use expr::GExpr;
 pub use normalize::{is_zero_one, normalize, normalize_tree};

@@ -27,6 +27,11 @@ use crate::term::{CmpOp, GAtom, GConst, GTerm, VarId};
 /// node, so repeated normalization of structurally overlapping expressions
 /// (the common case when proving batches of related pairs) is a cache lookup.
 /// The result is identical to [`normalize_tree`].
+///
+/// Note this tree-level entry point externalizes the result; the id-native
+/// decision pipeline in `liastar` instead calls
+/// [`crate::arena::GStore::normalize_id`] directly and stays in id-space
+/// end-to-end — use that from code that already holds interned ids.
 pub fn normalize(expr: &GExpr) -> GExpr {
     crate::arena::normalize_via_arena(expr)
 }

@@ -12,6 +12,7 @@
 //! the set of interpretations, so unsatisfiability / validity results remain
 //! sound for the actual U-semiring semantics.
 
+use gexpr::arena::{AAtom, ANode, ATerm, GStore, NodeId, TermId};
 use gexpr::{CmpOp, GAtom, GConst, GExpr, GTerm};
 use smt::Term;
 
@@ -109,6 +110,120 @@ pub fn encode_product(factors: &[GExpr]) -> Term {
     Term::and(factors.iter().map(encode_factor).collect())
 }
 
+// ---------------------------------------------------------------------------
+// Arena-native encoders
+// ---------------------------------------------------------------------------
+//
+// Mirrors of the tree encoders above that read interned ids directly out of a
+// [`GStore`], so the id-native decision pipeline never materializes `GExpr` /
+// `GTerm` trees just to build SMT formulas. Each function produces *exactly*
+// the same `Term` as its tree counterpart on the externalized node (asserted
+// by the `arena_encoders_match_tree_encoders` test below), which keeps the
+// SMT formula cache shared between both pipelines sound.
+
+/// Id-native mirror of [`encode_term`].
+pub fn encode_term_id(store: &mut GStore, t: TermId) -> Term {
+    match store.term_of(t).clone() {
+        ATerm::Var(v) => Term::value_var(format!("e{}", v.0)),
+        ATerm::OutCol(i) => Term::value_var(format!("t_col{i}")),
+        ATerm::Const(c) => match store.const_of(c).clone() {
+            GConst::Integer(v) => Term::IntConst(v),
+            GConst::Float(v) => Term::App(format!("const:f{v}"), vec![]),
+            GConst::String(s) => Term::App(format!("const:s:{s}"), vec![]),
+            GConst::Boolean(b) => Term::App(format!("const:b:{b}"), vec![]),
+            GConst::Null => Term::App("const:null".to_string(), vec![]),
+        },
+        ATerm::Prop(base, key) => {
+            let key = store.str_of(key).to_string();
+            Term::App(format!("prop:{key}"), vec![encode_term_id(store, base)])
+        }
+        ATerm::App(name, args) => {
+            let name = store.str_of(name).to_string();
+            let args = args.iter().map(|a| encode_term_id(store, *a)).collect();
+            Term::App(format!("fn:{name}"), args)
+        }
+        ATerm::Agg { kind, distinct, arg, group } => {
+            let arg_text = store.term_string(arg);
+            let group_text = store.node_string(group);
+            Term::App(
+                format!("agg:{}:{}:{}|{}", kind.name(), distinct, arg_text, group_text),
+                vec![],
+            )
+        }
+    }
+}
+
+/// Id-native mirror of [`encode_atom`].
+pub fn encode_atom_id(store: &mut GStore, atom: &AAtom) -> Term {
+    match atom {
+        AAtom::Cmp(op, lhs, rhs) => {
+            let l = encode_term_id(store, *lhs);
+            let r = encode_term_id(store, *rhs);
+            match op {
+                CmpOp::Eq => Term::eq(l, r),
+                CmpOp::Neq => Term::neq(l, r),
+                CmpOp::Lt => Term::lt(l, r),
+                CmpOp::Le => Term::le(l, r),
+                CmpOp::Gt => Term::gt(l, r),
+                CmpOp::Ge => Term::ge(l, r),
+            }
+        }
+        AAtom::IsNull(t, negated) => {
+            let encoded =
+                Term::eq(encode_term_id(store, *t), Term::App("const:null".to_string(), vec![]));
+            if *negated {
+                Term::not(encoded)
+            } else {
+                encoded
+            }
+        }
+        AAtom::Pred(name, args) => {
+            let name = store.str_of(*name).to_string();
+            let args = args.iter().map(|a| encode_term_id(store, *a)).collect();
+            let application = Term::App(format!("pred:{name}"), args);
+            Term::eq(application, Term::App("const:b:true".to_string(), vec![]))
+        }
+    }
+}
+
+/// Id-native mirror of [`encode_factor`].
+pub fn encode_factor_id(store: &mut GStore, factor: NodeId) -> Term {
+    match store.node_of(factor).clone() {
+        ANode::Zero => Term::ff(),
+        ANode::One | ANode::Const(_) => Term::tt(),
+        ANode::Atom(atom) => encode_atom_id(store, &atom),
+        ANode::NodeFn(t) => Term::eq(
+            Term::App("graph:node".to_string(), vec![encode_term_id(store, t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        ANode::RelFn(t) => Term::eq(
+            Term::App("graph:rel".to_string(), vec![encode_term_id(store, t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        ANode::Lab(t, label) => {
+            let label = store.str_of(label).to_string();
+            Term::eq(
+                Term::App(format!("graph:lab:{label}"), vec![encode_term_id(store, t)]),
+                Term::App("const:b:true".to_string(), vec![]),
+            )
+        }
+        ANode::Unbounded(t) => Term::eq(
+            Term::App("graph:unbounded".to_string(), vec![encode_term_id(store, t)]),
+            Term::App("const:b:true".to_string(), vec![]),
+        ),
+        ANode::Not(inner) => Term::not(encode_factor_id(store, inner)),
+        ANode::Mul(items) => Term::and(items.iter().map(|i| encode_factor_id(store, *i)).collect()),
+        ANode::Add(items) => Term::or(items.iter().map(|i| encode_factor_id(store, *i)).collect()),
+        ANode::Squash(inner) => encode_factor_id(store, inner),
+        ANode::Sum(_, _) => Term::bool_var(format!("sum:{}", store.node_string(factor))),
+    }
+}
+
+/// Id-native mirror of [`encode_product`].
+pub fn encode_product_ids(store: &mut GStore, factors: &[NodeId]) -> Term {
+    Term::and(factors.iter().map(|f| encode_factor_id(store, *f)).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +278,48 @@ mod tests {
         let node = GExpr::NodeFn(var(0));
         let factors = vec![node.clone(), GExpr::Not(Box::new(node))];
         assert!(check_formula(encode_product(&factors)).is_unsat());
+    }
+
+    #[test]
+    fn arena_encoders_match_tree_encoders() {
+        use gexpr::{GAggKind, VarId};
+        let mut store = GStore::new();
+        let samples: Vec<GExpr> = vec![
+            GExpr::eq(GTerm::prop(var(0), "age"), GTerm::int(1)),
+            GExpr::Atom(GAtom::Cmp(CmpOp::Lt, GTerm::prop(var(0), "age"), GTerm::int(10))),
+            GExpr::Atom(GAtom::IsNull(GTerm::prop(var(1), "x"), true)),
+            GExpr::Atom(GAtom::Pred(
+                "startsWith".into(),
+                vec![GTerm::prop(var(0), "name"), GTerm::string("A")],
+            )),
+            GExpr::NodeFn(var(0)),
+            GExpr::RelFn(var(1)),
+            GExpr::LabFn(var(0), "Person".into()),
+            GExpr::Unbounded(var(2)),
+            GExpr::not(GExpr::NodeFn(var(0))),
+            GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::LabFn(var(0), "A".into())]),
+            GExpr::add(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(0))]),
+            GExpr::squash(GExpr::add(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(0))])),
+            GExpr::sum(vec![VarId(0)], GExpr::NodeFn(var(0))),
+            GExpr::eq(GTerm::OutCol(0), GTerm::prop(var(0), "name")),
+            GExpr::NodeFn(GTerm::Agg {
+                kind: GAggKind::Sum,
+                distinct: true,
+                arg: Box::new(GTerm::prop(var(0), "age")),
+                group: Box::new(GExpr::sum(vec![VarId(0)], GExpr::NodeFn(var(0)))),
+            }),
+            GExpr::eq(GTerm::Const(GConst::Float(1.5)), GTerm::Const(GConst::Boolean(true))),
+        ];
+        for expr in &samples {
+            let id = store.intern_expr(expr);
+            assert_eq!(
+                encode_factor_id(&mut store, id),
+                encode_factor(expr),
+                "encoder mismatch for {expr}"
+            );
+        }
+        let ids: Vec<NodeId> = samples.iter().map(|e| store.intern_expr(e)).collect();
+        assert_eq!(encode_product_ids(&mut store, &ids), encode_product(&samples));
     }
 
     #[test]

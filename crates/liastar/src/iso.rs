@@ -235,6 +235,237 @@ pub fn isomorphic(left: &GExpr, right: &GExpr) -> bool {
     unify_expr(left, right, &mut VarMapping::new())
 }
 
+/// Arena-native matcher: the same undo-trail backtracking search as the
+/// module-level functions, but walking interned [`gexpr::arena`] ids instead
+/// of `GExpr` trees.
+///
+/// Two wins over the tree walk:
+///
+/// * **same-node fast path** — hash-consing guarantees that two equal ids
+///   are the *same* subtree, and on an identical pair the structural walk's
+///   first-choice (identity) pairing succeeds exactly when binding every
+///   variable of the node to itself is compatible with the ambient mapping.
+///   The fast path replays precisely that — the memoized variable set of the
+///   node (`GStore::node_all_variables`) is bound identically — so the
+///   ubiquitous "identical summand on both sides" case costs O(#variables)
+///   instead of a full structural walk, *with bit-identical behavior*: the
+///   same bindings are recorded, and if identity is blocked by the ambient
+///   mapping the matcher falls through to the ordinary walk (which may still
+///   succeed via a non-identity pairing, exactly like the tree matcher).
+/// * **no tree materialization** — candidates stay as ids end-to-end; the
+///   only allocations are one-level `ANode` clones at the nodes actually
+///   visited.
+pub mod ids {
+    use super::VarMapping;
+    use gexpr::arena::{AAtom, ANode, ATerm, GStore, NodeId, TermId};
+
+    /// Id-native mirror of [`super::unify_expr`]. On failure the mapping is
+    /// restored to its entry state.
+    pub fn unify_node(
+        store: &mut GStore,
+        left: NodeId,
+        right: NodeId,
+        mapping: &mut VarMapping,
+    ) -> bool {
+        let mark = mapping.checkpoint();
+        if left == right {
+            // Fast path: identical interned node. The structural walk's
+            // depth-first search tries the identity pairing first, which
+            // succeeds iff every variable of the node binds to itself under
+            // the ambient mapping — replay exactly that. On success the
+            // recorded bindings are identical to the walk's; on failure fall
+            // through to the walk, which may still find a non-identity
+            // match (identical to the tree matcher's behavior).
+            if store.node_all_variables(left).iter().all(|v| mapping.bind(*v, *v)) {
+                return true;
+            }
+            mapping.rollback_to(mark);
+        }
+        let ok = unify_node_inner(store, left, right, mapping);
+        if !ok {
+            mapping.rollback_to(mark);
+        }
+        ok
+    }
+
+    fn unify_node_inner(
+        store: &mut GStore,
+        left: NodeId,
+        right: NodeId,
+        mapping: &mut VarMapping,
+    ) -> bool {
+        match (store.node_of(left).clone(), store.node_of(right).clone()) {
+            (ANode::Zero, ANode::Zero) | (ANode::One, ANode::One) => true,
+            (ANode::Const(a), ANode::Const(b)) => a == b,
+            (ANode::Atom(a), ANode::Atom(b)) => unify_atom(store, &a, &b, mapping),
+            (ANode::NodeFn(a), ANode::NodeFn(b))
+            | (ANode::RelFn(a), ANode::RelFn(b))
+            | (ANode::Unbounded(a), ANode::Unbounded(b)) => unify_term(store, a, b, mapping),
+            (ANode::Lab(a, la), ANode::Lab(b, lb)) => la == lb && unify_term(store, a, b, mapping),
+            (ANode::Squash(a), ANode::Squash(b)) | (ANode::Not(a), ANode::Not(b)) => {
+                unify_node(store, a, b, mapping)
+            }
+            (ANode::Mul(a), ANode::Mul(b)) | (ANode::Add(a), ANode::Add(b)) => {
+                unify_multiset(store, &a, &b, mapping)
+            }
+            (ANode::Sum(va, ba), ANode::Sum(vb, bb)) => {
+                va.len() == vb.len() && unify_node(store, ba, bb, mapping)
+            }
+            _ => false,
+        }
+    }
+
+    /// Id-native mirror of [`super::unify_multiset`].
+    pub fn unify_multiset(
+        store: &mut GStore,
+        left: &[NodeId],
+        right: &[NodeId],
+        mapping: &mut VarMapping,
+    ) -> bool {
+        if left.len() != right.len() {
+            return false;
+        }
+        let mut used = vec![false; right.len()];
+        unify_multiset_from(store, left, right, 0, &mut used, mapping)
+    }
+
+    fn unify_multiset_from(
+        store: &mut GStore,
+        left: &[NodeId],
+        right: &[NodeId],
+        position: usize,
+        used: &mut [bool],
+        mapping: &mut VarMapping,
+    ) -> bool {
+        if position == left.len() {
+            return true;
+        }
+        let first = left[position];
+        for index in 0..right.len() {
+            if used[index] {
+                continue;
+            }
+            let mark = mapping.checkpoint();
+            if unify_node(store, first, right[index], mapping) {
+                used[index] = true;
+                if unify_multiset_from(store, left, right, position + 1, used, mapping) {
+                    return true;
+                }
+                used[index] = false;
+            }
+            mapping.rollback_to(mark);
+        }
+        false
+    }
+
+    fn unify_atom(
+        store: &mut GStore,
+        left: &AAtom,
+        right: &AAtom,
+        mapping: &mut VarMapping,
+    ) -> bool {
+        match (left, right) {
+            (AAtom::Cmp(op_l, a1, a2), AAtom::Cmp(op_r, b1, b2)) => {
+                if op_l == op_r && unify_term_pair(store, *a1, *a2, *b1, *b2, mapping) {
+                    return true;
+                }
+                *op_r == op_l.flipped() && unify_term_pair(store, *a1, *a2, *b2, *b1, mapping)
+            }
+            (AAtom::IsNull(a, na), AAtom::IsNull(b, nb)) => {
+                na == nb && unify_term(store, *a, *b, mapping)
+            }
+            (AAtom::Pred(name_a, args_a), AAtom::Pred(name_b, args_b)) => {
+                if name_a != name_b || args_a.len() != args_b.len() {
+                    return false;
+                }
+                let mark = mapping.checkpoint();
+                for (a, b) in args_a.iter().zip(args_b.iter()) {
+                    if !unify_term(store, *a, *b, mapping) {
+                        mapping.rollback_to(mark);
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn unify_term_pair(
+        store: &mut GStore,
+        a1: TermId,
+        a2: TermId,
+        b1: TermId,
+        b2: TermId,
+        mapping: &mut VarMapping,
+    ) -> bool {
+        let mark = mapping.checkpoint();
+        if unify_term(store, a1, b1, mapping) && unify_term(store, a2, b2, mapping) {
+            return true;
+        }
+        mapping.rollback_to(mark);
+        false
+    }
+
+    /// Id-native mirror of [`super::unify_term`].
+    pub fn unify_term(
+        store: &mut GStore,
+        left: TermId,
+        right: TermId,
+        mapping: &mut VarMapping,
+    ) -> bool {
+        let mark = mapping.checkpoint();
+        let ok = unify_term_inner(store, left, right, mapping);
+        if !ok {
+            mapping.rollback_to(mark);
+        }
+        ok
+    }
+
+    fn unify_term_inner(
+        store: &mut GStore,
+        left: TermId,
+        right: TermId,
+        mapping: &mut VarMapping,
+    ) -> bool {
+        match (store.term_of(left).clone(), store.term_of(right).clone()) {
+            (ATerm::Var(a), ATerm::Var(b)) => mapping.bind(a, b),
+            (ATerm::OutCol(a), ATerm::OutCol(b)) => a == b,
+            (ATerm::Const(a), ATerm::Const(b)) => a == b,
+            (ATerm::Prop(base_a, key_a), ATerm::Prop(base_b, key_b)) => {
+                key_a == key_b && unify_term(store, base_a, base_b, mapping)
+            }
+            (ATerm::App(name_a, args_a), ATerm::App(name_b, args_b)) => {
+                if name_a != name_b || args_a.len() != args_b.len() {
+                    return false;
+                }
+                for (a, b) in args_a.iter().zip(args_b.iter()) {
+                    if !unify_term(store, *a, *b, mapping) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (
+                ATerm::Agg { kind: ka, distinct: da, arg: aa, group: ga },
+                ATerm::Agg { kind: kb, distinct: db, arg: ab, group: gb },
+            ) => {
+                ka == kb
+                    && da == db
+                    && unify_term(store, aa, ab, mapping)
+                    && unify_node(store, ga, gb, mapping)
+            }
+            _ => false,
+        }
+    }
+
+    /// Convenience: `true` if the two interned nodes are isomorphic starting
+    /// from an empty mapping.
+    pub fn isomorphic(store: &mut GStore, left: NodeId, right: NodeId) -> bool {
+        unify_node(store, left, right, &mut VarMapping::new())
+    }
+}
+
 /// The pre-refactor reference matcher: clones the whole mapping at every
 /// nondeterministic branch and the remaining multisets at every recursion
 /// level. Kept verbatim (modulo the trail field) as the benchmark baseline
@@ -550,6 +781,117 @@ mod tests {
             let reference = cloning::unify_expr(&left, &right, &VarMapping::new()).is_some();
             assert_eq!(trail, reference, "matchers disagree on {left} vs {right}");
         }
+    }
+
+    #[test]
+    fn id_matcher_agrees_with_tree_matcher() {
+        use gexpr::GStore;
+        let mut store = GStore::new();
+        let cases: Vec<(GExpr, GExpr)> = vec![
+            (
+                GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(1))]),
+                GExpr::mul(vec![GExpr::RelFn(var(9)), GExpr::NodeFn(var(8))]),
+            ),
+            (
+                GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::RelFn(var(1))]),
+                GExpr::mul(vec![GExpr::NodeFn(var(5)), GExpr::RelFn(var(5))]),
+            ),
+            (
+                GExpr::mul(vec![
+                    GExpr::eq(GTerm::app("src", vec![var(1)]), var(0)),
+                    GExpr::eq(GTerm::app("tgt", vec![var(1)]), var(0)),
+                ]),
+                GExpr::mul(vec![
+                    GExpr::eq(GTerm::app("src", vec![var(3)]), var(2)),
+                    GExpr::eq(GTerm::app("tgt", vec![var(3)]), var(4)),
+                ]),
+            ),
+            (
+                GExpr::sum(vec![VarId(0)], GExpr::NodeFn(var(0))),
+                GExpr::sum(vec![VarId(7)], GExpr::NodeFn(var(7))),
+            ),
+            (GExpr::eq(var(0), GTerm::int(1)), GExpr::eq(GTerm::int(1), var(2))),
+            (GExpr::eq(var(0), GTerm::int(1)), GExpr::eq(GTerm::int(2), var(2))),
+            (
+                GExpr::eq(GTerm::OutCol(0), GTerm::prop(var(0), "name")),
+                GExpr::eq(GTerm::OutCol(1), GTerm::prop(var(5), "name")),
+            ),
+            (
+                GExpr::Atom(GAtom::Cmp(CmpOp::Lt, var(0), GTerm::int(5))),
+                GExpr::Atom(GAtom::Cmp(CmpOp::Gt, GTerm::int(5), var(9))),
+            ),
+        ];
+        for (left, right) in cases {
+            let tree = isomorphic(&left, &right);
+            let (l, r) = (store.intern_expr(&left), store.intern_expr(&right));
+            let by_id = ids::isomorphic(&mut store, l, r);
+            assert_eq!(by_id, tree, "matchers disagree on {left} vs {right}");
+        }
+    }
+
+    #[test]
+    fn same_node_fast_path_is_behaviorally_identical_to_the_tree_walk() {
+        use gexpr::GStore;
+        let mut store = GStore::new();
+        let closed = GExpr::sum(
+            vec![VarId(0)],
+            GExpr::mul(vec![GExpr::NodeFn(var(0)), GExpr::LabFn(var(0), "A".into())]),
+        );
+        let id = store.intern_expr(&closed);
+        // Empty ambient mapping: matches, and records the same identity
+        // bindings the structural walk would (e0 ↦ e0).
+        let mut mapping = VarMapping::new();
+        assert!(ids::unify_node(&mut store, id, id, &mut mapping));
+        assert_eq!(mapping.forward().get(&VarId(0)), Some(&VarId(0)));
+        // Conflicting ambient mapping: the tree matcher fails here (it tries
+        // to bind e0 ↦ e0 against the ambient e0 ↦ e42), so the fast path
+        // must fail identically — even though the node is closed.
+        let mut conflicted = VarMapping::new();
+        assert!(conflicted.bind(VarId(0), VarId(42)));
+        let before = conflicted.clone();
+        let by_id = ids::unify_node(&mut store, id, id, &mut conflicted);
+        let by_tree = unify_expr(&closed, &closed, &mut before.clone());
+        assert_eq!(by_id, by_tree, "fast path diverged from the tree walk");
+        assert!(!by_id);
+        assert_eq!(conflicted, before, "mapping must be restored on failure");
+    }
+
+    #[test]
+    fn unused_sum_binders_are_not_bound_by_the_fast_path() {
+        use gexpr::GStore;
+        let mut store = GStore::new();
+        // Regression shape from review: the normalizer keeps Σ binders with
+        // no occurrence in the body (unbounded domain factors). The tree
+        // walk never binds such a binder, so the fast path must not either —
+        // here S's unused binder e9 must stay free for the sibling summand
+        // to bind e9 ↦ e8.
+        let s = GExpr::sum(vec![VarId(9)], GExpr::NodeFn(var(0)));
+        let left = GExpr::add(vec![s.clone(), GExpr::NodeFn(var(9))]);
+        let right = GExpr::add(vec![s.clone(), GExpr::NodeFn(var(8))]);
+        let by_tree = isomorphic(&left, &right);
+        assert!(by_tree, "tree oracle proves this pair");
+        let (l, r) = (store.intern_expr(&left), store.intern_expr(&right));
+        assert_eq!(ids::isomorphic(&mut store, l, r), by_tree, "fast path over-binds e9");
+    }
+
+    #[test]
+    fn ambient_bindings_against_shared_closed_subterms_match_the_oracle() {
+        use gexpr::GStore;
+        let mut store = GStore::new();
+        // Regression shape from review: a closed squashed subterm C shared
+        // (same interned id) by both sides, whose Σ-bound variable id
+        // collides with an ambient-bound variable. A naive same-node
+        // shortcut that skips C's bindings would prove this pair while the
+        // tree oracle does not.
+        let c = GExpr::squash(GExpr::sum(vec![VarId(0)], GExpr::NodeFn(var(0))));
+        let left = GExpr::mul(vec![GExpr::NodeFn(var(0)), c.clone()]);
+        let right = GExpr::mul(vec![GExpr::NodeFn(var(1)), c.clone()]);
+        let by_tree = isomorphic(&left, &right);
+        let (l, r) = (store.intern_expr(&left), store.intern_expr(&right));
+        let by_id = ids::isomorphic(&mut store, l, r);
+        assert_eq!(by_id, by_tree, "matchers disagree on {left} vs {right}");
+        let reference = cloning::unify_expr(&left, &right, &VarMapping::new()).is_some();
+        assert_eq!(by_id, reference, "id matcher diverges from the cloning oracle");
     }
 
     #[test]

@@ -23,20 +23,40 @@
 //!
 //! All steps are sound: a `Proved` verdict implies the G-expressions agree on
 //! every property graph and tuple.
+//!
+//! ## Two implementations of the decision procedure
+//!
+//! The default pipeline is **arena-native**: both inputs are interned into
+//! the calling thread's hash-consed [`gexpr::arena::GStore`] once, and every
+//! stage — disjoint-squash splitting, normalization, summand splitting and
+//! SMT simplification, isomorphism matching, class counting — operates
+//! directly on interned `NodeId`s. No `GExpr` tree is materialized between
+//! stages, the caches key on ids natively, and the iso matcher short-circuits
+//! in O(1) when both sides are the same interned node.
+//!
+//! The paper-faithful **tree pipeline** (reference normalizer, cloning
+//! matcher, no caches) is kept behind [`DecideOptions::tree_normalizer`] as
+//! the benchmark baseline and the differential-testing oracle: both pipelines
+//! return identical verdicts on every input (asserted by the property tests
+//! and by `bench_pr2` over both datasets).
 
 #![warn(missing_docs)]
 
 pub mod encode;
 pub mod iso;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use gexpr::arena::{with_thread_store, NodeId as ArenaNodeId};
-use gexpr::{normalize, normalize_tree, GExpr};
+use gexpr::arena::{ANode, GStore, NodeId as ArenaNodeId};
+use gexpr::{normalize_tree, GExpr};
 use smt::{SmtResult, Solver, Term};
 
-pub use encode::{encode_atom, encode_factor, encode_product, encode_term};
+pub use encode::{
+    encode_atom, encode_atom_id, encode_factor, encode_factor_id, encode_product,
+    encode_product_ids, encode_term, encode_term_id,
+};
 pub use iso::{isomorphic, unify_expr, unify_multiset, Checkpoint, VarMapping};
 
 /// The outcome of the equivalence decision.
@@ -72,9 +92,11 @@ pub struct DecisionStats {
 /// Options of the decision procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DecideOptions {
-    /// Use the reference tree normalizer instead of the memoizing hash-consed
-    /// arena. Results are identical; this exists so benchmarks can measure
-    /// the arena speedup against the paper-faithful baseline.
+    /// Use the paper-faithful tree pipeline (reference tree normalizer,
+    /// cloning iso matcher, no caches) instead of the id-native arena
+    /// pipeline. Results are identical; this exists so benchmarks can
+    /// measure the arena speedup against the paper-faithful baseline and so
+    /// tests can differentially compare the two implementations.
     pub tree_normalizer: bool,
 }
 
@@ -94,49 +116,144 @@ pub fn check_equivalence_with_opts(
     g2: &GExpr,
     opts: DecideOptions,
 ) -> (Decision, DecisionStats) {
-    let norm: fn(&GExpr) -> GExpr = if opts.tree_normalizer { normalize_tree } else { normalize };
-    // The SMT-result caches are keyed by hash-consed arena ids, so they are
-    // only available on the arena path (the tree path stays paper-faithful
-    // and cache-free, as the benchmark baseline).
-    let cached = !opts.tree_normalizer;
-    let mut stats = DecisionStats::default();
-    let left = norm(&split_disjoint_squashes(g1, cached));
-    let right = norm(&split_disjoint_squashes(g2, cached));
-
-    // Quick path: syntactic equality after normalization.
-    if left == right {
-        return (Decision::Proved, stats);
+    if opts.tree_normalizer {
+        return tree::check_equivalence(g1, g2);
     }
-
-    decide(&left, &right, &mut stats, cached)
+    let mut stats = DecisionStats::default();
+    gexpr::arena::with_thread_store(|store| {
+        sync_caches_to_epoch(store.epoch());
+        let left = store.intern_expr(g1);
+        let right = store.intern_expr(g2);
+        let left = split_disjoint_squashes(store, left);
+        let right = split_disjoint_squashes(store, right);
+        let left = store.normalize_id(left);
+        let right = store.normalize_id(right);
+        // Quick path: hash-consing makes post-normalization syntactic
+        // equality a single id comparison.
+        if left == right {
+            return (Decision::Proved, stats);
+        }
+        decide(store, left, right, &mut stats)
+    })
 }
 
-/// Recursive decision: squashes are peeled in lock-step, then the summand
-/// lists are compared.
+// ---------------------------------------------------------------------------
+// Caches (id-keyed, thread-local, epoch-synced) and their counters
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Cache of pairwise disjointness checks, keyed by arena node ids.
+    static DISJOINT_CACHE: RefCell<HashMap<(ArenaNodeId, ArenaNodeId), bool>> =
+        RefCell::new(HashMap::new());
+    /// Cache of [`simplify_summand`] results, keyed by the summand's arena
+    /// node id: the simplified summand (`None` = pruned as identically zero)
+    /// plus the number of implied atoms removed (replayed into the stats).
+    static SUMMAND_CACHE: RefCell<HashMap<ArenaNodeId, (Option<ArenaNodeId>, usize)>> =
+        RefCell::new(HashMap::new());
+    /// The arena epoch the id-keyed caches above belong to.
+    static CACHE_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Lifetime counters of the liastar-level caches, summed over all threads.
+static SUMMAND_HITS: AtomicU64 = AtomicU64::new(0);
+/// Miss counter of the summand-simplification cache.
+static SUMMAND_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Hit counter of the disjointness cache.
+static DISJOINT_HITS: AtomicU64 = AtomicU64::new(0);
+/// Miss counter of the disjointness cache.
+static DISJOINT_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters of the two liastar-level SMT-result caches, accumulated
+/// across every thread since process start (or the last
+/// [`reset_cache_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Hits of the summand-simplification cache.
+    pub summand_hits: u64,
+    /// Misses of the summand-simplification cache.
+    pub summand_misses: u64,
+    /// Hits of the pairwise-disjointness cache.
+    pub disjoint_hits: u64,
+    /// Misses of the pairwise-disjointness cache.
+    pub disjoint_misses: u64,
+}
+
+/// Snapshot of the global cache counters.
+pub fn cache_counters() -> CacheCounters {
+    CacheCounters {
+        summand_hits: SUMMAND_HITS.load(Ordering::Relaxed),
+        summand_misses: SUMMAND_MISSES.load(Ordering::Relaxed),
+        disjoint_hits: DISJOINT_HITS.load(Ordering::Relaxed),
+        disjoint_misses: DISJOINT_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the global cache counters (entries stay cached).
+pub fn reset_cache_counters() {
+    SUMMAND_HITS.store(0, Ordering::Relaxed);
+    SUMMAND_MISSES.store(0, Ordering::Relaxed);
+    DISJOINT_HITS.store(0, Ordering::Relaxed);
+    DISJOINT_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Drops the thread's id-keyed caches when the arena epoch moved under them
+/// (defense in depth — [`reset_thread_caches`] already clears both in sync).
+fn sync_caches_to_epoch(store_epoch: u64) {
+    CACHE_EPOCH.with(|epoch| {
+        if epoch.get() != store_epoch {
+            DISJOINT_CACHE.with(|cache| cache.borrow_mut().clear());
+            SUMMAND_CACHE.with(|cache| cache.borrow_mut().clear());
+            epoch.set(store_epoch);
+        }
+    });
+}
+
+/// Epoch-based eviction for everything the calling thread accumulates at
+/// the decision layer: the hash-consed arena (via [`GStore::reset_epoch`]),
+/// the id-keyed summand and disjointness caches, and the SMT formula cache.
+/// (The prover's counterexample pool cache lives a layer up, in `graphqe`,
+/// and is evicted alongside this by the batch workers' budget check.)
+///
+/// Long-running batch workers call this between pairs once the arena
+/// outgrows its budget, so a service proving an unbounded stream of pairs
+/// runs in bounded memory. Correctness is unaffected: every cache is a pure
+/// memo, so the only cost of a reset is re-computing entries.
+pub fn reset_thread_caches() {
+    gexpr::arena::with_thread_store(|store| store.reset_epoch());
+    DISJOINT_CACHE.with(|cache| cache.borrow_mut().clear());
+    SUMMAND_CACHE.with(|cache| cache.borrow_mut().clear());
+    CACHE_EPOCH.with(|epoch| epoch.set(gexpr::arena::thread_store_epoch()));
+    smt::clear_formula_cache();
+}
+
+// ---------------------------------------------------------------------------
+// The id-native decision pipeline
+// ---------------------------------------------------------------------------
+
+/// Recursive decision on interned ids: squashes are peeled in lock-step, then
+/// the summand lists are compared.
 fn decide(
-    left: &GExpr,
-    right: &GExpr,
+    store: &mut GStore,
+    left: ArenaNodeId,
+    right: ArenaNodeId,
     stats: &mut DecisionStats,
-    cached: bool,
 ) -> (Decision, DecisionStats) {
-    if let (GExpr::Squash(a), GExpr::Squash(b)) = (left, right) {
+    if let (ANode::Squash(a), ANode::Squash(b)) = (store.node_of(left), store.node_of(right)) {
         // ‖A‖ = ‖B‖ is implied by A = B (sufficient condition).
-        return decide(a, b, stats, cached);
+        let (a, b) = (*a, *b);
+        if a == b {
+            return (Decision::Proved, stats.clone());
+        }
+        return decide(store, a, b, stats);
     }
 
-    let left_summands = simplify_summands(to_summands(left), stats, cached);
-    let right_summands = simplify_summands(to_summands(right), stats, cached);
+    let left_summands = simplify_summands(store, to_summands(store, left), stats);
+    let right_summands = simplify_summands(store, to_summands(store, right), stats);
     stats.summands = (left_summands.len(), right_summands.len());
 
-    // Structural bijection between the summand multisets. The baseline
-    // (tree) configuration keeps the pre-refactor cloning matcher; the arena
-    // configuration uses the undo-trail matcher.
-    let bijective = if cached {
-        iso::unify_multiset(&left_summands, &right_summands, &mut VarMapping::new())
-    } else {
-        iso::cloning::unify_multiset(&left_summands, &right_summands, &VarMapping::new()).is_some()
-    };
-    if bijective {
+    // Structural bijection between the summand multisets, on ids with the
+    // undo-trail matcher (same-node summand pairs match in O(1)).
+    if iso::ids::unify_multiset(store, &left_summands, &right_summands, &mut VarMapping::new()) {
         return (Decision::Proved, stats.clone());
     }
 
@@ -146,22 +263,24 @@ fn decide(
     // the SMT formulation mirrors the paper's pipeline and exercises the LIA
     // solver.)
     stats.used_smt_arithmetic = true;
-    let mut classes: Vec<GExpr> = Vec::new();
+    let mut classes: Vec<ArenaNodeId> = Vec::new();
     let mut left_counts: Vec<i64> = Vec::new();
     let mut right_counts: Vec<i64> = Vec::new();
     for summand in &left_summands {
-        let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand, cached);
+        let class = class_index(store, &mut classes, &mut left_counts, &mut right_counts, *summand);
         left_counts[class] += 1;
     }
     for summand in &right_summands {
-        let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand, cached);
+        let class = class_index(store, &mut classes, &mut left_counts, &mut right_counts, *summand);
         right_counts[class] += 1;
     }
 
     // g1 = Σ count_l[i]·v_i, g2 = Σ count_r[i]·v_i with v_i ≥ 1 (a summand's
     // value is unknown but identical across sides). The queries can differ
     // only if some class count differs, so `g1 ≠ g2` must be unsatisfiable.
-    let mut solver = Solver::new();
+    // The solver memoizes through the formula cache, so the identical class
+    // structure produced by permutation retries is a hash lookup.
+    let mut solver = Solver::cached();
     let mut left_sum = Vec::new();
     let mut right_sum = Vec::new();
     for (index, _) in classes.iter().enumerate() {
@@ -179,58 +298,45 @@ fn decide(
     }
 }
 
+/// The isomorphism class of `summand` among `classes` (appending a new class
+/// if none matches). Same-node comparisons short-circuit in the matcher.
 fn class_index(
-    classes: &mut Vec<GExpr>,
+    store: &mut GStore,
+    classes: &mut Vec<ArenaNodeId>,
     left_counts: &mut Vec<i64>,
     right_counts: &mut Vec<i64>,
-    summand: &GExpr,
-    cached: bool,
+    summand: ArenaNodeId,
 ) -> usize {
     for (index, representative) in classes.iter().enumerate() {
-        let same_class = if cached {
-            isomorphic(representative, summand)
-        } else {
-            iso::cloning::unify_expr(representative, summand, &VarMapping::new()).is_some()
-        };
-        if same_class {
+        if iso::ids::isomorphic(store, *representative, summand) {
             return index;
         }
     }
-    classes.push(summand.clone());
+    classes.push(summand);
     left_counts.push(0);
     right_counts.push(0);
     classes.len() - 1
 }
 
-thread_local! {
-    /// Cache of pairwise disjointness checks, keyed by arena node ids.
-    static DISJOINT_CACHE: RefCell<HashMap<(ArenaNodeId, ArenaNodeId), bool>> =
-        RefCell::new(HashMap::new());
-    /// Cache of [`simplify_summand`] results, keyed by the summand's arena
-    /// node id: the simplified summand (`None` = pruned as identically zero)
-    /// plus the number of implied atoms removed (replayed into the stats).
-    static SUMMAND_CACHE: RefCell<HashMap<ArenaNodeId, (Option<ArenaNodeId>, usize)>> =
-        RefCell::new(HashMap::new());
-}
-
-/// `true` iff the product `a × b` is unsatisfiable. With `cached`, the
-/// verdict is memoized under the pair of hash-consed ids, so the quadratic
-/// sweep of [`split_disjoint_squashes`] re-pays the SMT call only for pairs
-/// of alternatives never seen before on this thread.
-fn disjoint(a: &GExpr, b: &GExpr, cached: bool) -> bool {
-    let check = |a: &GExpr, b: &GExpr| {
-        let product = Term::and(vec![encode_factor(a), encode_factor(b)]);
-        smt::check_formula(product).is_unsat()
-    };
-    if !cached {
-        return check(a, b);
-    }
-    let key = with_thread_store(|store| (store.intern_expr(a), store.intern_expr(b)));
-    if let Some(hit) = DISJOINT_CACHE.with(|cache| cache.borrow().get(&key).copied()) {
+/// `true` iff the product `a × b` is unsatisfiable, memoized under the pair
+/// of hash-consed ids: the quadratic sweep of [`split_disjoint_squashes`]
+/// re-pays the SMT call only for pairs of alternatives never seen before on
+/// this thread.
+fn disjoint(store: &mut GStore, a: ArenaNodeId, b: ArenaNodeId) -> bool {
+    if let Some(hit) = DISJOINT_CACHE.with(|cache| cache.borrow().get(&(a, b)).copied()) {
+        DISJOINT_HITS.fetch_add(1, Ordering::Relaxed);
         return hit;
     }
-    let result = check(a, b);
-    DISJOINT_CACHE.with(|cache| cache.borrow_mut().insert(key, result));
+    DISJOINT_MISSES.fetch_add(1, Ordering::Relaxed);
+    let product = Term::and(vec![encode_factor_id(store, a), encode_factor_id(store, b)]);
+    let result = smt::check_formula_cached(product).is_unsat();
+    // Disjointness is symmetric; memoize both orientations so alternatives
+    // that normalize in a different order on the other side still hit.
+    DISJOINT_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        cache.insert((a, b), result);
+        cache.insert((b, a), result);
+    });
     result
 }
 
@@ -239,52 +345,62 @@ fn disjoint(a: &GExpr, b: &GExpr, cached: bool) -> bool {
 /// products are unsatisfiable). This is the LIA\*-style reasoning that makes
 /// `WHERE p OR q` over disjoint ranges equal to the `UNION ALL` of the two
 /// branches (the worked example of §IV-C).
-fn split_disjoint_squashes(expr: &GExpr, cached: bool) -> GExpr {
-    match expr {
-        GExpr::Squash(inner) => {
-            let inner = split_disjoint_squashes(inner, cached);
-            if let GExpr::Add(items) = &inner {
-                let all_unit = items.iter().all(gexpr::is_zero_one);
+fn split_disjoint_squashes(store: &mut GStore, expr: ArenaNodeId) -> ArenaNodeId {
+    match store.node_of(expr).clone() {
+        ANode::Squash(inner) => {
+            let inner = split_disjoint_squashes(store, inner);
+            if let ANode::Add(items) = store.node_of(inner).clone() {
+                let all_unit = items.iter().all(|i| store.is_zero_one(*i));
                 let pairwise_disjoint = all_unit
                     && items
                         .iter()
                         .enumerate()
-                        .all(|(i, a)| items.iter().skip(i + 1).all(|b| disjoint(a, b, cached)));
+                        .all(|(i, a)| items.iter().skip(i + 1).all(|b| disjoint(store, *a, *b)));
                 if pairwise_disjoint {
                     return inner;
                 }
             }
-            GExpr::squash(inner)
+            store.mk_squash(inner)
         }
-        GExpr::Mul(items) => {
-            GExpr::mul(items.iter().map(|i| split_disjoint_squashes(i, cached)).collect())
+        ANode::Mul(items) => {
+            let items = items.iter().map(|i| split_disjoint_squashes(store, *i)).collect();
+            store.mk_mul(items)
         }
-        GExpr::Add(items) => {
-            GExpr::add(items.iter().map(|i| split_disjoint_squashes(i, cached)).collect())
+        ANode::Add(items) => {
+            let items = items.iter().map(|i| split_disjoint_squashes(store, *i)).collect();
+            store.mk_add(items)
         }
-        GExpr::Not(inner) => GExpr::not(split_disjoint_squashes(inner, cached)),
-        GExpr::Sum { vars, body } => {
-            GExpr::sum(vars.clone(), split_disjoint_squashes(body, cached))
+        ANode::Not(inner) => {
+            let inner = split_disjoint_squashes(store, inner);
+            store.mk_not(inner)
         }
-        other => other.clone(),
+        ANode::Sum(vars, body) => {
+            let body = split_disjoint_squashes(store, body);
+            store.mk_sum(vars.to_vec(), body)
+        }
+        _ => expr,
     }
 }
 
-/// Splits a normalized expression into its top-level summands.
-fn to_summands(expr: &GExpr) -> Vec<GExpr> {
-    match expr {
-        GExpr::Add(items) => items.clone(),
-        GExpr::Zero => Vec::new(),
-        other => vec![other.clone()],
+/// Splits a normalized expression into its top-level summand ids.
+fn to_summands(store: &GStore, expr: ArenaNodeId) -> Vec<ArenaNodeId> {
+    match store.node_of(expr) {
+        ANode::Add(items) => items.to_vec(),
+        ANode::Zero => Vec::new(),
+        _ => vec![expr],
     }
 }
 
 /// SMT-backed simplification of summands: zero pruning and implied-atom
-/// elimination.
-fn simplify_summands(summands: Vec<GExpr>, stats: &mut DecisionStats, cached: bool) -> Vec<GExpr> {
+/// elimination, entirely on interned ids.
+fn simplify_summands(
+    store: &mut GStore,
+    summands: Vec<ArenaNodeId>,
+    stats: &mut DecisionStats,
+) -> Vec<ArenaNodeId> {
     let mut result = Vec::new();
     for summand in summands {
-        match simplify_summand_cached(&summand, stats, cached) {
+        match simplify_summand(store, summand, stats) {
             Some(simplified) => result.push(simplified),
             None => stats.pruned_zero += 1,
         }
@@ -292,66 +408,235 @@ fn simplify_summands(summands: Vec<GExpr>, stats: &mut DecisionStats, cached: bo
     result
 }
 
-/// Memoizing front end of [`simplify_summand`]: the result is cached under
-/// the summand's hash-consed id, so the SMT solver runs once per distinct
-/// summand per thread — across permutation retries of the same pair and
-/// across structurally overlapping pairs of a batch. This is the single
-/// hottest SMT call site of the prover.
-fn simplify_summand_cached(
-    summand: &GExpr,
+/// Memoized summand simplification: the result is cached under the summand's
+/// hash-consed id — with **no extern/intern round trip** — so the SMT solver
+/// runs once per distinct summand per thread: across permutation retries of
+/// the same pair and across structurally overlapping pairs of a batch. This
+/// is the single hottest SMT call site of the prover.
+fn simplify_summand(
+    store: &mut GStore,
+    summand: ArenaNodeId,
     stats: &mut DecisionStats,
-    cached: bool,
-) -> Option<GExpr> {
-    if !cached {
-        return simplify_summand(summand, stats);
-    }
-    let id = with_thread_store(|store| store.intern_expr(summand));
-    if let Some((result, implied)) = SUMMAND_CACHE.with(|cache| cache.borrow().get(&id).cloned()) {
+) -> Option<ArenaNodeId> {
+    if let Some((result, implied)) =
+        SUMMAND_CACHE.with(|cache| cache.borrow().get(&summand).copied())
+    {
+        SUMMAND_HITS.fetch_add(1, Ordering::Relaxed);
         stats.pruned_implied += implied;
-        return result.map(|rid| with_thread_store(|store| store.extern_expr(rid)));
+        return result;
     }
-    let implied_before = stats.pruned_implied;
-    let result = simplify_summand(summand, stats);
-    let implied = stats.pruned_implied - implied_before;
-    let result_id = result.as_ref().map(|expr| with_thread_store(|store| store.intern_expr(expr)));
-    SUMMAND_CACHE.with(|cache| cache.borrow_mut().insert(id, (result_id, implied)));
-    result
-}
+    SUMMAND_MISSES.fetch_add(1, Ordering::Relaxed);
 
-fn simplify_summand(summand: &GExpr, stats: &mut DecisionStats) -> Option<GExpr> {
     // Decompose Σ_{vars} Π factors (both layers optional).
-    let (vars, body) = match summand {
-        GExpr::Sum { vars, body } => (vars.clone(), (**body).clone()),
-        other => (Vec::new(), other.clone()),
+    let (vars, body) = match store.node_of(summand).clone() {
+        ANode::Sum(vars, body) => (vars.to_vec(), body),
+        _ => (Vec::new(), summand),
     };
-    let mut factors = match body {
-        GExpr::Mul(items) => items,
-        other => vec![other],
+    let mut factors = match store.node_of(body).clone() {
+        ANode::Mul(items) => items.to_vec(),
+        _ => vec![body],
     };
 
     // Zero pruning: unsatisfiable products contribute nothing.
-    if smt::check_formula(encode_product(&factors)).is_unsat() {
+    if smt::check_formula_cached(encode_product_ids(store, &factors)).is_unsat() {
+        SUMMAND_CACHE.with(|cache| cache.borrow_mut().insert(summand, (None, 0)));
         return None;
     }
 
     // Implied-atom pruning: drop an atomic factor when the remaining factors
     // already force it to 1.
+    let mut implied = 0;
     let mut index = 0;
     while index < factors.len() {
-        if matches!(factors[index], GExpr::Atom(_)) && factors.len() > 1 {
+        if matches!(store.node_of(factors[index]), ANode::Atom(_)) && factors.len() > 1 {
             let mut others = factors.clone();
             let candidate = others.remove(index);
-            let implication = Term::implies(encode_product(&others), encode_factor(&candidate));
-            if smt::is_valid(implication) {
+            let implication = Term::implies(
+                encode_product_ids(store, &others),
+                encode_factor_id(store, candidate),
+            );
+            if smt::is_valid_cached(implication) {
                 factors.remove(index);
-                stats.pruned_implied += 1;
+                implied += 1;
                 continue;
             }
         }
         index += 1;
     }
+    stats.pruned_implied += implied;
 
-    Some(GExpr::sum(vars, GExpr::mul(factors)))
+    let body = store.mk_mul(factors);
+    let result = store.mk_sum(vars, body);
+    SUMMAND_CACHE.with(|cache| cache.borrow_mut().insert(summand, (Some(result), implied)));
+    Some(result)
+}
+
+// ---------------------------------------------------------------------------
+// The paper-faithful tree pipeline (benchmark baseline + differential oracle)
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor reference implementation of the decision procedure,
+/// operating on `GExpr` trees with the reference normalizer and the cloning
+/// iso matcher, and **no caches** (every SMT query is re-solved). Kept
+/// verbatim as the benchmark baseline and the differential-testing oracle for
+/// the id-native pipeline.
+mod tree {
+    use super::*;
+
+    pub fn check_equivalence(g1: &GExpr, g2: &GExpr) -> (Decision, DecisionStats) {
+        let mut stats = DecisionStats::default();
+        let left = normalize_tree(&split_disjoint_squashes(g1));
+        let right = normalize_tree(&split_disjoint_squashes(g2));
+        if left == right {
+            return (Decision::Proved, stats);
+        }
+        decide(&left, &right, &mut stats)
+    }
+
+    fn decide(left: &GExpr, right: &GExpr, stats: &mut DecisionStats) -> (Decision, DecisionStats) {
+        if let (GExpr::Squash(a), GExpr::Squash(b)) = (left, right) {
+            return decide(a, b, stats);
+        }
+
+        let left_summands = simplify_summands(to_summands(left), stats);
+        let right_summands = simplify_summands(to_summands(right), stats);
+        stats.summands = (left_summands.len(), right_summands.len());
+
+        let bijective =
+            iso::cloning::unify_multiset(&left_summands, &right_summands, &VarMapping::new())
+                .is_some();
+        if bijective {
+            return (Decision::Proved, stats.clone());
+        }
+
+        stats.used_smt_arithmetic = true;
+        let mut classes: Vec<GExpr> = Vec::new();
+        let mut left_counts: Vec<i64> = Vec::new();
+        let mut right_counts: Vec<i64> = Vec::new();
+        for summand in &left_summands {
+            let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand);
+            left_counts[class] += 1;
+        }
+        for summand in &right_summands {
+            let class = class_index(&mut classes, &mut left_counts, &mut right_counts, summand);
+            right_counts[class] += 1;
+        }
+
+        let mut solver = Solver::new();
+        let mut left_sum = Vec::new();
+        let mut right_sum = Vec::new();
+        for (index, _) in classes.iter().enumerate() {
+            let v = Term::int_var(format!("class{index}"));
+            solver.assert(Term::ge(v.clone(), Term::int(1)));
+            left_sum.push(Term::MulConst(left_counts[index], Box::new(v.clone())));
+            right_sum.push(Term::MulConst(right_counts[index], Box::new(v)));
+        }
+        let lhs = if left_sum.is_empty() { Term::int(0) } else { Term::add(left_sum) };
+        let rhs = if right_sum.is_empty() { Term::int(0) } else { Term::add(right_sum) };
+        solver.assert(Term::neq(lhs, rhs));
+        match solver.check() {
+            SmtResult::Unsat => (Decision::Proved, stats.clone()),
+            _ => (Decision::NotProved, stats.clone()),
+        }
+    }
+
+    fn class_index(
+        classes: &mut Vec<GExpr>,
+        left_counts: &mut Vec<i64>,
+        right_counts: &mut Vec<i64>,
+        summand: &GExpr,
+    ) -> usize {
+        for (index, representative) in classes.iter().enumerate() {
+            if iso::cloning::unify_expr(representative, summand, &VarMapping::new()).is_some() {
+                return index;
+            }
+        }
+        classes.push(summand.clone());
+        left_counts.push(0);
+        right_counts.push(0);
+        classes.len() - 1
+    }
+
+    fn disjoint(a: &GExpr, b: &GExpr) -> bool {
+        let product = Term::and(vec![encode_factor(a), encode_factor(b)]);
+        smt::check_formula(product).is_unsat()
+    }
+
+    fn split_disjoint_squashes(expr: &GExpr) -> GExpr {
+        match expr {
+            GExpr::Squash(inner) => {
+                let inner = split_disjoint_squashes(inner);
+                if let GExpr::Add(items) = &inner {
+                    let all_unit = items.iter().all(gexpr::is_zero_one);
+                    let pairwise_disjoint = all_unit
+                        && items
+                            .iter()
+                            .enumerate()
+                            .all(|(i, a)| items.iter().skip(i + 1).all(|b| disjoint(a, b)));
+                    if pairwise_disjoint {
+                        return inner;
+                    }
+                }
+                GExpr::squash(inner)
+            }
+            GExpr::Mul(items) => GExpr::mul(items.iter().map(split_disjoint_squashes).collect()),
+            GExpr::Add(items) => GExpr::add(items.iter().map(split_disjoint_squashes).collect()),
+            GExpr::Not(inner) => GExpr::not(split_disjoint_squashes(inner)),
+            GExpr::Sum { vars, body } => GExpr::sum(vars.clone(), split_disjoint_squashes(body)),
+            other => other.clone(),
+        }
+    }
+
+    fn to_summands(expr: &GExpr) -> Vec<GExpr> {
+        match expr {
+            GExpr::Add(items) => items.clone(),
+            GExpr::Zero => Vec::new(),
+            other => vec![other.clone()],
+        }
+    }
+
+    fn simplify_summands(summands: Vec<GExpr>, stats: &mut DecisionStats) -> Vec<GExpr> {
+        let mut result = Vec::new();
+        for summand in summands {
+            match simplify_summand(&summand, stats) {
+                Some(simplified) => result.push(simplified),
+                None => stats.pruned_zero += 1,
+            }
+        }
+        result
+    }
+
+    fn simplify_summand(summand: &GExpr, stats: &mut DecisionStats) -> Option<GExpr> {
+        let (vars, body) = match summand {
+            GExpr::Sum { vars, body } => (vars.clone(), (**body).clone()),
+            other => (Vec::new(), other.clone()),
+        };
+        let mut factors = match body {
+            GExpr::Mul(items) => items,
+            other => vec![other],
+        };
+
+        if smt::check_formula(encode_product(&factors)).is_unsat() {
+            return None;
+        }
+
+        let mut index = 0;
+        while index < factors.len() {
+            if matches!(factors[index], GExpr::Atom(_)) && factors.len() > 1 {
+                let mut others = factors.clone();
+                let candidate = others.remove(index);
+                let implication = Term::implies(encode_product(&others), encode_factor(&candidate));
+                if smt::is_valid(implication) {
+                    factors.remove(index);
+                    stats.pruned_implied += 1;
+                    continue;
+                }
+            }
+            index += 1;
+        }
+
+        Some(GExpr::sum(vars, GExpr::mul(factors)))
+    }
 }
 
 #[cfg(test)]
@@ -365,7 +650,18 @@ mod tests {
     }
 
     fn equivalent(q1: &str, q2: &str) -> bool {
-        check_equivalence(&gexpr_of(q1), &gexpr_of(q2)).is_proved()
+        let by_id = check_equivalence(&gexpr_of(q1), &gexpr_of(q2)).is_proved();
+        // Every test case doubles as a differential check against the
+        // paper-faithful tree oracle.
+        let by_tree = check_equivalence_with_opts(
+            &gexpr_of(q1),
+            &gexpr_of(q2),
+            DecideOptions { tree_normalizer: true },
+        )
+        .0
+        .is_proved();
+        assert_eq!(by_id, by_tree, "pipelines disagree on {q1} vs {q2}");
+        by_id
     }
 
     #[test]
@@ -492,5 +788,34 @@ mod tests {
         let (decision, stats) = check_equivalence_with_stats(&g1, &g2);
         assert!(decision.is_proved());
         assert!(stats.pruned_implied >= 1);
+    }
+
+    #[test]
+    fn decide_survives_a_thread_cache_reset() {
+        let g1 = gexpr_of("MATCH (a)-[r]->(b) RETURN a");
+        let g2 = gexpr_of("MATCH (b)<-[r]-(a) RETURN a");
+        assert!(check_equivalence(&g1, &g2).is_proved());
+        let epoch_before = gexpr::arena::thread_store_epoch();
+        reset_thread_caches();
+        assert_eq!(gexpr::arena::thread_store_epoch(), epoch_before + 1);
+        assert_eq!(gexpr::arena::thread_store_node_count(), 0);
+        // Same decision after the reset: the caches are pure memos.
+        assert!(check_equivalence(&g1, &g2).is_proved());
+        let g3 = gexpr_of("MATCH (n:Person) RETURN n");
+        let g4 = gexpr_of("MATCH (n:Book) RETURN n");
+        assert!(!check_equivalence(&g3, &g4).is_proved());
+    }
+
+    #[test]
+    fn summand_cache_replays_implied_counts_across_epochs() {
+        reset_thread_caches();
+        let g1 = gexpr_of("MATCH (n) WHERE n.age > 5 AND n.age > 3 RETURN n");
+        let g2 = gexpr_of("MATCH (n) WHERE n.age > 5 RETURN n");
+        let (_, cold) = check_equivalence_with_stats(&g1, &g2);
+        // Second run hits the summand cache; the implied-atom count must be
+        // replayed identically.
+        let (_, warm) = check_equivalence_with_stats(&g1, &g2);
+        assert_eq!(cold.pruned_implied, warm.pruned_implied);
+        assert_eq!(cold.pruned_zero, warm.pruned_zero);
     }
 }

@@ -43,5 +43,9 @@ pub mod term;
 pub use euf::{CongruenceClosure, TheoryResult};
 pub use lia::{LiaProblem, LinearConstraint};
 pub use sat::{Lit, SatOutcome, SatSolver};
-pub use solver::{check_formula, is_valid, Model, SmtResult, Solver};
+pub use solver::{
+    check_formula, check_formula_cached, clear_formula_cache, formula_cache_len,
+    formula_cache_stats, is_valid, is_valid_cached, reset_formula_cache_stats, Model, SmtResult,
+    Solver,
+};
 pub use term::{Sort, SortTag, Term};

@@ -9,7 +9,9 @@
 //! which affects completeness of the equivalence prover, never its soundness
 //! — mirroring §VI of the paper.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cnf::Abstraction;
 use crate::euf::{CongruenceClosure, TheoryResult};
@@ -53,12 +55,69 @@ pub struct Solver {
     assertions: Vec<Term>,
     /// Maximum number of lazy refinement iterations before giving up.
     pub max_iterations: usize,
+    /// Memoize [`Solver::check`] results in the thread's formula cache,
+    /// keyed by the (order-insensitive) set of asserted formulas. Off by
+    /// default so the paper-faithful baseline measurements stay cache-free;
+    /// the arena decision pipeline turns it on via [`Solver::cached`].
+    pub use_cache: bool,
+}
+
+/// One bucket of the formula cache: owned sorted keys with their results,
+/// verified structurally on probe.
+type FormulaBucket = Vec<(Vec<Term>, SmtResult)>;
+
+thread_local! {
+    /// Formula-level result cache: the sorted multiset of asserted formulas
+    /// maps to the check result. Entries are bucketed under a 64-bit hash of
+    /// the sorted assertion sequence, and each bucket entry stores the full
+    /// owned key — equality is verified structurally on every probe, so a
+    /// hash collision can never return the result of a different formula,
+    /// while a cache *hit* costs no `Term` clones (the probe compares
+    /// borrowed terms). `Unknown` results are not cached (they depend on the
+    /// iteration budget, which is not part of the key).
+    static FORMULA_CACHE: RefCell<HashMap<u64, FormulaBucket>> = RefCell::new(HashMap::new());
+}
+
+/// Lifetime hit counter of the formula cache, summed over all threads.
+static FORMULA_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Lifetime miss counter of the formula cache, summed over all threads.
+static FORMULA_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the formula cache, accumulated across every thread
+/// since process start (or the last [`reset_formula_cache_stats`]).
+pub fn formula_cache_stats() -> (u64, u64) {
+    (FORMULA_CACHE_HITS.load(Ordering::Relaxed), FORMULA_CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Resets the global hit/miss counters (the cached entries stay).
+pub fn reset_formula_cache_stats() {
+    FORMULA_CACHE_HITS.store(0, Ordering::Relaxed);
+    FORMULA_CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Drops every entry of the calling thread's formula cache. Part of the
+/// epoch-based eviction story: long-running batch workers call this (through
+/// `liastar::reset_thread_caches`) so solver memory stops growing
+/// monotonically.
+pub fn clear_formula_cache() {
+    FORMULA_CACHE.with(|cache| cache.borrow_mut().clear());
+}
+
+/// Number of entries in the calling thread's formula cache.
+pub fn formula_cache_len() -> usize {
+    FORMULA_CACHE.with(|cache| cache.borrow().values().map(Vec::len).sum())
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver (cache-free — see [`Solver::cached`]).
     pub fn new() -> Self {
-        Solver { assertions: Vec::new(), max_iterations: 10_000 }
+        Solver { assertions: Vec::new(), max_iterations: 10_000, use_cache: false }
+    }
+
+    /// Creates an empty solver that memoizes results in the thread's
+    /// formula cache.
+    pub fn cached() -> Self {
+        Solver { use_cache: true, ..Solver::new() }
     }
 
     /// Asserts a formula.
@@ -67,7 +126,54 @@ impl Solver {
     }
 
     /// Checks satisfiability of the asserted formulas.
+    ///
+    /// With [`Solver::use_cache`] the result is memoized under the sorted
+    /// assertion set, so re-checking the same formula set — ubiquitous across
+    /// the decision procedure's permutation retries — is a hash lookup.
     pub fn check(&self) -> SmtResult {
+        if !self.use_cache {
+            return self.check_inner();
+        }
+        // Probe by borrowed, sorted references: a hit pays zero Term clones;
+        // the owned key is materialized only on a miss.
+        let mut sorted: Vec<&Term> = self.assertions.iter().collect();
+        sorted.sort_unstable();
+        let hash = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for term in &sorted {
+                term.hash(&mut hasher);
+            }
+            hasher.finish()
+        };
+        let hit = FORMULA_CACHE.with(|cache| {
+            cache.borrow().get(&hash).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(key, _)| {
+                        key.len() == sorted.len()
+                            && key.iter().zip(&sorted).all(|(stored, probe)| stored == *probe)
+                    })
+                    .map(|(_, result)| result.clone())
+            })
+        });
+        if let Some(result) = hit {
+            FORMULA_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return result;
+        }
+        FORMULA_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let result = self.check_inner();
+        if !matches!(result, SmtResult::Unknown) {
+            let key: Vec<Term> = sorted.into_iter().cloned().collect();
+            FORMULA_CACHE.with(|cache| {
+                cache.borrow_mut().entry(hash).or_default().push((key, result.clone()))
+            });
+        }
+        result
+    }
+
+    /// The uncached check (the actual lazy DPLL(T) loop).
+    fn check_inner(&self) -> SmtResult {
         let formula = Term::and(self.assertions.clone());
         if formula == Term::tt() {
             return SmtResult::Sat(Model::default());
@@ -111,7 +217,7 @@ impl Solver {
     }
 }
 
-/// Convenience helper: checks a single formula.
+/// Convenience helper: checks a single formula (cache-free).
 pub fn check_formula(formula: Term) -> SmtResult {
     let mut solver = Solver::new();
     solver.assert(formula);
@@ -119,9 +225,21 @@ pub fn check_formula(formula: Term) -> SmtResult {
 }
 
 /// Convenience helper: returns `true` if `formula` is valid (its negation is
-/// unsatisfiable).
+/// unsatisfiable). Cache-free.
 pub fn is_valid(formula: Term) -> bool {
     check_formula(Term::not(formula)).is_unsat()
+}
+
+/// [`check_formula`] through the thread's formula cache.
+pub fn check_formula_cached(formula: Term) -> SmtResult {
+    let mut solver = Solver::cached();
+    solver.assert(formula);
+    solver.check()
+}
+
+/// [`is_valid`] through the thread's formula cache.
+pub fn is_valid_cached(formula: Term) -> bool {
+    check_formula_cached(Term::not(formula)).is_unsat()
 }
 
 // ---------------------------------------------------------------------------
@@ -322,6 +440,64 @@ mod tests {
         let formula =
             Term::and(vec![Term::le(fx.clone(), Term::int(3)), Term::ge(fx, Term::int(5))]);
         assert!(check_formula(formula).is_unsat());
+    }
+
+    #[test]
+    fn cached_and_uncached_checks_agree() {
+        let formulas = vec![
+            Term::and(vec![Term::le(x(), Term::int(3)), Term::ge(x(), Term::int(5))]),
+            Term::and(vec![Term::le(x(), Term::int(3)), Term::ge(x(), Term::int(2))]),
+            Term::and(vec![Term::bool_var("a"), Term::not(Term::bool_var("a"))]),
+            Term::implies(Term::le(x(), Term::int(3)), Term::le(x(), Term::int(5))),
+        ];
+        for formula in formulas {
+            let uncached = check_formula(formula.clone());
+            let cached_cold = check_formula_cached(formula.clone());
+            let cached_warm = check_formula_cached(formula);
+            assert_eq!(uncached.is_unsat(), cached_cold.is_unsat());
+            assert_eq!(cached_cold.is_unsat(), cached_warm.is_unsat());
+            assert_eq!(cached_cold.is_sat(), cached_warm.is_sat());
+        }
+    }
+
+    #[test]
+    fn formula_cache_hits_on_repeated_checks() {
+        // A formula unique to this test so parallel tests cannot interfere
+        // with the hit accounting through the shared counters.
+        let unique = Term::and(vec![
+            Term::le(Term::int_var("formula_cache_hit_test_v"), Term::int(3)),
+            Term::ge(Term::int_var("formula_cache_hit_test_v"), Term::int(5)),
+        ]);
+        assert!(check_formula_cached(unique.clone()).is_unsat());
+        let (hits_before, _) = formula_cache_stats();
+        // The exact same check again — and the assertion-order-insensitive
+        // variant — must both be cache hits.
+        assert!(check_formula_cached(unique).is_unsat());
+        let mut solver = Solver::cached();
+        solver.assert(Term::ge(Term::int_var("formula_cache_hit_test_v"), Term::int(5)));
+        solver.assert(Term::le(Term::int_var("formula_cache_hit_test_v"), Term::int(3)));
+        // Note: a single `check_formula_cached` call conjoins into one
+        // assertion, while the two-assertion form is a different key — it
+        // misses once, then hits on re-check.
+        let first = solver.check();
+        let second = solver.check();
+        assert_eq!(first, second);
+        let (hits_after, _) = formula_cache_stats();
+        assert!(
+            hits_after >= hits_before + 2,
+            "expected at least two cache hits ({hits_before} -> {hits_after})"
+        );
+    }
+
+    #[test]
+    fn formula_cache_can_be_cleared() {
+        let marker = Term::eq(Term::int_var("formula_cache_clear_test"), Term::int(1));
+        check_formula_cached(marker.clone());
+        assert!(formula_cache_len() > 0);
+        clear_formula_cache();
+        assert_eq!(formula_cache_len(), 0);
+        // Still correct after the clear.
+        assert!(check_formula_cached(marker).is_sat());
     }
 
     #[test]
