@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
-//! Compares the freshly produced `BENCH_pr2.json` against the committed
-//! previous report (`BENCH_pr1.json` by default) and exits non-zero when the
+//! Compares the freshly produced `BENCH_pr3.json` against the committed
+//! previous report (`BENCH_pr2.json` by default) and exits non-zero when the
 //! end-to-end time regressed by more than 15% or any verdict count changed
 //! (CyEqSet must stay at the paper's 138/148 proved pairs).
 //!
@@ -9,14 +9,18 @@
 //!
 //! ```text
 //! bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict]
+//!            [--stage search]
 //! ```
 //!
 //! The performance comparison evaluates both a baseline-normalized view
 //! (hardware-independent) and a raw wall-clock view, failing by default only
 //! when **both** regress beyond tolerance — a genuine code regression moves
 //! both, environment drift moves one. `--strict` requires each view to pass
-//! individually (same-machine comparisons). See `graphqe_bench::gate` for
-//! the exact rules.
+//! individually (same-machine comparisons). `--stage search` additionally
+//! enforces the counterexample-search stage (derived as e2e minus
+//! decide-only from both reports) under the same rule, so search-only
+//! regressions are caught like decide-only ones. See `graphqe_bench::gate`
+//! for the exact rules.
 
 use graphqe_bench::gate::{evaluate, GateConfig};
 use graphqe_bench::json::Json;
@@ -29,8 +33,8 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        current: "BENCH_pr2.json".to_string(),
-        previous: "BENCH_pr1.json".to_string(),
+        current: "BENCH_pr3.json".to_string(),
+        previous: "BENCH_pr2.json".to_string(),
         config: GateConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -52,9 +56,17 @@ fn parse_args() -> Result<Args, String> {
                 args.config.tolerance = percent / 100.0;
             }
             "--strict" => args.config.strict = true,
+            "--stage" => {
+                let stage = argv.next().ok_or("--stage needs a stage name")?;
+                match stage.as_str() {
+                    "search" => args.config.stage_search = true,
+                    other => return Err(format!("unknown stage {other} (expected: search)")),
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict]"
+                    "bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict] \
+                     [--stage search]"
                 );
                 std::process::exit(0);
             }
@@ -88,11 +100,12 @@ fn main() {
     };
 
     println!(
-        "bench_gate: {} vs {} (tolerance {:.0}%{})",
+        "bench_gate: {} vs {} (tolerance {:.0}%{}{})",
         args.current,
         args.previous,
         args.config.tolerance * 100.0,
-        if args.config.strict { ", strict" } else { ", drift-robust" }
+        if args.config.strict { ", strict" } else { ", drift-robust" },
+        if args.config.stage_search { ", search stage enforced" } else { "" }
     );
     let outcome = evaluate(&current, &previous, args.config);
     for line in &outcome.passed {

@@ -50,13 +50,35 @@ pub struct GateConfig {
     /// instead of failing only when both regress. Only meaningful when both
     /// reports come from the same machine in comparable conditions.
     pub strict: bool,
+    /// Additionally enforce the **search stage** (`--stage search`), with
+    /// two families of checks:
+    ///
+    /// 1. the in-pipeline search time, derived as `arena_parallel_ms -
+    ///    arena_decide_only_ms` from both reports (so any report in the
+    ///    `BENCH_pr1.json`-descended schema supports it), compared under the
+    ///    same two-view rule as end-to-end. With the search memo this is
+    ///    mostly replay cost — cheap by design — so additionally:
+    /// 2. the **memo-bypassed search machinery** (`search.sequential_ms`,
+    ///    measured with the memo off), normalized by the same run's
+    ///    scan-matcher oracle evaluation (`search.oracle_scan_ms`) so the
+    ///    ratio is insulated from machine drift, enforced individually —
+    ///    this is what catches a regression in the pools, the indexed
+    ///    evaluator, or the worker scheduling that memo replay would hide.
+    ///    Skipped (with a note) when the previous report predates these
+    ///    fields.
+    pub stage_search: bool,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { tolerance: 0.15, strict: false }
+        GateConfig { tolerance: 0.15, strict: false, stage_search: false }
     }
 }
+
+/// Floor applied to derived search-stage times before forming ratios: the
+/// difference of two noisy measurements can reach zero (a fully memoized
+/// search), where multiplicative tolerances stop meaning anything.
+const SEARCH_FLOOR_MS: f64 = 0.25;
 
 /// The verdict counts CyEqSet / CyNeqSet must reproduce (Table III: 138 of
 /// 148 CyEqSet pairs proved; every CyNeqSet rejection certified or unknown,
@@ -202,39 +224,126 @@ pub fn evaluate(current: &Json, previous: &Json, config: GateConfig) -> GateOutc
             Err(error) => outcome.failures.push(error),
         }
 
-        match views {
-            Ok(views) => {
-                let failed: Vec<&View> = views.iter().filter(|v| !v.ok).collect();
-                let regressed =
-                    if config.strict { !failed.is_empty() } else { failed.len() == views.len() };
-                let describe =
-                    |v: &View| format!("{} {:.4} -> {:.4}", v.label, v.previous, v.current);
-                if regressed {
-                    outcome.failures.push(format!(
-                        "{dataset}: end-to-end regression beyond {:.0}% tolerance ({})",
-                        config.tolerance * 100.0,
-                        failed.iter().map(|v| describe(v)).collect::<Vec<_>>().join("; "),
-                    ));
-                } else {
-                    let summary = views.iter().map(describe).collect::<Vec<_>>().join("; ");
-                    let note = if failed.is_empty() {
-                        String::new()
+        apply_two_view_rule(&mut outcome, dataset, "end-to-end", views, config);
+
+        // Search-stage views (`--stage search`): derived from fields present
+        // in every report schema since PR 1, so the previous report never
+        // needs regenerating.
+        if config.stage_search {
+            let search_views = (|| -> Result<[View; 2], String> {
+                let derive = |report: &Json| -> Result<(f64, f64), String> {
+                    let e2e = dataset_ms(report, dataset, "arena_parallel_ms")?;
+                    let decide = dataset_ms(report, dataset, "arena_decide_only_ms")?;
+                    let base_e2e = dataset_ms(report, dataset, "baseline_tree_sequential_ms")?;
+                    let base_decide = dataset_ms(report, dataset, "baseline_decide_only_ms")?;
+                    Ok((
+                        (e2e - decide).max(SEARCH_FLOOR_MS),
+                        (base_e2e - base_decide).max(SEARCH_FLOOR_MS),
+                    ))
+                };
+                let (current_search, current_base) = derive(current)?;
+                let (previous_search, previous_base) = derive(previous)?;
+                Ok([
+                    view(
+                        "search-stage normalized",
+                        current_search / current_base,
+                        previous_search / previous_base,
+                        config.tolerance,
+                    ),
+                    view("search-stage ms", current_search, previous_search, config.tolerance),
+                ])
+            })();
+            apply_two_view_rule(&mut outcome, dataset, "search-stage", search_views, config);
+
+            // Memo-bypassed search machinery, normalized by the in-run scan
+            // oracle (same machine, same session — drift-insulated). Only
+            // when both reports carry the PR 3 search block.
+            let machinery = |report: &Json| -> Option<f64> {
+                let sequential = report
+                    .get_path(&[dataset, "search", "sequential_ms"])
+                    .and_then(Json::as_f64)?;
+                let scan = report
+                    .get_path(&[dataset, "search", "oracle_scan_ms"])
+                    .and_then(Json::as_f64)?;
+                Some(sequential.max(SEARCH_FLOOR_MS) / scan.max(SEARCH_FLOOR_MS))
+            };
+            match (machinery(current), machinery(previous)) {
+                (Some(current_ratio), Some(previous_ratio)) => {
+                    let v = view(
+                        "search-machinery normalized (memo off)",
+                        current_ratio,
+                        previous_ratio,
+                        config.tolerance,
+                    );
+                    let line = format!(
+                        "{dataset}: {} {:.4} -> {:.4} (limit {:.4})",
+                        v.label,
+                        v.previous,
+                        v.current,
+                        v.previous * (1.0 + config.tolerance)
+                    );
+                    if v.ok {
+                        outcome.passed.push(line);
                     } else {
-                        format!(
-                            " ({} drifted, attributed to environment since the other view held)",
-                            failed.iter().map(|v| v.label).collect::<Vec<_>>().join(", ")
-                        )
-                    };
-                    outcome
-                        .passed
-                        .push(format!("{dataset}: e2e within tolerance — {summary}{note}"));
+                        outcome.failures.push(format!("regression: {line}"));
+                    }
                 }
+                (_, None) => outcome.passed.push(format!(
+                    "{dataset}: search-machinery check skipped (previous report predates the \
+                     search block)"
+                )),
+                (None, Some(_)) => outcome.failures.push(format!(
+                    "{dataset}: search.sequential_ms/oracle_scan_ms missing from the current \
+                     report (previous has them — the search block must not be dropped)"
+                )),
             }
-            Err(error) => outcome.failures.push(error),
         }
     }
 
     outcome
+}
+
+/// The drift-robust combination rule shared by the end-to-end and
+/// search-stage comparisons: fail only when **both** views (normalized and
+/// absolute) regress beyond tolerance — a genuine code regression moves
+/// both, environment drift moves one. `strict` requires each view to pass
+/// individually.
+fn apply_two_view_rule(
+    outcome: &mut GateOutcome,
+    dataset: &str,
+    what: &str,
+    views: Result<[View; 2], String>,
+    config: GateConfig,
+) {
+    match views {
+        Ok(views) => {
+            let failed: Vec<&View> = views.iter().filter(|v| !v.ok).collect();
+            let regressed =
+                if config.strict { !failed.is_empty() } else { failed.len() == views.len() };
+            let describe = |v: &View| format!("{} {:.4} -> {:.4}", v.label, v.previous, v.current);
+            if regressed {
+                outcome.failures.push(format!(
+                    "{dataset}: {what} regression beyond {:.0}% tolerance ({})",
+                    config.tolerance * 100.0,
+                    failed.iter().map(|v| describe(v)).collect::<Vec<_>>().join("; "),
+                ));
+            } else {
+                let summary = views.iter().map(describe).collect::<Vec<_>>().join("; ");
+                let note = if failed.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " ({} drifted, attributed to environment since the other view held)",
+                        failed.iter().map(|v| v.label).collect::<Vec<_>>().join(", ")
+                    )
+                };
+                outcome
+                    .passed
+                    .push(format!("{dataset}: {what} within tolerance — {summary}{note}"));
+            }
+        }
+        Err(error) => outcome.failures.push(error),
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +486,103 @@ mod tests {
         );
         let current = Json::parse(&text).unwrap();
         assert!(!evaluate(&current, &previous, GateConfig::default()).is_pass());
+    }
+
+    #[test]
+    fn search_stage_view_is_opt_in_and_catches_search_regressions() {
+        let previous = report(10.0, 50.0, 20.0, 80.0);
+        // e2e grew within tolerance, decide-only improved — so the entire
+        // growth sits in the search stage, which roughly doubled.
+        // (report(): decide-only arena = base*0.9*0.2, so cyeqset search was
+        // 10 - 9 = 1.0 ms and is now 11.0 - 7.2 = 3.8 ms.)
+        let text = r#"{
+          "cyeqset": {
+            "baseline_tree_sequential_ms": 50.0, "arena_parallel_ms": 11.0,
+            "baseline_decide_only_ms": 45.0, "arena_decide_only_ms": 7.2,
+            "equivalent": 138, "not_equivalent": 0, "unknown": 10
+          },
+          "cyneqset": {
+            "baseline_tree_sequential_ms": 80.0, "arena_parallel_ms": 22.0,
+            "baseline_decide_only_ms": 72.0, "arena_decide_only_ms": 14.4,
+            "equivalent": 0, "not_equivalent": 121, "unknown": 27
+          }
+        }"#;
+        let current = Json::parse(text).unwrap();
+        // Without --stage search the growth passes (within e2e tolerance).
+        let outcome = evaluate(&current, &previous, GateConfig::default());
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // With it, the search-stage regression is enforced.
+        let config = GateConfig { stage_search: true, ..GateConfig::default() };
+        let outcome = evaluate(&current, &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("search-stage")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn search_machinery_view_catches_memo_hidden_regressions() {
+        // Identical e2e/decide numbers (so the derived replay view passes),
+        // but the memo-bypassed machinery measurement tripled relative to
+        // the in-run scan oracle: exactly the regression the memo hides.
+        let with_block = |sequential: f64| {
+            let text = format!(
+                r#"{{
+                  "cyeqset": {{
+                    "baseline_tree_sequential_ms": 50.0, "arena_parallel_ms": 10.0,
+                    "baseline_decide_only_ms": 45.0, "arena_decide_only_ms": 9.0,
+                    "equivalent": 138, "not_equivalent": 0, "unknown": 10,
+                    "search": {{"sequential_ms": {sequential}, "oracle_scan_ms": 2.0}}
+                  }},
+                  "cyneqset": {{
+                    "baseline_tree_sequential_ms": 80.0, "arena_parallel_ms": 20.0,
+                    "baseline_decide_only_ms": 72.0, "arena_decide_only_ms": 14.4,
+                    "equivalent": 0, "not_equivalent": 121, "unknown": 27,
+                    "search": {{"sequential_ms": {sequential}, "oracle_scan_ms": 2.0}}
+                  }}
+                }}"#
+            );
+            Json::parse(&text).unwrap()
+        };
+        let previous = with_block(4.0);
+        let config = GateConfig { stage_search: true, ..GateConfig::default() };
+        // Same machinery cost: passes.
+        let outcome = evaluate(&with_block(4.0), &previous, config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // Tripled machinery cost with unchanged e2e: the individually
+        // enforced memo-off view must trip.
+        let outcome = evaluate(&with_block(12.0), &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("search-machinery")),
+            "{:?}",
+            outcome.failures
+        );
+        // Without --stage search the same regression passes silently.
+        let outcome = evaluate(&with_block(12.0), &previous, GateConfig::default());
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // A current report that drops the search block is rejected.
+        let dropped = report(10.0, 50.0, 20.0, 80.0);
+        let outcome = evaluate(&dropped, &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("must not be dropped")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn fully_memoized_search_passes_the_search_view() {
+        // Both reports have search stages at (or below) the floor: ratios of
+        // floored values are 1.0 and must pass.
+        let previous = report(9.0, 50.0, 14.4, 80.0); // search = 0 after flooring
+        let current = report(9.0, 50.0, 14.4, 80.0);
+        let config = GateConfig { stage_search: true, ..GateConfig::default() };
+        let outcome = evaluate(&current, &previous, config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
     }
 
     #[test]

@@ -5,10 +5,47 @@
 //! some features, a SAT answer alone is not a proof of non-equivalence;
 //! instead the prover searches for a concrete property graph on which the
 //! two queries return different bags — a strictly stronger certificate.
+//!
+//! ## Ownership and sharing
+//!
+//! Candidate pools are deterministic functions of `(search config,
+//! query-derived vocabulary)`, so they are shared **process-wide**: each
+//! pool is an `Arc<Mutex<LazyPool>>` in a sharded `RwLock` map keyed by the
+//! interned vocabulary. A pool materializes its graphs *incrementally*: a
+//! search pulls graph `i`, and the pool generates graphs up to `i` on
+//! demand, keeping everything it generates. Early-exit searches therefore
+//! stay lazy (random graphs past the first witness are never generated) and
+//! still leave their prefix behind for the next search over the same
+//! vocabulary — including the lazily built per-graph adjacency indexes,
+//! which get built once per pooled graph for the whole process, not once
+//! per search. Graphs are handed out as `Arc<PropertyGraph>` clones, so
+//! evaluation runs outside the pool lock.
+//!
+//! ## Cancellation protocol of the parallel search
+//!
+//! [`find_counterexample_parallel`] first probes the deterministic seed
+//! graphs sequentially (most non-equivalent pairs separate there — no
+//! reason to spawn threads), then lets workers pull the remaining graph
+//! indices from a single atomic cursor (dynamic load balancing —
+//! evaluation cost varies wildly between the empty seed graph and a dense
+//! 9-node random graph); the pool materializes the drawn index on demand
+//! under its mutex. The first worker to find a witness stores it under a
+//! mutex and raises a relaxed `AtomicBool`; other workers observe the flag
+//! between graphs and stop pulling. Workers that are mid-evaluation finish
+//! their graph; concurrently discovered witnesses resolve towards the
+//! smaller pool index. The **verdict** (witness vs exhausted) is always
+//! identical to the sequential search's — a witness at any index is found
+//! by whichever worker draws that index, and exhaustion means every index
+//! was drawn and cleared. The **identity** of the witness may vary with
+//! scheduling: a fast worker can cancel the search before a lower-index
+//! witness is drawn. Every reported witness is a valid certificate, and the
+//! memo freezes whichever one a process reports first, so repeat
+//! certifications within a process are stable.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cypher_parser::ast::Query;
 use property_graph::{evaluate_query, GeneratorConfig, GraphGenerator, PropertyGraph};
@@ -23,87 +60,429 @@ pub struct SearchConfig {
     pub random_graphs: usize,
     /// Seed of the random graph generator.
     pub seed: u64,
+    /// Consult (and populate) the process-wide search-result memo. Disabled
+    /// by benchmark baselines and tests that need the search machinery to
+    /// actually run; the outcome is identical either way.
+    pub use_memo: bool,
 }
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { random_graphs: 120, seed: 0xC0FFEE }
+        SearchConfig { random_graphs: 120, seed: 0xC0FFEE, use_memo: true }
     }
 }
 
-/// The full identity of a candidate pool: search parameters plus the
-/// query-derived generator vocabulary. Used directly as the cache key (not a
-/// hash of it), so distinct configurations can never collide.
-#[derive(PartialEq, Eq, Hash)]
+// ---------------------------------------------------------------------------
+// Vocabulary interning and the shared pool cache
+// ---------------------------------------------------------------------------
+
+/// Hash-consed generator vocabularies. `GeneratorConfig` carries label, key
+/// and constant pools (vectors of strings); interning means a repeated search
+/// over the same vocabulary hashes one pointer instead of re-hashing (and
+/// [`PoolKey`] construction re-cloning) every vector.
+static VOCABULARIES: OnceLock<Mutex<HashSet<Arc<GeneratorConfig>>>> = OnceLock::new();
+
+fn intern_vocabulary(config: GeneratorConfig) -> Arc<GeneratorConfig> {
+    let mut interner =
+        VOCABULARIES.get_or_init(|| Mutex::new(HashSet::new())).lock().expect("interner poisoned");
+    if let Some(existing) = interner.get(&config) {
+        return Arc::clone(existing);
+    }
+    let interned = Arc::new(config);
+    interner.insert(Arc::clone(&interned));
+    interned
+}
+
+/// The full identity of a candidate pool: search parameters plus the interned
+/// query-derived generator vocabulary. Interning makes vocabulary equality a
+/// pointer comparison and its hash a pointer hash; distinct configurations
+/// can never collide because the interner keys on the full config value.
+#[derive(Clone)]
 struct PoolKey {
     random_graphs: usize,
     seed: u64,
-    vocabulary: GeneratorConfig,
+    vocabulary: Arc<GeneratorConfig>,
 }
 
-thread_local! {
-    /// Exhausted candidate pools, keyed by the search configuration and the
-    /// query-derived generator vocabulary. The generator is deterministic,
-    /// so two searches with the same key explore the exact same graphs;
-    /// caching the pool once it has been fully generated means repeated
-    /// searches over the same vocabulary (equivalent-but-unprovable pairs in
-    /// a batch, repeated service requests) skip regeneration entirely. Pools
-    /// of searches that exit early with a witness are *not* cached — they
-    /// stay lazy.
-    static POOL_CACHE: RefCell<HashMap<PoolKey, Rc<Vec<PropertyGraph>>>> =
-        RefCell::new(HashMap::new());
+impl PartialEq for PoolKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.random_graphs == other.random_graphs
+            && self.seed == other.seed
+            && Arc::ptr_eq(&self.vocabulary, &other.vocabulary)
+    }
 }
 
-/// Drops every cached candidate pool of the calling thread. Part of the
-/// epoch-based eviction story: the pools (fully generated graph vectors,
-/// typically the largest allocations of a worker) would otherwise accumulate
-/// one entry per distinct query vocabulary forever. Pure memo — the
-/// generator is deterministic, so eviction only costs regeneration.
-pub fn clear_thread_pool_cache() {
-    POOL_CACHE.with(|cache| cache.borrow_mut().clear());
+impl Eq for PoolKey {}
+
+impl Hash for PoolKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.random_graphs.hash(state);
+        self.seed.hash(state);
+        Arc::as_ptr(&self.vocabulary).hash(state);
+    }
 }
 
-/// Searches for a property graph on which the two queries disagree.
+/// A candidate pool that materializes its deterministic graph sequence on
+/// demand and keeps everything it generates. `source: None` means the
+/// sequence is exhausted and `graphs` is the complete pool.
+struct LazyPool {
+    graphs: Vec<Arc<PropertyGraph>>,
+    source: Option<Box<dyn Iterator<Item = PropertyGraph> + Send>>,
+}
+
+impl LazyPool {
+    fn new(config: &SearchConfig, vocabulary: GeneratorConfig) -> LazyPool {
+        LazyPool {
+            graphs: Vec::new(),
+            source: Some(Box::new(candidate_graphs(config, vocabulary))),
+        }
+    }
+
+    /// The graph at `index`, materializing up to it; `None` once the
+    /// sequence is exhausted before `index`.
+    fn graph(&mut self, index: usize) -> Option<Arc<PropertyGraph>> {
+        while self.graphs.len() <= index {
+            match self.source.as_mut()?.next() {
+                Some(graph) => self.graphs.push(Arc::new(graph)),
+                None => {
+                    self.source = None;
+                    return None;
+                }
+            }
+        }
+        self.graphs.get(index).cloned()
+    }
+}
+
+/// One shared pool: graphs are pulled under the mutex (cheap — an `Arc`
+/// clone, or one graph generation on a cache miss) and evaluated outside it.
+type SharedPool = Arc<Mutex<LazyPool>>;
+
+/// Shard count of the pool cache: a small power of two — contention is per
+/// vocabulary and the outer map is read-mostly, sharding just keeps
+/// unrelated vocabularies from serializing on one lock.
+const POOL_SHARDS: usize = 8;
+
+type PoolShard = RwLock<HashMap<PoolKey, SharedPool>>;
+
+/// The candidate pools of the process, shared by every thread. Generation is
+/// deterministic, so two searches with the same key explore the exact same
+/// graphs; pools cached here carry their materialized prefix *and* the
+/// lazily built adjacency indexes of those graphs, so repeated searches skip
+/// regeneration and re-indexing alike.
+static POOL_CACHE: OnceLock<[PoolShard; POOL_SHARDS]> = OnceLock::new();
+
+fn pool_shard(key: &PoolKey) -> &'static PoolShard {
+    let shards = POOL_CACHE.get_or_init(|| std::array::from_fn(|_| RwLock::new(HashMap::new())));
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    &shards[(hasher.finish() as usize) % POOL_SHARDS]
+}
+
+/// The shared pool for `key`, creating an empty lazy pool on first use.
+fn shared_pool(key: &PoolKey, config: &SearchConfig) -> SharedPool {
+    let shard = pool_shard(key);
+    if let Some(pool) = shard.read().expect("pool shard poisoned").get(key) {
+        return Arc::clone(pool);
+    }
+    let mut shard = shard.write().expect("pool shard poisoned");
+    Arc::clone(
+        shard.entry(key.clone()).or_insert_with(|| {
+            Arc::new(Mutex::new(LazyPool::new(config, (*key.vocabulary).clone())))
+        }),
+    )
+}
+
+/// The graph at `index` of the shared pool (see [`LazyPool::graph`]).
+fn pool_graph(pool: &SharedPool, index: usize) -> Option<Arc<PropertyGraph>> {
+    pool.lock().expect("pool poisoned").graph(index)
+}
+
+/// The shared pool for a query pair: derives and interns the vocabulary,
+/// then resolves the pool through the sharded cache. Returns the interned
+/// vocabulary alongside so callers can store it in the search memo.
+fn pool_for(q1: &Query, q2: &Query, config: &SearchConfig) -> (SharedPool, Arc<GeneratorConfig>) {
+    let vocabulary = intern_vocabulary(GeneratorConfig::from_queries(&[q1, q2]));
+    let key = PoolKey {
+        random_graphs: config.random_graphs,
+        seed: config.seed,
+        vocabulary: Arc::clone(&vocabulary),
+    };
+    (shared_pool(&key, config), vocabulary)
+}
+
+// ---------------------------------------------------------------------------
+// The search-result memo
+// ---------------------------------------------------------------------------
+
+/// Identity of one completed search: the pretty-printed queries plus the
+/// search parameters (the vocabulary is derived from the queries, so it is
+/// implied by the key).
+type SearchMemoKey = (String, String, usize, u64);
+
+/// Everything needed to reconstruct a witness certificate from the
+/// deterministic pool without re-running the queries: the pool index and
+/// the differing row counts observed when the witness was found.
+#[derive(Clone, Copy)]
+struct WitnessSummary {
+    pool_index: usize,
+    left_rows: usize,
+    right_rows: usize,
+}
+
+/// The memoized outcome of one search: the witness summary (`None` = pool
+/// exhausted without one) plus the interned vocabulary, so a replay
+/// resolves its pool without re-deriving the vocabulary from the ASTs.
+type SearchMemoValue = (Option<WitnessSummary>, Arc<GeneratorConfig>);
+
+/// Completed searches, process-wide. This is the oracle-layer analog of the
+/// decide stage's SMT formula cache: a service re-certifying the same pair
+/// replays the verdict from the memo instead of re-evaluating hundreds of
+/// graphs. Replay is sound because every ingredient is deterministic: the
+/// pool regenerates the same graph at the same index, and the recorded row
+/// counts are what evaluation would produce again (debug builds do re-run
+/// [`check`] and assert it). Eviction rides the pool cache
+/// ([`clear_pool_cache`]).
+static SEARCH_MEMO: OnceLock<Mutex<HashMap<SearchMemoKey, SearchMemoValue>>> = OnceLock::new();
+
+/// Hit counter of the search-result memo.
+static SEARCH_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+/// Miss counter of the search-result memo.
+static SEARCH_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide hit/miss counters of the search-result memo.
+pub fn search_memo_stats() -> (u64, u64) {
+    (SEARCH_MEMO_HITS.load(Ordering::Relaxed), SEARCH_MEMO_MISSES.load(Ordering::Relaxed))
+}
+
+fn search_memo_key(q1: &Query, q2: &Query, config: &SearchConfig) -> SearchMemoKey {
+    (
+        cypher_parser::pretty::query_to_string(q1),
+        cypher_parser::pretty::query_to_string(q2),
+        config.random_graphs,
+        config.seed,
+    )
+}
+
+/// Replays a memoized search outcome, if any. `Some(verdict)` is the final
+/// answer; `None` means the memo has no entry and the search must run.
+///
+/// A memoized exhaustion replays without touching the pool — or even
+/// deriving the generator vocabulary — so re-certified
+/// equivalent-but-unprovable pairs cost two pretty-prints and a hash probe.
+/// A memoized witness fetches its graph from the deterministic pool and
+/// reconstructs the certificate from the recorded summary; debug builds
+/// additionally re-run the evaluation and assert it still witnesses.
+fn replay_memoized_search(
+    key: &SearchMemoKey,
+    #[allow(unused_variables)] q1: &Query,
+    #[allow(unused_variables)] q2: &Query,
+    config: &SearchConfig,
+) -> Option<Option<Counterexample>> {
+    if !config.use_memo {
+        return None;
+    }
+    let (outcome, vocabulary) = {
+        let memo = SEARCH_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+        memo.lock().expect("search memo poisoned").get(key).cloned()
+    }?;
+    SEARCH_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+    match outcome {
+        None => Some(None),
+        Some(summary) => {
+            // The stored interned vocabulary resolves the pool directly.
+            let pool_key =
+                PoolKey { random_graphs: config.random_graphs, seed: config.seed, vocabulary };
+            let graph = pool_graph(&shared_pool(&pool_key, config), summary.pool_index)?;
+            debug_assert!(
+                check(q1, q2, &graph, summary.pool_index).is_some_and(|fresh| {
+                    (fresh.left_rows, fresh.right_rows) == (summary.left_rows, summary.right_rows)
+                }),
+                "memoized witness no longer witnesses — determinism violated"
+            );
+            Some(Some(Counterexample {
+                graph: (*graph).clone(),
+                left_rows: summary.left_rows,
+                right_rows: summary.right_rows,
+                pool_index: summary.pool_index,
+            }))
+        }
+    }
+}
+
+fn memoize_search(
+    key: SearchMemoKey,
+    outcome: Option<&Counterexample>,
+    vocabulary: Arc<GeneratorConfig>,
+    config: &SearchConfig,
+) {
+    if !config.use_memo {
+        return;
+    }
+    SEARCH_MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    let summary = outcome.map(|example| WitnessSummary {
+        pool_index: example.pool_index,
+        left_rows: example.left_rows,
+        right_rows: example.right_rows,
+    });
+    let memo = SEARCH_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    memo.lock().expect("search memo poisoned").insert(key, (summary, vocabulary));
+}
+
+/// Drops every cached candidate pool and interned vocabulary, process-wide.
+/// Part of the epoch-based eviction story: the pools (fully generated graph
+/// vectors plus their adjacency indexes, typically the largest allocations
+/// of the prover) would otherwise accumulate one entry per distinct query
+/// vocabulary forever. Pure memo — the generator is deterministic, so
+/// eviction only costs regeneration.
+pub fn clear_pool_cache() {
+    if let Some(shards) = POOL_CACHE.get() {
+        for shard in shards {
+            shard.write().expect("pool shard poisoned").clear();
+        }
+    }
+    if let Some(interner) = VOCABULARIES.get() {
+        interner.lock().expect("interner poisoned").clear();
+    }
+    if let Some(memo) = SEARCH_MEMO.get() {
+        memo.lock().expect("search memo poisoned").clear();
+    }
+    CLEAR_GENERATION.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Monotonic count of [`clear_pool_cache`] calls in this process. Callers
+/// that evict on their own (per-thread) triggers can compare generations to
+/// avoid redundantly wiping shared state another thread just cleared — see
+/// `GraphQE::prove_batch_report`.
+pub fn pool_cache_generation() -> u64 {
+    CLEAR_GENERATION.load(Ordering::Relaxed)
+}
+
+/// Generation counter of [`clear_pool_cache`].
+static CLEAR_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// The search
+// ---------------------------------------------------------------------------
+
+/// Evaluates both queries on one graph; `Some` when they disagree.
+fn check(
+    q1: &Query,
+    q2: &Query,
+    graph: &PropertyGraph,
+    pool_index: usize,
+) -> Option<Counterexample> {
+    let left = evaluate_query(graph, q1).ok()?;
+    let right = evaluate_query(graph, q2).ok()?;
+    if !left.bag_equal(&right) {
+        return Some(Counterexample {
+            graph: graph.clone(),
+            left_rows: left.len(),
+            right_rows: right.len(),
+            pool_index,
+        });
+    }
+    None
+}
+
+/// Searches for a property graph on which the two queries disagree,
+/// sequentially and lazily: random graphs past the first witness are never
+/// generated, let alone evaluated — but everything that *is* generated stays
+/// in the shared pool for the next search over the same vocabulary.
 pub fn find_counterexample(
     q1: &Query,
     q2: &Query,
     config: &SearchConfig,
 ) -> Option<Counterexample> {
-    let vocabulary = GeneratorConfig::from_queries(&[q1, q2]);
-    let key = PoolKey {
-        random_graphs: config.random_graphs,
-        seed: config.seed,
-        vocabulary: vocabulary.clone(),
-    };
-
-    let check = |graph: &PropertyGraph| -> Option<Counterexample> {
-        let left = evaluate_query(graph, q1).ok()?;
-        let right = evaluate_query(graph, q2).ok()?;
-        if !left.bag_equal(&right) {
-            return Some(Counterexample {
-                graph: graph.clone(),
-                left_rows: left.len(),
-                right_rows: right.len(),
-            });
-        }
-        None
-    };
-
-    if let Some(pool) = POOL_CACHE.with(|cache| cache.borrow().get(&key).cloned()) {
-        return pool.iter().find_map(check);
+    let memo_key = search_memo_key(q1, q2, config);
+    if let Some(outcome) = replay_memoized_search(&memo_key, q1, q2, config) {
+        return outcome;
     }
-
-    let mut explored = Vec::new();
-    for graph in candidate_graphs(config, vocabulary) {
-        if let Some(example) = check(&graph) {
+    let (pool, vocabulary) = pool_for(q1, q2, config);
+    let mut index = 0;
+    while let Some(graph) = pool_graph(&pool, index) {
+        if let Some(example) = check(q1, q2, &graph, index) {
+            memoize_search(memo_key, Some(&example), vocabulary, config);
             return Some(example);
         }
-        explored.push(graph);
+        index += 1;
     }
-    // The pool was exhausted without a witness; keep it for the next search
-    // over the same vocabulary.
-    POOL_CACHE.with(|cache| cache.borrow_mut().insert(key, Rc::new(explored)));
+    memoize_search(memo_key, None, vocabulary, config);
     None
+}
+
+/// How many pool graphs the parallel search probes sequentially before
+/// spawning workers: the deterministic seed graphs separate most
+/// non-equivalent pairs, and probing them first avoids paying `threads`
+/// speculative evaluations (and thread spawns) for a witness at index 0.
+const PARALLEL_SEQUENTIAL_PREFIX: usize = 3;
+
+/// Parallel counterexample search: probes the seed graphs sequentially,
+/// then partitions the rest of the shared candidate pool across `threads`
+/// scoped workers via an atomic cursor (the pool materializes drawn indices
+/// on demand) and cancels the remaining workers once a witness is found.
+/// See the module documentation for the cancellation protocol.
+///
+/// The **verdict** is deterministic and identical to
+/// [`find_counterexample`]'s; the reported witness's pool index may differ
+/// (scheduling decides which witness wins, never whether one exists). With
+/// `threads <= 1` this *is* the sequential search.
+pub fn find_counterexample_parallel(
+    q1: &Query,
+    q2: &Query,
+    config: &SearchConfig,
+    threads: usize,
+) -> Option<Counterexample> {
+    if threads <= 1 {
+        return find_counterexample(q1, q2, config);
+    }
+    let memo_key = search_memo_key(q1, q2, config);
+    if let Some(outcome) = replay_memoized_search(&memo_key, q1, q2, config) {
+        return outcome;
+    }
+    let (pool, vocabulary) = pool_for(q1, q2, config);
+
+    // Sequential prefix over the seed graphs.
+    for index in 0..PARALLEL_SEQUENTIAL_PREFIX {
+        let Some(graph) = pool_graph(&pool, index) else {
+            memoize_search(memo_key, None, vocabulary, config);
+            return None;
+        };
+        if let Some(example) = check(q1, q2, &graph, index) {
+            memoize_search(memo_key, Some(&example), vocabulary, config);
+            return Some(example);
+        }
+    }
+
+    let cursor = AtomicUsize::new(PARALLEL_SEQUENTIAL_PREFIX);
+    let found = AtomicBool::new(false);
+    let best: Mutex<Option<Counterexample>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        // No point spawning more workers than random graphs remain.
+        for _ in 0..threads.min(config.random_graphs.max(1)) {
+            scope.spawn(|| loop {
+                if found.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(graph) = pool_graph(&pool, index) else { break };
+                if let Some(example) = check(q1, q2, &graph, index) {
+                    let mut best = best.lock().expect("witness slot poisoned");
+                    // First witness wins the race; ties across workers are
+                    // broken towards the smaller pool index so the reported
+                    // witness is deterministic.
+                    if best.as_ref().is_none_or(|b| example.pool_index < b.pool_index) {
+                        *best = Some(example);
+                    }
+                    found.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+    let outcome = best.into_inner().expect("witness slot poisoned");
+    memoize_search(memo_key, outcome.as_ref(), vocabulary, config);
+    outcome
 }
 
 /// The graphs explored by the search: the paper's Fig. 1 graph, a couple of
@@ -218,5 +597,100 @@ mod tests {
             "MATCH (n:Person) RETURN n.name ORDER BY n.name LIMIT 2"
         )
         .is_some());
+    }
+
+    #[test]
+    fn vocabulary_interning_is_pointer_stable() {
+        let q1 = parse_query("MATCH (n:Zebra) RETURN n").unwrap();
+        let q2 = parse_query("MATCH (n:Yak) RETURN n").unwrap();
+        let a = intern_vocabulary(GeneratorConfig::from_queries(&[&q1, &q2]));
+        let b = intern_vocabulary(GeneratorConfig::from_queries(&[&q1, &q2]));
+        assert!(Arc::ptr_eq(&a, &b), "same vocabulary must intern to the same Arc");
+        let c = intern_vocabulary(GeneratorConfig::from_queries(&[&q1, &q1]));
+        assert!(!Arc::ptr_eq(&a, &c), "different vocabularies must not share an Arc");
+    }
+
+    #[test]
+    fn parallel_search_agrees_with_sequential() {
+        let cases = [
+            // Non-equivalent: both must find a witness.
+            (
+                "MATCH (a:Person)-[r:READ]->(b) RETURN a.name",
+                "MATCH (a:Person)<-[r:READ]-(b) RETURN a.name",
+            ),
+            ("MATCH (n:Person) RETURN n", "MATCH (n:Book) RETURN n"),
+            // Equivalent: both must exhaust the pool.
+            ("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"),
+        ];
+        // The memo is bypassed so the worker/cancellation machinery actually
+        // runs — a memo replay would trivially agree with the sequential
+        // search without exercising it.
+        let config = SearchConfig { use_memo: false, ..SearchConfig::default() };
+        for (left, right) in cases {
+            let q1 = parse_query(left).unwrap();
+            let q2 = parse_query(right).unwrap();
+            let sequential = find_counterexample(&q1, &q2, &config);
+            for threads in [2, 4] {
+                let parallel = find_counterexample_parallel(&q1, &q2, &config, threads);
+                assert_eq!(
+                    sequential.is_some(),
+                    parallel.is_some(),
+                    "parallel verdict diverged on {left} vs {right} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_witness_actually_witnesses() {
+        let q1 = parse_query("MATCH (n:Person) RETURN n").unwrap();
+        let q2 = parse_query("MATCH (n:Book) RETURN n").unwrap();
+        // Bypass the memo so the parallel workers really search.
+        let config = SearchConfig { use_memo: false, ..SearchConfig::default() };
+        let example = find_counterexample_parallel(&q1, &q2, &config, 3).expect("witness expected");
+        // The reported graph must really separate the queries (the scheduling
+        // decides *which* witness wins, never *whether* one is a witness).
+        let left = evaluate_query(&example.graph, &q1).unwrap();
+        let right = evaluate_query(&example.graph, &q2).unwrap();
+        assert!(!left.bag_equal(&right));
+        assert_eq!((left.len(), right.len()), (example.left_rows, example.right_rows));
+        // And its pool index points at that same graph in the shared pool.
+        let sequential = find_counterexample(&q1, &q2, &config).expect("witness expected");
+        assert!(example.pool_index >= sequential.pool_index);
+    }
+
+    #[test]
+    fn memoized_searches_replay_identical_outcomes() {
+        let q1 = parse_query("MATCH (n:Person {p2: 4}) RETURN n").unwrap();
+        let q2 = parse_query("MATCH (n:Book {p2: 4}) RETURN n").unwrap();
+        let config = SearchConfig::default();
+        let first = find_counterexample(&q1, &q2, &config).expect("witness expected");
+        // A concurrently running eviction test can clear the memo between
+        // searches; retry a few times — a hit must be observable eventually.
+        let mut replayed = None;
+        for _ in 0..5 {
+            let (hits_before, _) = search_memo_stats();
+            let outcome = find_counterexample(&q1, &q2, &config).expect("witness expected");
+            if search_memo_stats().0 > hits_before {
+                replayed = Some(outcome);
+                break;
+            }
+        }
+        let replayed = replayed.expect("no search hit the memo in five attempts");
+        // The replayed certificate is recomputed, not copied: same witness
+        // graph, same row counts.
+        assert_eq!(first.pool_index, replayed.pool_index);
+        assert_eq!(first.graph, replayed.graph);
+        assert_eq!((first.left_rows, first.right_rows), (replayed.left_rows, replayed.right_rows));
+    }
+
+    #[test]
+    fn clearing_the_pool_cache_only_costs_regeneration() {
+        let q1 = parse_query("MATCH (a)-[r]->(b) RETURN a").unwrap();
+        let q2 = parse_query("MATCH (b)<-[r]-(a) RETURN a").unwrap();
+        let config = SearchConfig { random_graphs: 6, ..SearchConfig::default() };
+        assert!(find_counterexample(&q1, &q2, &config).is_none());
+        clear_pool_cache();
+        assert!(find_counterexample(&q1, &q2, &config).is_none());
     }
 }

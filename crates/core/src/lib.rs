@@ -38,6 +38,14 @@ pub mod verdict;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+thread_local! {
+    /// The last [`counterexample::pool_cache_generation`] this worker thread
+    /// observed (`None` until its first budget trip); used to deduplicate
+    /// process-global cache clears when several batch workers cross their
+    /// arena budgets together.
+    static POOL_CLEAR_SEEN: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
 use cypher_normalizer::normalize_query;
 use cypher_parser::ast::{Clause, ProjectionItems, Query};
 use cypher_parser::{parse_and_check, CheckError};
@@ -140,6 +148,12 @@ pub struct GraphQE {
     /// (`liastar::reset_thread_caches`). Keeps long batch runs in bounded
     /// memory; `0` disables the budget.
     pub arena_node_budget: usize,
+    /// Worker threads of the counterexample search
+    /// ([`counterexample::find_counterexample_parallel`]): `0` uses all
+    /// available cores, `1` forces the sequential (lazy) search. Batch
+    /// proving divides the machine between pair workers and search workers,
+    /// so the product never oversubscribes.
+    pub search_threads: usize,
 }
 
 impl Default for GraphQE {
@@ -154,6 +168,7 @@ impl Default for GraphQE {
             // case; the full CyEqSet+CyNeqSet run stays well under it, so
             // the default only kicks in for service-scale streams.
             arena_node_budget: 1 << 20,
+            search_threads: 0,
         }
     }
 }
@@ -162,6 +177,14 @@ impl GraphQE {
     /// Creates a prover with the default configuration.
     pub fn new() -> Self {
         GraphQE::default()
+    }
+
+    /// Resolves [`GraphQE::search_threads`] (`0` = all available cores).
+    fn effective_search_threads(&self) -> usize {
+        match self.search_threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
     }
 
     /// Proves the (non-)equivalence of two Cypher query texts.
@@ -244,21 +267,48 @@ impl GraphQE {
         // warm arenas (which intern nothing new) are still counted.
         gexpr::arena::reset_peak_node_count();
         let epoch_resets = AtomicUsize::new(0);
+        let batch_start_pool_gen = counterexample::pool_cache_generation();
 
+        let threads = threads.clamp(1, pairs.len().max(1));
+        // Divide the machine between pair workers and the counterexample
+        // search inside each pair: with `threads` pair workers on `machine`
+        // cores, each search gets the quotient, so stragglers (pairs that
+        // exhaust the whole candidate pool) parallelize their search instead
+        // of serializing the tail of the batch. An explicit
+        // `search_threads` setting is respected unchanged.
+        let worker_prover = if self.search_threads == 0 {
+            let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            GraphQE { search_threads: (machine / threads).max(1), ..self.clone() }
+        } else {
+            self.clone()
+        };
         let prove_timed = |left: &str, right: &str| {
             let start = Instant::now();
-            let verdict = self.prove(left, right);
+            let verdict = worker_prover.prove(left, right);
             let outcome = BatchOutcome { verdict, latency: start.elapsed() };
             let arena_nodes = gexpr::arena::thread_store_node_count();
             gexpr::arena::note_node_peak(arena_nodes);
             if self.arena_node_budget > 0 && arena_nodes > self.arena_node_budget {
                 liastar::reset_thread_caches();
-                counterexample::clear_thread_pool_cache();
+                // The pool/memo cache is process-global: when several workers
+                // cross their (thread-local) arena budgets around the same
+                // time, one clear suffices — a worker that observes a clear
+                // it has not seen yet adopts it instead of wiping the state
+                // its peers just started rebuilding. A thread's first trip
+                // compares against the generation at batch start, so fresh
+                // scoped workers still evict when nobody else has.
+                POOL_CLEAR_SEEN.with(|seen| {
+                    let current = counterexample::pool_cache_generation();
+                    let reference = seen.get().unwrap_or(batch_start_pool_gen);
+                    if current == reference {
+                        counterexample::clear_pool_cache();
+                    }
+                    seen.set(Some(counterexample::pool_cache_generation()));
+                });
                 epoch_resets.fetch_add(1, Ordering::Relaxed);
             }
             outcome
         };
-        let threads = threads.clamp(1, pairs.len().max(1));
         let outcomes = if threads == 1 {
             pairs.iter().map(|(l, r)| prove_timed(l.as_ref(), r.as_ref())).collect()
         } else {
@@ -325,9 +375,12 @@ impl GraphQE {
                 // Not proven: try to certify non-equivalence with a concrete
                 // counterexample graph.
                 if self.search_counterexamples {
-                    if let Some(example) =
-                        counterexample::find_counterexample(q1, q2, &self.search_config)
-                    {
+                    if let Some(example) = counterexample::find_counterexample_parallel(
+                        q1,
+                        q2,
+                        &self.search_config,
+                        self.effective_search_threads(),
+                    ) {
                         return Verdict::NotEquivalent(Box::new(example));
                     }
                 }

@@ -60,6 +60,10 @@ pub struct Counterexample {
     pub left_rows: usize,
     /// Number of rows the second query returned.
     pub right_rows: usize,
+    /// Position of the witness in the deterministic candidate pool (seed
+    /// graphs first, then random graphs). Benchmarks report the distribution
+    /// so the pool ordering can be tuned towards early witnesses.
+    pub pool_index: usize,
 }
 
 /// The outcome of proving a pair of Cypher queries.

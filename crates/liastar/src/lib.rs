@@ -146,12 +146,41 @@ thread_local! {
     static DISJOINT_CACHE: RefCell<HashMap<(ArenaNodeId, ArenaNodeId), bool>> =
         RefCell::new(HashMap::new());
     /// Cache of [`simplify_summand`] results, keyed by the summand's arena
-    /// node id: the simplified summand (`None` = pruned as identically zero)
-    /// plus the number of implied atoms removed (replayed into the stats).
-    static SUMMAND_CACHE: RefCell<HashMap<ArenaNodeId, (Option<ArenaNodeId>, usize)>> =
+    /// node id: the simplified summand (`None` = pruned as identically zero),
+    /// the number of implied atoms removed (replayed into the stats), and a
+    /// recency stamp driving the cross-epoch carry-over (see
+    /// [`reset_thread_caches`]).
+    static SUMMAND_CACHE: RefCell<HashMap<ArenaNodeId, SummandEntry>> =
         RefCell::new(HashMap::new());
+    /// Monotonic access counter stamping [`SUMMAND_CACHE`] entries.
+    static SUMMAND_STAMP: Cell<u64> = const { Cell::new(0) };
     /// The arena epoch the id-keyed caches above belong to.
     static CACHE_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// One memoized summand simplification: the result id (`None` = pruned as
+/// identically zero), the implied-atom count, and the last-access stamp.
+#[derive(Clone, Copy)]
+struct SummandEntry {
+    result: Option<ArenaNodeId>,
+    implied: usize,
+    stamp: u64,
+}
+
+/// How many of the most recently used summand-simplification entries survive
+/// an epoch reset (externalized before the arena is dropped, re-interned
+/// after). Small on purpose: the carry-over exists to absorb the latency
+/// spike right after a reset — the first pairs decided in the new epoch are
+/// usually structurally close to the last pairs of the old one — not to
+/// defeat the eviction.
+const SUMMAND_CARRY_OVER: usize = 32;
+
+fn next_summand_stamp() -> u64 {
+    SUMMAND_STAMP.with(|stamp| {
+        let next = stamp.get() + 1;
+        stamp.set(next);
+        next
+    })
 }
 
 /// Lifetime counters of the liastar-level caches, summed over all threads.
@@ -218,10 +247,57 @@ fn sync_caches_to_epoch(store_epoch: u64) {
 /// outgrows its budget, so a service proving an unbounded stream of pairs
 /// runs in bounded memory. Correctness is unaffected: every cache is a pure
 /// memo, so the only cost of a reset is re-computing entries.
+///
+/// **Cross-epoch carry-over**: instead of dropping the summand-simplification
+/// cache wholesale, the [`SUMMAND_CARRY_OVER`] most recently used entries are
+/// externalized to `GExpr` trees *before* the arena resets and re-interned
+/// (with fresh ids) into the new epoch. Hot summands — which tend to recur in
+/// the very next pairs — therefore stay memoized across the reset, smoothing
+/// the post-reset latency spike at the cost of interning a few dozen small
+/// trees.
 pub fn reset_thread_caches() {
-    gexpr::arena::with_thread_store(|store| store.reset_epoch());
-    DISJOINT_CACHE.with(|cache| cache.borrow_mut().clear());
-    SUMMAND_CACHE.with(|cache| cache.borrow_mut().clear());
+    gexpr::arena::with_thread_store(|store| {
+        // Select the hottest entries by recency stamp and externalize them
+        // while their ids are still valid in the old epoch. If the arena
+        // epoch moved underneath the caches (a caller reset the store
+        // directly without going through this function), the cached ids are
+        // stale and must not be externalized — carry nothing over.
+        let cache_in_sync = CACHE_EPOCH.with(|epoch| epoch.get()) == store.epoch();
+        let mut hottest: Vec<(ArenaNodeId, SummandEntry)> = if cache_in_sync {
+            SUMMAND_CACHE.with(|cache| cache.borrow().iter().map(|(k, v)| (*k, *v)).collect())
+        } else {
+            Vec::new()
+        };
+        hottest.sort_by_key(|(_, entry)| std::cmp::Reverse(entry.stamp));
+        hottest.truncate(SUMMAND_CARRY_OVER);
+        let externalized: Vec<(GExpr, Option<GExpr>, usize)> = hottest
+            .iter()
+            .map(|(key, entry)| {
+                (
+                    store.extern_expr(*key),
+                    entry.result.map(|id| store.extern_expr(id)),
+                    entry.implied,
+                )
+            })
+            .collect();
+
+        store.reset_epoch();
+
+        // Re-seed the fresh caches under the new epoch's ids.
+        DISJOINT_CACHE.with(|cache| cache.borrow_mut().clear());
+        SUMMAND_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            cache.clear();
+            // `externalized` is ordered most-recent-first; re-insert in
+            // reverse so fresh stamps preserve the relative recency (the
+            // hottest entry gets the newest stamp, not the oldest).
+            for (key, result, implied) in externalized.into_iter().rev() {
+                let key = store.intern_expr(&key);
+                let result = result.map(|expr| store.intern_expr(&expr));
+                cache.insert(key, SummandEntry { result, implied, stamp: next_summand_stamp() });
+            }
+        });
+    });
     CACHE_EPOCH.with(|epoch| epoch.set(gexpr::arena::thread_store_epoch()));
     smt::clear_formula_cache();
 }
@@ -418,9 +494,13 @@ fn simplify_summand(
     summand: ArenaNodeId,
     stats: &mut DecisionStats,
 ) -> Option<ArenaNodeId> {
-    if let Some((result, implied)) =
-        SUMMAND_CACHE.with(|cache| cache.borrow().get(&summand).copied())
-    {
+    let hit = SUMMAND_CACHE.with(|cache| {
+        cache.borrow_mut().get_mut(&summand).map(|entry| {
+            entry.stamp = next_summand_stamp();
+            (entry.result, entry.implied)
+        })
+    });
+    if let Some((result, implied)) = hit {
         SUMMAND_HITS.fetch_add(1, Ordering::Relaxed);
         stats.pruned_implied += implied;
         return result;
@@ -439,7 +519,12 @@ fn simplify_summand(
 
     // Zero pruning: unsatisfiable products contribute nothing.
     if smt::check_formula_cached(encode_product_ids(store, &factors)).is_unsat() {
-        SUMMAND_CACHE.with(|cache| cache.borrow_mut().insert(summand, (None, 0)));
+        SUMMAND_CACHE.with(|cache| {
+            cache.borrow_mut().insert(
+                summand,
+                SummandEntry { result: None, implied: 0, stamp: next_summand_stamp() },
+            )
+        });
         return None;
     }
 
@@ -467,7 +552,12 @@ fn simplify_summand(
 
     let body = store.mk_mul(factors);
     let result = store.mk_sum(vars, body);
-    SUMMAND_CACHE.with(|cache| cache.borrow_mut().insert(summand, (Some(result), implied)));
+    SUMMAND_CACHE.with(|cache| {
+        cache.borrow_mut().insert(
+            summand,
+            SummandEntry { result: Some(result), implied, stamp: next_summand_stamp() },
+        )
+    });
     Some(result)
 }
 
@@ -796,9 +886,15 @@ mod tests {
         let g2 = gexpr_of("MATCH (b)<-[r]-(a) RETURN a");
         assert!(check_equivalence(&g1, &g2).is_proved());
         let epoch_before = gexpr::arena::thread_store_epoch();
+        let nodes_before = gexpr::arena::thread_store_node_count();
         reset_thread_caches();
         assert_eq!(gexpr::arena::thread_store_epoch(), epoch_before + 1);
-        assert_eq!(gexpr::arena::thread_store_node_count(), 0);
+        // The arena shrinks to just the re-interned carry-over entries
+        // (bounded by the constant, far below a working arena).
+        assert!(
+            gexpr::arena::thread_store_node_count() < nodes_before,
+            "reset must shrink the arena"
+        );
         // Same decision after the reset: the caches are pure memos.
         assert!(check_equivalence(&g1, &g2).is_proved());
         let g3 = gexpr_of("MATCH (n:Person) RETURN n");
@@ -815,6 +911,30 @@ mod tests {
         // Second run hits the summand cache; the implied-atom count must be
         // replayed identically.
         let (_, warm) = check_equivalence_with_stats(&g1, &g2);
+        assert_eq!(cold.pruned_implied, warm.pruned_implied);
+        assert_eq!(cold.pruned_zero, warm.pruned_zero);
+    }
+
+    #[test]
+    fn epoch_reset_carries_hot_summand_entries() {
+        let g1 = gexpr_of("MATCH (n) WHERE n.age > 5 AND n.age > 3 RETURN n");
+        let g2 = gexpr_of("MATCH (n) WHERE n.age > 5 RETURN n");
+        let (decision, cold) = check_equivalence_with_stats(&g1, &g2);
+        assert!(decision.is_proved());
+        reset_thread_caches();
+        // The pair's summands were the most recently used entries, so they
+        // survived the reset (as re-interned ids of the new epoch).
+        let carried = SUMMAND_CACHE.with(|cache| cache.borrow().len());
+        assert!(carried > 0, "reset must carry hot entries over");
+        // Re-deciding probes only carried entries: a summand miss would
+        // insert a new cache entry, so an unchanged entry count proves every
+        // lookup hit. (Thread-local observation — the global hit/miss
+        // counters are shared with concurrently running tests.)
+        let (decision, warm) = check_equivalence_with_stats(&g1, &g2);
+        assert!(decision.is_proved());
+        let after = SUMMAND_CACHE.with(|cache| cache.borrow().len());
+        assert_eq!(after, carried, "carry-over must prevent summand re-simplification");
+        // The replayed stats are bit-identical to the cold run's.
         assert_eq!(cold.pruned_implied, warm.pruned_implied);
         assert_eq!(cold.pruned_zero, warm.pruned_zero);
     }

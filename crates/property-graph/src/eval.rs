@@ -126,6 +126,9 @@ pub struct Evaluator {
     /// relationships in the graph, which is exhaustive because relationships
     /// may not repeat along a path.
     pub max_var_length: Option<u32>,
+    /// Use the linear-scan candidate enumeration ([`crate::matching::scan`])
+    /// instead of the adjacency index (see [`crate::expr::EvalCtx`]).
+    pub scan_matching: bool,
 }
 
 impl Evaluator {
@@ -139,6 +142,7 @@ impl Evaluator {
         let ctx = EvalCtx {
             graph,
             max_var_length: self.max_var_length.unwrap_or(graph.relationship_count() as u32),
+            scan_matching: self.scan_matching,
         };
         evaluate_union_query(ctx, query, vec![Row::new()], true)
     }
@@ -147,6 +151,12 @@ impl Evaluator {
 /// Convenience function: evaluates `query` on `graph` with default settings.
 pub fn evaluate_query(graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
     Evaluator::new().evaluate(graph, query)
+}
+
+/// [`evaluate_query`] forced onto the linear-scan matching baseline — the
+/// differential oracle for the indexed evaluator.
+pub fn evaluate_query_scan(graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
+    Evaluator { scan_matching: true, ..Evaluator::new() }.evaluate(graph, query)
 }
 
 /// Evaluates a (possibly `UNION`-combined) query starting from the given

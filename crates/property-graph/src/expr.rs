@@ -30,12 +30,17 @@ pub struct EvalCtx<'g> {
     pub graph: &'g PropertyGraph,
     /// Bound on variable-length path expansion (see [`crate::eval::Evaluator`]).
     pub max_var_length: u32,
+    /// Enumerate pattern candidates with the linear-scan baseline
+    /// ([`crate::matching::scan`]) instead of the adjacency index. The two
+    /// paths return identical rows in identical order; the flag exists for
+    /// differential testing and baseline benchmarking.
+    pub scan_matching: bool,
 }
 
 impl<'g> EvalCtx<'g> {
     /// Creates a context with the default variable-length bound.
     pub fn new(graph: &'g PropertyGraph) -> Self {
-        EvalCtx { graph, max_var_length: graph.relationship_count() as u32 }
+        EvalCtx { graph, max_var_length: graph.relationship_count() as u32, scan_matching: false }
     }
 }
 

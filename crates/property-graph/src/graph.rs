@@ -10,7 +10,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
 
+use crate::index::AdjacencyIndex;
 use crate::value::Value;
 
 /// Identifier of a node within a [`PropertyGraph`].
@@ -53,10 +55,38 @@ pub struct RelData {
 }
 
 /// A property graph.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct PropertyGraph {
     nodes: Vec<NodeData>,
     relationships: Vec<RelData>,
+    /// The adjacency index, built lazily on first [`PropertyGraph::adjacency`]
+    /// call and shared by every subsequent evaluation of the (frozen) graph.
+    /// `OnceLock` keeps the graph `Send + Sync`, which the shared
+    /// counterexample pool and the parallel search rely on; mutations reset
+    /// it, so the index can never go stale.
+    index: OnceLock<AdjacencyIndex>,
+}
+
+/// Cloning copies the graph data but not the lazily built index: the index
+/// is a pure function of nodes and relationships and rebuilds on demand, so
+/// copying it (counterexample certificates clone pooled graphs constantly)
+/// would only duplicate memory.
+impl Clone for PropertyGraph {
+    fn clone(&self) -> Self {
+        PropertyGraph {
+            nodes: self.nodes.clone(),
+            relationships: self.relationships.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+/// Graph equality is structural: the lazily built index is a pure function
+/// of the nodes and relationships and must not influence comparisons.
+impl PartialEq for PropertyGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.relationships == other.relationships
+    }
 }
 
 impl PropertyGraph {
@@ -80,6 +110,7 @@ impl PropertyGraph {
             properties: properties.into_iter().map(|(k, v)| (k.into(), v)).collect(),
         };
         self.nodes.push(data);
+        self.index = OnceLock::new();
         NodeId((self.nodes.len() - 1) as u32)
     }
 
@@ -108,7 +139,15 @@ impl PropertyGraph {
             properties: properties.into_iter().map(|(k, v)| (k.into(), v)).collect(),
         };
         self.relationships.push(data);
+        self.index = OnceLock::new();
         RelId((self.relationships.len() - 1) as u32)
+    }
+
+    /// The adjacency index of this graph, built on first use. See
+    /// [`AdjacencyIndex`] for the layout; the matcher consults it for every
+    /// candidate enumeration unless the scan baseline is requested.
+    pub fn adjacency(&self) -> &AdjacencyIndex {
+        self.index.get_or_init(|| AdjacencyIndex::build(self))
     }
 
     /// The number of nodes.

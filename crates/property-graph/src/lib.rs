@@ -31,12 +31,14 @@ pub mod eval;
 pub mod expr;
 pub mod generator;
 pub mod graph;
+pub mod index;
 pub mod matching;
 pub mod rng;
 pub mod value;
 
-pub use eval::{evaluate_query, EvalError, Evaluator, QueryResult};
+pub use eval::{evaluate_query, evaluate_query_scan, EvalError, Evaluator, QueryResult};
 pub use expr::{EvalCtx, Row};
 pub use generator::{GeneratorConfig, GraphGenerator};
 pub use graph::{EntityId, NodeData, NodeId, PropertyGraph, RelData, RelId};
+pub use index::{AdjacencyIndex, IdBitset};
 pub use value::Value;

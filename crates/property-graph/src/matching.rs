@@ -241,54 +241,119 @@ fn match_var_length(
 
 /// Returns `(relationship, neighbour)` pairs adjacent to `from` that satisfy
 /// the relationship pattern's direction, label and property constraints.
+///
+/// Dispatches to the adjacency-indexed enumeration (default) or the
+/// linear-scan baseline in [`scan`]; both return the same candidates in the
+/// same (ascending relationship id) order.
 fn candidate_relationships(
     ctx: EvalCtx<'_>,
     row: &Row,
     pattern: &RelationshipPattern,
     from: NodeId,
 ) -> Result<Vec<(RelId, NodeId)>, EvalError> {
+    if ctx.scan_matching {
+        return scan::candidate_relationships(ctx, row, pattern, from);
+    }
+    let index = ctx.graph.adjacency();
+
+    // Resolve the pattern's type alternatives to interned ids once; a type
+    // absent from the graph contributes no candidates. The single-type case
+    // (ubiquitous) avoids the alternatives vector entirely.
+    enum TypeFilter {
+        Any,
+        One(u32),
+        AnyOf(Vec<u32>),
+    }
+    let type_filter = match pattern.labels.as_slice() {
+        [] => TypeFilter::Any,
+        [label] => match index.rel_type_id(label) {
+            None => return Ok(Vec::new()),
+            Some(id) => TypeFilter::One(id),
+        },
+        labels => {
+            let resolved: Vec<u32> =
+                labels.iter().filter_map(|label| index.rel_type_id(label)).collect();
+            if resolved.is_empty() {
+                return Ok(Vec::new());
+            }
+            TypeFilter::AnyOf(resolved)
+        }
+    };
+    // If the relationship variable is already bound, the candidate must be
+    // that exact relationship (checked per entry below, like the scan).
+    let bound = pattern.variable.as_ref().and_then(|var| match row.get(var.as_str()) {
+        Some(Value::Relationship(bound)) => Some(*bound),
+        _ => None,
+    });
+
     let mut out = Vec::new();
-    for rel_id in ctx.graph.relationship_ids() {
-        let rel = ctx.graph.relationship(rel_id);
-        let neighbour = match pattern.direction {
-            RelDirection::Outgoing => {
-                if rel.source != from {
-                    continue;
-                }
-                rel.target
-            }
-            RelDirection::Incoming => {
-                if rel.target != from {
-                    continue;
-                }
-                rel.source
-            }
-            RelDirection::Undirected => {
-                if rel.source == from {
-                    rel.target
-                } else if rel.target == from {
-                    rel.source
-                } else {
-                    continue;
-                }
-            }
+    let mut push = |entry: &crate::index::AdjEntry| -> Result<(), EvalError> {
+        let type_ok = match &type_filter {
+            TypeFilter::Any => true,
+            TypeFilter::One(id) => entry.type_id == *id,
+            TypeFilter::AnyOf(ids) => ids.contains(&entry.type_id),
         };
-        if !pattern.labels.is_empty() && !pattern.labels.contains(&rel.label) {
-            continue;
+        if !type_ok {
+            return Ok(());
         }
-        if !properties_match(ctx, row, EntityId::Relationship(rel_id), &pattern.properties)? {
-            continue;
+        if let Some(bound) = bound {
+            if bound != entry.rel {
+                return Ok(());
+            }
         }
-        // If the relationship variable is already bound, the candidate must be
-        // that exact relationship.
-        if let Some(var) = &pattern.variable {
-            if let Some(Value::Relationship(bound)) = row.get(var.as_str()) {
-                if *bound != rel_id {
-                    continue;
+        // Property-key prefilter: a pattern key the relationship does not
+        // carry can never compare `TRUE`, so skip before evaluating the
+        // (potentially row-dependent) expected values.
+        if pattern.properties.iter().any(|(key, _)| !index.rel_has_key(entry.rel, key)) {
+            return Ok(());
+        }
+        if properties_match(ctx, row, EntityId::Relationship(entry.rel), &pattern.properties)? {
+            out.push((entry.rel, entry.neighbour));
+        }
+        Ok(())
+    };
+    match pattern.direction {
+        RelDirection::Outgoing => {
+            for entry in index.outgoing(from) {
+                push(entry)?;
+            }
+        }
+        RelDirection::Incoming => {
+            for entry in index.incoming(from) {
+                push(entry)?;
+            }
+        }
+        RelDirection::Undirected => {
+            // Merge the two (relationship-id-sorted) lists so candidates come
+            // out in ascending relationship id, exactly like the scan. A
+            // self-loop appears in both lists and must be yielded once; the
+            // scan's source branch wins, so the outgoing entry is kept.
+            let outgoing = index.outgoing(from);
+            let incoming = index.incoming(from);
+            let (mut i, mut j) = (0, 0);
+            while i < outgoing.len() || j < incoming.len() {
+                let take_out = match (outgoing.get(i), incoming.get(j)) {
+                    (Some(o), Some(n)) => {
+                        if o.rel == n.rel {
+                            // Self-loop: skip the incoming copy.
+                            j += 1;
+                            true
+                        } else {
+                            o.rel < n.rel
+                        }
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if take_out {
+                    push(&outgoing[i])?;
+                    i += 1;
+                } else {
+                    push(&incoming[j])?;
+                    j += 1;
                 }
             }
         }
-        out.push((rel_id, neighbour));
     }
     Ok(out)
 }
@@ -314,11 +379,17 @@ fn violates_injectivity(
     }
 }
 
+/// Returns the nodes satisfying the node pattern's label and property
+/// constraints, in ascending node id order. Dispatches like
+/// [`candidate_relationships`].
 fn candidate_nodes(
     ctx: EvalCtx<'_>,
     row: &Row,
     pattern: &NodePattern,
 ) -> Result<Vec<NodeId>, EvalError> {
+    if ctx.scan_matching {
+        return scan::candidate_nodes(ctx, row, pattern);
+    }
     // A bound variable restricts the candidates to the bound node.
     if let Some(var) = &pattern.variable {
         match row.get(var.as_str()) {
@@ -333,9 +404,40 @@ fn candidate_nodes(
             None => {}
         }
     }
+    let index = ctx.graph.adjacency();
+    // Fast paths for the two overwhelmingly common shapes, avoiding any
+    // bitset allocation: an unconstrained pattern matches every node, and a
+    // single-label pattern is exactly that label's bitset.
+    if pattern.properties.is_empty() {
+        match pattern.labels.as_slice() {
+            [] => return Ok(ctx.graph.node_ids().collect()),
+            [label] => {
+                return Ok(match index.nodes_with_label(label) {
+                    None => Vec::new(),
+                    Some(set) => set.iter().map(NodeId).collect(),
+                })
+            }
+            _ => {}
+        }
+    }
+    // General path: label bitset intersection (`None` means some label has
+    // no node), then the property-key prefilter — the node must carry every
+    // constrained key.
+    let Some(mut candidates) = index.label_candidates(&pattern.labels) else {
+        return Ok(Vec::new());
+    };
+    for (key, _) in &pattern.properties {
+        let Some(with_key) = index.nodes_with_key(key) else {
+            return Ok(Vec::new());
+        };
+        candidates.intersect_with(with_key);
+    }
     let mut out = Vec::new();
-    for id in ctx.graph.node_ids() {
-        if node_matches(ctx, row, id, pattern)? {
+    for id in candidates.iter() {
+        let id = NodeId(id);
+        // Labels and key presence are guaranteed by the bitsets; only the
+        // property values remain to be checked.
+        if properties_match(ctx, row, EntityId::Node(id), &pattern.properties)? {
             out.push(id);
         }
     }
@@ -386,6 +488,106 @@ fn properties_match(
 fn bind_node(row: &mut Row, pattern: &NodePattern, id: NodeId) {
     if let Some(var) = &pattern.variable {
         row.insert(RowKey::from(var.as_str()), Value::Node(id));
+    }
+}
+
+/// The pre-index linear-scan candidate enumeration, kept verbatim as the
+/// baseline and differential oracle for the adjacency-indexed path (selected
+/// with [`EvalCtx::scan_matching`] / `Evaluator::scan_matching`).
+///
+/// Both paths yield identical candidates in identical (ascending
+/// relationship/node id) order, so whole-query results are identical too —
+/// including order-sensitive constructs like `LIMIT` without `ORDER BY`. One
+/// deliberate asymmetry: the indexed path prunes candidates by label and
+/// property-key bitsets *before* evaluating pattern property expressions, so
+/// an expression whose evaluation fails (e.g. an unbound `$parameter`) can
+/// error here while the indexed path returns no candidates. Supported
+/// pattern properties are literals and row lookups, which never error.
+pub mod scan {
+    use super::*;
+
+    /// Linear-scan version of the relationship-candidate enumeration: walks
+    /// every relationship of the graph and filters.
+    pub fn candidate_relationships(
+        ctx: EvalCtx<'_>,
+        row: &Row,
+        pattern: &RelationshipPattern,
+        from: NodeId,
+    ) -> Result<Vec<(RelId, NodeId)>, EvalError> {
+        let mut out = Vec::new();
+        for rel_id in ctx.graph.relationship_ids() {
+            let rel = ctx.graph.relationship(rel_id);
+            let neighbour = match pattern.direction {
+                RelDirection::Outgoing => {
+                    if rel.source != from {
+                        continue;
+                    }
+                    rel.target
+                }
+                RelDirection::Incoming => {
+                    if rel.target != from {
+                        continue;
+                    }
+                    rel.source
+                }
+                RelDirection::Undirected => {
+                    if rel.source == from {
+                        rel.target
+                    } else if rel.target == from {
+                        rel.source
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if !pattern.labels.is_empty() && !pattern.labels.contains(&rel.label) {
+                continue;
+            }
+            if !properties_match(ctx, row, EntityId::Relationship(rel_id), &pattern.properties)? {
+                continue;
+            }
+            // If the relationship variable is already bound, the candidate
+            // must be that exact relationship.
+            if let Some(var) = &pattern.variable {
+                if let Some(Value::Relationship(bound)) = row.get(var.as_str()) {
+                    if *bound != rel_id {
+                        continue;
+                    }
+                }
+            }
+            out.push((rel_id, neighbour));
+        }
+        Ok(out)
+    }
+
+    /// Linear-scan version of the node-candidate enumeration: tests every
+    /// node of the graph against the pattern.
+    pub fn candidate_nodes(
+        ctx: EvalCtx<'_>,
+        row: &Row,
+        pattern: &NodePattern,
+    ) -> Result<Vec<NodeId>, EvalError> {
+        // A bound variable restricts the candidates to the bound node.
+        if let Some(var) = &pattern.variable {
+            match row.get(var.as_str()) {
+                Some(Value::Node(id)) => {
+                    return if node_matches(ctx, row, *id, pattern)? {
+                        Ok(vec![*id])
+                    } else {
+                        Ok(vec![])
+                    };
+                }
+                Some(_) => return Ok(vec![]),
+                None => {}
+            }
+        }
+        let mut out = Vec::new();
+        for id in ctx.graph.node_ids() {
+            if node_matches(ctx, row, id, pattern)? {
+                out.push(id);
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -558,6 +760,37 @@ mod tests {
         match &rows[0]["p"] {
             Value::Path(items) => assert_eq!(items.len(), 3),
             other => panic!("expected path, got {other}"),
+        }
+    }
+
+    #[test]
+    fn indexed_and_scan_matching_agree_in_order() {
+        use crate::generator::GraphGenerator;
+        let queries = [
+            "MATCH (n) RETURN n",
+            "MATCH (n:Person) RETURN n",
+            "MATCH (n:Person {name: 'Alice'}) RETURN n",
+            "MATCH (a)-[r]->(b) RETURN a",
+            "MATCH (a)-[r:READ]->(b:Book) RETURN a",
+            "MATCH (a)<-[r:READ]-(b) RETURN a",
+            "MATCH (a)-[r]-(b) RETURN a",
+            "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1",
+            "MATCH (x)-[*1..3]->(y) RETURN y",
+            "MATCH (x)-[:KNOWS *1..2]-(y) RETURN y",
+            "MATCH (a {p1: 1})-[r {date: 1}]->(b) RETURN b",
+        ];
+        let mut graphs = vec![PropertyGraph::new(), PropertyGraph::paper_example()];
+        graphs.extend(GraphGenerator::new(0xD1FF).generate_many(12));
+        for graph in &graphs {
+            for query in queries {
+                let patterns = patterns_of(query);
+                let indexed = match_patterns(EvalCtx::new(graph), &patterns, &Row::new()).unwrap();
+                let scan_ctx = EvalCtx { scan_matching: true, ..EvalCtx::new(graph) };
+                let scanned = match_patterns(scan_ctx, &patterns, &Row::new()).unwrap();
+                // Same rows in the same order — the indexed path is a
+                // drop-in replacement, not merely bag-equivalent.
+                assert_eq!(indexed, scanned, "matching diverged on {query} over {graph}");
+            }
         }
     }
 
