@@ -61,17 +61,27 @@ pub struct GateConfig {
     /// 2. the **memo-bypassed search machinery** (`search.sequential_ms`,
     ///    measured with the memo off), normalized by the same run's
     ///    scan-matcher oracle evaluation (`search.oracle_scan_ms`) so the
-    ///    ratio is insulated from machine drift, enforced individually —
-    ///    this is what catches a regression in the pools, the indexed
-    ///    evaluator, or the worker scheduling that memo replay would hide.
-    ///    Skipped (with a note) when the previous report predates these
-    ///    fields.
+    ///    ratio is insulated from machine drift, combined with the absolute
+    ///    memo-off time under the same two-view rule (the ratio alone flips
+    ///    when only the normalizer changes speed) — this is what catches a
+    ///    regression in the pools, the indexed evaluator, or the worker
+    ///    scheduling that memo replay would hide. Skipped (with a note)
+    ///    when the previous report predates these fields.
     pub stage_search: bool,
+    /// Additionally enforce the **evaluator stage** (`--stage eval`): the
+    /// flat-row evaluation time normalized by the same run's map-backed
+    /// oracle evaluation (`eval.flat_indexed_ms / eval.map_indexed_ms`, and
+    /// the same pair for the scan matcher), each combined with the absolute
+    /// flat-row time under the two-view rule. This is what catches a
+    /// regression in the row representation that the memoized end-to-end
+    /// numbers would hide. Skipped (with a note) when the previous report
+    /// predates the `eval` block.
+    pub stage_eval: bool,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { tolerance: 0.15, strict: false, stage_search: false }
+        GateConfig { tolerance: 0.15, strict: false, stage_search: false, stage_eval: false }
     }
 }
 
@@ -258,35 +268,38 @@ pub fn evaluate(current: &Json, previous: &Json, config: GateConfig) -> GateOutc
             // Memo-bypassed search machinery, normalized by the in-run scan
             // oracle (same machine, same session — drift-insulated). Only
             // when both reports carry the PR 3 search block.
-            let machinery = |report: &Json| -> Option<f64> {
+            let machinery = |report: &Json| -> Option<(f64, f64)> {
                 let sequential = report
                     .get_path(&[dataset, "search", "sequential_ms"])
                     .and_then(Json::as_f64)?;
                 let scan = report
                     .get_path(&[dataset, "search", "oracle_scan_ms"])
                     .and_then(Json::as_f64)?;
-                Some(sequential.max(SEARCH_FLOOR_MS) / scan.max(SEARCH_FLOOR_MS))
+                let sequential = sequential.max(SEARCH_FLOOR_MS);
+                Some((sequential / scan.max(SEARCH_FLOOR_MS), sequential))
             };
             match (machinery(current), machinery(previous)) {
-                (Some(current_ratio), Some(previous_ratio)) => {
-                    let v = view(
-                        "search-machinery normalized (memo off)",
-                        current_ratio,
-                        previous_ratio,
-                        config.tolerance,
-                    );
-                    let line = format!(
-                        "{dataset}: {} {:.4} -> {:.4} (limit {:.4})",
-                        v.label,
-                        v.previous,
-                        v.current,
-                        v.previous * (1.0 + config.tolerance)
-                    );
-                    if v.ok {
-                        outcome.passed.push(line);
-                    } else {
-                        outcome.failures.push(format!("regression: {line}"));
-                    }
+                (Some((current_ratio, current_ms)), Some((previous_ratio, previous_ms))) => {
+                    // Two views under the shared drift rule: the in-run
+                    // ratio can move when only the *normalizer* (the oracle
+                    // evaluation) changes speed, so a genuine machinery
+                    // regression is required to also show in the absolute
+                    // memo-off time before the gate fails.
+                    let views = Ok([
+                        view(
+                            "search-machinery normalized (memo off)",
+                            current_ratio,
+                            previous_ratio,
+                            config.tolerance,
+                        ),
+                        view(
+                            "search-machinery ms (memo off)",
+                            current_ms,
+                            previous_ms,
+                            config.tolerance,
+                        ),
+                    ]);
+                    apply_two_view_rule(&mut outcome, dataset, "search-machinery", views, config);
                 }
                 (_, None) => outcome.passed.push(format!(
                     "{dataset}: search-machinery check skipped (previous report predates the \
@@ -296,6 +309,60 @@ pub fn evaluate(current: &Json, previous: &Json, config: GateConfig) -> GateOutc
                     "{dataset}: search.sequential_ms/oracle_scan_ms missing from the current \
                      report (previous has them — the search block must not be dropped)"
                 )),
+            }
+        }
+
+        // Evaluator-stage views (`--stage eval`): flat-row evaluation
+        // normalized by the in-run map-backed oracle, for both matching
+        // paths, each under the shared two-view rule (normalized ratio +
+        // absolute flat-row time — the ratio alone flips when only the
+        // map-backed normalizer drifts). Only when both reports carry the
+        // PR 4 eval block.
+        if config.stage_eval {
+            let stage = |report: &Json, numerator: &str, denominator: &str| -> Option<(f64, f64)> {
+                let numerator =
+                    report.get_path(&[dataset, "eval", numerator]).and_then(Json::as_f64)?;
+                let denominator =
+                    report.get_path(&[dataset, "eval", denominator]).and_then(Json::as_f64)?;
+                let numerator = numerator.max(SEARCH_FLOOR_MS);
+                Some((numerator / denominator.max(SEARCH_FLOOR_MS), numerator))
+            };
+            for (what, ratio_label, ms_label, numerator, denominator) in [
+                (
+                    "eval-stage (indexed)",
+                    "eval normalized (flat/map, indexed)",
+                    "eval flat indexed ms",
+                    "flat_indexed_ms",
+                    "map_indexed_ms",
+                ),
+                (
+                    "eval-stage (scan)",
+                    "eval normalized (flat/map, scan)",
+                    "eval flat scan ms",
+                    "flat_scan_ms",
+                    "map_scan_ms",
+                ),
+            ] {
+                match (
+                    stage(current, numerator, denominator),
+                    stage(previous, numerator, denominator),
+                ) {
+                    (Some((current_ratio, current_ms)), Some((previous_ratio, previous_ms))) => {
+                        let views = Ok([
+                            view(ratio_label, current_ratio, previous_ratio, config.tolerance),
+                            view(ms_label, current_ms, previous_ms, config.tolerance),
+                        ]);
+                        apply_two_view_rule(&mut outcome, dataset, what, views, config);
+                    }
+                    (_, None) => outcome.passed.push(format!(
+                        "{dataset}: {what} check skipped (previous report predates the eval \
+                         block)"
+                    )),
+                    (None, Some(_)) => outcome.failures.push(format!(
+                        "{dataset}: eval.{numerator}/{denominator} missing from the current \
+                         report (previous has them — the eval block must not be dropped)"
+                    )),
+                }
             }
         }
     }
@@ -563,9 +630,99 @@ mod tests {
         // Without --stage search the same regression passes silently.
         let outcome = evaluate(&with_block(12.0), &previous, GateConfig::default());
         assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // A faster oracle normalizer with unchanged machinery inflates the
+        // ratio only — the absolute view holds, so the two-view rule
+        // attributes it to the oracle speedup, not a machinery regression.
+        let faster_oracle = |sequential: f64, scan: f64| {
+            let text = format!(
+                r#"{{
+                  "cyeqset": {{
+                    "baseline_tree_sequential_ms": 50.0, "arena_parallel_ms": 10.0,
+                    "baseline_decide_only_ms": 45.0, "arena_decide_only_ms": 9.0,
+                    "equivalent": 138, "not_equivalent": 0, "unknown": 10,
+                    "search": {{"sequential_ms": {sequential}, "oracle_scan_ms": {scan}}}
+                  }},
+                  "cyneqset": {{
+                    "baseline_tree_sequential_ms": 80.0, "arena_parallel_ms": 20.0,
+                    "baseline_decide_only_ms": 72.0, "arena_decide_only_ms": 14.4,
+                    "equivalent": 0, "not_equivalent": 121, "unknown": 27,
+                    "search": {{"sequential_ms": {sequential}, "oracle_scan_ms": {scan}}}
+                  }}
+                }}"#
+            );
+            Json::parse(&text).unwrap()
+        };
+        let outcome = evaluate(&faster_oracle(4.0, 1.0), &faster_oracle(4.0, 2.0), config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
         // A current report that drops the search block is rejected.
         let dropped = report(10.0, 50.0, 20.0, 80.0);
         let outcome = evaluate(&dropped, &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("must not be dropped")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn eval_stage_view_catches_row_representation_regressions() {
+        // Identical e2e/decide numbers, but the flat-row evaluation slowed
+        // from 0.5x to 1.5x of the in-run map-backed oracle: exactly the
+        // regression the memoized end-to-end numbers hide.
+        let with_eval = |flat_indexed: f64, flat_scan: f64| {
+            let text = format!(
+                r#"{{
+                  "cyeqset": {{
+                    "baseline_tree_sequential_ms": 50.0, "arena_parallel_ms": 10.0,
+                    "baseline_decide_only_ms": 45.0, "arena_decide_only_ms": 9.0,
+                    "equivalent": 138, "not_equivalent": 0, "unknown": 10,
+                    "eval": {{"flat_indexed_ms": {flat_indexed}, "flat_scan_ms": {flat_scan},
+                             "map_indexed_ms": 4.0, "map_scan_ms": 8.0}}
+                  }},
+                  "cyneqset": {{
+                    "baseline_tree_sequential_ms": 80.0, "arena_parallel_ms": 20.0,
+                    "baseline_decide_only_ms": 72.0, "arena_decide_only_ms": 14.4,
+                    "equivalent": 0, "not_equivalent": 121, "unknown": 27,
+                    "eval": {{"flat_indexed_ms": {flat_indexed}, "flat_scan_ms": {flat_scan},
+                             "map_indexed_ms": 4.0, "map_scan_ms": 8.0}}
+                  }}
+                }}"#
+            );
+            Json::parse(&text).unwrap()
+        };
+        let previous = with_eval(2.0, 4.0);
+        let config = GateConfig { stage_eval: true, ..GateConfig::default() };
+        // Same ratios: passes.
+        let outcome = evaluate(&with_eval(2.0, 4.0), &previous, config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // Tripled indexed ratio with unchanged e2e: the individually
+        // enforced eval view must trip.
+        let outcome = evaluate(&with_eval(6.0, 4.0), &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("eval-stage") && f.contains("indexed")),
+            "{:?}",
+            outcome.failures
+        );
+        // A scan-only regression trips its own view.
+        let outcome = evaluate(&with_eval(2.0, 12.0), &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("eval-stage") && f.contains("scan")),
+            "{:?}",
+            outcome.failures
+        );
+        // Without --stage eval the same regression passes silently.
+        let outcome = evaluate(&with_eval(6.0, 12.0), &previous, GateConfig::default());
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // A previous report without the block (e.g. BENCH_pr3.json) skips
+        // the check instead of failing.
+        let outcome = evaluate(&with_eval(2.0, 4.0), &report(10.0, 50.0, 20.0, 80.0), config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        assert!(outcome.passed.iter().any(|line| line.contains("skipped")));
+        // A current report that drops the block is rejected.
+        let outcome = evaluate(&report(10.0, 50.0, 20.0, 80.0), &previous, config);
         assert!(!outcome.is_pass());
         assert!(
             outcome.failures.iter().any(|f| f.contains("must not be dropped")),

@@ -48,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cypher_parser::ast::Query;
-use property_graph::{evaluate_query, GeneratorConfig, GraphGenerator, PropertyGraph};
+use property_graph::{Evaluator, GeneratorConfig, GraphGenerator, PreparedQuery, PropertyGraph};
 
 use crate::verdict::Counterexample;
 
@@ -235,24 +235,126 @@ struct WitnessSummary {
 /// resolves its pool without re-deriving the vocabulary from the ASTs.
 type SearchMemoValue = (Option<WitnessSummary>, Arc<GeneratorConfig>);
 
+/// One memoized search with its last-access stamp (the LRU recency signal,
+/// mirroring the summand carry-over's stamping in `liastar`).
+struct MemoEntry {
+    value: SearchMemoValue,
+    stamp: u64,
+}
+
+/// The capacity-bounded LRU memo of completed searches. Without the bound
+/// the memo grows one entry per distinct query pair and is only evicted by
+/// the wholesale arena-budget reset — fine for the benchmark datasets,
+/// unbounded for a service proving a diverse query stream (the ROADMAP
+/// "search-memo eviction policy" item).
+struct SearchMemo {
+    entries: HashMap<SearchMemoKey, MemoEntry>,
+    /// Monotonic access clock stamping entries on every hit and insert.
+    clock: u64,
+    /// Maximum entry count; inserts beyond it evict in LRU order.
+    capacity: usize,
+}
+
+impl SearchMemo {
+    fn new() -> Self {
+        SearchMemo { entries: HashMap::new(), clock: 0, capacity: DEFAULT_SEARCH_MEMO_CAPACITY }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `key`, refreshing its recency stamp on a hit.
+    fn get(&mut self, key: &SearchMemoKey) -> Option<SearchMemoValue> {
+        let stamp = self.tick();
+        let entry = self.entries.get_mut(key)?;
+        entry.stamp = stamp;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts `key`, evicting the least recently used entries first when
+    /// the table is full. Eviction drops a *batch* (a quarter of the
+    /// capacity, at least one) so a saturated memo pays the O(n) stamp scan
+    /// once per batch instead of once per insert.
+    fn insert(&mut self, key: SearchMemoKey, value: SearchMemoValue) {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            let to_evict = (self.capacity / 4).max(1);
+            let mut stamps: Vec<u64> = self.entries.values().map(|entry| entry.stamp).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[(to_evict - 1).min(stamps.len() - 1)];
+            let before = self.entries.len();
+            self.entries.retain(|_, entry| entry.stamp > cutoff);
+            SEARCH_MEMO_EVICTIONS
+                .fetch_add((before - self.entries.len()) as u64, Ordering::Relaxed);
+        }
+        let stamp = self.tick();
+        self.entries.insert(key, MemoEntry { value, stamp });
+    }
+}
+
+/// Default capacity of the search-result memo: at a few hundred bytes per
+/// entry (two pretty-printed queries plus a summary) the bound keeps the
+/// memo in the low megabytes while comfortably covering both benchmark
+/// datasets many times over.
+const DEFAULT_SEARCH_MEMO_CAPACITY: usize = 4096;
+
 /// Completed searches, process-wide. This is the oracle-layer analog of the
 /// decide stage's SMT formula cache: a service re-certifying the same pair
 /// replays the verdict from the memo instead of re-evaluating hundreds of
 /// graphs. Replay is sound because every ingredient is deterministic: the
 /// pool regenerates the same graph at the same index, and the recorded row
 /// counts are what evaluation would produce again (debug builds do re-run
-/// [`check`] and assert it). Eviction rides the pool cache
+/// [`check`] and assert it). Eviction is two-tier: the LRU capacity bound
+/// (see [`SearchMemo`]) plus the wholesale reset riding the pool cache
 /// ([`clear_pool_cache`]).
-static SEARCH_MEMO: OnceLock<Mutex<HashMap<SearchMemoKey, SearchMemoValue>>> = OnceLock::new();
+static SEARCH_MEMO: OnceLock<Mutex<SearchMemo>> = OnceLock::new();
+
+fn search_memo() -> &'static Mutex<SearchMemo> {
+    SEARCH_MEMO.get_or_init(|| Mutex::new(SearchMemo::new()))
+}
 
 /// Hit counter of the search-result memo.
 static SEARCH_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 /// Miss counter of the search-result memo.
 static SEARCH_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+/// LRU eviction counter of the search-result memo (entries dropped by the
+/// capacity bound; wholesale [`clear_pool_cache`] resets are not counted).
+static SEARCH_MEMO_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide hit/miss counters of the search-result memo.
 pub fn search_memo_stats() -> (u64, u64) {
     (SEARCH_MEMO_HITS.load(Ordering::Relaxed), SEARCH_MEMO_MISSES.load(Ordering::Relaxed))
+}
+
+/// Process-wide count of entries evicted by the memo's LRU capacity bound.
+pub fn search_memo_evictions() -> u64 {
+    SEARCH_MEMO_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Current entry count of the search-result memo.
+pub fn search_memo_len() -> usize {
+    search_memo().lock().expect("search memo poisoned").entries.len()
+}
+
+/// Reconfigures the memo's capacity (clamped to at least 1), evicting down
+/// to the new bound immediately. Returns the previous capacity so tests and
+/// service configuration hooks can restore it.
+pub fn set_search_memo_capacity(capacity: usize) -> usize {
+    let mut memo = search_memo().lock().expect("search memo poisoned");
+    let previous = memo.capacity;
+    memo.capacity = capacity.max(1);
+    while memo.entries.len() > memo.capacity {
+        let oldest = memo
+            .entries
+            .iter()
+            .min_by_key(|(_, entry)| entry.stamp)
+            .map(|(key, _)| key.clone())
+            .expect("non-empty memo");
+        memo.entries.remove(&oldest);
+        SEARCH_MEMO_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+    previous
 }
 
 fn search_memo_key(q1: &Query, q2: &Query, config: &SearchConfig) -> SearchMemoKey {
@@ -282,10 +384,7 @@ fn replay_memoized_search(
     if !config.use_memo {
         return None;
     }
-    let (outcome, vocabulary) = {
-        let memo = SEARCH_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
-        memo.lock().expect("search memo poisoned").get(key).cloned()
-    }?;
+    let (outcome, vocabulary) = search_memo().lock().expect("search memo poisoned").get(key)?;
     SEARCH_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
     match outcome {
         None => Some(None),
@@ -295,13 +394,13 @@ fn replay_memoized_search(
                 PoolKey { random_graphs: config.random_graphs, seed: config.seed, vocabulary };
             let graph = pool_graph(&shared_pool(&pool_key, config), summary.pool_index)?;
             debug_assert!(
-                check(q1, q2, &graph, summary.pool_index).is_some_and(|fresh| {
+                check_queries(q1, q2, &graph, summary.pool_index).is_some_and(|fresh| {
                     (fresh.left_rows, fresh.right_rows) == (summary.left_rows, summary.right_rows)
                 }),
                 "memoized witness no longer witnesses — determinism violated"
             );
             Some(Some(Counterexample {
-                graph: (*graph).clone(),
+                graph,
                 left_rows: summary.left_rows,
                 right_rows: summary.right_rows,
                 pool_index: summary.pool_index,
@@ -325,8 +424,7 @@ fn memoize_search(
         left_rows: example.left_rows,
         right_rows: example.right_rows,
     });
-    let memo = SEARCH_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
-    memo.lock().expect("search memo poisoned").insert(key, (summary, vocabulary));
+    search_memo().lock().expect("search memo poisoned").insert(key, (summary, vocabulary));
 }
 
 /// Drops every cached candidate pool and interned vocabulary, process-wide.
@@ -345,7 +443,7 @@ pub fn clear_pool_cache() {
         interner.lock().expect("interner poisoned").clear();
     }
     if let Some(memo) = SEARCH_MEMO.get() {
-        memo.lock().expect("search memo poisoned").clear();
+        memo.lock().expect("search memo poisoned").entries.clear();
     }
     CLEAR_GENERATION.fetch_add(1, Ordering::Relaxed);
 }
@@ -365,24 +463,39 @@ static CLEAR_GENERATION: AtomicU64 = AtomicU64::new(0);
 // The search
 // ---------------------------------------------------------------------------
 
-/// Evaluates both queries on one graph; `Some` when they disagree.
+/// Evaluates both prepared queries on one graph; `Some` when they disagree.
+/// The certificate shares the pool's graph (`Arc` clone) instead of deep
+/// copying it.
 fn check(
-    q1: &Query,
-    q2: &Query,
-    graph: &PropertyGraph,
+    left: &PreparedQuery<'_>,
+    right: &PreparedQuery<'_>,
+    graph: &Arc<PropertyGraph>,
     pool_index: usize,
 ) -> Option<Counterexample> {
-    let left = evaluate_query(graph, q1).ok()?;
-    let right = evaluate_query(graph, q2).ok()?;
-    if !left.bag_equal(&right) {
+    let evaluator = Evaluator::new();
+    let left_result = evaluator.evaluate_prepared(graph, left).ok()?;
+    let right_result = evaluator.evaluate_prepared(graph, right).ok()?;
+    if !left_result.bag_equal(&right_result) {
         return Some(Counterexample {
-            graph: graph.clone(),
-            left_rows: left.len(),
-            right_rows: right.len(),
+            graph: Arc::clone(graph),
+            left_rows: left_result.len(),
+            right_rows: right_result.len(),
             pool_index,
         });
     }
     None
+}
+
+/// [`check`] for callers holding plain queries: prepares both sides first
+/// (the searches prepare once per query and amortize over the whole pool).
+fn check_queries(
+    q1: &Query,
+    q2: &Query,
+    graph: &Arc<PropertyGraph>,
+    pool_index: usize,
+) -> Option<Counterexample> {
+    let evaluator = Evaluator::new();
+    check(&evaluator.prepare(q1), &evaluator.prepare(q2), graph, pool_index)
 }
 
 /// Searches for a property graph on which the two queries disagree,
@@ -399,9 +512,12 @@ pub fn find_counterexample(
         return outcome;
     }
     let (pool, vocabulary) = pool_for(q1, q2, config);
+    // Plan both queries once; the pool can hold hundreds of graphs.
+    let evaluator = Evaluator::new();
+    let (left, right) = (evaluator.prepare(q1), evaluator.prepare(q2));
     let mut index = 0;
     while let Some(graph) = pool_graph(&pool, index) {
-        if let Some(example) = check(q1, q2, &graph, index) {
+        if let Some(example) = check(&left, &right, &graph, index) {
             memoize_search(memo_key, Some(&example), vocabulary, config);
             return Some(example);
         }
@@ -442,13 +558,16 @@ pub fn find_counterexample_parallel(
     }
     let (pool, vocabulary) = pool_for(q1, q2, config);
 
-    // Sequential prefix over the seed graphs.
+    // Sequential prefix over the seed graphs (queries planned once for the
+    // whole prefix).
+    let evaluator = Evaluator::new();
+    let (left, right) = (evaluator.prepare(q1), evaluator.prepare(q2));
     for index in 0..PARALLEL_SEQUENTIAL_PREFIX {
         let Some(graph) = pool_graph(&pool, index) else {
             memoize_search(memo_key, None, vocabulary, config);
             return None;
         };
-        if let Some(example) = check(q1, q2, &graph, index) {
+        if let Some(example) = check(&left, &right, &graph, index) {
             memoize_search(memo_key, Some(&example), vocabulary, config);
             return Some(example);
         }
@@ -460,22 +579,29 @@ pub fn find_counterexample_parallel(
     std::thread::scope(|scope| {
         // No point spawning more workers than random graphs remain.
         for _ in 0..threads.min(config.random_graphs.max(1)) {
-            scope.spawn(|| loop {
-                if found.load(Ordering::Relaxed) {
-                    break;
-                }
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(graph) = pool_graph(&pool, index) else { break };
-                if let Some(example) = check(q1, q2, &graph, index) {
-                    let mut best = best.lock().expect("witness slot poisoned");
-                    // First witness wins the race; ties across workers are
-                    // broken towards the smaller pool index so the reported
-                    // witness is deterministic.
-                    if best.as_ref().is_none_or(|b| example.pool_index < b.pool_index) {
-                        *best = Some(example);
+            scope.spawn(|| {
+                // Per-worker plans: the symbol table is single-threaded
+                // (interior `RefCell`s), so each worker prepares its own and
+                // amortizes it over every graph it draws.
+                let evaluator = Evaluator::new();
+                let (left, right) = (evaluator.prepare(q1), evaluator.prepare(q2));
+                loop {
+                    if found.load(Ordering::Relaxed) {
+                        break;
                     }
-                    found.store(true, Ordering::Relaxed);
-                    break;
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(graph) = pool_graph(&pool, index) else { break };
+                    if let Some(example) = check(&left, &right, &graph, index) {
+                        let mut best = best.lock().expect("witness slot poisoned");
+                        // First witness wins the race; ties across workers
+                        // are broken towards the smaller pool index so the
+                        // reported witness is deterministic.
+                        if best.as_ref().is_none_or(|b| example.pool_index < b.pool_index) {
+                            *best = Some(example);
+                        }
+                        found.store(true, Ordering::Relaxed);
+                        break;
+                    }
                 }
             });
         }
@@ -530,6 +656,7 @@ fn candidate_graphs(
 mod tests {
     use super::*;
     use cypher_parser::parse_query;
+    use property_graph::evaluate_query;
 
     fn search(q1: &str, q2: &str) -> Option<Counterexample> {
         find_counterexample(
@@ -682,6 +809,70 @@ mod tests {
         assert_eq!(first.pool_index, replayed.pool_index);
         assert_eq!(first.graph, replayed.graph);
         assert_eq!((first.left_rows, first.right_rows), (replayed.left_rows, replayed.right_rows));
+    }
+
+    /// Tests that reconfigure the (process-global) memo capacity serialize
+    /// here so their bound assertions cannot observe each other's settings.
+    static MEMO_CAPACITY_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn search_memo_capacity_bound_evicts_lru() {
+        let _serial = MEMO_CAPACITY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let q1 = parse_query("MATCH (n:Person) RETURN n").unwrap();
+        let q2 = parse_query("MATCH (n:Book) RETURN n").unwrap();
+        let previous_capacity = set_search_memo_capacity(3);
+        let evictions_before = search_memo_evictions();
+        // Six distinct memo keys (the key includes the seed) through a
+        // 3-entry memo: the bound must hold and evictions must happen. The
+        // pair is separated by the deterministic paper graph, so each search
+        // is cheap.
+        for seed in 0..6 {
+            let config = SearchConfig { random_graphs: 2, seed, use_memo: true };
+            assert!(find_counterexample(&q1, &q2, &config).is_some());
+        }
+        assert!(
+            search_memo_len() <= 3,
+            "memo exceeded its capacity bound: {} entries",
+            search_memo_len()
+        );
+        assert!(
+            search_memo_evictions() > evictions_before,
+            "saturating the memo must evict LRU entries"
+        );
+        // The most recently inserted key survives eviction and replays from
+        // the memo. (A concurrently running eviction/clear test can drop the
+        // entry between searches; retry like the replay test does — each
+        // miss re-inserts, so a hit must become observable.)
+        let config = SearchConfig { random_graphs: 2, seed: 5, use_memo: true };
+        let mut hit = false;
+        for _ in 0..5 {
+            let (hits_before, _) = search_memo_stats();
+            assert!(find_counterexample(&q1, &q2, &config).is_some());
+            if search_memo_stats().0 > hits_before {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "no search hit the memo in five attempts");
+        set_search_memo_capacity(previous_capacity);
+    }
+
+    #[test]
+    fn shrinking_the_memo_capacity_evicts_down_immediately() {
+        let _serial = MEMO_CAPACITY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let q1 = parse_query("MATCH (n:Cat) RETURN n").unwrap();
+        let q2 = parse_query("MATCH (n:Dog) RETURN n").unwrap();
+        let previous_capacity = set_search_memo_capacity(8);
+        for seed in 100..104 {
+            let config = SearchConfig { random_graphs: 2, seed, use_memo: true };
+            let _ = find_counterexample(&q1, &q2, &config);
+        }
+        set_search_memo_capacity(1);
+        assert!(search_memo_len() <= 1);
+        // Capacity is clamped to at least one entry.
+        set_search_memo_capacity(0);
+        let restored = set_search_memo_capacity(previous_capacity);
+        assert_eq!(restored, 1);
     }
 
     #[test]

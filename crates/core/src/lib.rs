@@ -82,6 +82,12 @@ pub struct CacheStats {
     pub disjoint_hits: u64,
     /// Misses of the `liastar` pairwise-disjointness cache.
     pub disjoint_misses: u64,
+    /// Hits of the counterexample search-result memo.
+    pub search_memo_hits: u64,
+    /// Misses of the counterexample search-result memo.
+    pub search_memo_misses: u64,
+    /// Entries dropped by the search-result memo's LRU capacity bound.
+    pub search_memo_evictions: u64,
     /// Peak node count of any hash-consed arena during the run.
     pub peak_arena_nodes: usize,
     /// How many times a worker evicted its thread-local caches because the
@@ -103,6 +109,11 @@ impl CacheStats {
     /// Hit rate of the disjointness cache in `[0, 1]` (0 when unused).
     pub fn disjoint_hit_rate(&self) -> f64 {
         hit_rate(self.disjoint_hits, self.disjoint_misses)
+    }
+
+    /// Hit rate of the search-result memo in `[0, 1]` (0 when unused).
+    pub fn search_memo_hit_rate(&self) -> f64 {
+        hit_rate(self.search_memo_hits, self.search_memo_misses)
     }
 }
 
@@ -262,6 +273,8 @@ impl GraphQE {
     {
         let smt_before = smt::formula_cache_stats();
         let liastar_before = liastar::cache_counters();
+        let memo_before = counterexample::search_memo_stats();
+        let memo_evictions_before = counterexample::search_memo_evictions();
         // Scope the peak metric to this run: interning bumps the global
         // counter, and workers fold in their arena size after every pair so
         // warm arenas (which intern nothing new) are still counted.
@@ -349,6 +362,10 @@ impl GraphQE {
             disjoint_misses: liastar_after
                 .disjoint_misses
                 .saturating_sub(liastar_before.disjoint_misses),
+            search_memo_hits: counterexample::search_memo_stats().0.saturating_sub(memo_before.0),
+            search_memo_misses: counterexample::search_memo_stats().1.saturating_sub(memo_before.1),
+            search_memo_evictions: counterexample::search_memo_evictions()
+                .saturating_sub(memo_evictions_before),
             peak_arena_nodes: gexpr::arena::peak_node_count(),
             epoch_resets: epoch_resets.load(Ordering::Relaxed) as u64,
         };

@@ -1,6 +1,7 @@
 //! Prover verdicts, proof statistics and failure categories.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use liastar::DecisionStats;
@@ -54,8 +55,10 @@ pub struct ProofStats {
 /// A concrete graph on which the two queries return different results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
-    /// The differing property graph.
-    pub graph: PropertyGraph,
+    /// The differing property graph. Shared (`Arc`) with the candidate pool
+    /// it came from: certifying and replaying a witness hands out references
+    /// into the pool instead of deep-copying the graph per certificate.
+    pub graph: Arc<PropertyGraph>,
     /// Number of rows the first query returned.
     pub left_rows: usize,
     /// Number of rows the second query returned.

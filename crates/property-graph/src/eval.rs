@@ -13,7 +13,7 @@ use cypher_parser::ast::{
     UnionKind, WithClause,
 };
 
-use crate::expr::{eval_expr, eval_predicate, EvalCtx, Row, RowKey};
+use crate::expr::{eval_expr, eval_predicate, EvalCtx, Row, SymbolTable};
 use crate::graph::PropertyGraph;
 use crate::matching::match_clause;
 use crate::value::Value;
@@ -129,6 +129,33 @@ pub struct Evaluator {
     /// Use the linear-scan candidate enumeration ([`crate::matching::scan`])
     /// instead of the adjacency index (see [`crate::expr::EvalCtx`]).
     pub scan_matching: bool,
+    /// Evaluate with the map-backed row representation instead of flat
+    /// interned-symbol rows (see [`crate::expr::Row`]). The two
+    /// representations produce identical results; the flag exists for
+    /// differential testing and baseline benchmarking, mirroring
+    /// `scan_matching`.
+    pub map_rows: bool,
+}
+
+/// A query bound to its plan-time [`SymbolTable`]: prepare once, evaluate
+/// over many graphs. The counterexample search evaluates the same query over
+/// a pool of hundreds of graphs; preparing amortizes the AST walk and name
+/// interning across the whole pool instead of paying them per graph.
+pub struct PreparedQuery<'q> {
+    query: &'q Query,
+    symbols: SymbolTable,
+}
+
+impl<'q> PreparedQuery<'q> {
+    /// The underlying query.
+    pub fn query(&self) -> &'q Query {
+        self.query
+    }
+
+    /// The plan-time symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
 }
 
 impl Evaluator {
@@ -137,14 +164,36 @@ impl Evaluator {
         Evaluator::default()
     }
 
-    /// Evaluates a query over a property graph.
-    pub fn evaluate(&self, graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
+    /// Plan time: interns every name the query can bind or reference, so
+    /// evaluation-time lookups are hash probes over a warm table and row
+    /// keys are dense u32 ids. The result can be evaluated over any number
+    /// of graphs with [`Evaluator::evaluate_prepared`].
+    pub fn prepare<'q>(&self, query: &'q Query) -> PreparedQuery<'q> {
+        PreparedQuery { query, symbols: SymbolTable::for_query(query) }
+    }
+
+    /// Evaluates a prepared query over a property graph.
+    pub fn evaluate_prepared(
+        &self,
+        graph: &PropertyGraph,
+        prepared: &PreparedQuery<'_>,
+    ) -> Result<QueryResult, EvalError> {
         let ctx = EvalCtx {
             graph,
+            symbols: &prepared.symbols,
             max_var_length: self.max_var_length.unwrap_or(graph.relationship_count() as u32),
             scan_matching: self.scan_matching,
+            map_rows: self.map_rows,
         };
-        evaluate_union_query(ctx, query, vec![Row::new()], true)
+        evaluate_union_query(ctx, prepared.query, vec![Row::for_ctx(ctx)], true)
+    }
+
+    /// Evaluates a query over a property graph (one-shot). Names intern on
+    /// demand — the plan-time AST walk of [`Evaluator::prepare`] only pays
+    /// off when a prepared query is reused across many graphs, so one-shot
+    /// evaluation skips it.
+    pub fn evaluate(&self, graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
+        self.evaluate_prepared(graph, &PreparedQuery { query, symbols: SymbolTable::new() })
     }
 }
 
@@ -157,6 +206,15 @@ pub fn evaluate_query(graph: &PropertyGraph, query: &Query) -> Result<QueryResul
 /// differential oracle for the indexed evaluator.
 pub fn evaluate_query_scan(graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
     Evaluator { scan_matching: true, ..Evaluator::new() }.evaluate(graph, query)
+}
+
+/// [`evaluate_query`] forced onto the map-backed row representation — the
+/// differential oracle for the flat interned-symbol rows.
+pub fn evaluate_query_map_rows(
+    graph: &PropertyGraph,
+    query: &Query,
+) -> Result<QueryResult, EvalError> {
+    Evaluator { map_rows: true, ..Evaluator::new() }.evaluate(graph, query)
 }
 
 /// Evaluates a (possibly `UNION`-combined) query starting from the given
@@ -202,15 +260,34 @@ fn evaluate_union_query(
 }
 
 fn dedupe_result(result: QueryResult) -> QueryResult {
-    let mut seen: Vec<Vec<Value>> = Vec::new();
-    let mut rows = Vec::new();
-    for row in result.rows {
-        if !seen.iter().any(|s| cmp_rows(s, &row) == Ordering::Equal) {
-            seen.push(row.clone());
-            rows.push(row);
+    let rows = dedup_first_occurrence(result.rows, |a, b| cmp_rows(a, b));
+    QueryResult { columns: result.columns, rows }
+}
+
+/// Keeps the first occurrence of every distinct element under the total
+/// order `cmp`, preserving input order: sort indices by `(element, index)`,
+/// mark the leader of every run of equal elements, then filter by the mark.
+/// O(n log n) comparisons and no element clones — this replaces the
+/// quadratic scan-over-`seen` dedup (which additionally cloned every kept
+/// element into `seen`) used by `UNION`, `DISTINCT` and the
+/// distinct-aggregate paths.
+fn dedup_first_occurrence<T>(mut items: Vec<T>, cmp: impl Fn(&T, &T) -> Ordering) -> Vec<T> {
+    if items.len() <= 1 {
+        return items;
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_unstable_by(|&a, &b| cmp(&items[a], &items[b]).then(a.cmp(&b)));
+    let mut keep = vec![false; items.len()];
+    let mut leader: Option<usize> = None;
+    for &index in &order {
+        if leader.is_none_or(|l| cmp(&items[l], &items[index]) != Ordering::Equal) {
+            keep[index] = true;
+            leader = Some(index);
         }
     }
-    QueryResult { columns: result.columns, rows }
+    let mut keep = keep.into_iter();
+    items.retain(|_| keep.next().expect("mask covers every element"));
+    items
 }
 
 fn evaluate_single(
@@ -232,15 +309,11 @@ fn evaluate_single(
                         Value::Null => {}
                         Value::List(items) => {
                             for item in items {
-                                let mut extended = row.clone();
-                                extended.insert(RowKey::from(u.alias.as_str()), item);
-                                next.push(extended);
+                                next.push(row.with(ctx.symbols, &u.alias, item));
                             }
                         }
                         other => {
-                            let mut extended = row.clone();
-                            extended.insert(RowKey::from(u.alias.as_str()), other);
-                            next.push(extended);
+                            next.push(row.with(ctx.symbols, &u.alias, other));
                         }
                     }
                 }
@@ -270,14 +343,18 @@ fn apply_match(
     rows: Vec<Row>,
 ) -> Result<Vec<Row>, EvalError> {
     let mut next = Vec::new();
+    // Computed once per clause, not per unmatched row (it walks every
+    // pattern and allocates the name list).
+    let mut optional_variables: Option<Vec<String>> = None;
     for row in rows {
         let matches = match_clause(ctx, clause, &row)?;
         if matches.is_empty() && clause.optional {
             // OPTIONAL MATCH keeps the row, binding the pattern variables to
             // NULL (left outer join semantics).
+            let variables = optional_variables.get_or_insert_with(|| pattern_variables(clause));
             let mut extended = row.clone();
-            for name in pattern_variables(clause) {
-                extended.entry(RowKey::from(name.as_str())).or_insert(Value::Null);
+            for name in variables {
+                extended.insert_if_absent(ctx.symbols, name, Value::Null);
             }
             next.push(extended);
         } else {
@@ -318,15 +395,15 @@ fn apply_with(
     let (columns, projected) = apply_projection(ctx, &clause.projection, &rows)?;
     let mut next = Vec::new();
     for (values, env) in projected {
-        let mut row = Row::new();
+        let mut row = Row::for_ctx(ctx);
         for (name, value) in columns.iter().zip(values) {
-            row.insert(RowKey::from(name.as_str()), value);
+            row.insert(ctx.symbols, name, value);
         }
         if let Some(predicate) = &clause.where_clause {
             // The WHERE of a WITH sees both the projected names and (for
             // robustness) the pre-projection bindings.
             let mut combined = env.clone();
-            combined.extend(row.clone());
+            combined.merge_from(ctx.symbols, &row);
             if !eval_predicate(ctx, &combined, predicate)? {
                 continue;
             }
@@ -348,21 +425,28 @@ fn apply_projection(
     projection: &Projection,
     rows: &[Row],
 ) -> Result<(Vec<String>, Vec<(Vec<Value>, Row)>), EvalError> {
-    // Expand `*` into the sorted list of visible variables.
-    let items: Vec<(String, Expr)> = match &projection.items {
+    // Expand `*` into the sorted list of visible variables. Explicit items
+    // are borrowed (`Cow`) — cloning a deep expression tree per projection
+    // application was a measurable share of small-graph evaluation cost.
+    let items: Vec<(String, std::borrow::Cow<'_, Expr>)> = match &projection.items {
         ProjectionItems::Star => {
             let mut names: Vec<String> = rows
                 .iter()
-                .flat_map(|r| r.keys().map(|k| k.to_string()))
+                .flat_map(|r| r.names(ctx.symbols))
+                .map(|name| name.to_string())
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
             names.sort();
-            names.into_iter().map(|n| (n.clone(), Expr::Variable(n))).collect()
+            names
+                .into_iter()
+                .map(|n| (n.clone(), std::borrow::Cow::Owned(Expr::Variable(n))))
+                .collect()
         }
-        ProjectionItems::Items(items) => {
-            items.iter().map(|item| (item.output_name(), item.expr.clone())).collect()
-        }
+        ProjectionItems::Items(items) => items
+            .iter()
+            .map(|item| (item.output_name(), std::borrow::Cow::Borrowed(&item.expr)))
+            .collect(),
     };
     let columns: Vec<String> = items.iter().map(|(name, _)| name.clone()).collect();
 
@@ -371,14 +455,12 @@ fn apply_projection(
 
     if has_aggregate {
         // Group rows by the values of the non-aggregate items.
-        let grouping: Vec<&(String, Expr)> =
-            items.iter().filter(|(_, e)| !e.contains_aggregate()).collect();
+        let grouping: Vec<&Expr> =
+            items.iter().filter(|(_, e)| !e.contains_aggregate()).map(|(_, e)| &**e).collect();
         let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
         for row in rows {
-            let key = grouping
-                .iter()
-                .map(|(_, e)| eval_expr(ctx, row, e))
-                .collect::<Result<Vec<_>, _>>()?;
+            let key =
+                grouping.iter().map(|e| eval_expr(ctx, row, e)).collect::<Result<Vec<_>, _>>()?;
             match groups.iter_mut().find(|(k, _)| cmp_rows(k, &key) == Ordering::Equal) {
                 Some((_, members)) => members.push(row.clone()),
                 None => groups.push((key, vec![row.clone()])),
@@ -389,14 +471,14 @@ fn apply_projection(
             groups.push((Vec::new(), Vec::new()));
         }
         for (_, members) in groups {
-            let representative = members.first().cloned().unwrap_or_default();
+            let representative = members.first().cloned().unwrap_or_else(|| Row::for_ctx(ctx));
             let mut values = Vec::new();
             for (_, expr) in &items {
                 values.push(eval_with_aggregates(ctx, &members, &representative, expr)?);
             }
             let mut env = representative.clone();
             for (name, value) in columns.iter().zip(values.iter()) {
-                env.insert(RowKey::from(name.as_str()), value.clone());
+                env.insert(ctx.symbols, name, value.clone());
             }
             produced.push((values, env));
         }
@@ -408,22 +490,14 @@ fn apply_projection(
             }
             let mut env = row.clone();
             for (name, value) in columns.iter().zip(values.iter()) {
-                env.insert(RowKey::from(name.as_str()), value.clone());
+                env.insert(ctx.symbols, name, value.clone());
             }
             produced.push((values, env));
         }
     }
 
     if projection.distinct {
-        let mut seen: Vec<Vec<Value>> = Vec::new();
-        produced.retain(|(values, _)| {
-            if seen.iter().any(|s| cmp_rows(s, values) == Ordering::Equal) {
-                false
-            } else {
-                seen.push(values.clone());
-                true
-            }
-        });
+        produced = dedup_first_occurrence(produced, |(a, _), (b, _)| cmp_rows(a, b));
     }
 
     if !projection.order_by.is_empty() {
@@ -471,14 +545,12 @@ fn eval_with_aggregates(
     match expr {
         Expr::CountStar { distinct } => {
             if *distinct {
-                let mut seen: Vec<Vec<Value>> = Vec::new();
-                for row in group {
-                    let values: Vec<Value> = row.values().cloned().collect();
-                    if !seen.iter().any(|s| cmp_rows(s, &values) == Ordering::Equal) {
-                        seen.push(values);
-                    }
-                }
-                Ok(Value::Integer(seen.len() as i64))
+                // Whole-row values are extracted in *name* order so the
+                // count is identical under both row representations.
+                let value_rows: Vec<Vec<Value>> =
+                    group.iter().map(|row| row.values_by_name(ctx.symbols)).collect();
+                let distinct_rows = dedup_first_occurrence(value_rows, |a, b| cmp_rows(a, b));
+                Ok(Value::Integer(distinct_rows.len() as i64))
             } else {
                 Ok(Value::Integer(group.len() as i64))
             }
@@ -492,13 +564,7 @@ fn eval_with_aggregates(
                 }
             }
             if *distinct {
-                let mut unique: Vec<Value> = Vec::new();
-                for value in values {
-                    if !unique.iter().any(|u| u.total_cmp(&value) == Ordering::Equal) {
-                        unique.push(value);
-                    }
-                }
-                values = unique;
+                values = dedup_first_occurrence(values, |a, b| a.total_cmp(b));
             }
             Ok(compute_aggregate(*func, values))
         }
@@ -512,14 +578,14 @@ fn eval_with_aggregates(
                 Box::new(value_to_placeholder("·agg_rhs")),
             );
             let mut row = representative.clone();
-            row.insert(RowKey::from("·agg_lhs"), left);
-            row.insert(RowKey::from("·agg_rhs"), right);
+            row.insert(ctx.symbols, "·agg_lhs", left);
+            row.insert(ctx.symbols, "·agg_rhs", right);
             eval_expr(ctx, &row, &lit)
         }
         Expr::Unary(op, inner) => {
             let value = eval_with_aggregates(ctx, group, representative, inner)?;
             let mut row = representative.clone();
-            row.insert(RowKey::from("·agg"), value);
+            row.insert(ctx.symbols, "·agg", value);
             eval_expr(ctx, &row, &Expr::Unary(*op, Box::new(value_to_placeholder("·agg"))))
         }
         _ if !expr.contains_aggregate() => eval_expr(ctx, representative, expr),
@@ -559,7 +625,7 @@ fn compute_aggregate(func: Aggregate, values: Vec<Value>) -> Value {
 }
 
 fn constant_usize(ctx: EvalCtx<'_>, expr: &Expr, what: &str) -> Result<usize, EvalError> {
-    let value = eval_expr(ctx, &Row::new(), expr)?;
+    let value = eval_expr(ctx, &Row::for_ctx(ctx), expr)?;
     match value.as_integer() {
         Some(v) if v >= 0 => Ok(v as usize),
         _ => Err(EvalError::new(format!("{what} requires a non-negative integer, got {value}"))),
@@ -789,6 +855,68 @@ mod tests {
         let graph = PropertyGraph::paper_example();
         let query = parse_query("MATCH (n) RETURN n UNION ALL MATCH (n) RETURN n, n.name").unwrap();
         assert!(evaluate_query(&graph, &query).is_err());
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence_order() {
+        // The sort-based dedup must keep the output in first-occurrence
+        // order, exactly like the quadratic scan it replaced.
+        let graph = PropertyGraph::new();
+        let result = run(&graph, "UNWIND [3, 1, 3, 2, 1] AS x RETURN DISTINCT x");
+        assert_eq!(
+            result.rows,
+            vec![vec![Value::Integer(3)], vec![Value::Integer(1)], vec![Value::Integer(2)]]
+        );
+        // COLLECT(DISTINCT ...) keeps first-occurrence order too.
+        let result = run(&graph, "UNWIND [3, 1, 3, 2, 1] AS x RETURN COLLECT(DISTINCT x)");
+        assert_eq!(
+            result.rows,
+            vec![vec![Value::List(vec![Value::Integer(3), Value::Integer(1), Value::Integer(2)])]]
+        );
+        // UNION dedup: first occurrence across the combined parts.
+        let result = run(&graph, "UNWIND [2, 1] AS x RETURN x UNION UNWIND [1, 3] AS x RETURN x");
+        assert_eq!(
+            result.rows,
+            vec![vec![Value::Integer(2)], vec![Value::Integer(1)], vec![Value::Integer(3)]]
+        );
+        // COUNT(DISTINCT ...) through the same path.
+        let result = run(&graph, "UNWIND [1, 1, 2, 2, 2] AS x RETURN COUNT(DISTINCT x)");
+        assert_eq!(result.rows, vec![vec![Value::Integer(2)]]);
+    }
+
+    #[test]
+    fn distinct_separates_lossy_float_integer_collisions() {
+        // 2^53 + 1 and 2^53 as a float are different values; the lossy
+        // comparison used to merge them under DISTINCT.
+        let graph = PropertyGraph::new();
+        let result =
+            run(&graph, "UNWIND [9007199254740993, 9007199254740992.0] AS x RETURN DISTINCT x");
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn map_rows_oracle_matches_flat_rows() {
+        let graph = PropertyGraph::paper_example();
+        let queries = [
+            "MATCH (reader:Person)-[:READ]->(book:Book)<-[:WRITE]-(writer) \
+             WHERE reader.name = 'Alice' RETURN writer.name",
+            "MATCH (p:Person) RETURN p.name AS name ORDER BY p.age DESC",
+            "MATCH (n) OPTIONAL MATCH (n)-[r]->(m) RETURN n, r",
+            "MATCH (p:Person)-[:READ]->(b) RETURN b.title, COUNT(*) ORDER BY b.title",
+            "MATCH (a:Person)-[r:WRITE]->(b) RETURN *",
+            "MATCH (p:Person) WITH p.name AS name WHERE name <> 'Jack' RETURN name ORDER BY name",
+            "UNWIND [1, 2, 2, 3] AS x RETURN DISTINCT x",
+            "MATCH (n:Person) WHERE EXISTS { MATCH (n)-[:WRITE]->(b) RETURN b } RETURN n.name",
+            "MATCH (p:Person) RETURN p.name UNION MATCH (p:Person) RETURN p.name",
+            "MATCH (p:Person)-[:READ]->(b) RETURN COUNT(DISTINCT b.title)",
+        ];
+        for text in queries {
+            let query = parse_query(text).unwrap();
+            let flat = evaluate_query(&graph, &query).unwrap();
+            let map = evaluate_query_map_rows(&graph, &query).unwrap();
+            assert_eq!(flat.columns, map.columns, "columns diverged on {text}");
+            assert!(flat.ordered_equal(&map), "rows diverged on {text}:\n{flat}\n{map}");
+        }
     }
 
     #[test]

@@ -4,30 +4,408 @@
 //! involving `NULL` yield `NULL`, and `WHERE` keeps only rows whose predicate
 //! evaluates to `TRUE`.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use cypher_parser::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use cypher_parser::ast::{
+    BinaryOp, Expr, Literal, MatchClause, NodePattern, PathPattern, Projection, ProjectionItems,
+    Query, RelationshipPattern, UnaryOp, UnwindClause, WithClause,
+};
 
 use crate::eval::{evaluate_single_query_on_rows, EvalError};
+use crate::fxhash::FxHashMap;
 use crate::graph::{EntityId, PropertyGraph};
 use crate::value::{and3, not3, or3, xor3, Value};
 
-/// The key type of binding rows. Shared (`Rc<str>`) rather than owned: the
-/// pattern matcher clones the whole row at every nondeterministic binding
-/// branch, and with shared keys a row clone bumps refcounts instead of
-/// reallocating every variable name — a measurable win for the
-/// counterexample search, which evaluates queries over hundreds of graphs.
+/// The key type of the map-backed row representation. Shared (`Rc<str>`)
+/// rather than owned so a map-row clone bumps refcounts instead of
+/// reallocating every variable name (the PR 1 optimization, preserved in the
+/// differential-oracle representation).
 pub type RowKey = Rc<str>;
 
-/// A binding row: variable name → value.
-pub type Row = BTreeMap<RowKey, Value>;
+/// A dense interned symbol id: the key type of the flat row representation.
+/// Ids are assigned per [`SymbolTable`] in interning order, so a query's
+/// variables occupy a small contiguous range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u32);
+
+/// A per-query symbol table interning every variable and column name to a
+/// [`SymId`].
+///
+/// The table is built once per query run ([`SymbolTable::for_query`] walks
+/// the AST at plan time and interns every name it can see), then shared
+/// read-mostly through [`EvalCtx`]; names minted during evaluation (aggregate
+/// placeholders, `WITH`-introduced output columns that plan-time walking
+/// missed) intern on demand through the interior `RefCell`s. Interning keeps
+/// per-row key storage at 4 bytes and makes key comparison an integer
+/// compare instead of a string compare.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// `SymId.0 as usize` indexes this vector; the entry is the name.
+    names: RefCell<Vec<Rc<str>>>,
+    /// Reverse mapping, name → id. Fx-hashed: the table probes a short
+    /// string per variable reference, where SipHash would dominate.
+    ids: RefCell<FxHashMap<Rc<str>, SymId>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Creates a table pre-populated with every variable, alias and output
+    /// column name of `query` (plan-time interning). Evaluation still interns
+    /// on demand, so missing a name here costs a hash insert, never
+    /// correctness.
+    pub fn for_query(query: &Query) -> Self {
+        let table = SymbolTable::new();
+        table.intern_query(query);
+        table
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&self, name: &str) -> SymId {
+        if let Some(id) = self.ids.borrow().get(name) {
+            return *id;
+        }
+        let shared: Rc<str> = Rc::from(name);
+        let mut names = self.names.borrow_mut();
+        let id = SymId(names.len() as u32);
+        names.push(Rc::clone(&shared));
+        self.ids.borrow_mut().insert(shared, id);
+        id
+    }
+
+    /// The id of `name`, if it was ever interned. Reads (unbound-variable
+    /// lookups) must not grow the table.
+    pub fn lookup(&self, name: &str) -> Option<SymId> {
+        self.ids.borrow().get(name).copied()
+    }
+
+    /// The name interned under `id`.
+    pub fn name(&self, id: SymId) -> Rc<str> {
+        Rc::clone(&self.names.borrow()[id.0 as usize])
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.borrow().len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.borrow().is_empty()
+    }
+
+    /// Walks `query` and interns every name evaluation could bind or look
+    /// up: pattern variables, `UNWIND` aliases, projection output names, and
+    /// variable references inside expressions (including `EXISTS` subqueries,
+    /// which evaluate under the same table).
+    pub fn intern_query(&self, query: &Query) {
+        for part in &query.parts {
+            for clause in &part.clauses {
+                match clause {
+                    cypher_parser::ast::Clause::Match(m) => self.intern_match(m),
+                    cypher_parser::ast::Clause::Unwind(UnwindClause { expr, alias }) => {
+                        self.intern_expr(expr);
+                        self.intern(alias);
+                    }
+                    cypher_parser::ast::Clause::With(WithClause { projection, where_clause }) => {
+                        self.intern_projection(projection);
+                        if let Some(predicate) = where_clause {
+                            self.intern_expr(predicate);
+                        }
+                    }
+                    cypher_parser::ast::Clause::Return(projection) => {
+                        self.intern_projection(projection)
+                    }
+                }
+            }
+        }
+    }
+
+    fn intern_match(&self, clause: &MatchClause) {
+        for pattern in &clause.patterns {
+            self.intern_pattern(pattern);
+        }
+        if let Some(predicate) = &clause.where_clause {
+            self.intern_expr(predicate);
+        }
+    }
+
+    fn intern_pattern(&self, pattern: &PathPattern) {
+        if let Some(variable) = &pattern.variable {
+            self.intern(variable);
+        }
+        let intern_node = |node: &NodePattern| {
+            if let Some(variable) = &node.variable {
+                self.intern(variable);
+            }
+            for (_, expr) in &node.properties {
+                self.intern_expr(expr);
+            }
+        };
+        let intern_rel = |rel: &RelationshipPattern| {
+            if let Some(variable) = &rel.variable {
+                self.intern(variable);
+            }
+            for (_, expr) in &rel.properties {
+                self.intern_expr(expr);
+            }
+        };
+        intern_node(&pattern.start);
+        for segment in &pattern.segments {
+            intern_rel(&segment.relationship);
+            intern_node(&segment.node);
+        }
+    }
+
+    fn intern_projection(&self, projection: &Projection) {
+        if let ProjectionItems::Items(items) = &projection.items {
+            for item in items {
+                self.intern(&item.output_name());
+                self.intern_expr(&item.expr);
+            }
+        }
+        for order in &projection.order_by {
+            self.intern_expr(&order.expr);
+        }
+        if let Some(skip) = &projection.skip {
+            self.intern_expr(skip);
+        }
+        if let Some(limit) = &projection.limit {
+            self.intern_expr(limit);
+        }
+    }
+
+    fn intern_expr(&self, expr: &Expr) {
+        expr.walk(&mut |e| match e {
+            Expr::Variable(name) => {
+                self.intern(name);
+            }
+            // `Expr::walk` does not descend into EXISTS subqueries; they
+            // evaluate under the same table, so recurse explicitly.
+            Expr::Exists(subquery) => self.intern_query(subquery),
+            _ => {}
+        });
+    }
+}
+
+/// The two physical row representations (see [`Row`]).
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    /// A small vector of `(symbol, value)` entries sorted by [`SymId`]. The
+    /// default: a row clone is one allocation plus the value clones, and a
+    /// [`Row::with`] extension copies straight into a right-sized vector.
+    Flat(Vec<(SymId, Value)>),
+    /// The PR-1-era `BTreeMap` representation, preserved verbatim as the
+    /// differential oracle behind `Evaluator::map_rows` (mirroring how the
+    /// linear-scan matcher survives behind `scan_matching`).
+    Map(BTreeMap<RowKey, Value>),
+}
+
+/// A binding row: variable → value, keyed by interned [`SymId`]s in the
+/// default flat representation or by names in the map-backed oracle
+/// representation. All name-based accessors take the run's [`SymbolTable`]
+/// to resolve names; the representation chosen at row creation
+/// ([`Row::for_ctx`]) is preserved by every extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    repr: Repr,
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Row::new()
+    }
+}
+
+impl Row {
+    /// An empty flat row.
+    pub fn new() -> Self {
+        Row { repr: Repr::Flat(Vec::new()) }
+    }
+
+    /// An empty map-backed row (the differential-oracle representation).
+    pub fn new_map() -> Self {
+        Row { repr: Repr::Map(BTreeMap::new()) }
+    }
+
+    /// An empty row in the representation the context selects.
+    pub fn for_ctx(ctx: EvalCtx<'_>) -> Self {
+        if ctx.map_rows {
+            Row::new_map()
+        } else {
+            Row::new()
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Flat(entries) => entries.len(),
+            Repr::Map(map) => map.len(),
+        }
+    }
+
+    /// Returns `true` if the row has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get<'r>(&'r self, symbols: &SymbolTable, name: &str) -> Option<&'r Value> {
+        match &self.repr {
+            Repr::Flat(entries) => {
+                let id = symbols.lookup(name)?;
+                // Rows hold a handful of entries; a branch-predictable
+                // linear scan beats binary search at this size.
+                entries.iter().find(|(sym, _)| *sym == id).map(|(_, value)| value)
+            }
+            Repr::Map(map) => map.get(name),
+        }
+    }
+
+    /// Binds `name` to `value`, replacing any existing binding.
+    pub fn insert(&mut self, symbols: &SymbolTable, name: &str, value: Value) {
+        match &mut self.repr {
+            Repr::Flat(entries) => {
+                let id = symbols.intern(name);
+                match entries.binary_search_by_key(&id, |(sym, _)| *sym) {
+                    Ok(position) => entries[position].1 = value,
+                    Err(position) => entries.insert(position, (id, value)),
+                }
+            }
+            Repr::Map(map) => {
+                map.insert(RowKey::from(name), value);
+            }
+        }
+    }
+
+    /// Binds `name` to `value` only if it is not already bound (the
+    /// `OPTIONAL MATCH` null-fill).
+    pub fn insert_if_absent(&mut self, symbols: &SymbolTable, name: &str, value: Value) {
+        match &mut self.repr {
+            Repr::Flat(entries) => {
+                let id = symbols.intern(name);
+                if let Err(position) = entries.binary_search_by_key(&id, |(sym, _)| *sym) {
+                    entries.insert(position, (id, value));
+                }
+            }
+            Repr::Map(map) => {
+                map.entry(RowKey::from(name)).or_insert(value);
+            }
+        }
+    }
+
+    /// Copy-on-extend: the row plus one extra binding, built in a single
+    /// right-sized allocation instead of clone-then-insert. This is the
+    /// operation the pattern matcher performs at every nondeterministic
+    /// binding branch.
+    pub fn with(&self, symbols: &SymbolTable, name: &str, value: Value) -> Row {
+        match &self.repr {
+            Repr::Flat(entries) => {
+                let id = symbols.intern(name);
+                let position = entries.partition_point(|(sym, _)| *sym < id);
+                let mut out: Vec<(SymId, Value)> = Vec::with_capacity(entries.len() + 1);
+                out.extend_from_slice(&entries[..position]);
+                if entries.get(position).is_some_and(|(sym, _)| *sym == id) {
+                    out.push((id, value));
+                    out.extend_from_slice(&entries[position + 1..]);
+                } else {
+                    out.push((id, value));
+                    out.extend_from_slice(&entries[position..]);
+                }
+                Row { repr: Repr::Flat(out) }
+            }
+            Repr::Map(map) => {
+                let mut out = map.clone();
+                out.insert(RowKey::from(name), value);
+                Row { repr: Repr::Map(out) }
+            }
+        }
+    }
+
+    /// Merges every binding of `other` into `self` (bindings of `other`
+    /// win). Used by `WITH ... WHERE`, whose predicate sees the projected
+    /// names on top of the pre-projection environment.
+    pub fn merge_from(&mut self, symbols: &SymbolTable, other: &Row) {
+        for (name, value) in other.iter_named(symbols) {
+            self.insert(symbols, &name, value.clone());
+        }
+    }
+
+    /// Iterates the bindings as `(name, value)` pairs, in the row's internal
+    /// order (symbol order for flat rows, name order for map rows). The
+    /// iterator is a plain enum — no per-call heap allocation, this sits on
+    /// per-row paths (`WITH ... WHERE` merging, `RETURN *`).
+    pub fn iter_named<'r>(&'r self, symbols: &'r SymbolTable) -> RowIter<'r> {
+        match &self.repr {
+            Repr::Flat(entries) => RowIter(RowIterInner::Flat { entries: entries.iter(), symbols }),
+            Repr::Map(map) => RowIter(RowIterInner::Map(map.iter())),
+        }
+    }
+
+    /// The bound values in **name order** — identical across the two
+    /// representations, so representation-differential tests (and the
+    /// `COUNT(DISTINCT *)` whole-row comparison) see the same vectors.
+    pub fn values_by_name(&self, symbols: &SymbolTable) -> Vec<Value> {
+        match &self.repr {
+            Repr::Flat(entries) => {
+                let mut named: Vec<(Rc<str>, &Value)> =
+                    entries.iter().map(|(sym, value)| (symbols.name(*sym), value)).collect();
+                named.sort_by(|(a, _), (b, _)| a.cmp(b));
+                named.into_iter().map(|(_, value)| value.clone()).collect()
+            }
+            Repr::Map(map) => map.values().cloned().collect(),
+        }
+    }
+
+    /// The bound names, in the row's internal order.
+    pub fn names(&self, symbols: &SymbolTable) -> Vec<Rc<str>> {
+        self.iter_named(symbols).map(|(name, _)| name).collect()
+    }
+}
+
+/// Iterator over a row's `(name, value)` bindings (see [`Row::iter_named`]).
+pub struct RowIter<'r>(RowIterInner<'r>);
+
+enum RowIterInner<'r> {
+    Flat { entries: std::slice::Iter<'r, (SymId, Value)>, symbols: &'r SymbolTable },
+    Map(std::collections::btree_map::Iter<'r, RowKey, Value>),
+}
+
+impl<'r> Iterator for RowIter<'r> {
+    type Item = (Rc<str>, &'r Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            RowIterInner::Flat { entries, symbols } => {
+                entries.next().map(|(sym, value)| (symbols.name(*sym), value))
+            }
+            RowIterInner::Map(entries) => {
+                entries.next().map(|(key, value)| (Rc::clone(key), value))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            RowIterInner::Flat { entries, .. } => entries.size_hint(),
+            RowIterInner::Map(entries) => entries.size_hint(),
+        }
+    }
+}
 
 /// Evaluation context shared by all expression evaluations of one query run.
 #[derive(Clone, Copy)]
 pub struct EvalCtx<'g> {
     /// The property graph being queried.
     pub graph: &'g PropertyGraph,
+    /// The run's symbol table (see [`SymbolTable`]).
+    pub symbols: &'g SymbolTable,
     /// Bound on variable-length path expansion (see [`crate::eval::Evaluator`]).
     pub max_var_length: u32,
     /// Enumerate pattern candidates with the linear-scan baseline
@@ -35,12 +413,23 @@ pub struct EvalCtx<'g> {
     /// paths return identical rows in identical order; the flag exists for
     /// differential testing and baseline benchmarking.
     pub scan_matching: bool,
+    /// Evaluate with map-backed rows ([`Row::new_map`]) instead of flat
+    /// interned-symbol rows. The two representations produce identical
+    /// results; the flag exists for differential testing and baseline
+    /// benchmarking, like `scan_matching`.
+    pub map_rows: bool,
 }
 
 impl<'g> EvalCtx<'g> {
     /// Creates a context with the default variable-length bound.
-    pub fn new(graph: &'g PropertyGraph) -> Self {
-        EvalCtx { graph, max_var_length: graph.relationship_count() as u32, scan_matching: false }
+    pub fn new(graph: &'g PropertyGraph, symbols: &'g SymbolTable) -> Self {
+        EvalCtx {
+            graph,
+            symbols,
+            max_var_length: graph.relationship_count() as u32,
+            scan_matching: false,
+            map_rows: false,
+        }
     }
 }
 
@@ -48,7 +437,7 @@ impl<'g> EvalCtx<'g> {
 pub fn eval_expr(ctx: EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value, EvalError> {
     match expr {
         Expr::Literal(lit) => Ok(eval_literal(lit)),
-        Expr::Variable(name) => Ok(row.get(name.as_str()).cloned().unwrap_or(Value::Null)),
+        Expr::Variable(name) => Ok(row.get(ctx.symbols, name).cloned().unwrap_or(Value::Null)),
         Expr::Parameter(name) => Err(EvalError::new(format!(
             "unbound query parameter `${name}` (the evaluator does not take parameters)"
         ))),
@@ -296,84 +685,161 @@ mod tests {
     use crate::graph::NodeId;
     use cypher_parser::parse_expression;
 
-    fn ctx_and_row() -> (PropertyGraph, Row) {
+    fn ctx_and_row() -> (PropertyGraph, SymbolTable, Row) {
         let graph = PropertyGraph::paper_example();
+        let symbols = SymbolTable::new();
         let mut row = Row::new();
-        row.insert(RowKey::from("n"), Value::Node(NodeId(0)));
-        row.insert(RowKey::from("x"), Value::Integer(5));
-        (graph, row)
+        row.insert(&symbols, "n", Value::Node(NodeId(0)));
+        row.insert(&symbols, "x", Value::Integer(5));
+        (graph, symbols, row)
     }
 
-    fn eval(graph: &PropertyGraph, row: &Row, text: &str) -> Value {
+    fn eval(graph: &PropertyGraph, symbols: &SymbolTable, row: &Row, text: &str) -> Value {
         let expr = parse_expression(text).unwrap();
-        eval_expr(EvalCtx::new(graph), row, &expr).unwrap()
+        eval_expr(EvalCtx::new(graph, symbols), row, &expr).unwrap()
     }
 
     #[test]
     fn evaluates_property_access_and_comparison() {
-        let (graph, row) = ctx_and_row();
-        assert_eq!(eval(&graph, &row, "n.age"), Value::Integer(59));
-        assert_eq!(eval(&graph, &row, "n.age = 59"), Value::Boolean(true));
-        assert_eq!(eval(&graph, &row, "n.age > 100"), Value::Boolean(false));
-        assert_eq!(eval(&graph, &row, "n.missing = 1"), Value::Null);
-        assert_eq!(eval(&graph, &row, "n.missing IS NULL"), Value::Boolean(true));
-        assert_eq!(eval(&graph, &row, "n.age IS NOT NULL"), Value::Boolean(true));
+        let (graph, symbols, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &symbols, &row, "n.age"), Value::Integer(59));
+        assert_eq!(eval(&graph, &symbols, &row, "n.age = 59"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &symbols, &row, "n.age > 100"), Value::Boolean(false));
+        assert_eq!(eval(&graph, &symbols, &row, "n.missing = 1"), Value::Null);
+        assert_eq!(eval(&graph, &symbols, &row, "n.missing IS NULL"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &symbols, &row, "n.age IS NOT NULL"), Value::Boolean(true));
     }
 
     #[test]
     fn evaluates_arithmetic_and_logic() {
-        let (graph, row) = ctx_and_row();
-        assert_eq!(eval(&graph, &row, "x + 2 * 3"), Value::Integer(11));
-        assert_eq!(eval(&graph, &row, "x > 1 AND x < 10"), Value::Boolean(true));
-        assert_eq!(eval(&graph, &row, "x > 1 AND n.missing = 1"), Value::Null);
-        assert_eq!(eval(&graph, &row, "x < 1 AND n.missing = 1"), Value::Boolean(false));
-        assert_eq!(eval(&graph, &row, "NOT x = 5"), Value::Boolean(false));
-        assert_eq!(eval(&graph, &row, "x IN [1, 5, 9]"), Value::Boolean(true));
-        assert_eq!(eval(&graph, &row, "x IN [1, 2]"), Value::Boolean(false));
+        let (graph, symbols, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &symbols, &row, "x + 2 * 3"), Value::Integer(11));
+        assert_eq!(eval(&graph, &symbols, &row, "x > 1 AND x < 10"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &symbols, &row, "x > 1 AND n.missing = 1"), Value::Null);
+        assert_eq!(eval(&graph, &symbols, &row, "x < 1 AND n.missing = 1"), Value::Boolean(false));
+        assert_eq!(eval(&graph, &symbols, &row, "NOT x = 5"), Value::Boolean(false));
+        assert_eq!(eval(&graph, &symbols, &row, "x IN [1, 5, 9]"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &symbols, &row, "x IN [1, 2]"), Value::Boolean(false));
     }
 
     #[test]
     fn evaluates_string_predicates_and_functions() {
-        let (graph, row) = ctx_and_row();
-        assert_eq!(eval(&graph, &row, "n.name STARTS WITH 'J.'"), Value::Boolean(true));
-        assert_eq!(eval(&graph, &row, "n.name CONTAINS 'Rowling'"), Value::Boolean(true));
-        assert_eq!(eval(&graph, &row, "size('abc')"), Value::Integer(3));
-        assert_eq!(eval(&graph, &row, "coalesce(n.missing, 7)"), Value::Integer(7));
-        assert_eq!(eval(&graph, &row, "id(n)"), Value::Integer(0));
-        assert_eq!(eval(&graph, &row, "labels(n)"), Value::List(vec![Value::from("Person")]));
-        assert_eq!(eval(&graph, &row, "unknown_function(n)"), Value::Null);
+        let (graph, symbols, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &symbols, &row, "n.name STARTS WITH 'J.'"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &symbols, &row, "n.name CONTAINS 'Rowling'"), Value::Boolean(true));
+        assert_eq!(eval(&graph, &symbols, &row, "size('abc')"), Value::Integer(3));
+        assert_eq!(eval(&graph, &symbols, &row, "coalesce(n.missing, 7)"), Value::Integer(7));
+        assert_eq!(eval(&graph, &symbols, &row, "id(n)"), Value::Integer(0));
+        assert_eq!(
+            eval(&graph, &symbols, &row, "labels(n)"),
+            Value::List(vec![Value::from("Person")])
+        );
+        assert_eq!(eval(&graph, &symbols, &row, "unknown_function(n)"), Value::Null);
     }
 
     #[test]
     fn evaluates_case_and_maps_and_lists() {
-        let (graph, row) = ctx_and_row();
+        let (graph, symbols, row) = ctx_and_row();
         assert_eq!(
-            eval(&graph, &row, "CASE WHEN x > 3 THEN 'big' ELSE 'small' END"),
+            eval(&graph, &symbols, &row, "CASE WHEN x > 3 THEN 'big' ELSE 'small' END"),
             Value::from("big")
         );
-        assert_eq!(eval(&graph, &row, "{a: 1, b: 2}.b"), Value::Integer(2));
-        assert_eq!(eval(&graph, &row, "[1, 2, 3][1]"), Value::Integer(2));
-        assert_eq!(eval(&graph, &row, "head([4, 5])"), Value::Integer(4));
+        assert_eq!(eval(&graph, &symbols, &row, "{a: 1, b: 2}.b"), Value::Integer(2));
+        assert_eq!(eval(&graph, &symbols, &row, "[1, 2, 3][1]"), Value::Integer(2));
+        assert_eq!(eval(&graph, &symbols, &row, "head([4, 5])"), Value::Integer(4));
     }
 
     #[test]
     fn unbound_variables_are_null() {
-        let (graph, row) = ctx_and_row();
-        assert_eq!(eval(&graph, &row, "missing_variable"), Value::Null);
-        assert_eq!(eval(&graph, &row, "missing_variable = 1"), Value::Null);
+        let (graph, symbols, row) = ctx_and_row();
+        assert_eq!(eval(&graph, &symbols, &row, "missing_variable"), Value::Null);
+        assert_eq!(eval(&graph, &symbols, &row, "missing_variable = 1"), Value::Null);
     }
 
     #[test]
     fn parameters_are_rejected() {
-        let (graph, row) = ctx_and_row();
+        let (graph, symbols, row) = ctx_and_row();
         let expr = parse_expression("$p = 1").unwrap();
-        assert!(eval_expr(EvalCtx::new(&graph), &row, &expr).is_err());
+        assert!(eval_expr(EvalCtx::new(&graph, &symbols), &row, &expr).is_err());
     }
 
     #[test]
     fn aggregates_outside_projections_are_rejected() {
-        let (graph, row) = ctx_and_row();
+        let (graph, symbols, row) = ctx_and_row();
         let expr = parse_expression("SUM(x)").unwrap();
-        assert!(eval_expr(EvalCtx::new(&graph), &row, &expr).is_err());
+        assert!(eval_expr(EvalCtx::new(&graph, &symbols), &row, &expr).is_err());
+    }
+
+    #[test]
+    fn symbol_table_interns_densely_and_round_trips() {
+        let symbols = SymbolTable::new();
+        let a = symbols.intern("a");
+        let b = symbols.intern("b");
+        assert_eq!(a, SymId(0));
+        assert_eq!(b, SymId(1));
+        assert_eq!(symbols.intern("a"), a, "re-interning returns the same id");
+        assert_eq!(symbols.lookup("b"), Some(b));
+        assert_eq!(symbols.lookup("missing"), None);
+        assert_eq!(&*symbols.name(a), "a");
+        assert_eq!(symbols.len(), 2);
+    }
+
+    #[test]
+    fn plan_time_interning_covers_query_names() {
+        let query = cypher_parser::parse_query(
+            "MATCH p = (a:Person)-[r:READ]->(b) WHERE a.age > 1 \
+             WITH b.title AS title UNWIND [1] AS x RETURN title, x AS renamed",
+        )
+        .unwrap();
+        let symbols = SymbolTable::for_query(&query);
+        for name in ["p", "a", "r", "b", "title", "x", "renamed"] {
+            assert!(symbols.lookup(name).is_some(), "{name} not interned at plan time");
+        }
+    }
+
+    #[test]
+    fn flat_and_map_rows_behave_identically() {
+        let symbols = SymbolTable::new();
+        let mut flat = Row::new();
+        let mut map = Row::new_map();
+        for row in [&mut flat, &mut map] {
+            // Insert out of name order to exercise the sorted insert.
+            row.insert(&symbols, "z", Value::Integer(1));
+            row.insert(&symbols, "a", Value::Integer(2));
+            row.insert(&symbols, "m", Value::Integer(3));
+            row.insert(&symbols, "a", Value::Integer(4)); // replace
+            row.insert_if_absent(&symbols, "m", Value::Null); // no-op
+            row.insert_if_absent(&symbols, "q", Value::Integer(5));
+        }
+        for row in [&flat, &map] {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row.get(&symbols, "a"), Some(&Value::Integer(4)));
+            assert_eq!(row.get(&symbols, "m"), Some(&Value::Integer(3)));
+            assert_eq!(row.get(&symbols, "q"), Some(&Value::Integer(5)));
+            assert_eq!(row.get(&symbols, "missing"), None);
+        }
+        // values_by_name is the representation-independent view.
+        assert_eq!(flat.values_by_name(&symbols), map.values_by_name(&symbols));
+
+        // Copy-on-extend preserves the original and the representation.
+        let extended = flat.with(&symbols, "b", Value::Integer(9));
+        assert_eq!(flat.len(), 4);
+        assert_eq!(extended.len(), 5);
+        assert_eq!(extended.get(&symbols, "b"), Some(&Value::Integer(9)));
+        let replaced = flat.with(&symbols, "a", Value::Integer(0));
+        assert_eq!(replaced.len(), 4);
+        assert_eq!(replaced.get(&symbols, "a"), Some(&Value::Integer(0)));
+        let map_extended = map.with(&symbols, "b", Value::Integer(9));
+        assert_eq!(map_extended.values_by_name(&symbols), extended.values_by_name(&symbols));
+
+        // merge_from lets the other row's bindings win.
+        let mut merged = flat.clone();
+        let mut overlay = Row::new();
+        overlay.insert(&symbols, "a", Value::Integer(7));
+        overlay.insert(&symbols, "new", Value::Integer(8));
+        merged.merge_from(&symbols, &overlay);
+        assert_eq!(merged.get(&symbols, "a"), Some(&Value::Integer(7)));
+        assert_eq!(merged.get(&symbols, "new"), Some(&Value::Integer(8)));
+        assert_eq!(merged.len(), 5);
     }
 }

@@ -1,0 +1,101 @@
+//! A hand-rolled Fx-style hasher for the evaluator's hot hash maps.
+//!
+//! The standard library's default `SipHash` is DoS-resistant but costs tens
+//! of nanoseconds per short string — visible in the symbol table, which
+//! hashes a variable name on every row lookup and every plan-time interning
+//! step. The multiply-xor scheme below (the Firefox/rustc "FxHash" design,
+//! reimplemented because the build environment has no crates.io access)
+//! hashes short keys several times faster. It is **not** collision-resistant
+//! against adversarial keys; use it only for maps keyed by query-derived
+//! names, where an adversary can at worst slow down their own query.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier of the Fx scheme (a 64-bit golden-ratio-derived odd
+/// constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor streaming hasher; see the module docs.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let remainder = chunks.remainder();
+        if !remainder.is_empty() {
+            let mut word = [0u8; 8];
+            word[..remainder.len()].copy_from_slice(remainder);
+            // Fold the length in so "a" and "a\0" (from a hypothetical
+            // 9-byte key's tail) cannot collide trivially.
+            word[7] = remainder.len() as u8;
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add(value as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut hasher = FxHasher::default();
+        hasher.write(bytes);
+        hasher.finish()
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        let samples: Vec<&[u8]> =
+            vec![b"", b"a", b"b", b"aa", b"ab", b"n", b"n1", b"n2", b"name", b"names", b"a\0"];
+        for (i, a) in samples.iter().enumerate() {
+            for (j, b) in samples.iter().enumerate() {
+                if i != j {
+                    assert_ne!(hash_of(a), hash_of(b), "{a:?} vs {b:?} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(hash_of(b"variable"), hash_of(b"variable"));
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        map.insert("n".into(), 1);
+        assert_eq!(map.get("n"), Some(&1));
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod eval;
 pub mod expr;
+pub mod fxhash;
 pub mod generator;
 pub mod graph;
 pub mod index;
@@ -36,8 +37,11 @@ pub mod matching;
 pub mod rng;
 pub mod value;
 
-pub use eval::{evaluate_query, evaluate_query_scan, EvalError, Evaluator, QueryResult};
-pub use expr::{EvalCtx, Row};
+pub use eval::{
+    evaluate_query, evaluate_query_map_rows, evaluate_query_scan, EvalError, Evaluator,
+    PreparedQuery, QueryResult,
+};
+pub use expr::{EvalCtx, Row, SymId, SymbolTable};
 pub use generator::{GeneratorConfig, GraphGenerator};
 pub use graph::{EntityId, NodeData, NodeId, PropertyGraph, RelData, RelId};
 pub use index::{AdjacencyIndex, IdBitset};

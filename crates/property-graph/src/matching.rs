@@ -18,7 +18,7 @@ use cypher_parser::ast::{
 };
 
 use crate::eval::EvalError;
-use crate::expr::{eval_expr, EvalCtx, Row, RowKey};
+use crate::expr::{eval_expr, EvalCtx, Row, SymbolTable};
 use crate::graph::{EntityId, NodeId, RelId};
 use crate::value::Value;
 
@@ -77,7 +77,7 @@ fn match_pattern_list(
     let candidates = candidate_nodes(ctx, &row, &pattern.start)?;
     for node in candidates {
         let mut next_row = row.clone();
-        bind_node(&mut next_row, &pattern.start, node);
+        bind_node(ctx.symbols, &mut next_row, &pattern.start, node);
         let mut trace = vec![Value::Node(node)];
         let used_before = used.len();
         match_segments(
@@ -91,7 +91,7 @@ fn match_pattern_list(
             &mut |ctx, row, used, trace| {
                 let mut row = row;
                 if let Some(path_var) = &pattern.variable {
-                    row.insert(RowKey::from(path_var.as_str()), Value::Path(trace.to_vec()));
+                    row.insert(ctx.symbols, path_var, Value::Path(trace.to_vec()));
                 }
                 match_pattern_list(ctx, patterns, index + 1, row, used, results)
             },
@@ -127,19 +127,19 @@ fn match_segments(
     } else {
         let candidates = candidate_relationships(ctx, &row, rel_pattern, current)?;
         for (rel, next_node) in candidates {
-            if violates_injectivity(&row, rel_pattern, rel, used) {
+            if violates_injectivity(ctx.symbols, &row, rel_pattern, rel, used) {
                 continue;
             }
             if !node_matches(ctx, &row, next_node, &segment.node)?
-                || !node_binding_consistent(&row, &segment.node, next_node)
+                || !node_binding_consistent(ctx.symbols, &row, &segment.node, next_node)
             {
                 continue;
             }
             let mut next_row = row.clone();
             if let Some(var) = &rel_pattern.variable {
-                next_row.insert(RowKey::from(var.as_str()), Value::Relationship(rel));
+                next_row.insert(ctx.symbols, var, Value::Relationship(rel));
             }
-            bind_node(&mut next_row, &segment.node, next_node);
+            bind_node(ctx.symbols, &mut next_row, &segment.node, next_node);
             used.push(rel);
             trace.push(Value::Relationship(rel));
             trace.push(Value::Node(next_node));
@@ -191,16 +191,17 @@ fn match_var_length(
             // Try to close the pattern at this node.
             let end = frame.node;
             if node_matches(ctx, &row, end, &segment.node)?
-                && node_binding_consistent(&row, &segment.node, end)
+                && node_binding_consistent(ctx.symbols, &row, &segment.node, end)
             {
                 let mut next_row = row.clone();
                 if let Some(var) = &rel_pattern.variable {
                     next_row.insert(
-                        RowKey::from(var.as_str()),
+                        ctx.symbols,
+                        var,
                         Value::List(frame.rels.iter().map(|r| Value::Relationship(*r)).collect()),
                     );
                 }
-                bind_node(&mut next_row, &segment.node, end);
+                bind_node(ctx.symbols, &mut next_row, &segment.node, end);
                 let used_before = used.len();
                 let trace_before = trace.len();
                 for rel in &frame.rels {
@@ -281,7 +282,7 @@ fn candidate_relationships(
     };
     // If the relationship variable is already bound, the candidate must be
     // that exact relationship (checked per entry below, like the scan).
-    let bound = pattern.variable.as_ref().and_then(|var| match row.get(var.as_str()) {
+    let bound = pattern.variable.as_ref().and_then(|var| match row.get(ctx.symbols, var) {
         Some(Value::Relationship(bound)) => Some(*bound),
         _ => None,
     });
@@ -363,6 +364,7 @@ fn candidate_relationships(
 /// clause. A pattern whose variable is already bound to this very
 /// relationship refers to the same relationship and is allowed.
 fn violates_injectivity(
+    symbols: &SymbolTable,
     row: &Row,
     pattern: &RelationshipPattern,
     rel: RelId,
@@ -373,7 +375,7 @@ fn violates_injectivity(
     }
     match &pattern.variable {
         Some(var) => {
-            !matches!(row.get(var.as_str()), Some(Value::Relationship(bound)) if *bound == rel)
+            !matches!(row.get(symbols, var), Some(Value::Relationship(bound)) if *bound == rel)
         }
         None => true,
     }
@@ -392,7 +394,7 @@ fn candidate_nodes(
     }
     // A bound variable restricts the candidates to the bound node.
     if let Some(var) = &pattern.variable {
-        match row.get(var.as_str()) {
+        match row.get(ctx.symbols, var) {
             Some(Value::Node(id)) => {
                 return if node_matches(ctx, row, *id, pattern)? {
                     Ok(vec![*id])
@@ -458,9 +460,14 @@ fn node_matches(
 }
 
 /// If the node variable is already bound, the candidate must equal it.
-fn node_binding_consistent(row: &Row, pattern: &NodePattern, id: NodeId) -> bool {
+fn node_binding_consistent(
+    symbols: &SymbolTable,
+    row: &Row,
+    pattern: &NodePattern,
+    id: NodeId,
+) -> bool {
     match &pattern.variable {
-        Some(var) => match row.get(var.as_str()) {
+        Some(var) => match row.get(symbols, var) {
             Some(Value::Node(bound)) => *bound == id,
             Some(_) => false,
             None => true,
@@ -485,9 +492,9 @@ fn properties_match(
     Ok(true)
 }
 
-fn bind_node(row: &mut Row, pattern: &NodePattern, id: NodeId) {
+fn bind_node(symbols: &SymbolTable, row: &mut Row, pattern: &NodePattern, id: NodeId) {
     if let Some(var) = &pattern.variable {
-        row.insert(RowKey::from(var.as_str()), Value::Node(id));
+        row.insert(symbols, var, Value::Node(id));
     }
 }
 
@@ -549,7 +556,7 @@ pub mod scan {
             // If the relationship variable is already bound, the candidate
             // must be that exact relationship.
             if let Some(var) = &pattern.variable {
-                if let Some(Value::Relationship(bound)) = row.get(var.as_str()) {
+                if let Some(Value::Relationship(bound)) = row.get(ctx.symbols, var) {
                     if *bound != rel_id {
                         continue;
                     }
@@ -569,7 +576,7 @@ pub mod scan {
     ) -> Result<Vec<NodeId>, EvalError> {
         // A bound variable restricts the candidates to the bound node.
         if let Some(var) = &pattern.variable {
-            match row.get(var.as_str()) {
+            match row.get(ctx.symbols, var) {
                 Some(Value::Node(id)) => {
                     return if node_matches(ctx, row, *id, pattern)? {
                         Ok(vec![*id])
@@ -606,9 +613,19 @@ mod tests {
         }
     }
 
-    fn matches(graph: &PropertyGraph, query: &str) -> Vec<Row> {
+    fn matches_with_symbols(graph: &PropertyGraph, query: &str) -> (SymbolTable, Vec<Row>) {
         let patterns = patterns_of(query);
-        match_patterns(EvalCtx::new(graph), &patterns, &Row::new()).unwrap()
+        let symbols = SymbolTable::new();
+        let rows = match_patterns(EvalCtx::new(graph, &symbols), &patterns, &Row::new()).unwrap();
+        (symbols, rows)
+    }
+
+    fn matches(graph: &PropertyGraph, query: &str) -> Vec<Row> {
+        matches_with_symbols(graph, query).1
+    }
+
+    fn get<'r>(symbols: &SymbolTable, row: &'r Row, name: &str) -> &'r Value {
+        row.get(symbols, name).expect("binding expected")
     }
 
     #[test]
@@ -623,9 +640,10 @@ mod tests {
     #[test]
     fn matches_property_constrained_nodes() {
         let graph = PropertyGraph::paper_example();
-        let rows = matches(&graph, "MATCH (n:Person {name: 'Alice'}) RETURN n");
+        let (symbols, rows) =
+            matches_with_symbols(&graph, "MATCH (n:Person {name: 'Alice'}) RETURN n");
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0]["n"], Value::Node(NodeId(3)));
+        assert_eq!(*get(&symbols, &rows[0], "n"), Value::Node(NodeId(3)));
     }
 
     #[test]
@@ -643,15 +661,15 @@ mod tests {
     #[test]
     fn paper_listing_1_pattern() {
         let graph = PropertyGraph::paper_example();
-        let rows = matches(
+        let (symbols, rows) = matches_with_symbols(
             &graph,
             "MATCH (reader:Person)-[:READ]->(book:Book)<-[:WRITE]-(writer) RETURN writer",
         );
         // Jack and Alice both read the book written by Rowling.
         assert_eq!(rows.len(), 2);
         for row in &rows {
-            assert_eq!(row["writer"], Value::Node(NodeId(0)));
-            assert_eq!(row["book"], Value::Node(NodeId(1)));
+            assert_eq!(*get(&symbols, row, "writer"), Value::Node(NodeId(0)));
+            assert_eq!(*get(&symbols, row, "book"), Value::Node(NodeId(1)));
         }
     }
 
@@ -661,9 +679,10 @@ mod tests {
         // The two relationship patterns may not match the same relationship
         // (Fig. 2 discussion in the paper): p1 and p2 must be distinct readers
         // or reader/writer combinations reached through distinct relationships.
-        let rows = matches(&graph, "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1");
+        let (symbols, rows) =
+            matches_with_symbols(&graph, "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1");
         for row in &rows {
-            assert_ne!(row["x"], row["y"]);
+            assert_ne!(get(&symbols, row, "x"), get(&symbols, row, "y"));
         }
         // Pairs: (Jack,Alice), (Alice,Jack), (Rowling,Jack), (Rowling,Alice),
         // (Jack,Rowling), (Alice,Rowling) = 6.
@@ -676,14 +695,15 @@ mod tests {
         let q = parse_query("MATCH (a)-[r1]->(b) MATCH (c)-[r2]->(d) RETURN a").unwrap();
         let Clause::Match(m1) = &q.parts[0].clauses[0] else { panic!() };
         let Clause::Match(m2) = &q.parts[0].clauses[1] else { panic!() };
-        let ctx = EvalCtx::new(&graph);
+        let symbols = SymbolTable::new();
+        let ctx = EvalCtx::new(&graph, &symbols);
         let first = match_patterns(ctx, &m1.patterns, &Row::new()).unwrap();
         let mut total = 0;
         let mut same_rel = 0;
         for row in &first {
             for row2 in match_patterns(ctx, &m2.patterns, row).unwrap() {
                 total += 1;
-                if row2["r1"] == row2["r2"] {
+                if get(&symbols, &row2, "r1") == get(&symbols, &row2, "r2") {
                     same_rel += 1;
                 }
             }
@@ -731,9 +751,10 @@ mod tests {
         let rows = matches(&graph, "MATCH (x {name: 'a'})-[*0..1]->(y) RETURN y");
         assert_eq!(rows.len(), 2);
         // The relationship variable binds to the list of traversed edges.
-        let rows = matches(&graph, "MATCH (x {name: 'a'})-[r *2]->(y) RETURN r");
+        let (symbols, rows) =
+            matches_with_symbols(&graph, "MATCH (x {name: 'a'})-[r *2]->(y) RETURN r");
         assert_eq!(rows.len(), 1);
-        match &rows[0]["r"] {
+        match get(&symbols, &rows[0], "r") {
             Value::List(items) => assert_eq!(items.len(), 2),
             other => panic!("expected list, got {other}"),
         }
@@ -755,9 +776,10 @@ mod tests {
     #[test]
     fn named_paths_bind_path_values() {
         let graph = PropertyGraph::paper_example();
-        let rows = matches(&graph, "MATCH p = (a:Person)-[:WRITE]->(b) RETURN p");
+        let (symbols, rows) =
+            matches_with_symbols(&graph, "MATCH p = (a:Person)-[:WRITE]->(b) RETURN p");
         assert_eq!(rows.len(), 1);
-        match &rows[0]["p"] {
+        match get(&symbols, &rows[0], "p") {
             Value::Path(items) => assert_eq!(items.len(), 3),
             other => panic!("expected path, got {other}"),
         }
@@ -784,8 +806,12 @@ mod tests {
         for graph in &graphs {
             for query in queries {
                 let patterns = patterns_of(query);
-                let indexed = match_patterns(EvalCtx::new(graph), &patterns, &Row::new()).unwrap();
-                let scan_ctx = EvalCtx { scan_matching: true, ..EvalCtx::new(graph) };
+                // One shared symbol table, so the two runs produce rows with
+                // identical symbol ids and compare with plain equality.
+                let symbols = SymbolTable::new();
+                let indexed =
+                    match_patterns(EvalCtx::new(graph, &symbols), &patterns, &Row::new()).unwrap();
+                let scan_ctx = EvalCtx { scan_matching: true, ..EvalCtx::new(graph, &symbols) };
                 let scanned = match_patterns(scan_ctx, &patterns, &Row::new()).unwrap();
                 // Same rows in the same order — the indexed path is a
                 // drop-in replacement, not merely bag-equivalent.
@@ -799,7 +825,8 @@ mod tests {
         let graph = PropertyGraph::paper_example();
         let q = parse_query("MATCH (n:Person) WHERE n.age > 26 RETURN n").unwrap();
         let Clause::Match(m) = &q.parts[0].clauses[0] else { panic!() };
-        let rows = match_clause(EvalCtx::new(&graph), m, &Row::new()).unwrap();
+        let symbols = SymbolTable::new();
+        let rows = match_clause(EvalCtx::new(&graph, &symbols), m, &Row::new()).unwrap();
         assert_eq!(rows.len(), 2); // Rowling (59) and Alice (27).
     }
 }

@@ -11,6 +11,84 @@ use std::fmt;
 
 use crate::graph::{NodeId, RelId};
 
+/// Largest magnitude `f64` represents exactly for every integer: `2^53`.
+const EXACTLY_CONVERTIBLE: u64 = 1 << 53;
+
+/// Exact comparison of an integer of magnitude `> 2^53` with a non-NaN
+/// float, without the lossy `i as f64` round trip: `i64::MAX as f64` rounds
+/// *up* to `2^63`, so the naive conversion makes `i64::MAX` compare `Equal`
+/// to a float it is strictly below — corrupting sort order, `DISTINCT`, and
+/// the bag-equality verdicts of the counterexample oracle.
+///
+/// The float is split on `trunc()`: every finite `f64` of magnitude `> 2^53`
+/// is an integer, so the comparison reduces to integer ordering once the
+/// float is known to be inside the `i64` range. At these magnitudes the
+/// total and partial orders coincide (no `±0.0`, no NaN).
+fn cmp_int_float_wide(i: i64, f: f64) -> Ordering {
+    // 2^63 as f64, exactly representable; every i64 is strictly below it.
+    const I64_BOUND: f64 = 9_223_372_036_854_775_808.0;
+    debug_assert!(!f.is_nan() && i.unsigned_abs() > EXACTLY_CONVERTIBLE);
+    if f >= I64_BOUND {
+        return Ordering::Less;
+    }
+    if f < -I64_BOUND {
+        return Ordering::Greater;
+    }
+    // `f` is finite and in `[-2^63, 2^63)`: its truncation fits `i64`
+    // exactly (truncation of a float in that range is an integral float in
+    // the same range).
+    let truncated = f.trunc();
+    let whole = truncated as i64;
+    match i.cmp(&whole) {
+        Ordering::Equal => {
+            let fraction = f - truncated;
+            if fraction > 0.0 {
+                Ordering::Less
+            } else if fraction < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
+    }
+}
+
+/// Integer/float comparison under the *total* order: exactly-convertible
+/// integers go through [`f64::total_cmp`] (which places `-0.0` below `0.0`,
+/// keeping the mixed order transitive with the float/float total order),
+/// wider ones through [`cmp_int_float_wide`], and NaN sorts the way
+/// `total_cmp` sorts it — negative NaN below every number, positive NaN
+/// above.
+fn cmp_int_float_total(i: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        if f.is_sign_negative() {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        }
+    } else if i.unsigned_abs() <= EXACTLY_CONVERTIBLE {
+        (i as f64).total_cmp(&f)
+    } else {
+        cmp_int_float_wide(i, f)
+    }
+}
+
+/// Integer/float comparison under the *partial* (Cypher comparison) order:
+/// exactly-convertible integers go through [`f64::partial_cmp`] — NOT
+/// `total_cmp`, so `0 = -0.0` stays `Equal` as IEEE (and the float/float
+/// comparison path) has it — wider ones through [`cmp_int_float_wide`], and
+/// NaN compares with nothing.
+fn cmp_int_float_partial(i: i64, f: f64) -> Option<Ordering> {
+    if f.is_nan() {
+        None
+    } else if i.unsigned_abs() <= EXACTLY_CONVERTIBLE {
+        (i as f64).partial_cmp(&f)
+    } else {
+        Some(cmp_int_float_wide(i, f))
+    }
+}
+
 /// A runtime value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -75,8 +153,12 @@ impl Value {
             return None;
         }
         match (self, other) {
-            (Value::Integer(a), Value::Float(b)) => Some((*a as f64) == *b),
-            (Value::Float(a), Value::Integer(b)) => Some(*a == (*b as f64)),
+            (Value::Integer(a), Value::Float(b)) => {
+                Some(cmp_int_float_partial(*a, *b) == Some(Ordering::Equal))
+            }
+            (Value::Float(a), Value::Integer(b)) => {
+                Some(cmp_int_float_partial(*b, *a) == Some(Ordering::Equal))
+            }
             (Value::List(a), Value::List(b)) => {
                 if a.len() != b.len() {
                     return Some(false);
@@ -108,8 +190,10 @@ impl Value {
         match (self, other) {
             (Value::Integer(a), Value::Integer(b)) => Some(a.cmp(b)),
             (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
-            (Value::Integer(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
-            (Value::Float(a), Value::Integer(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Integer(a), Value::Float(b)) => cmp_int_float_partial(*a, *b),
+            (Value::Float(a), Value::Integer(b)) => {
+                cmp_int_float_partial(*b, *a).map(Ordering::reverse)
+            }
             (Value::String(a), Value::String(b)) => Some(a.cmp(b)),
             (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
             _ => None,
@@ -137,8 +221,8 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
-            (Value::Integer(a), Value::Float(b)) => (*a as f64).total_cmp(b),
-            (Value::Float(a), Value::Integer(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Integer(a), Value::Float(b)) => cmp_int_float_total(*a, *b),
+            (Value::Float(a), Value::Integer(b)) => cmp_int_float_total(*b, *a).reverse(),
             (Value::String(a), Value::String(b)) => a.cmp(b),
             (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
             (Value::Node(a), Value::Node(b)) => a.cmp(b),
@@ -417,6 +501,128 @@ mod tests {
                 let ab = a.total_cmp(b);
                 let ba = b.total_cmp(a);
                 assert_eq!(ab, ba.reverse(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_integer_float_comparison_is_exact() {
+        // `i64::MAX as f64` rounds up to 2^63, so the lossy conversion used
+        // to call these Equal; the exact comparison must not.
+        let two_to_63 = 9_223_372_036_854_775_808.0_f64;
+        assert_eq!(Value::Integer(i64::MAX).cypher_eq(&Value::Float(two_to_63)), Some(false));
+        assert_eq!(
+            Value::Integer(i64::MAX).cypher_cmp(&Value::Float(two_to_63)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Integer(i64::MAX).total_cmp(&Value::Float(two_to_63)), Ordering::Less);
+        assert_eq!(Value::Float(two_to_63).total_cmp(&Value::Integer(i64::MAX)), Ordering::Greater);
+
+        // 2^53 + 1 is the smallest positive integer f64 cannot represent:
+        // the conversion rounds it down to 2^53.
+        let exact_boundary = 1_i64 << 53;
+        let boundary_float = exact_boundary as f64;
+        assert_eq!(
+            Value::Integer(exact_boundary + 1).cypher_eq(&Value::Float(boundary_float)),
+            Some(false)
+        );
+        assert_eq!(
+            Value::Integer(exact_boundary + 1).total_cmp(&Value::Float(boundary_float)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(boundary_float).cypher_cmp(&Value::Integer(exact_boundary + 1)),
+            Some(Ordering::Less)
+        );
+        // The representable neighbour still compares Equal.
+        assert_eq!(
+            Value::Integer(exact_boundary).cypher_eq(&Value::Float(boundary_float)),
+            Some(true)
+        );
+        assert_eq!(
+            Value::Integer(exact_boundary).total_cmp(&Value::Float(boundary_float)),
+            Ordering::Equal
+        );
+
+        // i64::MIN is -2^63, exactly representable: Equal on the nose, and
+        // anything below it compares Greater.
+        assert_eq!(Value::Integer(i64::MIN).cypher_eq(&Value::Float(-(two_to_63))), Some(true));
+        assert_eq!(Value::Integer(i64::MIN).total_cmp(&Value::Float(-1.0e19)), Ordering::Greater);
+        assert_eq!(Value::Integer(i64::MAX).total_cmp(&Value::Float(1.0e19)), Ordering::Less);
+
+        // Fractions around a large integer order correctly.
+        assert_eq!(
+            Value::Integer(i64::MAX - 1).cypher_cmp(&Value::Float(two_to_63)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Integer(exact_boundary + 2).cypher_cmp(&Value::Float(boundary_float + 2.0)),
+            Some(Ordering::Equal)
+        );
+
+        // Infinities and NaN keep their places.
+        assert_eq!(
+            Value::Integer(i64::MAX).cypher_cmp(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Integer(i64::MIN).cypher_cmp(&Value::Float(f64::NEG_INFINITY)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Integer(i64::MAX).cypher_cmp(&Value::Float(f64::NAN)), None);
+        assert_eq!(Value::Integer(i64::MAX).cypher_eq(&Value::Float(f64::NAN)), Some(false));
+        // Total order: NaN above every number (like f64::total_cmp), and the
+        // mixed comparison stays antisymmetric.
+        assert_eq!(Value::Integer(i64::MAX).total_cmp(&Value::Float(f64::NAN)), Ordering::Less);
+        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Integer(i64::MAX)), Ordering::Greater);
+        assert_eq!(Value::Integer(i64::MIN).total_cmp(&Value::Float(-f64::NAN)), Ordering::Greater);
+    }
+
+    #[test]
+    fn negative_zero_compares_equal_to_integer_zero_in_cypher_order() {
+        // Cypher (IEEE) comparison: 0 = -0.0 — the partial order must not
+        // route through total_cmp, which separates the two zeros.
+        assert_eq!(Value::Integer(0).cypher_eq(&Value::Float(-0.0)), Some(true));
+        assert_eq!(Value::Float(-0.0).cypher_eq(&Value::Integer(0)), Some(true));
+        assert_eq!(Value::Integer(0).cypher_cmp(&Value::Float(-0.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(-0.0).cypher_cmp(&Value::Integer(0)), Some(Ordering::Equal));
+        // The float/float path agrees, keeping cypher_cmp transitive.
+        assert_eq!(Value::Float(-0.0).cypher_cmp(&Value::Float(0.0)), Some(Ordering::Equal));
+        // The *total* order deliberately separates them (like
+        // f64::total_cmp), consistently with the float/float total order.
+        assert_eq!(Value::Integer(0).total_cmp(&Value::Float(-0.0)), Ordering::Greater);
+        assert_eq!(Value::Float(-0.0).total_cmp(&Value::Integer(0)), Ordering::Less);
+        assert_eq!(Value::Float(-0.0).total_cmp(&Value::Float(0.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn mixed_numeric_total_order_is_transitive_on_boundary_samples() {
+        let samples = [
+            Value::Integer(i64::MIN),
+            Value::Float(-(9_223_372_036_854_775_808.0)),
+            Value::Integer(-(1 << 53) - 1),
+            Value::Float(-0.5),
+            Value::Integer(0),
+            Value::Float(0.0),
+            Value::Integer((1 << 53) + 1),
+            Value::Float(9_007_199_254_740_992.0), // 2^53
+            Value::Integer(i64::MAX),
+            Value::Float(9_223_372_036_854_775_808.0), // 2^63
+            Value::Float(f64::INFINITY),
+        ];
+        for a in &samples {
+            assert_eq!(a.total_cmp(a), Ordering::Equal, "{a}");
+            for b in &samples {
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse(), "{a} vs {b}");
+                for c in &samples {
+                    if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
+                        assert_ne!(
+                            a.total_cmp(c),
+                            Ordering::Greater,
+                            "transitivity violated: {a} <= {b} <= {c}"
+                        );
+                    }
+                }
             }
         }
     }

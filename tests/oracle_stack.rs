@@ -1,8 +1,12 @@
-//! Differential and determinism tests of the oracle stack (PR 3):
+//! Differential and determinism tests of the oracle stack (PRs 3 and 4):
 //!
 //! * the adjacency-indexed pattern matcher must return results identical to
 //!   the linear-scan baseline (`matching::scan`) — on generator-produced
 //!   graphs under a PRNG-driven property harness, and on every dataset pair;
+//! * the flat interned-symbol row representation must return results
+//!   identical to the map-backed baseline (`Evaluator::map_rows`) — under
+//!   the same property harness over rewritten and mutated query pairs, and
+//!   on every dataset pair;
 //! * the parallel counterexample search must reach the same verdict as the
 //!   sequential search (a witness iff one exists, not necessarily the same
 //!   graph index).
@@ -16,7 +20,8 @@ use graphqe::counterexample::{find_counterexample, find_counterexample_parallel}
 use graphqe::SearchConfig;
 use property_graph::rng::DetRng;
 use property_graph::{
-    evaluate_query, evaluate_query_scan, GeneratorConfig, GraphGenerator, PropertyGraph,
+    evaluate_query, evaluate_query_map_rows, evaluate_query_scan, Evaluator, GeneratorConfig,
+    GraphGenerator, PropertyGraph,
 };
 
 /// Evaluates `query` on `graph` through both matching paths and asserts the
@@ -112,6 +117,161 @@ fn indexed_vs_scan_differential_on_every_dataset_pair() {
         for graph in &graphs {
             assert_paths_agree(graph, &pair.left, "dataset pair, left");
             assert_paths_agree(graph, &pair.right, "dataset pair, right");
+        }
+    }
+}
+
+/// Evaluates `query` on `graph` under both row representations (flat
+/// interned-symbol rows vs the map-backed oracle) and asserts identical
+/// results — ordered equality, which subsumes the "identical sorted row
+/// bags" contract: row order is representation-independent by construction.
+fn assert_row_reprs_agree(graph: &PropertyGraph, query_text: &str, context: &str) {
+    let Ok(query) = parse_and_check(query_text) else { return };
+    let flat = evaluate_query(graph, &query);
+    let map = evaluate_query_map_rows(graph, &query);
+    match (flat, map) {
+        (Ok(flat), Ok(map)) => {
+            assert_eq!(
+                flat.columns, map.columns,
+                "row representations disagree on columns ({context}) for `{query_text}`"
+            );
+            assert!(
+                flat.ordered_equal(&map),
+                "flat and map rows diverged ({context}) on query `{query_text}` over \
+                 graph:\n{graph}\nflat: {flat}\nmap: {map}"
+            );
+            // And the sorted bags (what the counterexample oracle compares)
+            // agree too, explicitly.
+            assert_eq!(
+                flat.sorted_rows(),
+                map.sorted_rows(),
+                "sorted row bags diverged ({context}) on `{query_text}`"
+            );
+        }
+        (flat, map) => assert_eq!(
+            flat.is_err(),
+            map.is_err(),
+            "one row representation errored ({context}) on query `{query_text}`"
+        ),
+    }
+}
+
+/// Query pool for the row-representation property test: the dataset bases
+/// the rewrite/mutation machinery understands.
+const ROW_REPR_BASES: &[&str] = &[
+    "MATCH (a:Person)-[r:READ]->(b:Book) RETURN a.name, b.title",
+    "MATCH (a:Person)-[r1:READ]->(b)<-[r2:WRITE]-(c) WHERE r1 <> r2 RETURN c.name",
+    "MATCH (a)-[r]->(b) WHERE a.age > 2 AND b.age < 5 RETURN a, b",
+    "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE v.age > 1 RETURN u.name",
+    "MATCH (a:Tag)<-[x:IN]-(b) RETURN b.p1",
+    "MATCH (p:Person)-[:READ]->(b) RETURN DISTINCT b.title",
+    "MATCH (p:Person) RETURN p.name ORDER BY p.name LIMIT 2",
+    "MATCH (n) OPTIONAL MATCH (n)-[r]->(m) RETURN n, r",
+    "MATCH (p:Person)-[:READ]->(b) RETURN b.title, COUNT(*) ORDER BY b.title",
+];
+
+/// PRNG-driven property differential of the two row representations over
+/// rewritten (equivalence-preserving) and mutated (equivalence-breaking)
+/// query pairs: both sides of every pair must evaluate identically under
+/// flat and map rows, on graphs drawn from the pair's own vocabulary.
+#[test]
+fn flat_rows_match_map_rows_on_rewritten_and_mutated_pairs() {
+    let mut rng = DetRng::seed_from_u64(0xF1A7_0B5E);
+    let mut cases = 0;
+    while cases < 36 {
+        let base = ROW_REPR_BASES[rng.range_usize(0, ROW_REPR_BASES.len())];
+        // Half the cases take an equivalence-preserving rewrite, half an
+        // equivalence-breaking mutation; either way both representations
+        // must agree on both queries of the pair.
+        let variant = if rng.range_usize(0, 2) == 0 {
+            let rewrites = cyeqset::rewrite::all_rewrites(base);
+            if rewrites.is_empty() {
+                continue;
+            }
+            rewrites[rng.range_usize(0, rewrites.len())].1.clone()
+        } else {
+            match cyeqset::mutate::mutate(base, rng.range_usize(0, 5)) {
+                Some((_, mutated)) => mutated,
+                None => continue,
+            }
+        };
+        cases += 1;
+        let seed = rng.next_u64();
+        let (Ok(q1), Ok(q2)) = (parse_and_check(base), parse_and_check(&variant)) else {
+            continue;
+        };
+        let vocabulary = GeneratorConfig::from_queries(&[&q1, &q2]);
+        let mut graphs = vec![PropertyGraph::paper_example()];
+        graphs.extend(GraphGenerator::with_config(seed, vocabulary).generate_many(3));
+        for graph in &graphs {
+            let context = format!("graph seed {seed}");
+            assert_row_reprs_agree(graph, base, &context);
+            assert_row_reprs_agree(graph, &variant, &context);
+        }
+    }
+}
+
+/// The acceptance-criterion suite for the flat rows: for **every** pair of
+/// both datasets, both queries evaluate identically under the flat and
+/// map-backed row representations over graphs drawn from the pair's own
+/// vocabulary — and the scan-matching combination agrees as well, so the
+/// evaluator's two differential axes (matching path × row representation)
+/// are covered together.
+#[test]
+fn flat_vs_map_rows_differential_on_every_dataset_pair() {
+    let pairs: Vec<_> = cyeqset::cyeqset().into_iter().chain(cyeqset::cyneqset()).collect();
+    assert!(pairs.len() > 250, "datasets unexpectedly small: {}", pairs.len());
+    for pair in &pairs {
+        let (Ok(q1), Ok(q2)) = (parse_and_check(&pair.left), parse_and_check(&pair.right)) else {
+            continue;
+        };
+        let vocabulary = GeneratorConfig::from_queries(&[&q1, &q2]);
+        let mut graphs = vec![PropertyGraph::new(), PropertyGraph::paper_example()];
+        graphs.extend(GraphGenerator::with_config(0xF1A7, vocabulary.clone()).generate_many(3));
+        graphs.extend(
+            GraphGenerator::with_config(
+                0xF1A7 + 1,
+                GeneratorConfig { max_nodes: 9, max_relationships: 16, ..vocabulary },
+            )
+            .generate_many(2),
+        );
+        for graph in &graphs {
+            assert_row_reprs_agree(graph, &pair.left, "dataset pair, left");
+            assert_row_reprs_agree(graph, &pair.right, "dataset pair, right");
+        }
+    }
+}
+
+/// The four evaluator configurations (matching path × row representation)
+/// all agree on a query mix that exercises every row operation.
+#[test]
+fn all_four_evaluator_configurations_agree() {
+    let queries = [
+        "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1, p2",
+        "MATCH (x)-[*1..3]->(y) RETURN y",
+        "MATCH p = (a)-[:READ]->(b) RETURN p",
+        "MATCH (n) RETURN DISTINCT n.p1",
+        "MATCH (a)-[r]->(b) WHERE a.age > 2 RETURN a.name, b.p1 ORDER BY a.name",
+        "UNWIND [1, 2, 2] AS x RETURN x, COUNT(*)",
+    ];
+    let mut graphs = vec![PropertyGraph::paper_example()];
+    graphs.extend(GraphGenerator::new(0x4C0_FFEE).generate_many(6));
+    for graph in &graphs {
+        for text in queries {
+            let Ok(query) = parse_and_check(text) else { continue };
+            let reference = evaluate_query(graph, &query).unwrap();
+            for scan_matching in [false, true] {
+                for map_rows in [false, true] {
+                    let result = Evaluator { scan_matching, map_rows, ..Evaluator::new() }
+                        .evaluate(graph, &query)
+                        .unwrap();
+                    assert!(
+                        reference.ordered_equal(&result),
+                        "configuration (scan={scan_matching}, map={map_rows}) diverged \
+                         on `{text}` over {graph}"
+                    );
+                }
+            }
         }
     }
 }
