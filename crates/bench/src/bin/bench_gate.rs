@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
-//! Compares the freshly produced `BENCH_pr4.json` against the committed
-//! previous report (`BENCH_pr3.json` by default) and exits non-zero when the
+//! Compares the freshly produced `BENCH_pr5.json` against the committed
+//! previous report (`BENCH_pr4.json` by default) and exits non-zero when the
 //! end-to-end time regressed by more than 15% or any verdict count changed
 //! (CyEqSet must stay at the paper's 138/148 proved pairs).
 //!
@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict]
-//!            [--stage search] [--stage eval]
+//!            [--stage search] [--stage eval] [--stage parse]
 //! ```
 //!
 //! The performance comparison evaluates both a baseline-normalized view
@@ -21,8 +21,9 @@
 //! decide-only from both reports) under the same rule, so search-only
 //! regressions are caught like decide-only ones. `--stage eval` enforces the
 //! evaluator stage (flat-row evaluation normalized by the in-run map-backed
-//! oracle). The `--stage` flag repeats. See `graphqe_bench::gate` for the
-//! exact rules.
+//! oracle) and `--stage parse` the stage-① parse cache (warm parse
+//! normalized by the in-run cold parse). The `--stage` flag repeats. See
+//! `graphqe_bench::gate` for the exact rules.
 
 use graphqe_bench::gate::{evaluate, GateConfig};
 use graphqe_bench::json::Json;
@@ -35,8 +36,8 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        current: "BENCH_pr4.json".to_string(),
-        previous: "BENCH_pr3.json".to_string(),
+        current: "BENCH_pr5.json".to_string(),
+        previous: "BENCH_pr4.json".to_string(),
         config: GateConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -63,13 +64,18 @@ fn parse_args() -> Result<Args, String> {
                 match stage.as_str() {
                     "search" => args.config.stage_search = true,
                     "eval" => args.config.stage_eval = true,
-                    other => return Err(format!("unknown stage {other} (expected: search, eval)")),
+                    "parse" => args.config.stage_parse = true,
+                    other => {
+                        return Err(format!(
+                            "unknown stage {other} (expected: search, eval, parse)"
+                        ))
+                    }
                 }
             }
             "--help" | "-h" => {
                 println!(
                     "bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict] \
-                     [--stage search] [--stage eval]"
+                     [--stage search] [--stage eval] [--stage parse]"
                 );
                 std::process::exit(0);
             }
@@ -103,13 +109,14 @@ fn main() {
     };
 
     println!(
-        "bench_gate: {} vs {} (tolerance {:.0}%{}{}{})",
+        "bench_gate: {} vs {} (tolerance {:.0}%{}{}{}{})",
         args.current,
         args.previous,
         args.config.tolerance * 100.0,
         if args.config.strict { ", strict" } else { ", drift-robust" },
         if args.config.stage_search { ", search stage enforced" } else { "" },
         if args.config.stage_eval { ", eval stage enforced" } else { "" },
+        if args.config.stage_parse { ", parse stage enforced" } else { "" },
     );
     let outcome = evaluate(&current, &previous, args.config);
     for line in &outcome.passed {

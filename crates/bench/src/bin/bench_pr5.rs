@@ -1,0 +1,689 @@
+//! PR 5 performance benchmark: the compiled SymId-native query plans, the
+//! stage-① parse cache and the per-thread query-plan cache, measured
+//! against the paper-faithful tree baseline over the full CyEqSet and
+//! CyNeqSet datasets.
+//!
+//! Writes `BENCH_pr5.json` in the `BENCH_pr4.json` schema — so `bench_gate`
+//! and future PRs can compare reports field by field — extended with:
+//!
+//! * a **parse block** per dataset: the cold (cache-bypassing) and warm
+//!   (cache-hit) stage-① time over every pair text, plus the parse-cache
+//!   hit/miss counters of the timed optimized runs — what `bench_gate
+//!   --stage parse` enforces across reports;
+//! * **compiled-vs-interpreted eval timings** in the eval block
+//!   (`interp_indexed_ms` / `interp_scan_ms`: the name-resolving AST
+//!   interpreter over flat rows, next to the pr4 flat/map × indexed/scan
+//!   grid whose default path is now the compiled plan layer);
+//! * parse- and plan-cache counters in the cache block.
+//!
+//! The baseline prover bypasses the parse cache (like it bypasses the
+//! search memo), so it keeps paying the real stage-① cost every sample.
+//! Exits non-zero if any pipeline ever disagrees on a verdict.
+
+use std::time::{Duration, Instant};
+
+use cyeqset::{cyeqset, cyneqset, QueryPair};
+use cypher_normalizer::normalize_query;
+use cypher_parser::parse_and_check;
+use graphqe::counterexample::{find_counterexample, find_counterexample_parallel};
+use graphqe::{CacheStats, GraphQE, SearchConfig, Verdict};
+use graphqe_bench::{run_pairs_report, table3_rows, PairResult};
+use liastar::{check_equivalence_with_opts, DecideOptions};
+use property_graph::{
+    evaluate_query, evaluate_query_scan, Evaluator, GraphGenerator, PropertyGraph,
+};
+
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1000.0
+}
+
+/// Minimum wall-clock of three samples of `measured` — the same
+/// least-contaminated-estimate rationale as `timed_runs`, applied to the
+/// search-stage measurements the gate enforces across reports.
+fn min_of_samples(mut measured: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            measured();
+            ms(start.elapsed())
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Times each pipeline stage separately over the dataset (sequentially, so
+/// per-stage numbers are comparable across runs and against the committed
+/// `BENCH_pr2.json`).
+fn stage_breakdown(pairs: &[QueryPair]) -> Vec<(&'static str, f64)> {
+    let mut parse = Duration::ZERO;
+    let mut rules = Duration::ZERO;
+    let mut build = Duration::ZERO;
+    let mut decide_tree = Duration::ZERO;
+    let mut decide_arena = Duration::ZERO;
+    for pair in pairs {
+        let start = Instant::now();
+        let parsed1 = parse_and_check(&pair.left);
+        let parsed2 = parse_and_check(&pair.right);
+        parse += start.elapsed();
+        let (Ok(q1), Ok(q2)) = (parsed1, parsed2) else { continue };
+
+        let start = Instant::now();
+        let n1 = normalize_query(&q1);
+        let n2 = normalize_query(&q2);
+        rules += start.elapsed();
+
+        let start = Instant::now();
+        let built1 = gexpr::build_query(&n1);
+        let built2 = gexpr::build_query(&n2);
+        build += start.elapsed();
+        let (Ok(b1), Ok(b2)) = (built1, built2) else { continue };
+
+        let start = Instant::now();
+        let tree = check_equivalence_with_opts(
+            &b1.expr,
+            &b2.expr,
+            DecideOptions { tree_normalizer: true },
+        );
+        decide_tree += start.elapsed();
+
+        let start = Instant::now();
+        let arena = check_equivalence_with_opts(
+            &b1.expr,
+            &b2.expr,
+            DecideOptions { tree_normalizer: false },
+        );
+        decide_arena += start.elapsed();
+        assert_eq!(tree.0, arena.0, "decide mismatch on {} vs {}", pair.left, pair.right);
+    }
+    vec![
+        ("parse_check", ms(parse)),
+        ("rule_normalize", ms(rules)),
+        ("gexpr_build", ms(build)),
+        ("decide_tree", ms(decide_tree)),
+        ("decide_arena", ms(decide_arena)),
+    ]
+}
+
+/// Search-stage measurements over the pairs the prover actually searches
+/// (those whose verdict is not EQUIVALENT), plus the scan-vs-indexed oracle
+/// evaluation micro-comparison over a fixed graph set.
+struct SearchStage {
+    /// Sequential (lazy) search over all searched pairs, warm pools.
+    sequential_ms: f64,
+    /// Parallel search over the same pairs (identical on a 1-core machine).
+    parallel_ms: f64,
+    /// Evaluating every pair's two queries over the fixed graph set with the
+    /// linear-scan matcher.
+    oracle_scan_ms: f64,
+    /// The same evaluations through the adjacency index.
+    oracle_indexed_ms: f64,
+    /// Pool index of every witness discovered by the main run, in pair
+    /// order. The distribution shows how early the pool separates pairs.
+    witness_indices: Vec<usize>,
+    /// Search-result memo hits/misses over the optimized timed runs.
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+/// The fixed oracle workload shared by the search- and eval-stage
+/// measurements: one graph pool and one parsed copy of every dataset pair,
+/// built once per dataset run.
+struct OracleWorkload {
+    graphs: Vec<PropertyGraph>,
+    parsed: Vec<(cypher_parser::ast::Query, cypher_parser::ast::Query)>,
+}
+
+impl OracleWorkload {
+    fn new(pairs: &[QueryPair]) -> Self {
+        let mut graphs = vec![PropertyGraph::new(), PropertyGraph::paper_example()];
+        graphs.extend(GraphGenerator::new(0xBEEF).generate_many(16));
+        let parsed = pairs
+            .iter()
+            .filter_map(|pair| {
+                Some((parse_and_check(&pair.left).ok()?, parse_and_check(&pair.right).ok()?))
+            })
+            .collect();
+        OracleWorkload { graphs, parsed }
+    }
+}
+
+fn search_stage(
+    pairs: &[QueryPair],
+    results: &[PairResult],
+    workload: &OracleWorkload,
+    threads: usize,
+) -> SearchStage {
+    let witness_indices: Vec<usize> = results
+        .iter()
+        .filter_map(|r| match &r.verdict {
+            Verdict::NotEquivalent(example) => Some(example.pool_index),
+            _ => None,
+        })
+        .collect();
+
+    // The searched pairs: everything the decision stage could not prove.
+    let searched: Vec<(_, _)> = pairs
+        .iter()
+        .zip(results)
+        .filter(|(_, r)| !r.verdict.is_equivalent())
+        .filter_map(|(pair, _)| {
+            Some((parse_and_check(&pair.left).ok()?, parse_and_check(&pair.right).ok()?))
+        })
+        .collect();
+    // Memo bypassed: these timings must measure the search machinery itself
+    // (pool iteration, evaluation, worker scheduling), not memo replay.
+    // Pools stay shared/warm, which is what both variants see in steady
+    // state. Each measurement takes the minimum of several samples, like
+    // `timed_runs` — the gate enforces the sequential/scan ratio across
+    // reports, so a single noise-inflated sample must not leak into it.
+    let config = SearchConfig { use_memo: false, ..SearchConfig::default() };
+
+    let sequential_ms = min_of_samples(|| {
+        for (q1, q2) in &searched {
+            let _ = find_counterexample(q1, q2, &config);
+        }
+    });
+    let parallel_ms = min_of_samples(|| {
+        for (q1, q2) in &searched {
+            let _ = find_counterexample_parallel(q1, q2, &config, threads.max(2));
+        }
+    });
+
+    // Scan-vs-indexed oracle evaluation over the shared fixed workload: the
+    // evaluator is what the search spends its time in, so this isolates the
+    // adjacency index's contribution from pool caching and early exits.
+    let oracle_scan_ms = min_of_samples(|| {
+        for (q1, q2) in &workload.parsed {
+            for graph in &workload.graphs {
+                let _ = evaluate_query_scan(graph, q1);
+                let _ = evaluate_query_scan(graph, q2);
+            }
+        }
+    });
+    let oracle_indexed_ms = min_of_samples(|| {
+        for (q1, q2) in &workload.parsed {
+            for graph in &workload.graphs {
+                let _ = evaluate_query(graph, q1);
+                let _ = evaluate_query(graph, q2);
+            }
+        }
+    });
+
+    SearchStage {
+        sequential_ms,
+        parallel_ms,
+        oracle_scan_ms,
+        oracle_indexed_ms,
+        witness_indices,
+        memo_hits: 0,
+        memo_misses: 0,
+    }
+}
+
+/// Eval-stage measurements: every dataset query evaluated over a fixed
+/// graph set under both row representations crossed with both matching
+/// paths. The flat/map ratios are what `bench_gate --stage eval` enforces
+/// across reports; the scan/indexed pairs additionally locate a regression
+/// (row bookkeeping vs candidate enumeration).
+struct EvalStage {
+    /// Flat interned-symbol rows, adjacency-indexed matching (the
+    /// production configuration of the counterexample oracle).
+    flat_indexed_ms: f64,
+    /// Flat rows over the linear-scan matcher.
+    flat_scan_ms: f64,
+    /// Map-backed rows (the differential oracle), indexed matching.
+    map_indexed_ms: f64,
+    /// Map-backed rows over the linear-scan matcher.
+    map_scan_ms: f64,
+    /// Flat rows through the name-resolving AST interpreter (the PR 5
+    /// differential oracle for the compiled plans), indexed matching.
+    interp_indexed_ms: f64,
+    /// The interpreter over the linear-scan matcher.
+    interp_scan_ms: f64,
+}
+
+fn eval_stage(workload: &OracleWorkload) -> EvalStage {
+    let measure = |scan_matching: bool, map_rows: bool, interpret_patterns: bool| -> f64 {
+        let evaluator =
+            Evaluator { scan_matching, map_rows, interpret_patterns, ..Evaluator::new() };
+        // Plan once per query (what the search does), so the timings compare
+        // evaluation proper — row bookkeeping and candidate enumeration —
+        // across the four configurations.
+        let prepared: Vec<_> = workload
+            .parsed
+            .iter()
+            .map(|(q1, q2)| (evaluator.prepare(q1), evaluator.prepare(q2)))
+            .collect();
+        min_of_samples(|| {
+            for (left, right) in &prepared {
+                for graph in &workload.graphs {
+                    let _ = evaluator.evaluate_prepared(graph, left);
+                    let _ = evaluator.evaluate_prepared(graph, right);
+                }
+            }
+        })
+    };
+    EvalStage {
+        flat_indexed_ms: measure(false, false, false),
+        flat_scan_ms: measure(true, false, false),
+        map_indexed_ms: measure(false, true, false),
+        map_scan_ms: measure(true, true, false),
+        interp_indexed_ms: measure(false, false, true),
+        interp_scan_ms: measure(true, false, true),
+    }
+}
+
+/// Parse-stage measurements: stage ① over every pair text of the dataset,
+/// cold (cache cleared before each sample) vs warm (every text already
+/// cached). The warm/cold ratio is what `bench_gate --stage parse`
+/// enforces; hit/miss counters come from the timed optimized runs.
+struct ParseStage {
+    cold_ms: f64,
+    warm_ms: f64,
+    /// Parse-cache hits/misses over the timed optimized runs.
+    hits: u64,
+    misses: u64,
+}
+
+fn parse_stage(pairs: &[QueryPair]) -> ParseStage {
+    let parse_all = || {
+        for pair in pairs {
+            let _ = graphqe::parse_check_cached(&pair.left);
+            let _ = graphqe::parse_check_cached(&pair.right);
+        }
+    };
+    let cold_ms = min_of_samples(|| {
+        graphqe::clear_parse_cache();
+        parse_all();
+    });
+    // Every text is now cached: the warm samples measure pure replay.
+    let warm_ms = min_of_samples(parse_all);
+    ParseStage { cold_ms, warm_ms, hits: 0, misses: 0 }
+}
+
+struct DatasetRun {
+    name: &'static str,
+    baseline_ms: f64,
+    arena_ms: f64,
+    speedup: f64,
+    /// The same comparison with the (pipeline-independent) counterexample
+    /// search disabled: the speedup of the decision stages in isolation.
+    baseline_decide_only_ms: f64,
+    arena_decide_only_ms: f64,
+    decide_only_speedup: f64,
+    equivalent: usize,
+    not_equivalent: usize,
+    unknown: usize,
+    stages: Vec<(&'static str, f64)>,
+    cache: CacheStats,
+    search: SearchStage,
+    eval: EvalStage,
+    parse: ParseStage,
+    index_builds: u64,
+    index_build_ms: f64,
+}
+
+fn classify(results: &[PairResult]) -> (usize, usize, usize) {
+    let equivalent = results.iter().filter(|r| r.verdict.is_equivalent()).count();
+    let not_equivalent = results.iter().filter(|r| r.verdict.is_not_equivalent()).count();
+    (equivalent, not_equivalent, results.len() - equivalent - not_equivalent)
+}
+
+/// Runs one configuration `SAMPLES` times after one untimed warmup run;
+/// returns the results and cache report of the last (warm) run plus the
+/// **minimum** wall-clock (the least noise-contaminated estimate on a small
+/// shared machine — see `bench_pr2` for the full rationale).
+fn timed_runs(
+    prover: &GraphQE,
+    pairs: &[QueryPair],
+    threads: usize,
+) -> (Vec<PairResult>, CacheStats, f64) {
+    const SAMPLES: usize = 5;
+    run_pairs_report(prover, pairs.to_vec(), threads); // warmup, untimed
+    let mut wall_ms = Vec::new();
+    let mut last = (Vec::new(), CacheStats::default());
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        last = run_pairs_report(prover, pairs.to_vec(), threads);
+        wall_ms.push(ms(start.elapsed()));
+    }
+    eprintln!("    samples: {wall_ms:.1?}");
+    let min = wall_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    (last.0, last.1, min)
+}
+
+fn run_dataset(name: &'static str, pairs: Vec<QueryPair>, threads: usize) -> DatasetRun {
+    property_graph::index::reset_build_stats();
+
+    // Baseline: the paper-faithful configuration — reference tree normalizer,
+    // cloning iso matcher, no decide caches, one pair at a time on one
+    // thread, and the search-result memo disabled so the baseline pays the
+    // real counterexample-search cost every sample (it still shares the
+    // graph pools, as every configuration has since PR 1).
+    let baseline_prover = GraphQE {
+        use_tree_normalizer: true,
+        search_config: SearchConfig { use_memo: false, ..SearchConfig::default() },
+        // The baseline pays the real stage-① cost every sample, like it
+        // pays the real search cost (memo off above).
+        use_parse_cache: false,
+        ..GraphQE::new()
+    };
+    let (baseline, _, baseline_ms) = timed_runs(&baseline_prover, &pairs, 1);
+
+    // Optimized pipeline: id-native decide, indexed oracle evaluation,
+    // shared pools, batched over all cores.
+    let arena_prover = GraphQE::new();
+    let memo_before = graphqe::counterexample::search_memo_stats();
+    let parse_before = graphqe::parse_cache_stats();
+    let (arena, cache, arena_ms) = timed_runs(&arena_prover, &pairs, threads);
+    let memo_after = graphqe::counterexample::search_memo_stats();
+    let parse_after = graphqe::parse_cache_stats();
+
+    // The refactor must not move a single verdict.
+    for (old, new) in baseline.iter().zip(arena.iter()) {
+        assert_eq!(
+            (old.verdict.is_equivalent(), old.verdict.is_not_equivalent()),
+            (new.verdict.is_equivalent(), new.verdict.is_not_equivalent()),
+            "verdict changed on {} vs {}",
+            old.pair.left,
+            old.pair.right,
+        );
+    }
+
+    // Same comparison without the counterexample search, which is shared by
+    // both pipelines: this isolates the speedup of the decision stages.
+    let baseline_ns = GraphQE { search_counterexamples: false, ..baseline_prover.clone() };
+    let (_, _, baseline_decide_only_ms) = timed_runs(&baseline_ns, &pairs, 1);
+    let arena_ns = GraphQE { search_counterexamples: false, ..GraphQE::new() };
+    let (_, _, arena_decide_only_ms) = timed_runs(&arena_ns, &pairs, threads);
+
+    let (index_builds, index_build) = property_graph::index::build_stats();
+    let workload = OracleWorkload::new(&pairs);
+    let mut search = search_stage(&pairs, &arena, &workload, threads);
+    search.memo_hits = memo_after.0.saturating_sub(memo_before.0);
+    search.memo_misses = memo_after.1.saturating_sub(memo_before.1);
+    let (equivalent, not_equivalent, unknown) = classify(&arena);
+    if name == "cyeqset" {
+        println!("\nTable III (compiled-plan oracle pipeline):");
+        print!("{}", graphqe_bench::format_table3(&table3_rows(&arena)));
+    }
+    let eval = eval_stage(&workload);
+    let mut parse = parse_stage(&pairs);
+    parse.hits = parse_after.0.saturating_sub(parse_before.0);
+    parse.misses = parse_after.1.saturating_sub(parse_before.1);
+    DatasetRun {
+        name,
+        baseline_ms,
+        arena_ms,
+        speedup: baseline_ms / arena_ms.max(f64::EPSILON),
+        baseline_decide_only_ms,
+        arena_decide_only_ms,
+        decide_only_speedup: baseline_decide_only_ms / arena_decide_only_ms.max(f64::EPSILON),
+        equivalent,
+        not_equivalent,
+        unknown,
+        stages: stage_breakdown(&pairs),
+        cache,
+        search,
+        eval,
+        parse,
+        index_builds,
+        index_build_ms: ms(index_build),
+    }
+}
+
+fn json_stages(stages: &[(&str, f64)]) -> String {
+    let fields: Vec<String> =
+        stages.iter().map(|(name, value)| format!("\"{name}\": {value:.3}")).collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn json_cache(cache: &CacheStats) -> String {
+    format!(
+        "{{\"smt_formula_hits\": {}, \"smt_formula_misses\": {}, \
+         \"smt_formula_hit_rate\": {:.4}, \"summand_hits\": {}, \"summand_misses\": {}, \
+         \"summand_hit_rate\": {:.4}, \"disjoint_hits\": {}, \"disjoint_misses\": {}, \
+         \"disjoint_hit_rate\": {:.4}, \"search_memo_hits\": {}, \
+         \"search_memo_misses\": {}, \"search_memo_evictions\": {}, \
+         \"parse_cache_hits\": {}, \"parse_cache_misses\": {}, \
+         \"parse_cache_evictions\": {}, \"plan_cache_hits\": {}, \
+         \"plan_cache_misses\": {}, \"plan_cache_evictions\": {}, \
+         \"epoch_resets\": {}}}",
+        cache.smt_formula_hits,
+        cache.smt_formula_misses,
+        cache.smt_formula_hit_rate(),
+        cache.summand_hits,
+        cache.summand_misses,
+        cache.summand_hit_rate(),
+        cache.disjoint_hits,
+        cache.disjoint_misses,
+        cache.disjoint_hit_rate(),
+        cache.search_memo_hits,
+        cache.search_memo_misses,
+        cache.search_memo_evictions,
+        cache.parse_cache_hits,
+        cache.parse_cache_misses,
+        cache.parse_cache_evictions,
+        cache.plan_cache_hits,
+        cache.plan_cache_misses,
+        cache.plan_cache_evictions,
+        cache.epoch_resets,
+    )
+}
+
+fn json_eval(eval: &EvalStage) -> String {
+    format!(
+        "{{\"flat_indexed_ms\": {:.3}, \"flat_scan_ms\": {:.3}, \"map_indexed_ms\": {:.3}, \
+         \"map_scan_ms\": {:.3}, \"interp_indexed_ms\": {:.3}, \"interp_scan_ms\": {:.3}}}",
+        eval.flat_indexed_ms,
+        eval.flat_scan_ms,
+        eval.map_indexed_ms,
+        eval.map_scan_ms,
+        eval.interp_indexed_ms,
+        eval.interp_scan_ms,
+    )
+}
+
+fn json_parse(parse: &ParseStage) -> String {
+    format!(
+        "{{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"hits\": {}, \"misses\": {}}}",
+        parse.cold_ms, parse.warm_ms, parse.hits, parse.misses,
+    )
+}
+
+fn json_search(run: &DatasetRun) -> String {
+    let indices: Vec<String> =
+        run.search.witness_indices.iter().map(|index| index.to_string()).collect();
+    format!(
+        "{{\"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"oracle_scan_ms\": {:.3}, \
+         \"oracle_indexed_ms\": {:.3}, \"index_builds\": {}, \"index_build_ms\": {:.3}, \
+         \"memo_hits\": {}, \"memo_misses\": {}, \"witness_indices\": [{}]}}",
+        run.search.sequential_ms,
+        run.search.parallel_ms,
+        run.search.oracle_scan_ms,
+        run.search.oracle_indexed_ms,
+        run.index_builds,
+        run.index_build_ms,
+        run.search.memo_hits,
+        run.search.memo_misses,
+        indices.join(", "),
+    )
+}
+
+fn json_dataset(run: &DatasetRun) -> String {
+    format!(
+        "{{\n    \"baseline_tree_sequential_ms\": {:.3},\n    \
+         \"arena_parallel_ms\": {:.3},\n    \"speedup\": {:.3},\n    \
+         \"baseline_decide_only_ms\": {:.3},\n    \
+         \"arena_decide_only_ms\": {:.3},\n    \"decide_only_speedup\": {:.3},\n    \
+         \"equivalent\": {},\n    \"not_equivalent\": {},\n    \"unknown\": {},\n    \
+         \"stages_ms\": {},\n    \"cache\": {},\n    \"peak_arena_nodes\": {},\n    \
+         \"search\": {},\n    \"eval\": {},\n    \"parse\": {}\n  }}",
+        run.baseline_ms,
+        run.arena_ms,
+        run.speedup,
+        run.baseline_decide_only_ms,
+        run.arena_decide_only_ms,
+        run.decide_only_speedup,
+        run.equivalent,
+        run.not_equivalent,
+        run.unknown,
+        json_stages(&run.stages),
+        json_cache(&run.cache),
+        run.cache.peak_arena_nodes,
+        json_search(run),
+        json_eval(&run.eval),
+        json_parse(&run.parse),
+    )
+}
+
+/// Prints the trajectory against the committed previous report, when present
+/// (informational — the enforced comparison is `bench_gate`'s job).
+fn print_trajectory(runs: &[&DatasetRun]) {
+    let Ok(previous_text) = std::fs::read_to_string("BENCH_pr4.json") else {
+        println!("\nno BENCH_pr4.json next to the binary; skipping trajectory");
+        return;
+    };
+    let Ok(previous) = graphqe_bench::json::Json::parse(&previous_text) else {
+        println!("\nBENCH_pr4.json is unreadable; skipping trajectory");
+        return;
+    };
+    println!("\ntrajectory vs committed BENCH_pr4.json:");
+    for run in runs {
+        let field = |name: &str| {
+            previous.get_path(&[run.name, name]).and_then(graphqe_bench::json::Json::as_f64)
+        };
+        if let Some(before) = field("arena_parallel_ms") {
+            println!(
+                "  {}: e2e {before:.1} ms -> {:.1} ms ({:.2}x)",
+                run.name,
+                run.arena_ms,
+                before / run.arena_ms.max(f64::EPSILON)
+            );
+        }
+        if let (Some(e2e), Some(decide)) =
+            (field("arena_parallel_ms"), field("arena_decide_only_ms"))
+        {
+            // Floor both sides at 0.25 ms: the subtraction of two noisy
+            // measurements can go to (or below) zero, where ratios stop
+            // meaning anything. `bench_gate` applies the same floor.
+            let before_search = (e2e - decide).max(0.25);
+            let after_search = (run.arena_ms - run.arena_decide_only_ms).max(0.25);
+            println!(
+                "  {}: search stage (e2e - decide-only) {before_search:.1} ms -> \
+                 {after_search:.1} ms ({:.2}x)",
+                run.name,
+                before_search / after_search
+            );
+        }
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("bench_pr5: {threads} worker thread(s)");
+
+    let eq = run_dataset("cyeqset", cyeqset(), threads);
+    let neq = run_dataset("cyneqset", cyneqset(), threads);
+
+    for run in [&eq, &neq] {
+        println!(
+            "\n{}: baseline {:.1} ms -> indexed oracle {:.1} ms ({:.2}x), \
+             verdicts: {} eq / {} neq / {} unknown",
+            run.name,
+            run.baseline_ms,
+            run.arena_ms,
+            run.speedup,
+            run.equivalent,
+            run.not_equivalent,
+            run.unknown
+        );
+        println!(
+            "  decide-only (no counterexample search): {:.1} ms -> {:.1} ms ({:.2}x)",
+            run.baseline_decide_only_ms, run.arena_decide_only_ms, run.decide_only_speedup
+        );
+        for (stage, stage_ms) in &run.stages {
+            println!("  stage {stage:<16} {stage_ms:>10.1} ms");
+        }
+        println!(
+            "  search: sequential {:.1} ms, parallel {:.1} ms, oracle eval scan {:.1} ms -> \
+             indexed {:.1} ms ({:.2}x), {} index builds in {:.2} ms",
+            run.search.sequential_ms,
+            run.search.parallel_ms,
+            run.search.oracle_scan_ms,
+            run.search.oracle_indexed_ms,
+            run.search.oracle_scan_ms / run.search.oracle_indexed_ms.max(f64::EPSILON),
+            run.index_builds,
+            run.index_build_ms,
+        );
+        println!(
+            "  search memo (timed optimized runs): {} hits / {} misses, {} LRU evictions \
+             process-wide",
+            run.search.memo_hits,
+            run.search.memo_misses,
+            graphqe::counterexample::search_memo_evictions(),
+        );
+        println!(
+            "  eval stage: flat indexed {:.1} ms / map indexed {:.1} ms ({:.2}x), \
+             flat scan {:.1} ms / map scan {:.1} ms ({:.2}x)",
+            run.eval.flat_indexed_ms,
+            run.eval.map_indexed_ms,
+            run.eval.map_indexed_ms / run.eval.flat_indexed_ms.max(f64::EPSILON),
+            run.eval.flat_scan_ms,
+            run.eval.map_scan_ms,
+            run.eval.map_scan_ms / run.eval.flat_scan_ms.max(f64::EPSILON),
+        );
+        println!(
+            "  compiled vs interpreted: indexed {:.1} ms vs {:.1} ms ({:.2}x), \
+             scan {:.1} ms vs {:.1} ms ({:.2}x)",
+            run.eval.flat_indexed_ms,
+            run.eval.interp_indexed_ms,
+            run.eval.interp_indexed_ms / run.eval.flat_indexed_ms.max(f64::EPSILON),
+            run.eval.flat_scan_ms,
+            run.eval.interp_scan_ms,
+            run.eval.interp_scan_ms / run.eval.flat_scan_ms.max(f64::EPSILON),
+        );
+        println!(
+            "  parse stage: cold {:.2} ms -> warm {:.2} ms ({:.1}x), \
+             {} cache hits / {} misses in the timed runs",
+            run.parse.cold_ms,
+            run.parse.warm_ms,
+            run.parse.cold_ms / run.parse.warm_ms.max(f64::EPSILON),
+            run.parse.hits,
+            run.parse.misses,
+        );
+        if !run.search.witness_indices.is_empty() {
+            let max = run.search.witness_indices.iter().max().unwrap();
+            let sum: usize = run.search.witness_indices.iter().sum();
+            println!(
+                "  witnesses: {} found, pool index mean {:.1}, max {}",
+                run.search.witness_indices.len(),
+                sum as f64 / run.search.witness_indices.len() as f64,
+                max,
+            );
+        }
+        println!(
+            "  caches (warm run): smt formula {:.0}% hit ({}h/{}m), summand {:.0}% hit \
+             ({}h/{}m), disjoint {:.0}% hit ({}h/{}m), peak arena {} nodes",
+            run.cache.smt_formula_hit_rate() * 100.0,
+            run.cache.smt_formula_hits,
+            run.cache.smt_formula_misses,
+            run.cache.summand_hit_rate() * 100.0,
+            run.cache.summand_hits,
+            run.cache.summand_misses,
+            run.cache.disjoint_hit_rate() * 100.0,
+            run.cache.disjoint_hits,
+            run.cache.disjoint_misses,
+            run.cache.peak_arena_nodes,
+        );
+    }
+    print_trajectory(&[&eq, &neq]);
+
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"cyeqset\": {},\n  \"cyneqset\": {}\n}}\n",
+        threads,
+        json_dataset(&eq),
+        json_dataset(&neq),
+    );
+    std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+    println!("\nwrote BENCH_pr5.json");
+}

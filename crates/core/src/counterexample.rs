@@ -42,14 +42,17 @@
 //! memo freezes whichever one a process reports first, so repeat
 //! certifications within a process are stable.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cypher_parser::ast::Query;
-use property_graph::{Evaluator, GeneratorConfig, GraphGenerator, PreparedQuery, PropertyGraph};
+use property_graph::{Evaluator, GeneratorConfig, GraphGenerator, PropertyGraph, QueryPlan};
 
+use crate::cache::LruMap;
 use crate::verdict::Counterexample;
 
 /// Configuration of the counterexample search.
@@ -235,69 +238,21 @@ struct WitnessSummary {
 /// resolves its pool without re-deriving the vocabulary from the ASTs.
 type SearchMemoValue = (Option<WitnessSummary>, Arc<GeneratorConfig>);
 
-/// One memoized search with its last-access stamp (the LRU recency signal,
-/// mirroring the summand carry-over's stamping in `liastar`).
-struct MemoEntry {
-    value: SearchMemoValue,
-    stamp: u64,
-}
-
-/// The capacity-bounded LRU memo of completed searches. Without the bound
-/// the memo grows one entry per distinct query pair and is only evicted by
-/// the wholesale arena-budget reset — fine for the benchmark datasets,
-/// unbounded for a service proving a diverse query stream (the ROADMAP
-/// "search-memo eviction policy" item).
-struct SearchMemo {
-    entries: HashMap<SearchMemoKey, MemoEntry>,
-    /// Monotonic access clock stamping entries on every hit and insert.
-    clock: u64,
-    /// Maximum entry count; inserts beyond it evict in LRU order.
-    capacity: usize,
-}
-
-impl SearchMemo {
-    fn new() -> Self {
-        SearchMemo { entries: HashMap::new(), clock: 0, capacity: DEFAULT_SEARCH_MEMO_CAPACITY }
-    }
-
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
-    }
-
-    /// Looks up `key`, refreshing its recency stamp on a hit.
-    fn get(&mut self, key: &SearchMemoKey) -> Option<SearchMemoValue> {
-        let stamp = self.tick();
-        let entry = self.entries.get_mut(key)?;
-        entry.stamp = stamp;
-        Some(entry.value.clone())
-    }
-
-    /// Inserts `key`, evicting the least recently used entries first when
-    /// the table is full. Eviction drops a *batch* (a quarter of the
-    /// capacity, at least one) so a saturated memo pays the O(n) stamp scan
-    /// once per batch instead of once per insert.
-    fn insert(&mut self, key: SearchMemoKey, value: SearchMemoValue) {
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            let to_evict = (self.capacity / 4).max(1);
-            let mut stamps: Vec<u64> = self.entries.values().map(|entry| entry.stamp).collect();
-            stamps.sort_unstable();
-            let cutoff = stamps[(to_evict - 1).min(stamps.len() - 1)];
-            let before = self.entries.len();
-            self.entries.retain(|_, entry| entry.stamp > cutoff);
-            SEARCH_MEMO_EVICTIONS
-                .fetch_add((before - self.entries.len()) as u64, Ordering::Relaxed);
-        }
-        let stamp = self.tick();
-        self.entries.insert(key, MemoEntry { value, stamp });
-    }
-}
-
 /// Default capacity of the search-result memo: at a few hundred bytes per
 /// entry (two pretty-printed queries plus a summary) the bound keeps the
 /// memo in the low megabytes while comfortably covering both benchmark
 /// datasets many times over.
+///
+/// The stamp-based LRU machinery itself lives in [`crate::cache::LruMap`]
+/// since PR 5 — shared with the stage-① parse cache and the per-thread
+/// query-plan cache.
 const DEFAULT_SEARCH_MEMO_CAPACITY: usize = 4096;
+
+/// The capacity-bounded LRU memo of completed searches. Without the bound
+/// the memo grows one entry per distinct query pair and is only evicted by
+/// the wholesale arena-budget reset — fine for the benchmark datasets,
+/// unbounded for a service proving a diverse query stream.
+type SearchMemo = LruMap<SearchMemoKey, SearchMemoValue>;
 
 /// Completed searches, process-wide. This is the oracle-layer analog of the
 /// decide stage's SMT formula cache: a service re-certifying the same pair
@@ -311,7 +266,7 @@ const DEFAULT_SEARCH_MEMO_CAPACITY: usize = 4096;
 static SEARCH_MEMO: OnceLock<Mutex<SearchMemo>> = OnceLock::new();
 
 fn search_memo() -> &'static Mutex<SearchMemo> {
-    SEARCH_MEMO.get_or_init(|| Mutex::new(SearchMemo::new()))
+    SEARCH_MEMO.get_or_init(|| Mutex::new(LruMap::new(DEFAULT_SEARCH_MEMO_CAPACITY)))
 }
 
 /// Hit counter of the search-result memo.
@@ -334,7 +289,7 @@ pub fn search_memo_evictions() -> u64 {
 
 /// Current entry count of the search-result memo.
 pub fn search_memo_len() -> usize {
-    search_memo().lock().expect("search memo poisoned").entries.len()
+    search_memo().lock().expect("search memo poisoned").len()
 }
 
 /// Reconfigures the memo's capacity (clamped to at least 1), evicting down
@@ -342,18 +297,9 @@ pub fn search_memo_len() -> usize {
 /// service configuration hooks can restore it.
 pub fn set_search_memo_capacity(capacity: usize) -> usize {
     let mut memo = search_memo().lock().expect("search memo poisoned");
-    let previous = memo.capacity;
-    memo.capacity = capacity.max(1);
-    while memo.entries.len() > memo.capacity {
-        let oldest = memo
-            .entries
-            .iter()
-            .min_by_key(|(_, entry)| entry.stamp)
-            .map(|(key, _)| key.clone())
-            .expect("non-empty memo");
-        memo.entries.remove(&oldest);
-        SEARCH_MEMO_EVICTIONS.fetch_add(1, Ordering::Relaxed);
-    }
+    let previous = memo.capacity();
+    let evicted = memo.set_capacity(capacity);
+    SEARCH_MEMO_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
     previous
 }
 
@@ -424,7 +370,9 @@ fn memoize_search(
         left_rows: example.left_rows,
         right_rows: example.right_rows,
     });
-    search_memo().lock().expect("search memo poisoned").insert(key, (summary, vocabulary));
+    let evicted =
+        search_memo().lock().expect("search memo poisoned").insert(key, (summary, vocabulary));
+    SEARCH_MEMO_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
 }
 
 /// Drops every cached candidate pool and interned vocabulary, process-wide.
@@ -443,7 +391,7 @@ pub fn clear_pool_cache() {
         interner.lock().expect("interner poisoned").clear();
     }
     if let Some(memo) = SEARCH_MEMO.get() {
-        memo.lock().expect("search memo poisoned").entries.clear();
+        memo.lock().expect("search memo poisoned").clear();
     }
     CLEAR_GENERATION.fetch_add(1, Ordering::Relaxed);
 }
@@ -460,21 +408,130 @@ pub fn pool_cache_generation() -> u64 {
 static CLEAR_GENERATION: AtomicU64 = AtomicU64::new(0);
 
 // ---------------------------------------------------------------------------
+// The per-thread query-plan cache
+// ---------------------------------------------------------------------------
+
+/// A query owned together with its [`QueryPlan`] (symbol table + lowered
+/// compiled patterns), so planning survives the search that produced it.
+/// The plan keys on this exact owned query instance — evaluation must go
+/// through [`CachedPlan::evaluate`].
+pub(crate) struct CachedPlan {
+    query: Query,
+    plan: QueryPlan,
+}
+
+impl CachedPlan {
+    fn new(query: &Query) -> CachedPlan {
+        let query = query.clone();
+        let plan = QueryPlan::new(&query);
+        CachedPlan { query, plan }
+    }
+
+    fn evaluate(
+        &self,
+        graph: &PropertyGraph,
+    ) -> Result<property_graph::QueryResult, property_graph::EvalError> {
+        Evaluator::new().evaluate_planned(graph, &self.query, &self.plan)
+    }
+}
+
+/// Default per-thread capacity of the plan cache. An entry is a cloned AST
+/// plus its symbol table and lowered patterns — a few KB — so the bound
+/// keeps each worker's cache in the low megabytes while covering both
+/// benchmark datasets.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// Requested capacity of every thread's plan cache (threads sync to it on
+/// access; see [`set_plan_cache_capacity`]).
+static PLAN_CACHE_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_PLAN_CACHE_CAPACITY);
+
+/// Hit/miss/eviction counters of the plan cache (process-wide; the caches
+/// themselves are per-thread).
+static PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PLAN_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The query-plan cache, keyed by pretty-printed query text.
+    ///
+    /// `PreparedQuery` (PR 4) amortizes planning *within* one search; this
+    /// cache amortizes it *across* searches, the way the shared pools
+    /// amortize graph generation. It is per-thread — not process-wide like
+    /// the pools — because a plan's `SymbolTable` and lowering cache use
+    /// single-threaded interior mutability (`Rc`/`RefCell`) by design: the
+    /// evaluator is the hot loop, and uncontended `RefCell`s beat locks
+    /// there. Each batch worker therefore plans a given query text once and
+    /// replays the plan for every subsequent search it runs.
+    static PLAN_CACHE: RefCell<LruMap<String, Rc<CachedPlan>>> =
+        RefCell::new(LruMap::new(DEFAULT_PLAN_CACHE_CAPACITY));
+}
+
+/// The cached plan for `query` on this thread, keyed by its pretty-printed
+/// `text` (which the search memo key already computes).
+fn cached_plan(text: &str, query: &Query) -> Rc<CachedPlan> {
+    PLAN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let evicted = cache.set_capacity(PLAN_CACHE_CAPACITY.load(Ordering::Relaxed));
+        if evicted > 0 {
+            PLAN_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if let Some(hit) = cache.get(text) {
+            PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        PLAN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let planned = Rc::new(CachedPlan::new(query));
+        let evicted = cache.insert(text.to_string(), Rc::clone(&planned));
+        PLAN_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+        planned
+    })
+}
+
+/// Process-wide hit/miss counters of the per-thread plan caches.
+pub fn plan_cache_stats() -> (u64, u64) {
+    (PLAN_CACHE_HITS.load(Ordering::Relaxed), PLAN_CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Process-wide count of plan-cache entries dropped by the capacity bound.
+pub fn plan_cache_evictions() -> u64 {
+    PLAN_CACHE_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Entry count of the *current thread's* plan cache.
+pub fn thread_plan_cache_len() -> usize {
+    PLAN_CACHE.with(|cache| cache.borrow().len())
+}
+
+/// Reconfigures the per-thread plan-cache capacity (clamped to at least 1).
+/// Threads adopt the new bound — evicting down if needed — on their next
+/// cache access. Returns the previous setting.
+pub fn set_plan_cache_capacity(capacity: usize) -> usize {
+    PLAN_CACHE_CAPACITY.swap(capacity.max(1), Ordering::Relaxed)
+}
+
+/// Drops the calling thread's plan cache. Part of the epoch-based eviction
+/// story: the batch prover calls this alongside `liastar`'s thread-cache
+/// reset when a worker crosses its arena budget (the caches are per-thread,
+/// so the process-wide [`clear_pool_cache`] cannot reach them).
+pub fn clear_thread_plan_cache() {
+    PLAN_CACHE.with(|cache| cache.borrow_mut().clear());
+}
+
+// ---------------------------------------------------------------------------
 // The search
 // ---------------------------------------------------------------------------
 
-/// Evaluates both prepared queries on one graph; `Some` when they disagree.
+/// Evaluates both planned queries on one graph; `Some` when they disagree.
 /// The certificate shares the pool's graph (`Arc` clone) instead of deep
 /// copying it.
 fn check(
-    left: &PreparedQuery<'_>,
-    right: &PreparedQuery<'_>,
+    left: &CachedPlan,
+    right: &CachedPlan,
     graph: &Arc<PropertyGraph>,
     pool_index: usize,
 ) -> Option<Counterexample> {
-    let evaluator = Evaluator::new();
-    let left_result = evaluator.evaluate_prepared(graph, left).ok()?;
-    let right_result = evaluator.evaluate_prepared(graph, right).ok()?;
+    let left_result = left.evaluate(graph).ok()?;
+    let right_result = right.evaluate(graph).ok()?;
     if !left_result.bag_equal(&right_result) {
         return Some(Counterexample {
             graph: Arc::clone(graph),
@@ -486,16 +543,15 @@ fn check(
     None
 }
 
-/// [`check`] for callers holding plain queries: prepares both sides first
-/// (the searches prepare once per query and amortize over the whole pool).
+/// [`check`] for callers holding plain queries: plans both sides ad hoc
+/// (only the debug-build memo-replay validation takes this path).
 fn check_queries(
     q1: &Query,
     q2: &Query,
     graph: &Arc<PropertyGraph>,
     pool_index: usize,
 ) -> Option<Counterexample> {
-    let evaluator = Evaluator::new();
-    check(&evaluator.prepare(q1), &evaluator.prepare(q2), graph, pool_index)
+    check(&CachedPlan::new(q1), &CachedPlan::new(q2), graph, pool_index)
 }
 
 /// Searches for a property graph on which the two queries disagree,
@@ -512,9 +568,10 @@ pub fn find_counterexample(
         return outcome;
     }
     let (pool, vocabulary) = pool_for(q1, q2, config);
-    // Plan both queries once; the pool can hold hundreds of graphs.
-    let evaluator = Evaluator::new();
-    let (left, right) = (evaluator.prepare(q1), evaluator.prepare(q2));
+    // Plans come from the per-thread cache (keyed by the memo key's
+    // pretty-printed texts), so repeat searches skip planning entirely and
+    // a fresh search still plans only once for the whole pool.
+    let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
     let mut index = 0;
     while let Some(graph) = pool_graph(&pool, index) {
         if let Some(example) = check(&left, &right, &graph, index) {
@@ -558,10 +615,9 @@ pub fn find_counterexample_parallel(
     }
     let (pool, vocabulary) = pool_for(q1, q2, config);
 
-    // Sequential prefix over the seed graphs (queries planned once for the
-    // whole prefix).
-    let evaluator = Evaluator::new();
-    let (left, right) = (evaluator.prepare(q1), evaluator.prepare(q2));
+    // Sequential prefix over the seed graphs (plans resolved through the
+    // per-thread cache, shared with any earlier search of the same texts).
+    let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
     for index in 0..PARALLEL_SEQUENTIAL_PREFIX {
         let Some(graph) = pool_graph(&pool, index) else {
             memoize_search(memo_key, None, vocabulary, config);
@@ -580,11 +636,12 @@ pub fn find_counterexample_parallel(
         // No point spawning more workers than random graphs remain.
         for _ in 0..threads.min(config.random_graphs.max(1)) {
             scope.spawn(|| {
-                // Per-worker plans: the symbol table is single-threaded
-                // (interior `RefCell`s), so each worker prepares its own and
-                // amortizes it over every graph it draws.
-                let evaluator = Evaluator::new();
-                let (left, right) = (evaluator.prepare(q1), evaluator.prepare(q2));
+                // Per-worker plans through the worker thread's own plan
+                // cache: the symbol table is single-threaded (interior
+                // `RefCell`s), so plans cannot be shared across workers, but
+                // each worker amortizes its plan over every graph it draws
+                // *and* over every search it ever runs for these texts.
+                let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
                 loop {
                     if found.load(Ordering::Relaxed) {
                         break;
@@ -873,6 +930,50 @@ mod tests {
         set_search_memo_capacity(0);
         let restored = set_search_memo_capacity(previous_capacity);
         assert_eq!(restored, 1);
+    }
+
+    #[test]
+    fn plan_cache_bound_holds_per_thread_and_repeats_hit() {
+        // Capacity is a global setting but the cache is per-thread; this
+        // test only observes its own thread's cache, so no serialization
+        // with other tests is needed beyond restoring the capacity.
+        let previous = set_plan_cache_capacity(3);
+        clear_thread_plan_cache();
+        let evictions_before = plan_cache_evictions();
+        let queries: Vec<Query> = (0..8)
+            .map(|i| parse_query(&format!("MATCH (pc{i}:PlanCacheT{i}) RETURN pc{i}")).unwrap())
+            .collect();
+        for query in &queries {
+            let text = cypher_parser::pretty::query_to_string(query);
+            let _ = cached_plan(&text, query);
+            assert!(
+                thread_plan_cache_len() <= 3,
+                "plan cache exceeded its bound: {} entries",
+                thread_plan_cache_len()
+            );
+        }
+        assert!(plan_cache_evictions() > evictions_before, "saturation must evict");
+        // The most recently planned text replays from this thread's cache.
+        let (hits_before, _) = plan_cache_stats();
+        let text = cypher_parser::pretty::query_to_string(&queries[7]);
+        let replayed = cached_plan(&text, &queries[7]);
+        assert!(plan_cache_stats().0 > hits_before, "repeat probe must hit");
+        // And the cached plan still evaluates correctly.
+        let graph = Arc::new(PropertyGraph::paper_example());
+        assert!(replayed.evaluate(&graph).is_ok());
+        set_plan_cache_capacity(previous);
+        clear_thread_plan_cache();
+    }
+
+    #[test]
+    fn cached_plans_evaluate_identically_to_fresh_plans() {
+        let q = parse_query("MATCH (a:Person)-[r:READ]->(b) RETURN a.name, b.title").unwrap();
+        let text = cypher_parser::pretty::query_to_string(&q);
+        let cached = cached_plan(&text, &q);
+        let graph = PropertyGraph::paper_example();
+        let through_cache = cached.evaluate(&graph).unwrap();
+        let fresh = evaluate_query(&graph, &q).unwrap();
+        assert!(through_cache.ordered_equal(&fresh), "cached plan diverged from fresh plan");
     }
 
     #[test]

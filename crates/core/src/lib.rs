@@ -31,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 pub mod counterexample;
 pub mod divide;
 pub mod verdict;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 thread_local! {
@@ -54,6 +56,84 @@ use liastar::{check_equivalence_with_opts, DecideOptions, Decision};
 
 pub use counterexample::SearchConfig;
 pub use verdict::{Counterexample, FailureCategory, ProofStats, Verdict};
+
+// ---------------------------------------------------------------------------
+// The stage-① parse cache
+// ---------------------------------------------------------------------------
+
+/// Default capacity of the parse cache: one entry per distinct query text
+/// (a parsed AST is a few KB), bounded like the search memo.
+const DEFAULT_PARSE_CACHE_CAPACITY: usize = 4096;
+
+/// Text-keyed cache of stage-① outcomes (`parse_and_check`), shared
+/// process-wide. Since PR 4 `stage parse_check` was the single largest
+/// stage of the warm optimized pipeline; with this cache a warm
+/// re-certification skips parsing entirely. Semantic failures are cached
+/// too — the checker is deterministic, and invalid queries resubmitted by a
+/// service would otherwise re-parse every time.
+static PARSE_CACHE: OnceLock<Mutex<ParseCache>> = OnceLock::new();
+
+/// One memoized stage-① outcome per query text (failures included).
+type ParseCache = cache::LruMap<String, Result<Arc<Query>, CheckError>>;
+
+fn parse_cache() -> &'static Mutex<ParseCache> {
+    PARSE_CACHE.get_or_init(|| Mutex::new(cache::LruMap::new(DEFAULT_PARSE_CACHE_CAPACITY)))
+}
+
+static PARSE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PARSE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PARSE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide hit/miss counters of the parse cache.
+pub fn parse_cache_stats() -> (u64, u64) {
+    (PARSE_CACHE_HITS.load(Ordering::Relaxed), PARSE_CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Process-wide count of parse-cache entries dropped by the capacity bound.
+pub fn parse_cache_evictions() -> u64 {
+    PARSE_CACHE_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Current entry count of the parse cache.
+pub fn parse_cache_len() -> usize {
+    parse_cache().lock().expect("parse cache poisoned").len()
+}
+
+/// Reconfigures the parse cache's capacity (clamped to at least 1),
+/// evicting down immediately. Returns the previous capacity.
+pub fn set_parse_cache_capacity(capacity: usize) -> usize {
+    let mut cache = parse_cache().lock().expect("parse cache poisoned");
+    let previous = cache.capacity();
+    let evicted = cache.set_capacity(capacity);
+    PARSE_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    previous
+}
+
+/// Drops every parse-cache entry (pure memo — eviction only costs
+/// re-parsing). Benchmarks use this to measure the cold parse stage.
+pub fn clear_parse_cache() {
+    parse_cache().lock().expect("parse cache poisoned").clear();
+}
+
+/// Stage ① through the cache: returns the memoized outcome for `text`, or
+/// parses (outside the lock — racing workers may both parse, benignly) and
+/// caches it. This is what [`GraphQE::prove`] calls; it is public so
+/// benchmarks and service frontends can measure or pre-warm the stage
+/// directly.
+pub fn parse_check_cached(text: &str) -> Result<Arc<Query>, CheckError> {
+    if let Some(hit) = parse_cache().lock().expect("parse cache poisoned").get(text) {
+        PARSE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    PARSE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let outcome = parse_and_check(text).map(Arc::new);
+    let evicted = parse_cache()
+        .lock()
+        .expect("parse cache poisoned")
+        .insert(text.to_string(), outcome.clone());
+    PARSE_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    outcome
+}
 
 /// One result of [`GraphQE::prove_batch_detailed`]: the verdict plus the
 /// wall-clock latency of the whole pipeline for that pair.
@@ -88,6 +168,18 @@ pub struct CacheStats {
     pub search_memo_misses: u64,
     /// Entries dropped by the search-result memo's LRU capacity bound.
     pub search_memo_evictions: u64,
+    /// Hits of the stage-① parse cache.
+    pub parse_cache_hits: u64,
+    /// Misses of the stage-① parse cache.
+    pub parse_cache_misses: u64,
+    /// Entries dropped by the parse cache's LRU capacity bound.
+    pub parse_cache_evictions: u64,
+    /// Hits of the per-thread query-plan caches (counterexample search).
+    pub plan_cache_hits: u64,
+    /// Misses of the per-thread query-plan caches.
+    pub plan_cache_misses: u64,
+    /// Entries dropped by the plan caches' LRU capacity bounds.
+    pub plan_cache_evictions: u64,
     /// Peak node count of any hash-consed arena during the run.
     pub peak_arena_nodes: usize,
     /// How many times a worker evicted its thread-local caches because the
@@ -114,6 +206,16 @@ impl CacheStats {
     /// Hit rate of the search-result memo in `[0, 1]` (0 when unused).
     pub fn search_memo_hit_rate(&self) -> f64 {
         hit_rate(self.search_memo_hits, self.search_memo_misses)
+    }
+
+    /// Hit rate of the parse cache in `[0, 1]` (0 when unused).
+    pub fn parse_cache_hit_rate(&self) -> f64 {
+        hit_rate(self.parse_cache_hits, self.parse_cache_misses)
+    }
+
+    /// Hit rate of the plan caches in `[0, 1]` (0 when unused).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        hit_rate(self.plan_cache_hits, self.plan_cache_misses)
     }
 }
 
@@ -165,6 +267,10 @@ pub struct GraphQE {
     /// proving divides the machine between pair workers and search workers,
     /// so the product never oversubscribes.
     pub search_threads: usize,
+    /// Consult (and populate) the process-wide stage-① parse cache in
+    /// [`GraphQE::prove`]. Disabled by benchmark baselines that must pay
+    /// the real parse cost every run; outcomes are identical either way.
+    pub use_parse_cache: bool,
 }
 
 impl Default for GraphQE {
@@ -180,6 +286,7 @@ impl Default for GraphQE {
             // the default only kicks in for service-scale streams.
             arena_node_budget: 1 << 20,
             search_threads: 0,
+            use_parse_cache: true,
         }
     }
 }
@@ -198,15 +305,26 @@ impl GraphQE {
         }
     }
 
+    /// Stage ① for one query text, through the process-wide parse cache
+    /// (unless [`GraphQE::use_parse_cache`] is off).
+    fn parse_checked(&self, text: &str) -> Result<Arc<Query>, CheckError> {
+        if self.use_parse_cache {
+            parse_check_cached(text)
+        } else {
+            parse_and_check(text).map(Arc::new)
+        }
+    }
+
     /// Proves the (non-)equivalence of two Cypher query texts.
     pub fn prove(&self, q1: &str, q2: &str) -> Verdict {
         let start = Instant::now();
-        // Stage ①: syntax & semantic check.
-        let parsed1 = match parse_and_check(q1) {
+        // Stage ①: syntax & semantic check — memoized per query text, so a
+        // warm re-certification skips parsing entirely.
+        let parsed1 = match self.parse_checked(q1) {
             Ok(query) => query,
             Err(error) => return invalid(error),
         };
-        let parsed2 = match parse_and_check(q2) {
+        let parsed2 = match self.parse_checked(q2) {
             Ok(query) => query,
             Err(error) => return invalid(error),
         };
@@ -275,6 +393,10 @@ impl GraphQE {
         let liastar_before = liastar::cache_counters();
         let memo_before = counterexample::search_memo_stats();
         let memo_evictions_before = counterexample::search_memo_evictions();
+        let parse_before = parse_cache_stats();
+        let parse_evictions_before = parse_cache_evictions();
+        let plan_before = counterexample::plan_cache_stats();
+        let plan_evictions_before = counterexample::plan_cache_evictions();
         // Scope the peak metric to this run: interning bumps the global
         // counter, and workers fold in their arena size after every pair so
         // warm arenas (which intern nothing new) are still counted.
@@ -303,6 +425,9 @@ impl GraphQE {
             gexpr::arena::note_node_peak(arena_nodes);
             if self.arena_node_budget > 0 && arena_nodes > self.arena_node_budget {
                 liastar::reset_thread_caches();
+                // The query-plan cache is per-thread like liastar's caches,
+                // so the process-global clear below cannot reach it.
+                counterexample::clear_thread_plan_cache();
                 // The pool/memo cache is process-global: when several workers
                 // cross their (thread-local) arena budgets around the same
                 // time, one clear suffices — a worker that observes a clear
@@ -366,6 +491,13 @@ impl GraphQE {
             search_memo_misses: counterexample::search_memo_stats().1.saturating_sub(memo_before.1),
             search_memo_evictions: counterexample::search_memo_evictions()
                 .saturating_sub(memo_evictions_before),
+            parse_cache_hits: parse_cache_stats().0.saturating_sub(parse_before.0),
+            parse_cache_misses: parse_cache_stats().1.saturating_sub(parse_before.1),
+            parse_cache_evictions: parse_cache_evictions().saturating_sub(parse_evictions_before),
+            plan_cache_hits: counterexample::plan_cache_stats().0.saturating_sub(plan_before.0),
+            plan_cache_misses: counterexample::plan_cache_stats().1.saturating_sub(plan_before.1),
+            plan_cache_evictions: counterexample::plan_cache_evictions()
+                .saturating_sub(plan_evictions_before),
             peak_arena_nodes: gexpr::arena::peak_node_count(),
             epoch_resets: epoch_resets.load(Ordering::Relaxed) as u64,
         };
@@ -898,6 +1030,90 @@ mod tests {
                 "epoch resets changed the verdict of {left} vs {right}"
             );
         }
+    }
+
+    /// Tests that read parse-cache counters or reconfigure its (global)
+    /// capacity serialize here so they cannot evict each other's entries
+    /// mid-assertion.
+    static PARSE_CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn parse_cache_replays_both_successes_and_failures() {
+        let _serial = PARSE_CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prover = prover();
+        // Unique texts so this test controls its own cache entries.
+        let valid = "MATCH (pc_hit_test:ParseCache) RETURN pc_hit_test";
+        let invalid = "MATCH (pc_err_test RETURN pc_err_test";
+        let (hits_before, misses_before) = parse_cache_stats();
+        assert!(prover.prove(valid, valid).is_equivalent());
+        let (_, misses_after_first) = parse_cache_stats();
+        assert!(misses_after_first > misses_before, "first sight of a text must miss");
+        // Second certification of the same pair: both texts replay.
+        assert!(prover.prove(valid, valid).is_equivalent());
+        let (hits_after, _) = parse_cache_stats();
+        assert!(hits_after >= hits_before + 2, "warm re-certification must hit per text");
+        // Parse failures are memoized too and replay the same verdict.
+        for _ in 0..2 {
+            let verdict = prover.prove(invalid, valid);
+            assert!(matches!(
+                verdict,
+                Verdict::Unknown { category: FailureCategory::InvalidQuery, .. }
+            ));
+        }
+        // An opted-out prover bypasses the cache entirely.
+        let uncached = GraphQE { use_parse_cache: false, ..GraphQE::new() };
+        let (hits_frozen, misses_frozen) = parse_cache_stats();
+        assert!(uncached.prove(valid, valid).is_equivalent());
+        assert_eq!(
+            parse_cache_stats(),
+            (hits_frozen, misses_frozen),
+            "use_parse_cache: false must not touch the cache"
+        );
+    }
+
+    #[test]
+    fn parse_cache_capacity_bound_holds_and_counts_evictions() {
+        let _serial = PARSE_CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let previous = set_parse_cache_capacity(4);
+        let evictions_before = parse_cache_evictions();
+        let prover = GraphQE { search_counterexamples: false, ..GraphQE::new() };
+        for i in 0..12 {
+            let text = format!("MATCH (pc_bound_{i}:L{i}) RETURN pc_bound_{i}");
+            let _ = prover.prove(&text, &text);
+            assert!(parse_cache_len() <= 4, "bound exceeded: {} entries", parse_cache_len());
+        }
+        assert!(parse_cache_evictions() > evictions_before, "saturation must evict");
+        // Shrinking evicts down immediately; capacity clamps to 1.
+        set_parse_cache_capacity(1);
+        assert!(parse_cache_len() <= 1);
+        assert_eq!(set_parse_cache_capacity(previous), 1);
+    }
+
+    #[test]
+    fn batch_report_surfaces_parse_and_plan_cache_counters() {
+        let _serial = BATCH_REPORT_LOCK.lock().unwrap();
+        let _parse_serial = PARSE_CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // A non-equivalent pair (the search runs and plans both queries),
+        // proved twice in one batch on one thread: the second pass must hit
+        // both the parse cache and the thread's plan cache.
+        let pair = (
+            "MATCH (cache_stats_n:Person) RETURN cache_stats_n",
+            "MATCH (cache_stats_n:Book) RETURN cache_stats_n",
+        );
+        let prover = GraphQE {
+            search_config: SearchConfig { use_memo: false, ..SearchConfig::default() },
+            ..GraphQE::new()
+        };
+        let report = prover.prove_batch_report(&[pair, pair], 1);
+        assert!(report.outcomes.iter().all(|o| o.verdict.is_not_equivalent()));
+        assert!(report.cache.parse_cache_misses > 0, "first pass must miss the parse cache");
+        assert!(report.cache.parse_cache_hits > 0, "second pass must hit the parse cache");
+        assert!(report.cache.plan_cache_misses > 0, "first search must plan");
+        assert!(report.cache.plan_cache_hits > 0, "second search must reuse the plan");
+        let parse_rate = report.cache.parse_cache_hit_rate();
+        let plan_rate = report.cache.plan_cache_hit_rate();
+        assert!((0.0..=1.0).contains(&parse_rate));
+        assert!((0.0..=1.0).contains(&plan_rate));
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!    relationship has exactly one label.
 //! 3. A variable cannot denote both a node and a relationship.
 //! 4. Every top-level single query must end with a `RETURN` clause.
+//! 5. **Unknown function names are rejected.** The reference evaluator used
+//!    to evaluate unrecognized calls to `NULL`, which can collapse two
+//!    inequivalent queries into agreeing `NULL` columns and corrupt the
+//!    counterexample oracle's verdicts; admitting only the names the
+//!    evaluator models keeps its fallthrough unreachable for checked
+//!    queries.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -39,6 +45,30 @@ impl fmt::Display for SemanticError {
 }
 
 impl std::error::Error for SemanticError {}
+
+/// The scalar function names the reference evaluator models. The parser
+/// lowercases function names (`SIZE(x)` parses as `size`), so the list is
+/// all-lowercase and matching is effectively case-insensitive — exactly the
+/// set `eval_function` in `property-graph`'s `expr.rs` implements (keep the
+/// two in sync). Aggregates (`COUNT`, `SUM`, ...) parse to
+/// `Expr::AggregateCall` and never reach this check.
+const KNOWN_FUNCTIONS: &[&str] = &[
+    "id",
+    "labels",
+    "type",
+    "size",
+    "length",
+    "head",
+    "last",
+    "abs",
+    "toupper",
+    "tolower",
+    "coalesce",
+    "exists",
+    "startnode",
+    "endnode",
+    "index",
+];
 
 /// The kind of graph entity a variable is bound to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,6 +271,12 @@ fn check_expr(expr: &Expr, scope: &Scope) -> Result<(), SemanticError> {
                 error =
                     Some(SemanticError::new(format!("reference to undefined variable `{name}`")));
             }
+            Expr::FunctionCall { name, .. } if !KNOWN_FUNCTIONS.contains(&name.as_str()) => {
+                error = Some(SemanticError::new(format!(
+                    "unknown function `{name}` (the reference evaluator would silently \
+                     evaluate it to NULL, corrupting counterexample verdicts)"
+                )));
+            }
             Expr::Exists(query) => {
                 // EXISTS subqueries see the outer scope and do not need a
                 // RETURN clause of their own.
@@ -347,5 +383,45 @@ mod tests {
     #[test]
     fn pattern_can_reference_earlier_binding_in_property_map() {
         assert!(check("MATCH (n) MATCH (m {age: n.age}) RETURN m").is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_function_names() {
+        let err = check("MATCH (n) WHERE mystery(n) = 1 RETURN n").unwrap_err();
+        assert!(err.message.contains("unknown function `mystery`"), "{}", err.message);
+        // In projections and nested argument positions too.
+        assert!(check("MATCH (n) RETURN frobnicate(n.age)").is_err());
+        assert!(check("MATCH (n) RETURN size(frobnicate(n.age))").is_err());
+        // The parser lowercases function names, so case variants of known
+        // names stay admitted while cased unknowns are still rejected.
+        assert!(check("MATCH (n) WHERE SIZE(n.name) > 2 RETURN n").is_ok());
+        assert!(check("MATCH (n) WHERE Frobnicate(n.name) > 2 RETURN n").is_err());
+        // Inside EXISTS subqueries.
+        assert!(check("MATCH (n) WHERE EXISTS { MATCH (n) WHERE bogus(n) = 1 RETURN n } RETURN n")
+            .is_err());
+    }
+
+    #[test]
+    fn accepts_every_evaluator_modelled_function() {
+        for call in [
+            "id(n)",
+            "labels(n)",
+            "size(n.name)",
+            "length(n.name)",
+            "head([n.age])",
+            "last([n.age])",
+            "abs(n.age)",
+            "toUpper(n.name)",
+            "toLower(n.name)",
+            "coalesce(n.age, 0)",
+            "exists(n.age)",
+        ] {
+            assert!(
+                check(&format!("MATCH (n) WHERE {call} = 1 RETURN n")).is_ok(),
+                "{call} wrongly rejected"
+            );
+        }
+        // Aggregates are not function calls and stay admitted.
+        assert!(check("MATCH (n) RETURN COUNT(n), SUM(n.age)").is_ok());
     }
 }

@@ -13,9 +13,10 @@ use cypher_parser::ast::{
     UnionKind, WithClause,
 };
 
-use crate::expr::{eval_expr, eval_predicate, EvalCtx, Row, SymbolTable};
+use crate::expr::{eval_expr, eval_predicate, EvalCtx, Row, SymId, SymbolTable};
 use crate::graph::PropertyGraph;
 use crate::matching::match_clause;
+use crate::plan::{match_compiled_clause, QueryPlan};
 use crate::value::Value;
 
 /// An error raised during evaluation.
@@ -135,15 +136,22 @@ pub struct Evaluator {
     /// differential testing and baseline benchmarking, mirroring
     /// `scan_matching`.
     pub map_rows: bool,
+    /// Match through the name-resolving AST interpreter
+    /// ([`crate::matching`]) instead of the compiled [`crate::plan`] layer.
+    /// The two paths produce identical results; the flag exists for
+    /// differential testing and baseline benchmarking — the third axis next
+    /// to `scan_matching` and `map_rows`.
+    pub interpret_patterns: bool,
 }
 
-/// A query bound to its plan-time [`SymbolTable`]: prepare once, evaluate
-/// over many graphs. The counterexample search evaluates the same query over
-/// a pool of hundreds of graphs; preparing amortizes the AST walk and name
-/// interning across the whole pool instead of paying them per graph.
+/// A query bound to its [`QueryPlan`] (symbol table + lowered-plan cache):
+/// prepare once, evaluate over many graphs. The counterexample search
+/// evaluates the same query over a pool of hundreds of graphs; preparing
+/// amortizes the AST walk, name interning and clause lowering across the
+/// whole pool instead of paying them per graph.
 pub struct PreparedQuery<'q> {
     query: &'q Query,
-    symbols: SymbolTable,
+    plan: QueryPlan,
 }
 
 impl<'q> PreparedQuery<'q> {
@@ -154,7 +162,12 @@ impl<'q> PreparedQuery<'q> {
 
     /// The plan-time symbol table.
     pub fn symbols(&self) -> &SymbolTable {
-        &self.symbols
+        self.plan.symbols()
+    }
+
+    /// The query's plan (symbol table + lowering cache).
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
     }
 }
 
@@ -166,10 +179,12 @@ impl Evaluator {
 
     /// Plan time: interns every name the query can bind or reference, so
     /// evaluation-time lookups are hash probes over a warm table and row
-    /// keys are dense u32 ids. The result can be evaluated over any number
-    /// of graphs with [`Evaluator::evaluate_prepared`].
+    /// keys are dense u32 ids; `MATCH` clauses and projections lower to
+    /// [`SymId`]-native compiled plans on first application. The result can
+    /// be evaluated over any number of graphs with
+    /// [`Evaluator::evaluate_prepared`].
     pub fn prepare<'q>(&self, query: &'q Query) -> PreparedQuery<'q> {
-        PreparedQuery { query, symbols: SymbolTable::for_query(query) }
+        PreparedQuery { query, plan: QueryPlan::new(query) }
     }
 
     /// Evaluates a prepared query over a property graph.
@@ -178,22 +193,36 @@ impl Evaluator {
         graph: &PropertyGraph,
         prepared: &PreparedQuery<'_>,
     ) -> Result<QueryResult, EvalError> {
+        self.evaluate_planned(graph, prepared.query, &prepared.plan)
+    }
+
+    /// Evaluates `query` under an externally owned [`QueryPlan`]. The plan
+    /// must come from [`QueryPlan::new`] (or a prior evaluation) over this
+    /// exact query instance — plans key on AST node addresses, so a foreign
+    /// plan is safe but re-lowers everything.
+    pub fn evaluate_planned(
+        &self,
+        graph: &PropertyGraph,
+        query: &Query,
+        plan: &QueryPlan,
+    ) -> Result<QueryResult, EvalError> {
         let ctx = EvalCtx {
             graph,
-            symbols: &prepared.symbols,
+            symbols: plan.symbols(),
             max_var_length: self.max_var_length.unwrap_or(graph.relationship_count() as u32),
             scan_matching: self.scan_matching,
             map_rows: self.map_rows,
+            plans: if self.interpret_patterns { None } else { Some(plan.plans()) },
         };
-        evaluate_union_query(ctx, prepared.query, vec![Row::for_ctx(ctx)], true)
+        evaluate_union_query(ctx, query, vec![Row::for_ctx(ctx)], true)
     }
 
     /// Evaluates a query over a property graph (one-shot). Names intern on
     /// demand — the plan-time AST walk of [`Evaluator::prepare`] only pays
     /// off when a prepared query is reused across many graphs, so one-shot
-    /// evaluation skips it.
+    /// evaluation skips it (clauses still lower on first application).
     pub fn evaluate(&self, graph: &PropertyGraph, query: &Query) -> Result<QueryResult, EvalError> {
-        self.evaluate_prepared(graph, &PreparedQuery { query, symbols: SymbolTable::new() })
+        self.evaluate_planned(graph, query, &QueryPlan::empty())
     }
 }
 
@@ -215,6 +244,15 @@ pub fn evaluate_query_map_rows(
     query: &Query,
 ) -> Result<QueryResult, EvalError> {
     Evaluator { map_rows: true, ..Evaluator::new() }.evaluate(graph, query)
+}
+
+/// [`evaluate_query`] forced onto the name-resolving AST interpreter — the
+/// differential oracle for the compiled [`crate::plan`] layer.
+pub fn evaluate_query_interpreted(
+    graph: &PropertyGraph,
+    query: &Query,
+) -> Result<QueryResult, EvalError> {
+    Evaluator { interpret_patterns: true, ..Evaluator::new() }.evaluate(graph, query)
 }
 
 /// Evaluates a (possibly `UNION`-combined) query starting from the given
@@ -302,6 +340,9 @@ fn evaluate_single(
                 rows = apply_match(ctx, m, rows)?;
             }
             Clause::Unwind(u) => {
+                // Interned once per clause application, not once per output
+                // row (both paths — idempotent, so behavior is unchanged).
+                let alias = ctx.symbols.intern(&u.alias);
                 let mut next = Vec::new();
                 for row in rows {
                     let value = eval_expr(ctx, &row, &u.expr)?;
@@ -309,11 +350,11 @@ fn evaluate_single(
                         Value::Null => {}
                         Value::List(items) => {
                             for item in items {
-                                next.push(row.with(ctx.symbols, &u.alias, item));
+                                next.push(row.with_sym(ctx.symbols, alias, item));
                             }
                         }
                         other => {
-                            next.push(row.with(ctx.symbols, &u.alias, other));
+                            next.push(row.with_sym(ctx.symbols, alias, other));
                         }
                     }
                 }
@@ -342,6 +383,27 @@ fn apply_match(
     clause: &MatchClause,
     rows: Vec<Row>,
 ) -> Result<Vec<Row>, EvalError> {
+    // Compiled default: lower the clause once (memoized in the run's plan
+    // cache) and match through the SymId-native plan. `plans: None` — direct
+    // `EvalCtx::new` users and `Evaluator::interpret_patterns` — takes the
+    // preserved name-resolving interpreter below.
+    if let Some(plans) = ctx.plans {
+        let compiled = plans.match_plan(ctx.symbols, clause);
+        let mut next = Vec::new();
+        for row in rows {
+            let matches = match_compiled_clause(ctx, &compiled, &row)?;
+            if matches.is_empty() && compiled.optional {
+                let mut extended = row.clone();
+                for sym in &compiled.optional_syms {
+                    extended.insert_if_absent_sym(ctx.symbols, *sym, Value::Null);
+                }
+                next.push(extended);
+            } else {
+                next.extend(matches);
+            }
+        }
+        return Ok(next);
+    }
     let mut next = Vec::new();
     // Computed once per clause, not per unmatched row (it walks every
     // pattern and allocates the name list).
@@ -393,11 +455,13 @@ fn apply_with(
     rows: Vec<Row>,
 ) -> Result<Vec<Row>, EvalError> {
     let (columns, projected) = apply_projection(ctx, &clause.projection, &rows)?;
+    // Output ids interned once per clause application, not once per row.
+    let column_syms: Vec<SymId> = columns.iter().map(|name| ctx.symbols.intern(name)).collect();
     let mut next = Vec::new();
     for (values, env) in projected {
         let mut row = Row::for_ctx(ctx);
-        for (name, value) in columns.iter().zip(values) {
-            row.insert(ctx.symbols, name, value);
+        for (sym, value) in column_syms.iter().zip(values) {
+            row.insert_sym(ctx.symbols, *sym, value);
         }
         if let Some(predicate) = &clause.where_clause {
             // The WHERE of a WITH sees both the projected names and (for
@@ -425,38 +489,64 @@ fn apply_projection(
     projection: &Projection,
     rows: &[Row],
 ) -> Result<(Vec<String>, Vec<(Vec<Value>, Row)>), EvalError> {
+    // Explicit items under a plan cache resolve to the clause's compiled
+    // projection: output names were computed once at lowering time (the
+    // interpreted path pretty-prints un-aliased expressions on every
+    // application) and output ids are pre-interned. `RETURN *` expands
+    // dynamically either way — its column set depends on the rows. The `Rc`
+    // is held for the whole function so borrowed expressions stay valid.
+    let compiled = match (&projection.items, ctx.plans) {
+        (ProjectionItems::Items(_), Some(plans)) => {
+            Some(plans.projection_plan(ctx.symbols, projection))
+        }
+        _ => None,
+    };
     // Expand `*` into the sorted list of visible variables. Explicit items
     // are borrowed (`Cow`) — cloning a deep expression tree per projection
     // application was a measurable share of small-graph evaluation cost.
-    let items: Vec<(String, std::borrow::Cow<'_, Expr>)> = match &projection.items {
-        ProjectionItems::Star => {
-            let mut names: Vec<String> = rows
-                .iter()
-                .flat_map(|r| r.names(ctx.symbols))
-                .map(|name| name.to_string())
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
-            names.sort();
-            names
-                .into_iter()
-                .map(|n| (n.clone(), std::borrow::Cow::Owned(Expr::Variable(n))))
-                .collect()
-        }
-        ProjectionItems::Items(items) => items
-            .iter()
-            .map(|item| (item.output_name(), std::borrow::Cow::Borrowed(&item.expr)))
-            .collect(),
-    };
-    let columns: Vec<String> = items.iter().map(|(name, _)| name.clone()).collect();
+    let (columns, exprs, column_syms): (Vec<String>, Vec<std::borrow::Cow<'_, Expr>>, Vec<SymId>) =
+        match &compiled {
+            Some(compiled) => (
+                compiled.columns.clone(),
+                compiled.exprs.iter().map(std::borrow::Cow::Borrowed).collect(),
+                compiled.syms.clone(),
+            ),
+            None => {
+                let items: Vec<(String, std::borrow::Cow<'_, Expr>)> = match &projection.items {
+                    ProjectionItems::Star => {
+                        let mut names: Vec<String> = rows
+                            .iter()
+                            .flat_map(|r| r.names(ctx.symbols))
+                            .map(|name| name.to_string())
+                            .collect::<std::collections::BTreeSet<_>>()
+                            .into_iter()
+                            .collect();
+                        names.sort();
+                        names
+                            .into_iter()
+                            .map(|n| (n.clone(), std::borrow::Cow::Owned(Expr::Variable(n))))
+                            .collect()
+                    }
+                    ProjectionItems::Items(items) => items
+                        .iter()
+                        .map(|item| (item.output_name(), std::borrow::Cow::Borrowed(&item.expr)))
+                        .collect(),
+                };
+                // Interned once per application, not once per row, for the env
+                // binding loops below (idempotent — behavior is unchanged).
+                let syms = items.iter().map(|(name, _)| ctx.symbols.intern(name)).collect();
+                let (columns, exprs) = items.into_iter().unzip();
+                (columns, exprs, syms)
+            }
+        };
 
-    let has_aggregate = items.iter().any(|(_, expr)| expr.contains_aggregate());
+    let has_aggregate = exprs.iter().any(|expr| expr.contains_aggregate());
     let mut produced: Vec<(Vec<Value>, Row)> = Vec::new();
 
     if has_aggregate {
         // Group rows by the values of the non-aggregate items.
         let grouping: Vec<&Expr> =
-            items.iter().filter(|(_, e)| !e.contains_aggregate()).map(|(_, e)| &**e).collect();
+            exprs.iter().filter(|e| !e.contains_aggregate()).map(|e| &**e).collect();
         let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
         for row in rows {
             let key =
@@ -473,24 +563,24 @@ fn apply_projection(
         for (_, members) in groups {
             let representative = members.first().cloned().unwrap_or_else(|| Row::for_ctx(ctx));
             let mut values = Vec::new();
-            for (_, expr) in &items {
+            for expr in &exprs {
                 values.push(eval_with_aggregates(ctx, &members, &representative, expr)?);
             }
             let mut env = representative.clone();
-            for (name, value) in columns.iter().zip(values.iter()) {
-                env.insert(ctx.symbols, name, value.clone());
+            for (sym, value) in column_syms.iter().zip(values.iter()) {
+                env.insert_sym(ctx.symbols, *sym, value.clone());
             }
             produced.push((values, env));
         }
     } else {
         for row in rows {
             let mut values = Vec::new();
-            for (_, expr) in &items {
+            for expr in &exprs {
                 values.push(eval_expr(ctx, row, expr)?);
             }
             let mut env = row.clone();
-            for (name, value) in columns.iter().zip(values.iter()) {
-                env.insert(ctx.symbols, name, value.clone());
+            for (sym, value) in column_syms.iter().zip(values.iter()) {
+                env.insert_sym(ctx.symbols, *sym, value.clone());
             }
             produced.push((values, env));
         }

@@ -268,6 +268,73 @@ impl Row {
         }
     }
 
+    /// The value bound to the pre-interned symbol `id`, if any. The
+    /// [`SymId`]-native accessor of the compiled-plan path: the flat
+    /// representation skips the name hash probe entirely; the map-backed
+    /// oracle representation resolves the name through the table (it keys on
+    /// names by design).
+    pub fn get_sym<'r>(&'r self, symbols: &SymbolTable, id: SymId) -> Option<&'r Value> {
+        match &self.repr {
+            Repr::Flat(entries) => {
+                entries.iter().find(|(sym, _)| *sym == id).map(|(_, value)| value)
+            }
+            Repr::Map(map) => map.get(&*symbols.name(id)),
+        }
+    }
+
+    /// [`Row::insert`] keyed by a pre-interned symbol.
+    pub fn insert_sym(&mut self, symbols: &SymbolTable, id: SymId, value: Value) {
+        match &mut self.repr {
+            Repr::Flat(entries) => match entries.binary_search_by_key(&id, |(sym, _)| *sym) {
+                Ok(position) => entries[position].1 = value,
+                Err(position) => entries.insert(position, (id, value)),
+            },
+            Repr::Map(map) => {
+                map.insert(symbols.name(id), value);
+            }
+        }
+    }
+
+    /// [`Row::insert_if_absent`] keyed by a pre-interned symbol.
+    pub fn insert_if_absent_sym(&mut self, symbols: &SymbolTable, id: SymId, value: Value) {
+        match &mut self.repr {
+            Repr::Flat(entries) => {
+                if let Err(position) = entries.binary_search_by_key(&id, |(sym, _)| *sym) {
+                    entries.insert(position, (id, value));
+                }
+            }
+            Repr::Map(map) => {
+                map.entry(symbols.name(id)).or_insert(value);
+            }
+        }
+    }
+
+    /// [`Row::with`] keyed by a pre-interned symbol — the copy-on-extend the
+    /// compiled matcher performs at every nondeterministic binding branch,
+    /// with no name resolution on the flat path.
+    pub fn with_sym(&self, symbols: &SymbolTable, id: SymId, value: Value) -> Row {
+        match &self.repr {
+            Repr::Flat(entries) => {
+                let position = entries.partition_point(|(sym, _)| *sym < id);
+                let mut out: Vec<(SymId, Value)> = Vec::with_capacity(entries.len() + 1);
+                out.extend_from_slice(&entries[..position]);
+                if entries.get(position).is_some_and(|(sym, _)| *sym == id) {
+                    out.push((id, value));
+                    out.extend_from_slice(&entries[position + 1..]);
+                } else {
+                    out.push((id, value));
+                    out.extend_from_slice(&entries[position..]);
+                }
+                Row { repr: Repr::Flat(out) }
+            }
+            Repr::Map(map) => {
+                let mut out = map.clone();
+                out.insert(symbols.name(id), value);
+                Row { repr: Repr::Map(out) }
+            }
+        }
+    }
+
     /// Binds `name` to `value`, replacing any existing binding.
     pub fn insert(&mut self, symbols: &SymbolTable, name: &str, value: Value) {
         match &mut self.repr {
@@ -418,10 +485,19 @@ pub struct EvalCtx<'g> {
     /// results; the flag exists for differential testing and baseline
     /// benchmarking, like `scan_matching`.
     pub map_rows: bool,
+    /// The run's lazily lowered query plans (see [`crate::plan::PlanCache`]).
+    /// `Some` selects the compiled [`SymId`]-native matcher and projections
+    /// (the default through [`crate::eval::Evaluator`]); `None` falls back to
+    /// the name-resolving interpreter, preserved as the differential oracle
+    /// the way the scan matcher and map rows are.
+    pub plans: Option<&'g crate::plan::PlanCache>,
 }
 
 impl<'g> EvalCtx<'g> {
-    /// Creates a context with the default variable-length bound.
+    /// Creates a context with the default variable-length bound and no plan
+    /// cache (the name-resolving interpreted path — what in-crate tests and
+    /// direct matcher calls exercise; [`crate::eval::Evaluator`] supplies
+    /// plans for the compiled default).
     pub fn new(graph: &'g PropertyGraph, symbols: &'g SymbolTable) -> Self {
         EvalCtx {
             graph,
@@ -429,6 +505,7 @@ impl<'g> EvalCtx<'g> {
             max_var_length: graph.relationship_count() as u32,
             scan_matching: false,
             map_rows: false,
+            plans: None,
         }
     }
 }
@@ -449,7 +526,11 @@ pub fn eval_expr(ctx: EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value, Eval
             let value = eval_expr(ctx, row, inner)?;
             Ok(match op {
                 UnaryOp::Not => bool3_to_value(not3(value.as_bool())),
-                UnaryOp::Neg => Value::Integer(0).sub(&value),
+                // Direct negation, not `0 - x`: the subtraction detour turned
+                // `-(0.0)` into `+0.0` (losing the IEEE sign bit, observable
+                // through the total order) and hid the `-(i64::MIN)` overflow
+                // inside `checked_sub`.
+                UnaryOp::Neg => value.neg(),
                 UnaryOp::Pos => value,
             })
         }
@@ -603,8 +684,12 @@ pub fn read_property(ctx: EvalCtx<'_>, base: &Value, key: &str) -> Value {
 }
 
 /// Evaluates the built-in scalar functions that the evaluation dataset uses.
-/// Unknown functions evaluate to `NULL` (documented limitation of the
-/// reference evaluator; the prover treats them as uninterpreted symbols).
+///
+/// Unknown names evaluate to `NULL`, but since PR 5 the semantic check
+/// (stage ①) rejects any function name outside this list (`KNOWN_FUNCTIONS`
+/// in `cypher-parser`'s `semantic.rs` — keep the two in sync), so for
+/// checked queries the fallthrough is unreachable; it survives for direct
+/// `eval_expr` callers that bypass the checker.
 fn eval_function(ctx: EvalCtx<'_>, name: &str, args: &[Value]) -> Result<Value, EvalError> {
     let arg = |i: usize| args.get(i).cloned().unwrap_or(Value::Null);
     Ok(match name {

@@ -34,15 +34,17 @@ pub mod generator;
 pub mod graph;
 pub mod index;
 pub mod matching;
+pub mod plan;
 pub mod rng;
 pub mod value;
 
 pub use eval::{
-    evaluate_query, evaluate_query_map_rows, evaluate_query_scan, EvalError, Evaluator,
-    PreparedQuery, QueryResult,
+    evaluate_query, evaluate_query_interpreted, evaluate_query_map_rows, evaluate_query_scan,
+    EvalError, Evaluator, PreparedQuery, QueryResult,
 };
 pub use expr::{EvalCtx, Row, SymId, SymbolTable};
 pub use generator::{GeneratorConfig, GraphGenerator};
 pub use graph::{EntityId, NodeData, NodeId, PropertyGraph, RelData, RelId};
 pub use index::{AdjacencyIndex, IdBitset};
+pub use plan::QueryPlan;
 pub use value::Value;

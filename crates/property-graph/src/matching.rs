@@ -12,6 +12,13 @@
 //! Variable-length patterns (`-[*1..3]->`) expand to simple paths whose
 //! relationships are pairwise distinct, each satisfying the pattern's label
 //! and property constraints.
+//!
+//! Since PR 5 this **name-resolving interpreter** is the differential
+//! oracle: the default evaluation path lowers patterns once into
+//! [`SymId`](crate::expr::SymId)-native compiled plans ([`crate::plan`]) and
+//! matches through those; `Evaluator::interpret_patterns` selects this
+//! implementation instead, the same baseline-preservation pattern as
+//! [`scan`] and the map-backed row representation.
 
 use cypher_parser::ast::{
     MatchClause, NodePattern, PathPattern, RelDirection, RelationshipPattern,
@@ -476,7 +483,10 @@ fn node_binding_consistent(
     }
 }
 
-fn properties_match(
+/// Evaluates a pattern's property map against an entity. Shared with the
+/// compiled matcher ([`crate::plan`]) — property expressions are not on the
+/// per-candidate name-resolution path the plan layer optimizes.
+pub(crate) fn properties_match(
     ctx: EvalCtx<'_>,
     row: &Row,
     entity: EntityId,

@@ -1,0 +1,890 @@
+//! The query-plan layer: `MATCH` patterns and projections lowered once into
+//! [`SymId`]-native compiled structures.
+//!
+//! The name-resolving matcher in [`crate::matching`] calls
+//! `row.get(symbols, name)` (a hash probe plus a scan) and `symbols.intern`
+//! for every candidate it tests — per candidate, per graph, per search. This
+//! module lowers each clause **once per query run** into compiled structures
+//! whose variables are pre-interned [`SymId`]s, so the hot matching loop
+//! performs integer-keyed row operations only:
+//!
+//! * [`CompiledMatch`] — path patterns with pre-interned variable ids,
+//!   the `WHERE` predicate, and the pre-computed `OPTIONAL MATCH` null-fill
+//!   variable set;
+//! * [`CompiledProjection`] — pre-computed output column names (no
+//!   per-application pretty-printing) and pre-interned output ids;
+//! * [`PlanCache`] — the per-run lowering memo, keyed by AST node address
+//!   (stable while the [`Query`] is alive), shared through
+//!   [`crate::expr::EvalCtx::plans`];
+//! * [`QueryPlan`] — a query's symbol table plus plan cache as one owned
+//!   value, so callers (notably the counterexample search's cross-search
+//!   plan cache) can keep plans alongside an owned query.
+//!
+//! The compiled matcher below mirrors the interpreted matcher's recursion
+//! and candidate enumeration **exactly** — identical rows in identical
+//! order, on both the adjacency-indexed and linear-scan enumeration paths —
+//! and the interpreted matcher survives unchanged as the differential
+//! oracle behind `Evaluator::interpret_patterns`, the same pattern as
+//! `scan_matching` (PR 3) and `map_rows` (PR 4).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cypher_parser::ast::{
+    Expr, MatchClause, NodePattern, PathPattern, Projection, ProjectionItems, Query, RelDirection,
+    RelationshipPattern, VarLength,
+};
+
+use crate::eval::EvalError;
+use crate::expr::{EvalCtx, Row, SymId, SymbolTable};
+use crate::fxhash::FxHashMap;
+use crate::graph::{EntityId, NodeId, RelId};
+use crate::matching::properties_match;
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Compiled structures
+// ---------------------------------------------------------------------------
+
+/// A `MATCH` clause lowered to [`SymId`]-native patterns.
+#[derive(Debug)]
+pub struct CompiledMatch {
+    /// `true` for `OPTIONAL MATCH`.
+    pub optional: bool,
+    /// The compiled comma-separated path patterns.
+    pub patterns: Vec<CompiledPathPattern>,
+    /// The clause's `WHERE` predicate (evaluated through the shared
+    /// expression evaluator — property-map and predicate expressions still
+    /// resolve variables by name, they are not on the per-candidate path).
+    pub where_clause: Option<Expr>,
+    /// Every variable the clause's patterns introduce, pre-interned and in
+    /// the same (name-sorted, deduplicated) order the interpreted
+    /// `OPTIONAL MATCH` null-fill uses.
+    pub optional_syms: Vec<SymId>,
+}
+
+/// One path pattern with pre-interned variables.
+#[derive(Debug)]
+pub struct CompiledPathPattern {
+    /// The path variable, if the pattern is named.
+    pub variable: Option<SymId>,
+    /// The left-most node pattern.
+    pub start: CompiledNodePattern,
+    /// The chain of relationship/node segments.
+    pub segments: Vec<CompiledSegment>,
+}
+
+/// One `-[...]-(...)` step of a compiled path pattern.
+#[derive(Debug)]
+pub struct CompiledSegment {
+    /// The relationship pattern of this step.
+    pub relationship: CompiledRelPattern,
+    /// The node pattern this step ends at.
+    pub node: CompiledNodePattern,
+}
+
+/// A node pattern with its variable pre-interned. Labels stay as names
+/// (label ids are per-graph — the adjacency index resolves them per graph);
+/// property expressions are cloned out of the AST once at lowering time.
+#[derive(Debug)]
+pub struct CompiledNodePattern {
+    /// The pre-interned node variable, if given.
+    pub variable: Option<SymId>,
+    /// Labels required on the node (conjunctive).
+    pub labels: Vec<String>,
+    /// Required property values.
+    pub properties: Vec<(String, Expr)>,
+}
+
+/// A relationship pattern with its variable pre-interned.
+#[derive(Debug)]
+pub struct CompiledRelPattern {
+    /// The pre-interned relationship variable, if given.
+    pub variable: Option<SymId>,
+    /// Alternative labels (`:A|B`).
+    pub labels: Vec<String>,
+    /// Required property values.
+    pub properties: Vec<(String, Expr)>,
+    /// Direction of the relationship.
+    pub direction: RelDirection,
+    /// Variable-length specifier, if the pattern is `*`-quantified.
+    pub length: Option<VarLength>,
+}
+
+impl CompiledRelPattern {
+    /// Returns `true` if this is a variable-length pattern.
+    pub fn is_var_length(&self) -> bool {
+        self.length.is_some()
+    }
+}
+
+/// A `WITH`/`RETURN` projection with explicit items lowered once: output
+/// column names are computed at lowering time (the interpreted path
+/// pretty-prints un-aliased expressions on **every** application) and output
+/// ids are pre-interned so per-row environment binding skips name hashing.
+/// `RETURN *` stays dynamic — its column set depends on the rows.
+#[derive(Debug)]
+pub struct CompiledProjection {
+    /// Output column names, in item order.
+    pub columns: Vec<String>,
+    /// The pre-interned ids of `columns`, position by position.
+    pub syms: Vec<SymId>,
+    /// The projected expressions, cloned out of the AST once.
+    pub exprs: Vec<Expr>,
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+fn lower_node(symbols: &SymbolTable, pattern: &NodePattern) -> CompiledNodePattern {
+    CompiledNodePattern {
+        variable: pattern.variable.as_deref().map(|name| symbols.intern(name)),
+        labels: pattern.labels.clone(),
+        properties: pattern.properties.clone(),
+    }
+}
+
+fn lower_rel(symbols: &SymbolTable, pattern: &RelationshipPattern) -> CompiledRelPattern {
+    CompiledRelPattern {
+        variable: pattern.variable.as_deref().map(|name| symbols.intern(name)),
+        labels: pattern.labels.clone(),
+        properties: pattern.properties.clone(),
+        direction: pattern.direction,
+        length: pattern.length,
+    }
+}
+
+fn lower_path(symbols: &SymbolTable, pattern: &PathPattern) -> CompiledPathPattern {
+    CompiledPathPattern {
+        variable: pattern.variable.as_deref().map(|name| symbols.intern(name)),
+        start: lower_node(symbols, &pattern.start),
+        segments: pattern
+            .segments
+            .iter()
+            .map(|segment| CompiledSegment {
+                relationship: lower_rel(symbols, &segment.relationship),
+                node: lower_node(symbols, &segment.node),
+            })
+            .collect(),
+    }
+}
+
+/// Lowers a `MATCH` clause. Public so tests can lower without a cache.
+pub fn lower_match(symbols: &SymbolTable, clause: &MatchClause) -> CompiledMatch {
+    // The null-fill set mirrors `eval::pattern_variables`: sorted by name,
+    // deduplicated, then interned.
+    let mut names = Vec::new();
+    for pattern in &clause.patterns {
+        if let Some(v) = &pattern.variable {
+            names.push(v.clone());
+        }
+        for node in pattern.nodes() {
+            if let Some(v) = &node.variable {
+                names.push(v.clone());
+            }
+        }
+        for rel in pattern.relationships() {
+            if let Some(v) = &rel.variable {
+                names.push(v.clone());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    CompiledMatch {
+        optional: clause.optional,
+        patterns: clause.patterns.iter().map(|p| lower_path(symbols, p)).collect(),
+        where_clause: clause.where_clause.clone(),
+        optional_syms: names.iter().map(|name| symbols.intern(name)).collect(),
+    }
+}
+
+/// Lowers a projection's explicit items. Callers must not pass `RETURN *`
+/// projections (those stay dynamic).
+pub fn lower_projection(symbols: &SymbolTable, projection: &Projection) -> CompiledProjection {
+    let ProjectionItems::Items(items) = &projection.items else {
+        unreachable!("star projections are not lowered");
+    };
+    let columns: Vec<String> = items.iter().map(|item| item.output_name()).collect();
+    let syms = columns.iter().map(|name| symbols.intern(name)).collect();
+    CompiledProjection {
+        syms,
+        exprs: items.iter().map(|item| item.expr.clone()).collect(),
+        columns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-run plan cache and the owned query plan
+// ---------------------------------------------------------------------------
+
+/// The per-run lowering memo: each `MATCH` clause and explicit projection of
+/// the query is lowered at most once, keyed by its AST node address.
+///
+/// Address keys are sound because the cache never outlives the query: a
+/// [`crate::eval::PreparedQuery`] borrows the query for the cache's whole
+/// lifetime, and [`QueryPlan`] users keep query and plan together (the AST
+/// nodes live in heap-allocated clause vectors, so moving the `Query` value
+/// itself does not move them).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    matches: RefCell<FxHashMap<usize, Rc<CompiledMatch>>>,
+    projections: RefCell<FxHashMap<usize, Rc<CompiledProjection>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The compiled plan of `clause`, lowering on first use.
+    pub fn match_plan(&self, symbols: &SymbolTable, clause: &MatchClause) -> Rc<CompiledMatch> {
+        let key = clause as *const MatchClause as usize;
+        if let Some(hit) = self.matches.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let lowered = Rc::new(lower_match(symbols, clause));
+        self.matches.borrow_mut().insert(key, Rc::clone(&lowered));
+        lowered
+    }
+
+    /// The compiled plan of `projection` (explicit items only), lowering on
+    /// first use.
+    pub fn projection_plan(
+        &self,
+        symbols: &SymbolTable,
+        projection: &Projection,
+    ) -> Rc<CompiledProjection> {
+        let key = projection as *const Projection as usize;
+        if let Some(hit) = self.projections.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let lowered = Rc::new(lower_projection(symbols, projection));
+        self.projections.borrow_mut().insert(key, Rc::clone(&lowered));
+        lowered
+    }
+
+    /// Number of lowered plans (matches + projections), for tests.
+    pub fn len(&self) -> usize {
+        self.matches.borrow().len() + self.projections.borrow().len()
+    }
+
+    /// Returns `true` if nothing has been lowered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A query's plan-time state as one owned value: the interned symbol table
+/// plus the lowered-plan cache. [`crate::eval::PreparedQuery`] pairs one of
+/// these with a borrowed query; callers that need to *own* the query too
+/// (the counterexample search's per-query-text plan cache) keep a
+/// `(Query, QueryPlan)` pair and evaluate through
+/// [`crate::eval::Evaluator::evaluate_planned`].
+///
+/// A plan is tied to the exact query instance it was built from (plans key
+/// on AST node addresses); evaluating a different query under it is safe but
+/// wasteful — the addresses miss and everything re-lowers.
+#[derive(Debug)]
+pub struct QueryPlan {
+    symbols: SymbolTable,
+    plans: PlanCache,
+}
+
+impl QueryPlan {
+    /// Plans `query`: interns every name it can bind or reference (the
+    /// plan-time AST walk). Lowering itself stays lazy — each clause lowers
+    /// on its first application.
+    pub fn new(query: &Query) -> Self {
+        QueryPlan { symbols: SymbolTable::for_query(query), plans: PlanCache::new() }
+    }
+
+    /// An empty plan (on-demand interning; used by one-shot evaluation,
+    /// where the plan-time walk does not pay for itself).
+    pub fn empty() -> Self {
+        QueryPlan { symbols: SymbolTable::new(), plans: PlanCache::new() }
+    }
+
+    /// The plan's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The plan's lowering cache.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled matcher
+// ---------------------------------------------------------------------------
+//
+// Mirrors `crate::matching` step for step; every name-keyed row operation is
+// replaced by its `SymId`-keyed counterpart. Comments explaining the shared
+// semantics (injectivity, ordering, self-loop handling) live on the
+// interpreted implementation.
+
+type OnComplete<'a> =
+    &'a mut dyn FnMut(EvalCtx<'_>, Row, &mut Vec<RelId>, &[Value]) -> Result<(), EvalError>;
+
+/// Finds all extensions of `base` satisfying the compiled clause's patterns
+/// and `WHERE` predicate — the compiled counterpart of
+/// [`crate::matching::match_clause`].
+pub fn match_compiled_clause(
+    ctx: EvalCtx<'_>,
+    compiled: &CompiledMatch,
+    base: &Row,
+) -> Result<Vec<Row>, EvalError> {
+    let mut results = Vec::new();
+    let mut used = Vec::new();
+    match_pattern_list(ctx, &compiled.patterns, 0, base.clone(), &mut used, &mut results)?;
+    match &compiled.where_clause {
+        None => Ok(results),
+        Some(predicate) => {
+            let mut kept = Vec::new();
+            for row in results {
+                if crate::expr::eval_predicate(ctx, &row, predicate)? {
+                    kept.push(row);
+                }
+            }
+            Ok(kept)
+        }
+    }
+}
+
+fn match_pattern_list(
+    ctx: EvalCtx<'_>,
+    patterns: &[CompiledPathPattern],
+    index: usize,
+    row: Row,
+    used: &mut Vec<RelId>,
+    results: &mut Vec<Row>,
+) -> Result<(), EvalError> {
+    if index == patterns.len() {
+        results.push(row);
+        return Ok(());
+    }
+    let pattern = &patterns[index];
+    let candidates = candidate_nodes(ctx, &row, &pattern.start)?;
+    for node in candidates {
+        let mut next_row = row.clone();
+        bind_node(ctx.symbols, &mut next_row, &pattern.start, node);
+        let mut trace = vec![Value::Node(node)];
+        let used_before = used.len();
+        match_segments(
+            ctx,
+            pattern,
+            0,
+            node,
+            next_row,
+            used,
+            &mut trace,
+            &mut |ctx, row, used, trace| {
+                let mut row = row;
+                if let Some(path_sym) = pattern.variable {
+                    row.insert_sym(ctx.symbols, path_sym, Value::Path(trace.to_vec()));
+                }
+                match_pattern_list(ctx, patterns, index + 1, row, used, results)
+            },
+        )?;
+        used.truncate(used_before);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_segments(
+    ctx: EvalCtx<'_>,
+    pattern: &CompiledPathPattern,
+    segment_index: usize,
+    current: NodeId,
+    row: Row,
+    used: &mut Vec<RelId>,
+    trace: &mut Vec<Value>,
+    on_complete: OnComplete<'_>,
+) -> Result<(), EvalError> {
+    if segment_index == pattern.segments.len() {
+        return on_complete(ctx, row, used, trace);
+    }
+    let segment = &pattern.segments[segment_index];
+    let rel_pattern = &segment.relationship;
+
+    if rel_pattern.is_var_length() {
+        match_var_length(ctx, pattern, segment_index, current, row, used, trace, on_complete)
+    } else {
+        let candidates = candidate_relationships(ctx, &row, rel_pattern, current)?;
+        for (rel, next_node) in candidates {
+            if violates_injectivity(ctx.symbols, &row, rel_pattern, rel, used) {
+                continue;
+            }
+            if !node_matches(ctx, &row, next_node, &segment.node)?
+                || !node_binding_consistent(ctx.symbols, &row, &segment.node, next_node)
+            {
+                continue;
+            }
+            let mut next_row = row.clone();
+            if let Some(sym) = rel_pattern.variable {
+                next_row.insert_sym(ctx.symbols, sym, Value::Relationship(rel));
+            }
+            bind_node(ctx.symbols, &mut next_row, &segment.node, next_node);
+            used.push(rel);
+            trace.push(Value::Relationship(rel));
+            trace.push(Value::Node(next_node));
+            match_segments(
+                ctx,
+                pattern,
+                segment_index + 1,
+                next_node,
+                next_row,
+                used,
+                trace,
+                on_complete,
+            )?;
+            trace.pop();
+            trace.pop();
+            used.pop();
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_var_length(
+    ctx: EvalCtx<'_>,
+    pattern: &CompiledPathPattern,
+    segment_index: usize,
+    start: NodeId,
+    row: Row,
+    used: &mut Vec<RelId>,
+    trace: &mut Vec<Value>,
+    on_complete: OnComplete<'_>,
+) -> Result<(), EvalError> {
+    let segment = &pattern.segments[segment_index];
+    let rel_pattern = &segment.relationship;
+    let length = rel_pattern.length.expect("var-length pattern");
+    let min = length.effective_min();
+    let max = length.max.unwrap_or(ctx.max_var_length).max(min);
+
+    struct Frame {
+        node: NodeId,
+        rels: Vec<RelId>,
+    }
+    let mut stack = vec![Frame { node: start, rels: Vec::new() }];
+    while let Some(frame) = stack.pop() {
+        let hops = frame.rels.len() as u32;
+        if hops >= min {
+            let end = frame.node;
+            if node_matches(ctx, &row, end, &segment.node)?
+                && node_binding_consistent(ctx.symbols, &row, &segment.node, end)
+            {
+                let mut next_row = row.clone();
+                if let Some(sym) = rel_pattern.variable {
+                    next_row.insert_sym(
+                        ctx.symbols,
+                        sym,
+                        Value::List(frame.rels.iter().map(|r| Value::Relationship(*r)).collect()),
+                    );
+                }
+                bind_node(ctx.symbols, &mut next_row, &segment.node, end);
+                let used_before = used.len();
+                let trace_before = trace.len();
+                for rel in &frame.rels {
+                    used.push(*rel);
+                    trace.push(Value::Relationship(*rel));
+                }
+                trace.push(Value::Node(end));
+                match_segments(
+                    ctx,
+                    pattern,
+                    segment_index + 1,
+                    end,
+                    next_row,
+                    used,
+                    trace,
+                    on_complete,
+                )?;
+                trace.truncate(trace_before);
+                used.truncate(used_before);
+            }
+        }
+        if hops >= max {
+            continue;
+        }
+        let extensions = candidate_relationships(ctx, &row, rel_pattern, frame.node)?;
+        for (rel, next) in extensions {
+            if frame.rels.contains(&rel) || used.contains(&rel) {
+                continue;
+            }
+            let mut rels = frame.rels.clone();
+            rels.push(rel);
+            stack.push(Frame { node: next, rels });
+        }
+    }
+    Ok(())
+}
+
+fn candidate_relationships(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    pattern: &CompiledRelPattern,
+    from: NodeId,
+) -> Result<Vec<(RelId, NodeId)>, EvalError> {
+    if ctx.scan_matching {
+        return scan_candidate_relationships(ctx, row, pattern, from);
+    }
+    let index = ctx.graph.adjacency();
+
+    enum TypeFilter {
+        Any,
+        One(u32),
+        AnyOf(Vec<u32>),
+    }
+    let type_filter = match pattern.labels.as_slice() {
+        [] => TypeFilter::Any,
+        [label] => match index.rel_type_id(label) {
+            None => return Ok(Vec::new()),
+            Some(id) => TypeFilter::One(id),
+        },
+        labels => {
+            let resolved: Vec<u32> =
+                labels.iter().filter_map(|label| index.rel_type_id(label)).collect();
+            if resolved.is_empty() {
+                return Ok(Vec::new());
+            }
+            TypeFilter::AnyOf(resolved)
+        }
+    };
+    let bound = pattern.variable.and_then(|sym| match row.get_sym(ctx.symbols, sym) {
+        Some(Value::Relationship(bound)) => Some(*bound),
+        _ => None,
+    });
+
+    let mut out = Vec::new();
+    let mut push = |entry: &crate::index::AdjEntry| -> Result<(), EvalError> {
+        let type_ok = match &type_filter {
+            TypeFilter::Any => true,
+            TypeFilter::One(id) => entry.type_id == *id,
+            TypeFilter::AnyOf(ids) => ids.contains(&entry.type_id),
+        };
+        if !type_ok {
+            return Ok(());
+        }
+        if let Some(bound) = bound {
+            if bound != entry.rel {
+                return Ok(());
+            }
+        }
+        if pattern.properties.iter().any(|(key, _)| !index.rel_has_key(entry.rel, key)) {
+            return Ok(());
+        }
+        if properties_match(ctx, row, EntityId::Relationship(entry.rel), &pattern.properties)? {
+            out.push((entry.rel, entry.neighbour));
+        }
+        Ok(())
+    };
+    match pattern.direction {
+        RelDirection::Outgoing => {
+            for entry in index.outgoing(from) {
+                push(entry)?;
+            }
+        }
+        RelDirection::Incoming => {
+            for entry in index.incoming(from) {
+                push(entry)?;
+            }
+        }
+        RelDirection::Undirected => {
+            let outgoing = index.outgoing(from);
+            let incoming = index.incoming(from);
+            let (mut i, mut j) = (0, 0);
+            while i < outgoing.len() || j < incoming.len() {
+                let take_out = match (outgoing.get(i), incoming.get(j)) {
+                    (Some(o), Some(n)) => {
+                        if o.rel == n.rel {
+                            j += 1;
+                            true
+                        } else {
+                            o.rel < n.rel
+                        }
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if take_out {
+                    push(&outgoing[i])?;
+                    i += 1;
+                } else {
+                    push(&incoming[j])?;
+                    j += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn scan_candidate_relationships(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    pattern: &CompiledRelPattern,
+    from: NodeId,
+) -> Result<Vec<(RelId, NodeId)>, EvalError> {
+    let mut out = Vec::new();
+    for rel_id in ctx.graph.relationship_ids() {
+        let rel = ctx.graph.relationship(rel_id);
+        let neighbour = match pattern.direction {
+            RelDirection::Outgoing => {
+                if rel.source != from {
+                    continue;
+                }
+                rel.target
+            }
+            RelDirection::Incoming => {
+                if rel.target != from {
+                    continue;
+                }
+                rel.source
+            }
+            RelDirection::Undirected => {
+                if rel.source == from {
+                    rel.target
+                } else if rel.target == from {
+                    rel.source
+                } else {
+                    continue;
+                }
+            }
+        };
+        if !pattern.labels.is_empty() && !pattern.labels.contains(&rel.label) {
+            continue;
+        }
+        if !properties_match(ctx, row, EntityId::Relationship(rel_id), &pattern.properties)? {
+            continue;
+        }
+        if let Some(sym) = pattern.variable {
+            if let Some(Value::Relationship(bound)) = row.get_sym(ctx.symbols, sym) {
+                if *bound != rel_id {
+                    continue;
+                }
+            }
+        }
+        out.push((rel_id, neighbour));
+    }
+    Ok(out)
+}
+
+fn violates_injectivity(
+    symbols: &SymbolTable,
+    row: &Row,
+    pattern: &CompiledRelPattern,
+    rel: RelId,
+    used: &[RelId],
+) -> bool {
+    if !used.contains(&rel) {
+        return false;
+    }
+    match pattern.variable {
+        Some(sym) => {
+            !matches!(row.get_sym(symbols, sym), Some(Value::Relationship(bound)) if *bound == rel)
+        }
+        None => true,
+    }
+}
+
+fn candidate_nodes(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    pattern: &CompiledNodePattern,
+) -> Result<Vec<NodeId>, EvalError> {
+    if ctx.scan_matching {
+        return scan_candidate_nodes(ctx, row, pattern);
+    }
+    if let Some(sym) = pattern.variable {
+        match row.get_sym(ctx.symbols, sym) {
+            Some(Value::Node(id)) => {
+                return if node_matches(ctx, row, *id, pattern)? {
+                    Ok(vec![*id])
+                } else {
+                    Ok(vec![])
+                };
+            }
+            Some(_) => return Ok(vec![]),
+            None => {}
+        }
+    }
+    let index = ctx.graph.adjacency();
+    if pattern.properties.is_empty() {
+        match pattern.labels.as_slice() {
+            [] => return Ok(ctx.graph.node_ids().collect()),
+            [label] => {
+                return Ok(match index.nodes_with_label(label) {
+                    None => Vec::new(),
+                    Some(set) => set.iter().map(NodeId).collect(),
+                })
+            }
+            _ => {}
+        }
+    }
+    let Some(mut candidates) = index.label_candidates(&pattern.labels) else {
+        return Ok(Vec::new());
+    };
+    for (key, _) in &pattern.properties {
+        let Some(with_key) = index.nodes_with_key(key) else {
+            return Ok(Vec::new());
+        };
+        candidates.intersect_with(with_key);
+    }
+    let mut out = Vec::new();
+    for id in candidates.iter() {
+        let id = NodeId(id);
+        if properties_match(ctx, row, EntityId::Node(id), &pattern.properties)? {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+fn scan_candidate_nodes(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    pattern: &CompiledNodePattern,
+) -> Result<Vec<NodeId>, EvalError> {
+    if let Some(sym) = pattern.variable {
+        match row.get_sym(ctx.symbols, sym) {
+            Some(Value::Node(id)) => {
+                return if node_matches(ctx, row, *id, pattern)? {
+                    Ok(vec![*id])
+                } else {
+                    Ok(vec![])
+                };
+            }
+            Some(_) => return Ok(vec![]),
+            None => {}
+        }
+    }
+    let mut out = Vec::new();
+    for id in ctx.graph.node_ids() {
+        if node_matches(ctx, row, id, pattern)? {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+fn node_matches(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    id: NodeId,
+    pattern: &CompiledNodePattern,
+) -> Result<bool, EvalError> {
+    let node = ctx.graph.node(id);
+    if !pattern.labels.iter().all(|label| node.labels.contains(label)) {
+        return Ok(false);
+    }
+    properties_match(ctx, row, EntityId::Node(id), &pattern.properties)
+}
+
+fn node_binding_consistent(
+    symbols: &SymbolTable,
+    row: &Row,
+    pattern: &CompiledNodePattern,
+    id: NodeId,
+) -> bool {
+    match pattern.variable {
+        Some(sym) => match row.get_sym(symbols, sym) {
+            Some(Value::Node(bound)) => *bound == id,
+            Some(_) => false,
+            None => true,
+        },
+        None => true,
+    }
+}
+
+fn bind_node(symbols: &SymbolTable, row: &mut Row, pattern: &CompiledNodePattern, id: NodeId) {
+    if let Some(sym) = pattern.variable {
+        row.insert_sym(symbols, sym, Value::Node(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropertyGraph;
+    use cypher_parser::ast::Clause;
+    use cypher_parser::parse_query;
+
+    fn match_clause_of(text: &str) -> MatchClause {
+        let query = parse_query(text).unwrap();
+        match &query.parts[0].clauses[0] {
+            Clause::Match(m) => m.clone(),
+            _ => panic!("expected MATCH"),
+        }
+    }
+
+    #[test]
+    fn lowering_interns_every_pattern_variable() {
+        let clause = match_clause_of("MATCH p = (a:Person)-[r:READ]->(b) WHERE a.age > 1 RETURN a");
+        let symbols = SymbolTable::new();
+        let compiled = lower_match(&symbols, &clause);
+        for name in ["p", "a", "r", "b"] {
+            assert!(symbols.lookup(name).is_some(), "{name} not interned by lowering");
+        }
+        assert_eq!(compiled.patterns.len(), 1);
+        assert!(compiled.where_clause.is_some());
+        // The null-fill set is name-sorted: a, b, p, r.
+        let names: Vec<_> =
+            compiled.optional_syms.iter().map(|sym| symbols.name(*sym).to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "p", "r"]);
+    }
+
+    #[test]
+    fn plan_cache_lowers_each_clause_once() {
+        let query = parse_query("MATCH (a)-[r]->(b) MATCH (b)-[s]->(c) RETURN a, c").unwrap();
+        let symbols = SymbolTable::new();
+        let cache = PlanCache::new();
+        let Clause::Match(m1) = &query.parts[0].clauses[0] else { panic!() };
+        let Clause::Match(m2) = &query.parts[0].clauses[1] else { panic!() };
+        let first = cache.match_plan(&symbols, m1);
+        let again = cache.match_plan(&symbols, m1);
+        assert!(Rc::ptr_eq(&first, &again), "re-lowered an already-cached clause");
+        let other = cache.match_plan(&symbols, m2);
+        assert!(!Rc::ptr_eq(&first, &other));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn compiled_clause_matches_like_the_interpreter() {
+        let graph = PropertyGraph::paper_example();
+        for text in [
+            "MATCH (n:Person) RETURN n",
+            "MATCH (reader:Person)-[:READ]->(book:Book)<-[:WRITE]-(writer) RETURN writer",
+            "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1",
+            "MATCH (n:Person) WHERE n.age > 26 RETURN n",
+            "MATCH p = (a:Person)-[:WRITE]->(b) RETURN p",
+        ] {
+            let clause = match_clause_of(text);
+            let symbols = SymbolTable::new();
+            let ctx = EvalCtx::new(&graph, &symbols);
+            let interpreted = crate::matching::match_clause(ctx, &clause, &Row::new()).unwrap();
+            let compiled = lower_match(&symbols, &clause);
+            let through_plan = match_compiled_clause(ctx, &compiled, &Row::new()).unwrap();
+            assert_eq!(interpreted, through_plan, "compiled matcher diverged on {text}");
+        }
+    }
+
+    #[test]
+    fn projection_lowering_precomputes_columns_and_ids() {
+        let query = parse_query("MATCH (n) RETURN n.name AS name, n.age").unwrap();
+        let Some(Clause::Return(projection)) = query.parts[0].clauses.last() else { panic!() };
+        let symbols = SymbolTable::new();
+        let compiled = lower_projection(&symbols, projection);
+        assert_eq!(compiled.columns, vec!["name", "n.age"]);
+        assert_eq!(compiled.syms.len(), 2);
+        assert_eq!(symbols.lookup("name"), Some(compiled.syms[0]));
+        assert_eq!(symbols.lookup("n.age"), Some(compiled.syms[1]));
+        assert_eq!(compiled.exprs.len(), 2);
+    }
+}

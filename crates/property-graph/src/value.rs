@@ -54,19 +54,31 @@ fn cmp_int_float_wide(i: i64, f: f64) -> Ordering {
     }
 }
 
+/// Float/float comparison under the *total* order: [`f64::total_cmp`]
+/// (which places `-0.0` below `0.0`) except that **all NaNs collapse into
+/// one value ordered above every number**, as Cypher/Neo4j order NaN. IEEE
+/// leaves the NaN sign bit platform-dependent (`0.0/0.0` sets it on
+/// x86-64, clears it on AArch64) and [`Value::neg`] flips it, so letting
+/// `total_cmp`'s sign-split NaN classes reach `ORDER BY`/`DISTINCT`/bag
+/// equality would make semantically identical NaN results compare unequal
+/// — a spurious counterexample, i.e. verdict corruption.
+fn cmp_float_total(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
 /// Integer/float comparison under the *total* order: exactly-convertible
-/// integers go through [`f64::total_cmp`] (which places `-0.0` below `0.0`,
-/// keeping the mixed order transitive with the float/float total order),
-/// wider ones through [`cmp_int_float_wide`], and NaN sorts the way
-/// `total_cmp` sorts it — negative NaN below every number, positive NaN
-/// above.
+/// integers go through [`cmp_float_total`] (which places `-0.0` below
+/// `0.0`, keeping the mixed order transitive with the float/float total
+/// order), wider ones through [`cmp_int_float_wide`], and NaN — one
+/// collapsed class, whatever its sign bit — sorts above every integer.
 fn cmp_int_float_total(i: i64, f: f64) -> Ordering {
     if f.is_nan() {
-        if f.is_sign_negative() {
-            Ordering::Greater
-        } else {
-            Ordering::Less
-        }
+        Ordering::Less
     } else if i.unsigned_abs() <= EXACTLY_CONVERTIBLE {
         (i as f64).total_cmp(&f)
     } else {
@@ -220,7 +232,7 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Float(a), Value::Float(b)) => cmp_float_total(*a, *b),
             (Value::Integer(a), Value::Float(b)) => cmp_int_float_total(*a, *b),
             (Value::Float(a), Value::Integer(b)) => cmp_int_float_total(*b, *a).reverse(),
             (Value::String(a), Value::String(b)) => a.cmp(b),
@@ -307,7 +319,22 @@ impl Value {
         }
     }
 
-    /// Division. Integer division truncates; division by zero yields `NULL`.
+    /// Arithmetic negation. Floats flip their sign bit (so `-(0.0)` is
+    /// `-0.0`, as IEEE and Cypher have it — the previous `0 - x` detour
+    /// produced `+0.0`); integer negation overflow (`-(i64::MIN)`) yields
+    /// `NULL`, consistent with the other overflowing integer operations.
+    pub fn neg(&self) -> Value {
+        match self {
+            Value::Integer(v) => v.checked_neg().map(Value::Integer).unwrap_or(Value::Null),
+            Value::Float(v) => Value::Float(-v),
+            _ => Value::Null,
+        }
+    }
+
+    /// Division. Integer division truncates and integer division by zero
+    /// yields `NULL` (this evaluator's convention for runtime errors); float
+    /// division follows IEEE like openCypher/Neo4j, so `1.0 / 0.0` is
+    /// `Infinity`, `-1.0 / 0.0` is `-Infinity` and `0.0 / 0.0` is `NaN`.
     pub fn div(&self, other: &Value) -> Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => Value::Null,
@@ -319,13 +346,15 @@ impl Value {
                 }
             }
             (a, b) => match (a.as_number(), b.as_number()) {
-                (Some(x), Some(y)) if y != 0.0 => Value::Float(x / y),
+                (Some(x), Some(y)) => Value::Float(x / y),
                 _ => Value::Null,
             },
         }
     }
 
-    /// Modulo. Modulo by zero yields `NULL`.
+    /// Modulo. Integer modulo by zero yields `NULL` (like integer division);
+    /// float modulo follows IEEE like openCypher/Neo4j, so `x % 0.0` is
+    /// `NaN`.
     pub fn rem(&self, other: &Value) -> Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => Value::Null,
@@ -337,7 +366,7 @@ impl Value {
                 }
             }
             (a, b) => match (a.as_number(), b.as_number()) {
-                (Some(x), Some(y)) if y != 0.0 => Value::Float(x % y),
+                (Some(x), Some(y)) => Value::Float(x % y),
                 _ => Value::Null,
             },
         }
@@ -571,11 +600,38 @@ mod tests {
         );
         assert_eq!(Value::Integer(i64::MAX).cypher_cmp(&Value::Float(f64::NAN)), None);
         assert_eq!(Value::Integer(i64::MAX).cypher_eq(&Value::Float(f64::NAN)), Some(false));
-        // Total order: NaN above every number (like f64::total_cmp), and the
-        // mixed comparison stays antisymmetric.
+        // Total order: NaN — one collapsed class regardless of its sign bit
+        // — above every number, and the mixed comparison stays
+        // antisymmetric.
         assert_eq!(Value::Integer(i64::MAX).total_cmp(&Value::Float(f64::NAN)), Ordering::Less);
         assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Integer(i64::MAX)), Ordering::Greater);
-        assert_eq!(Value::Integer(i64::MIN).total_cmp(&Value::Float(-f64::NAN)), Ordering::Greater);
+        assert_eq!(Value::Integer(i64::MIN).total_cmp(&Value::Float(-f64::NAN)), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_sign_is_not_observable_in_the_total_order() {
+        // IEEE leaves the sign of a produced NaN platform-dependent
+        // (`0.0/0.0` sets the sign bit on x86-64, clears it on AArch64) and
+        // `Value::neg` flips it; the total order must collapse all NaNs
+        // into one value or equivalent rewrites like `-(a/b)` vs `(-a)/b`
+        // would disagree on NaN-producing inputs — a spurious
+        // counterexample.
+        let positive = Value::Float(f64::NAN);
+        let negative = Value::Float(-f64::NAN);
+        assert_eq!(positive.total_cmp(&negative), Ordering::Equal);
+        assert_eq!(negative.total_cmp(&positive), Ordering::Equal);
+        // NaNs reached through evaluation agree with the literal ones.
+        let div_nan = Value::Float(-0.0).div(&Value::Float(0.0));
+        let neg_nan = Value::Float(0.0).div(&Value::Float(0.0)).neg();
+        assert_eq!(div_nan.total_cmp(&neg_nan), Ordering::Equal);
+        assert_eq!(div_nan.total_cmp(&positive), Ordering::Equal);
+        // The collapsed class sorts above every number (Cypher/Neo4j: NaN
+        // is larger than all other numbers) but still below NULL.
+        for nan in [&positive, &negative] {
+            assert_eq!(nan.total_cmp(&Value::Float(f64::INFINITY)), Ordering::Greater);
+            assert_eq!(nan.total_cmp(&Value::Integer(i64::MIN)), Ordering::Greater);
+            assert_eq!(nan.total_cmp(&Value::Null), Ordering::Less);
+        }
     }
 
     #[test]
@@ -646,6 +702,76 @@ mod tests {
         assert_eq!(Value::Integer(7).rem(&Value::Integer(0)), Value::Null);
         assert_eq!(Value::Integer(1).add(&Value::Null), Value::Null);
         assert_eq!(Value::Integer(i64::MAX).add(&Value::Integer(1)), Value::Null);
+    }
+
+    #[test]
+    fn negation_flips_the_float_sign_bit_and_nulls_integer_overflow() {
+        // -(0.0) must be -0.0 — observable through the total order, which
+        // places -0.0 strictly below 0.0 (the old `0 - x` detour lost the
+        // sign bit because 0 + -0.0 promotes through float addition).
+        let negated_zero = Value::Float(0.0).neg();
+        assert_eq!(negated_zero, Value::Float(-0.0));
+        assert_eq!(negated_zero.total_cmp(&Value::Float(0.0)), Ordering::Less);
+        assert_eq!(Value::Float(-0.0).neg().total_cmp(&Value::Float(0.0)), Ordering::Equal);
+        // Double negation is the identity on floats, including the zeros.
+        for f in [0.0, -0.0, 1.5, -2.5, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                Value::Float(f).neg().neg().total_cmp(&Value::Float(f)),
+                Ordering::Equal,
+                "double negation moved {f}"
+            );
+        }
+        // Integer negation: exact within range, explicit NULL on the single
+        // overflowing case instead of a silent wrap.
+        assert_eq!(Value::Integer(5).neg(), Value::Integer(-5));
+        assert_eq!(Value::Integer(-5).neg(), Value::Integer(5));
+        assert_eq!(Value::Integer(i64::MIN + 1).neg(), Value::Integer(i64::MAX));
+        assert_eq!(Value::Integer(i64::MIN).neg(), Value::Null);
+        assert_eq!(Value::Integer(i64::MAX).neg().neg(), Value::Integer(i64::MAX));
+        // Non-numeric operands negate to NULL.
+        assert_eq!(Value::String("x".into()).neg(), Value::Null);
+        assert_eq!(Value::Null.neg(), Value::Null);
+    }
+
+    #[test]
+    fn float_division_by_zero_follows_ieee() {
+        assert_eq!(Value::Float(1.0).div(&Value::Float(0.0)), Value::Float(f64::INFINITY));
+        assert_eq!(Value::Float(-1.0).div(&Value::Float(0.0)), Value::Float(f64::NEG_INFINITY));
+        assert_eq!(Value::Float(1.0).div(&Value::Float(-0.0)), Value::Float(f64::NEG_INFINITY));
+        // 0.0 / 0.0 is NaN — not NULL, and not equal to itself under `=`.
+        let nan = Value::Float(0.0).div(&Value::Float(0.0));
+        assert!(matches!(nan, Value::Float(f) if f.is_nan()));
+        assert_eq!(nan.cypher_eq(&nan), Some(false));
+        assert_eq!(nan.cypher_cmp(&Value::Float(1.0)), None);
+        // Mixed promotion goes through the float path.
+        assert_eq!(Value::Integer(1).div(&Value::Float(0.0)), Value::Float(f64::INFINITY));
+        assert_eq!(Value::Float(-3.0).div(&Value::Integer(0)), Value::Float(f64::NEG_INFINITY));
+        // Integer division by zero stays NULL.
+        assert_eq!(Value::Integer(7).div(&Value::Integer(0)), Value::Null);
+        // The non-finite results have coherent places in the total order
+        // (ORDER BY / DISTINCT determinism).
+        assert_eq!(
+            Value::Float(f64::INFINITY).total_cmp(&Value::Float(f64::NEG_INFINITY)),
+            Ordering::Greater
+        );
+        // NaN (whatever its sign) sorts consistently: equal to itself,
+        // antisymmetric against the infinities.
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        for bound in [f64::INFINITY, f64::NEG_INFINITY] {
+            let ord = nan.total_cmp(&Value::Float(bound));
+            assert_ne!(ord, Ordering::Equal);
+            assert_eq!(Value::Float(bound).total_cmp(&nan), ord.reverse());
+        }
+    }
+
+    #[test]
+    fn float_modulo_by_zero_is_nan() {
+        assert!(matches!(Value::Float(5.0).rem(&Value::Float(0.0)),
+            Value::Float(f) if f.is_nan()));
+        assert!(matches!(Value::Integer(5).rem(&Value::Float(0.0)),
+            Value::Float(f) if f.is_nan()));
+        assert_eq!(Value::Integer(7).rem(&Value::Integer(0)), Value::Null);
+        assert_eq!(Value::Float(5.5).rem(&Value::Float(2.0)), Value::Float(1.5));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Differential and determinism tests of the oracle stack (PRs 3 and 4):
+//! Differential and determinism tests of the oracle stack (PRs 3–5):
 //!
 //! * the adjacency-indexed pattern matcher must return results identical to
 //!   the linear-scan baseline (`matching::scan`) — on generator-produced
@@ -7,6 +7,11 @@
 //!   identical to the map-backed baseline (`Evaluator::map_rows`) — under
 //!   the same property harness over rewritten and mutated query pairs, and
 //!   on every dataset pair;
+//! * the compiled `SymId`-native query plans must return results identical
+//!   to the name-resolving AST interpreter
+//!   (`Evaluator::interpret_patterns`) — under the same property harness,
+//!   and across **all eight** evaluator configurations (compiled × matching
+//!   × row representation) on every dataset pair;
 //! * the parallel counterexample search must reach the same verdict as the
 //!   sequential search (a witness iff one exists, not necessarily the same
 //!   graph index).
@@ -20,8 +25,8 @@ use graphqe::counterexample::{find_counterexample, find_counterexample_parallel}
 use graphqe::SearchConfig;
 use property_graph::rng::DetRng;
 use property_graph::{
-    evaluate_query, evaluate_query_map_rows, evaluate_query_scan, Evaluator, GeneratorConfig,
-    GraphGenerator, PropertyGraph,
+    evaluate_query, evaluate_query_interpreted, evaluate_query_map_rows, evaluate_query_scan,
+    Evaluator, GeneratorConfig, GraphGenerator, PropertyGraph,
 };
 
 /// Evaluates `query` on `graph` through both matching paths and asserts the
@@ -242,10 +247,11 @@ fn flat_vs_map_rows_differential_on_every_dataset_pair() {
     }
 }
 
-/// The four evaluator configurations (matching path × row representation)
-/// all agree on a query mix that exercises every row operation.
+/// The eight evaluator configurations (compiled × matching path × row
+/// representation) all agree on a query mix that exercises every row
+/// operation.
 #[test]
-fn all_four_evaluator_configurations_agree() {
+fn all_eight_evaluator_configurations_agree() {
     let queries = [
         "MATCH (p1)-[x]->(b)<-[y]-(p2) RETURN p1, p2",
         "MATCH (x)-[*1..3]->(y) RETURN y",
@@ -253,6 +259,7 @@ fn all_four_evaluator_configurations_agree() {
         "MATCH (n) RETURN DISTINCT n.p1",
         "MATCH (a)-[r]->(b) WHERE a.age > 2 RETURN a.name, b.p1 ORDER BY a.name",
         "UNWIND [1, 2, 2] AS x RETURN x, COUNT(*)",
+        "MATCH (n) OPTIONAL MATCH (n)-[r:READ]->(m) RETURN n, r",
     ];
     let mut graphs = vec![PropertyGraph::paper_example()];
     graphs.extend(GraphGenerator::new(0x4C0_FFEE).generate_many(6));
@@ -260,16 +267,148 @@ fn all_four_evaluator_configurations_agree() {
         for text in queries {
             let Ok(query) = parse_and_check(text) else { continue };
             let reference = evaluate_query(graph, &query).unwrap();
-            for scan_matching in [false, true] {
-                for map_rows in [false, true] {
-                    let result = Evaluator { scan_matching, map_rows, ..Evaluator::new() }
-                        .evaluate(graph, &query)
-                        .unwrap();
-                    assert!(
-                        reference.ordered_equal(&result),
-                        "configuration (scan={scan_matching}, map={map_rows}) diverged \
-                         on `{text}` over {graph}"
-                    );
+            for interpret_patterns in [false, true] {
+                for scan_matching in [false, true] {
+                    for map_rows in [false, true] {
+                        let evaluator = Evaluator {
+                            scan_matching,
+                            map_rows,
+                            interpret_patterns,
+                            ..Evaluator::new()
+                        };
+                        let result = evaluator.evaluate(graph, &query).unwrap();
+                        assert!(
+                            reference.ordered_equal(&result),
+                            "configuration (interpret={interpret_patterns}, \
+                             scan={scan_matching}, map={map_rows}) diverged on `{text}` \
+                             over {graph}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates `query` on `graph` through the compiled-plan path and the
+/// name-resolving interpreter and asserts identical results — ordered
+/// equality, like the other two differential axes.
+fn assert_plan_paths_agree(graph: &PropertyGraph, query_text: &str, context: &str) {
+    let Ok(query) = parse_and_check(query_text) else { return };
+    let compiled = evaluate_query(graph, &query);
+    let interpreted = evaluate_query_interpreted(graph, &query);
+    match (compiled, interpreted) {
+        (Ok(compiled), Ok(interpreted)) => {
+            assert_eq!(
+                compiled.columns, interpreted.columns,
+                "plan paths disagree on columns ({context}) for `{query_text}`"
+            );
+            assert!(
+                compiled.ordered_equal(&interpreted),
+                "compiled and interpreted plans diverged ({context}) on query `{query_text}` \
+                 over graph:\n{graph}\ncompiled: {compiled}\ninterpreted: {interpreted}"
+            );
+        }
+        (compiled, interpreted) => assert_eq!(
+            compiled.is_err(),
+            interpreted.is_err(),
+            "one plan path errored ({context}) on query `{query_text}`"
+        ),
+    }
+}
+
+/// PRNG-driven property differential of the compiled `SymId`-native plans
+/// against the name-resolving interpreter, over rewritten
+/// (equivalence-preserving) and mutated (equivalence-breaking) query pairs —
+/// the same harness shape as the row-representation differential, pointed
+/// at the third oracle axis.
+#[test]
+fn compiled_plans_match_interpreter_on_rewritten_and_mutated_pairs() {
+    let mut rng = DetRng::seed_from_u64(0xC0DE_9A95);
+    let mut cases = 0;
+    while cases < 36 {
+        let base = ROW_REPR_BASES[rng.range_usize(0, ROW_REPR_BASES.len())];
+        let variant = if rng.range_usize(0, 2) == 0 {
+            let rewrites = cyeqset::rewrite::all_rewrites(base);
+            if rewrites.is_empty() {
+                continue;
+            }
+            rewrites[rng.range_usize(0, rewrites.len())].1.clone()
+        } else {
+            match cyeqset::mutate::mutate(base, rng.range_usize(0, 5)) {
+                Some((_, mutated)) => mutated,
+                None => continue,
+            }
+        };
+        cases += 1;
+        let seed = rng.next_u64();
+        let (Ok(q1), Ok(q2)) = (parse_and_check(base), parse_and_check(&variant)) else {
+            continue;
+        };
+        let vocabulary = GeneratorConfig::from_queries(&[&q1, &q2]);
+        let mut graphs = vec![PropertyGraph::paper_example()];
+        graphs.extend(GraphGenerator::with_config(seed, vocabulary).generate_many(3));
+        for graph in &graphs {
+            let context = format!("graph seed {seed}");
+            assert_plan_paths_agree(graph, base, &context);
+            assert_plan_paths_agree(graph, &variant, &context);
+        }
+    }
+}
+
+/// The acceptance-criterion suite for the plan layer: for **every** pair of
+/// both datasets, both queries evaluate identically under all eight
+/// evaluator configurations (compiled × matching × row representation) over
+/// graphs drawn from the pair's own vocabulary.
+#[test]
+fn all_configurations_agree_on_every_dataset_pair() {
+    let pairs: Vec<_> = cyeqset::cyeqset().into_iter().chain(cyeqset::cyneqset()).collect();
+    assert!(pairs.len() > 250, "datasets unexpectedly small: {}", pairs.len());
+    for pair in &pairs {
+        let (Ok(q1), Ok(q2)) = (parse_and_check(&pair.left), parse_and_check(&pair.right)) else {
+            continue;
+        };
+        let vocabulary = GeneratorConfig::from_queries(&[&q1, &q2]);
+        let mut graphs = vec![PropertyGraph::new(), PropertyGraph::paper_example()];
+        graphs.extend(GraphGenerator::with_config(0xC0DE, vocabulary.clone()).generate_many(2));
+        graphs.extend(
+            GraphGenerator::with_config(
+                0xC0DE + 1,
+                GeneratorConfig { max_nodes: 9, max_relationships: 16, ..vocabulary },
+            )
+            .generate_many(1),
+        );
+        for graph in &graphs {
+            for query in [&q1, &q2] {
+                let reference = evaluate_query(graph, query);
+                for interpret_patterns in [false, true] {
+                    for scan_matching in [false, true] {
+                        for map_rows in [false, true] {
+                            let evaluator = Evaluator {
+                                scan_matching,
+                                map_rows,
+                                interpret_patterns,
+                                ..Evaluator::new()
+                            };
+                            let result = evaluator.evaluate(graph, query);
+                            match (&reference, result) {
+                                (Ok(reference), Ok(result)) => assert!(
+                                    reference.ordered_equal(&result),
+                                    "configuration (interpret={interpret_patterns}, \
+                                     scan={scan_matching}, map={map_rows}) diverged on \
+                                     `{}` / `{}`",
+                                    pair.left,
+                                    pair.right,
+                                ),
+                                (reference, result) => assert_eq!(
+                                    reference.is_err(),
+                                    result.is_err(),
+                                    "one configuration errored on `{}`",
+                                    pair.left,
+                                ),
+                            }
+                        }
+                    }
                 }
             }
         }
