@@ -86,8 +86,10 @@ impl Default for SearchConfig {
 static VOCABULARIES: OnceLock<Mutex<HashSet<Arc<GeneratorConfig>>>> = OnceLock::new();
 
 fn intern_vocabulary(config: GeneratorConfig) -> Arc<GeneratorConfig> {
-    let mut interner =
-        VOCABULARIES.get_or_init(|| Mutex::new(HashSet::new())).lock().expect("interner poisoned");
+    let mut interner = VOCABULARIES
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
     if let Some(existing) = interner.get(&config) {
         return Arc::clone(existing);
     }
@@ -185,10 +187,10 @@ fn pool_shard(key: &PoolKey) -> &'static PoolShard {
 /// The shared pool for `key`, creating an empty lazy pool on first use.
 fn shared_pool(key: &PoolKey, config: &SearchConfig) -> SharedPool {
     let shard = pool_shard(key);
-    if let Some(pool) = shard.read().expect("pool shard poisoned").get(key) {
+    if let Some(pool) = shard.read().unwrap_or_else(|poison| poison.into_inner()).get(key) {
         return Arc::clone(pool);
     }
-    let mut shard = shard.write().expect("pool shard poisoned");
+    let mut shard = shard.write().unwrap_or_else(|poison| poison.into_inner());
     Arc::clone(
         shard.entry(key.clone()).or_insert_with(|| {
             Arc::new(Mutex::new(LazyPool::new(config, (*key.vocabulary).clone())))
@@ -198,7 +200,7 @@ fn shared_pool(key: &PoolKey, config: &SearchConfig) -> SharedPool {
 
 /// The graph at `index` of the shared pool (see [`LazyPool::graph`]).
 fn pool_graph(pool: &SharedPool, index: usize) -> Option<Arc<PropertyGraph>> {
-    pool.lock().expect("pool poisoned").graph(index)
+    pool.lock().unwrap_or_else(|poison| poison.into_inner()).graph(index)
 }
 
 /// The shared pool for a query pair: derives and interns the vocabulary,
@@ -289,14 +291,14 @@ pub fn search_memo_evictions() -> u64 {
 
 /// Current entry count of the search-result memo.
 pub fn search_memo_len() -> usize {
-    search_memo().lock().expect("search memo poisoned").len()
+    search_memo().lock().unwrap_or_else(|poison| poison.into_inner()).len()
 }
 
 /// Reconfigures the memo's capacity (clamped to at least 1), evicting down
 /// to the new bound immediately. Returns the previous capacity so tests and
 /// service configuration hooks can restore it.
 pub fn set_search_memo_capacity(capacity: usize) -> usize {
-    let mut memo = search_memo().lock().expect("search memo poisoned");
+    let mut memo = search_memo().lock().unwrap_or_else(|poison| poison.into_inner());
     let previous = memo.capacity();
     let evicted = memo.set_capacity(capacity);
     SEARCH_MEMO_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
@@ -330,7 +332,8 @@ fn replay_memoized_search(
     if !config.use_memo {
         return None;
     }
-    let (outcome, vocabulary) = search_memo().lock().expect("search memo poisoned").get(key)?;
+    let (outcome, vocabulary) =
+        search_memo().lock().unwrap_or_else(|poison| poison.into_inner()).get(key)?;
     SEARCH_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
     match outcome {
         None => Some(None),
@@ -364,14 +367,23 @@ fn memoize_search(
     if !config.use_memo {
         return;
     }
+    // Cache hygiene: a search cut short by a deadline/budget trip saw only a
+    // prefix of the pool — memoizing its outcome (even a genuine witness,
+    // whose index could differ from the untripped search's) would leak the
+    // degraded run into later unlimited re-certifications.
+    if limits::cancelled() {
+        return;
+    }
     SEARCH_MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let summary = outcome.map(|example| WitnessSummary {
         pool_index: example.pool_index,
         left_rows: example.left_rows,
         right_rows: example.right_rows,
     });
-    let evicted =
-        search_memo().lock().expect("search memo poisoned").insert(key, (summary, vocabulary));
+    let evicted = search_memo()
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+        .insert(key, (summary, vocabulary));
     SEARCH_MEMO_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
 }
 
@@ -384,14 +396,14 @@ fn memoize_search(
 pub fn clear_pool_cache() {
     if let Some(shards) = POOL_CACHE.get() {
         for shard in shards {
-            shard.write().expect("pool shard poisoned").clear();
+            shard.write().unwrap_or_else(|poison| poison.into_inner()).clear();
         }
     }
     if let Some(interner) = VOCABULARIES.get() {
-        interner.lock().expect("interner poisoned").clear();
+        interner.lock().unwrap_or_else(|poison| poison.into_inner()).clear();
     }
     if let Some(memo) = SEARCH_MEMO.get() {
-        memo.lock().expect("search memo poisoned").clear();
+        memo.lock().unwrap_or_else(|poison| poison.into_inner()).clear();
     }
     CLEAR_GENERATION.fetch_add(1, Ordering::Relaxed);
 }
@@ -573,7 +585,15 @@ pub fn find_counterexample(
     // a fresh search still plans only once for the whole pool.
     let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
     let mut index = 0;
-    while let Some(graph) = pool_graph(&pool, index) {
+    loop {
+        // Each candidate graph charges the ambient token *before* it is
+        // generated: a tripped search aborts to `None` with the trip recorded
+        // on the token — distinguishable from genuine exhaustion, which only
+        // occurs with the token untripped (and is the only `None` memoized).
+        if limits::search_step().is_err() {
+            return None;
+        }
+        let Some(graph) = pool_graph(&pool, index) else { break };
         if let Some(example) = check(&left, &right, &graph, index) {
             memoize_search(memo_key, Some(&example), vocabulary, config);
             return Some(example);
@@ -619,6 +639,9 @@ pub fn find_counterexample_parallel(
     // per-thread cache, shared with any earlier search of the same texts).
     let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
     for index in 0..PARALLEL_SEQUENTIAL_PREFIX {
+        if limits::search_step().is_err() {
+            return None;
+        }
         let Some(graph) = pool_graph(&pool, index) else {
             memoize_search(memo_key, None, vocabulary, config);
             return None;
@@ -629,6 +652,10 @@ pub fn find_counterexample_parallel(
         }
     }
 
+    // Workers share the spawning thread's run token (deadline and budget
+    // counters): tripping piggybacks on the first-witness-wins cancellation
+    // flag, so one worker's trip stops the others from pulling new graphs.
+    let token = limits::current_token();
     let cursor = AtomicUsize::new(PARALLEL_SEQUENTIAL_PREFIX);
     let found = AtomicBool::new(false);
     let best: Mutex<Option<Counterexample>> = Mutex::new(None);
@@ -636,34 +663,48 @@ pub fn find_counterexample_parallel(
         // No point spawning more workers than random graphs remain.
         for _ in 0..threads.min(config.random_graphs.max(1)) {
             scope.spawn(|| {
-                // Per-worker plans through the worker thread's own plan
-                // cache: the symbol table is single-threaded (interior
-                // `RefCell`s), so plans cannot be shared across workers, but
-                // each worker amortizes its plan over every graph it draws
-                // *and* over every search it ever runs for these texts.
-                let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
-                loop {
-                    if found.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(graph) = pool_graph(&pool, index) else { break };
-                    if let Some(example) = check(&left, &right, &graph, index) {
-                        let mut best = best.lock().expect("witness slot poisoned");
-                        // First witness wins the race; ties across workers
-                        // are broken towards the smaller pool index so the
-                        // reported witness is deterministic.
-                        if best.as_ref().is_none_or(|b| example.pool_index < b.pool_index) {
-                            *best = Some(example);
+                let work = || {
+                    // Per-worker plans through the worker thread's own plan
+                    // cache: the symbol table is single-threaded (interior
+                    // `RefCell`s), so plans cannot be shared across workers,
+                    // but each worker amortizes its plan over every graph it
+                    // draws *and* over every search it ever runs for these
+                    // texts.
+                    let (left, right) =
+                        (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
+                    loop {
+                        if found.load(Ordering::Relaxed) {
+                            break;
                         }
-                        found.store(true, Ordering::Relaxed);
-                        break;
+                        // The shared token's counters make the budget global
+                        // across workers; a trip cancels the token, which the
+                        // other workers observe on their own next tick.
+                        if limits::search_step().is_err() {
+                            break;
+                        }
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(graph) = pool_graph(&pool, index) else { break };
+                        if let Some(example) = check(&left, &right, &graph, index) {
+                            let mut best = best.lock().unwrap_or_else(|poison| poison.into_inner());
+                            // First witness wins the race; ties across
+                            // workers are broken towards the smaller pool
+                            // index so the reported witness is deterministic.
+                            if best.as_ref().is_none_or(|b| example.pool_index < b.pool_index) {
+                                *best = Some(example);
+                            }
+                            found.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
+                };
+                match token.clone() {
+                    Some(token) => limits::with_token(token, work),
+                    None => work(),
                 }
             });
         }
     });
-    let outcome = best.into_inner().expect("witness slot poisoned");
+    let outcome = best.into_inner().unwrap_or_else(|poison| poison.into_inner());
     memoize_search(memo_key, outcome.as_ref(), vocabulary, config);
     outcome
 }

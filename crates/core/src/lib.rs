@@ -48,14 +48,13 @@ thread_local! {
     static POOL_CLEAR_SEEN: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
 }
 
-use cypher_normalizer::normalize_query;
 use cypher_parser::ast::{Clause, ProjectionItems, Query};
 use cypher_parser::{parse_and_check, CheckError};
 use gexpr::{build_query, BuildError, BuildOutput, ColumnKind};
-use liastar::{check_equivalence_with_opts, DecideOptions, Decision};
+use liastar::{DecideOptions, Decision};
 
 pub use counterexample::SearchConfig;
-pub use verdict::{Counterexample, FailureCategory, ProofStats, Verdict};
+pub use verdict::{Counterexample, FailureCategory, ProofStats, StageTimings, Verdict};
 
 // ---------------------------------------------------------------------------
 // The stage-① parse cache
@@ -96,13 +95,13 @@ pub fn parse_cache_evictions() -> u64 {
 
 /// Current entry count of the parse cache.
 pub fn parse_cache_len() -> usize {
-    parse_cache().lock().expect("parse cache poisoned").len()
+    parse_cache().lock().unwrap_or_else(|poison| poison.into_inner()).len()
 }
 
 /// Reconfigures the parse cache's capacity (clamped to at least 1),
 /// evicting down immediately. Returns the previous capacity.
 pub fn set_parse_cache_capacity(capacity: usize) -> usize {
-    let mut cache = parse_cache().lock().expect("parse cache poisoned");
+    let mut cache = parse_cache().lock().unwrap_or_else(|poison| poison.into_inner());
     let previous = cache.capacity();
     let evicted = cache.set_capacity(capacity);
     PARSE_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
@@ -112,7 +111,7 @@ pub fn set_parse_cache_capacity(capacity: usize) -> usize {
 /// Drops every parse-cache entry (pure memo — eviction only costs
 /// re-parsing). Benchmarks use this to measure the cold parse stage.
 pub fn clear_parse_cache() {
-    parse_cache().lock().expect("parse cache poisoned").clear();
+    parse_cache().lock().unwrap_or_else(|poison| poison.into_inner()).clear();
 }
 
 /// Stage ① through the cache: returns the memoized outcome for `text`, or
@@ -121,7 +120,7 @@ pub fn clear_parse_cache() {
 /// benchmarks and service frontends can measure or pre-warm the stage
 /// directly.
 pub fn parse_check_cached(text: &str) -> Result<Arc<Query>, CheckError> {
-    if let Some(hit) = parse_cache().lock().expect("parse cache poisoned").get(text) {
+    if let Some(hit) = parse_cache().lock().unwrap_or_else(|poison| poison.into_inner()).get(text) {
         PARSE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return hit;
     }
@@ -129,10 +128,75 @@ pub fn parse_check_cached(text: &str) -> Result<Arc<Query>, CheckError> {
     let outcome = parse_and_check(text).map(Arc::new);
     let evicted = parse_cache()
         .lock()
-        .expect("parse cache poisoned")
+        .unwrap_or_else(|poison| poison.into_inner())
         .insert(text.to_string(), outcome.clone());
     PARSE_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
     outcome
+}
+
+/// Resource budgets and deadline of one proof run. Everything defaults to
+/// **off**: with the default limits the prover's behavior (and its verdicts)
+/// is bit-identical to a build without the limits layer — no token is
+/// installed and every cooperative checkpoint is a no-op probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProveLimits {
+    /// Wall-clock deadline per [`GraphQE::prove`] call (`None` = no
+    /// deadline). On expiry the current stage unwinds and the verdict is
+    /// `Unknown` with [`FailureCategory::Timeout`].
+    pub deadline: Option<std::time::Duration>,
+    /// Maximum SMT CDCL(T) refinement iterations per prove call, summed over
+    /// all solver invocations (`0` = unlimited). Exhaustion degrades SMT
+    /// answers to `Unknown` and the verdict to
+    /// [`FailureCategory::BudgetExhausted`].
+    pub smt_step_budget: u64,
+    /// Maximum candidate graphs the counterexample search may evaluate per
+    /// prove call, summed across its workers (`0` = unlimited).
+    pub search_graph_budget: u64,
+    /// Budget on the per-worker hash-consed arena during batch proving: once
+    /// a worker's thread-local `GStore` holds more nodes than this after
+    /// finishing a pair, the worker evicts every thread-local cache
+    /// (`liastar::reset_thread_caches`). Keeps long batch runs in bounded
+    /// memory; `0` disables the budget. Unlike the fields above this is a
+    /// between-pairs janitor, not a mid-proof trip — it never changes a
+    /// verdict.
+    pub arena_node_budget: usize,
+}
+
+impl Default for ProveLimits {
+    fn default() -> Self {
+        ProveLimits {
+            deadline: None,
+            smt_step_budget: 0,
+            search_graph_budget: 0,
+            // Roughly a few hundred MB of arena + memo tables in the worst
+            // case; the full CyEqSet+CyNeqSet run stays well under it, so
+            // the default only kicks in for service-scale streams.
+            arena_node_budget: 1 << 20,
+        }
+    }
+}
+
+impl ProveLimits {
+    /// `true` when any mid-proof limit (deadline or step budget) is set —
+    /// i.e. when proving installs a [`limits::RunToken`]. The arena budget
+    /// does not count: it acts between pairs, with no token.
+    pub fn is_active(&self) -> bool {
+        self.deadline.is_some() || self.smt_step_budget > 0 || self.search_graph_budget > 0
+    }
+
+    /// A fresh run token for one prove call, or `None` when no mid-proof
+    /// limit is set (the limits-off path installs nothing, keeping it
+    /// bit-identical to a build without the limits layer).
+    fn token(&self) -> Option<Arc<limits::RunToken>> {
+        if !self.is_active() {
+            return None;
+        }
+        Some(Arc::new(limits::RunToken::new(
+            self.deadline.map(|deadline| Instant::now() + deadline),
+            self.smt_step_budget,
+            self.search_graph_budget,
+        )))
+    }
 }
 
 /// One result of [`GraphQE::prove_batch_detailed`]: the verdict plus the
@@ -143,6 +207,10 @@ pub struct BatchOutcome {
     pub verdict: Verdict,
     /// End-to-end latency of proving the pair (as observed by the worker).
     pub latency: std::time::Duration,
+    /// Why the pair is `Unknown` (`None` for the two definite verdicts) —
+    /// the per-pair surface of the failure taxonomy, so batch frontends
+    /// report reason counts without pattern-matching verdicts.
+    pub failure_reason: Option<FailureCategory>,
 }
 
 /// Aggregate cache behavior over one batch run, so the per-stage timings of
@@ -183,7 +251,7 @@ pub struct CacheStats {
     /// Peak node count of any hash-consed arena during the run.
     pub peak_arena_nodes: usize,
     /// How many times a worker evicted its thread-local caches because the
-    /// arena outgrew [`GraphQE::arena_node_budget`].
+    /// arena outgrew [`ProveLimits::arena_node_budget`].
     pub epoch_resets: u64,
 }
 
@@ -237,6 +305,21 @@ pub struct BatchReport {
     pub cache: CacheStats,
 }
 
+impl BatchReport {
+    /// Counts of `Unknown` verdicts by failure reason (display form), in
+    /// deterministic (sorted) order — the aggregate surface of the failure
+    /// taxonomy for benchmark JSON and service dashboards.
+    pub fn unknown_reason_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for outcome in &self.outcomes {
+            if let Some(reason) = outcome.failure_reason {
+                *counts.entry(reason.to_string()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
 /// The GraphQE prover with its configuration.
 #[derive(Debug, Clone)]
 pub struct GraphQE {
@@ -255,12 +338,10 @@ pub struct GraphQE {
     /// benchmarks can measure the arena speedup against the paper-faithful
     /// baseline.
     pub use_tree_normalizer: bool,
-    /// Budget on the per-worker hash-consed arena during batch proving: once
-    /// a worker's thread-local `GStore` holds more nodes than this after
-    /// finishing a pair, the worker evicts every thread-local cache
-    /// (`liastar::reset_thread_caches`). Keeps long batch runs in bounded
-    /// memory; `0` disables the budget.
-    pub arena_node_budget: usize,
+    /// Resource budgets and deadline per prove call (plus the batch-time
+    /// arena budget). All mid-proof limits default to off; see
+    /// [`ProveLimits`].
+    pub limits: ProveLimits,
     /// Worker threads of the counterexample search
     /// ([`counterexample::find_counterexample_parallel`]): `0` uses all
     /// available cores, `1` forces the sequential (lazy) search. Batch
@@ -281,10 +362,7 @@ impl Default for GraphQE {
             search_config: SearchConfig::default(),
             max_column_permutations: 24,
             use_tree_normalizer: false,
-            // Roughly a few hundred MB of arena + memo tables in the worst
-            // case; the full CyEqSet+CyNeqSet run stays well under it, so
-            // the default only kicks in for service-scale streams.
-            arena_node_budget: 1 << 20,
+            limits: ProveLimits::default(),
             search_threads: 0,
             use_parse_cache: true,
         }
@@ -316,23 +394,52 @@ impl GraphQE {
     }
 
     /// Proves the (non-)equivalence of two Cypher query texts.
+    ///
+    /// With active [`GraphQE::limits`] a fresh run token governs this call:
+    /// on a deadline or budget trip the pipeline unwinds cooperatively and
+    /// the verdict is `Unknown` with the trip's [`FailureCategory`] — never
+    /// a wrong definite verdict (a proof or witness completed before the
+    /// trip was observed is still reported).
     pub fn prove(&self, q1: &str, q2: &str) -> Verdict {
-        let start = Instant::now();
-        // Stage ①: syntax & semantic check — memoized per query text, so a
-        // warm re-certification skips parsing entirely.
-        let parsed1 = match self.parse_checked(q1) {
-            Ok(query) => query,
-            Err(error) => return invalid(error),
-        };
-        let parsed2 = match self.parse_checked(q2) {
-            Ok(query) => query,
-            Err(error) => return invalid(error),
-        };
-        let mut verdict = self.prove_queries(&parsed1, &parsed2);
-        if let Verdict::Equivalent(stats) = &mut verdict {
-            stats.latency = start.elapsed();
+        self.prove_with_stats(q1, q2).0
+    }
+
+    /// [`GraphQE::prove`] returning the proof statistics alongside the
+    /// verdict. Unlike the stats embedded in `Verdict::Equivalent`, these
+    /// are recorded on **every** exit path — stage-① rejections, cache-hit
+    /// fast paths, counterexamples, trips — with the per-stage wall-clock
+    /// breakdown in [`StageTimings`].
+    pub fn prove_with_stats(&self, q1: &str, q2: &str) -> (Verdict, ProofStats) {
+        match self.limits.token() {
+            Some(token) => limits::with_token(token, || self.prove_with_stats_inner(q1, q2)),
+            None => self.prove_with_stats_inner(q1, q2),
         }
-        verdict
+    }
+
+    fn prove_with_stats_inner(&self, q1: &str, q2: &str) -> (Verdict, ProofStats) {
+        let start = Instant::now();
+        let mut stats = ProofStats::default();
+        // Stage ①: syntax & semantic check — memoized per query text, so a
+        // warm re-certification skips parsing entirely (the timing then
+        // records the cache probe, so even fast paths are accounted for).
+        let stage_start = Instant::now();
+        let parsed =
+            self.parse_checked(q1).and_then(|parsed1| Ok((parsed1, self.parse_checked(q2)?)));
+        stats.stages.parse = stage_start.elapsed();
+        let (parsed1, parsed2) = match parsed {
+            Ok(pair) => pair,
+            Err(error) => {
+                stats.latency = start.elapsed();
+                return (invalid(error), stats);
+            }
+        };
+        let mut verdict = self.prove_queries_with_stats(&parsed1, &parsed2, &mut stats);
+        stats.latency = start.elapsed();
+        if let Verdict::Equivalent(embedded) = &mut verdict {
+            embedded.latency = stats.latency;
+            embedded.stages = stats.stages;
+        }
+        (verdict, stats)
     }
 
     /// Proves many pairs in one call, distributing them over all available
@@ -378,7 +485,7 @@ impl GraphQE {
     /// thread accumulates normalization results in its own thread-local
     /// hash-consed arena, so structurally overlapping pairs — ubiquitous in
     /// real workloads — are normalized once per worker; once the arena
-    /// outgrows [`GraphQE::arena_node_budget`] the worker evicts its caches
+    /// outgrows [`ProveLimits::arena_node_budget`] the worker evicts its caches
     /// (the epoch-based eviction story), which is counted in the report.
     ///
     /// The cache counters are process-global, so the reported deltas cover
@@ -419,11 +526,32 @@ impl GraphQE {
         };
         let prove_timed = |left: &str, right: &str| {
             let start = Instant::now();
-            let verdict = worker_prover.prove(left, right);
-            let outcome = BatchOutcome { verdict, latency: start.elapsed() };
+            // Panic isolation: one pair's panic degrades to
+            // `Unknown(Panicked)` instead of killing the whole batch. The
+            // worker's thread-local caches may hold partial state from the
+            // unwound proof, so they are evicted wholesale before the next
+            // pair (process-wide caches are already guarded at insertion,
+            // and the ambient-token guard restores itself on unwind).
+            let proved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker_prover.prove(left, right)
+            }));
+            let verdict = proved.unwrap_or_else(|_| {
+                liastar::reset_thread_caches();
+                counterexample::clear_thread_plan_cache();
+                Verdict::Unknown {
+                    category: FailureCategory::Panicked,
+                    reason: "the prover panicked while proving this pair".to_string(),
+                }
+            });
+            let outcome = BatchOutcome {
+                failure_reason: verdict.failure_category(),
+                verdict,
+                latency: start.elapsed(),
+            };
             let arena_nodes = gexpr::arena::thread_store_node_count();
             gexpr::arena::note_node_peak(arena_nodes);
-            if self.arena_node_budget > 0 && arena_nodes > self.arena_node_budget {
+            let arena_node_budget = self.limits.arena_node_budget;
+            if arena_node_budget > 0 && arena_nodes > arena_node_budget {
                 liastar::reset_thread_caches();
                 // The query-plan cache is per-thread like liastar's caches,
                 // so the process-global clear below cannot reach it.
@@ -504,34 +632,80 @@ impl GraphQE {
         BatchReport { outcomes, cache }
     }
 
-    /// Proves the (non-)equivalence of two parsed queries.
+    /// Proves the (non-)equivalence of two parsed queries (installing a run
+    /// token for active [`GraphQE::limits`], like [`GraphQE::prove`]).
     pub fn prove_queries(&self, q1: &Query, q2: &Query) -> Verdict {
+        let run = || {
+            let mut stats = ProofStats::default();
+            self.prove_queries_with_stats(q1, q2, &mut stats)
+        };
+        match self.limits.token() {
+            Some(token) => limits::with_token(token, run),
+            None => run(),
+        }
+    }
+
+    /// Stages ② through ④ plus the counterexample search, recording stage
+    /// timings into `stats` on every exit path. Verdict policy under an
+    /// ambient run token: a completed proof stays `Equivalent` and a found
+    /// witness stays `NotEquivalent` even if a trip raced with them (both
+    /// certificates are sound); otherwise the first recorded trip wins over
+    /// the paper's failure categories, and a tripped decision skips the
+    /// search entirely.
+    fn prove_queries_with_stats(&self, q1: &Query, q2: &Query, stats: &mut ProofStats) -> Verdict {
         let start = Instant::now();
-        // Stage ②: rule-based normalization.
-        let (n1, n2) = if self.normalize {
-            (normalize_query(q1), normalize_query(q2))
+        // Stage ②: rule-based normalization (fallible under a deadline).
+        let stage_start = Instant::now();
+        let normalized = if self.normalize {
+            cypher_normalizer::try_normalize_query_with_report(q1).and_then(|(n1, _)| {
+                Ok((n1, cypher_normalizer::try_normalize_query_with_report(q2)?.0))
+            })
         } else {
-            (q1.clone(), q2.clone())
+            Ok((q1.clone(), q2.clone()))
+        };
+        stats.stages.normalize = stage_start.elapsed();
+        let (n1, n2) = match normalized {
+            Ok(pair) => pair,
+            Err(trip) => return trip_verdict(trip),
         };
 
-        let outcome = self.prove_normalized(&n1, &n2);
+        let outcome = self.prove_normalized(&n1, &n2, stats);
         match outcome {
-            Ok(mut stats) => {
-                stats.latency = start.elapsed();
-                Verdict::Equivalent(stats)
+            Ok(()) => {
+                let mut embedded = stats.clone();
+                embedded.latency = start.elapsed();
+                Verdict::Equivalent(embedded)
             }
             Err((category, reason)) => {
+                // A trip during the decision means "not proved" only because
+                // the run was cut short — searching for a witness on top of
+                // it would blow the deadline further; report the trip.
+                if let Some(trip) = limits::trip() {
+                    return trip_verdict(trip);
+                }
                 // Not proven: try to certify non-equivalence with a concrete
                 // counterexample graph.
-                if self.search_counterexamples {
-                    if let Some(example) = counterexample::find_counterexample_parallel(
+                let stage_start = Instant::now();
+                let witness = if self.search_counterexamples {
+                    counterexample::find_counterexample_parallel(
                         q1,
                         q2,
                         &self.search_config,
                         self.effective_search_threads(),
-                    ) {
-                        return Verdict::NotEquivalent(Box::new(example));
-                    }
+                    )
+                } else {
+                    None
+                };
+                stats.stages.search = stage_start.elapsed();
+                if let Some(example) = witness {
+                    // Sound even when a trip aborted the rest of the search:
+                    // the witness graph concretely separates the queries.
+                    return Verdict::NotEquivalent(Box::new(example));
+                }
+                // An aborted search proves nothing — exhaustion-style
+                // `Unknown` must carry the trip, not the paper category.
+                if let Some(trip) = limits::trip() {
+                    return trip_verdict(trip);
                 }
                 Verdict::Unknown { category, reason }
             }
@@ -539,12 +713,14 @@ impl GraphQE {
     }
 
     /// The equivalence-proving part of the pipeline (stages ③ and ④),
-    /// including divide-and-conquer and return-element mapping.
+    /// including divide-and-conquer and return-element mapping. On success
+    /// the proof's statistics are merged into `stats`.
     fn prove_normalized(
         &self,
         q1: &Query,
         q2: &Query,
-    ) -> Result<ProofStats, (FailureCategory, String)> {
+        stats: &mut ProofStats,
+    ) -> Result<(), (FailureCategory, String)> {
         // Divide-and-conquer for ORDER BY ... LIMIT/SKIP inside subqueries.
         if divide::needs_divide_and_conquer(q1) || divide::needs_divide_and_conquer(q2) {
             let segments1 = divide::split_into_segments(q1).ok_or((
@@ -565,33 +741,45 @@ impl GraphQE {
                     ),
                 ));
             }
-            let mut combined = ProofStats { used_divide_and_conquer: true, ..Default::default() };
+            stats.used_divide_and_conquer = true;
             for (a, b) in segments1.iter().zip(segments2.iter()) {
-                let stats = self.prove_segment(a, b)?;
-                combined.decision.pruned_zero += stats.decision.pruned_zero;
-                combined.decision.pruned_implied += stats.decision.pruned_implied;
-                combined.column_permutation =
-                    combined.column_permutation.max(stats.column_permutation);
+                let segment = self.prove_segment(a, b, &mut stats.stages)?;
+                stats.decision.pruned_zero += segment.decision.pruned_zero;
+                stats.decision.pruned_implied += segment.decision.pruned_implied;
+                stats.column_permutation = stats.column_permutation.max(segment.column_permutation);
             }
-            return Ok(combined);
+            return Ok(());
         }
-        self.prove_segment(q1, q2)
+        let segment = self.prove_segment(q1, q2, &mut stats.stages)?;
+        stats.column_permutation = segment.column_permutation;
+        stats.decision = segment.decision;
+        Ok(())
     }
 
     /// Proves one pair of (sub)queries by G-expression construction and the
-    /// LIA* decision, trying return-element mappings as needed.
+    /// LIA* decision, trying return-element mappings as needed. Build and
+    /// decide wall-clock is accumulated into `timings` (across permutation
+    /// retries and divide-and-conquer segments) on every exit path.
     fn prove_segment(
         &self,
         q1: &Query,
         q2: &Query,
+        timings: &mut StageTimings,
     ) -> Result<ProofStats, (FailureCategory, String)> {
-        let built1 = build_query(q1).map_err(categorize_build_error)?;
-        let built2 = build_query(q2).map_err(categorize_build_error)?;
+        // Stage ③: G-expression construction.
+        let build_start = Instant::now();
+        let built = (build_query(q1), build_query(q2));
+        timings.build += build_start.elapsed();
+        let built1 = built.0.map_err(categorize_build_error)?;
+        let built2 = built.1.map_err(categorize_build_error)?;
 
         if built1.columns != built2.columns {
             // The paper: queries with different return arity can only be
             // equivalent if both always return the empty result.
-            if both_always_empty(&built1, &built2, self.use_tree_normalizer) {
+            let decide_start = Instant::now();
+            let empty = both_always_empty(&built1, &built2, self.use_tree_normalizer);
+            timings.decide += decide_start.elapsed();
+            if empty {
                 return Ok(ProofStats::default());
             }
             return Err((
@@ -607,19 +795,32 @@ impl GraphQE {
             .take(self.max_column_permutations)
             .enumerate()
         {
+            let build_start = Instant::now();
             let candidate = if is_identity(&permutation) {
                 built2.clone()
             } else {
                 match build_query(&permute_returns(q2, &permutation)) {
                     Ok(output) => output,
-                    Err(_) => continue,
+                    Err(_) => {
+                        timings.build += build_start.elapsed();
+                        continue;
+                    }
                 }
             };
-            let (decision, stats) = check_equivalence_with_opts(
+            timings.build += build_start.elapsed();
+            // Stage ④: the LIA★ decision (fallible under limits — a trip
+            // surfaces here instead of being silently degraded to NotProved).
+            let decide_start = Instant::now();
+            let outcome = liastar::try_check_equivalence_with_opts(
                 &built1.expr,
                 &candidate.expr,
                 DecideOptions { tree_normalizer: self.use_tree_normalizer },
             );
+            timings.decide += decide_start.elapsed();
+            let (decision, stats) = match outcome {
+                Ok(result) => result,
+                Err(trip) => return Err((trip.into(), trip.to_string())),
+            };
             if decision == Decision::Proved {
                 return Ok(ProofStats {
                     column_permutation: index,
@@ -633,6 +834,12 @@ impl GraphQE {
             "the G-expressions could not be proven equal".to_string(),
         ))
     }
+}
+
+/// The `Unknown` verdict of a tripped run: the first recorded trip wins and
+/// is carried verbatim into the failure taxonomy.
+fn trip_verdict(trip: limits::Trip) -> Verdict {
+    Verdict::Unknown { category: trip.into(), reason: trip.to_string() }
 }
 
 fn invalid(error: CheckError) -> Verdict {
@@ -1010,7 +1217,10 @@ mod tests {
     #[test]
     fn tiny_arena_budget_triggers_epoch_resets_without_changing_verdicts() {
         let _serial = BATCH_REPORT_LOCK.lock().unwrap();
-        let budgeted = GraphQE { arena_node_budget: 1, ..GraphQE::new() };
+        let budgeted = GraphQE {
+            limits: ProveLimits { arena_node_budget: 1, ..ProveLimits::default() },
+            ..GraphQE::new()
+        };
         let pairs = vec![
             ("MATCH (a)-[r]->(b) RETURN a", "MATCH (b)<-[r]-(a) RETURN a"),
             ("MATCH (n:Person) RETURN n", "MATCH (n:Book) RETURN n"),

@@ -7,7 +7,9 @@ use std::time::Duration;
 use liastar::DecisionStats;
 use property_graph::PropertyGraph;
 
-/// The failure categories the paper's evaluation reports (§VII-B).
+/// The failure categories the paper's evaluation reports (§VII-B), extended
+/// with the resource-limit and fault-isolation outcomes of this
+/// implementation (deadline/budget trips, caught panics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailureCategory {
     /// Inconsistent `ORDER BY ... LIMIT ... SKIP ...` fragments inside
@@ -21,21 +23,75 @@ pub enum FailureCategory {
     UninterpretedFunction,
     /// The input failed the syntax or semantic check (stage ①).
     InvalidQuery,
+    /// The proof's deadline expired; `stage` is where the expiry was
+    /// observed.
+    Timeout {
+        /// The stage whose cooperative checkpoint observed the expired
+        /// deadline.
+        stage: limits::Stage,
+    },
+    /// A configured resource budget ran out before a verdict was reached.
+    BudgetExhausted {
+        /// The stage whose counter crossed its budget.
+        stage: limits::Stage,
+        /// The configured budget that was exceeded.
+        budget: u64,
+    },
+    /// The proof's run token was cancelled externally.
+    Cancelled,
+    /// The prover panicked while proving this pair; the panic was caught at
+    /// the batch boundary and degraded to this verdict.
+    Panicked,
     /// Any other reason.
     Other,
 }
 
 impl fmt::Display for FailureCategory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let text = match self {
-            FailureCategory::SortingTruncation => "sorting and truncation",
-            FailureCategory::NestedAggregate => "nested aggregate",
-            FailureCategory::UninterpretedFunction => "uninterpreted function",
-            FailureCategory::InvalidQuery => "invalid query",
-            FailureCategory::Other => "other",
-        };
-        write!(f, "{text}")
+        match self {
+            FailureCategory::SortingTruncation => f.write_str("sorting and truncation"),
+            FailureCategory::NestedAggregate => f.write_str("nested aggregate"),
+            FailureCategory::UninterpretedFunction => f.write_str("uninterpreted function"),
+            FailureCategory::InvalidQuery => f.write_str("invalid query"),
+            FailureCategory::Timeout { stage } => write!(f, "timeout at {stage}"),
+            FailureCategory::BudgetExhausted { stage, .. } => {
+                write!(f, "budget exhausted at {stage}")
+            }
+            FailureCategory::Cancelled => f.write_str("cancelled"),
+            FailureCategory::Panicked => f.write_str("panicked"),
+            FailureCategory::Other => f.write_str("other"),
+        }
     }
+}
+
+impl From<limits::Trip> for FailureCategory {
+    fn from(trip: limits::Trip) -> FailureCategory {
+        match trip {
+            limits::Trip::Timeout { stage } => FailureCategory::Timeout { stage },
+            limits::Trip::BudgetExhausted { stage, budget } => {
+                FailureCategory::BudgetExhausted { stage, budget }
+            }
+            limits::Trip::Cancelled => FailureCategory::Cancelled,
+        }
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage of one proof. Recorded on
+/// **every** exit path — including stage-① rejections and cache-hit fast
+/// paths — so a latency report never has unexplained gaps; stages that were
+/// never entered stay at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Stage ① — syntax/semantic check (through the parse cache).
+    pub parse: Duration,
+    /// Stage ② — rule-based normalization.
+    pub normalize: Duration,
+    /// Stage ③ — G-expression construction (all permutation retries).
+    pub build: Duration,
+    /// Stage ④ — the LIA★/SMT decision (all permutation retries).
+    pub decide: Duration,
+    /// The counterexample search over concrete graphs.
+    pub search: Duration,
 }
 
 /// Statistics gathered while proving a pair.
@@ -43,6 +99,8 @@ impl fmt::Display for FailureCategory {
 pub struct ProofStats {
     /// Wall-clock time of the whole pipeline.
     pub latency: Duration,
+    /// Per-stage wall-clock breakdown of `latency`.
+    pub stages: StageTimings,
     /// Whether the divide-and-conquer path for `ORDER BY ... LIMIT` inside
     /// subqueries was taken.
     pub used_divide_and_conquer: bool,
@@ -100,6 +158,15 @@ impl Verdict {
     /// Returns `true` for an unknown verdict.
     pub fn is_unknown(&self) -> bool {
         matches!(self, Verdict::Unknown { .. })
+    }
+
+    /// The failure category of an unknown verdict (`None` for the two
+    /// definite verdicts).
+    pub fn failure_category(&self) -> Option<FailureCategory> {
+        match self {
+            Verdict::Unknown { category, .. } => Some(*category),
+            _ => None,
+        }
     }
 }
 

@@ -116,12 +116,35 @@ pub fn check_equivalence_with_opts(
     g2: &GExpr,
     opts: DecideOptions,
 ) -> (Decision, DecisionStats) {
+    // A trip can only occur under an ambient `limits::RunToken`; degrading to
+    // `NotProved` is sound — `NotProved` asserts nothing. Deadline-aware
+    // callers use [`try_check_equivalence_with_opts`] to see the trip itself.
+    try_check_equivalence_with_opts(g1, g2, opts)
+        .unwrap_or_else(|_| (Decision::NotProved, DecisionStats::default()))
+}
+
+/// [`check_equivalence_with_opts`] with cooperative limit checkpoints
+/// surfaced: under an ambient [`limits::RunToken`] that trips (deadline,
+/// budget, cancellation), the decision unwinds with the [`limits::Trip`]
+/// instead of a degraded verdict. Checkpoints sit at every `decide`
+/// recursion, per summand simplified, and per summand classified in the
+/// LIA class counting; the SMT layer additionally charges the token's step
+/// budget per CDCL iteration.
+pub fn try_check_equivalence_with_opts(
+    g1: &GExpr,
+    g2: &GExpr,
+    opts: DecideOptions,
+) -> Result<(Decision, DecisionStats), limits::Trip> {
     if opts.tree_normalizer {
-        return tree::check_equivalence(g1, g2);
+        // The paper-faithful baseline pipeline carries no checkpoints of its
+        // own (its SMT calls still observe the step budget, degrading each
+        // check to `Unknown`, which only weakens simplification — soundly).
+        return Ok(tree::check_equivalence(g1, g2));
     }
     let mut stats = DecisionStats::default();
     gexpr::arena::with_thread_store(|store| {
         sync_caches_to_epoch(store.epoch());
+        limits::checkpoint(limits::Stage::Decide)?;
         let left = store.intern_expr(g1);
         let right = store.intern_expr(g2);
         let left = split_disjoint_squashes(store, left);
@@ -131,7 +154,7 @@ pub fn check_equivalence_with_opts(
         // Quick path: hash-consing makes post-normalization syntactic
         // equality a single id comparison.
         if left == right {
-            return (Decision::Proved, stats);
+            return Ok((Decision::Proved, stats));
         }
         decide(store, left, right, &mut stats)
     })
@@ -313,24 +336,25 @@ fn decide(
     left: ArenaNodeId,
     right: ArenaNodeId,
     stats: &mut DecisionStats,
-) -> (Decision, DecisionStats) {
+) -> Result<(Decision, DecisionStats), limits::Trip> {
+    limits::checkpoint(limits::Stage::Decide)?;
     if let (ANode::Squash(a), ANode::Squash(b)) = (store.node_of(left), store.node_of(right)) {
         // ‖A‖ = ‖B‖ is implied by A = B (sufficient condition).
         let (a, b) = (*a, *b);
         if a == b {
-            return (Decision::Proved, stats.clone());
+            return Ok((Decision::Proved, stats.clone()));
         }
         return decide(store, a, b, stats);
     }
 
-    let left_summands = simplify_summands(store, to_summands(store, left), stats);
-    let right_summands = simplify_summands(store, to_summands(store, right), stats);
+    let left_summands = simplify_summands(store, to_summands(store, left), stats)?;
+    let right_summands = simplify_summands(store, to_summands(store, right), stats)?;
     stats.summands = (left_summands.len(), right_summands.len());
 
     // Structural bijection between the summand multisets, on ids with the
     // undo-trail matcher (same-node summand pairs match in O(1)).
     if iso::ids::unify_multiset(store, &left_summands, &right_summands, &mut VarMapping::new()) {
-        return (Decision::Proved, stats.clone());
+        return Ok((Decision::Proved, stats.clone()));
     }
 
     // LIA* arithmetic check: abstract each isomorphism class of summands by a
@@ -343,10 +367,14 @@ fn decide(
     let mut left_counts: Vec<i64> = Vec::new();
     let mut right_counts: Vec<i64> = Vec::new();
     for summand in &left_summands {
+        // The iso matching behind `class_index` is the potentially expensive
+        // step of the counting loop; checkpoint once per summand.
+        limits::checkpoint(limits::Stage::Decide)?;
         let class = class_index(store, &mut classes, &mut left_counts, &mut right_counts, *summand);
         left_counts[class] += 1;
     }
     for summand in &right_summands {
+        limits::checkpoint(limits::Stage::Decide)?;
         let class = class_index(store, &mut classes, &mut left_counts, &mut right_counts, *summand);
         right_counts[class] += 1;
     }
@@ -369,8 +397,8 @@ fn decide(
     let rhs = if right_sum.is_empty() { Term::int(0) } else { Term::add(right_sum) };
     solver.assert(Term::neq(lhs, rhs));
     match solver.check() {
-        SmtResult::Unsat => (Decision::Proved, stats.clone()),
-        _ => (Decision::NotProved, stats.clone()),
+        SmtResult::Unsat => Ok((Decision::Proved, stats.clone())),
+        _ => Ok((Decision::NotProved, stats.clone())),
     }
 }
 
@@ -405,14 +433,20 @@ fn disjoint(store: &mut GStore, a: ArenaNodeId, b: ArenaNodeId) -> bool {
     }
     DISJOINT_MISSES.fetch_add(1, Ordering::Relaxed);
     let product = Term::and(vec![encode_factor_id(store, a), encode_factor_id(store, b)]);
-    let result = smt::check_formula_cached(product).is_unsat();
+    let verdict = smt::check_formula_cached(product);
+    let result = verdict.is_unsat();
     // Disjointness is symmetric; memoize both orientations so alternatives
     // that normalize in a different order on the other side still hit.
-    DISJOINT_CACHE.with(|cache| {
-        let mut cache = cache.borrow_mut();
-        cache.insert((a, b), result);
-        cache.insert((b, a), result);
-    });
+    // Cache hygiene: an `Unknown` verdict (budget trip, cancellation, or an
+    // injected fault) conservatively reads as "not disjoint" for this call,
+    // but memoizing it would poison later, un-tripped proofs.
+    if !matches!(verdict, SmtResult::Unknown) && !limits::cancelled() {
+        DISJOINT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            cache.insert((a, b), result);
+            cache.insert((b, a), result);
+        });
+    }
     result
 }
 
@@ -468,20 +502,22 @@ fn to_summands(store: &GStore, expr: ArenaNodeId) -> Vec<ArenaNodeId> {
 }
 
 /// SMT-backed simplification of summands: zero pruning and implied-atom
-/// elimination, entirely on interned ids.
+/// elimination, entirely on interned ids, with a cooperative limit
+/// checkpoint per summand.
 fn simplify_summands(
     store: &mut GStore,
     summands: Vec<ArenaNodeId>,
     stats: &mut DecisionStats,
-) -> Vec<ArenaNodeId> {
+) -> Result<Vec<ArenaNodeId>, limits::Trip> {
     let mut result = Vec::new();
     for summand in summands {
+        limits::checkpoint(limits::Stage::Decide)?;
         match simplify_summand(store, summand, stats) {
             Some(simplified) => result.push(simplified),
             None => stats.pruned_zero += 1,
         }
     }
-    result
+    Ok(result)
 }
 
 /// Memoized summand simplification: the result is cached under the summand's
@@ -517,14 +553,24 @@ fn simplify_summand(
         _ => vec![body],
     };
 
+    // Cache hygiene: an `Unknown` SMT verdict on this path (budget trip,
+    // cancellation, injected fault) degrades pruning conservatively — keep
+    // the factor, keep the summand — which is sound but must not be
+    // memoized, or later un-tripped proofs would inherit the weaker result.
+    let mut degraded = false;
+
     // Zero pruning: unsatisfiable products contribute nothing.
-    if smt::check_formula_cached(encode_product_ids(store, &factors)).is_unsat() {
-        SUMMAND_CACHE.with(|cache| {
-            cache.borrow_mut().insert(
-                summand,
-                SummandEntry { result: None, implied: 0, stamp: next_summand_stamp() },
-            )
-        });
+    let zero_check = smt::check_formula_cached(encode_product_ids(store, &factors));
+    degraded |= matches!(zero_check, SmtResult::Unknown);
+    if zero_check.is_unsat() {
+        if !limits::cancelled() {
+            SUMMAND_CACHE.with(|cache| {
+                cache.borrow_mut().insert(
+                    summand,
+                    SummandEntry { result: None, implied: 0, stamp: next_summand_stamp() },
+                )
+            });
+        }
         return None;
     }
 
@@ -540,7 +586,9 @@ fn simplify_summand(
                 encode_product_ids(store, &others),
                 encode_factor_id(store, candidate),
             );
-            if smt::is_valid_cached(implication) {
+            let validity = smt::check_formula_cached(Term::not(implication));
+            degraded |= matches!(validity, SmtResult::Unknown);
+            if validity.is_unsat() {
                 factors.remove(index);
                 implied += 1;
                 continue;
@@ -552,12 +600,14 @@ fn simplify_summand(
 
     let body = store.mk_mul(factors);
     let result = store.mk_sum(vars, body);
-    SUMMAND_CACHE.with(|cache| {
-        cache.borrow_mut().insert(
-            summand,
-            SummandEntry { result: Some(result), implied, stamp: next_summand_stamp() },
-        )
-    });
+    if !degraded && !limits::cancelled() {
+        SUMMAND_CACHE.with(|cache| {
+            cache.borrow_mut().insert(
+                summand,
+                SummandEntry { result: Some(result), implied, stamp: next_summand_stamp() },
+            )
+        });
+    }
     Some(result)
 }
 
@@ -937,5 +987,35 @@ mod tests {
         // The replayed stats are bit-identical to the cold run's.
         assert_eq!(cold.pruned_implied, warm.pruned_implied);
         assert_eq!(cold.pruned_zero, warm.pruned_zero);
+    }
+
+    #[test]
+    fn smt_budget_trip_unwinds_without_polluting_the_summand_cache() {
+        use std::sync::Arc;
+        let g1 = gexpr_of("MATCH (n) WHERE n.age > 5 AND n.age > 3 RETURN n");
+        let g2 = gexpr_of("MATCH (n) WHERE n.age > 5 RETURN n");
+        // A one-step SMT budget trips inside the first summand
+        // simplification; the decide-layer checkpoint surfaces the recorded
+        // trip (first-trip-wins: the stage is Smt, not Decide).
+        let token = Arc::new(limits::RunToken::new(None, 1, 0));
+        let tripped = limits::with_token(token, || {
+            try_check_equivalence_with_opts(&g1, &g2, DecideOptions::default())
+        });
+        assert!(
+            matches!(
+                tripped,
+                Err(limits::Trip::BudgetExhausted { stage: limits::Stage::Smt, budget: 1 })
+            ),
+            "{tripped:?}"
+        );
+        // Cache hygiene: nothing simplified on the tripped path was memoized
+        // (this test's thread started with a cold cache).
+        assert_eq!(SUMMAND_CACHE.with(|cache| cache.borrow().len()), 0);
+        // A clean re-prove from the same thread proves the pair and
+        // repopulates the cache — no degraded state was retained.
+        let (decision, stats) = check_equivalence_with_stats(&g1, &g2);
+        assert!(decision.is_proved());
+        assert!(stats.pruned_implied >= 1, "{stats:?}");
+        assert!(SUMMAND_CACHE.with(|cache| cache.borrow().len()) > 0);
     }
 }

@@ -1,0 +1,136 @@
+//! Test-only fault injection: forced panics, artificial stalls, and forced
+//! SMT `Unknown`s at any pipeline stage.
+//!
+//! The harness is compiled in unconditionally (cross-crate integration tests
+//! and the CI matrix need it in non-test builds of the library crates) but is
+//! **inert unless armed**: the disarmed fast path is one relaxed atomic load
+//! per checkpoint. Arming happens either programmatically ([`arm`]) from a
+//! test, or from the `GRAPHQE_FAULT` environment variable
+//! ([`arm_from_env`]) with the syntax `<kind>@<stage>`, e.g. `panic@decide`,
+//! `stall@search`, `smt-unknown@smt`.
+//!
+//! A fault carries a **shot count**: it fires that many times, then disarms
+//! itself. With one shot and a single-threaded batch, the afflicted pair is
+//! deterministic — the first pair whose pipeline reaches the armed stage.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::Stage;
+
+/// What an armed fault does when its stage's checkpoint is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the checkpoint (exercises `catch_unwind` isolation).
+    Panic,
+    /// Sleep for the given duration at the checkpoint (exercises deadline
+    /// trips: the stall pushes the run past its deadline, and the same
+    /// checkpoint then observes the expiry).
+    Stall(Duration),
+    /// Force the SMT solver's next `check()` calls to report `Unknown`
+    /// (exercises conservative degradation). Only meaningful at
+    /// [`Stage::Smt`].
+    SmtUnknown,
+}
+
+/// The stall duration used by the `stall@<stage>` env syntax.
+pub const DEFAULT_STALL: Duration = Duration::from_millis(50);
+
+#[derive(Debug, Clone, Copy)]
+struct ArmedFault {
+    stage: Stage,
+    kind: FaultKind,
+    shots: u32,
+}
+
+/// Fast-path flag: `false` means no fault is armed anywhere in the process.
+static ARMED_FLAG: AtomicBool = AtomicBool::new(false);
+static ARMED: Mutex<Option<ArmedFault>> = Mutex::new(None);
+
+/// Arms a fault: the next `shots` checkpoints of `stage` fire it, then the
+/// harness disarms itself. Replaces any previously armed fault.
+pub fn arm(stage: Stage, kind: FaultKind, shots: u32) {
+    let mut slot = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = (shots > 0).then_some(ArmedFault { stage, kind, shots });
+    ARMED_FLAG.store(slot.is_some(), Ordering::Release);
+}
+
+/// Disarms any armed fault.
+pub fn disarm() {
+    arm(Stage::Smt, FaultKind::SmtUnknown, 0);
+}
+
+/// Parses a `<kind>@<stage>` fault spec (`panic@decide`, `stall@search`,
+/// `smt-unknown@smt`).
+pub fn parse_spec(spec: &str) -> Option<(Stage, FaultKind)> {
+    let (kind, stage) = spec.split_once('@')?;
+    let stage = Stage::parse(stage.trim())?;
+    let kind = match kind.trim() {
+        "panic" => FaultKind::Panic,
+        "stall" => FaultKind::Stall(DEFAULT_STALL),
+        "smt-unknown" => FaultKind::SmtUnknown,
+        _ => return None,
+    };
+    Some((stage, kind))
+}
+
+/// Arms one shot of the fault described by the `GRAPHQE_FAULT` environment
+/// variable, returning the parsed `(stage, kind)` — or `None` when the
+/// variable is unset or unparsable (nothing is armed then).
+pub fn arm_from_env() -> Option<(Stage, FaultKind)> {
+    let spec = std::env::var("GRAPHQE_FAULT").ok()?;
+    let (stage, kind) = parse_spec(&spec)?;
+    arm(stage, kind, 1);
+    Some((stage, kind))
+}
+
+/// Consumes a shot of an armed `Panic`/`Stall` fault for `stage` and
+/// performs it. Called from every checkpoint; free when disarmed. Returns
+/// `true` when a stall was performed: the calling checkpoint then probes the
+/// deadline clock unconditionally (bypassing the probe subsampling), so the
+/// stalled checkpoint itself observes the expiry.
+pub(crate) fn trigger(stage: Stage) -> bool {
+    if !ARMED_FLAG.load(Ordering::Relaxed) {
+        return false;
+    }
+    let fired = take_shot(stage, false);
+    // Perform the fault *after* the arming lock is released, so a panic can
+    // never poison the harness itself.
+    match fired {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at stage {stage}"),
+        Some(FaultKind::Stall(duration)) => {
+            std::thread::sleep(duration);
+            true
+        }
+        Some(FaultKind::SmtUnknown) | None => false,
+    }
+}
+
+/// `true` when an armed `SmtUnknown` fault consumed a shot: the SMT solver
+/// calls this at the top of `check()` (before its cache probe) and reports
+/// `Unknown` without solving.
+pub fn forced_smt_unknown() -> bool {
+    if !ARMED_FLAG.load(Ordering::Relaxed) {
+        return false;
+    }
+    matches!(take_shot(Stage::Smt, true), Some(FaultKind::SmtUnknown))
+}
+
+/// Decrements and returns the armed fault's kind if it matches `stage` (and,
+/// for `smt_unknown_only`, the `SmtUnknown` kind — `trigger` must not consume
+/// `SmtUnknown` shots, and `forced_smt_unknown` must not consume panic/stall
+/// shots armed at the SMT stage).
+fn take_shot(stage: Stage, smt_unknown_only: bool) -> Option<FaultKind> {
+    let mut slot = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    let armed = (*slot)?;
+    if armed.stage != stage || (matches!(armed.kind, FaultKind::SmtUnknown) != smt_unknown_only) {
+        return None;
+    }
+    let remaining = armed.shots - 1;
+    *slot = (remaining > 0).then_some(ArmedFault { shots: remaining, ..armed });
+    if slot.is_none() {
+        ARMED_FLAG.store(false, Ordering::Release);
+    }
+    Some(armed.kind)
+}

@@ -45,12 +45,29 @@ pub fn normalize_query(query: &Query) -> Query {
 }
 
 /// [`normalize_query`] with a report of which rules fired.
+///
+/// Infallible: cooperative limit checkpoints are suspended for the duration
+/// (this entry point predates deadlines and its callers — benches, tests,
+/// differential oracles — expect a result unconditionally). Deadline-aware
+/// callers use [`try_normalize_query_with_report`].
 pub fn normalize_query_with_report(query: &Query) -> (Query, NormalizationReport) {
+    limits::without_token(|| try_normalize_query_with_report(query))
+        .expect("normalization cannot trip without an ambient RunToken")
+}
+
+/// [`normalize_query_with_report`] with a cooperative deadline checkpoint per
+/// fixpoint round: under an ambient [`limits::RunToken`] whose deadline has
+/// passed (or that was cancelled), normalization unwinds with the trip
+/// instead of completing the fixpoint.
+pub fn try_normalize_query_with_report(
+    query: &Query,
+) -> Result<(Query, NormalizationReport), limits::Trip> {
     let mut report = NormalizationReport::default();
     let mut current = query.clone();
     // One rule per round, bounded to guarantee termination even in the
     // presence of a rule interplay bug.
     for _ in 0..64 {
+        limits::checkpoint(limits::Stage::Normalize)?;
         if let Some(next) = rules::rule2_var_length::apply(&current) {
             report.var_length_expanded += 1;
             current = next;
@@ -81,7 +98,7 @@ pub fn normalize_query_with_report(query: &Query) -> (Query, NormalizationReport
     // Rule ⑤ last: pure renaming, applied once.
     let (renamed, changed) = rules::rule5_standardize::apply(&current);
     report.variables_standardized = changed;
-    (renamed, report)
+    Ok((renamed, report))
 }
 
 #[cfg(test)]
@@ -159,6 +176,26 @@ mod tests {
         assert!(report.var_length_expanded >= 1);
         assert!(report.star_expanded >= 1);
         assert!(report.variables_standardized);
+    }
+
+    #[test]
+    fn expired_deadline_trips_normalization_but_not_the_infallible_entry() {
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let query = parse_query("MATCH (n1)-[]-(n2) RETURN n1.name").unwrap();
+        let token =
+            Arc::new(limits::RunToken::new(Some(Instant::now() - Duration::from_millis(1)), 0, 0));
+        limits::with_token(token, || {
+            let tripped = try_normalize_query_with_report(&query);
+            assert!(matches!(
+                tripped,
+                Err(limits::Trip::Timeout { stage: limits::Stage::Normalize })
+            ));
+            // The infallible entry point suspends the ambient token and
+            // completes even mid-deadline (bench baselines depend on it).
+            let (normalized, _) = normalize_query_with_report(&query);
+            assert_eq!(normalized, normalize_query(&query));
+        });
     }
 
     #[test]

@@ -131,6 +131,12 @@ impl Solver {
     /// assertion set, so re-checking the same formula set — ubiquitous across
     /// the decision procedure's permutation retries — is a hash lookup.
     pub fn check(&self) -> SmtResult {
+        // Fault injection (test-only, inert unless armed): a forced `Unknown`
+        // is reported *before* the cache probe, so the injected failure can
+        // never be masked by — or leak into — a warm formula cache.
+        if limits::faults::forced_smt_unknown() {
+            return SmtResult::Unknown;
+        }
         if !self.use_cache {
             return self.check_inner();
         }
@@ -186,6 +192,13 @@ impl Solver {
         abstraction.assert_formula(&mut sat, &formula);
 
         for _ in 0..self.max_iterations {
+            // Cooperative budget/deadline checkpoint: each CDCL(T) refinement
+            // iteration charges the ambient RunToken's SMT step budget. On a
+            // trip the solver degrades to `Unknown`, which every caller
+            // already treats conservatively (and which is never cached).
+            if limits::smt_step().is_err() {
+                return SmtResult::Unknown;
+            }
             match sat.solve() {
                 SatOutcome::Unsat => return SmtResult::Unsat,
                 SatOutcome::Sat(assignment) => {
@@ -498,6 +511,27 @@ mod tests {
         assert_eq!(formula_cache_len(), 0);
         // Still correct after the clear.
         assert!(check_formula_cached(marker).is_sat());
+    }
+
+    #[test]
+    fn exhausted_smt_budget_degrades_to_uncached_unknown() {
+        use std::sync::Arc;
+        // A formula unique to this test so the cache interaction is isolated.
+        let formula = Term::and(vec![
+            Term::le(Term::int_var("smt_budget_test_v"), Term::int(3)),
+            Term::ge(Term::int_var("smt_budget_test_v"), Term::int(5)),
+        ]);
+        let token = Arc::new(limits::RunToken::new(None, 1, 0));
+        let tripped = limits::with_token(token.clone(), || {
+            // Exhaust the single-step budget so the first CDCL iteration
+            // trips deterministically.
+            let _ = limits::smt_step();
+            check_formula_cached(formula.clone())
+        });
+        assert_eq!(tripped, SmtResult::Unknown);
+        assert!(token.trip().is_some());
+        // The degraded result was not cached: a clean re-check is exact.
+        assert!(check_formula_cached(formula).is_unsat());
     }
 
     #[test]
