@@ -394,6 +394,31 @@ fn memoize_search(
 /// vocabulary forever. Pure memo — the generator is deterministic, so
 /// eviction only costs regeneration.
 pub fn clear_pool_cache() {
+    let _serial = CLEAR_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+    clear_pool_cache_locked();
+}
+
+/// [`clear_pool_cache`] guarded by the generation counter: clears only when
+/// no other clear has happened since the caller last observed
+/// `seen_generation` (and returns whether it cleared). This is the
+/// epoch-hygiene primitive of multi-tenant serving: several workers or
+/// tenants crossing their (thread-local) arena budgets around the same time
+/// collapse into **one** wipe — a caller whose generation is stale adopts
+/// the clear its peer just performed instead of also wiping the pools,
+/// vocabularies and memo entries everyone else has started rebuilding. The
+/// check and the clear happen under one lock, so two racing callers with the
+/// same stale generation can never both clear.
+pub fn clear_pool_cache_if_unchanged(seen_generation: u64) -> bool {
+    let _serial = CLEAR_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+    if CLEAR_GENERATION.load(Ordering::Relaxed) != seen_generation {
+        return false;
+    }
+    clear_pool_cache_locked();
+    true
+}
+
+/// The clear body; the caller must hold [`CLEAR_LOCK`].
+fn clear_pool_cache_locked() {
     if let Some(shards) = POOL_CACHE.get() {
         for shard in shards {
             shard.write().unwrap_or_else(|poison| poison.into_inner()).clear();
@@ -411,13 +436,18 @@ pub fn clear_pool_cache() {
 /// Monotonic count of [`clear_pool_cache`] calls in this process. Callers
 /// that evict on their own (per-thread) triggers can compare generations to
 /// avoid redundantly wiping shared state another thread just cleared — see
-/// `GraphQE::prove_batch_report`.
+/// [`clear_pool_cache_if_unchanged`] and `GraphQE::prove_batch_report`.
 pub fn pool_cache_generation() -> u64 {
     CLEAR_GENERATION.load(Ordering::Relaxed)
 }
 
-/// Generation counter of [`clear_pool_cache`].
+/// Generation counter of [`clear_pool_cache`], written only under
+/// [`CLEAR_LOCK`] (reads are lock-free).
 static CLEAR_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes the check-and-clear of [`clear_pool_cache_if_unchanged`] (and
+/// every unconditional clear) so concurrent epoch trips cannot double-wipe.
+static CLEAR_LOCK: Mutex<()> = Mutex::new(());
 
 // ---------------------------------------------------------------------------
 // The per-thread query-plan cache

@@ -490,7 +490,9 @@ impl GraphQE {
     ///
     /// The cache counters are process-global, so the reported deltas cover
     /// exactly this run only when no other prover runs concurrently — true
-    /// for the benchmark binaries, which is what the report is for.
+    /// for the benchmark binaries, which is what the report is for. Services
+    /// that run batches concurrently should call
+    /// [`GraphQE::prove_batch_outcomes`] instead.
     pub fn prove_batch_report<L, R>(&self, pairs: &[(L, R)], threads: usize) -> BatchReport
     where
         L: AsRef<str> + Sync,
@@ -508,6 +510,60 @@ impl GraphQE {
         // counter, and workers fold in their arena size after every pair so
         // warm arenas (which intern nothing new) are still counted.
         gexpr::arena::reset_peak_node_count();
+        let (outcomes, epoch_resets) = self.prove_batch_outcomes(pairs, threads);
+
+        let smt_after = smt::formula_cache_stats();
+        let liastar_after = liastar::cache_counters();
+        let cache = CacheStats {
+            smt_formula_hits: smt_after.0.saturating_sub(smt_before.0),
+            smt_formula_misses: smt_after.1.saturating_sub(smt_before.1),
+            summand_hits: liastar_after.summand_hits.saturating_sub(liastar_before.summand_hits),
+            summand_misses: liastar_after
+                .summand_misses
+                .saturating_sub(liastar_before.summand_misses),
+            disjoint_hits: liastar_after.disjoint_hits.saturating_sub(liastar_before.disjoint_hits),
+            disjoint_misses: liastar_after
+                .disjoint_misses
+                .saturating_sub(liastar_before.disjoint_misses),
+            search_memo_hits: counterexample::search_memo_stats().0.saturating_sub(memo_before.0),
+            search_memo_misses: counterexample::search_memo_stats().1.saturating_sub(memo_before.1),
+            search_memo_evictions: counterexample::search_memo_evictions()
+                .saturating_sub(memo_evictions_before),
+            parse_cache_hits: parse_cache_stats().0.saturating_sub(parse_before.0),
+            parse_cache_misses: parse_cache_stats().1.saturating_sub(parse_before.1),
+            parse_cache_evictions: parse_cache_evictions().saturating_sub(parse_evictions_before),
+            plan_cache_hits: counterexample::plan_cache_stats().0.saturating_sub(plan_before.0),
+            plan_cache_misses: counterexample::plan_cache_stats().1.saturating_sub(plan_before.1),
+            plan_cache_evictions: counterexample::plan_cache_evictions()
+                .saturating_sub(plan_evictions_before),
+            peak_arena_nodes: gexpr::arena::peak_node_count(),
+            epoch_resets,
+        };
+        BatchReport { outcomes, cache }
+    }
+
+    /// Batch proving for long-lived services: the pair loop of
+    /// [`GraphQE::prove_batch_report`] — dynamic load balancing, per-pair
+    /// panic isolation, arena-budget epoch janitor — without the
+    /// process-global counter resets and deltas, which are only meaningful
+    /// when exactly one batch runs at a time. Safe to call from any number of
+    /// threads concurrently; thread-local caches (plan, SMT formula, summand,
+    /// arena) stay warm on whichever thread runs the pairs, which is why a
+    /// server pins `threads = 1` and calls this from its own worker threads.
+    ///
+    /// Returns the per-pair outcomes in input order plus the number of
+    /// arena-budget epoch resets this batch performed (peer clears this batch
+    /// adopted instead of repeating are not counted; see
+    /// `counterexample::clear_pool_cache_if_unchanged`).
+    pub fn prove_batch_outcomes<L, R>(
+        &self,
+        pairs: &[(L, R)],
+        threads: usize,
+    ) -> (Vec<BatchOutcome>, u64)
+    where
+        L: AsRef<str> + Sync,
+        R: AsRef<str> + Sync,
+    {
         let epoch_resets = AtomicUsize::new(0);
         let batch_start_pool_gen = counterexample::pool_cache_generation();
 
@@ -558,20 +614,21 @@ impl GraphQE {
                 counterexample::clear_thread_plan_cache();
                 // The pool/memo cache is process-global: when several workers
                 // cross their (thread-local) arena budgets around the same
-                // time, one clear suffices — a worker that observes a clear
-                // it has not seen yet adopts it instead of wiping the state
-                // its peers just started rebuilding. A thread's first trip
-                // compares against the generation at batch start, so fresh
-                // scoped workers still evict when nobody else has.
+                // time, one clear suffices — a worker whose last-seen
+                // generation is stale adopts the clear a peer already
+                // performed instead of wiping the state everyone just started
+                // rebuilding. The compare-and-clear is atomic (one lock), so
+                // two workers racing on the same stale generation cannot both
+                // wipe. A thread's first trip compares against the generation
+                // at batch start, so fresh scoped workers still evict when
+                // nobody else has.
                 POOL_CLEAR_SEEN.with(|seen| {
-                    let current = counterexample::pool_cache_generation();
                     let reference = seen.get().unwrap_or(batch_start_pool_gen);
-                    if current == reference {
-                        counterexample::clear_pool_cache();
+                    if counterexample::clear_pool_cache_if_unchanged(reference) {
+                        epoch_resets.fetch_add(1, Ordering::Relaxed);
                     }
                     seen.set(Some(counterexample::pool_cache_generation()));
                 });
-                epoch_resets.fetch_add(1, Ordering::Relaxed);
             }
             outcome
         };
@@ -601,35 +658,7 @@ impl GraphQE {
             indexed.sort_by_key(|(index, _)| *index);
             indexed.into_iter().map(|(_, outcome)| outcome).collect()
         };
-
-        let smt_after = smt::formula_cache_stats();
-        let liastar_after = liastar::cache_counters();
-        let cache = CacheStats {
-            smt_formula_hits: smt_after.0.saturating_sub(smt_before.0),
-            smt_formula_misses: smt_after.1.saturating_sub(smt_before.1),
-            summand_hits: liastar_after.summand_hits.saturating_sub(liastar_before.summand_hits),
-            summand_misses: liastar_after
-                .summand_misses
-                .saturating_sub(liastar_before.summand_misses),
-            disjoint_hits: liastar_after.disjoint_hits.saturating_sub(liastar_before.disjoint_hits),
-            disjoint_misses: liastar_after
-                .disjoint_misses
-                .saturating_sub(liastar_before.disjoint_misses),
-            search_memo_hits: counterexample::search_memo_stats().0.saturating_sub(memo_before.0),
-            search_memo_misses: counterexample::search_memo_stats().1.saturating_sub(memo_before.1),
-            search_memo_evictions: counterexample::search_memo_evictions()
-                .saturating_sub(memo_evictions_before),
-            parse_cache_hits: parse_cache_stats().0.saturating_sub(parse_before.0),
-            parse_cache_misses: parse_cache_stats().1.saturating_sub(parse_before.1),
-            parse_cache_evictions: parse_cache_evictions().saturating_sub(parse_evictions_before),
-            plan_cache_hits: counterexample::plan_cache_stats().0.saturating_sub(plan_before.0),
-            plan_cache_misses: counterexample::plan_cache_stats().1.saturating_sub(plan_before.1),
-            plan_cache_evictions: counterexample::plan_cache_evictions()
-                .saturating_sub(plan_evictions_before),
-            peak_arena_nodes: gexpr::arena::peak_node_count(),
-            epoch_resets: epoch_resets.load(Ordering::Relaxed) as u64,
-        };
-        BatchReport { outcomes, cache }
+        (outcomes, epoch_resets.load(Ordering::Relaxed) as u64)
     }
 
     /// Proves the (non-)equivalence of two parsed queries (installing a run

@@ -46,6 +46,45 @@ pub enum FailureCategory {
     Other,
 }
 
+impl FailureCategory {
+    /// The stable machine-readable code of this category — the `error.code`
+    /// field of the serving wire protocol (see `graphqe-serve` and
+    /// SERVING.md). One code per variant, snake_case, never reworded: clients
+    /// dispatch on these strings, so renaming one is a wire-protocol break.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FailureCategory::SortingTruncation => "sorting_truncation",
+            FailureCategory::NestedAggregate => "nested_aggregate",
+            FailureCategory::UninterpretedFunction => "uninterpreted_function",
+            FailureCategory::InvalidQuery => "invalid_query",
+            FailureCategory::Timeout { .. } => "timeout",
+            FailureCategory::BudgetExhausted { .. } => "budget_exhausted",
+            FailureCategory::Cancelled => "cancelled",
+            FailureCategory::Panicked => "panicked",
+            FailureCategory::Other => "other",
+        }
+    }
+
+    /// The pipeline stage a trip-shaped category is attributed to (`None`
+    /// for the paper's static categories).
+    pub fn stage(&self) -> Option<limits::Stage> {
+        match self {
+            FailureCategory::Timeout { stage } => Some(*stage),
+            FailureCategory::BudgetExhausted { stage, .. } => Some(*stage),
+            _ => None,
+        }
+    }
+
+    /// The exhausted budget of a [`FailureCategory::BudgetExhausted`]
+    /// verdict (`None` otherwise).
+    pub fn budget(&self) -> Option<u64> {
+        match self {
+            FailureCategory::BudgetExhausted { budget, .. } => Some(*budget),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for FailureCategory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -209,5 +248,33 @@ mod tests {
     fn failure_categories_display() {
         assert_eq!(FailureCategory::SortingTruncation.to_string(), "sorting and truncation");
         assert_eq!(FailureCategory::NestedAggregate.to_string(), "nested aggregate");
+    }
+
+    #[test]
+    fn failure_category_codes_are_stable_and_carry_trip_details() {
+        let all = [
+            (FailureCategory::SortingTruncation, "sorting_truncation"),
+            (FailureCategory::NestedAggregate, "nested_aggregate"),
+            (FailureCategory::UninterpretedFunction, "uninterpreted_function"),
+            (FailureCategory::InvalidQuery, "invalid_query"),
+            (FailureCategory::Timeout { stage: limits::Stage::Search }, "timeout"),
+            (
+                FailureCategory::BudgetExhausted { stage: limits::Stage::Smt, budget: 7 },
+                "budget_exhausted",
+            ),
+            (FailureCategory::Cancelled, "cancelled"),
+            (FailureCategory::Panicked, "panicked"),
+            (FailureCategory::Other, "other"),
+        ];
+        for (category, code) in all {
+            assert_eq!(category.code(), code);
+        }
+        let timeout = FailureCategory::Timeout { stage: limits::Stage::Search };
+        assert_eq!(timeout.stage(), Some(limits::Stage::Search));
+        assert_eq!(timeout.budget(), None);
+        let budget = FailureCategory::BudgetExhausted { stage: limits::Stage::Smt, budget: 7 };
+        assert_eq!(budget.stage(), Some(limits::Stage::Smt));
+        assert_eq!(budget.budget(), Some(7));
+        assert_eq!(FailureCategory::Other.stage(), None);
     }
 }

@@ -20,7 +20,7 @@
 //!   under the existing public API without disturbing callers.
 //!
 //! The normalization algorithm is a faithful port of the reference
-//! implementation in [`crate::normalize`] (same rewrites, same canonical
+//! implementation in [`crate::normalize()`] (same rewrites, same canonical
 //! ordering, same fixpoint bound), so `normalize_via_arena` returns exactly
 //! the same tree as the reference `normalize_tree` — property tests in the
 //! crate assert this on every dataset pair.

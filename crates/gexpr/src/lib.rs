@@ -13,7 +13,7 @@
 //!   `UNBOUNDED`;
 //! * construction from parsed Cypher ASTs ([`build_query`]) covering the
 //!   features of Fig. 4 and Table I of the paper;
-//! * algebraic [`normalize`]-ation into a sum-of-summations-of-products form
+//! * algebraic [`normalize()`]-ation into a sum-of-summations-of-products form
 //!   on which the `liastar` crate decides equivalence.
 //!
 //! ```

@@ -8,7 +8,7 @@
 //! crate reproduces the same pipeline on top of the from-scratch [`smt`]
 //! solver:
 //!
-//! 1. both G-expressions are [`gexpr::normalize`]d into sums of summations of
+//! 1. both G-expressions are [`gexpr::normalize()`]d into sums of summations of
 //!    products;
 //! 2. each summand is **simplified with SMT reasoning** — summands whose
 //!    factors are jointly unsatisfiable are identically zero and dropped, and
@@ -272,7 +272,7 @@ fn sync_caches_to_epoch(store_epoch: u64) {
 /// memo, so the only cost of a reset is re-computing entries.
 ///
 /// **Cross-epoch carry-over**: instead of dropping the summand-simplification
-/// cache wholesale, the [`SUMMAND_CARRY_OVER`] most recently used entries are
+/// cache wholesale, the `SUMMAND_CARRY_OVER` most recently used entries are
 /// externalized to `GExpr` trees *before* the arena resets and re-interned
 /// (with fresh ids) into the new epoch. Hot summands — which tend to recur in
 /// the very next pairs — therefore stay memoized across the reset, smoothing

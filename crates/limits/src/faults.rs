@@ -62,9 +62,21 @@ pub fn disarm() {
 }
 
 /// Parses a `<kind>@<stage>` fault spec (`panic@decide`, `stall@search`,
-/// `smt-unknown@smt`).
+/// `smt-unknown@smt`), tolerating (and discarding) a `*<shots>` suffix —
+/// use [`parse_spec_with_shots`] to keep the shot count.
 pub fn parse_spec(spec: &str) -> Option<(Stage, FaultKind)> {
-    let (kind, stage) = spec.split_once('@')?;
+    parse_spec_with_shots(spec).map(|(stage, kind, _)| (stage, kind))
+}
+
+/// Parses a `<kind>@<stage>[*<shots>]` fault spec: like [`parse_spec`], with
+/// an optional shot-count suffix (`panic@search*3` fires three times). The
+/// suffix defaults to one shot and must be a positive integer.
+pub fn parse_spec_with_shots(spec: &str) -> Option<(Stage, FaultKind, u32)> {
+    let (kind, target) = spec.split_once('@')?;
+    let (stage, shots) = match target.split_once('*') {
+        Some((stage, shots)) => (stage, shots.trim().parse::<u32>().ok().filter(|n| *n > 0)?),
+        None => (target, 1),
+    };
     let stage = Stage::parse(stage.trim())?;
     let kind = match kind.trim() {
         "panic" => FaultKind::Panic,
@@ -72,16 +84,17 @@ pub fn parse_spec(spec: &str) -> Option<(Stage, FaultKind)> {
         "smt-unknown" => FaultKind::SmtUnknown,
         _ => return None,
     };
-    Some((stage, kind))
+    Some((stage, kind, shots))
 }
 
-/// Arms one shot of the fault described by the `GRAPHQE_FAULT` environment
-/// variable, returning the parsed `(stage, kind)` — or `None` when the
-/// variable is unset or unparsable (nothing is armed then).
+/// Arms the fault described by the `GRAPHQE_FAULT` environment variable
+/// (`<kind>@<stage>[*<shots>]`, one shot unless the suffix says otherwise),
+/// returning the parsed `(stage, kind)` — or `None` when the variable is
+/// unset or unparsable (nothing is armed then).
 pub fn arm_from_env() -> Option<(Stage, FaultKind)> {
     let spec = std::env::var("GRAPHQE_FAULT").ok()?;
-    let (stage, kind) = parse_spec(&spec)?;
-    arm(stage, kind, 1);
+    let (stage, kind, shots) = parse_spec_with_shots(&spec)?;
+    arm(stage, kind, shots);
     Some((stage, kind))
 }
 

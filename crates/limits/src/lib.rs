@@ -113,7 +113,7 @@ impl fmt::Display for Trip {
 ///
 /// Cheap by construction: checking costs a relaxed atomic load, charging a
 /// budget one `fetch_add`. With a deadline set, the clock is only probed on
-/// every [`PROBE_INTERVAL`]-th check (`Instant::now()` is the expensive part
+/// every `PROBE_INTERVAL`-th check (`Instant::now()` is the expensive part
 /// of a checkpoint; the worst-case detection slack of a few checkpoints is
 /// noise against millisecond-scale deadlines). The token is shared via `Arc`
 /// between the installing thread and any workers it spawns (see
@@ -184,7 +184,7 @@ impl RunToken {
     }
 
     /// Deadline/cancellation check attributed to `stage` (clock probe
-    /// subsampled — see [`PROBE_INTERVAL`]).
+    /// subsampled — see `PROBE_INTERVAL`).
     pub fn check(&self, stage: Stage) -> Result<(), Trip> {
         self.check_forced(stage, false)
     }
@@ -465,6 +465,22 @@ mod tests {
         assert!(faults::parse_spec("smt-unknown@smt").is_some());
         assert!(faults::parse_spec("panic@nowhere").is_none());
         assert!(faults::parse_spec("frobnicate@smt").is_none());
+        // Shot-count suffix: kept by the `_with_shots` parser, tolerated (and
+        // discarded) by the plain one, rejected when non-positive or garbage.
+        assert_eq!(
+            faults::parse_spec_with_shots("panic@search*3"),
+            Some((Stage::Search, faults::FaultKind::Panic, 3))
+        );
+        assert_eq!(
+            faults::parse_spec_with_shots("stall@decide"),
+            Some((Stage::Decide, faults::FaultKind::Stall(faults::DEFAULT_STALL), 1))
+        );
+        assert_eq!(
+            faults::parse_spec("panic@search*3"),
+            Some((Stage::Search, faults::FaultKind::Panic))
+        );
+        assert!(faults::parse_spec_with_shots("panic@search*0").is_none());
+        assert!(faults::parse_spec_with_shots("panic@search*many").is_none());
 
         faults::arm(Stage::Smt, faults::FaultKind::SmtUnknown, 2);
         assert!(faults::forced_smt_unknown());

@@ -1,7 +1,7 @@
 //! Isomorphism-based graph pattern matching (Definition 2 of the paper).
 //!
 //! Matching maps node patterns to nodes and relationship patterns to
-//! relationships of a [`PropertyGraph`], subject to:
+//! relationships of a [`crate::PropertyGraph`], subject to:
 //!
 //! * label and property constraints on each pattern element;
 //! * structure preservation (relationship endpoints follow the pattern);

@@ -1,0 +1,80 @@
+//! The `graphqe-serve` binary: bind the batch equivalence server and run
+//! until killed. Configuration is flag-based; every flag has the
+//! `ServeConfig` default. See SERVING.md for the protocol and runbook.
+//!
+//! ```text
+//! graphqe-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!               [--default-deadline-ms N] [--max-deadline-ms N]
+//!               [--max-pairs N] [--max-body-bytes N]
+//! ```
+
+use std::time::Duration;
+
+use graphqe_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut config = ServeConfig { addr: "127.0.0.1:7437".to_string(), ..ServeConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&flag, &value("--workers")),
+            "--queue" => config.queue_capacity = parse(&flag, &value("--queue")),
+            "--default-deadline-ms" => {
+                let ms: u64 = parse(&flag, &value("--default-deadline-ms"));
+                config.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-deadline-ms" => {
+                let ms: u64 = parse(&flag, &value("--max-deadline-ms"));
+                config.max_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-pairs" => config.max_pairs = parse(&flag, &value("--max-pairs")),
+            "--max-body-bytes" => config.max_body_bytes = parse(&flag, &value("--max-body-bytes")),
+            "--help" | "-h" => {
+                println!(
+                    "graphqe-serve: batch Cypher equivalence server (see SERVING.md)\n\
+                     flags: --addr --workers --queue --default-deadline-ms --max-deadline-ms \
+                     --max-pairs --max-body-bytes"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Arm a fault drill when GRAPHQE_FAULT is set, like the test binaries:
+    // lets the runbook's fault-injection drill run against a real server.
+    if let Some((stage, kind)) = limits::faults::arm_from_env() {
+        eprintln!("fault armed from GRAPHQE_FAULT: {kind:?} at stage {stage}");
+    }
+
+    let server = match Server::spawn(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("graphqe-serve listening on http://{}", server.local_addr());
+    // No signal handling (std-only): run until the process is killed. Park
+    // forever instead of busy-waiting.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value {value:?} for {flag}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,205 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net`, sized for the wire
+//! protocol: request-line + headers + `Content-Length` body, keep-alive
+//! connections, `Expect: 100-continue`, and nothing else. Chunked transfer
+//! encoding, pipelining past an error, and multipart bodies are deliberately
+//! out of scope — `curl` and `nc` (the clients SERVING.md documents) never
+//! need them for JSON payloads.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus all headers, defending the parser against a
+/// client that never sends a blank line.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The HTTP method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path (query strings are not split off; the protocol does
+    /// not use them).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// `true` when the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub close: bool,
+}
+
+/// Why a request could not be read. Each variant maps onto exactly one HTTP
+/// status so the server's error responses are mechanical.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed (or the read timed out on) an idle connection before
+    /// sending a request line — a clean end of a keep-alive session, not an
+    /// error to report.
+    Closed,
+    /// The request was structurally invalid (→ `400`).
+    BadRequest(String),
+    /// A `POST` arrived without `Content-Length` (→ `411`). Chunked bodies
+    /// land here too: the parser refuses rather than mis-frames them.
+    LengthRequired,
+    /// The declared body exceeds the configured cap (→ `413`).
+    PayloadTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+}
+
+/// Reads one request from a keep-alive connection.
+///
+/// `max_body_bytes` bounds the accepted `Content-Length`; the body is only
+/// read after that check, so an oversized upload costs the server a header
+/// parse, not a buffer. When the declared length passes the check and the
+/// client sent `Expect: 100-continue`, the interim `100 Continue` response
+/// is written before the body read (this is how `curl` sends larger JSON
+/// documents).
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Request, ReadError> {
+    let mut head_bytes = 0;
+    let request_line = match read_line(reader, &mut head_bytes)? {
+        Some(line) if !line.is_empty() => line,
+        // An empty line where a request line should be: tolerate stray CRLFs
+        // between pipelined requests by trying once more, then give up.
+        Some(_) => match read_line(reader, &mut head_bytes)? {
+            Some(line) if !line.is_empty() => line,
+            _ => return Err(ReadError::Closed),
+        },
+        None => return Err(ReadError::Closed),
+    };
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest(format!("malformed request line {request_line:?}")));
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    let mut expects_continue = false;
+    let mut chunked = false;
+    loop {
+        let line = read_line(reader, &mut head_bytes)?
+            .ok_or_else(|| ReadError::BadRequest("connection closed mid-headers".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest(format!("malformed header line {line:?}")));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                let parsed = value
+                    .parse::<usize>()
+                    .map_err(|_| ReadError::BadRequest(format!("bad Content-Length {value:?}")))?;
+                content_length = Some(parsed);
+            }
+            "connection" => close = value.eq_ignore_ascii_case("close"),
+            "expect" => expects_continue = value.eq_ignore_ascii_case("100-continue"),
+            "transfer-encoding" => chunked = true,
+            _ => {}
+        }
+    }
+    if chunked {
+        return Err(ReadError::LengthRequired);
+    }
+
+    let declared = content_length.unwrap_or(0);
+    if declared == 0 && method == "POST" && content_length.is_none() {
+        return Err(ReadError::LengthRequired);
+    }
+    if declared > max_body_bytes {
+        return Err(ReadError::PayloadTooLarge { declared, limit: max_body_bytes });
+    }
+
+    let mut body = vec![0u8; declared];
+    if declared > 0 {
+        if expects_continue {
+            // Best effort: a client that sent the body anyway ignores this.
+            let _ = reader.get_mut().write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        }
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ReadError::BadRequest(format!("body shorter than Content-Length: {e}")))?;
+    }
+    Ok(Request { method, path, body, close })
+}
+
+/// Reads one CRLF-terminated line, charging its length against the head cap
+/// *as it accumulates* (a client streaming an endless line is cut off at the
+/// cap, never buffered). `Ok(None)` is a clean EOF — or a timeout — before
+/// any byte of the line.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<Option<String>, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buffered = match reader.fill_buf() {
+            Ok(buffered) => buffered,
+            Err(_) if line.is_empty() => return Ok(None), // idle timeout or reset
+            Err(e) => return Err(ReadError::BadRequest(format!("read failed mid-line: {e}"))),
+        };
+        if buffered.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ReadError::BadRequest("connection closed mid-line".to_string()));
+        }
+        let newline = buffered.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(buffered.len());
+        line.extend_from_slice(&buffered[..take]);
+        reader.consume(take);
+        *head_bytes += take;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::BadRequest("request head too large".to_string()));
+        }
+        if newline.is_some() {
+            break;
+        }
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| ReadError::BadRequest("non-UTF-8 bytes in request head".to_string()))
+}
+
+/// Writes one JSON response. `keep_alive: false` adds `Connection: close`;
+/// the caller then drops the stream.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
