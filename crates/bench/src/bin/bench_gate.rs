@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
-//! Compares the freshly produced `BENCH_pr5.json` against the committed
-//! previous report (`BENCH_pr4.json` by default) and exits non-zero when the
+//! Compares the freshly produced `BENCH_pr8.json` against the committed
+//! previous report (`BENCH_pr7.json` by default) and exits non-zero when the
 //! end-to-end time regressed by more than 15% or any verdict count changed
 //! (CyEqSet must stay at the paper's 138/148 proved pairs).
 //!
@@ -10,6 +10,7 @@
 //! ```text
 //! bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict]
 //!            [--stage search] [--stage eval] [--stage parse]
+//!            [--stage normalize]
 //! ```
 //!
 //! The performance comparison evaluates both a baseline-normalized view
@@ -21,8 +22,10 @@
 //! decide-only from both reports) under the same rule, so search-only
 //! regressions are caught like decide-only ones. `--stage eval` enforces the
 //! evaluator stage (flat-row evaluation normalized by the in-run map-backed
-//! oracle) and `--stage parse` the stage-① parse cache (warm parse
-//! normalized by the in-run cold parse). The `--stage` flag repeats. See
+//! oracle), `--stage parse` the stage-① parse cache (warm parse
+//! normalized by the in-run cold parse), and `--stage normalize` the shared
+//! stage-②+③ normalize/build cache (warm normalize+build normalized by the
+//! in-run cold time). The `--stage` flag repeats. See
 //! `graphqe_bench::gate` for the exact rules.
 
 use graphqe_bench::gate::{evaluate, GateConfig};
@@ -36,8 +39,8 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        current: "BENCH_pr5.json".to_string(),
-        previous: "BENCH_pr4.json".to_string(),
+        current: "BENCH_pr8.json".to_string(),
+        previous: "BENCH_pr7.json".to_string(),
         config: GateConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -65,9 +68,10 @@ fn parse_args() -> Result<Args, String> {
                     "search" => args.config.stage_search = true,
                     "eval" => args.config.stage_eval = true,
                     "parse" => args.config.stage_parse = true,
+                    "normalize" => args.config.stage_normalize = true,
                     other => {
                         return Err(format!(
-                            "unknown stage {other} (expected: search, eval, parse)"
+                            "unknown stage {other} (expected: search, eval, parse, normalize)"
                         ))
                     }
                 }
@@ -75,7 +79,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "bench_gate [--current PATH] [--previous PATH] [--tolerance PCT] [--strict] \
-                     [--stage search] [--stage eval] [--stage parse]"
+                     [--stage search] [--stage eval] [--stage parse] [--stage normalize]"
                 );
                 std::process::exit(0);
             }
@@ -109,7 +113,7 @@ fn main() {
     };
 
     println!(
-        "bench_gate: {} vs {} (tolerance {:.0}%{}{}{}{})",
+        "bench_gate: {} vs {} (tolerance {:.0}%{}{}{}{}{})",
         args.current,
         args.previous,
         args.config.tolerance * 100.0,
@@ -117,6 +121,7 @@ fn main() {
         if args.config.stage_search { ", search stage enforced" } else { "" },
         if args.config.stage_eval { ", eval stage enforced" } else { "" },
         if args.config.stage_parse { ", parse stage enforced" } else { "" },
+        if args.config.stage_normalize { ", normalize stage enforced" } else { "" },
     );
     let outcome = evaluate(&current, &previous, args.config);
     for line in &outcome.passed {

@@ -85,6 +85,15 @@ pub struct GateConfig {
     /// that the memoized end-to-end numbers would hide. Skipped (with a
     /// note) when the previous report predates the `parse` block.
     pub stage_parse: bool,
+    /// Additionally enforce the **normalize stage** (`--stage normalize`):
+    /// the warm (cache-hit) stage-②+③ time normalized by the same run's
+    /// cold (cache-cleared) time (`normalize.warm_ms / normalize.cold_ms`
+    /// — in-run ratio, drift-insulated), combined with the absolute warm
+    /// time under the two-view rule. This is what catches a
+    /// normalize/build-cache regression that the memoized end-to-end
+    /// numbers would hide. Skipped (with a note) when the previous report
+    /// predates the `normalize` block (e.g. `BENCH_pr7.json`).
+    pub stage_normalize: bool,
 }
 
 impl Default for GateConfig {
@@ -95,6 +104,7 @@ impl Default for GateConfig {
             stage_search: false,
             stage_eval: false,
             stage_parse: false,
+            stage_normalize: false,
         }
     }
 }
@@ -413,6 +423,43 @@ pub fn evaluate(current: &Json, previous: &Json, config: GateConfig) -> GateOutc
                 (None, Some(_)) => outcome.failures.push(format!(
                     "{dataset}: parse.warm_ms/cold_ms missing from the current report \
                      (previous has them — the parse block must not be dropped)"
+                )),
+            }
+        }
+
+        // Normalize-stage views (`--stage normalize`): warm (cache-hit)
+        // stage-②+③ time normalized by the in-run cold (cache-cleared)
+        // time, plus the absolute warm time, under the shared two-view
+        // rule. Only when both reports carry the PR 8 normalize block.
+        if config.stage_normalize {
+            let stage = |report: &Json| -> Option<(f64, f64)> {
+                let warm =
+                    report.get_path(&[dataset, "normalize", "warm_ms"]).and_then(Json::as_f64)?;
+                let cold =
+                    report.get_path(&[dataset, "normalize", "cold_ms"]).and_then(Json::as_f64)?;
+                let warm = warm.max(SEARCH_FLOOR_MS);
+                Some((warm / cold.max(SEARCH_FLOOR_MS), warm))
+            };
+            match (stage(current), stage(previous)) {
+                (Some((current_ratio, current_ms)), Some((previous_ratio, previous_ms))) => {
+                    let views = Ok([
+                        view(
+                            "normalize normalized (warm/cold)",
+                            current_ratio,
+                            previous_ratio,
+                            config.tolerance,
+                        ),
+                        view("normalize warm ms", current_ms, previous_ms, config.tolerance),
+                    ]);
+                    apply_two_view_rule(&mut outcome, dataset, "normalize-stage", views, config);
+                }
+                (_, None) => outcome.passed.push(format!(
+                    "{dataset}: normalize-stage check skipped (previous report predates the \
+                     normalize block)"
+                )),
+                (None, Some(_)) => outcome.failures.push(format!(
+                    "{dataset}: normalize.warm_ms/cold_ms missing from the current report \
+                     (previous has them — the normalize block must not be dropped)"
                 )),
             }
         }
@@ -826,6 +873,63 @@ mod tests {
         // A previous report without the block (e.g. BENCH_pr4.json) skips
         // the check instead of failing.
         let outcome = evaluate(&with_parse(0.1), &report(10.0, 50.0, 20.0, 80.0), config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        assert!(outcome.passed.iter().any(|line| line.contains("skipped")));
+        // A current report that drops the block is rejected.
+        let outcome = evaluate(&report(10.0, 50.0, 20.0, 80.0), &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("must not be dropped")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn normalize_stage_view_catches_normalize_cache_regressions() {
+        // Identical e2e/decide numbers, but the warm (cache-hit)
+        // normalize+build time grew from near-zero back to a large fraction
+        // of the cold time: exactly the regression the memoized end-to-end
+        // numbers hide.
+        let with_normalize = |warm: f64| {
+            let text = format!(
+                r#"{{
+                  "cyeqset": {{
+                    "baseline_tree_sequential_ms": 50.0, "arena_parallel_ms": 10.0,
+                    "baseline_decide_only_ms": 45.0, "arena_decide_only_ms": 9.0,
+                    "equivalent": 138, "not_equivalent": 0, "unknown": 10,
+                    "normalize": {{"cold_ms": 4.0, "warm_ms": {warm}}}
+                  }},
+                  "cyneqset": {{
+                    "baseline_tree_sequential_ms": 80.0, "arena_parallel_ms": 20.0,
+                    "baseline_decide_only_ms": 72.0, "arena_decide_only_ms": 14.4,
+                    "equivalent": 0, "not_equivalent": 121, "unknown": 27,
+                    "normalize": {{"cold_ms": 4.0, "warm_ms": {warm}}}
+                  }}
+                }}"#
+            );
+            Json::parse(&text).unwrap()
+        };
+        let previous = with_normalize(0.1);
+        let config = GateConfig { stage_normalize: true, ..GateConfig::default() };
+        // Same warm cost: passes (both views at the floor).
+        let outcome = evaluate(&with_normalize(0.1), &previous, config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // Warm normalize+build grew to 3 ms with unchanged e2e: both the
+        // in-run ratio and the absolute warm time regress, so the gate trips.
+        let outcome = evaluate(&with_normalize(3.0), &previous, config);
+        assert!(!outcome.is_pass());
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("normalize-stage")),
+            "{:?}",
+            outcome.failures
+        );
+        // Without --stage normalize the same regression passes silently.
+        let outcome = evaluate(&with_normalize(3.0), &previous, GateConfig::default());
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
+        // A previous report without the block (e.g. BENCH_pr7.json) skips
+        // the check instead of failing.
+        let outcome = evaluate(&with_normalize(0.1), &report(10.0, 50.0, 20.0, 80.0), config);
         assert!(outcome.is_pass(), "{:?}", outcome.failures);
         assert!(outcome.passed.iter().any(|line| line.contains("skipped")));
         // A current report that drops the block is rejected.

@@ -21,6 +21,11 @@
 //! per search. Graphs are handed out as `Arc<PropertyGraph>` clones, so
 //! evaluation runs outside the pool lock.
 //!
+//! Query plans are shared process-wide too (since PR 8): the plan cache
+//! stores immutable `Send + Sync` [`FrozenPlan`] artifacts keyed by query
+//! text, and each search thaws a thread-private working view in
+//! microseconds — see the cache section below.
+//!
 //! ## Cancellation protocol of the parallel search
 //!
 //! [`find_counterexample_parallel`] first probes the deterministic seed
@@ -42,15 +47,15 @@
 //! memo freezes whichever one a process reports first, so repeat
 //! certifications within a process are stable.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use cypher_parser::ast::Query;
-use property_graph::{Evaluator, GeneratorConfig, GraphGenerator, PropertyGraph, QueryPlan};
+use property_graph::{
+    Evaluator, FrozenPlan, GeneratorConfig, GraphGenerator, PropertyGraph, QueryPlan,
+};
 
 use crate::cache::LruMap;
 use crate::verdict::Counterexample;
@@ -430,6 +435,9 @@ fn clear_pool_cache_locked() {
     if let Some(memo) = SEARCH_MEMO.get() {
         memo.lock().unwrap_or_else(|poison| poison.into_inner()).clear();
     }
+    if let Some(plans) = PLAN_CACHE.get() {
+        plans.lock().unwrap_or_else(|poison| poison.into_inner()).clear();
+    }
     CLEAR_GENERATION.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -450,113 +458,118 @@ static CLEAR_GENERATION: AtomicU64 = AtomicU64::new(0);
 static CLEAR_LOCK: Mutex<()> = Mutex::new(());
 
 // ---------------------------------------------------------------------------
-// The per-thread query-plan cache
+// The process-wide frozen-plan cache
 // ---------------------------------------------------------------------------
 
-/// A query owned together with its [`QueryPlan`] (symbol table + lowered
-/// compiled patterns), so planning survives the search that produced it.
-/// The plan keys on this exact owned query instance — evaluation must go
-/// through [`CachedPlan::evaluate`].
+/// A thread-local working view of a shared [`FrozenPlan`]: the frozen
+/// artifact (held alive by `Arc`) plus its thawed [`QueryPlan`] — the
+/// `Rc`/`RefCell` working state the evaluator's hot loop needs. Thawing is
+/// a per-search, microsecond-scale operation (name re-interning plus `Arc`
+/// seeding); the expensive lowering happened exactly once, process-wide,
+/// when the frozen plan was built. Evaluation must go through
+/// [`CachedPlan::evaluate`]: the plans key on the frozen artifact's own
+/// query instance.
 pub(crate) struct CachedPlan {
-    query: Query,
+    frozen: Arc<FrozenPlan>,
     plan: QueryPlan,
 }
 
 impl CachedPlan {
-    fn new(query: &Query) -> CachedPlan {
-        let query = query.clone();
-        let plan = QueryPlan::new(&query);
-        CachedPlan { query, plan }
+    fn thaw(frozen: Arc<FrozenPlan>) -> CachedPlan {
+        let plan = frozen.thaw();
+        CachedPlan { frozen, plan }
     }
 
     fn evaluate(
         &self,
         graph: &PropertyGraph,
     ) -> Result<property_graph::QueryResult, property_graph::EvalError> {
-        Evaluator::new().evaluate_planned(graph, &self.query, &self.plan)
+        Evaluator::new().evaluate_planned(graph, self.frozen.query(), &self.plan)
     }
 }
 
-/// Default per-thread capacity of the plan cache. An entry is a cloned AST
-/// plus its symbol table and lowered patterns — a few KB — so the bound
-/// keeps each worker's cache in the low megabytes while covering both
-/// benchmark datasets.
+/// Default capacity of the shared plan cache. An entry is a cloned AST plus
+/// its name snapshot and lowered patterns — a few KB — so the bound keeps
+/// the cache in the low megabytes while covering both benchmark datasets.
 const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
 
-/// Requested capacity of every thread's plan cache (threads sync to it on
-/// access; see [`set_plan_cache_capacity`]).
-static PLAN_CACHE_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_PLAN_CACHE_CAPACITY);
-
-/// Hit/miss/eviction counters of the plan cache (process-wide; the caches
-/// themselves are per-thread).
+/// Hit/miss/eviction counters of the shared plan cache.
 static PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static PLAN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static PLAN_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-thread_local! {
-    /// The query-plan cache, keyed by pretty-printed query text.
-    ///
-    /// `PreparedQuery` (PR 4) amortizes planning *within* one search; this
-    /// cache amortizes it *across* searches, the way the shared pools
-    /// amortize graph generation. It is per-thread — not process-wide like
-    /// the pools — because a plan's `SymbolTable` and lowering cache use
-    /// single-threaded interior mutability (`Rc`/`RefCell`) by design: the
-    /// evaluator is the hot loop, and uncontended `RefCell`s beat locks
-    /// there. Each batch worker therefore plans a given query text once and
-    /// replays the plan for every subsequent search it runs.
-    static PLAN_CACHE: RefCell<LruMap<String, Rc<CachedPlan>>> =
-        RefCell::new(LruMap::new(DEFAULT_PLAN_CACHE_CAPACITY));
+/// The frozen-plan cache, keyed by pretty-printed query text and shared by
+/// every thread.
+///
+/// `PreparedQuery` (PR 4) amortizes planning *within* one search; this cache
+/// amortizes it *across* searches — and, since PR 8, across **threads**: the
+/// cached artifact is an immutable `Send + Sync` [`FrozenPlan`], so parallel
+/// search workers and serve workers share one lowering instead of each
+/// keeping a thread-local duplicate (warm plan hit rate was 0.26 in
+/// BENCH_pr7 precisely because of that duplication). Each consumer thaws the
+/// shared artifact into its own thread-private working view; the evaluator's
+/// hot loop still runs on uncontended `Rc`/`RefCell` state.
+static PLAN_CACHE: OnceLock<Mutex<LruMap<String, Arc<FrozenPlan>>>> = OnceLock::new();
+
+fn plan_cache() -> &'static Mutex<LruMap<String, Arc<FrozenPlan>>> {
+    PLAN_CACHE.get_or_init(|| Mutex::new(LruMap::new(DEFAULT_PLAN_CACHE_CAPACITY)))
 }
 
-/// The cached plan for `query` on this thread, keyed by its pretty-printed
-/// `text` (which the search memo key already computes).
-fn cached_plan(text: &str, query: &Query) -> Rc<CachedPlan> {
-    PLAN_CACHE.with(|cache| {
-        let mut cache = cache.borrow_mut();
-        let evicted = cache.set_capacity(PLAN_CACHE_CAPACITY.load(Ordering::Relaxed));
-        if evicted > 0 {
-            PLAN_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
-        }
-        if let Some(hit) = cache.get(text) {
-            PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return hit;
-        }
-        PLAN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-        let planned = Rc::new(CachedPlan::new(query));
-        let evicted = cache.insert(text.to_string(), Rc::clone(&planned));
-        PLAN_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
-        planned
-    })
+/// The shared frozen plan for `query`, keyed by its pretty-printed `text`
+/// (which the search memo key already computes). On a miss the freeze runs
+/// **outside** the lock — like the parse cache, a racing duplicate freeze is
+/// benign (both artifacts are equivalent; last insert wins).
+fn frozen_plan(text: &str, query: &Query) -> Arc<FrozenPlan> {
+    if let Some(hit) = plan_cache().lock().unwrap_or_else(|poison| poison.into_inner()).get(text) {
+        PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    PLAN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let frozen = Arc::new(FrozenPlan::new(query));
+    let evicted = plan_cache()
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+        .insert(text.to_string(), Arc::clone(&frozen));
+    PLAN_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    frozen
 }
 
-/// Process-wide hit/miss counters of the per-thread plan caches.
+/// A thawed working view of the shared plan for `query` (see
+/// [`frozen_plan`] and [`CachedPlan`]).
+fn cached_plan(text: &str, query: &Query) -> CachedPlan {
+    CachedPlan::thaw(frozen_plan(text, query))
+}
+
+/// Hit/miss counters of the shared plan cache.
 pub fn plan_cache_stats() -> (u64, u64) {
     (PLAN_CACHE_HITS.load(Ordering::Relaxed), PLAN_CACHE_MISSES.load(Ordering::Relaxed))
 }
 
-/// Process-wide count of plan-cache entries dropped by the capacity bound.
+/// Count of plan-cache entries dropped by the capacity bound.
 pub fn plan_cache_evictions() -> u64 {
     PLAN_CACHE_EVICTIONS.load(Ordering::Relaxed)
 }
 
-/// Entry count of the *current thread's* plan cache.
-pub fn thread_plan_cache_len() -> usize {
-    PLAN_CACHE.with(|cache| cache.borrow().len())
+/// Entry count of the shared plan cache.
+pub fn plan_cache_len() -> usize {
+    plan_cache().lock().unwrap_or_else(|poison| poison.into_inner()).len()
 }
 
-/// Reconfigures the per-thread plan-cache capacity (clamped to at least 1).
-/// Threads adopt the new bound — evicting down if needed — on their next
-/// cache access. Returns the previous setting.
+/// Reconfigures the shared plan-cache capacity (clamped to at least 1),
+/// evicting down to the new bound immediately. Returns the previous setting.
 pub fn set_plan_cache_capacity(capacity: usize) -> usize {
-    PLAN_CACHE_CAPACITY.swap(capacity.max(1), Ordering::Relaxed)
+    let mut cache = plan_cache().lock().unwrap_or_else(|poison| poison.into_inner());
+    let previous = cache.capacity();
+    let evicted = cache.set_capacity(capacity);
+    PLAN_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    previous
 }
 
-/// Drops the calling thread's plan cache. Part of the epoch-based eviction
-/// story: the batch prover calls this alongside `liastar`'s thread-cache
-/// reset when a worker crosses its arena budget (the caches are per-thread,
-/// so the process-wide [`clear_pool_cache`] cannot reach them).
-pub fn clear_thread_plan_cache() {
-    PLAN_CACHE.with(|cache| cache.borrow_mut().clear());
+/// Drops every entry of the shared plan cache. Also rides
+/// [`clear_pool_cache`], so the epoch-based wholesale reset reaches plans
+/// the same way it reaches pools, vocabularies and the search memo.
+pub fn clear_plan_cache() {
+    plan_cache().lock().unwrap_or_else(|poison| poison.into_inner()).clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -593,7 +606,9 @@ fn check_queries(
     graph: &Arc<PropertyGraph>,
     pool_index: usize,
 ) -> Option<Counterexample> {
-    check(&CachedPlan::new(q1), &CachedPlan::new(q2), graph, pool_index)
+    let left = CachedPlan::thaw(Arc::new(FrozenPlan::new(q1)));
+    let right = CachedPlan::thaw(Arc::new(FrozenPlan::new(q2)));
+    check(&left, &right, graph, pool_index)
 }
 
 /// Searches for a property graph on which the two queries disagree,
@@ -649,13 +664,18 @@ const PARALLEL_SEQUENTIAL_PREFIX: usize = 3;
 /// The **verdict** is deterministic and identical to
 /// [`find_counterexample`]'s; the reported witness's pool index may differ
 /// (scheduling decides which witness wins, never whether one exists). With
-/// `threads <= 1` this *is* the sequential search.
+/// `threads <= 1` — including any request clamped down to 1 by the
+/// machine's actual parallelism — this *is* the sequential search: on a
+/// one-core box the parallel driver's spawn/partition overhead more than
+/// doubles search latency (BENCH_pr7: 15.0 ms parallel vs 6.5 ms
+/// sequential) and can never pay for itself.
 pub fn find_counterexample_parallel(
     q1: &Query,
     q2: &Query,
     config: &SearchConfig,
     threads: usize,
 ) -> Option<Counterexample> {
+    let threads = threads.min(crate::machine_parallelism());
     if threads <= 1 {
         return find_counterexample(q1, q2, config);
     }
@@ -665,8 +685,8 @@ pub fn find_counterexample_parallel(
     }
     let (pool, vocabulary) = pool_for(q1, q2, config);
 
-    // Sequential prefix over the seed graphs (plans resolved through the
-    // per-thread cache, shared with any earlier search of the same texts).
+    // Sequential prefix over the seed graphs (plans thawed from the shared
+    // frozen-plan cache, populated by any earlier search of the same texts).
     let (left, right) = (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
     for index in 0..PARALLEL_SEQUENTIAL_PREFIX {
         if limits::search_step().is_err() {
@@ -694,12 +714,11 @@ pub fn find_counterexample_parallel(
         for _ in 0..threads.min(config.random_graphs.max(1)) {
             scope.spawn(|| {
                 let work = || {
-                    // Per-worker plans through the worker thread's own plan
-                    // cache: the symbol table is single-threaded (interior
-                    // `RefCell`s), so plans cannot be shared across workers,
-                    // but each worker amortizes its plan over every graph it
-                    // draws *and* over every search it ever runs for these
-                    // texts.
+                    // Each worker thaws its own working view of the shared
+                    // frozen plans (a cache hit plus a microsecond-scale
+                    // re-intern): the lowering was done once process-wide,
+                    // and the hot loop still runs on the worker's private,
+                    // uncontended `Rc`/`RefCell` state.
                     let (left, right) =
                         (cached_plan(&memo_key.0, q1), cached_plan(&memo_key.1, q2));
                     loop {
@@ -1004,12 +1023,11 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_bound_holds_per_thread_and_repeats_hit() {
-        // Capacity is a global setting but the cache is per-thread; this
-        // test only observes its own thread's cache, so no serialization
-        // with other tests is needed beyond restoring the capacity.
+    fn plan_cache_bound_holds_and_repeats_hit() {
+        // The cache is process-wide and the capacity is enforced on every
+        // insert, so the bound holds even with other tests inserting
+        // concurrently — their inserts also evict down to the bound.
         let previous = set_plan_cache_capacity(3);
-        clear_thread_plan_cache();
         let evictions_before = plan_cache_evictions();
         let queries: Vec<Query> = (0..8)
             .map(|i| parse_query(&format!("MATCH (pc{i}:PlanCacheT{i}) RETURN pc{i}")).unwrap())
@@ -1018,22 +1036,59 @@ mod tests {
             let text = cypher_parser::pretty::query_to_string(query);
             let _ = cached_plan(&text, query);
             assert!(
-                thread_plan_cache_len() <= 3,
+                plan_cache_len() <= 3,
                 "plan cache exceeded its bound: {} entries",
-                thread_plan_cache_len()
+                plan_cache_len()
             );
         }
         assert!(plan_cache_evictions() > evictions_before, "saturation must evict");
-        // The most recently planned text replays from this thread's cache.
-        let (hits_before, _) = plan_cache_stats();
+        // The most recently planned text replays from the shared cache. (A
+        // concurrently running test can evict it between probes; retry — a
+        // miss re-inserts, so a hit must become observable.)
         let text = cypher_parser::pretty::query_to_string(&queries[7]);
-        let replayed = cached_plan(&text, &queries[7]);
-        assert!(plan_cache_stats().0 > hits_before, "repeat probe must hit");
-        // And the cached plan still evaluates correctly.
+        let mut replayed = None;
+        for _ in 0..5 {
+            let (hits_before, _) = plan_cache_stats();
+            let plan = cached_plan(&text, &queries[7]);
+            if plan_cache_stats().0 > hits_before {
+                replayed = Some(plan);
+                break;
+            }
+        }
+        let replayed = replayed.expect("no probe hit the plan cache in five attempts");
+        // And the thawed plan still evaluates correctly.
         let graph = Arc::new(PropertyGraph::paper_example());
         assert!(replayed.evaluate(&graph).is_ok());
         set_plan_cache_capacity(previous);
-        clear_thread_plan_cache();
+    }
+
+    #[test]
+    fn frozen_plans_are_shared_across_threads() {
+        let query = parse_query("MATCH (ct:CrossThread)-[r]->(b) RETURN ct, b").unwrap();
+        let text = cypher_parser::pretty::query_to_string(&query);
+        let first = frozen_plan(&text, &query);
+        let expected = {
+            let graph = PropertyGraph::paper_example();
+            CachedPlan::thaw(Arc::clone(&first)).evaluate(&graph).unwrap()
+        };
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let query = query.clone();
+                let text = text.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    // Every thread resolves the same shared artifact (or a
+                    // benign racing duplicate) and evaluates identically.
+                    let plan = cached_plan(&text, &query);
+                    let graph = PropertyGraph::paper_example();
+                    let got = plan.evaluate(&graph).unwrap();
+                    assert!(got.ordered_equal(&expected));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
     }
 
     #[test]

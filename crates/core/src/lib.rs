@@ -134,6 +134,182 @@ pub fn parse_check_cached(text: &str) -> Result<Arc<Query>, CheckError> {
     outcome
 }
 
+// ---------------------------------------------------------------------------
+// The stage-②/③ normalize/build cache
+// ---------------------------------------------------------------------------
+
+/// Default capacity of the normalize cache, matched to the parse cache: the
+/// entries are keyed on parse-cache identities, so there is no point holding
+/// more normalized forms than there are parsed queries.
+const DEFAULT_NORMALIZE_CACHE_CAPACITY: usize = 4096;
+
+/// The memoized stage-② (and lazily stage-③) outcome of one parsed query:
+/// its Table II normalized form plus the G-expression build of that form,
+/// computed once process-wide and shared across threads (`Arc<Query>` and
+/// [`BuildOutput`] are plain trees — `Send + Sync` is compile-enforced
+/// below). Obtained through [`normalized_stages`]; a warm re-certification
+/// skips both `rule_normalize` and `gexpr_build` entirely.
+pub struct NormalizedStages {
+    /// The parse-cache entry this was derived from. Holding it pins the
+    /// allocation, so the address key below can never be reused by a
+    /// different query while this entry lives.
+    source: Arc<Query>,
+    /// The Table II normalized form of `source`.
+    normalized: Query,
+    /// Stage ③ memo: the build of `normalized`, filled by the first prover
+    /// that needs it. Build errors are memoized too — `gexpr` is limits-free,
+    /// so its outcome is a deterministic property of the query.
+    build: Mutex<Option<Result<BuildOutput, BuildError>>>,
+}
+
+// The point of the shared cache: entries cross threads. A field that
+// introduces `Rc`/`RefCell` fails compilation here, not in a consumer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NormalizedStages>();
+};
+
+impl NormalizedStages {
+    /// The normalized (Table II) form of the source query.
+    pub fn normalized(&self) -> &Query {
+        &self.normalized
+    }
+
+    /// Stage ③ on the normalized form, memoized: the first caller builds,
+    /// every later caller — on any thread — clones the stored outcome.
+    pub fn build(&self) -> Result<BuildOutput, BuildError> {
+        let mut slot = self.build.lock().unwrap_or_else(|poison| poison.into_inner());
+        if let Some(built) = slot.as_ref() {
+            return built.clone();
+        }
+        let built = build_query(&self.normalized);
+        *slot = Some(built.clone());
+        built
+    }
+}
+
+impl std::fmt::Debug for NormalizedStages {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NormalizedStages").finish_non_exhaustive()
+    }
+}
+
+/// Identity-keyed cache of stage-②/③ outcomes, shared process-wide. The key
+/// is the address of the parse cache's `Arc<Query>`, so probing costs a
+/// pointer hash instead of re-hashing the query text; the `Arc::ptr_eq`
+/// guard on hits makes address reuse (after a parse-cache eviction drops the
+/// only other owner) a miss instead of a wrong answer.
+static NORMALIZE_CACHE: OnceLock<Mutex<NormalizeCache>> = OnceLock::new();
+
+type NormalizeCache = cache::LruMap<usize, Arc<NormalizedStages>>;
+
+fn normalize_cache() -> &'static Mutex<NormalizeCache> {
+    NORMALIZE_CACHE.get_or_init(|| Mutex::new(cache::LruMap::new(DEFAULT_NORMALIZE_CACHE_CAPACITY)))
+}
+
+static NORMALIZE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static NORMALIZE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static NORMALIZE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide hit/miss counters of the normalize cache.
+pub fn normalize_cache_stats() -> (u64, u64) {
+    (NORMALIZE_CACHE_HITS.load(Ordering::Relaxed), NORMALIZE_CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Process-wide count of normalize-cache entries dropped by the capacity
+/// bound.
+pub fn normalize_cache_evictions() -> u64 {
+    NORMALIZE_CACHE_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Current entry count of the normalize cache.
+pub fn normalize_cache_len() -> usize {
+    normalize_cache().lock().unwrap_or_else(|poison| poison.into_inner()).len()
+}
+
+/// Reconfigures the normalize cache's capacity (clamped to at least 1),
+/// evicting down immediately. Returns the previous capacity.
+pub fn set_normalize_cache_capacity(capacity: usize) -> usize {
+    let mut cache = normalize_cache().lock().unwrap_or_else(|poison| poison.into_inner());
+    let previous = cache.capacity();
+    let evicted = cache.set_capacity(capacity);
+    NORMALIZE_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    previous
+}
+
+/// Drops every normalize-cache entry (pure memo — eviction only costs
+/// re-normalizing). Benchmarks use this to measure the cold stages.
+pub fn clear_normalize_cache() {
+    normalize_cache().lock().unwrap_or_else(|poison| poison.into_inner()).clear();
+}
+
+/// Stage ② through the cache: the memoized normalized form (with its lazily
+/// memoized build) of `query`, or a fresh normalization inserted on miss
+/// (computed outside the lock — racing workers may both normalize,
+/// benignly). Only successful normalizations are cached, and never on a
+/// tripped run: a trip reflects this call's deadline, not a property of the
+/// query.
+pub fn normalized_stages(query: &Arc<Query>) -> Result<Arc<NormalizedStages>, limits::Trip> {
+    let key = Arc::as_ptr(query) as usize;
+    let cached = normalize_cache().lock().unwrap_or_else(|poison| poison.into_inner()).get(&key);
+    if let Some(entry) = cached {
+        if Arc::ptr_eq(&entry.source, query) {
+            NORMALIZE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry);
+        }
+        // Address reuse: the parse cache evicted the query that owned this
+        // address and a later allocation landed on it. Fall through to a
+        // miss; the insert below overwrites the stale entry.
+    }
+    NORMALIZE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let (normalized, _report) = cypher_normalizer::try_normalize_query_with_report(query)?;
+    let entry = Arc::new(NormalizedStages {
+        source: Arc::clone(query),
+        normalized,
+        build: Mutex::new(None),
+    });
+    if limits::trip().is_none() {
+        let evicted = normalize_cache()
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .insert(key, Arc::clone(&entry));
+        NORMALIZE_CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    }
+    Ok(entry)
+}
+
+/// A query after stage ②, on its way into stages ③/④: either a shared cache
+/// entry (whose build is memoized) or a one-shot owned normalization (the
+/// [`GraphQE::prove_queries`] path, and every opted-out prover).
+enum Normalized {
+    /// Shared entry from the process-wide normalize cache.
+    Cached(Arc<NormalizedStages>),
+    /// Uncached normalized form owned by this call.
+    Owned(Query),
+}
+
+impl Normalized {
+    fn query(&self) -> &Query {
+        match self {
+            Normalized::Cached(stages) => stages.normalized(),
+            Normalized::Owned(query) => query,
+        }
+    }
+
+    /// Stage ③ for this query: the memoized build for cached entries, a
+    /// fresh build otherwise. Wall-clock (a memo probe on warm hits) goes
+    /// into `timings.build` either way.
+    fn build_timed(&self, timings: &mut StageTimings) -> Result<BuildOutput, BuildError> {
+        let build_start = Instant::now();
+        let built = match self {
+            Normalized::Cached(stages) => stages.build(),
+            Normalized::Owned(query) => build_query(query),
+        };
+        timings.build += build_start.elapsed();
+        built
+    }
+}
+
 /// Resource budgets and deadline of one proof run. Everything defaults to
 /// **off**: with the default limits the prover's behavior (and its verdicts)
 /// is bit-identical to a build without the limits layer — no token is
@@ -174,6 +350,17 @@ impl Default for ProveLimits {
             arena_node_budget: 1 << 20,
         }
     }
+}
+
+/// The machine's available parallelism, probed once per process.
+///
+/// `std::thread::available_parallelism` re-reads the cgroup CPU quota on
+/// every call — tens of microseconds inside a container, which the
+/// per-search thread clamp would otherwise pay once per proved pair. The
+/// quota is fixed for the life of the process, so one probe serves all.
+pub fn machine_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 impl ProveLimits {
@@ -242,11 +429,17 @@ pub struct CacheStats {
     pub parse_cache_misses: u64,
     /// Entries dropped by the parse cache's LRU capacity bound.
     pub parse_cache_evictions: u64,
-    /// Hits of the per-thread query-plan caches (counterexample search).
+    /// Hits of the stage-②/③ normalize/build cache.
+    pub normalize_cache_hits: u64,
+    /// Misses of the stage-②/③ normalize/build cache.
+    pub normalize_cache_misses: u64,
+    /// Entries dropped by the normalize cache's LRU capacity bound.
+    pub normalize_cache_evictions: u64,
+    /// Hits of the process-wide frozen-plan cache (counterexample search).
     pub plan_cache_hits: u64,
-    /// Misses of the per-thread query-plan caches.
+    /// Misses of the process-wide frozen-plan cache.
     pub plan_cache_misses: u64,
-    /// Entries dropped by the plan caches' LRU capacity bounds.
+    /// Entries dropped by the frozen-plan cache's LRU capacity bound.
     pub plan_cache_evictions: u64,
     /// Peak node count of any hash-consed arena during the run.
     pub peak_arena_nodes: usize,
@@ -281,7 +474,12 @@ impl CacheStats {
         hit_rate(self.parse_cache_hits, self.parse_cache_misses)
     }
 
-    /// Hit rate of the plan caches in `[0, 1]` (0 when unused).
+    /// Hit rate of the normalize/build cache in `[0, 1]` (0 when unused).
+    pub fn normalize_cache_hit_rate(&self) -> f64 {
+        hit_rate(self.normalize_cache_hits, self.normalize_cache_misses)
+    }
+
+    /// Hit rate of the frozen-plan cache in `[0, 1]` (0 when unused).
     pub fn plan_cache_hit_rate(&self) -> f64 {
         hit_rate(self.plan_cache_hits, self.plan_cache_misses)
     }
@@ -352,6 +550,12 @@ pub struct GraphQE {
     /// [`GraphQE::prove`]. Disabled by benchmark baselines that must pay
     /// the real parse cost every run; outcomes are identical either way.
     pub use_parse_cache: bool,
+    /// Consult (and populate) the process-wide stage-②/③ normalize/build
+    /// cache in [`GraphQE::prove`] (only effective with
+    /// [`GraphQE::normalize`] on). Disabled by benchmark baselines that must
+    /// pay the real normalization cost every run; outcomes are identical
+    /// either way.
+    pub use_normalize_cache: bool,
 }
 
 impl Default for GraphQE {
@@ -365,6 +569,7 @@ impl Default for GraphQE {
             limits: ProveLimits::default(),
             search_threads: 0,
             use_parse_cache: true,
+            use_normalize_cache: true,
         }
     }
 }
@@ -378,7 +583,7 @@ impl GraphQE {
     /// Resolves [`GraphQE::search_threads`] (`0` = all available cores).
     fn effective_search_threads(&self) -> usize {
         match self.search_threads {
-            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            0 => machine_parallelism(),
             n => n,
         }
     }
@@ -433,7 +638,7 @@ impl GraphQE {
                 return (invalid(error), stats);
             }
         };
-        let mut verdict = self.prove_queries_with_stats(&parsed1, &parsed2, &mut stats);
+        let mut verdict = self.prove_parsed_with_stats(&parsed1, &parsed2, &mut stats);
         stats.latency = start.elapsed();
         if let Verdict::Equivalent(embedded) = &mut verdict {
             embedded.latency = stats.latency;
@@ -450,8 +655,7 @@ impl GraphQE {
         L: AsRef<str> + Sync,
         R: AsRef<str> + Sync,
     {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        self.prove_batch_with_threads(pairs, threads)
+        self.prove_batch_with_threads(pairs, machine_parallelism())
     }
 
     /// [`GraphQE::prove_batch`] with an explicit worker-thread count.
@@ -504,6 +708,8 @@ impl GraphQE {
         let memo_evictions_before = counterexample::search_memo_evictions();
         let parse_before = parse_cache_stats();
         let parse_evictions_before = parse_cache_evictions();
+        let normalize_before = normalize_cache_stats();
+        let normalize_evictions_before = normalize_cache_evictions();
         let plan_before = counterexample::plan_cache_stats();
         let plan_evictions_before = counterexample::plan_cache_evictions();
         // Scope the peak metric to this run: interning bumps the global
@@ -532,6 +738,10 @@ impl GraphQE {
             parse_cache_hits: parse_cache_stats().0.saturating_sub(parse_before.0),
             parse_cache_misses: parse_cache_stats().1.saturating_sub(parse_before.1),
             parse_cache_evictions: parse_cache_evictions().saturating_sub(parse_evictions_before),
+            normalize_cache_hits: normalize_cache_stats().0.saturating_sub(normalize_before.0),
+            normalize_cache_misses: normalize_cache_stats().1.saturating_sub(normalize_before.1),
+            normalize_cache_evictions: normalize_cache_evictions()
+                .saturating_sub(normalize_evictions_before),
             plan_cache_hits: counterexample::plan_cache_stats().0.saturating_sub(plan_before.0),
             plan_cache_misses: counterexample::plan_cache_stats().1.saturating_sub(plan_before.1),
             plan_cache_evictions: counterexample::plan_cache_evictions()
@@ -575,8 +785,7 @@ impl GraphQE {
         // of serializing the tail of the batch. An explicit
         // `search_threads` setting is respected unchanged.
         let worker_prover = if self.search_threads == 0 {
-            let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            GraphQE { search_threads: (machine / threads).max(1), ..self.clone() }
+            GraphQE { search_threads: (machine_parallelism() / threads).max(1), ..self.clone() }
         } else {
             self.clone()
         };
@@ -593,7 +802,6 @@ impl GraphQE {
             }));
             let verdict = proved.unwrap_or_else(|_| {
                 liastar::reset_thread_caches();
-                counterexample::clear_thread_plan_cache();
                 Verdict::Unknown {
                     category: FailureCategory::Panicked,
                     reason: "the prover panicked while proving this pair".to_string(),
@@ -609,9 +817,9 @@ impl GraphQE {
             let arena_node_budget = self.limits.arena_node_budget;
             if arena_node_budget > 0 && arena_nodes > arena_node_budget {
                 liastar::reset_thread_caches();
-                // The query-plan cache is per-thread like liastar's caches,
-                // so the process-global clear below cannot reach it.
-                counterexample::clear_thread_plan_cache();
+                // The frozen-plan cache is process-global since PR 8 and
+                // rides the pool-cache clear below; only liastar's caches
+                // remain per-thread.
                 // The pool/memo cache is process-global: when several workers
                 // cross their (thread-local) arena budgets around the same
                 // time, one clear suffices — a worker whose last-seen
@@ -674,6 +882,38 @@ impl GraphQE {
         }
     }
 
+    /// Stages ② through ④ for parsed, `Arc`-shared queries: stage ② resolves
+    /// through the process-wide normalize/build cache when enabled, then the
+    /// pair goes down the common decision path of
+    /// [`GraphQE::prove_queries_with_stats`].
+    fn prove_parsed_with_stats(
+        &self,
+        q1: &Arc<Query>,
+        q2: &Arc<Query>,
+        stats: &mut ProofStats,
+    ) -> Verdict {
+        if !(self.normalize && self.use_normalize_cache) {
+            return self.prove_queries_with_stats(q1, q2, stats);
+        }
+        let start = Instant::now();
+        // Stage ②: rule-based normalization through the shared cache (a
+        // warm hit reduces the stage to a pointer-keyed probe).
+        let stage_start = Instant::now();
+        let normalized = normalized_stages(q1).and_then(|n1| Ok((n1, normalized_stages(q2)?)));
+        stats.stages.normalize = stage_start.elapsed();
+        match normalized {
+            Ok((n1, n2)) => self.prove_prepared(
+                q1,
+                q2,
+                &Normalized::Cached(n1),
+                &Normalized::Cached(n2),
+                start,
+                stats,
+            ),
+            Err(trip) => trip_verdict(trip),
+        }
+    }
+
     /// Stages ② through ④ plus the counterexample search, recording stage
     /// timings into `stats` on every exit path. Verdict policy under an
     /// ambient run token: a completed proof stays `Equivalent` and a found
@@ -693,12 +933,33 @@ impl GraphQE {
             Ok((q1.clone(), q2.clone()))
         };
         stats.stages.normalize = stage_start.elapsed();
-        let (n1, n2) = match normalized {
-            Ok(pair) => pair,
-            Err(trip) => return trip_verdict(trip),
-        };
+        match normalized {
+            Ok((n1, n2)) => self.prove_prepared(
+                q1,
+                q2,
+                &Normalized::Owned(n1),
+                &Normalized::Owned(n2),
+                start,
+                stats,
+            ),
+            Err(trip) => trip_verdict(trip),
+        }
+    }
 
-        let outcome = self.prove_normalized(&n1, &n2, stats);
+    /// Stages ③/④ plus the counterexample search, common to the cached and
+    /// owned normalization paths. `q1`/`q2` are the **original** queries (the
+    /// search evaluates those); `start` is when stage ② began, so the
+    /// embedded latency of an `Equivalent` verdict covers normalization too.
+    fn prove_prepared(
+        &self,
+        q1: &Query,
+        q2: &Query,
+        n1: &Normalized,
+        n2: &Normalized,
+        start: Instant,
+        stats: &mut ProofStats,
+    ) -> Verdict {
+        let outcome = self.prove_normalized(n1, n2, stats);
         match outcome {
             Ok(()) => {
                 let mut embedded = stats.clone();
@@ -746,11 +1007,15 @@ impl GraphQE {
     /// the proof's statistics are merged into `stats`.
     fn prove_normalized(
         &self,
-        q1: &Query,
-        q2: &Query,
+        n1: &Normalized,
+        n2: &Normalized,
         stats: &mut ProofStats,
     ) -> Result<(), (FailureCategory, String)> {
+        let q1 = n1.query();
+        let q2 = n2.query();
         // Divide-and-conquer for ORDER BY ... LIMIT/SKIP inside subqueries.
+        // Segments are sliced-up query fragments, so their builds cannot come
+        // from the whole-query memo; they are built fresh per segment.
         if divide::needs_divide_and_conquer(q1) || divide::needs_divide_and_conquer(q2) {
             let segments1 = divide::split_into_segments(q1).ok_or((
                 FailureCategory::SortingTruncation,
@@ -779,16 +1044,19 @@ impl GraphQE {
             }
             return Ok(());
         }
-        let segment = self.prove_segment(q1, q2, &mut stats.stages)?;
+        // Stage ③: G-expression construction — through the per-entry memo on
+        // the cached path, so a warm re-certification skips the build.
+        let built1 = n1.build_timed(&mut stats.stages).map_err(categorize_build_error)?;
+        let built2 = n2.build_timed(&mut stats.stages).map_err(categorize_build_error)?;
+        let segment = self.prove_segment_with(q1, q2, &built1, &built2, &mut stats.stages)?;
         stats.column_permutation = segment.column_permutation;
         stats.decision = segment.decision;
         Ok(())
     }
 
     /// Proves one pair of (sub)queries by G-expression construction and the
-    /// LIA* decision, trying return-element mappings as needed. Build and
-    /// decide wall-clock is accumulated into `timings` (across permutation
-    /// retries and divide-and-conquer segments) on every exit path.
+    /// LIA* decision. Used by the divide-and-conquer path, whose segment
+    /// fragments have no memoized builds.
     fn prove_segment(
         &self,
         q1: &Query,
@@ -801,12 +1069,26 @@ impl GraphQE {
         timings.build += build_start.elapsed();
         let built1 = built.0.map_err(categorize_build_error)?;
         let built2 = built.1.map_err(categorize_build_error)?;
+        self.prove_segment_with(q1, q2, &built1, &built2, timings)
+    }
 
+    /// The decision half of [`GraphQE::prove_segment`], starting from built
+    /// G-expressions: return-element mapping and the LIA* decision. Build
+    /// (permutation rebuilds) and decide wall-clock is accumulated into
+    /// `timings` on every exit path.
+    fn prove_segment_with(
+        &self,
+        q1: &Query,
+        q2: &Query,
+        built1: &BuildOutput,
+        built2: &BuildOutput,
+        timings: &mut StageTimings,
+    ) -> Result<ProofStats, (FailureCategory, String)> {
         if built1.columns != built2.columns {
             // The paper: queries with different return arity can only be
             // equivalent if both always return the empty result.
             let decide_start = Instant::now();
-            let empty = both_always_empty(&built1, &built2, self.use_tree_normalizer);
+            let empty = both_always_empty(built1, built2, self.use_tree_normalizer);
             timings.decide += decide_start.elapsed();
             if empty {
                 return Ok(ProofStats::default());
@@ -1328,6 +1610,75 @@ mod tests {
         assert_eq!(set_parse_cache_capacity(previous), 1);
     }
 
+    /// Tests that read normalize-cache counters or reconfigure its (global)
+    /// capacity serialize here, like the parse-cache tests above.
+    static NORMALIZE_CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn normalize_cache_replays_warm_certifications() {
+        let _serial = NORMALIZE_CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prover = prover();
+        // A unique text whose normalization does real work (undirected
+        // relationship → union of directions).
+        let text = "MATCH (nc_hit_test)-[r]-(m) RETURN nc_hit_test";
+        let (_, misses_before) = normalize_cache_stats();
+        assert!(prover.prove(text, text).is_equivalent());
+        let (hits_mid, misses_mid) = normalize_cache_stats();
+        assert!(misses_mid > misses_before, "first sight of a query must miss");
+        // Warm re-certification: both sides replay from the cache.
+        assert!(prover.prove(text, text).is_equivalent());
+        let (hits_after, _) = normalize_cache_stats();
+        assert!(hits_after >= hits_mid + 2, "warm re-certification must hit per side");
+        // An opted-out prover bypasses the cache entirely.
+        let uncached = GraphQE { use_normalize_cache: false, ..GraphQE::new() };
+        let frozen = normalize_cache_stats();
+        assert!(uncached.prove(text, text).is_equivalent());
+        assert_eq!(
+            normalize_cache_stats(),
+            frozen,
+            "use_normalize_cache: false must not touch the cache"
+        );
+    }
+
+    #[test]
+    fn normalize_cache_capacity_bound_holds_and_counts_evictions() {
+        let _serial = NORMALIZE_CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let previous = set_normalize_cache_capacity(4);
+        let evictions_before = normalize_cache_evictions();
+        let prover = GraphQE { search_counterexamples: false, ..GraphQE::new() };
+        for i in 0..12 {
+            let text = format!("MATCH (nc_bound_{i}:L{i}) RETURN nc_bound_{i}");
+            let _ = prover.prove(&text, &text);
+            assert!(normalize_cache_len() <= 4, "bound exceeded: {}", normalize_cache_len());
+        }
+        assert!(normalize_cache_evictions() > evictions_before, "saturation must evict");
+        set_normalize_cache_capacity(1);
+        assert!(normalize_cache_len() <= 1);
+        assert_eq!(set_normalize_cache_capacity(previous), 1);
+    }
+
+    #[test]
+    fn normalized_stages_memoize_builds_across_threads() {
+        let query =
+            parse_check_cached("MATCH (nc_build_memo)-[r:R]->(m) RETURN nc_build_memo").unwrap();
+        let stages = normalized_stages(&query).expect("normalization must succeed");
+        let baseline = stages.build().expect("build must succeed");
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let stages = Arc::clone(&stages);
+                let expected = baseline.clone();
+                std::thread::spawn(move || {
+                    assert_eq!(stages.build().expect("build must succeed"), expected);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // The memoized build equals a fresh build of the normalized form.
+        assert_eq!(build_query(stages.normalized()).unwrap(), baseline);
+    }
+
     #[test]
     fn batch_report_surfaces_parse_and_plan_cache_counters() {
         let _serial = BATCH_REPORT_LOCK.lock().unwrap();
@@ -1347,6 +1698,8 @@ mod tests {
         assert!(report.outcomes.iter().all(|o| o.verdict.is_not_equivalent()));
         assert!(report.cache.parse_cache_misses > 0, "first pass must miss the parse cache");
         assert!(report.cache.parse_cache_hits > 0, "second pass must hit the parse cache");
+        assert!(report.cache.normalize_cache_misses > 0, "first pass must normalize");
+        assert!(report.cache.normalize_cache_hits > 0, "second pass must hit the normalize cache");
         assert!(report.cache.plan_cache_misses > 0, "first search must plan");
         assert!(report.cache.plan_cache_hits > 0, "second search must reuse the plan");
         let parse_rate = report.cache.parse_cache_hit_rate();

@@ -30,13 +30,16 @@ use limits::Stage;
 /// process-global.
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
-/// A prover whose search always runs for real: no search memo (a memoized
-/// replay would skip the machinery the faults target) and a single
-/// sequential search thread (so the afflicted checkpoint is deterministic).
+/// A prover whose pipeline always runs for real: no search memo and no
+/// shared normalize cache (a memoized replay would skip the machinery the
+/// faults target — a warm normalize-cache entry satisfies stage ② without
+/// ever reaching the armed normalize checkpoint) and a single sequential
+/// search thread (so the afflicted checkpoint is deterministic).
 fn fault_prover() -> GraphQE {
     GraphQE {
         search_config: SearchConfig { use_memo: false, ..SearchConfig::default() },
         search_threads: 1,
+        use_normalize_cache: false,
         ..GraphQE::new()
     }
 }

@@ -84,6 +84,25 @@ impl SymbolTable {
         self.ids.borrow().get(name).copied()
     }
 
+    /// Snapshots every interned name in id order, as plain owned strings
+    /// (`Rc`-free, so the snapshot is `Send + Sync`). Re-interning the
+    /// snapshot via [`SymbolTable::from_names`] reproduces the exact same
+    /// `SymId` assignment, because [`SymbolTable::intern`] assigns ids
+    /// sequentially in first-intern order.
+    pub fn snapshot_names(&self) -> Vec<Box<str>> {
+        self.names.borrow().iter().map(|name| Box::from(&**name)).collect()
+    }
+
+    /// Rebuilds a table from a [`SymbolTable::snapshot_names`] snapshot,
+    /// assigning each name the id equal to its snapshot position.
+    pub fn from_names(names: &[Box<str>]) -> Self {
+        let table = SymbolTable::new();
+        for name in names {
+            table.intern(name);
+        }
+        table
+    }
+
     /// The name interned under `id`.
     pub fn name(&self, id: SymId) -> Rc<str> {
         Rc::clone(&self.names.borrow()[id.0 as usize])
@@ -592,6 +611,21 @@ fn eval_literal(lit: &Literal) -> Value {
         Literal::String(s) => Value::String(s.clone()),
         Literal::Boolean(b) => Value::Boolean(*b),
         Literal::Null => Value::Null,
+    }
+}
+
+/// Evaluates `expr` at lowering time if it is a row-independent constant,
+/// mirroring [`eval_expr`]'s semantics exactly on the covered fragment
+/// (literals and unary `+`/`-` over them — in particular `Neg` goes through
+/// [`Value::neg`], preserving `-0.0` and `i64::MIN` behavior). Returns `None`
+/// for anything that could depend on the row, the graph, or evaluation
+/// order, which stays dynamic.
+pub(crate) fn eval_const_expr(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Literal(lit) => Some(eval_literal(lit)),
+        Expr::Unary(UnaryOp::Neg, inner) => Some(eval_const_expr(inner)?.neg()),
+        Expr::Unary(UnaryOp::Pos, inner) => eval_const_expr(inner),
+        _ => None,
     }
 }
 

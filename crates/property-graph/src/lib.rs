@@ -29,6 +29,7 @@
 
 pub mod eval;
 pub mod expr;
+pub mod frozen;
 pub mod fxhash;
 pub mod generator;
 pub mod graph;
@@ -43,6 +44,7 @@ pub use eval::{
     EvalError, Evaluator, PreparedQuery, QueryResult,
 };
 pub use expr::{EvalCtx, Row, SymId, SymbolTable};
+pub use frozen::FrozenPlan;
 pub use generator::{GeneratorConfig, GraphGenerator};
 pub use graph::{EntityId, NodeData, NodeId, PropertyGraph, RelData, RelId};
 pub use index::{AdjacencyIndex, IdBitset};

@@ -28,7 +28,7 @@
 //! `scan_matching` (PR 3) and `map_rows` (PR 4).
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cypher_parser::ast::{
     Expr, MatchClause, NodePattern, PathPattern, Projection, ProjectionItems, Query, RelDirection,
@@ -36,10 +36,9 @@ use cypher_parser::ast::{
 };
 
 use crate::eval::EvalError;
-use crate::expr::{EvalCtx, Row, SymId, SymbolTable};
+use crate::expr::{eval_const_expr, eval_expr, EvalCtx, Row, SymId, SymbolTable};
 use crate::fxhash::FxHashMap;
 use crate::graph::{EntityId, NodeId, RelId};
-use crate::matching::properties_match;
 use crate::value::Value;
 
 // ---------------------------------------------------------------------------
@@ -83,9 +82,56 @@ pub struct CompiledSegment {
     pub node: CompiledNodePattern,
 }
 
+/// A required property value in a compiled pattern: constant expressions
+/// (literals and unary `+`/`-` over them — the overwhelmingly common case in
+/// property maps) pre-evaluate to a [`Value`] at lowering time; anything
+/// row-dependent stays a dynamic [`Expr`].
+#[derive(Debug)]
+pub enum PropValue {
+    /// The expression was row-independent; this is its value.
+    Const(Value),
+    /// The expression depends on the row/graph; evaluated per candidate.
+    Dynamic(Expr),
+}
+
+fn lower_properties(properties: &[(String, Expr)]) -> Vec<(String, PropValue)> {
+    properties
+        .iter()
+        .map(|(key, expr)| {
+            let value = match eval_const_expr(expr) {
+                Some(value) => PropValue::Const(value),
+                None => PropValue::Dynamic(expr.clone()),
+            };
+            (key.clone(), value)
+        })
+        .collect()
+}
+
+/// The compiled counterpart of [`crate::matching`]'s `properties_match`:
+/// constant expectations skip expression evaluation entirely.
+fn compiled_properties_match(
+    ctx: EvalCtx<'_>,
+    row: &Row,
+    entity: EntityId,
+    properties: &[(String, PropValue)],
+) -> Result<bool, EvalError> {
+    for (key, expected) in properties {
+        let actual = ctx.graph.property(entity, key);
+        let matches = match expected {
+            PropValue::Const(value) => actual.cypher_eq(value),
+            PropValue::Dynamic(expr) => actual.cypher_eq(&eval_expr(ctx, row, expr)?),
+        };
+        if matches != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// A node pattern with its variable pre-interned. Labels stay as names
 /// (label ids are per-graph — the adjacency index resolves them per graph);
-/// property expressions are cloned out of the AST once at lowering time.
+/// property expressions are cloned out of the AST once at lowering time,
+/// with constant values pre-evaluated (see [`PropValue`]).
 #[derive(Debug)]
 pub struct CompiledNodePattern {
     /// The pre-interned node variable, if given.
@@ -93,7 +139,7 @@ pub struct CompiledNodePattern {
     /// Labels required on the node (conjunctive).
     pub labels: Vec<String>,
     /// Required property values.
-    pub properties: Vec<(String, Expr)>,
+    pub properties: Vec<(String, PropValue)>,
 }
 
 /// A relationship pattern with its variable pre-interned.
@@ -104,7 +150,7 @@ pub struct CompiledRelPattern {
     /// Alternative labels (`:A|B`).
     pub labels: Vec<String>,
     /// Required property values.
-    pub properties: Vec<(String, Expr)>,
+    pub properties: Vec<(String, PropValue)>,
     /// Direction of the relationship.
     pub direction: RelDirection,
     /// Variable-length specifier, if the pattern is `*`-quantified.
@@ -141,7 +187,7 @@ fn lower_node(symbols: &SymbolTable, pattern: &NodePattern) -> CompiledNodePatte
     CompiledNodePattern {
         variable: pattern.variable.as_deref().map(|name| symbols.intern(name)),
         labels: pattern.labels.clone(),
-        properties: pattern.properties.clone(),
+        properties: lower_properties(&pattern.properties),
     }
 }
 
@@ -149,7 +195,7 @@ fn lower_rel(symbols: &SymbolTable, pattern: &RelationshipPattern) -> CompiledRe
     CompiledRelPattern {
         variable: pattern.variable.as_deref().map(|name| symbols.intern(name)),
         labels: pattern.labels.clone(),
-        properties: pattern.properties.clone(),
+        properties: lower_properties(&pattern.properties),
         direction: pattern.direction,
         length: pattern.length,
     }
@@ -229,8 +275,8 @@ pub fn lower_projection(symbols: &SymbolTable, projection: &Projection) -> Compi
 /// itself does not move them).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    matches: RefCell<FxHashMap<usize, Rc<CompiledMatch>>>,
-    projections: RefCell<FxHashMap<usize, Rc<CompiledProjection>>>,
+    matches: RefCell<FxHashMap<usize, Arc<CompiledMatch>>>,
+    projections: RefCell<FxHashMap<usize, Arc<CompiledProjection>>>,
 }
 
 impl PlanCache {
@@ -240,13 +286,13 @@ impl PlanCache {
     }
 
     /// The compiled plan of `clause`, lowering on first use.
-    pub fn match_plan(&self, symbols: &SymbolTable, clause: &MatchClause) -> Rc<CompiledMatch> {
+    pub fn match_plan(&self, symbols: &SymbolTable, clause: &MatchClause) -> Arc<CompiledMatch> {
         let key = clause as *const MatchClause as usize;
         if let Some(hit) = self.matches.borrow().get(&key) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
-        let lowered = Rc::new(lower_match(symbols, clause));
-        self.matches.borrow_mut().insert(key, Rc::clone(&lowered));
+        let lowered = Arc::new(lower_match(symbols, clause));
+        self.matches.borrow_mut().insert(key, Arc::clone(&lowered));
         lowered
     }
 
@@ -256,14 +302,27 @@ impl PlanCache {
         &self,
         symbols: &SymbolTable,
         projection: &Projection,
-    ) -> Rc<CompiledProjection> {
+    ) -> Arc<CompiledProjection> {
         let key = projection as *const Projection as usize;
         if let Some(hit) = self.projections.borrow().get(&key) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
-        let lowered = Rc::new(lower_projection(symbols, projection));
-        self.projections.borrow_mut().insert(key, Rc::clone(&lowered));
+        let lowered = Arc::new(lower_projection(symbols, projection));
+        self.projections.borrow_mut().insert(key, Arc::clone(&lowered));
         lowered
+    }
+
+    /// Pre-seeds the compiled plan of the `MATCH` clause at AST address
+    /// `key`, so a later [`PlanCache::match_plan`] probe hits without
+    /// lowering. Used by [`crate::frozen::FrozenPlan::thaw`] to share plans
+    /// lowered once across threads.
+    pub fn seed_match(&self, key: usize, plan: Arc<CompiledMatch>) {
+        self.matches.borrow_mut().insert(key, plan);
+    }
+
+    /// [`PlanCache::seed_match`] for projections.
+    pub fn seed_projection(&self, key: usize, plan: Arc<CompiledProjection>) {
+        self.projections.borrow_mut().insert(key, plan);
     }
 
     /// Number of lowered plans (matches + projections), for tests.
@@ -305,6 +364,13 @@ impl QueryPlan {
     /// where the plan-time walk does not pay for itself).
     pub fn empty() -> Self {
         QueryPlan { symbols: SymbolTable::new(), plans: PlanCache::new() }
+    }
+
+    /// Assembles a plan from an already-built symbol table and a (typically
+    /// pre-seeded) plan cache — the thaw path of
+    /// [`crate::frozen::FrozenPlan`].
+    pub fn from_parts(symbols: SymbolTable, plans: PlanCache) -> Self {
+        QueryPlan { symbols, plans }
     }
 
     /// The plan's symbol table.
@@ -580,7 +646,12 @@ fn candidate_relationships(
         if pattern.properties.iter().any(|(key, _)| !index.rel_has_key(entry.rel, key)) {
             return Ok(());
         }
-        if properties_match(ctx, row, EntityId::Relationship(entry.rel), &pattern.properties)? {
+        if compiled_properties_match(
+            ctx,
+            row,
+            EntityId::Relationship(entry.rel),
+            &pattern.properties,
+        )? {
             out.push((entry.rel, entry.neighbour));
         }
         Ok(())
@@ -661,7 +732,12 @@ fn scan_candidate_relationships(
         if !pattern.labels.is_empty() && !pattern.labels.contains(&rel.label) {
             continue;
         }
-        if !properties_match(ctx, row, EntityId::Relationship(rel_id), &pattern.properties)? {
+        if !compiled_properties_match(
+            ctx,
+            row,
+            EntityId::Relationship(rel_id),
+            &pattern.properties,
+        )? {
             continue;
         }
         if let Some(sym) = pattern.variable {
@@ -740,7 +816,7 @@ fn candidate_nodes(
     let mut out = Vec::new();
     for id in candidates.iter() {
         let id = NodeId(id);
-        if properties_match(ctx, row, EntityId::Node(id), &pattern.properties)? {
+        if compiled_properties_match(ctx, row, EntityId::Node(id), &pattern.properties)? {
             out.push(id);
         }
     }
@@ -784,7 +860,7 @@ fn node_matches(
     if !pattern.labels.iter().all(|label| node.labels.contains(label)) {
         return Ok(false);
     }
-    properties_match(ctx, row, EntityId::Node(id), &pattern.properties)
+    compiled_properties_match(ctx, row, EntityId::Node(id), &pattern.properties)
 }
 
 fn node_binding_consistent(
@@ -849,9 +925,9 @@ mod tests {
         let Clause::Match(m2) = &query.parts[0].clauses[1] else { panic!() };
         let first = cache.match_plan(&symbols, m1);
         let again = cache.match_plan(&symbols, m1);
-        assert!(Rc::ptr_eq(&first, &again), "re-lowered an already-cached clause");
+        assert!(Arc::ptr_eq(&first, &again), "re-lowered an already-cached clause");
         let other = cache.match_plan(&symbols, m2);
-        assert!(!Rc::ptr_eq(&first, &other));
+        assert!(!Arc::ptr_eq(&first, &other));
         assert_eq!(cache.len(), 2);
     }
 

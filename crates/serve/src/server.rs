@@ -12,9 +12,13 @@
 //!    session: read request → route → respond, until the client closes,
 //!    errs, or asks for `Connection: close`. Workers call
 //!    [`graphqe::GraphQE::prove_batch_outcomes`] with `threads = 1`, so each
-//!    worker's thread-local caches (plan, SMT formula, summand, arena) stay
-//!    warm across every request it ever serves — the entire point of running
-//!    the prover as a service.
+//!    worker's thread-local caches (SMT formula, summand, arena) stay warm
+//!    across every request it ever serves — the entire point of running the
+//!    prover as a service. The big artifacts — parsed queries, normalized
+//!    forms and their G-expression builds, frozen counterexample plans —
+//!    live in process-wide shared caches since PR 8, so one worker's work
+//!    warms every other worker too and adding workers no longer multiplies
+//!    cache memory or cold misses.
 //! 3. Request handling is wrapped in `catch_unwind` (on top of the per-pair
 //!    isolation inside the batch loop): a handler panic degrades to `500
 //!    internal` on that connection and the worker lives on.
@@ -51,9 +55,10 @@ pub struct ServeConfig {
     /// Bind address. Port `0` picks a free port (tests); the bound address
     /// is reported by [`Server::local_addr`].
     pub addr: String,
-    /// Worker threads (`0` = all available cores). Each worker owns one warm
-    /// set of thread-local caches, so more workers trade memory for
-    /// concurrency.
+    /// Worker threads (`0` = all available cores). Workers share the
+    /// process-wide parse/normalize/plan caches and keep only the small SMT
+    /// and summand memos thread-local, so scaling workers adds concurrency
+    /// without multiplying cache memory.
     pub workers: usize,
     /// Bound on connections accepted but not yet picked up by a worker.
     /// Connections beyond it are rejected with `503 overloaded`.
@@ -370,6 +375,7 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
     let counters = &shared.counters;
     let load = |counter: &AtomicU64| json::num(counter.load(Ordering::Relaxed) as f64);
     let (parse_hits, parse_misses) = graphqe::parse_cache_stats();
+    let (normalize_hits, normalize_misses) = graphqe::normalize_cache_stats();
     let (memo_hits, memo_misses) = graphqe::counterexample::search_memo_stats();
     let (plan_hits, plan_misses) = graphqe::counterexample::plan_cache_stats();
     let (smt_hits, smt_misses) = smt::formula_cache_stats();
@@ -398,6 +404,9 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
             "caches",
             json::obj(vec![
                 ("parse_hit_rate", rate(parse_hits, parse_misses)),
+                ("normalize_hit_rate", rate(normalize_hits, normalize_misses)),
+                // Process-wide shared (frozen-plan) since PR 8: one rate for
+                // all workers, not a per-thread average.
                 ("plan_hit_rate", rate(plan_hits, plan_misses)),
                 ("search_memo_hit_rate", rate(memo_hits, memo_misses)),
                 ("smt_formula_hit_rate", rate(smt_hits, smt_misses)),
@@ -409,8 +418,9 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
     (200, body.to_string())
 }
 
-/// `POST /v1/admin/clear-caches`: clears the process-wide pool/memo caches
-/// (and the parse cache). With `{"expected_generation":N}` the clear is
+/// `POST /v1/admin/clear-caches`: clears the process-wide pool/memo/plan
+/// caches (and the parse and normalize caches). With
+/// `{"expected_generation":N}` the clear is
 /// generation-guarded: it happens only if no clear has landed since the
 /// caller observed generation `N` (from `/v1/stats`), otherwise `409` — the
 /// compare-and-clear that keeps one tenant's reset from wiping another's
@@ -449,6 +459,7 @@ fn handle_clear_caches(body: &[u8]) -> (u16, String) {
     };
     if cleared {
         graphqe::clear_parse_cache();
+        graphqe::clear_normalize_cache();
     }
     let body = json::obj(vec![
         ("cleared", Json::Bool(cleared)),

@@ -62,20 +62,73 @@ pub struct Solver {
     pub use_cache: bool,
 }
 
-/// One bucket of the formula cache: owned sorted keys with their results,
-/// verified structurally on probe.
-type FormulaBucket = Vec<(Vec<Term>, SmtResult)>;
+/// A dense id of a hash-consed term in the calling thread's interner.
+/// Structurally equal terms intern to equal ids, so id equality *is*
+/// structural equality (within one thread, between interner clears).
+type TermId = u32;
+
+/// The hash-consing key of one term node: every child is already an interned
+/// id, so hashing and comparing a node never walks a subtree twice.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum TermKey {
+    BoolConst(bool),
+    IntConst(i64),
+    Var(String, SortTag),
+    App(String, Vec<TermId>),
+    Eq(TermId, TermId),
+    Le(TermId, TermId),
+    Add(Vec<TermId>),
+    MulConst(i64, TermId),
+    Not(TermId),
+    And(Vec<TermId>),
+    Or(Vec<TermId>),
+    Implies(TermId, TermId),
+    Ite(TermId, TermId, TermId),
+}
 
 thread_local! {
-    /// Formula-level result cache: the sorted multiset of asserted formulas
-    /// maps to the check result. Entries are bucketed under a 64-bit hash of
-    /// the sorted assertion sequence, and each bucket entry stores the full
-    /// owned key — equality is verified structurally on every probe, so a
-    /// hash collision can never return the result of a different formula,
-    /// while a cache *hit* costs no `Term` clones (the probe compares
-    /// borrowed terms). `Unknown` results are not cached (they depend on the
-    /// iteration budget, which is not part of the key).
-    static FORMULA_CACHE: RefCell<HashMap<u64, FormulaBucket>> = RefCell::new(HashMap::new());
+    /// The thread's term interner: hash-consed [`TermKey`] nodes to dense
+    /// [`TermId`]s. Interning a term walks it bottom-up exactly once; shared
+    /// subtrees across assertions (ubiquitous in the decision procedure's
+    /// permutation retries) resolve to the same id without re-walking.
+    static TERM_INTERNER: RefCell<HashMap<TermKey, TermId>> = RefCell::new(HashMap::new());
+
+    /// Formula-level result cache, keyed by the **sorted interned-id set** of
+    /// the asserted formulas. Since PR 8 the key is a boxed id slice instead
+    /// of an owned `Vec<Term>` per entry: probing compares a few `u32`s
+    /// (id equality is structural equality by hash-consing), where the old
+    /// scheme deep-sorted `&Term`s and structurally verified every bucket
+    /// entry. `Unknown` results are not cached (they depend on the iteration
+    /// budget, which is not part of the key).
+    static FORMULA_CACHE: RefCell<HashMap<Box<[TermId]>, SmtResult>> = RefCell::new(HashMap::new());
+}
+
+/// Interns `term` in the calling thread's interner, returning its id.
+fn intern_term(term: &Term) -> TermId {
+    let key = match term {
+        Term::BoolConst(b) => TermKey::BoolConst(*b),
+        Term::IntConst(v) => TermKey::IntConst(*v),
+        Term::Var(name, sort) => TermKey::Var(name.clone(), *sort),
+        Term::App(name, args) => TermKey::App(name.clone(), args.iter().map(intern_term).collect()),
+        Term::Eq(lhs, rhs) => TermKey::Eq(intern_term(lhs), intern_term(rhs)),
+        Term::Le(lhs, rhs) => TermKey::Le(intern_term(lhs), intern_term(rhs)),
+        Term::Add(items) => TermKey::Add(items.iter().map(intern_term).collect()),
+        Term::MulConst(c, inner) => TermKey::MulConst(*c, intern_term(inner)),
+        Term::Not(inner) => TermKey::Not(intern_term(inner)),
+        Term::And(items) => TermKey::And(items.iter().map(intern_term).collect()),
+        Term::Or(items) => TermKey::Or(items.iter().map(intern_term).collect()),
+        Term::Implies(lhs, rhs) => TermKey::Implies(intern_term(lhs), intern_term(rhs)),
+        Term::Ite(c, t, e) => TermKey::Ite(intern_term(c), intern_term(t), intern_term(e)),
+    };
+    TERM_INTERNER.with(|interner| {
+        let mut interner = interner.borrow_mut();
+        if let Some(id) = interner.get(&key) {
+            return *id;
+        }
+        let id = interner.len() as TermId;
+        interner.insert(key, id);
+        id
+    })
 }
 
 /// Lifetime hit counter of the formula cache, summed over all threads.
@@ -95,17 +148,19 @@ pub fn reset_formula_cache_stats() {
     FORMULA_CACHE_MISSES.store(0, Ordering::Relaxed);
 }
 
-/// Drops every entry of the calling thread's formula cache. Part of the
-/// epoch-based eviction story: long-running batch workers call this (through
-/// `liastar::reset_thread_caches`) so solver memory stops growing
-/// monotonically.
+/// Drops every entry of the calling thread's formula cache **and** its term
+/// interner (cache keys are interner ids, so the two live and die together).
+/// Part of the epoch-based eviction story: long-running batch workers call
+/// this (through `liastar::reset_thread_caches`) so solver memory stops
+/// growing monotonically.
 pub fn clear_formula_cache() {
     FORMULA_CACHE.with(|cache| cache.borrow_mut().clear());
+    TERM_INTERNER.with(|interner| interner.borrow_mut().clear());
 }
 
 /// Number of entries in the calling thread's formula cache.
 pub fn formula_cache_len() -> usize {
-    FORMULA_CACHE.with(|cache| cache.borrow().values().map(Vec::len).sum())
+    FORMULA_CACHE.with(|cache| cache.borrow().len())
 }
 
 impl Solver {
@@ -128,8 +183,9 @@ impl Solver {
     /// Checks satisfiability of the asserted formulas.
     ///
     /// With [`Solver::use_cache`] the result is memoized under the sorted
-    /// assertion set, so re-checking the same formula set — ubiquitous across
-    /// the decision procedure's permutation retries — is a hash lookup.
+    /// set of hash-consed assertion ids, so re-checking the same formula set
+    /// — ubiquitous across the decision procedure's permutation retries — is
+    /// one bottom-up interning walk plus a small-integer-slice hash lookup.
     pub fn check(&self) -> SmtResult {
         // Fault injection (test-only, inert unless armed): a forced `Unknown`
         // is reported *before* the cache probe, so the injected failure can
@@ -140,29 +196,12 @@ impl Solver {
         if !self.use_cache {
             return self.check_inner();
         }
-        // Probe by borrowed, sorted references: a hit pays zero Term clones;
-        // the owned key is materialized only on a miss.
-        let mut sorted: Vec<&Term> = self.assertions.iter().collect();
-        sorted.sort_unstable();
-        let hash = {
-            use std::hash::{Hash, Hasher};
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            for term in &sorted {
-                term.hash(&mut hasher);
-            }
-            hasher.finish()
-        };
-        let hit = FORMULA_CACHE.with(|cache| {
-            cache.borrow().get(&hash).and_then(|bucket| {
-                bucket
-                    .iter()
-                    .find(|(key, _)| {
-                        key.len() == sorted.len()
-                            && key.iter().zip(&sorted).all(|(stored, probe)| stored == *probe)
-                    })
-                    .map(|(_, result)| result.clone())
-            })
-        });
+        // Hash-cons every assertion, then sort the ids for order
+        // insensitivity. Id equality is structural equality, so the probe
+        // needs neither a deep `Term` sort nor structural verification.
+        let mut ids: Vec<TermId> = self.assertions.iter().map(intern_term).collect();
+        ids.sort_unstable();
+        let hit = FORMULA_CACHE.with(|cache| cache.borrow().get(ids.as_slice()).cloned());
         if let Some(result) = hit {
             FORMULA_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
             return result;
@@ -170,10 +209,8 @@ impl Solver {
         FORMULA_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
         let result = self.check_inner();
         if !matches!(result, SmtResult::Unknown) {
-            let key: Vec<Term> = sorted.into_iter().cloned().collect();
-            FORMULA_CACHE.with(|cache| {
-                cache.borrow_mut().entry(hash).or_default().push((key, result.clone()))
-            });
+            FORMULA_CACHE
+                .with(|cache| cache.borrow_mut().insert(ids.into_boxed_slice(), result.clone()));
         }
         result
     }
