@@ -114,6 +114,17 @@ impl Default for GateConfig {
 /// search), where multiplicative tolerances stop meaning anything.
 const SEARCH_FLOOR_MS: f64 = 0.25;
 
+/// Floor for the *derived* search stage (e2e minus decide-only): unlike the
+/// in-run normalized blocks above, this is a difference of two measurements
+/// taken minutes apart from separately committed reports, so it inherits
+/// additive noise from both sides plus cross-session machine drift. Observed
+/// in practice: an unchanged binary re-run against its own committed report
+/// moves this subtraction by ~0.4 ms while every in-run normalized check
+/// holds. Below a millisecond the subtraction is noise, not signal — the
+/// memo-off machinery check (drift-insulated by its in-run oracle) is the
+/// real guard for the search stage at that scale.
+const DERIVED_SEARCH_FLOOR_MS: f64 = 1.0;
+
 /// The verdict counts CyEqSet / CyNeqSet must reproduce (Table III: 138 of
 /// 148 CyEqSet pairs proved; every CyNeqSet rejection certified or unknown,
 /// never wrongly proved).
@@ -271,8 +282,8 @@ pub fn evaluate(current: &Json, previous: &Json, config: GateConfig) -> GateOutc
                     let base_e2e = dataset_ms(report, dataset, "baseline_tree_sequential_ms")?;
                     let base_decide = dataset_ms(report, dataset, "baseline_decide_only_ms")?;
                     Ok((
-                        (e2e - decide).max(SEARCH_FLOOR_MS),
-                        (base_e2e - base_decide).max(SEARCH_FLOOR_MS),
+                        (e2e - decide).max(DERIVED_SEARCH_FLOOR_MS),
+                        (base_e2e - base_decide).max(DERIVED_SEARCH_FLOOR_MS),
                     ))
                 };
                 let (current_search, current_base) = derive(current)?;
@@ -940,6 +951,19 @@ mod tests {
             "{:?}",
             outcome.failures
         );
+    }
+
+    #[test]
+    fn sub_millisecond_derived_search_drift_is_floored_away() {
+        // The derived search stage moves 0.6 ms -> 0.9 ms — the magnitude an
+        // unchanged binary shows against its own committed report. Both
+        // values sit below DERIVED_SEARCH_FLOOR_MS, so the floored views
+        // compare equal and the gate must not fail.
+        let previous = report(9.6, 50.0, 15.0, 80.0); // cyeqset search = 0.6
+        let current = report(9.9, 50.0, 15.3, 80.0); // cyeqset search = 0.9
+        let config = GateConfig { stage_search: true, ..GateConfig::default() };
+        let outcome = evaluate(&current, &previous, config);
+        assert!(outcome.is_pass(), "{:?}", outcome.failures);
     }
 
     #[test]

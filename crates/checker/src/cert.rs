@@ -1,0 +1,1070 @@
+//! The certificate data model and its JSON wire format.
+//!
+//! The checker crate owns the schema: the prover emits certificates by
+//! encoding into this exact format, and any divergence is a checker rejection
+//! rather than a silent skew. The encoding is deliberately exact — integers
+//! ride as JSON numbers within `i64`, floats as tagged `{"f": "<repr>"}`
+//! strings using Rust's round-tripping `{:?}` representation (see
+//! [`crate::json`]).
+
+use crate::graph::{Graph, NodeData, RelData};
+use crate::gx::{AggKind, CmpOp, Gx, GxAtom, GxConst, GxTerm, VarId};
+use crate::json::{self, Json};
+use crate::value::{NodeId, RelId, Value};
+use std::collections::BTreeMap;
+
+/// The schema version this crate reads and writes.
+pub const CERTIFICATE_VERSION: i64 = 1;
+
+/// The verdict a certificate attests to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertVerdict {
+    /// The two queries are equivalent on all graphs.
+    Equivalent,
+    /// The two queries differ on the embedded counterexample graph.
+    NotEquivalent,
+}
+
+impl CertVerdict {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CertVerdict::Equivalent => "equivalent",
+            CertVerdict::NotEquivalent => "not_equivalent",
+        }
+    }
+}
+
+/// One recorded normalization step (rule ① – ⑥ of Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationStep {
+    /// Stable rule identifier (see [`crate::rules::rule_names`]).
+    pub rule: String,
+    /// Index of the first union part the step changed.
+    pub part: usize,
+    /// Index of the first clause changed inside that part.
+    pub clause: usize,
+    /// Pretty-printed query after the step.
+    pub after: String,
+}
+
+/// Per-query attestation: source text plus the full normalization derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCert {
+    /// The original query, pretty-printed after parsing.
+    pub source: String,
+    /// Every rule application of the normalization fixpoint, in order.
+    pub steps: Vec<DerivationStep>,
+    /// The pretty-printed normalized query (must equal the final step).
+    pub normalized: String,
+}
+
+/// One summand kept after zero-pruning, with its simplification record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeptSummand {
+    /// Index into the original summand list of this side.
+    pub index: usize,
+    /// Atoms removed as SMT-implied by the remaining factors (in removal
+    /// order). Their implication is a trusted obligation; their *removal*
+    /// is structurally re-checked.
+    pub removed_atoms: Vec<Gx>,
+    /// The simplified summand the matching operates on.
+    pub result: Gx,
+}
+
+/// One side's summand accounting inside a [`SummandsProof`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideSummands {
+    /// Total number of summands before pruning.
+    pub total: usize,
+    /// Indices pruned as SMT-unsatisfiable (trusted obligations).
+    pub zero_pruned: Vec<usize>,
+    /// The summands that survived, with their simplification records.
+    pub kept: Vec<KeptSummand>,
+}
+
+/// How the kept summands of the two sides were matched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Matching {
+    /// A one-to-one pairing `(left kept index, right kept index)` unifiable
+    /// under a single shared variable renaming, applied in order.
+    Bijection(Vec<(usize, usize)>),
+    /// Isomorphism-class counting: each kept summand is assigned to a
+    /// representative class; equivalence holds because the per-class counts
+    /// agree on both sides.
+    Classes {
+        /// Class representative expressions.
+        representatives: Vec<Gx>,
+        /// Class index of each left kept summand.
+        left_assign: Vec<usize>,
+        /// Class index of each right kept summand.
+        right_assign: Vec<usize>,
+        /// Recorded per-class summand counts on the left.
+        left_counts: Vec<usize>,
+        /// Recorded per-class summand counts on the right.
+        right_counts: Vec<usize>,
+    },
+}
+
+/// The summand-level proof of one squash-peeled level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummandsProof {
+    /// Left side accounting.
+    pub left: SideSummands,
+    /// Right side accounting.
+    pub right: SideSummands,
+    /// The matching establishing bag equality of the kept summands.
+    pub matching: Matching,
+}
+
+/// Proof that a segment's two G-expressions denote the same bag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proof {
+    /// The two trees are structurally identical after normalization.
+    Identical,
+    /// Both sides are squashes; equality follows from the bodies' equality.
+    Peel(Box<Proof>),
+    /// Summand decomposition, simplification and matching.
+    Summands(Box<SummandsProof>),
+}
+
+/// The witness for one divide-and-conquer segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentWitness {
+    /// Normalized G-expression tree of the left segment.
+    pub left: Gx,
+    /// Normalized G-expression tree of the right segment.
+    pub right: Gx,
+    /// The proof relating them.
+    pub proof: Proof,
+}
+
+/// A serialized counterexample graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GraphCert {
+    /// Nodes in id order.
+    pub nodes: Vec<NodeData>,
+    /// Relationships in id order.
+    pub relationships: Vec<RelData>,
+}
+
+impl GraphCert {
+    /// Materializes the certificate graph into an evaluable [`Graph`].
+    pub fn build(&self) -> Result<Graph, String> {
+        let mut graph = Graph::new();
+        for node in &self.nodes {
+            graph.add_node(node.clone());
+        }
+        for rel in &self.relationships {
+            graph.add_relationship(rel.clone())?;
+        }
+        Ok(graph)
+    }
+}
+
+/// Verdict-specific evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Evidence {
+    /// EQUIVALENT: per-segment tree witnesses under a column permutation.
+    Equivalence {
+        /// The permutation applied to the right query's `RETURN` items
+        /// (`column_permutation[i]` is the right column placed at position
+        /// `i`). Identity when no reordering was needed.
+        column_permutation: Vec<usize>,
+        /// Pretty-printed right query after applying the permutation; absent
+        /// when the permutation is the identity.
+        permuted_right: Option<String>,
+        /// One witness per divide-and-conquer segment.
+        segments: Vec<SegmentWitness>,
+    },
+    /// NOT_EQUIVALENT: a concrete graph on which the result bags differ.
+    Counterexample {
+        /// The distinguishing property graph.
+        graph: GraphCert,
+        /// Index of the graph in the prover's deterministic search pools
+        /// (provenance only; the checker re-evaluates regardless).
+        pool_index: usize,
+        /// Column names the left query produced.
+        left_columns: Vec<String>,
+        /// The left result bag, in production order.
+        left_rows: Vec<Vec<Value>>,
+        /// Column names the right query produced.
+        right_columns: Vec<String>,
+        /// The right result bag, in production order.
+        right_rows: Vec<Vec<Value>>,
+    },
+}
+
+/// A complete, self-contained proof certificate for one query pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Schema version (currently [`CERTIFICATE_VERSION`]).
+    pub version: i64,
+    /// The verdict attested.
+    pub verdict: CertVerdict,
+    /// Left query attestation.
+    pub left: QueryCert,
+    /// Right query attestation.
+    pub right: QueryCert,
+    /// Verdict-specific evidence.
+    pub evidence: Evidence,
+}
+
+impl Certificate {
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        encode_certificate(self).to_string()
+    }
+
+    /// Parses a certificate from its JSON serialization.
+    pub fn from_json(text: &str) -> Result<Certificate, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        decode_certificate(&doc)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn usize_json(n: usize) -> Json {
+    Json::Int(n as i64)
+}
+
+fn usize_arr(items: &[usize]) -> Json {
+    Json::Arr(items.iter().map(|&n| usize_json(n)).collect())
+}
+
+fn encode_certificate(cert: &Certificate) -> Json {
+    obj(vec![
+        ("version", Json::Int(cert.version)),
+        ("verdict", Json::str(cert.verdict.name())),
+        ("left", encode_query_cert(&cert.left)),
+        ("right", encode_query_cert(&cert.right)),
+        ("evidence", encode_evidence(&cert.evidence)),
+    ])
+}
+
+fn encode_query_cert(q: &QueryCert) -> Json {
+    obj(vec![
+        ("source", Json::str(&q.source)),
+        (
+            "steps",
+            Json::Arr(
+                q.steps
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("rule", Json::str(&s.rule)),
+                            ("part", usize_json(s.part)),
+                            ("clause", usize_json(s.clause)),
+                            ("after", Json::str(&s.after)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("normalized", Json::str(&q.normalized)),
+    ])
+}
+
+fn encode_evidence(evidence: &Evidence) -> Json {
+    match evidence {
+        Evidence::Equivalence { column_permutation, permuted_right, segments } => obj(vec![
+            ("type", Json::str("equivalence")),
+            ("column_permutation", usize_arr(column_permutation)),
+            (
+                "permuted_right",
+                match permuted_right {
+                    Some(text) => Json::str(text),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "segments",
+                Json::Arr(
+                    segments
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("left", encode_gx(&s.left)),
+                                ("right", encode_gx(&s.right)),
+                                ("proof", encode_proof(&s.proof)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Evidence::Counterexample {
+            graph,
+            pool_index,
+            left_columns,
+            left_rows,
+            right_columns,
+            right_rows,
+        } => obj(vec![
+            ("type", Json::str("counterexample")),
+            ("graph", encode_graph(graph)),
+            ("pool_index", usize_json(*pool_index)),
+            ("left_columns", Json::Arr(left_columns.iter().map(Json::str).collect())),
+            ("left_rows", encode_rows(left_rows)),
+            ("right_columns", Json::Arr(right_columns.iter().map(Json::str).collect())),
+            ("right_rows", encode_rows(right_rows)),
+        ]),
+    }
+}
+
+fn encode_rows(rows: &[Vec<Value>]) -> Json {
+    Json::Arr(rows.iter().map(|row| Json::Arr(row.iter().map(encode_value).collect())).collect())
+}
+
+fn encode_graph(graph: &GraphCert) -> Json {
+    obj(vec![
+        (
+            "nodes",
+            Json::Arr(
+                graph
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        obj(vec![
+                            ("labels", Json::Arr(n.labels.iter().map(Json::str).collect())),
+                            ("properties", encode_properties(&n.properties)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "relationships",
+            Json::Arr(
+                graph
+                    .relationships
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("label", Json::str(&r.label)),
+                            ("source", Json::Int(r.source.0 as i64)),
+                            ("target", Json::Int(r.target.0 as i64)),
+                            ("properties", encode_properties(&r.properties)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn encode_properties(props: &BTreeMap<String, Value>) -> Json {
+    Json::Obj(props.iter().map(|(k, v)| (k.clone(), encode_value(v))).collect())
+}
+
+/// Encodes a runtime value. Floats become `{"f": "<repr>"}` with Rust's
+/// round-tripping `{:?}` representation; maps are wrapped as `{"m": {...}}`
+/// so they cannot collide with the tagged forms.
+pub fn encode_value(value: &Value) -> Json {
+    match value {
+        Value::Null => Json::Null,
+        Value::Boolean(b) => Json::Bool(*b),
+        Value::Integer(i) => Json::Int(*i),
+        Value::Float(f) => obj(vec![("f", Json::str(format!("{f:?}")))]),
+        Value::String(s) => Json::str(s),
+        Value::List(items) => Json::Arr(items.iter().map(encode_value).collect()),
+        Value::Map(map) => obj(vec![(
+            "m",
+            Json::Obj(map.iter().map(|(k, v)| (k.clone(), encode_value(v))).collect()),
+        )]),
+        Value::Node(id) => obj(vec![("n", Json::Int(id.0 as i64))]),
+        Value::Relationship(id) => obj(vec![("r", Json::Int(id.0 as i64))]),
+        Value::Path(items) => obj(vec![("p", Json::Arr(items.iter().map(encode_value).collect()))]),
+    }
+}
+
+fn encode_proof(proof: &Proof) -> Json {
+    match proof {
+        Proof::Identical => Json::Arr(vec![Json::str("identical")]),
+        Proof::Peel(inner) => Json::Arr(vec![Json::str("peel"), encode_proof(inner)]),
+        Proof::Summands(sp) => Json::Arr(vec![
+            Json::str("summands"),
+            obj(vec![
+                ("left", encode_side(&sp.left)),
+                ("right", encode_side(&sp.right)),
+                ("matching", encode_matching(&sp.matching)),
+            ]),
+        ]),
+    }
+}
+
+fn encode_side(side: &SideSummands) -> Json {
+    obj(vec![
+        ("total", usize_json(side.total)),
+        ("zero_pruned", usize_arr(&side.zero_pruned)),
+        (
+            "kept",
+            Json::Arr(
+                side.kept
+                    .iter()
+                    .map(|k| {
+                        obj(vec![
+                            ("index", usize_json(k.index)),
+                            (
+                                "removed_atoms",
+                                Json::Arr(k.removed_atoms.iter().map(encode_gx).collect()),
+                            ),
+                            ("result", encode_gx(&k.result)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn encode_matching(matching: &Matching) -> Json {
+    match matching {
+        Matching::Bijection(pairs) => obj(vec![(
+            "bijection",
+            Json::Arr(
+                pairs
+                    .iter()
+                    .map(|(l, r)| Json::Arr(vec![usize_json(*l), usize_json(*r)]))
+                    .collect(),
+            ),
+        )]),
+        Matching::Classes {
+            representatives,
+            left_assign,
+            right_assign,
+            left_counts,
+            right_counts,
+        } => obj(vec![(
+            "classes",
+            obj(vec![
+                ("representatives", Json::Arr(representatives.iter().map(encode_gx).collect())),
+                ("left_assign", usize_arr(left_assign)),
+                ("right_assign", usize_arr(right_assign)),
+                ("left_counts", usize_arr(left_counts)),
+                ("right_counts", usize_arr(right_counts)),
+            ]),
+        )]),
+    }
+}
+
+/// Encodes a G-expression as a tagged array.
+pub fn encode_gx(gx: &Gx) -> Json {
+    let tag = |name: &str, mut rest: Vec<Json>| {
+        let mut items = vec![Json::str(name)];
+        items.append(&mut rest);
+        Json::Arr(items)
+    };
+    match gx {
+        Gx::Zero => tag("zero", vec![]),
+        Gx::One => tag("one", vec![]),
+        Gx::Const(n) => tag("const", vec![Json::Int(*n as i64)]),
+        Gx::Atom(atom) => tag("atom", vec![encode_atom(atom)]),
+        Gx::NodeFn(t) => tag("nodefn", vec![encode_term(t)]),
+        Gx::RelFn(t) => tag("relfn", vec![encode_term(t)]),
+        Gx::LabFn(t, label) => tag("labfn", vec![encode_term(t), Json::str(label)]),
+        Gx::Unbounded(t) => tag("unbounded", vec![encode_term(t)]),
+        Gx::Mul(items) => tag("mul", vec![Json::Arr(items.iter().map(encode_gx).collect())]),
+        Gx::Add(items) => tag("add", vec![Json::Arr(items.iter().map(encode_gx).collect())]),
+        Gx::Squash(inner) => tag("squash", vec![encode_gx(inner)]),
+        Gx::Not(inner) => tag("not", vec![encode_gx(inner)]),
+        Gx::Sum { vars, body } => tag(
+            "sum",
+            vec![Json::Arr(vars.iter().map(|v| Json::Int(v.0 as i64)).collect()), encode_gx(body)],
+        ),
+    }
+}
+
+fn encode_atom(atom: &GxAtom) -> Json {
+    match atom {
+        GxAtom::Cmp(op, a, b) => {
+            Json::Arr(vec![Json::str("cmp"), Json::str(op.name()), encode_term(a), encode_term(b)])
+        }
+        GxAtom::IsNull(t, negated) => {
+            Json::Arr(vec![Json::str("isnull"), encode_term(t), Json::Bool(*negated)])
+        }
+        GxAtom::Pred(name, args) => Json::Arr(vec![
+            Json::str("pred"),
+            Json::str(name),
+            Json::Arr(args.iter().map(encode_term).collect()),
+        ]),
+    }
+}
+
+fn encode_term(term: &GxTerm) -> Json {
+    match term {
+        GxTerm::Var(v) => Json::Arr(vec![Json::str("var"), Json::Int(v.0 as i64)]),
+        GxTerm::OutCol(i) => Json::Arr(vec![Json::str("outcol"), usize_json(*i)]),
+        GxTerm::Prop(base, key) => {
+            Json::Arr(vec![Json::str("prop"), encode_term(base), Json::str(key)])
+        }
+        GxTerm::Const(c) => Json::Arr(vec![Json::str("const"), encode_const(c)]),
+        GxTerm::App(name, args) => Json::Arr(vec![
+            Json::str("app"),
+            Json::str(name),
+            Json::Arr(args.iter().map(encode_term).collect()),
+        ]),
+        GxTerm::Agg { kind, distinct, arg, group } => Json::Arr(vec![
+            Json::str("agg"),
+            Json::str(kind.name()),
+            Json::Bool(*distinct),
+            encode_term(arg),
+            encode_gx(group),
+        ]),
+    }
+}
+
+fn encode_const(c: &GxConst) -> Json {
+    match c {
+        GxConst::Integer(i) => Json::Int(*i),
+        GxConst::Float(f) => obj(vec![("f", Json::str(format!("{f:?}")))]),
+        GxConst::String(s) => Json::str(s),
+        GxConst::Boolean(b) => Json::Bool(*b),
+        GxConst::Null => Json::Null,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn dec_str(doc: &Json, what: &str) -> Result<String, String> {
+    doc.as_str().map(str::to_string).ok_or_else(|| format!("{what}: expected a string"))
+}
+
+fn dec_usize(doc: &Json, what: &str) -> Result<usize, String> {
+    match doc.as_int() {
+        Some(n) if n >= 0 => Ok(n as usize),
+        _ => Err(format!("{what}: expected a non-negative integer")),
+    }
+}
+
+fn dec_usize_arr(doc: &Json, what: &str) -> Result<Vec<usize>, String> {
+    doc.as_array()
+        .ok_or_else(|| format!("{what}: expected an array"))?
+        .iter()
+        .map(|item| dec_usize(item, what))
+        .collect()
+}
+
+fn decode_certificate(doc: &Json) -> Result<Certificate, String> {
+    let version = field(doc, "version")?.as_int().ok_or("version: expected an integer")?;
+    if version != CERTIFICATE_VERSION {
+        return Err(format!("unsupported certificate version {version}"));
+    }
+    let verdict = match field(doc, "verdict")?.as_str() {
+        Some("equivalent") => CertVerdict::Equivalent,
+        Some("not_equivalent") => CertVerdict::NotEquivalent,
+        other => return Err(format!("unknown verdict {other:?}")),
+    };
+    Ok(Certificate {
+        version,
+        verdict,
+        left: decode_query_cert(field(doc, "left")?)?,
+        right: decode_query_cert(field(doc, "right")?)?,
+        evidence: decode_evidence(field(doc, "evidence")?)?,
+    })
+}
+
+fn decode_query_cert(doc: &Json) -> Result<QueryCert, String> {
+    let steps = field(doc, "steps")?
+        .as_array()
+        .ok_or("steps: expected an array")?
+        .iter()
+        .map(|step| {
+            Ok(DerivationStep {
+                rule: dec_str(field(step, "rule")?, "rule")?,
+                part: dec_usize(field(step, "part")?, "part")?,
+                clause: dec_usize(field(step, "clause")?, "clause")?,
+                after: dec_str(field(step, "after")?, "after")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(QueryCert {
+        source: dec_str(field(doc, "source")?, "source")?,
+        steps,
+        normalized: dec_str(field(doc, "normalized")?, "normalized")?,
+    })
+}
+
+fn decode_evidence(doc: &Json) -> Result<Evidence, String> {
+    match field(doc, "type")?.as_str() {
+        Some("equivalence") => {
+            let permuted_right = match field(doc, "permuted_right")? {
+                Json::Null => None,
+                other => Some(dec_str(other, "permuted_right")?),
+            };
+            let segments = field(doc, "segments")?
+                .as_array()
+                .ok_or("segments: expected an array")?
+                .iter()
+                .map(|seg| {
+                    Ok(SegmentWitness {
+                        left: decode_gx(field(seg, "left")?)?,
+                        right: decode_gx(field(seg, "right")?)?,
+                        proof: decode_proof(field(seg, "proof")?)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Evidence::Equivalence {
+                column_permutation: dec_usize_arr(
+                    field(doc, "column_permutation")?,
+                    "column_permutation",
+                )?,
+                permuted_right,
+                segments,
+            })
+        }
+        Some("counterexample") => Ok(Evidence::Counterexample {
+            graph: decode_graph(field(doc, "graph")?)?,
+            pool_index: dec_usize(field(doc, "pool_index")?, "pool_index")?,
+            left_columns: decode_columns(field(doc, "left_columns")?)?,
+            left_rows: decode_rows(field(doc, "left_rows")?)?,
+            right_columns: decode_columns(field(doc, "right_columns")?)?,
+            right_rows: decode_rows(field(doc, "right_rows")?)?,
+        }),
+        other => Err(format!("unknown evidence type {other:?}")),
+    }
+}
+
+fn decode_columns(doc: &Json) -> Result<Vec<String>, String> {
+    doc.as_array()
+        .ok_or("columns: expected an array")?
+        .iter()
+        .map(|c| dec_str(c, "column"))
+        .collect()
+}
+
+fn decode_rows(doc: &Json) -> Result<Vec<Vec<Value>>, String> {
+    doc.as_array()
+        .ok_or("rows: expected an array")?
+        .iter()
+        .map(|row| {
+            row.as_array()
+                .ok_or_else(|| "row: expected an array".to_string())?
+                .iter()
+                .map(decode_value)
+                .collect()
+        })
+        .collect()
+}
+
+fn decode_graph(doc: &Json) -> Result<GraphCert, String> {
+    let nodes = field(doc, "nodes")?
+        .as_array()
+        .ok_or("nodes: expected an array")?
+        .iter()
+        .map(|n| {
+            let labels = field(n, "labels")?
+                .as_array()
+                .ok_or("labels: expected an array")?
+                .iter()
+                .map(|l| dec_str(l, "label"))
+                .collect::<Result<_, String>>()?;
+            Ok(NodeData { labels, properties: decode_properties(field(n, "properties")?)? })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let relationships = field(doc, "relationships")?
+        .as_array()
+        .ok_or("relationships: expected an array")?
+        .iter()
+        .map(|r| {
+            Ok(RelData {
+                label: dec_str(field(r, "label")?, "label")?,
+                source: NodeId(dec_usize(field(r, "source")?, "source")? as u32),
+                target: NodeId(dec_usize(field(r, "target")?, "target")? as u32),
+                properties: decode_properties(field(r, "properties")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(GraphCert { nodes, relationships })
+}
+
+fn decode_properties(doc: &Json) -> Result<BTreeMap<String, Value>, String> {
+    doc.as_object()
+        .ok_or("properties: expected an object")?
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), decode_value(v)?)))
+        .collect()
+}
+
+/// Decodes a runtime value from its certificate encoding.
+pub fn decode_value(doc: &Json) -> Result<Value, String> {
+    match doc {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Boolean(*b)),
+        Json::Int(i) => Ok(Value::Integer(*i)),
+        Json::Str(s) => Ok(Value::String(s.clone())),
+        Json::Arr(items) => {
+            Ok(Value::List(items.iter().map(decode_value).collect::<Result<_, _>>()?))
+        }
+        Json::Obj(members) => {
+            let [(tag, payload)] = members.as_slice() else {
+                return Err("tagged value: expected a single-member object".to_string());
+            };
+            match tag.as_str() {
+                "f" => decode_float(payload).map(Value::Float),
+                "m" => Ok(Value::Map(decode_properties(payload)?)),
+                "n" => Ok(Value::Node(NodeId(dec_usize(payload, "node id")? as u32))),
+                "r" => {
+                    Ok(Value::Relationship(RelId(dec_usize(payload, "relationship id")? as u32)))
+                }
+                "p" => {
+                    let items = payload
+                        .as_array()
+                        .ok_or("path: expected an array")?
+                        .iter()
+                        .map(decode_value)
+                        .collect::<Result<_, _>>()?;
+                    Ok(Value::Path(items))
+                }
+                other => Err(format!("unknown value tag `{other}`")),
+            }
+        }
+    }
+}
+
+fn decode_float(doc: &Json) -> Result<f64, String> {
+    let text = doc.as_str().ok_or("float: expected a string repr")?;
+    text.parse::<f64>().map_err(|_| format!("float: invalid repr `{text}`"))
+}
+
+fn decode_proof(doc: &Json) -> Result<Proof, String> {
+    let items = doc.as_array().ok_or("proof: expected an array")?;
+    match items.first().and_then(Json::as_str) {
+        Some("identical") => Ok(Proof::Identical),
+        Some("peel") => {
+            let inner = items.get(1).ok_or("peel: missing inner proof")?;
+            Ok(Proof::Peel(Box::new(decode_proof(inner)?)))
+        }
+        Some("summands") => {
+            let body = items.get(1).ok_or("summands: missing body")?;
+            Ok(Proof::Summands(Box::new(SummandsProof {
+                left: decode_side(field(body, "left")?)?,
+                right: decode_side(field(body, "right")?)?,
+                matching: decode_matching(field(body, "matching")?)?,
+            })))
+        }
+        other => Err(format!("unknown proof tag {other:?}")),
+    }
+}
+
+fn decode_side(doc: &Json) -> Result<SideSummands, String> {
+    let kept = field(doc, "kept")?
+        .as_array()
+        .ok_or("kept: expected an array")?
+        .iter()
+        .map(|k| {
+            let removed_atoms = field(k, "removed_atoms")?
+                .as_array()
+                .ok_or("removed_atoms: expected an array")?
+                .iter()
+                .map(decode_gx)
+                .collect::<Result<_, String>>()?;
+            Ok(KeptSummand {
+                index: dec_usize(field(k, "index")?, "index")?,
+                removed_atoms,
+                result: decode_gx(field(k, "result")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SideSummands {
+        total: dec_usize(field(doc, "total")?, "total")?,
+        zero_pruned: dec_usize_arr(field(doc, "zero_pruned")?, "zero_pruned")?,
+        kept,
+    })
+}
+
+fn decode_matching(doc: &Json) -> Result<Matching, String> {
+    if let Some(pairs) = doc.get("bijection") {
+        let pairs = pairs
+            .as_array()
+            .ok_or("bijection: expected an array")?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().ok_or("pair: expected an array")?;
+                let [l, r] = items else {
+                    return Err("pair: expected two elements".to_string());
+                };
+                Ok((dec_usize(l, "pair")?, dec_usize(r, "pair")?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        return Ok(Matching::Bijection(pairs));
+    }
+    if let Some(classes) = doc.get("classes") {
+        let representatives = field(classes, "representatives")?
+            .as_array()
+            .ok_or("representatives: expected an array")?
+            .iter()
+            .map(decode_gx)
+            .collect::<Result<_, String>>()?;
+        return Ok(Matching::Classes {
+            representatives,
+            left_assign: dec_usize_arr(field(classes, "left_assign")?, "left_assign")?,
+            right_assign: dec_usize_arr(field(classes, "right_assign")?, "right_assign")?,
+            left_counts: dec_usize_arr(field(classes, "left_counts")?, "left_counts")?,
+            right_counts: dec_usize_arr(field(classes, "right_counts")?, "right_counts")?,
+        });
+    }
+    Err("matching: expected `bijection` or `classes`".to_string())
+}
+
+/// Decodes a G-expression from its tagged-array encoding.
+pub fn decode_gx(doc: &Json) -> Result<Gx, String> {
+    let items = doc.as_array().ok_or("gx: expected an array")?;
+    let tag = items.first().and_then(Json::as_str).ok_or("gx: missing tag")?;
+    let arg = |i: usize| -> Result<&Json, String> {
+        items.get(i).ok_or_else(|| format!("gx `{tag}`: missing operand {i}"))
+    };
+    match tag {
+        "zero" => Ok(Gx::Zero),
+        "one" => Ok(Gx::One),
+        "const" => {
+            let n = dec_usize(arg(1)?, "const")?;
+            Ok(Gx::Const(n as u64))
+        }
+        "atom" => Ok(Gx::Atom(decode_atom(arg(1)?)?)),
+        "nodefn" => Ok(Gx::NodeFn(decode_term(arg(1)?)?)),
+        "relfn" => Ok(Gx::RelFn(decode_term(arg(1)?)?)),
+        "labfn" => Ok(Gx::LabFn(decode_term(arg(1)?)?, dec_str(arg(2)?, "labfn label")?)),
+        "unbounded" => Ok(Gx::Unbounded(decode_term(arg(1)?)?)),
+        "mul" => Ok(Gx::Mul(decode_gx_list(arg(1)?)?)),
+        "add" => Ok(Gx::Add(decode_gx_list(arg(1)?)?)),
+        "squash" => Ok(Gx::Squash(Box::new(decode_gx(arg(1)?)?))),
+        "not" => Ok(Gx::Not(Box::new(decode_gx(arg(1)?)?))),
+        "sum" => {
+            let vars = arg(1)?
+                .as_array()
+                .ok_or("sum vars: expected an array")?
+                .iter()
+                .map(|v| Ok(VarId(dec_usize(v, "var id")? as u32)))
+                .collect::<Result<_, String>>()?;
+            Ok(Gx::Sum { vars, body: Box::new(decode_gx(arg(2)?)?) })
+        }
+        other => Err(format!("unknown gx tag `{other}`")),
+    }
+}
+
+fn decode_gx_list(doc: &Json) -> Result<Vec<Gx>, String> {
+    doc.as_array().ok_or("gx list: expected an array")?.iter().map(decode_gx).collect()
+}
+
+fn decode_atom(doc: &Json) -> Result<GxAtom, String> {
+    let items = doc.as_array().ok_or("atom: expected an array")?;
+    let tag = items.first().and_then(Json::as_str).ok_or("atom: missing tag")?;
+    let arg = |i: usize| -> Result<&Json, String> {
+        items.get(i).ok_or_else(|| format!("atom `{tag}`: missing operand {i}"))
+    };
+    match tag {
+        "cmp" => {
+            let op =
+                CmpOp::from_name(arg(1)?.as_str().unwrap_or("")).ok_or("cmp: unknown operator")?;
+            Ok(GxAtom::Cmp(op, decode_term(arg(2)?)?, decode_term(arg(3)?)?))
+        }
+        "isnull" => Ok(GxAtom::IsNull(
+            decode_term(arg(1)?)?,
+            arg(2)?.as_bool().ok_or("isnull: expected a bool")?,
+        )),
+        "pred" => {
+            let args = arg(2)?
+                .as_array()
+                .ok_or("pred args: expected an array")?
+                .iter()
+                .map(decode_term)
+                .collect::<Result<_, String>>()?;
+            Ok(GxAtom::Pred(dec_str(arg(1)?, "pred name")?, args))
+        }
+        other => Err(format!("unknown atom tag `{other}`")),
+    }
+}
+
+fn decode_term(doc: &Json) -> Result<GxTerm, String> {
+    let items = doc.as_array().ok_or("term: expected an array")?;
+    let tag = items.first().and_then(Json::as_str).ok_or("term: missing tag")?;
+    let arg = |i: usize| -> Result<&Json, String> {
+        items.get(i).ok_or_else(|| format!("term `{tag}`: missing operand {i}"))
+    };
+    match tag {
+        "var" => Ok(GxTerm::Var(VarId(dec_usize(arg(1)?, "var id")? as u32))),
+        "outcol" => Ok(GxTerm::OutCol(dec_usize(arg(1)?, "outcol")?)),
+        "prop" => Ok(GxTerm::Prop(Box::new(decode_term(arg(1)?)?), dec_str(arg(2)?, "prop key")?)),
+        "const" => Ok(GxTerm::Const(decode_gconst(arg(1)?)?)),
+        "app" => {
+            let args = arg(2)?
+                .as_array()
+                .ok_or("app args: expected an array")?
+                .iter()
+                .map(decode_term)
+                .collect::<Result<_, String>>()?;
+            Ok(GxTerm::App(dec_str(arg(1)?, "app name")?, args))
+        }
+        "agg" => {
+            let kind =
+                AggKind::from_name(arg(1)?.as_str().unwrap_or("")).ok_or("agg: unknown kind")?;
+            Ok(GxTerm::Agg {
+                kind,
+                distinct: arg(2)?.as_bool().ok_or("agg: expected a bool")?,
+                arg: Box::new(decode_term(arg(3)?)?),
+                group: Box::new(decode_gx(arg(4)?)?),
+            })
+        }
+        other => Err(format!("unknown term tag `{other}`")),
+    }
+}
+
+fn decode_gconst(doc: &Json) -> Result<GxConst, String> {
+    match doc {
+        Json::Null => Ok(GxConst::Null),
+        Json::Bool(b) => Ok(GxConst::Boolean(*b)),
+        Json::Int(i) => Ok(GxConst::Integer(*i)),
+        Json::Str(s) => Ok(GxConst::String(s.clone())),
+        Json::Obj(members) => match members.as_slice() {
+            [(tag, payload)] if tag == "f" => decode_float(payload).map(GxConst::Float),
+            _ => Err("const: expected a float tag object".to_string()),
+        },
+        _ => Err("const: unsupported shape".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_certificate() -> Certificate {
+        let gx = Gx::sum(
+            vec![VarId(0)],
+            Gx::mul(vec![
+                Gx::NodeFn(GxTerm::Var(VarId(0))),
+                Gx::Atom(GxAtom::Cmp(
+                    CmpOp::Eq,
+                    GxTerm::Prop(Box::new(GxTerm::Var(VarId(0))), "age".to_string()),
+                    GxTerm::Const(GxConst::Float(1.5)),
+                )),
+            ]),
+        );
+        Certificate {
+            version: CERTIFICATE_VERSION,
+            verdict: CertVerdict::Equivalent,
+            left: QueryCert {
+                source: "MATCH (a) RETURN a".to_string(),
+                steps: vec![DerivationStep {
+                    rule: "standardize".to_string(),
+                    part: 0,
+                    clause: 0,
+                    after: "MATCH (n1) RETURN n1".to_string(),
+                }],
+                normalized: "MATCH (n1) RETURN n1".to_string(),
+            },
+            right: QueryCert {
+                source: "MATCH (n1) RETURN n1".to_string(),
+                steps: vec![],
+                normalized: "MATCH (n1) RETURN n1".to_string(),
+            },
+            evidence: Evidence::Equivalence {
+                column_permutation: vec![0],
+                permuted_right: None,
+                segments: vec![SegmentWitness {
+                    left: gx.clone(),
+                    right: gx,
+                    proof: Proof::Peel(Box::new(Proof::Summands(Box::new(SummandsProof {
+                        left: SideSummands {
+                            total: 2,
+                            zero_pruned: vec![1],
+                            kept: vec![KeptSummand {
+                                index: 0,
+                                removed_atoms: vec![],
+                                result: Gx::One,
+                            }],
+                        },
+                        right: SideSummands {
+                            total: 1,
+                            zero_pruned: vec![],
+                            kept: vec![KeptSummand {
+                                index: 0,
+                                removed_atoms: vec![],
+                                result: Gx::One,
+                            }],
+                        },
+                        matching: Matching::Bijection(vec![(0, 0)]),
+                    })))),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn certificates_round_trip_through_json() {
+        let cert = sample_certificate();
+        let text = cert.to_json();
+        let back = Certificate::from_json(&text).unwrap();
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn counterexample_evidence_round_trips() {
+        let mut node = NodeData::default();
+        node.labels.insert("Person".to_string());
+        node.properties.insert("w".to_string(), Value::Float(-0.0));
+        let cert = Certificate {
+            version: CERTIFICATE_VERSION,
+            verdict: CertVerdict::NotEquivalent,
+            left: QueryCert {
+                source: "MATCH (a) RETURN a".to_string(),
+                steps: vec![],
+                normalized: "MATCH (n1) RETURN n1".to_string(),
+            },
+            right: QueryCert {
+                source: "MATCH (b:Person) RETURN b".to_string(),
+                steps: vec![],
+                normalized: "MATCH (n1:Person) RETURN n1".to_string(),
+            },
+            evidence: Evidence::Counterexample {
+                graph: GraphCert {
+                    nodes: vec![node, NodeData::default()],
+                    relationships: vec![RelData {
+                        label: "KNOWS".to_string(),
+                        source: NodeId(0),
+                        target: NodeId(1),
+                        properties: BTreeMap::new(),
+                    }],
+                },
+                pool_index: 7,
+                left_columns: vec!["a".to_string()],
+                left_rows: vec![
+                    vec![Value::Node(NodeId(0))],
+                    vec![Value::List(vec![Value::Null, Value::Integer(i64::MIN)])],
+                ],
+                right_columns: vec!["b".to_string()],
+                right_rows: vec![vec![Value::Node(NodeId(0))]],
+            },
+        };
+        let text = cert.to_json();
+        let back = Certificate::from_json(&text).unwrap();
+        assert_eq!(back, cert);
+        // -0.0 must survive bit-exactly through the tagged float repr.
+        let Evidence::Counterexample { graph, .. } = &back.evidence else { panic!() };
+        let Value::Float(w) = graph.nodes[0].properties["w"] else { panic!() };
+        assert!(w == 0.0 && w.is_sign_negative());
+    }
+
+    #[test]
+    fn decoding_rejects_malformed_documents() {
+        assert!(Certificate::from_json("{}").is_err());
+        assert!(Certificate::from_json("{\"version\":2}").is_err());
+        let cert = sample_certificate();
+        let good = cert.to_json();
+        let bad = good.replace("\"equivalent\"", "\"maybe\"");
+        assert!(Certificate::from_json(&bad).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! A minimal property graph, just enough to re-evaluate a counterexample.
+//!
+//! Node and relationship ids are dense indices assigned in insertion order,
+//! matching the serialized certificate graph, so candidate enumeration in the
+//! evaluator (ascending ids) reproduces the prover's deterministic order.
+
+use crate::value::{NodeId, RelId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Data stored on a node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeData {
+    /// Labels, kept sorted (the `labels()` function exposes this order).
+    pub labels: BTreeSet<String>,
+    /// Properties keyed by name.
+    pub properties: BTreeMap<String, Value>,
+}
+
+/// Data stored on a relationship.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelData {
+    /// The relationship type.
+    pub label: String,
+    /// Source node.
+    pub source: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// Properties keyed by name.
+    pub properties: BTreeMap<String, Value>,
+}
+
+/// An entity that can carry properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityId {
+    /// A node.
+    Node(NodeId),
+    /// A relationship.
+    Relationship(RelId),
+}
+
+/// The checker's property graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    nodes: Vec<NodeData>,
+    relationships: Vec<RelData>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of relationships.
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// All node ids in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All relationship ids in ascending order.
+    pub fn relationship_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relationships.len() as u32).map(RelId)
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&NodeData> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    /// Looks up a relationship.
+    pub fn relationship(&self, id: RelId) -> Option<&RelData> {
+        self.relationships.get(id.0 as usize)
+    }
+
+    /// Whether the node exists and carries `label`.
+    pub fn node_has_label(&self, id: NodeId, label: &str) -> bool {
+        self.node(id).is_some_and(|n| n.labels.contains(label))
+    }
+
+    /// Reads a property; absent entities or keys yield `NULL`.
+    pub fn property(&self, entity: EntityId, key: &str) -> Value {
+        let props = match entity {
+            EntityId::Node(id) => self.node(id).map(|n| &n.properties),
+            EntityId::Relationship(id) => self.relationship(id).map(|r| &r.properties),
+        };
+        props.and_then(|p| p.get(key)).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Appends a node; returns its id.
+    pub fn add_node(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        id
+    }
+
+    /// Appends a relationship; returns its id. Endpoints must exist.
+    pub fn add_relationship(&mut self, data: RelData) -> Result<RelId, String> {
+        if self.node(data.source).is_none() || self.node(data.target).is_none() {
+            return Err(format!(
+                "relationship endpoint out of range: {} -> {}",
+                data.source.0, data.target.0
+            ));
+        }
+        let id = RelId(self.relationships.len() as u32);
+        self.relationships.push(data);
+        Ok(id)
+    }
+}

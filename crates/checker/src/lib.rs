@@ -1,0 +1,44 @@
+//! An independent, dependency-free proof-certificate checker for GraphQE-rs.
+//!
+//! The prover pipeline (normalizer → G-expression build → LIA* decision /
+//! counterexample search) emits a [`cert::Certificate`] alongside every
+//! EQUIVALENT or NOT_EQUIVALENT verdict. This crate re-validates those
+//! certificates without depending on the prover: its only dependency is the
+//! Cypher parser, and every algorithm it needs — the Table II normalization
+//! rules, expression isomorphism matching, and a bag-semantics evaluator — is
+//! re-implemented here from the paper rather than imported.
+//!
+//! What the checker *fully verifies*:
+//!
+//! - the normalization derivation of both queries, replayed rule-by-rule
+//!   ([`rules::normalize_with_trace`]);
+//! - the column permutation and its application to the right query;
+//! - squash peeling, summand decomposition, and every recorded
+//!   simplification (atom removals re-applied structurally);
+//! - isomorphism bijections under one shared variable mapping, and
+//!   isomorphism-class membership plus count arithmetic;
+//! - counterexample result bags, re-computed from scratch by the checker's
+//!   own evaluator ([`eval`]) on the embedded graph.
+//!
+//! What the checker *trusts* (recorded as `trusted_obligations` in the
+//! [`validate::CheckSummary`]): the G-expression build of stage ③, the
+//! prover's SMT facts (zero-pruned summands, implied-atom removals,
+//! disjointness of split squashes), and the divide-and-conquer segmentation.
+//!
+//! The JSON wire format is defined in [`cert`]; the validation engine in
+//! [`validate`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cert;
+pub mod eval;
+pub mod graph;
+pub mod gx;
+pub mod json;
+pub mod rules;
+pub mod validate;
+pub mod value;
+
+pub use cert::Certificate;
+pub use validate::{check_certificate, CheckError, CheckSummary};

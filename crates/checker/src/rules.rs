@@ -1,0 +1,664 @@
+//! An independent port of the Table II normalization rules, used to replay
+//! derivations.
+//!
+//! The checker must not trust (or link against) the normalizer, so it carries
+//! its own copy of the six rewrite rules and the fixpoint driver, and
+//! re-derives the full trace from the recorded source. A certificate's
+//! derivation is accepted only if it matches this re-derivation step for
+//! step — same rule, same position, same resulting query.
+
+use cypher_parser::ast::*;
+
+/// One recorded (or re-derived) rule application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Stable rule identifier (`"undirected"`, `"var_length"`, ...).
+    pub rule: &'static str,
+    /// Index of the first union part changed by the step.
+    pub part: usize,
+    /// Index of the first clause changed inside that part.
+    pub clause: usize,
+    /// The query after the step.
+    pub after: Query,
+}
+
+/// Stable identifiers for the six rules, in Table II order.
+pub mod rule_names {
+    /// Rule ①: undirected relationship elimination.
+    pub const UNDIRECTED: &str = "undirected";
+    /// Rule ②: bounded variable-length path expansion.
+    pub const VAR_LENGTH: &str = "var_length";
+    /// Rule ③: `RETURN *` / `WITH *` expansion.
+    pub const RETURN_STAR: &str = "return_star";
+    /// Rule ④: redundant `WITH` elimination.
+    pub const REDUNDANT_WITH: &str = "redundant_with";
+    /// Rule ⑤: variable standardization.
+    pub const STANDARDIZE: &str = "standardize";
+    /// Rule ⑥: `id(a) = id(b)` simplification.
+    pub const ID_EQUALITY: &str = "id_equality";
+}
+
+/// The position `(part, clause)` of the first difference between two queries.
+///
+/// This function must stay in lock-step with the emitter's copy in the
+/// normalizer crate: both sides compute positions with the same definition, so
+/// a replayed trace can compare them verbatim.
+pub fn diff_position(before: &Query, after: &Query) -> (usize, usize) {
+    for (i, (b, a)) in before.parts.iter().zip(after.parts.iter()).enumerate() {
+        if b != a {
+            for (j, (bc, ac)) in b.clauses.iter().zip(a.clauses.iter()).enumerate() {
+                if bc != ac {
+                    return (i, j);
+                }
+            }
+            return (i, b.clauses.len().min(a.clauses.len()));
+        }
+    }
+    if before.parts.len() != after.parts.len() {
+        return (before.parts.len().min(after.parts.len()), 0);
+    }
+    (0, 0)
+}
+
+/// Normalizes `query` with the Table II fixpoint driver, recording every rule
+/// application (rule ⑤ only when it changed something). Returns the
+/// normalized query and the trace.
+pub fn normalize_with_trace(query: &Query) -> (Query, Vec<TraceStep>) {
+    let mut trace = Vec::new();
+    let mut current = query.clone();
+    let mut record = |rule: &'static str, before: &Query, after: Query| {
+        let (part, clause) = diff_position(before, &after);
+        trace.push(TraceStep { rule, part, clause, after: after.clone() });
+        after
+    };
+    // One rule per round, in the same order and with the same bound as the
+    // normalizer's driver.
+    for _ in 0..64 {
+        if let Some(next) = rule2_var_length::apply(&current) {
+            current = record(rule_names::VAR_LENGTH, &current, next);
+            continue;
+        }
+        if let Some(next) = rule1_undirected::apply(&current) {
+            current = record(rule_names::UNDIRECTED, &current, next);
+            continue;
+        }
+        if let Some(next) = rule3_return_star::apply(&current) {
+            current = record(rule_names::RETURN_STAR, &current, next);
+            continue;
+        }
+        if let Some(next) = rule4_redundant_with::apply(&current) {
+            current = record(rule_names::REDUNDANT_WITH, &current, next);
+            continue;
+        }
+        if let Some(next) = rule6_id_equality::apply(&current) {
+            current = record(rule_names::ID_EQUALITY, &current, next);
+            continue;
+        }
+        break;
+    }
+    // Rule ⑤ last: pure renaming, applied once, recorded only when it fired.
+    let (renamed, changed) = rule5_standardize::apply(&current);
+    if changed {
+        current = record(rule_names::STANDARDIZE, &current, renamed);
+    }
+    (current, trace)
+}
+
+mod util {
+    use super::*;
+
+    pub fn map_expressions(query: &mut SingleQuery, f: &impl Fn(Expr) -> Expr) {
+        for clause in &mut query.clauses {
+            match clause {
+                Clause::Match(m) => {
+                    for pattern in &mut m.patterns {
+                        map_pattern(pattern, f);
+                    }
+                    if let Some(w) = m.where_clause.take() {
+                        m.where_clause = Some(w.map(f));
+                    }
+                }
+                Clause::Unwind(u) => {
+                    u.expr = u.expr.clone().map(f);
+                }
+                Clause::With(w) => {
+                    map_projection(&mut w.projection, f);
+                    if let Some(p) = w.where_clause.take() {
+                        w.where_clause = Some(p.map(f));
+                    }
+                }
+                Clause::Return(p) => map_projection(p, f),
+            }
+        }
+    }
+
+    pub fn map_projection(projection: &mut Projection, f: &impl Fn(Expr) -> Expr) {
+        if let ProjectionItems::Items(items) = &mut projection.items {
+            for item in items {
+                item.expr = item.expr.clone().map(f);
+            }
+        }
+        for order in &mut projection.order_by {
+            order.expr = order.expr.clone().map(f);
+        }
+        if let Some(skip) = projection.skip.take() {
+            projection.skip = Some(skip.map(f));
+        }
+        if let Some(limit) = projection.limit.take() {
+            projection.limit = Some(limit.map(f));
+        }
+    }
+
+    pub fn map_pattern(pattern: &mut PathPattern, f: &impl Fn(Expr) -> Expr) {
+        for (_, value) in &mut pattern.start.properties {
+            *value = value.clone().map(f);
+        }
+        for segment in &mut pattern.segments {
+            for (_, value) in &mut segment.relationship.properties {
+                *value = value.clone().map(f);
+            }
+            for (_, value) in &mut segment.node.properties {
+                *value = value.clone().map(f);
+            }
+        }
+    }
+
+    pub fn visible_variables(clauses: &[Clause]) -> Vec<String> {
+        let mut scope: Vec<String> = Vec::new();
+        for clause in clauses {
+            match clause {
+                Clause::Match(m) => {
+                    for pattern in &m.patterns {
+                        if let Some(v) = &pattern.variable {
+                            push_unique(&mut scope, v);
+                        }
+                        for node in pattern.nodes() {
+                            if let Some(v) = &node.variable {
+                                push_unique(&mut scope, v);
+                            }
+                        }
+                        for rel in pattern.relationships() {
+                            if let Some(v) = &rel.variable {
+                                push_unique(&mut scope, v);
+                            }
+                        }
+                    }
+                }
+                Clause::Unwind(u) => push_unique(&mut scope, &u.alias),
+                Clause::With(w) => {
+                    if let ProjectionItems::Items(items) = &w.projection.items {
+                        scope = items.iter().map(|item| item.output_name()).collect();
+                    }
+                }
+                Clause::Return(_) => {}
+            }
+        }
+        scope.sort();
+        scope
+    }
+
+    fn push_unique(scope: &mut Vec<String>, name: &str) {
+        if !scope.iter().any(|s| s == name) {
+            scope.push(name.to_string());
+        }
+    }
+
+    pub fn splice_parts(query: &Query, index: usize, replacements: Vec<SingleQuery>) -> Query {
+        let mut parts = Vec::new();
+        let mut unions = Vec::new();
+        for (i, part) in query.parts.iter().enumerate() {
+            if i == index {
+                for (j, replacement) in replacements.iter().enumerate() {
+                    if !parts.is_empty() {
+                        unions.push(if j == 0 && i > 0 {
+                            query.unions[i - 1]
+                        } else {
+                            UnionKind::All
+                        });
+                    }
+                    parts.push(replacement.clone());
+                }
+            } else {
+                if !parts.is_empty() {
+                    unions.push(if i > 0 { query.unions[i - 1] } else { UnionKind::All });
+                }
+                parts.push(part.clone());
+            }
+        }
+        Query { parts, unions }
+    }
+
+    pub fn all_unions_are_all(query: &Query) -> bool {
+        query.unions.iter().all(|u| *u == UnionKind::All)
+    }
+}
+
+mod rule1_undirected {
+    use super::util;
+    use super::*;
+
+    pub fn apply(query: &Query) -> Option<Query> {
+        if !util::all_unions_are_all(query) {
+            return None;
+        }
+        for (part_index, part) in query.parts.iter().enumerate() {
+            for (clause_index, clause) in part.clauses.iter().enumerate() {
+                let Clause::Match(m) = clause else { continue };
+                for (pattern_index, pattern) in m.patterns.iter().enumerate() {
+                    for (segment_index, segment) in pattern.segments.iter().enumerate() {
+                        let rel = &segment.relationship;
+                        if rel.direction == RelDirection::Undirected && !rel.is_var_length() {
+                            let mut forward = part.clone();
+                            let mut backward = part.clone();
+                            set_direction(
+                                &mut forward,
+                                clause_index,
+                                pattern_index,
+                                segment_index,
+                                RelDirection::Outgoing,
+                            );
+                            set_direction(
+                                &mut backward,
+                                clause_index,
+                                pattern_index,
+                                segment_index,
+                                RelDirection::Incoming,
+                            );
+                            return Some(util::splice_parts(
+                                query,
+                                part_index,
+                                vec![forward, backward],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn set_direction(
+        part: &mut SingleQuery,
+        clause_index: usize,
+        pattern_index: usize,
+        segment_index: usize,
+        direction: RelDirection,
+    ) {
+        if let Clause::Match(m) = &mut part.clauses[clause_index] {
+            m.patterns[pattern_index].segments[segment_index].relationship.direction = direction;
+        }
+    }
+}
+
+mod rule2_var_length {
+    use super::util;
+    use super::*;
+
+    const MAX_EXPANSION: u32 = 5;
+
+    pub fn apply(query: &Query) -> Option<Query> {
+        if !util::all_unions_are_all(query) {
+            return None;
+        }
+        for (part_index, part) in query.parts.iter().enumerate() {
+            for (clause_index, clause) in part.clauses.iter().enumerate() {
+                let Clause::Match(m) = clause else { continue };
+                for (pattern_index, pattern) in m.patterns.iter().enumerate() {
+                    for (segment_index, segment) in pattern.segments.iter().enumerate() {
+                        let rel = &segment.relationship;
+                        let Some(length) = rel.length else { continue };
+                        let (Some(max), min) = (length.max, length.effective_min()) else {
+                            continue;
+                        };
+                        if rel.variable.is_some() || min == 0 || max < min || max > MAX_EXPANSION {
+                            continue;
+                        }
+                        let mut replacements = Vec::new();
+                        for hops in min..=max {
+                            let mut copy = part.clone();
+                            expand(&mut copy, clause_index, pattern_index, segment_index, hops);
+                            replacements.push(copy);
+                        }
+                        return Some(util::splice_parts(query, part_index, replacements));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn expand(
+        part: &mut SingleQuery,
+        clause_index: usize,
+        pattern_index: usize,
+        segment_index: usize,
+        hops: u32,
+    ) {
+        let Clause::Match(m) = &mut part.clauses[clause_index] else {
+            return;
+        };
+        let pattern = &mut m.patterns[pattern_index];
+        let original = pattern.segments[segment_index].clone();
+        let mut replacement_segments = Vec::new();
+        for hop in 0..hops {
+            let relationship = RelationshipPattern {
+                variable: None,
+                labels: original.relationship.labels.clone(),
+                properties: original.relationship.properties.clone(),
+                direction: original.relationship.direction,
+                length: None,
+            };
+            let node =
+                if hop + 1 == hops { original.node.clone() } else { NodePattern::anonymous() };
+            replacement_segments.push(PathSegment { relationship, node });
+        }
+        pattern.segments.splice(segment_index..=segment_index, replacement_segments);
+    }
+}
+
+mod rule3_return_star {
+    use super::util;
+    use super::*;
+
+    pub fn apply(query: &Query) -> Option<Query> {
+        let mut result = query.clone();
+        let mut changed = false;
+        for part in &mut result.parts {
+            for index in 0..part.clauses.len() {
+                let scope = util::visible_variables(&part.clauses[..index]);
+                let projection = match &mut part.clauses[index] {
+                    Clause::With(w) => &mut w.projection,
+                    Clause::Return(p) => p,
+                    _ => continue,
+                };
+                if projection.items == ProjectionItems::Star && !scope.is_empty() {
+                    projection.items = ProjectionItems::Items(
+                        scope
+                            .iter()
+                            .map(|name| ProjectionItem::expr(Expr::Variable(name.clone())))
+                            .collect(),
+                    );
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            Some(result)
+        } else {
+            None
+        }
+    }
+}
+
+mod rule4_redundant_with {
+    use super::util;
+    use super::*;
+    use std::collections::BTreeMap;
+
+    pub fn apply(query: &Query) -> Option<Query> {
+        let mut result = query.clone();
+        for part in &mut result.parts {
+            for index in 0..part.clauses.len() {
+                let Clause::With(w) = &part.clauses[index] else {
+                    continue;
+                };
+                if w.projection.distinct
+                    || w.projection.has_sort_or_truncation()
+                    || w.where_clause.is_some()
+                {
+                    continue;
+                }
+                let Some(items) = w.projection.explicit_items() else {
+                    continue;
+                };
+                if items.iter().any(|item| item.expr.contains_aggregate()) {
+                    continue;
+                }
+                let mut substitution: BTreeMap<String, Expr> = BTreeMap::new();
+                for item in items {
+                    let name = item.output_name();
+                    if item.alias.is_none() && matches!(item.expr, Expr::Variable(_)) {
+                        continue;
+                    }
+                    substitution.insert(name, item.expr.clone());
+                }
+                part.clauses.remove(index);
+                let mut tail = SingleQuery { clauses: part.clauses.split_off(index) };
+                util::map_expressions(&mut tail, &|expr| match &expr {
+                    Expr::Variable(name) => substitution.get(name).cloned().unwrap_or(expr),
+                    _ => expr,
+                });
+                part.clauses.extend(tail.clauses);
+                return Some(result);
+            }
+        }
+        None
+    }
+}
+
+mod rule5_standardize {
+    use super::util;
+    use super::*;
+    use std::collections::BTreeMap;
+
+    pub fn apply(query: &Query) -> (Query, bool) {
+        let mut result = query.clone();
+        let mut changed = false;
+        for part in &mut result.parts {
+            let mapping = build_mapping(part);
+            if mapping.iter().any(|(from, to)| from != to) {
+                changed = true;
+            }
+            rename_part(part, &mapping);
+        }
+        (result, changed)
+    }
+
+    fn build_mapping(part: &SingleQuery) -> BTreeMap<String, String> {
+        let mut mapping = BTreeMap::new();
+        let mut nodes = 0usize;
+        let mut rels = 0usize;
+        let mut paths = 0usize;
+        for clause in &part.clauses {
+            let Clause::Match(m) = clause else { continue };
+            for pattern in &m.patterns {
+                if let Some(v) = &pattern.variable {
+                    paths += 1;
+                    mapping.entry(v.clone()).or_insert_with(|| format!("p{paths}"));
+                }
+                for node in pattern.nodes() {
+                    if let Some(v) = &node.variable {
+                        if !mapping.contains_key(v) {
+                            nodes += 1;
+                            mapping.insert(v.clone(), format!("n{nodes}"));
+                        }
+                    }
+                }
+                for rel in pattern.relationships() {
+                    if let Some(v) = &rel.variable {
+                        if !mapping.contains_key(v) {
+                            rels += 1;
+                            mapping.insert(v.clone(), format!("r{rels}"));
+                        }
+                    }
+                }
+            }
+        }
+        mapping
+    }
+
+    fn rename_part(part: &mut SingleQuery, mapping: &BTreeMap<String, String>) {
+        for clause in &mut part.clauses {
+            if let Clause::Match(m) = clause {
+                for pattern in &mut m.patterns {
+                    if let Some(v) = &mut pattern.variable {
+                        if let Some(new) = mapping.get(v) {
+                            *v = new.clone();
+                        }
+                    }
+                    if let Some(v) = &mut pattern.start.variable {
+                        if let Some(new) = mapping.get(v) {
+                            *v = new.clone();
+                        }
+                    }
+                    for segment in &mut pattern.segments {
+                        if let Some(v) = &mut segment.relationship.variable {
+                            if let Some(new) = mapping.get(v) {
+                                *v = new.clone();
+                            }
+                        }
+                        if let Some(v) = &mut segment.node.variable {
+                            if let Some(new) = mapping.get(v) {
+                                *v = new.clone();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        util::map_expressions(part, &|expr| match &expr {
+            Expr::Variable(name) => match mapping.get(name) {
+                Some(new) => Expr::Variable(new.clone()),
+                None => expr,
+            },
+            _ => expr,
+        });
+    }
+}
+
+mod rule6_id_equality {
+    use super::util;
+    use super::*;
+
+    pub fn apply(query: &Query) -> Option<Query> {
+        let mut result = query.clone();
+        for part in &mut result.parts {
+            for clause_index in 0..part.clauses.len() {
+                let Clause::Match(m) = &mut part.clauses[clause_index] else {
+                    continue;
+                };
+                let Some(predicate) = &m.where_clause else {
+                    continue;
+                };
+                let Some((keep, drop, remainder)) = find_id_equality(predicate) else {
+                    continue;
+                };
+                m.where_clause = remainder;
+                for clause in &mut part.clauses {
+                    if let Clause::Match(m) = clause {
+                        for pattern in &mut m.patterns {
+                            rename_pattern_variable(pattern, &drop, &keep);
+                        }
+                    }
+                }
+                util::map_expressions(part, &|expr| match &expr {
+                    Expr::Variable(name) if *name == drop => Expr::Variable(keep.clone()),
+                    _ => expr,
+                });
+                if let Clause::Match(m) = &mut part.clauses[clause_index] {
+                    let mut seen: Vec<PathPattern> = Vec::new();
+                    m.patterns.retain(|pattern| {
+                        let bare = pattern.segments.is_empty()
+                            && pattern.start.labels.is_empty()
+                            && pattern.start.properties.is_empty()
+                            && pattern.start.variable.is_some();
+                        if bare && seen.contains(pattern) {
+                            false
+                        } else {
+                            seen.push(pattern.clone());
+                            true
+                        }
+                    });
+                }
+                return Some(result);
+            }
+        }
+        None
+    }
+
+    fn rename_pattern_variable(pattern: &mut PathPattern, from: &str, to: &str) {
+        if pattern.start.variable.as_deref() == Some(from) {
+            pattern.start.variable = Some(to.to_string());
+        }
+        for segment in &mut pattern.segments {
+            if segment.node.variable.as_deref() == Some(from) {
+                segment.node.variable = Some(to.to_string());
+            }
+            if segment.relationship.variable.as_deref() == Some(from) {
+                segment.relationship.variable = Some(to.to_string());
+            }
+        }
+    }
+
+    fn find_id_equality(predicate: &Expr) -> Option<(String, String, Option<Expr>)> {
+        let conjuncts = flatten_and(predicate);
+        for (index, conjunct) in conjuncts.iter().enumerate() {
+            if let Expr::Binary(BinaryOp::Eq, lhs, rhs) = conjunct {
+                if let (Some(a), Some(b)) = (id_argument(lhs), id_argument(rhs)) {
+                    if a != b {
+                        let mut remaining = conjuncts.clone();
+                        remaining.remove(index);
+                        let remainder = remaining.into_iter().reduce(Expr::and);
+                        return Some((a, b, remainder));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn flatten_and(expr: &Expr) -> Vec<Expr> {
+        match expr {
+            Expr::Binary(BinaryOp::And, lhs, rhs) => {
+                let mut out = flatten_and(lhs);
+                out.extend(flatten_and(rhs));
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    fn id_argument(expr: &Expr) -> Option<String> {
+        match expr {
+            Expr::FunctionCall { name, args } if name == "id" && args.len() == 1 => {
+                match &args[0] {
+                    Expr::Variable(v) => Some(v.clone()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse_query;
+
+    #[test]
+    fn trace_records_each_rule_with_its_position() {
+        let query = parse_query("MATCH (a)-[*1..2]->(b) RETURN *").unwrap();
+        let (normalized, trace) = normalize_with_trace(&query);
+        let rules: Vec<&str> = trace.iter().map(|s| s.rule).collect();
+        assert!(rules.contains(&rule_names::VAR_LENGTH));
+        assert!(rules.contains(&rule_names::RETURN_STAR));
+        assert!(rules.contains(&rule_names::STANDARDIZE));
+        assert_eq!(trace.last().unwrap().after, normalized);
+    }
+
+    #[test]
+    fn trace_is_empty_for_already_normal_queries() {
+        let query = parse_query("MATCH (n1) RETURN n1").unwrap();
+        let (normalized, trace) = normalize_with_trace(&query);
+        assert!(trace.is_empty());
+        assert_eq!(normalized, query);
+    }
+
+    #[test]
+    fn diff_position_finds_the_first_changed_clause() {
+        let before = parse_query("MATCH (a) WITH a.x AS y RETURN y").unwrap();
+        let after = rule4_redundant_with::apply(&before).unwrap();
+        assert_eq!(diff_position(&before, &after), (0, 1));
+    }
+}

@@ -1,0 +1,419 @@
+//! Cypher runtime values and their comparison/arithmetic semantics.
+//!
+//! This is the checker's own copy of the `property-graph` value semantics:
+//! three-valued logic, Cypher equality/ordering (with its `Null` propagation),
+//! the total order used for `ORDER BY` and bag comparison, and the arithmetic
+//! used by projections. The NOT_EQUIVALENT re-evaluation is only as credible
+//! as this port, so it follows the original operation-for-operation.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// A node identifier in a certificate graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A relationship identifier in a certificate graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+/// A runtime value, mirroring `property_graph::Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `NULL`.
+    Null,
+    /// A boolean.
+    Boolean(bool),
+    /// A 64-bit integer.
+    Integer(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A map keyed by string.
+    Map(BTreeMap<String, Value>),
+    /// A reference to a node.
+    Node(NodeId),
+    /// A reference to a relationship.
+    Relationship(RelId),
+    /// A path: alternating node/relationship references.
+    Path(Vec<Value>),
+}
+
+impl Value {
+    /// Whether this value is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Boolean coercion used by predicates: only `Boolean` coerces.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion used by arithmetic fallbacks and `avg`.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+const I64_BOUND: f64 = 9_223_372_036_854_775_808.0;
+
+/// Compares an integer and a float exactly when |i| exceeds 2^53 (where the
+/// naive `as f64` cast loses precision).
+fn cmp_int_float_wide(i: i64, f: f64) -> Ordering {
+    if f >= I64_BOUND {
+        return Ordering::Less;
+    }
+    if f < -I64_BOUND {
+        return Ordering::Greater;
+    }
+    let truncated = f.trunc();
+    let whole = truncated as i64;
+    match i.cmp(&whole) {
+        Ordering::Equal => {
+            let fraction = f - truncated;
+            if fraction > 0.0 {
+                Ordering::Less
+            } else if fraction < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
+    }
+}
+
+fn cmp_float_total(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+fn cmp_int_float_total(i: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        return Ordering::Less;
+    }
+    if i.unsigned_abs() <= (1u64 << 53) {
+        (i as f64).total_cmp(&f)
+    } else {
+        cmp_int_float_wide(i, f)
+    }
+}
+
+fn cmp_int_float_partial(i: i64, f: f64) -> Option<Ordering> {
+    if f.is_nan() {
+        return None;
+    }
+    if i.unsigned_abs() <= (1u64 << 53) {
+        (i as f64).partial_cmp(&f)
+    } else {
+        Some(cmp_int_float_wide(i, f))
+    }
+}
+
+/// Cypher `=` semantics: `None` is the unknown (NULL) outcome.
+pub fn cypher_eq(a: &Value, b: &Value) -> Option<bool> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => None,
+        (Value::Integer(x), Value::Float(y)) => {
+            Some(cmp_int_float_partial(*x, *y) == Some(Ordering::Equal))
+        }
+        (Value::Float(x), Value::Integer(y)) => {
+            Some(cmp_int_float_partial(*y, *x) == Some(Ordering::Equal))
+        }
+        (Value::List(xs), Value::List(ys)) => {
+            if xs.len() != ys.len() {
+                return Some(false);
+            }
+            let mut saw_null = false;
+            for (x, y) in xs.iter().zip(ys) {
+                match cypher_eq(x, y) {
+                    Some(false) => return Some(false),
+                    Some(true) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                None
+            } else {
+                Some(true)
+            }
+        }
+        _ => Some(a == b),
+    }
+}
+
+/// Cypher `<`/`<=`/`>`/`>=` semantics: `None` for NULL or incomparable types.
+pub fn cypher_cmp(a: &Value, b: &Value) -> Option<Ordering> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => None,
+        (Value::Integer(x), Value::Integer(y)) => Some(x.cmp(y)),
+        (Value::Float(x), Value::Float(y)) => x.partial_cmp(y),
+        (Value::Integer(x), Value::Float(y)) => cmp_int_float_partial(*x, *y),
+        (Value::Float(x), Value::Integer(y)) => {
+            cmp_int_float_partial(*y, *x).map(Ordering::reverse)
+        }
+        (Value::String(x), Value::String(y)) => Some(x.cmp(y)),
+        (Value::Boolean(x), Value::Boolean(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+fn type_rank(value: &Value) -> u8 {
+    match value {
+        Value::Map(_) => 0,
+        Value::Node(_) => 1,
+        Value::Relationship(_) => 2,
+        Value::List(_) => 3,
+        Value::Path(_) => 4,
+        Value::String(_) => 5,
+        Value::Boolean(_) => 6,
+        Value::Integer(_) | Value::Float(_) => 7,
+        Value::Null => 8,
+    }
+}
+
+/// The total order used for `ORDER BY`, `DISTINCT` grouping, and bag
+/// comparison (ties NULLs and NaNs deterministically).
+pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
+    let rank = type_rank(a).cmp(&type_rank(b));
+    if rank != Ordering::Equal {
+        return rank;
+    }
+    match (a, b) {
+        (Value::Map(x), Value::Map(y)) => {
+            let mut xi = x.iter();
+            let mut yi = y.iter();
+            loop {
+                match (xi.next(), yi.next()) {
+                    (None, None) => return Ordering::Equal,
+                    (None, Some(_)) => return Ordering::Less,
+                    (Some(_), None) => return Ordering::Greater,
+                    (Some((kx, vx)), Some((ky, vy))) => {
+                        let key = kx.cmp(ky);
+                        if key != Ordering::Equal {
+                            return key;
+                        }
+                        let val = total_cmp(vx, vy);
+                        if val != Ordering::Equal {
+                            return val;
+                        }
+                    }
+                }
+            }
+        }
+        (Value::Node(x), Value::Node(y)) => x.cmp(y),
+        (Value::Relationship(x), Value::Relationship(y)) => x.cmp(y),
+        (Value::List(x), Value::List(y)) | (Value::Path(x), Value::Path(y)) => {
+            for (vx, vy) in x.iter().zip(y.iter()) {
+                let item = total_cmp(vx, vy);
+                if item != Ordering::Equal {
+                    return item;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Boolean(x), Value::Boolean(y)) => x.cmp(y),
+        (Value::Integer(x), Value::Integer(y)) => x.cmp(y),
+        (Value::Float(x), Value::Float(y)) => cmp_float_total(*x, *y),
+        (Value::Integer(x), Value::Float(y)) => cmp_int_float_total(*x, *y),
+        (Value::Float(x), Value::Integer(y)) => cmp_int_float_total(*y, *x).reverse(),
+        (Value::Null, Value::Null) => Ordering::Equal,
+        _ => Ordering::Equal,
+    }
+}
+
+/// Cypher `+`.
+pub fn add(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Integer(x), Value::Integer(y)) => {
+            x.checked_add(*y).map_or(Value::Null, Value::Integer)
+        }
+        (Value::String(x), Value::String(y)) => Value::String(format!("{x}{y}")),
+        (Value::List(x), Value::List(y)) => {
+            let mut items = x.clone();
+            items.extend(y.iter().cloned());
+            Value::List(items)
+        }
+        _ => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Value::Float(x + y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Cypher `-` (binary).
+pub fn sub(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Integer(x), Value::Integer(y)) => {
+            x.checked_sub(*y).map_or(Value::Null, Value::Integer)
+        }
+        _ => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Value::Float(x - y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Cypher `*`.
+pub fn mul(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Integer(x), Value::Integer(y)) => {
+            x.checked_mul(*y).map_or(Value::Null, Value::Integer)
+        }
+        _ => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Value::Float(x * y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Cypher `/`.
+pub fn div(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Integer(x), Value::Integer(y)) => {
+            if *y == 0 {
+                Value::Null
+            } else {
+                x.checked_div(*y).map_or(Value::Null, Value::Integer)
+            }
+        }
+        _ => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Value::Float(x / y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Cypher `%`.
+pub fn rem(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Integer(x), Value::Integer(y)) => {
+            if *y == 0 {
+                Value::Null
+            } else {
+                x.checked_rem(*y).map_or(Value::Null, Value::Integer)
+            }
+        }
+        _ => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Value::Float(x % y),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Cypher `^` (always floating-point).
+pub fn pow(a: &Value, b: &Value) -> Value {
+    match (a.as_number(), b.as_number()) {
+        (Some(x), Some(y)) => Value::Float(x.powf(y)),
+        _ => Value::Null,
+    }
+}
+
+/// Cypher unary `-`.
+pub fn neg(a: &Value) -> Value {
+    match a {
+        Value::Integer(x) => x.checked_neg().map_or(Value::Null, Value::Integer),
+        Value::Float(f) => Value::Float(-f),
+        _ => Value::Null,
+    }
+}
+
+/// Three-valued `AND`.
+pub fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Three-valued `OR`.
+pub fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Three-valued `XOR`.
+pub fn xor3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x != y),
+        _ => None,
+    }
+}
+
+/// Three-valued `NOT`.
+pub fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|b| !b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_int_float_comparison_is_exact() {
+        let big = i64::MAX - 1;
+        // (i64::MAX - 1) as f64 rounds up to 2^63, which would wrongly compare
+        // equal to values it is strictly below.
+        assert_eq!(cmp_int_float_total(big, I64_BOUND), Ordering::Less);
+        // 9.2e18 is inside the i64 range and strictly below i64::MAX - 1.
+        assert_eq!(
+            cypher_cmp(&Value::Integer(big), &Value::Float(9.2e18)),
+            Some(Ordering::Greater)
+        );
+        // 9.3e18 exceeds every i64.
+        assert_eq!(cypher_cmp(&Value::Integer(big), &Value::Float(9.3e18)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn null_propagates_through_equality() {
+        assert_eq!(cypher_eq(&Value::Null, &Value::Integer(1)), None);
+        assert_eq!(
+            cypher_eq(
+                &Value::List(vec![Value::Integer(1), Value::Null]),
+                &Value::List(vec![Value::Integer(1), Value::Integer(2)])
+            ),
+            None
+        );
+        assert_eq!(
+            cypher_eq(
+                &Value::List(vec![Value::Integer(3), Value::Null]),
+                &Value::List(vec![Value::Integer(1), Value::Integer(2)])
+            ),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn total_order_ranks_types_and_ties_nan() {
+        assert_eq!(total_cmp(&Value::String("a".into()), &Value::Integer(0)), Ordering::Less);
+        assert_eq!(total_cmp(&Value::Float(f64::NAN), &Value::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(total_cmp(&Value::Float(-0.0), &Value::Float(0.0)), Ordering::Less);
+    }
+
+    #[test]
+    fn integer_overflow_yields_null() {
+        assert_eq!(add(&Value::Integer(i64::MAX), &Value::Integer(1)), Value::Null);
+        assert_eq!(neg(&Value::Integer(i64::MIN)), Value::Null);
+        assert_eq!(div(&Value::Integer(1), &Value::Integer(0)), Value::Null);
+    }
+}

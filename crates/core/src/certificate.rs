@@ -1,0 +1,615 @@
+//! Proof-certificate emission.
+//!
+//! Every EQUIVALENT or NOT_EQUIVALENT verdict can be accompanied by a
+//! machine-checkable [`Certificate`] (schema owned by the dependency-free
+//! `graphqe-checker` crate). Emission is strictly off the hot path: the
+//! default prove pipeline never records anything, and a certificate is
+//! produced only on request by re-deriving the evidence —
+//!
+//! - the stage-② derivation via
+//!   [`cypher_normalizer::normalize_query_with_derivation`] (rule id +
+//!   position per step, replayable by the checker's own rule mirror);
+//! - the stage-④ witness via [`liastar::witness::prove_with_witness`]
+//!   (summand split, isomorphism pairing or class counts, per-summand SMT
+//!   obligations);
+//! - the NOT_EQUIVALENT bags via the reference scan evaluator
+//!   ([`property_graph::eval::evaluate_query_scan`]) on the verdict's
+//!   counterexample graph.
+//!
+//! Emission runs under [`limits::without_token`]: a deadline configured for
+//! the *proof* must not trip the re-derivation, which is bounded by the same
+//! work the proof already did.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cypher_parser::ast::Query;
+use cypher_parser::pretty::query_to_string;
+use gexpr::{build_query, GAggKind, GAtom, GConst, GExpr, GTerm};
+use graphqe_checker::cert::{
+    CertVerdict, DerivationStep, Evidence, GraphCert, KeptSummand, Matching, Proof, QueryCert,
+    SegmentWitness, SideSummands, SummandsProof, CERTIFICATE_VERSION,
+};
+use graphqe_checker::graph as checker_graph;
+use graphqe_checker::gx::{AggKind, CmpOp, Gx, GxAtom, GxConst, GxTerm, VarId};
+use graphqe_checker::value::{NodeId, RelId, Value};
+use graphqe_checker::Certificate;
+use liastar::witness::{self, MatchingRecord, ProofRecord, SegmentRecord, SideRecord};
+use property_graph::PropertyGraph;
+
+use crate::verdict::{FailureCategory, Verdict};
+use crate::{divide, GraphQE};
+
+// ---------------------------------------------------------------------------
+// Process-wide emission counters
+// ---------------------------------------------------------------------------
+
+static CERT_EMITTED: AtomicU64 = AtomicU64::new(0);
+static CERT_CHECK_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(emitted, check_failures)` certificate counters.
+///
+/// `emitted` counts successfully produced certificates;
+/// `check_failures` counts pairs downgraded to
+/// [`FailureCategory::CertificateInvalid`] because emission failed or the
+/// independent checker rejected the artifact while checking was requested.
+pub fn certificate_counters() -> (u64, u64) {
+    (CERT_EMITTED.load(Ordering::Relaxed), CERT_CHECK_FAILURES.load(Ordering::Relaxed))
+}
+
+impl GraphQE {
+    /// Emits the certificate for a definite `verdict` on `(q1, q2)`.
+    ///
+    /// The evidence is re-derived from scratch (see the module docs), so this
+    /// works for verdicts produced by any prove path — including warm
+    /// cached-substrate proves, whose shared [`crate::NormalizedStages`]
+    /// entries carry no derivations. Errors are descriptive strings; an
+    /// `Unknown` verdict has no certificate by definition.
+    pub fn certificate_for(
+        &self,
+        q1: &str,
+        q2: &str,
+        verdict: &Verdict,
+    ) -> Result<Certificate, String> {
+        let cert = limits::without_token(|| self.certificate_for_inner(q1, q2, verdict))?;
+        CERT_EMITTED.fetch_add(1, Ordering::Relaxed);
+        Ok(cert)
+    }
+
+    /// [`GraphQE::prove`] plus certificate emission, and (with `check`) an
+    /// independent validation of the emitted artifact.
+    ///
+    /// `Unknown` verdicts pass through with no certificate. For a definite
+    /// verdict whose certificate cannot be emitted, or is emitted but fails
+    /// the independent checker, the pair is downgraded to
+    /// `Unknown(CertificateInvalid)` when `check` is requested — a verdict
+    /// whose evidence does not validate is not a verdict this API stands
+    /// behind. Without `check`, emission failures surface as a missing
+    /// certificate and the verdict stands.
+    pub fn prove_certified(
+        &self,
+        q1: &str,
+        q2: &str,
+        check: bool,
+    ) -> (Verdict, Option<Certificate>) {
+        let verdict = self.prove(q1, q2);
+        self.certify_verdict(q1, q2, verdict, check)
+    }
+
+    /// The certification half of [`GraphQE::prove_certified`], for callers
+    /// that already hold a verdict (batch frontends certify after the batch).
+    pub fn certify_verdict(
+        &self,
+        q1: &str,
+        q2: &str,
+        verdict: Verdict,
+        check: bool,
+    ) -> (Verdict, Option<Certificate>) {
+        if verdict.is_unknown() {
+            return (verdict, None);
+        }
+        match self.certificate_for(q1, q2, &verdict) {
+            Ok(cert) => {
+                if check {
+                    if let Err(error) = graphqe_checker::check_certificate(&cert) {
+                        CERT_CHECK_FAILURES.fetch_add(1, Ordering::Relaxed);
+                        return (
+                            Verdict::Unknown {
+                                category: FailureCategory::CertificateInvalid,
+                                reason: format!("certificate failed validation: {error}"),
+                            },
+                            Some(cert),
+                        );
+                    }
+                }
+                (verdict, Some(cert))
+            }
+            Err(reason) => {
+                if check {
+                    CERT_CHECK_FAILURES.fetch_add(1, Ordering::Relaxed);
+                    (
+                        Verdict::Unknown {
+                            category: FailureCategory::CertificateInvalid,
+                            reason: format!("certificate emission failed: {reason}"),
+                        },
+                        None,
+                    )
+                } else {
+                    (verdict, None)
+                }
+            }
+        }
+    }
+
+    fn certificate_for_inner(
+        &self,
+        q1: &str,
+        q2: &str,
+        verdict: &Verdict,
+    ) -> Result<Certificate, String> {
+        let parsed1 = self.parse_checked(q1).map_err(|e| format!("left query: {e}"))?;
+        let parsed2 = self.parse_checked(q2).map_err(|e| format!("right query: {e}"))?;
+        // The checker replays the full Table II fixpoint regardless of the
+        // prover's configuration, so the derivation is always recorded — an
+        // ablation prover (normalize off) still emits checkable artifacts.
+        let (left, nq1) = query_cert(&parsed1);
+        let (right, nq2) = query_cert(&parsed2);
+        let (cert_verdict, evidence) = match verdict {
+            Verdict::Equivalent(_) => {
+                (CertVerdict::Equivalent, self.equivalence_evidence(&nq1, &nq2)?)
+            }
+            Verdict::NotEquivalent(example) => (
+                CertVerdict::NotEquivalent,
+                counterexample_evidence(&parsed1, &parsed2, &example.graph, example.pool_index)?,
+            ),
+            Verdict::Unknown { .. } => {
+                return Err("an unknown verdict carries no certificate".to_string())
+            }
+        };
+        Ok(Certificate {
+            version: CERTIFICATE_VERSION,
+            verdict: cert_verdict,
+            left,
+            right,
+            evidence,
+        })
+    }
+
+    /// Re-derives the EQUIVALENT evidence on the normalized pair, mirroring
+    /// the control flow of the prove pipeline (divide-and-conquer split,
+    /// arity fast path, return-element permutation loop) with the
+    /// witness-emitting reference decision in place of the arena decision.
+    fn equivalence_evidence(&self, nq1: &Query, nq2: &Query) -> Result<Evidence, String> {
+        if divide::needs_divide_and_conquer(nq1) || divide::needs_divide_and_conquer(nq2) {
+            let segments1 = divide::split_into_segments(nq1)
+                .ok_or("cannot split the first query into segments")?;
+            let segments2 = divide::split_into_segments(nq2)
+                .ok_or("cannot split the second query into segments")?;
+            if segments1.len() != segments2.len() {
+                return Err(format!(
+                    "the queries split into {} and {} segments",
+                    segments1.len(),
+                    segments2.len()
+                ));
+            }
+            let mut witnesses = Vec::new();
+            let mut columns = 0;
+            for (a, b) in segments1.iter().zip(segments2.iter()) {
+                let (witness, arity) = self.segment_witness(a, b)?;
+                columns = arity;
+                witnesses.push(witness);
+            }
+            // Per-segment permutations are folded into each segment's right
+            // G-expression (built from the permuted fragment), which the
+            // checker takes as a stage-③ input; the top-level permutation is
+            // therefore the identity on the final RETURN arity.
+            return Ok(Evidence::Equivalence {
+                column_permutation: (0..columns).collect(),
+                permuted_right: None,
+                segments: witnesses,
+            });
+        }
+        let built1 = build_query(nq1).map_err(|e| e.to_string())?;
+        let built2 = build_query(nq2).map_err(|e| e.to_string())?;
+        if built1.columns != built2.columns {
+            if crate::both_always_empty(&built1, &built2, true) {
+                return Ok(Evidence::Equivalence {
+                    column_permutation: (0..built1.columns).collect(),
+                    permuted_right: None,
+                    segments: vec![SegmentWitness {
+                        left: Gx::Zero,
+                        right: Gx::Zero,
+                        proof: Proof::Identical,
+                    }],
+                });
+            }
+            return Err(format!(
+                "the queries return {} and {} columns and are not both empty",
+                built1.columns, built2.columns
+            ));
+        }
+        for permutation in crate::column_permutations(&built1.column_kinds, &built2.column_kinds)
+            .into_iter()
+            .take(self.max_column_permutations)
+        {
+            let identity = crate::is_identity(&permutation);
+            let candidate = if identity {
+                built2.clone()
+            } else {
+                match build_query(&crate::permute_returns(nq2, &permutation)) {
+                    Ok(output) => output,
+                    Err(_) => continue,
+                }
+            };
+            if let Some(record) = witness::prove_with_witness(&built1.expr, &candidate.expr) {
+                let permuted_right = if identity {
+                    None
+                } else {
+                    Some(query_to_string(&crate::permute_returns(nq2, &permutation)))
+                };
+                return Ok(Evidence::Equivalence {
+                    column_permutation: permutation,
+                    permuted_right,
+                    segments: vec![segment_of(&record)],
+                });
+            }
+        }
+        Err("could not re-derive an equivalence witness".to_string())
+    }
+
+    /// The witness for one divide-and-conquer segment pair, with the
+    /// column-permutation loop folded into the segment's right build.
+    /// Returns the witness plus the segment's left RETURN arity.
+    fn segment_witness(&self, q1: &Query, q2: &Query) -> Result<(SegmentWitness, usize), String> {
+        let built1 = build_query(q1).map_err(|e| e.to_string())?;
+        let built2 = build_query(q2).map_err(|e| e.to_string())?;
+        if built1.columns != built2.columns {
+            if crate::both_always_empty(&built1, &built2, true) {
+                return Ok((
+                    SegmentWitness { left: Gx::Zero, right: Gx::Zero, proof: Proof::Identical },
+                    built1.columns,
+                ));
+            }
+            return Err(format!(
+                "segment arity mismatch: {} vs {} columns",
+                built1.columns, built2.columns
+            ));
+        }
+        for permutation in crate::column_permutations(&built1.column_kinds, &built2.column_kinds)
+            .into_iter()
+            .take(self.max_column_permutations)
+        {
+            let candidate = if crate::is_identity(&permutation) {
+                built2.clone()
+            } else {
+                match build_query(&crate::permute_returns(q2, &permutation)) {
+                    Ok(output) => output,
+                    Err(_) => continue,
+                }
+            };
+            if let Some(record) = witness::prove_with_witness(&built1.expr, &candidate.expr) {
+                return Ok((segment_of(&record), built1.columns));
+            }
+        }
+        Err("could not re-derive a witness for a divide-and-conquer segment".to_string())
+    }
+}
+
+/// The per-query attestation: pretty-printed source, the full normalization
+/// derivation, and the fixpoint. Returns the normalized query alongside so
+/// the equivalence evidence builds on exactly what the certificate records.
+fn query_cert(parsed: &Query) -> (QueryCert, Query) {
+    let (normalized, steps) = cypher_normalizer::normalize_query_with_derivation(parsed);
+    let cert = QueryCert {
+        source: query_to_string(parsed),
+        steps: steps
+            .iter()
+            .map(|step| DerivationStep {
+                rule: step.rule.to_string(),
+                part: step.part,
+                clause: step.clause,
+                after: query_to_string(&step.after),
+            })
+            .collect(),
+        normalized: query_to_string(&normalized),
+    };
+    (cert, normalized)
+}
+
+/// The NOT_EQUIVALENT evidence: the counterexample graph plus both result
+/// bags, re-computed on the **original** queries with the reference scan
+/// evaluator (whose semantics — including `LIMIT` without `ORDER BY`
+/// production order — the checker's evaluator mirrors).
+fn counterexample_evidence(
+    q1: &Query,
+    q2: &Query,
+    graph: &PropertyGraph,
+    pool_index: usize,
+) -> Result<Evidence, String> {
+    let left = property_graph::eval::evaluate_query_scan(graph, q1)
+        .map_err(|e| format!("left evaluation: {e}"))?;
+    let right = property_graph::eval::evaluate_query_scan(graph, q2)
+        .map_err(|e| format!("right evaluation: {e}"))?;
+    Ok(Evidence::Counterexample {
+        graph: graph_cert_of(graph),
+        pool_index,
+        left_columns: left.columns,
+        left_rows: left.rows.iter().map(|row| row.iter().map(value_of).collect()).collect(),
+        right_columns: right.columns,
+        right_rows: right.rows.iter().map(|row| row.iter().map(value_of).collect()).collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Type bridges into the checker's mirrored language
+// ---------------------------------------------------------------------------
+
+fn graph_cert_of(graph: &PropertyGraph) -> GraphCert {
+    GraphCert {
+        nodes: graph
+            .node_ids()
+            .map(|id| {
+                let node = graph.node(id);
+                checker_graph::NodeData {
+                    labels: node.labels.clone(),
+                    properties: node
+                        .properties
+                        .iter()
+                        .map(|(k, v)| (k.clone(), value_of(v)))
+                        .collect(),
+                }
+            })
+            .collect(),
+        relationships: graph
+            .relationship_ids()
+            .map(|id| {
+                let rel = graph.relationship(id);
+                checker_graph::RelData {
+                    label: rel.label.clone(),
+                    source: NodeId(rel.source.0),
+                    target: NodeId(rel.target.0),
+                    properties: rel
+                        .properties
+                        .iter()
+                        .map(|(k, v)| (k.clone(), value_of(v)))
+                        .collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+fn value_of(value: &property_graph::Value) -> Value {
+    match value {
+        property_graph::Value::Null => Value::Null,
+        property_graph::Value::Boolean(b) => Value::Boolean(*b),
+        property_graph::Value::Integer(i) => Value::Integer(*i),
+        property_graph::Value::Float(f) => Value::Float(*f),
+        property_graph::Value::String(s) => Value::String(s.clone()),
+        property_graph::Value::List(items) => Value::List(items.iter().map(value_of).collect()),
+        property_graph::Value::Map(map) => {
+            Value::Map(map.iter().map(|(k, v)| (k.clone(), value_of(v))).collect())
+        }
+        property_graph::Value::Node(id) => Value::Node(NodeId(id.0)),
+        property_graph::Value::Relationship(id) => Value::Relationship(RelId(id.0)),
+        property_graph::Value::Path(items) => Value::Path(items.iter().map(value_of).collect()),
+    }
+}
+
+fn segment_of(record: &SegmentRecord) -> SegmentWitness {
+    SegmentWitness {
+        left: gx_of(&record.left),
+        right: gx_of(&record.right),
+        proof: proof_of(&record.proof),
+    }
+}
+
+fn proof_of(record: &ProofRecord) -> Proof {
+    match record {
+        ProofRecord::Identical => Proof::Identical,
+        ProofRecord::Peel(inner) => Proof::Peel(Box::new(proof_of(inner))),
+        ProofRecord::Summands(summands) => Proof::Summands(Box::new(SummandsProof {
+            left: side_of(&summands.left),
+            right: side_of(&summands.right),
+            matching: matching_of(&summands.matching),
+        })),
+    }
+}
+
+fn side_of(record: &SideRecord) -> SideSummands {
+    SideSummands {
+        total: record.total,
+        zero_pruned: record.zero_pruned.clone(),
+        kept: record
+            .kept
+            .iter()
+            .map(|kept| KeptSummand {
+                index: kept.index,
+                removed_atoms: kept.removed_atoms.iter().map(gx_of).collect(),
+                result: gx_of(&kept.result),
+            })
+            .collect(),
+    }
+}
+
+fn matching_of(record: &MatchingRecord) -> Matching {
+    match record {
+        MatchingRecord::Bijection(pairs) => Matching::Bijection(pairs.clone()),
+        MatchingRecord::Classes {
+            representatives,
+            left_assign,
+            right_assign,
+            left_counts,
+            right_counts,
+        } => Matching::Classes {
+            representatives: representatives.iter().map(gx_of).collect(),
+            left_assign: left_assign.clone(),
+            right_assign: right_assign.clone(),
+            left_counts: left_counts.clone(),
+            right_counts: right_counts.clone(),
+        },
+    }
+}
+
+fn gx_of(expr: &GExpr) -> Gx {
+    match expr {
+        GExpr::Zero => Gx::Zero,
+        GExpr::One => Gx::One,
+        GExpr::Const(n) => Gx::Const(*n),
+        GExpr::Atom(atom) => Gx::Atom(atom_of(atom)),
+        GExpr::NodeFn(t) => Gx::NodeFn(term_of(t)),
+        GExpr::RelFn(t) => Gx::RelFn(term_of(t)),
+        GExpr::LabFn(t, label) => Gx::LabFn(term_of(t), label.clone()),
+        GExpr::Unbounded(t) => Gx::Unbounded(term_of(t)),
+        GExpr::Mul(items) => Gx::Mul(items.iter().map(gx_of).collect()),
+        GExpr::Add(items) => Gx::Add(items.iter().map(gx_of).collect()),
+        GExpr::Squash(inner) => Gx::Squash(Box::new(gx_of(inner))),
+        GExpr::Not(inner) => Gx::Not(Box::new(gx_of(inner))),
+        GExpr::Sum { vars, body } => {
+            Gx::Sum { vars: vars.iter().map(|v| VarId(v.0)).collect(), body: Box::new(gx_of(body)) }
+        }
+    }
+}
+
+fn atom_of(atom: &GAtom) -> GxAtom {
+    match atom {
+        GAtom::Cmp(op, a, b) => GxAtom::Cmp(cmp_of(*op), term_of(a), term_of(b)),
+        GAtom::IsNull(t, negated) => GxAtom::IsNull(term_of(t), *negated),
+        GAtom::Pred(name, args) => GxAtom::Pred(name.clone(), args.iter().map(term_of).collect()),
+    }
+}
+
+fn term_of(term: &GTerm) -> GxTerm {
+    match term {
+        GTerm::Var(v) => GxTerm::Var(VarId(v.0)),
+        GTerm::OutCol(i) => GxTerm::OutCol(*i),
+        GTerm::Prop(base, key) => GxTerm::Prop(Box::new(term_of(base)), key.clone()),
+        GTerm::Const(c) => GxTerm::Const(const_of(c)),
+        GTerm::App(name, args) => GxTerm::App(name.clone(), args.iter().map(term_of).collect()),
+        GTerm::Agg { kind, distinct, arg, group } => GxTerm::Agg {
+            kind: agg_of(*kind),
+            distinct: *distinct,
+            arg: Box::new(term_of(arg)),
+            group: Box::new(gx_of(group)),
+        },
+    }
+}
+
+fn const_of(c: &GConst) -> GxConst {
+    match c {
+        GConst::Integer(i) => GxConst::Integer(*i),
+        GConst::Float(f) => GxConst::Float(*f),
+        GConst::String(s) => GxConst::String(s.clone()),
+        GConst::Boolean(b) => GxConst::Boolean(*b),
+        GConst::Null => GxConst::Null,
+    }
+}
+
+/// Enum-to-enum: the prover's wire names are uppercase (`COUNT`), the
+/// checker's lowercase, so mapping by name would silently skew.
+fn agg_of(kind: GAggKind) -> AggKind {
+    match kind {
+        GAggKind::Count => AggKind::Count,
+        GAggKind::Sum => AggKind::Sum,
+        GAggKind::Min => AggKind::Min,
+        GAggKind::Max => AggKind::Max,
+        GAggKind::Avg => AggKind::Avg,
+        GAggKind::Collect => AggKind::Collect,
+    }
+}
+
+fn cmp_of(op: gexpr::CmpOp) -> CmpOp {
+    match op {
+        gexpr::CmpOp::Eq => CmpOp::Eq,
+        gexpr::CmpOp::Neq => CmpOp::Neq,
+        gexpr::CmpOp::Lt => CmpOp::Lt,
+        gexpr::CmpOp::Le => CmpOp::Le,
+        gexpr::CmpOp::Gt => CmpOp::Gt,
+        gexpr::CmpOp::Ge => CmpOp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphqe_checker::check_certificate;
+
+    #[test]
+    fn equivalent_verdicts_yield_checkable_certificates() {
+        let prover = GraphQE::new();
+        let pairs = [
+            ("MATCH (a) RETURN a", "MATCH (b) RETURN b"),
+            ("MATCH (a)-[r:READ]->(b) RETURN a.name", "MATCH (b)<-[r:READ]-(a) RETURN a.name"),
+            ("MATCH (n1)-[r:READ]->(n2) RETURN n1, n2", "MATCH (n1)<-[r:READ]-(n2) RETURN n2, n1"),
+        ];
+        for (q1, q2) in pairs {
+            let (verdict, cert) = prover.prove_certified(q1, q2, true);
+            assert!(verdict.is_equivalent(), "{q1} vs {q2}: {verdict}");
+            let cert = cert.expect("certificate emitted");
+            let summary = check_certificate(&cert).expect("certificate validates");
+            assert!(summary.segments >= 1);
+        }
+    }
+
+    #[test]
+    fn not_equivalent_verdicts_yield_checkable_certificates() {
+        let prover = GraphQE::new();
+        let (verdict, cert) = prover.prove_certified(
+            "MATCH (n:Person) WHERE n.age = 59 RETURN n.name",
+            "MATCH (n:Person) WHERE n.age = 60 RETURN n.name",
+            true,
+        );
+        assert!(verdict.is_not_equivalent(), "{verdict}");
+        let cert = cert.expect("certificate emitted");
+        let summary = check_certificate(&cert).expect("certificate validates");
+        assert!(summary.rows_reevaluated >= 1);
+        // The artifact survives a JSON round trip bit-exactly.
+        let back = Certificate::from_json(&cert.to_json()).expect("round trip");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn divide_and_conquer_proofs_are_certified_per_segment() {
+        let prover = GraphQE::new();
+        let (verdict, cert) = prover.prove_certified(
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n1)-[]->(n2) RETURN n2",
+            "MATCH (n1) WITH n1 ORDER BY n1.p1 LIMIT 1 MATCH (n2)<-[]-(n1) RETURN n2",
+            true,
+        );
+        assert!(verdict.is_equivalent(), "{verdict}");
+        let cert = cert.expect("certificate emitted");
+        let summary = check_certificate(&cert).expect("certificate validates");
+        assert!(summary.segments >= 2, "expected a multi-segment witness");
+    }
+
+    #[test]
+    fn unknown_verdicts_carry_no_certificate() {
+        let prover = GraphQE { search_counterexamples: false, ..GraphQE::new() };
+        let (verdict, cert) = prover.prove_certified(
+            "MATCH (n) RETURN SUM(n.a) / COUNT(n)",
+            "MATCH (n) RETURN SUM(n.a) / COUNT(n)",
+            true,
+        );
+        assert!(verdict.is_unknown());
+        assert!(cert.is_none());
+    }
+
+    #[test]
+    fn checking_downgrades_when_evidence_cannot_be_rederived() {
+        // Lie about the verdict: a NOT_EQUIVALENT pair presented as
+        // EQUIVALENT has no witness, so emission fails and checking
+        // downgrades the pair instead of standing behind it.
+        let prover = GraphQE::new();
+        let q1 = "MATCH (a:Person)-[r:READ]->(b) RETURN a.name";
+        let q2 = "MATCH (a:Person)<-[r:READ]-(b) RETURN a.name";
+        let fake = Verdict::Equivalent(crate::ProofStats::default());
+        let before = certificate_counters().1;
+        let (downgraded, cert) = prover.certify_verdict(q1, q2, fake, true);
+        assert_eq!(
+            downgraded.failure_category(),
+            Some(FailureCategory::CertificateInvalid),
+            "{downgraded}"
+        );
+        assert!(cert.is_none());
+        assert!(certificate_counters().1 > before);
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod certificate;
 pub mod counterexample;
 pub mod divide;
 pub mod verdict;
@@ -53,7 +54,9 @@ use cypher_parser::{parse_and_check, CheckError};
 use gexpr::{build_query, BuildError, BuildOutput, ColumnKind};
 use liastar::{DecideOptions, Decision};
 
+pub use certificate::certificate_counters;
 pub use counterexample::SearchConfig;
+pub use graphqe_checker::Certificate;
 pub use verdict::{Counterexample, FailureCategory, ProofStats, StageTimings, Verdict};
 
 // ---------------------------------------------------------------------------
@@ -441,6 +444,12 @@ pub struct CacheStats {
     pub plan_cache_misses: u64,
     /// Entries dropped by the frozen-plan cache's LRU capacity bound.
     pub plan_cache_evictions: u64,
+    /// Certificates emitted during the run (see
+    /// [`certificate::certificate_counters`]).
+    pub cert_emitted: u64,
+    /// Pairs downgraded because certificate emission failed or the
+    /// independent checker rejected the emitted artifact.
+    pub cert_check_failures: u64,
     /// Peak node count of any hash-consed arena during the run.
     pub peak_arena_nodes: usize,
     /// How many times a worker evicted its thread-local caches because the
@@ -712,6 +721,7 @@ impl GraphQE {
         let normalize_evictions_before = normalize_cache_evictions();
         let plan_before = counterexample::plan_cache_stats();
         let plan_evictions_before = counterexample::plan_cache_evictions();
+        let cert_before = certificate_counters();
         // Scope the peak metric to this run: interning bumps the global
         // counter, and workers fold in their arena size after every pair so
         // warm arenas (which intern nothing new) are still counted.
@@ -746,6 +756,8 @@ impl GraphQE {
             plan_cache_misses: counterexample::plan_cache_stats().1.saturating_sub(plan_before.1),
             plan_cache_evictions: counterexample::plan_cache_evictions()
                 .saturating_sub(plan_evictions_before),
+            cert_emitted: certificate_counters().0.saturating_sub(cert_before.0),
+            cert_check_failures: certificate_counters().1.saturating_sub(cert_before.1),
             peak_arena_nodes: gexpr::arena::peak_node_count(),
             epoch_resets,
         };

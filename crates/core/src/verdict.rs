@@ -42,6 +42,10 @@ pub enum FailureCategory {
     /// The prover panicked while proving this pair; the panic was caught at
     /// the batch boundary and degraded to this verdict.
     Panicked,
+    /// A certificate was requested with checking, but emission failed or the
+    /// independent checker rejected the emitted artifact; the definite
+    /// verdict was withdrawn rather than served without valid evidence.
+    CertificateInvalid,
     /// Any other reason.
     Other,
 }
@@ -61,6 +65,7 @@ impl FailureCategory {
             FailureCategory::BudgetExhausted { .. } => "budget_exhausted",
             FailureCategory::Cancelled => "cancelled",
             FailureCategory::Panicked => "panicked",
+            FailureCategory::CertificateInvalid => "certificate_invalid",
             FailureCategory::Other => "other",
         }
     }
@@ -98,6 +103,7 @@ impl fmt::Display for FailureCategory {
             }
             FailureCategory::Cancelled => f.write_str("cancelled"),
             FailureCategory::Panicked => f.write_str("panicked"),
+            FailureCategory::CertificateInvalid => f.write_str("certificate invalid"),
             FailureCategory::Other => f.write_str("other"),
         }
     }
@@ -264,6 +270,7 @@ mod tests {
             ),
             (FailureCategory::Cancelled, "cancelled"),
             (FailureCategory::Panicked, "panicked"),
+            (FailureCategory::CertificateInvalid, "certificate_invalid"),
             (FailureCategory::Other, "other"),
         ];
         for (category, code) in all {

@@ -44,6 +44,7 @@
 
 pub mod encode;
 pub mod iso;
+pub mod witness;
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;

@@ -1,0 +1,409 @@
+//! A witness-emitting variant of the paper-faithful tree pipeline.
+//!
+//! [`prove_with_witness`] re-runs the reference decision procedure (the same
+//! algorithms as the private tree oracle in this crate: reference normalizer,
+//! cloning iso matcher, no caches) while recording everything an independent
+//! checker needs to re-validate the proof without re-running SMT:
+//!
+//! - which summands were zero-pruned and which atoms were removed as implied
+//!   (so the structural simplification can be replayed);
+//! - the exact isomorphism pairing when the kept summands matched
+//!   bijectively (so the checker can re-unify each pair under one shared
+//!   variable mapping);
+//! - the class representatives, per-summand assignments, and per-class
+//!   counts when class counting decided the proof.
+//!
+//! Emission is strictly off the hot path: the default arena pipeline is
+//! untouched, and callers invoke this module only when a certificate was
+//! requested.
+
+use gexpr::{normalize_tree, GExpr};
+use smt::{SmtResult, Solver, Term};
+
+use crate::iso::{cloning, VarMapping};
+use crate::{encode_factor, encode_product};
+
+/// One kept summand with its simplification record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeptRecord {
+    /// Index into the side's original summand list.
+    pub index: usize,
+    /// Atoms removed as SMT-implied, in removal order.
+    pub removed_atoms: Vec<GExpr>,
+    /// The simplified summand.
+    pub result: GExpr,
+}
+
+/// One side's summand accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideRecord {
+    /// Number of summands before pruning.
+    pub total: usize,
+    /// Indices of summands pruned as identically zero.
+    pub zero_pruned: Vec<usize>,
+    /// Surviving summands in original order.
+    pub kept: Vec<KeptRecord>,
+}
+
+/// How the two sides' kept summands were matched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchingRecord {
+    /// `(left kept position, right kept position)` pairs unifiable in order
+    /// under a single shared variable mapping.
+    Bijection(Vec<(usize, usize)>),
+    /// Isomorphism-class counting with a final (trusted-free) count equality.
+    Classes {
+        /// Class representative expressions.
+        representatives: Vec<GExpr>,
+        /// Class of each left kept summand.
+        left_assign: Vec<usize>,
+        /// Class of each right kept summand.
+        right_assign: Vec<usize>,
+        /// Per-class counts on the left.
+        left_counts: Vec<usize>,
+        /// Per-class counts on the right.
+        right_counts: Vec<usize>,
+    },
+}
+
+/// The recorded proof tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProofRecord {
+    /// The normalized trees are structurally identical.
+    Identical,
+    /// Both sides are squashes; the proof continues on the bodies.
+    Peel(Box<ProofRecord>),
+    /// Summand decomposition, simplification, and matching.
+    Summands(Box<SummandsRecord>),
+}
+
+/// The summand-level record of one decision step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummandsRecord {
+    /// Left side accounting.
+    pub left: SideRecord,
+    /// Right side accounting.
+    pub right: SideRecord,
+    /// The matching that closed the proof.
+    pub matching: MatchingRecord,
+}
+
+/// A complete witness for one pair of G-expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRecord {
+    /// The left tree after disjoint-squash splitting and normalization.
+    pub left: GExpr,
+    /// The right tree after disjoint-squash splitting and normalization.
+    pub right: GExpr,
+    /// The recorded proof relating them.
+    pub proof: ProofRecord,
+}
+
+/// Proves `g1 ≡ g2` with the reference tree pipeline, emitting a full
+/// witness. Returns `None` when the pipeline cannot establish equivalence
+/// (the caller falls back to reporting an emission failure — this does not
+/// happen for pairs the arena pipeline proved, which runs the same
+/// algorithms).
+pub fn prove_with_witness(g1: &GExpr, g2: &GExpr) -> Option<SegmentRecord> {
+    let left = normalize_tree(&split_disjoint_squashes(g1));
+    let right = normalize_tree(&split_disjoint_squashes(g2));
+    if left == right {
+        return Some(SegmentRecord { left, right, proof: ProofRecord::Identical });
+    }
+    let proof = decide(&left, &right)?;
+    Some(SegmentRecord { left, right, proof })
+}
+
+fn decide(left: &GExpr, right: &GExpr) -> Option<ProofRecord> {
+    if let (GExpr::Squash(a), GExpr::Squash(b)) = (left, right) {
+        return Some(ProofRecord::Peel(Box::new(decide(a, b)?)));
+    }
+
+    let left_side = simplify_summands(to_summands(left));
+    let right_side = simplify_summands(to_summands(right));
+    let left_results: Vec<GExpr> = left_side.kept.iter().map(|k| k.result.clone()).collect();
+    let right_results: Vec<GExpr> = right_side.kept.iter().map(|k| k.result.clone()).collect();
+
+    if let Some(assignment) =
+        unify_multiset_recording(&left_results, &right_results, &VarMapping::new())
+    {
+        let pairs = assignment.into_iter().enumerate().collect();
+        return Some(ProofRecord::Summands(Box::new(SummandsRecord {
+            left: left_side,
+            right: right_side,
+            matching: MatchingRecord::Bijection(pairs),
+        })));
+    }
+
+    let mut representatives: Vec<GExpr> = Vec::new();
+    let mut left_assign = Vec::new();
+    let mut right_assign = Vec::new();
+    for summand in &left_results {
+        left_assign.push(class_index(&mut representatives, summand));
+    }
+    for summand in &right_results {
+        right_assign.push(class_index(&mut representatives, summand));
+    }
+    let mut left_counts = vec![0usize; representatives.len()];
+    let mut right_counts = vec![0usize; representatives.len()];
+    for &class in &left_assign {
+        left_counts[class] += 1;
+    }
+    for &class in &right_assign {
+        right_counts[class] += 1;
+    }
+
+    // The reference pipeline discharges count equality through the SMT
+    // solver; replicate that here so the emitted witness attests exactly what
+    // was proved. (The checker then re-verifies count equality directly.)
+    let mut solver = Solver::new();
+    let mut left_sum = Vec::new();
+    let mut right_sum = Vec::new();
+    for (index, _) in representatives.iter().enumerate() {
+        let v = Term::int_var(format!("class{index}"));
+        solver.assert(Term::ge(v.clone(), Term::int(1)));
+        left_sum.push(Term::MulConst(left_counts[index] as i64, Box::new(v.clone())));
+        right_sum.push(Term::MulConst(right_counts[index] as i64, Box::new(v)));
+    }
+    let lhs = if left_sum.is_empty() { Term::int(0) } else { Term::add(left_sum) };
+    let rhs = if right_sum.is_empty() { Term::int(0) } else { Term::add(right_sum) };
+    solver.assert(Term::neq(lhs, rhs));
+    if !matches!(solver.check(), SmtResult::Unsat) {
+        return None;
+    }
+    Some(ProofRecord::Summands(Box::new(SummandsRecord {
+        left: left_side,
+        right: right_side,
+        matching: MatchingRecord::Classes {
+            representatives,
+            left_assign,
+            right_assign,
+            left_counts,
+            right_counts,
+        },
+    })))
+}
+
+fn class_index(representatives: &mut Vec<GExpr>, summand: &GExpr) -> usize {
+    for (index, representative) in representatives.iter().enumerate() {
+        if cloning::unify_expr(representative, summand, &VarMapping::new()).is_some() {
+            return index;
+        }
+    }
+    representatives.push(summand.clone());
+    representatives.len() - 1
+}
+
+/// Left-position DFS over right candidates (ascending index, `used` flags),
+/// the same search as the cloning matcher but returning the original right
+/// index matched by each left position. The recorded pairs unify
+/// sequentially under one shared mapping by construction.
+fn unify_multiset_recording(
+    left: &[GExpr],
+    right: &[GExpr],
+    mapping: &VarMapping,
+) -> Option<Vec<usize>> {
+    if left.len() != right.len() {
+        return None;
+    }
+    let mut used = vec![false; right.len()];
+    let mut assignment = Vec::with_capacity(left.len());
+    fn recurse(
+        position: usize,
+        left: &[GExpr],
+        right: &[GExpr],
+        used: &mut [bool],
+        assignment: &mut Vec<usize>,
+        mapping: &VarMapping,
+    ) -> bool {
+        if position == left.len() {
+            return true;
+        }
+        for (index, candidate) in right.iter().enumerate() {
+            if used[index] {
+                continue;
+            }
+            if let Some(extended) = cloning::unify_expr(&left[position], candidate, mapping) {
+                used[index] = true;
+                assignment.push(index);
+                if recurse(position + 1, left, right, used, assignment, &extended) {
+                    return true;
+                }
+                assignment.pop();
+                used[index] = false;
+            }
+        }
+        false
+    }
+    if recurse(0, left, right, &mut used, &mut assignment, mapping) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+fn to_summands(expr: &GExpr) -> Vec<GExpr> {
+    match expr {
+        GExpr::Add(items) => items.clone(),
+        GExpr::Zero => Vec::new(),
+        other => vec![other.clone()],
+    }
+}
+
+fn simplify_summands(summands: Vec<GExpr>) -> SideRecord {
+    let total = summands.len();
+    let mut zero_pruned = Vec::new();
+    let mut kept = Vec::new();
+    for (index, summand) in summands.into_iter().enumerate() {
+        match simplify_summand(&summand) {
+            Some((removed_atoms, result)) => kept.push(KeptRecord { index, removed_atoms, result }),
+            None => zero_pruned.push(index),
+        }
+    }
+    SideRecord { total, zero_pruned, kept }
+}
+
+fn simplify_summand(summand: &GExpr) -> Option<(Vec<GExpr>, GExpr)> {
+    let (vars, body) = match summand {
+        GExpr::Sum { vars, body } => (vars.clone(), (**body).clone()),
+        other => (Vec::new(), other.clone()),
+    };
+    let mut factors = match body {
+        GExpr::Mul(items) => items,
+        other => vec![other],
+    };
+
+    if smt::check_formula(encode_product(&factors)).is_unsat() {
+        return None;
+    }
+
+    let mut removed = Vec::new();
+    let mut index = 0;
+    while index < factors.len() {
+        if matches!(factors[index], GExpr::Atom(_)) && factors.len() > 1 {
+            let mut others = factors.clone();
+            let candidate = others.remove(index);
+            let implication = Term::implies(encode_product(&others), encode_factor(&candidate));
+            if smt::is_valid(implication) {
+                removed.push(factors.remove(index));
+                continue;
+            }
+        }
+        index += 1;
+    }
+
+    Some((removed, GExpr::sum(vars, GExpr::mul(factors))))
+}
+
+fn disjoint(a: &GExpr, b: &GExpr) -> bool {
+    let product = Term::and(vec![encode_factor(a), encode_factor(b)]);
+    smt::check_formula(product).is_unsat()
+}
+
+fn split_disjoint_squashes(expr: &GExpr) -> GExpr {
+    match expr {
+        GExpr::Squash(inner) => {
+            let inner = split_disjoint_squashes(inner);
+            if let GExpr::Add(items) = &inner {
+                let all_unit = items.iter().all(gexpr::is_zero_one);
+                let pairwise_disjoint = all_unit
+                    && items
+                        .iter()
+                        .enumerate()
+                        .all(|(i, a)| items.iter().skip(i + 1).all(|b| disjoint(a, b)));
+                if pairwise_disjoint {
+                    return inner;
+                }
+            }
+            GExpr::squash(inner)
+        }
+        GExpr::Mul(items) => GExpr::mul(items.iter().map(split_disjoint_squashes).collect()),
+        GExpr::Add(items) => GExpr::add(items.iter().map(split_disjoint_squashes).collect()),
+        GExpr::Not(inner) => GExpr::not(split_disjoint_squashes(inner)),
+        GExpr::Sum { vars, body } => GExpr::sum(vars.clone(), split_disjoint_squashes(body)),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse_query;
+    use gexpr::build_query;
+
+    fn gexpr_of(query: &str) -> GExpr {
+        build_query(&parse_query(query).unwrap()).unwrap().expr
+    }
+
+    #[test]
+    fn witness_matches_the_tree_pipeline_verdict() {
+        let pairs = [
+            ("MATCH (n1) RETURN n1", "MATCH (n1) RETURN n1"),
+            ("MATCH (n1) RETURN n1.a", "MATCH (n2) RETURN n2.a"),
+            (
+                "MATCH (n1) WHERE n1.a > 5 AND n1.a > 3 RETURN n1",
+                "MATCH (n1) WHERE n1.a > 5 RETURN n1",
+            ),
+        ];
+        for (q1, q2) in pairs {
+            let g1 = gexpr_of(q1);
+            let g2 = gexpr_of(q2);
+            let (decision, _) = crate::check_equivalence_with_opts(
+                &g1,
+                &g2,
+                crate::DecideOptions { tree_normalizer: true },
+            );
+            assert!(decision.is_proved(), "premise: {q1} ≡ {q2}");
+            let witness = prove_with_witness(&g1, &g2);
+            assert!(witness.is_some(), "no witness for {q1} ≡ {q2}");
+        }
+    }
+
+    #[test]
+    fn recorded_bijection_unifies_sequentially() {
+        let g1 = gexpr_of("MATCH (n1) RETURN n1.a");
+        let g2 = gexpr_of("MATCH (n2) RETURN n2.a");
+        let witness = prove_with_witness(&g1, &g2).expect("witness exists");
+        let ProofRecord::Summands(record) = &witness.proof else {
+            // Identical after normalization is also a fine outcome here.
+            return;
+        };
+        let MatchingRecord::Bijection(pairs) = &record.matching else {
+            panic!("expected a bijection");
+        };
+        let mut mapping = VarMapping::new();
+        for &(l, r) in pairs {
+            let extended = cloning::unify_expr(
+                &record.left.kept[l].result,
+                &record.right.kept[r].result,
+                &mapping,
+            )
+            .expect("pair unifies under the shared mapping");
+            mapping = extended;
+        }
+    }
+
+    #[test]
+    fn implied_atom_removal_is_recorded() {
+        let g1 = gexpr_of("MATCH (n1) WHERE n1.a > 5 AND n1.a > 3 RETURN n1");
+        let g2 = gexpr_of("MATCH (n1) WHERE n1.a > 5 RETURN n1");
+        let witness = prove_with_witness(&g1, &g2).expect("witness exists");
+        fn removed_count(proof: &ProofRecord) -> usize {
+            match proof {
+                ProofRecord::Identical => 0,
+                ProofRecord::Peel(inner) => removed_count(inner),
+                ProofRecord::Summands(record) => record
+                    .left
+                    .kept
+                    .iter()
+                    .chain(record.right.kept.iter())
+                    .map(|k| k.removed_atoms.len())
+                    .sum(),
+            }
+        }
+        assert!(
+            removed_count(&witness.proof) >= 1,
+            "the implied atom [n1.a > 3] should be recorded as removed"
+        );
+    }
+}

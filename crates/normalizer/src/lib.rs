@@ -44,6 +44,93 @@ pub fn normalize_query(query: &Query) -> Query {
     normalize_query_with_report(query).0
 }
 
+/// One recorded rule application of the normalization fixpoint.
+///
+/// Rule names and positions use the same stable identifiers as the
+/// independent checker crate, which replays derivations step for step; the
+/// two sides must agree exactly for a certificate to validate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationStep {
+    /// Stable rule identifier (`"undirected"`, `"var_length"`, `"return_star"`,
+    /// `"redundant_with"`, `"standardize"`, `"id_equality"`).
+    pub rule: &'static str,
+    /// Index of the first union part changed by the step.
+    pub part: usize,
+    /// Index of the first clause changed inside that part.
+    pub clause: usize,
+    /// The query after the step.
+    pub after: Query,
+}
+
+/// The position `(part, clause)` of the first difference between two queries.
+///
+/// This definition must stay in lock-step with the checker crate's copy
+/// (`graphqe-checker`'s `rules::diff_position`): both sides compute positions
+/// the same way so a replayed trace compares verbatim.
+fn diff_position(before: &Query, after: &Query) -> (usize, usize) {
+    for (i, (b, a)) in before.parts.iter().zip(after.parts.iter()).enumerate() {
+        if b != a {
+            for (j, (bc, ac)) in b.clauses.iter().zip(a.clauses.iter()).enumerate() {
+                if bc != ac {
+                    return (i, j);
+                }
+            }
+            return (i, b.clauses.len().min(a.clauses.len()));
+        }
+    }
+    if before.parts.len() != after.parts.len() {
+        return (before.parts.len().min(after.parts.len()), 0);
+    }
+    (0, 0)
+}
+
+/// [`normalize_query`] recording every rule application (rule ⑤ only when it
+/// changed something) for certificate emission.
+///
+/// The driver is the same one-rule-per-round fixpoint as
+/// [`try_normalize_query_with_report`] — same rule order, same 64-round bound
+/// — so the recorded derivation always reproduces the pipeline's normalized
+/// query. Infallible by design: certificate emission runs off the hot path
+/// and suspends cooperative limits itself when needed.
+pub fn normalize_query_with_derivation(query: &Query) -> (Query, Vec<DerivationStep>) {
+    let mut trace = Vec::new();
+    let mut current = query.clone();
+    let mut record = |rule: &'static str, before: &Query, after: Query| {
+        let (part, clause) = diff_position(before, &after);
+        trace.push(DerivationStep { rule, part, clause, after: after.clone() });
+        after
+    };
+    for _ in 0..64 {
+        if let Some(next) = rules::rule2_var_length::apply(&current) {
+            current = record("var_length", &current, next);
+            continue;
+        }
+        if let Some(next) = rules::rule1_undirected::apply(&current) {
+            current = record("undirected", &current, next);
+            continue;
+        }
+        if let Some(next) = rules::rule3_return_star::apply(&current) {
+            current = record("return_star", &current, next);
+            continue;
+        }
+        if let Some(next) = rules::rule4_redundant_with::apply(&current) {
+            current = record("redundant_with", &current, next);
+            continue;
+        }
+        if let Some(next) = rules::rule6_id_equality::apply(&current) {
+            current = record("id_equality", &current, next);
+            continue;
+        }
+        break;
+    }
+    // Rule ⑤ last: pure renaming, applied once, recorded only when it fired.
+    let (renamed, changed) = rules::rule5_standardize::apply(&current);
+    if changed {
+        current = record("standardize", &current, renamed);
+    }
+    (current, trace)
+}
+
 /// [`normalize_query`] with a report of which rules fired.
 ///
 /// Infallible: cooperative limit checkpoints are suspended for the duration
@@ -210,6 +297,28 @@ mod tests {
             let once = normalize_query(&parse_query(text).unwrap());
             let twice = normalize_query(&once);
             assert_eq!(once, twice, "normalization not idempotent for {text}");
+        }
+    }
+
+    #[test]
+    fn derivation_reproduces_the_pipeline_fixpoint() {
+        for text in [
+            "MATCH (n1)-[]-(n2) RETURN n1.name",
+            "MATCH (n1)-[*1..2]->(n2) RETURN n1",
+            "MATCH (x)-[z]->()-[y]->() RETURN *",
+            "MATCH (x) WITH x.name AS name RETURN name",
+            "MATCH (a), (b) WHERE id(a) = id(b) RETURN b.name",
+            "MATCH (n1) RETURN n1",
+        ] {
+            let query = parse_query(text).unwrap();
+            let (derived, steps) = normalize_query_with_derivation(&query);
+            assert_eq!(derived, normalize_query(&query), "derivation diverged for {text}");
+            // The last recorded step (if any) is the normalized query.
+            if let Some(last) = steps.last() {
+                assert_eq!(last.after, derived, "trailing step mismatch for {text}");
+            } else {
+                assert_eq!(derived, query, "no steps but query changed for {text}");
+            }
         }
     }
 

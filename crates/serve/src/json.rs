@@ -27,6 +27,10 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object, in insertion order.
     Obj(Vec<(String, Json)>),
+    /// A pre-serialized JSON document, emitted verbatim. Producer-only: the
+    /// parser never yields this variant. Used to embed certificate artifacts
+    /// (already serialized by `graphqe-checker`) without re-parsing them.
+    Raw(String),
 }
 
 impl Json {
@@ -127,6 +131,7 @@ impl fmt::Display for Json {
                 }
                 f.write_str("}")
             }
+            Json::Raw(text) => f.write_str(text),
         }
     }
 }

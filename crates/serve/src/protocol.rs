@@ -34,6 +34,12 @@ pub struct ProveRequest {
     /// Client-requested counterexample-search graph budget (`None` = server
     /// default).
     pub search_graph_budget: Option<u64>,
+    /// Whether every definite verdict should carry a machine-checkable proof
+    /// certificate (validated server-side before it is served; a certificate
+    /// that fails validation downgrades the pair to
+    /// `unknown`/`certificate_invalid`). Default `false`: the hot path stays
+    /// certificate-free.
+    pub certificates: bool,
 }
 
 impl ProveRequest {
@@ -66,11 +72,18 @@ impl ProveRequest {
                     .ok_or_else(|| format!("\"{name}\" must be a non-negative integer")),
             }
         };
+        let certificates = match doc.get("certificates") {
+            None | Some(Json::Null) => false,
+            Some(value) => {
+                value.as_bool().ok_or("\"certificates\" must be a boolean".to_string())?
+            }
+        };
         Ok(ProveRequest {
             pairs,
             deadline_ms: int_field("deadline_ms")?,
             smt_step_budget: int_field("smt_step_budget")?,
             search_graph_budget: int_field("search_graph_budget")?,
+            certificates,
         })
     }
 
@@ -106,8 +119,10 @@ fn parse_pair(entry: &Json) -> Result<(String, String), String> {
     Err("each pair must be [\"q1\",\"q2\"] or {\"left\":...,\"right\":...}".to_string())
 }
 
-/// Serializes one per-pair outcome.
-pub fn outcome_json(outcome: &BatchOutcome) -> Json {
+/// Serializes one per-pair outcome. `certificate` is the pre-serialized
+/// proof artifact (from [`graphqe::Certificate::to_json`]) when the request
+/// asked for certificates and one was emitted; it is embedded verbatim.
+pub fn outcome_json(outcome: &BatchOutcome, certificate: Option<&str>) -> Json {
     let mut fields = vec![
         ("verdict", json::str(verdict_name(&outcome.verdict))),
         ("latency_us", json::num(outcome.latency.as_micros() as f64)),
@@ -129,6 +144,9 @@ pub fn outcome_json(outcome: &BatchOutcome) -> Json {
         Verdict::Unknown { category, reason } => {
             fields.push(("error", failure_json(*category, reason)));
         }
+    }
+    if let Some(cert) = certificate {
+        fields.push(("certificate", Json::Raw(cert.to_string())));
     }
     json::obj(fields)
 }
@@ -177,6 +195,17 @@ mod tests {
         assert_eq!(request.pairs[1], ("c".to_string(), "d".to_string()));
         assert_eq!(request.deadline_ms, Some(100));
         assert_eq!(request.smt_step_budget, None);
+        assert!(!request.certificates);
+    }
+
+    #[test]
+    fn parses_the_certificates_flag() {
+        let on = ProveRequest::parse(r#"{"pairs":[["a","b"]],"certificates":true}"#, 16).unwrap();
+        assert!(on.certificates);
+        let off = ProveRequest::parse(r#"{"pairs":[["a","b"]],"certificates":null}"#, 16).unwrap();
+        assert!(!off.certificates);
+        let bad = ProveRequest::parse(r#"{"pairs":[["a","b"]],"certificates":1}"#, 16).unwrap_err();
+        assert!(bad.contains("certificates"));
     }
 
     #[test]
@@ -201,6 +230,7 @@ mod tests {
             deadline_ms: Some(60_000),
             smt_step_budget: None,
             search_graph_budget: None,
+            certificates: false,
         };
         let clamped =
             request.effective_deadline(Some(Duration::from_secs(5)), Some(Duration::from_secs(10)));

@@ -332,7 +332,24 @@ fn handle_prove(shared: &Shared, body: &[u8]) -> (u16, String) {
     let wall = Instant::now();
     // `threads = 1`: this worker thread runs all pairs itself, keeping its
     // thread-local caches warm; concurrency comes from the worker pool.
-    let (outcomes, epoch_resets) = prover.prove_batch_outcomes(&parsed.pairs, 1);
+    let (mut outcomes, epoch_resets) = prover.prove_batch_outcomes(&parsed.pairs, 1);
+
+    // Certificates are emitted (and checked) after the batch, so the prove
+    // loop itself is identical with and without them. A definite verdict
+    // whose certificate cannot be emitted or fails the independent checker
+    // is downgraded here, before the tallies below — the response never
+    // claims a definite verdict it cannot back with a valid artifact.
+    let mut certificates: Vec<Option<String>> = vec![None; outcomes.len()];
+    if parsed.certificates {
+        for (index, outcome) in outcomes.iter_mut().enumerate() {
+            let (left, right) = &parsed.pairs[index];
+            let (verdict, certificate) =
+                prover.certify_verdict(left, right, outcome.verdict.clone(), true);
+            outcome.failure_reason = verdict.failure_category();
+            outcome.verdict = verdict;
+            certificates[index] = certificate.map(|cert| cert.to_json());
+        }
+    }
     let wall = wall.elapsed();
 
     let mut equivalent = 0u64;
@@ -352,8 +369,13 @@ fn handle_prove(shared: &Shared, body: &[u8]) -> (u16, String) {
     counters.unknown.fetch_add(unknown, Ordering::Relaxed);
     counters.epoch_resets.fetch_add(epoch_resets, Ordering::Relaxed);
 
+    let results = outcomes
+        .iter()
+        .zip(&certificates)
+        .map(|(outcome, certificate)| outcome_json(outcome, certificate.as_deref()))
+        .collect();
     let body = json::obj(vec![
-        ("results", Json::Arr(outcomes.iter().map(outcome_json).collect())),
+        ("results", Json::Arr(results)),
         ("equivalent", json::num(equivalent as f64)),
         ("not_equivalent", json::num(not_equivalent as f64)),
         ("unknown", json::num(unknown as f64)),
@@ -379,6 +401,7 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
     let (memo_hits, memo_misses) = graphqe::counterexample::search_memo_stats();
     let (plan_hits, plan_misses) = graphqe::counterexample::plan_cache_stats();
     let (smt_hits, smt_misses) = smt::formula_cache_stats();
+    let (cert_emitted, cert_check_failures) = graphqe::certificate_counters();
     let liastar = liastar::cache_counters();
     let rate = |hits: u64, misses: u64| {
         let total = hits + misses;
@@ -394,6 +417,8 @@ fn handle_stats(shared: &Shared) -> (u16, String) {
         ("rejected_bad_request", load(&counters.rejected_bad_request)),
         ("panics_recovered", load(&counters.panics_recovered)),
         ("epoch_resets", load(&counters.epoch_resets)),
+        ("cert_emitted", json::num(cert_emitted as f64)),
+        ("cert_check_failures", json::num(cert_check_failures as f64)),
         ("queue_depth", json::num(shared.queue_depth.load(Ordering::Relaxed) as f64)),
         ("queue_capacity", json::num(shared.config.queue_capacity as f64)),
         (

@@ -112,6 +112,43 @@ fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
 }
 
 #[test]
+fn certified_proves_attach_independently_checkable_artifacts() {
+    let _serial = SERIAL.lock().unwrap_or_else(|poison| poison.into_inner());
+    let server = test_server(test_config());
+    let mut client = Client::connect(&server);
+
+    let body = format!(
+        "{{\"pairs\":[[{:?},{:?}],[{:?},{:?}]],\"certificates\":true}}",
+        EQ.0, EQ.1, NEQ.0, NEQ.1
+    );
+    let (status, response) = client.request("POST", "/v1/prove", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(verdicts(&response), ["equivalent", "not_equivalent"]);
+    for result in response.get("results").unwrap().as_array().unwrap() {
+        // Round-trip through the wire form and re-validate with the
+        // dependency-free checker — the client-side workflow SERVING.md
+        // documents.
+        let wire = result.get("certificate").expect("certificate attached").to_string();
+        let certificate =
+            graphqe_checker::Certificate::from_json(&wire).expect("certificate parses");
+        graphqe_checker::check_certificate(&certificate).expect("certificate validates");
+    }
+
+    // Without the flag, responses stay certificate-free.
+    let (status, response) = client.request("POST", "/v1/prove", Some(&prove_body(&[EQ])));
+    assert_eq!(status, 200);
+    assert!(response.get("results").unwrap().as_array().unwrap()[0].get("certificate").is_none());
+
+    let (status, stats) = client.request("GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    assert!(stats.get("cert_emitted").unwrap().as_u64().unwrap() >= 2);
+    assert!(stats.get("cert_check_failures").unwrap().as_u64().is_some());
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn proves_pairs_over_a_keep_alive_connection() {
     let _serial = SERIAL.lock().unwrap_or_else(|poison| poison.into_inner());
     let server = test_server(test_config());

@@ -1,0 +1,72 @@
+//! Certify: every definite verdict carries a machine-checkable artifact.
+//!
+//! Proves one equivalent and one non-equivalent dataset pair, writes both
+//! certificates to JSON files, re-reads them, and validates them with the
+//! dependency-free checker crate — the auditor workflow: the checker never
+//! invokes the prover or the SMT solver, so a green check is independent
+//! evidence, not the prover agreeing with itself.
+//!
+//! Run with `cargo run --example certify`.
+
+use std::path::Path;
+
+use graphqe::{GraphQE, Verdict};
+use graphqe_checker::{check_certificate, Certificate};
+
+fn main() {
+    let prover = GraphQE::new();
+    let out_dir = std::env::temp_dir().join("graphqe-certify");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // The first dataset pair the prover settles on each side of the verdict
+    // space: one proved equivalence, one concrete counterexample.
+    let eq = cyeqset::cyeqset()
+        .into_iter()
+        .find(|pair| prover.prove(&pair.left, &pair.right).is_equivalent())
+        .expect("an equivalent dataset pair");
+    let neq = cyeqset::cyneqset()
+        .into_iter()
+        .find(|pair| prover.prove(&pair.left, &pair.right).is_not_equivalent())
+        .expect("a non-equivalent dataset pair");
+
+    for pair in [eq, neq] {
+        println!("pair {id}:", id = pair.id);
+        println!("  Q1: {}", pair.left);
+        println!("  Q2: {}", pair.right);
+        let (verdict, certificate) = prover.prove_certified(&pair.left, &pair.right, true);
+        match verdict {
+            Verdict::Equivalent(_) => println!("  verdict: EQUIVALENT"),
+            Verdict::NotEquivalent(example) => println!(
+                "  verdict: NOT EQUIVALENT ({} vs {} rows on a {}-node graph)",
+                example.left_rows,
+                example.right_rows,
+                example.graph.node_count()
+            ),
+            Verdict::Unknown { reason, .. } => unreachable!("definite pair went unknown: {reason}"),
+        }
+        let certificate = certificate.expect("definite verdicts carry a certificate");
+        let path = out_dir.join(format!("{id}.json", id = pair.id));
+        std::fs::write(&path, certificate.to_json()).expect("write certificate");
+        revalidate(&path);
+        println!();
+    }
+}
+
+/// Re-reads a certificate from disk and validates it from scratch — nothing
+/// survives from the emitting prover but the bytes in the file.
+fn revalidate(path: &Path) {
+    let text = std::fs::read_to_string(path).expect("read certificate back");
+    let certificate = Certificate::from_json(&text).expect("re-parse certificate");
+    let summary = check_certificate(&certificate).expect("independent validation");
+    println!("  certificate: {} ({} bytes)", path.display(), text.len());
+    println!(
+        "  checked: {} derivation steps, {} segments, {} summands matched, \
+         {} classes counted, {} rows re-evaluated, {} obligations trusted to SMT",
+        summary.derivation_steps,
+        summary.segments,
+        summary.summands_matched,
+        summary.classes_counted,
+        summary.rows_reevaluated,
+        summary.trusted_obligations
+    );
+}
