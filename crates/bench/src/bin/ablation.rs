@@ -1,6 +1,8 @@
 //! Ablation study: how many CyEqSet pairs are provable with parts of the
 //! pipeline disabled (DESIGN.md §7).
 
+#![forbid(unsafe_code)]
+
 use graphqe::GraphQE;
 use graphqe_bench::run_cyeqset;
 

@@ -28,6 +28,8 @@
 //! in-run cold time). The `--stage` flag repeats. See
 //! `graphqe_bench::gate` for the exact rules.
 
+#![forbid(unsafe_code)]
+
 use graphqe_bench::gate::{evaluate, GateConfig};
 use graphqe_bench::json::Json;
 

@@ -4,6 +4,8 @@
 //! compare against, and fails (exit code 1) if the two pipelines ever
 //! disagree on a verdict.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use cyeqset::{cyeqset, cyneqset, QueryPair};

@@ -7,6 +7,8 @@
 //! cache hit rates and the peak arena size of the run. Exits non-zero if the
 //! two pipelines ever disagree on a verdict.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use cyeqset::{cyeqset, cyneqset, QueryPair};

@@ -10,6 +10,8 @@
 //! which witnesses were discovered. Exits non-zero if any pipeline ever
 //! disagrees on a verdict.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use cyeqset::{cyeqset, cyneqset, QueryPair};

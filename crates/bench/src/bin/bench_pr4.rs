@@ -12,6 +12,8 @@
 //! hit/miss/eviction counters. Exits non-zero if any pipeline ever
 //! disagrees on a verdict.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use cyeqset::{cyeqset, cyneqset, QueryPair};

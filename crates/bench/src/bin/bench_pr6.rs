@@ -24,6 +24,8 @@
 //! search memo), so it keeps paying the real stage-① cost every sample.
 //! Exits non-zero if any pipeline ever disagrees on a verdict.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 

@@ -33,6 +33,8 @@
 //! Exits non-zero if any pipeline ever disagrees on a verdict, if a replay
 //! pass moves a verdict count, or if the server dies under a drill.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;

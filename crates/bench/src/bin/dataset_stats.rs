@@ -1,6 +1,8 @@
 //! Prints the composition of CyEqSet (§VII-A): pairs per project and per
 //! construction rule.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let stats = cyeqset::dataset_stats();
     println!("CyEqSet composition ({} pairs)", stats.total);

@@ -5,6 +5,8 @@
 //! an N-way parallel batch every pair's wall-clock would include CPU
 //! contention from its neighbours.
 
+#![forbid(unsafe_code)]
+
 use graphqe::GraphQE;
 use graphqe_bench::{format_fig5, latency_distribution, run_pairs_with_threads};
 

@@ -1,6 +1,8 @@
 //! Regenerates the CyNeqSet experiment of §VII-B: all 148 mutated pairs must
 //! be rejected (never proven equivalent).
 
+#![forbid(unsafe_code)]
+
 use graphqe::GraphQE;
 use graphqe_bench::{format_neqset, run_cyneqset};
 

@@ -1,6 +1,8 @@
 //! Regenerates Table III: proved query pairs by project, plus the §VII-B
 //! failure breakdown when `--failures` is passed.
 
+#![forbid(unsafe_code)]
+
 use graphqe::GraphQE;
 use graphqe_bench::{failure_breakdown, format_table3, run_cyeqset, table3_rows};
 

@@ -1,6 +1,7 @@
 //! Shared harness code for the benchmark / report binaries that regenerate
 //! every table and figure of the paper's evaluation (§VII).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;

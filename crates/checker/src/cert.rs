@@ -14,7 +14,10 @@ use crate::value::{NodeId, RelId, Value};
 use std::collections::BTreeMap;
 
 /// The schema version this crate reads and writes.
-pub const CERTIFICATE_VERSION: i64 = 1;
+///
+/// Version 2 added the `signature_mismatch` evidence kind (stage-⓪ inferred
+/// output signatures alongside the concrete witness).
+pub const CERTIFICATE_VERSION: i64 = 2;
 
 /// The verdict a certificate attests to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +165,18 @@ impl GraphCert {
     }
 }
 
+/// One column of a stage-⓪ inferred output signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigColumn {
+    /// Column name (alias or textual form of the projected expression).
+    pub name: String,
+    /// Stable type-lattice name (`"Integer"`, `"Node"`, `"Any"`, …) as
+    /// parsed by [`crate::sig::SigType::from_name`].
+    pub ty: String,
+    /// Whether the column can evaluate to `NULL` on some graph.
+    pub nullable: bool,
+}
+
 /// Verdict-specific evidence.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Evidence {
@@ -183,6 +198,30 @@ pub enum Evidence {
         graph: GraphCert,
         /// Index of the graph in the prover's deterministic search pools
         /// (provenance only; the checker re-evaluates regardless).
+        pool_index: usize,
+        /// Column names the left query produced.
+        left_columns: Vec<String>,
+        /// The left result bag, in production order.
+        left_rows: Vec<Vec<Value>>,
+        /// Column names the right query produced.
+        right_columns: Vec<String>,
+        /// The right result bag, in production order.
+        right_rows: Vec<Vec<Value>>,
+    },
+    /// NOT_EQUIVALENT found via the stage-⓪ signature-discrimination fast
+    /// path: the inferred output signatures admit no type-compatible column
+    /// bijection, **and** a concrete witness graph confirms the separation.
+    /// The checker re-infers both signatures from the source queries,
+    /// re-checks the discrimination, and re-evaluates the witness — the
+    /// signatures alone never validate a verdict.
+    SignatureMismatch {
+        /// The left query's inferred output signature.
+        left_signature: Vec<SigColumn>,
+        /// The right query's inferred output signature.
+        right_signature: Vec<SigColumn>,
+        /// The distinguishing property graph.
+        graph: GraphCert,
+        /// Index of the graph in the prover's deterministic search pools.
         pool_index: usize,
         /// Column names the left query produced.
         left_columns: Vec<String>,
@@ -316,7 +355,42 @@ fn encode_evidence(evidence: &Evidence) -> Json {
             ("right_columns", Json::Arr(right_columns.iter().map(Json::str).collect())),
             ("right_rows", encode_rows(right_rows)),
         ]),
+        Evidence::SignatureMismatch {
+            left_signature,
+            right_signature,
+            graph,
+            pool_index,
+            left_columns,
+            left_rows,
+            right_columns,
+            right_rows,
+        } => obj(vec![
+            ("type", Json::str("signature_mismatch")),
+            ("left_signature", encode_signature(left_signature)),
+            ("right_signature", encode_signature(right_signature)),
+            ("graph", encode_graph(graph)),
+            ("pool_index", usize_json(*pool_index)),
+            ("left_columns", Json::Arr(left_columns.iter().map(Json::str).collect())),
+            ("left_rows", encode_rows(left_rows)),
+            ("right_columns", Json::Arr(right_columns.iter().map(Json::str).collect())),
+            ("right_rows", encode_rows(right_rows)),
+        ]),
     }
+}
+
+fn encode_signature(signature: &[SigColumn]) -> Json {
+    Json::Arr(
+        signature
+            .iter()
+            .map(|column| {
+                obj(vec![
+                    ("name", Json::str(&column.name)),
+                    ("ty", Json::str(&column.ty)),
+                    ("nullable", Json::Bool(column.nullable)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn encode_rows(rows: &[Vec<Value>]) -> Json {
@@ -634,8 +708,35 @@ fn decode_evidence(doc: &Json) -> Result<Evidence, String> {
             right_columns: decode_columns(field(doc, "right_columns")?)?,
             right_rows: decode_rows(field(doc, "right_rows")?)?,
         }),
+        Some("signature_mismatch") => Ok(Evidence::SignatureMismatch {
+            left_signature: decode_signature(field(doc, "left_signature")?)?,
+            right_signature: decode_signature(field(doc, "right_signature")?)?,
+            graph: decode_graph(field(doc, "graph")?)?,
+            pool_index: dec_usize(field(doc, "pool_index")?, "pool_index")?,
+            left_columns: decode_columns(field(doc, "left_columns")?)?,
+            left_rows: decode_rows(field(doc, "left_rows")?)?,
+            right_columns: decode_columns(field(doc, "right_columns")?)?,
+            right_rows: decode_rows(field(doc, "right_rows")?)?,
+        }),
         other => Err(format!("unknown evidence type {other:?}")),
     }
+}
+
+fn decode_signature(doc: &Json) -> Result<Vec<SigColumn>, String> {
+    doc.as_array()
+        .ok_or("signature: expected an array")?
+        .iter()
+        .map(|column| {
+            Ok(SigColumn {
+                name: dec_str(field(column, "name")?, "name")?,
+                ty: dec_str(field(column, "ty")?, "ty")?,
+                nullable: match field(column, "nullable")? {
+                    Json::Bool(b) => *b,
+                    _ => return Err("nullable: expected a boolean".to_string()),
+                },
+            })
+        })
+        .collect()
 }
 
 fn decode_columns(doc: &Json) -> Result<Vec<String>, String> {

@@ -37,6 +37,7 @@ pub mod graph;
 pub mod gx;
 pub mod json;
 pub mod rules;
+pub mod sig;
 pub mod validate;
 pub mod value;
 

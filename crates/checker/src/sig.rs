@@ -1,0 +1,607 @@
+//! Independent stage-⓪ signature re-inference.
+//!
+//! The validator for [`crate::cert::Evidence::SignatureMismatch`] recomputes
+//! both output signatures from the certificate's source queries and re-checks
+//! that they admit no type-compatible column bijection. This module is the
+//! checker's own implementation of the prover-side analyzer's typing rules —
+//! deliberately written against the raw AST rather than shared with the
+//! `graphqe-analyzer` crate, so an inference bug on the prover side surfaces
+//! as a certificate rejection instead of being rubber-stamped.
+//!
+//! The rules mirror the reference evaluator's semantics (claims are only made
+//! when they hold on every graph): entities bound by `MATCH` are non-null,
+//! `OPTIONAL MATCH` binds nullable unless the variable is already non-null,
+//! integer arithmetic is `Integer` but nullable (overflow and division by
+//! zero degrade to `NULL`), `COUNT`/`COLLECT` are non-null, and anything
+//! uncertain is `Any`/nullable. Where the prover's analyzer raises a definite
+//! type error, this mirror simply abstains (`None`) — ill-typed queries never
+//! reach a certificate in the first place.
+
+use crate::cert::SigColumn;
+use cypher_parser::ast::{
+    Aggregate, BinaryOp, Clause, Expr, Literal, Projection, Query, SingleQuery, UnaryOp,
+};
+use std::collections::BTreeMap;
+
+/// The checker's copy of the analyzer's type lattice, keyed by the stable
+/// wire names used in [`SigColumn::ty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigType {
+    /// Unknown / mixed (top of the lattice).
+    Any,
+    /// A graph node.
+    Node,
+    /// A graph relationship.
+    Relationship,
+    /// A path.
+    Path,
+    /// A 64-bit integer.
+    Integer,
+    /// A 64-bit float.
+    Float,
+    /// A string.
+    String,
+    /// A boolean.
+    Boolean,
+    /// A list.
+    List,
+    /// A map.
+    Map,
+}
+
+impl SigType {
+    /// The stable wire name (matches the prover analyzer's `Display`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SigType::Any => "Any",
+            SigType::Node => "Node",
+            SigType::Relationship => "Relationship",
+            SigType::Path => "Path",
+            SigType::Integer => "Integer",
+            SigType::Float => "Float",
+            SigType::String => "String",
+            SigType::Boolean => "Boolean",
+            SigType::List => "List",
+            SigType::Map => "Map",
+        }
+    }
+
+    /// Parses a wire name back into the lattice.
+    pub fn from_name(name: &str) -> Option<SigType> {
+        Some(match name {
+            "Any" => SigType::Any,
+            "Node" => SigType::Node,
+            "Relationship" => SigType::Relationship,
+            "Path" => SigType::Path,
+            "Integer" => SigType::Integer,
+            "Float" => SigType::Float,
+            "String" => SigType::String,
+            "Boolean" => SigType::Boolean,
+            "List" => SigType::List,
+            "Map" => SigType::Map,
+            _ => return None,
+        })
+    }
+
+    fn join(self, other: SigType) -> SigType {
+        if self == other {
+            self
+        } else {
+            SigType::Any
+        }
+    }
+
+    fn compatible(self, other: SigType) -> bool {
+        self == SigType::Any
+            || other == SigType::Any
+            || self == other
+            || matches!(
+                (self, other),
+                (SigType::Integer, SigType::Float) | (SigType::Float, SigType::Integer)
+            )
+    }
+
+    fn is_numeric(self) -> bool {
+        matches!(self, SigType::Integer | SigType::Float)
+    }
+
+    fn is_entity(self) -> bool {
+        matches!(self, SigType::Node | SigType::Relationship | SigType::Path)
+    }
+}
+
+/// `(type, nullable)` of one binding or expression.
+type Binding = (SigType, bool);
+
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    bindings: BTreeMap<String, Binding>,
+}
+
+impl Scope {
+    fn get(&self, name: &str) -> Binding {
+        self.bindings.get(name).copied().unwrap_or((SigType::Any, true))
+    }
+}
+
+/// Re-infers the output signature of a query. `None` when no static
+/// signature exists (`RETURN *`, `UNION` arity mismatch) or when the query
+/// is one the prover-side analyzer would have rejected as ill-typed.
+pub fn infer_signature(query: &Query) -> Option<Vec<SigColumn>> {
+    let (first, rest) = query.parts.split_first()?;
+    let mut signature = infer_single(first, &Scope::default())??;
+    for part in rest {
+        let part_sig = infer_single(part, &Scope::default())??;
+        if part_sig.len() != signature.len() {
+            return None;
+        }
+        signature = signature
+            .iter()
+            .zip(part_sig.iter())
+            .map(|(a, b)| SigColumn {
+                name: a.name.clone(),
+                ty: SigType::from_name(&a.ty)
+                    .unwrap_or(SigType::Any)
+                    .join(SigType::from_name(&b.ty).unwrap_or(SigType::Any))
+                    .name()
+                    .to_string(),
+                nullable: a.nullable || b.nullable,
+            })
+            .collect();
+    }
+    Some(signature)
+}
+
+/// Whether two recorded signatures admit no type-compatible column bijection
+/// (the prover permutes columns, so this is bijection-based, not positional).
+/// Returns `None` when a recorded type name is not part of the lattice.
+pub fn signatures_discriminate(left: &[SigColumn], right: &[SigColumn]) -> Option<bool> {
+    if left.len() != right.len() {
+        return Some(true);
+    }
+    let parse = |columns: &[SigColumn]| {
+        columns
+            .iter()
+            .map(|c| Some((SigType::from_name(&c.ty)?, c.nullable)))
+            .collect::<Option<Vec<Binding>>>()
+    };
+    let left = parse(left)?;
+    let right = parse(right)?;
+    fn recurse(left: &[Binding], right: &[Binding], used: &mut [bool], position: usize) -> bool {
+        if position == left.len() {
+            return true;
+        }
+        for candidate in 0..right.len() {
+            let (lt, ln) = left[position];
+            let (rt, rn) = right[candidate];
+            let compatible = lt.compatible(rt) || (ln && rn);
+            if !used[candidate] && compatible {
+                used[candidate] = true;
+                if recurse(left, right, used, position + 1) {
+                    return true;
+                }
+                used[candidate] = false;
+            }
+        }
+        false
+    }
+    let mut used = vec![false; right.len()];
+    Some(!recurse(&left, &right, &mut used, 0))
+}
+
+/// One part's clause walk: the outer `Option` abstains on a typing problem
+/// (a query the prover-side analyzer rejects), the inner `Option` is `None`
+/// when the part has no statically-known signature (`RETURN *`, or no
+/// `RETURN` at all as in `EXISTS` subqueries).
+fn infer_single(query: &SingleQuery, outer: &Scope) -> Option<Option<Vec<SigColumn>>> {
+    let mut scope = outer.clone();
+    let mut signature = None;
+    for clause in &query.clauses {
+        match clause {
+            Clause::Match(m) => {
+                let bind = |scope: &mut Scope, var: &str, ty: SigType| {
+                    let nullable = m.optional && scope.bindings.get(var).is_none_or(|(_, n)| *n);
+                    scope.bindings.insert(var.to_string(), (ty, nullable));
+                };
+                for pattern in &m.patterns {
+                    if let Some(path_var) = &pattern.variable {
+                        bind(&mut scope, path_var, SigType::Path);
+                    }
+                    for node in pattern.nodes() {
+                        if let Some(var) = &node.variable {
+                            bind(&mut scope, var, SigType::Node);
+                        }
+                    }
+                    for rel in pattern.relationships() {
+                        if let Some(var) = &rel.variable {
+                            bind(&mut scope, var, SigType::Relationship);
+                        }
+                    }
+                }
+                if let Some(predicate) = &m.where_clause {
+                    check_predicate(predicate, &scope)?;
+                }
+            }
+            Clause::Unwind(u) => {
+                let element = unwind_element_type(&u.expr, &scope)?;
+                scope.bindings.insert(u.alias.clone(), element);
+            }
+            Clause::With(w) => {
+                check_bounds(&w.projection, &scope)?;
+                scope = projected_scope(&w.projection, &scope)?;
+                if let Some(predicate) = &w.where_clause {
+                    check_predicate(predicate, &scope)?;
+                }
+            }
+            Clause::Return(p) => {
+                check_bounds(p, &scope)?;
+                signature = match p.explicit_items() {
+                    None => None, // RETURN *: no static signature.
+                    Some(items) => {
+                        let mut sig = Vec::new();
+                        for item in items {
+                            let (ty, nullable) = type_of(&item.expr, &scope)?;
+                            sig.push(SigColumn {
+                                name: item.output_name(),
+                                ty: ty.name().to_string(),
+                                nullable,
+                            });
+                        }
+                        Some(sig)
+                    }
+                };
+            }
+        }
+    }
+    Some(signature)
+}
+
+fn unwind_element_type(expr: &Expr, scope: &Scope) -> Option<Binding> {
+    if let Expr::List(items) = expr {
+        let mut ty = None;
+        let mut nullable = false;
+        for item in items {
+            if matches!(item, Expr::Literal(Literal::Null)) {
+                nullable = true;
+                continue;
+            }
+            let (item_ty, item_nullable) = type_of(item, scope)?;
+            nullable |= item_nullable;
+            ty = Some(match ty {
+                None => item_ty,
+                Some(acc) => SigType::join(acc, item_ty),
+            });
+        }
+        return Some((ty.unwrap_or(SigType::Any), nullable));
+    }
+    let (ty, _) = type_of(expr, scope)?;
+    match ty {
+        SigType::List | SigType::Any => Some((SigType::Any, true)),
+        _ => None, // Definitely not a list: the analyzer rejects this query.
+    }
+}
+
+fn check_bounds(projection: &Projection, scope: &Scope) -> Option<()> {
+    for order in &projection.order_by {
+        type_of(&order.expr, scope)?;
+    }
+    for expr in [projection.skip.as_ref(), projection.limit.as_ref()].into_iter().flatten() {
+        let (ty, _) = type_of(expr, scope)?;
+        if !matches!(ty, SigType::Integer | SigType::Any) {
+            return None;
+        }
+    }
+    Some(())
+}
+
+fn projected_scope(projection: &Projection, current: &Scope) -> Option<Scope> {
+    match projection.explicit_items() {
+        None => Some(current.clone()), // WITH *
+        Some(items) => {
+            let mut scope = Scope::default();
+            for item in items {
+                let binding = type_of(&item.expr, current)?;
+                scope.bindings.insert(item.output_name(), binding);
+            }
+            Some(scope)
+        }
+    }
+}
+
+fn check_predicate(expr: &Expr, scope: &Scope) -> Option<()> {
+    let (ty, _) = type_of(expr, scope)?;
+    if !matches!(ty, SigType::Boolean | SigType::Any) {
+        return None;
+    }
+    Some(())
+}
+
+fn type_of(expr: &Expr, scope: &Scope) -> Option<Binding> {
+    Some(match expr {
+        Expr::Literal(Literal::Integer(_)) => (SigType::Integer, false),
+        Expr::Literal(Literal::Float(_)) => (SigType::Float, false),
+        Expr::Literal(Literal::String(_)) => (SigType::String, false),
+        Expr::Literal(Literal::Boolean(_)) => (SigType::Boolean, false),
+        Expr::Literal(Literal::Null) => (SigType::Any, true),
+        Expr::Variable(name) => scope.get(name),
+        Expr::Parameter(_) => (SigType::Any, true),
+        Expr::Property(base, _) => {
+            type_of(base, scope)?;
+            (SigType::Any, true)
+        }
+        Expr::Unary(op, inner) => {
+            let (ty, nullable) = type_of(inner, scope)?;
+            match op {
+                UnaryOp::Pos => (ty, nullable),
+                UnaryOp::Neg => {
+                    if ty.is_entity() || matches!(ty, SigType::Boolean | SigType::Map) {
+                        return None;
+                    }
+                    match ty {
+                        SigType::Integer => (SigType::Integer, true),
+                        SigType::Float => (SigType::Float, nullable),
+                        _ => (SigType::Any, true),
+                    }
+                }
+                UnaryOp::Not => {
+                    if !matches!(ty, SigType::Boolean | SigType::Any) {
+                        return None;
+                    }
+                    (SigType::Boolean, if ty == SigType::Boolean { nullable } else { true })
+                }
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let left = type_of(lhs, scope)?;
+            let right = type_of(rhs, scope)?;
+            binary_type(*op, left, right)?
+        }
+        Expr::IsNull { expr, .. } => {
+            type_of(expr, scope)?;
+            (SigType::Boolean, false)
+        }
+        Expr::List(items) => {
+            for item in items {
+                type_of(item, scope)?;
+            }
+            (SigType::List, false)
+        }
+        Expr::Map(entries) => {
+            for (_, value) in entries {
+                type_of(value, scope)?;
+            }
+            (SigType::Map, false)
+        }
+        Expr::FunctionCall { name, args } => {
+            let mut arg_types = Vec::new();
+            for arg in args {
+                arg_types.push(type_of(arg, scope)?);
+            }
+            function_type(name, &arg_types)
+        }
+        Expr::AggregateCall { func, arg, .. } => {
+            let arg_type = type_of(arg, scope)?;
+            aggregate_type(*func, arg_type)
+        }
+        Expr::CountStar { .. } => (SigType::Integer, false),
+        Expr::Exists(query) => {
+            for part in &query.parts {
+                infer_single(part, scope)?;
+            }
+            (SigType::Boolean, false)
+        }
+        Expr::Case { branches, otherwise } => {
+            let mut ty = None;
+            let mut nullable = otherwise.is_none();
+            for (cond, value) in branches {
+                check_predicate(cond, scope)?;
+                let (value_ty, value_nullable) = type_of(value, scope)?;
+                nullable |= value_nullable;
+                ty = Some(match ty {
+                    None => value_ty,
+                    Some(acc) => SigType::join(acc, value_ty),
+                });
+            }
+            if let Some(e) = otherwise {
+                let (value_ty, value_nullable) = type_of(e, scope)?;
+                nullable |= value_nullable;
+                ty = Some(match ty {
+                    None => value_ty,
+                    Some(acc) => SigType::join(acc, value_ty),
+                });
+            }
+            (ty.unwrap_or(SigType::Any), nullable)
+        }
+    })
+}
+
+fn binary_type(op: BinaryOp, (lt, ln): Binding, (rt, rn): Binding) -> Option<Binding> {
+    let nullable = ln || rn;
+    let numeric_ok = |strings_and_lists_ok: bool| {
+        for ty in [lt, rt] {
+            let bad = ty.is_entity()
+                || matches!(ty, SigType::Boolean | SigType::Map)
+                || (!strings_and_lists_ok && matches!(ty, SigType::String | SigType::List));
+            if bad {
+                return None;
+            }
+        }
+        Some(())
+    };
+    Some(match op {
+        BinaryOp::Add => {
+            numeric_ok(true)?;
+            match (lt, rt) {
+                (SigType::Integer, SigType::Integer) => (SigType::Integer, true),
+                (SigType::String, SigType::String) => (SigType::String, nullable),
+                (SigType::List, SigType::List) => (SigType::List, nullable),
+                (a, b) if a.is_numeric() && b.is_numeric() => (SigType::Float, nullable),
+                _ => (SigType::Any, true),
+            }
+        }
+        BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            numeric_ok(false)?;
+            match (lt, rt) {
+                (SigType::Integer, SigType::Integer) => (SigType::Integer, true),
+                (a, b) if a.is_numeric() && b.is_numeric() => (SigType::Float, nullable),
+                _ => (SigType::Any, true),
+            }
+        }
+        BinaryOp::Pow => {
+            numeric_ok(false)?;
+            if lt.is_numeric() && rt.is_numeric() {
+                (SigType::Float, nullable)
+            } else {
+                (SigType::Float, true)
+            }
+        }
+        BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => {
+            for ty in [lt, rt] {
+                if !matches!(ty, SigType::Boolean | SigType::Any) {
+                    return None;
+                }
+            }
+            (SigType::Boolean, nullable)
+        }
+        BinaryOp::Eq
+        | BinaryOp::Neq
+        | BinaryOp::Lt
+        | BinaryOp::Le
+        | BinaryOp::Gt
+        | BinaryOp::Ge => (SigType::Boolean, nullable),
+        BinaryOp::In | BinaryOp::StartsWith | BinaryOp::EndsWith | BinaryOp::Contains => {
+            (SigType::Boolean, true)
+        }
+    })
+}
+
+fn function_type(name: &str, args: &[Binding]) -> Binding {
+    use cypher_parser::BuiltinFunction as F;
+    let arg = |i: usize| args.get(i).copied().unwrap_or((SigType::Any, true));
+    let Some(function) = F::from_name(name) else { return (SigType::Any, true) };
+    match function {
+        F::Id => match arg(0) {
+            (SigType::Node | SigType::Relationship, false) => (SigType::Integer, false),
+            _ => (SigType::Any, true),
+        },
+        F::Labels => match arg(0) {
+            (SigType::Node, false) => (SigType::List, false),
+            _ => (SigType::Any, true),
+        },
+        F::Type => match arg(0) {
+            (SigType::Relationship, false) => (SigType::String, false),
+            _ => (SigType::Any, true),
+        },
+        F::Size => match arg(0) {
+            (SigType::List | SigType::String, false) => (SigType::Integer, false),
+            _ => (SigType::Any, true),
+        },
+        F::Length => match arg(0) {
+            (SigType::Path | SigType::List | SigType::String, false) => (SigType::Integer, false),
+            _ => (SigType::Any, true),
+        },
+        F::Head | F::Last | F::Index => (SigType::Any, true),
+        F::Abs => match arg(0) {
+            (SigType::Integer, false) => (SigType::Integer, false),
+            (SigType::Float, false) => (SigType::Float, false),
+            _ => (SigType::Any, true),
+        },
+        F::ToUpper | F::ToLower => match arg(0) {
+            (SigType::String, false) => (SigType::String, false),
+            _ => (SigType::Any, true),
+        },
+        F::Coalesce => {
+            let mut ty = None;
+            let mut nullable = true;
+            for (arg_ty, arg_nullable) in args {
+                ty = Some(match ty {
+                    None => *arg_ty,
+                    Some(acc) => SigType::join(acc, *arg_ty),
+                });
+                if !arg_nullable {
+                    nullable = false;
+                    break;
+                }
+            }
+            (ty.unwrap_or(SigType::Any), nullable)
+        }
+        F::Exists => (SigType::Boolean, false),
+        F::StartNode | F::EndNode => match arg(0) {
+            (SigType::Relationship, false) => (SigType::Node, false),
+            _ => (SigType::Any, true),
+        },
+    }
+}
+
+fn aggregate_type(func: Aggregate, (arg_ty, _): Binding) -> Binding {
+    match func {
+        Aggregate::Count => (SigType::Integer, false),
+        Aggregate::Collect => (SigType::List, false),
+        Aggregate::Sum => match arg_ty {
+            SigType::Integer => (SigType::Integer, true),
+            _ => (SigType::Any, true),
+        },
+        Aggregate::Min | Aggregate::Max => match arg_ty {
+            SigType::Any => (SigType::Any, true),
+            ty => (ty, true),
+        },
+        Aggregate::Avg => (SigType::Float, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse_query;
+
+    fn sig(text: &str) -> Vec<SigColumn> {
+        infer_signature(&parse_query(text).expect("syntax")).expect("signature")
+    }
+
+    #[test]
+    fn mirrors_the_analyzer_on_representative_queries() {
+        let s = sig("MATCH (a)-[r]->(b) RETURN a, r, b.age");
+        assert_eq!((s[0].ty.as_str(), s[0].nullable), ("Node", false));
+        assert_eq!((s[1].ty.as_str(), s[1].nullable), ("Relationship", false));
+        assert_eq!((s[2].ty.as_str(), s[2].nullable), ("Any", true));
+
+        let s = sig("UNWIND [1, 2] AS x RETURN x, x + 1, COUNT(*)");
+        assert_eq!((s[0].ty.as_str(), s[0].nullable), ("Integer", false));
+        assert_eq!((s[1].ty.as_str(), s[1].nullable), ("Integer", true));
+        assert_eq!((s[2].ty.as_str(), s[2].nullable), ("Integer", false));
+    }
+
+    #[test]
+    fn abstains_on_queries_the_analyzer_rejects() {
+        assert_eq!(infer_signature(&parse_query("UNWIND 1 AS x RETURN x").unwrap()), None);
+        assert_eq!(infer_signature(&parse_query("MATCH (n) WHERE 1 RETURN n").unwrap()), None);
+        assert_eq!(infer_signature(&parse_query("MATCH (n) RETURN *").unwrap()), None);
+    }
+
+    #[test]
+    fn discrimination_is_bijection_based() {
+        let col = |ty: &str, nullable: bool| SigColumn {
+            name: "c".to_string(),
+            ty: ty.to_string(),
+            nullable,
+        };
+        assert_eq!(
+            signatures_discriminate(&[col("Integer", false)], &[col("String", false)]),
+            Some(true)
+        );
+        assert_eq!(
+            signatures_discriminate(
+                &[col("Integer", false), col("String", false)],
+                &[col("String", false), col("Integer", false)]
+            ),
+            Some(false)
+        );
+        // NULL = NULL: two nullable columns never discriminate.
+        assert_eq!(
+            signatures_discriminate(&[col("Integer", true)], &[col("String", true)]),
+            Some(false)
+        );
+        // Unknown type names are a schema problem, not a verdict.
+        assert_eq!(signatures_discriminate(&[col("Widget", false)], &[col("Any", true)]), None);
+    }
+}

@@ -22,6 +22,7 @@ use crate::cert::{
 use crate::eval::{evaluate_query, QueryResult};
 use crate::gx::{self, Gx, VarMapping};
 use crate::rules;
+use crate::sig;
 use crate::value::Value;
 
 /// A structured validation failure.
@@ -64,6 +65,8 @@ pub struct CheckSummary {
     pub trusted_obligations: usize,
     /// Counterexample result rows re-computed by the checker's evaluator.
     pub rows_reevaluated: usize,
+    /// Stage-⓪ signature columns re-inferred and confirmed (both sides).
+    pub signature_columns: usize,
 }
 
 /// Independently validates a certificate.
@@ -109,35 +112,61 @@ pub fn check_certificate(cert: &Certificate) -> Result<CheckSummary, CheckError>
                 right_rows,
             },
         ) => {
-            let graph = graph
-                .build()
-                .map_err(|e| CheckError::new("schema_error", format!("invalid graph: {e}")))?;
-            check_side_evaluation(
-                "left",
-                &graph,
+            check_witness(
+                graph,
                 &left_source,
                 left_columns,
                 left_rows,
-                &mut summary,
-            )?;
-            check_side_evaluation(
-                "right",
-                &graph,
                 &right_source,
                 right_columns,
                 right_rows,
                 &mut summary,
             )?;
-            let left_bag = QueryResult { columns: left_columns.clone(), rows: left_rows.clone() };
-            let right_bag =
-                QueryResult { columns: right_columns.clone(), rows: right_rows.clone() };
-            if left_bag.bag_equal(&right_bag) {
-                return Err(CheckError::new(
-                    "bags_equal",
-                    "counterexample result bags are equal; the graph does not distinguish \
-                     the queries",
-                ));
+        }
+        (
+            CertVerdict::NotEquivalent,
+            Evidence::SignatureMismatch {
+                left_signature,
+                right_signature,
+                graph,
+                pool_index: _,
+                left_columns,
+                left_rows,
+                right_columns,
+                right_rows,
+            },
+        ) => {
+            check_signature("left", &left_source, left_signature, &mut summary)?;
+            check_signature("right", &right_source, right_signature, &mut summary)?;
+            match sig::signatures_discriminate(left_signature, right_signature) {
+                Some(true) => {}
+                Some(false) => {
+                    return Err(CheckError::new(
+                        "signatures_compatible",
+                        "the recorded signatures admit a type-compatible column bijection; \
+                         they do not discriminate the queries",
+                    ));
+                }
+                None => {
+                    return Err(CheckError::new(
+                        "schema_error",
+                        "a recorded signature column carries an unknown type name",
+                    ));
+                }
             }
+            // The signatures alone never validate NOT_EQUIVALENT — the
+            // concrete witness must separate the queries just like a plain
+            // counterexample certificate.
+            check_witness(
+                graph,
+                &left_source,
+                left_columns,
+                left_rows,
+                &right_source,
+                right_columns,
+                right_rows,
+                &mut summary,
+            )?;
         }
         (verdict, _) => {
             return Err(CheckError::new(
@@ -539,6 +568,62 @@ fn check_matching(
 // Counterexample evidence
 // ---------------------------------------------------------------------------
 
+/// The witness half shared by `Counterexample` and `SignatureMismatch`
+/// evidence: both result bags are re-computed on the embedded graph and must
+/// match the recorded bags, which in turn must differ from each other.
+#[allow(clippy::too_many_arguments)]
+fn check_witness(
+    graph: &crate::cert::GraphCert,
+    left_source: &Query,
+    left_columns: &[String],
+    left_rows: &[Vec<Value>],
+    right_source: &Query,
+    right_columns: &[String],
+    right_rows: &[Vec<Value>],
+    summary: &mut CheckSummary,
+) -> Result<(), CheckError> {
+    let graph = graph
+        .build()
+        .map_err(|e| CheckError::new("schema_error", format!("invalid graph: {e}")))?;
+    check_side_evaluation("left", &graph, left_source, left_columns, left_rows, summary)?;
+    check_side_evaluation("right", &graph, right_source, right_columns, right_rows, summary)?;
+    let left_bag = QueryResult { columns: left_columns.to_vec(), rows: left_rows.to_vec() };
+    let right_bag = QueryResult { columns: right_columns.to_vec(), rows: right_rows.to_vec() };
+    if left_bag.bag_equal(&right_bag) {
+        return Err(CheckError::new(
+            "bags_equal",
+            "counterexample result bags are equal; the graph does not distinguish the queries",
+        ));
+    }
+    Ok(())
+}
+
+/// Re-infers one side's stage-⓪ signature with the checker's own typing
+/// rules ([`sig::infer_signature`]) and compares it to the recorded columns.
+fn check_signature(
+    side: &str,
+    source: &Query,
+    recorded: &[crate::cert::SigColumn],
+    summary: &mut CheckSummary,
+) -> Result<(), CheckError> {
+    let inferred = sig::infer_signature(source).ok_or_else(|| {
+        CheckError::new(
+            "signature_mismatch",
+            format!("{side}: the checker infers no static output signature for this query"),
+        )
+    })?;
+    if inferred != recorded {
+        return Err(CheckError::new(
+            "signature_mismatch",
+            format!(
+                "{side}: re-inferred signature {inferred:?} differs from recorded {recorded:?}"
+            ),
+        ));
+    }
+    summary.signature_columns += inferred.len();
+    Ok(())
+}
+
 fn check_side_evaluation(
     side: &str,
     graph: &crate::graph::Graph,
@@ -732,5 +817,99 @@ mod tests {
         };
         let err = check_certificate(&cert).unwrap_err();
         assert_eq!(err.code, "bag_mismatch");
+    }
+
+    fn signature_cert(
+        left: &str,
+        right: &str,
+        left_ty: (&str, &str, bool),
+        right_ty: (&str, &str, bool),
+        left_rows: Vec<Vec<Value>>,
+        right_rows: Vec<Vec<Value>>,
+    ) -> Certificate {
+        let column = |(name, ty, nullable): (&str, &str, bool)| crate::cert::SigColumn {
+            name: name.to_string(),
+            ty: ty.to_string(),
+            nullable,
+        };
+        Certificate {
+            version: CERTIFICATE_VERSION,
+            verdict: CertVerdict::NotEquivalent,
+            left: query_cert(left),
+            right: query_cert(right),
+            evidence: Evidence::SignatureMismatch {
+                left_signature: vec![column(left_ty)],
+                right_signature: vec![column(right_ty)],
+                graph: GraphCert { nodes: vec![], relationships: vec![] },
+                pool_index: 0,
+                left_columns: vec!["x".into()],
+                left_rows,
+                right_columns: vec!["x".into()],
+                right_rows,
+            },
+        }
+    }
+
+    #[test]
+    fn accepts_signature_mismatch_with_witness() {
+        let cert = signature_cert(
+            "RETURN 1 AS x",
+            "RETURN 'a' AS x",
+            ("x", "Integer", false),
+            ("x", "String", false),
+            vec![vec![Value::Integer(1)]],
+            vec![vec![Value::String("a".into())]],
+        );
+        let summary = check_certificate(&cert).expect("discriminating signatures plus witness");
+        assert_eq!(summary.signature_columns, 2);
+    }
+
+    #[test]
+    fn rejects_signature_evidence_when_signatures_are_compatible() {
+        // Both sides re-infer as (Integer, non-null): the recorded signatures
+        // are honest but admit a bijection, so they prove nothing.
+        let cert = signature_cert(
+            "RETURN 1 AS x",
+            "RETURN 2 AS x",
+            ("x", "Integer", false),
+            ("x", "Integer", false),
+            vec![vec![Value::Integer(1)]],
+            vec![vec![Value::Integer(2)]],
+        );
+        let err = check_certificate(&cert).unwrap_err();
+        assert_eq!(err.code, "signatures_compatible");
+    }
+
+    #[test]
+    fn rejects_signature_evidence_with_tampered_type() {
+        // The left side really infers Integer; recording Float is a tamper
+        // the checker catches by re-running inference itself.
+        let cert = signature_cert(
+            "RETURN 1 AS x",
+            "RETURN 'a' AS x",
+            ("x", "Float", false),
+            ("x", "String", false),
+            vec![vec![Value::Integer(1)]],
+            vec![vec![Value::String("a".into())]],
+        );
+        let err = check_certificate(&cert).unwrap_err();
+        assert_eq!(err.code, "signature_mismatch");
+    }
+
+    #[test]
+    fn rejects_signature_evidence_with_equal_bags() {
+        // Signatures discriminate, but both queries yield the empty bag on
+        // the empty graph — the witness requirement is not waived by a
+        // signature mismatch.
+        let cert = signature_cert(
+            "MATCH (n) RETURN n AS x",
+            "MATCH (n) RETURN 1 AS x",
+            ("x", "Node", false),
+            ("x", "Integer", false),
+            vec![],
+            vec![],
+        );
+        let err = check_certificate(&cert).unwrap_err();
+        assert_eq!(err.code, "bags_equal");
     }
 }

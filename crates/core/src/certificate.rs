@@ -27,7 +27,7 @@ use cypher_parser::pretty::query_to_string;
 use gexpr::{build_query, GAggKind, GAtom, GConst, GExpr, GTerm};
 use graphqe_checker::cert::{
     CertVerdict, DerivationStep, Evidence, GraphCert, KeptSummand, Matching, Proof, QueryCert,
-    SegmentWitness, SideSummands, SummandsProof, CERTIFICATE_VERSION,
+    SegmentWitness, SideSummands, SigColumn, SummandsProof, CERTIFICATE_VERSION,
 };
 use graphqe_checker::graph as checker_graph;
 use graphqe_checker::gx::{AggKind, CmpOp, Gx, GxAtom, GxConst, GxTerm, VarId};
@@ -329,14 +329,57 @@ fn counterexample_evidence(
         .map_err(|e| format!("left evaluation: {e}"))?;
     let right = property_graph::eval::evaluate_query_scan(graph, q2)
         .map_err(|e| format!("right evaluation: {e}"))?;
-    Ok(Evidence::Counterexample {
-        graph: graph_cert_of(graph),
-        pool_index,
-        left_columns: left.columns,
-        left_rows: left.rows.iter().map(|row| row.iter().map(value_of).collect()).collect(),
-        right_columns: right.columns,
-        right_rows: right.rows.iter().map(|row| row.iter().map(value_of).collect()).collect(),
+    let left_rows = left.rows.iter().map(|row| row.iter().map(value_of).collect()).collect();
+    let right_rows = right.rows.iter().map(|row| row.iter().map(value_of).collect()).collect();
+    // When the stage-⓪ signatures discriminate the pair, the certificate
+    // records them alongside the witness (the richer `signature_mismatch`
+    // evidence kind); the checker then re-infers both signatures on top of
+    // re-evaluating the witness. Recomputed here rather than threaded from
+    // the verdict so emission works for any prove path (including warm
+    // cached proves and verdicts from an analyzer-off prover).
+    let signatures = signature_pair(q1, q2);
+    Ok(match signatures {
+        Some((left_signature, right_signature)) => Evidence::SignatureMismatch {
+            left_signature,
+            right_signature,
+            graph: graph_cert_of(graph),
+            pool_index,
+            left_columns: left.columns,
+            left_rows,
+            right_columns: right.columns,
+            right_rows,
+        },
+        None => Evidence::Counterexample {
+            graph: graph_cert_of(graph),
+            pool_index,
+            left_columns: left.columns,
+            left_rows,
+            right_columns: right.columns,
+            right_rows,
+        },
     })
+}
+
+/// The two analyzer signatures in the checker's wire form, when the
+/// analysis succeeds on both sides **and** the signatures discriminate —
+/// the only situation the `signature_mismatch` evidence kind describes.
+fn signature_pair(q1: &Query, q2: &Query) -> Option<(Vec<SigColumn>, Vec<SigColumn>)> {
+    let left = graphqe_analyzer::analyze(q1).ok()?.signature?;
+    let right = graphqe_analyzer::analyze(q2).ok()?.signature?;
+    if !graphqe_analyzer::signatures_discriminate(&left, &right) {
+        return None;
+    }
+    let wire = |signature: Vec<graphqe_analyzer::TypeSig>| {
+        signature
+            .into_iter()
+            .map(|column| SigColumn {
+                name: column.name,
+                ty: column.ty.to_string(),
+                nullable: column.nullable,
+            })
+            .collect()
+    };
+    Some((wire(left), wire(right)))
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +525,11 @@ fn term_of(term: &GTerm) -> GxTerm {
     match term {
         GTerm::Var(v) => GxTerm::Var(VarId(v.0)),
         GTerm::OutCol(i) => GxTerm::OutCol(*i),
+        // Certificates erase typing hints: evidence is always re-derived
+        // from a plain (unhinted) build, so hinted columns cannot actually
+        // reach this conversion; mapping them to the untyped column keeps
+        // the certificate format hint-free either way.
+        GTerm::IntCol(i) => GxTerm::OutCol(*i),
         GTerm::Prop(base, key) => GxTerm::Prop(Box::new(term_of(base)), key.clone()),
         GTerm::Const(c) => GxTerm::Const(const_of(c)),
         GTerm::App(name, args) => GxTerm::App(name.clone(), args.iter().map(term_of).collect()),

@@ -63,6 +63,7 @@ pub fn split_into_segments(query: &Query) -> Option<Vec<Query>> {
                     optional: false,
                     patterns,
                     where_clause: None,
+                    span: cypher_parser::Span::dummy(),
                 })];
             }
             other => current.push(other.clone()),

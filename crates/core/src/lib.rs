@@ -29,6 +29,7 @@
 //! assert!(verdict.is_equivalent());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
@@ -52,6 +53,7 @@ thread_local! {
 use cypher_parser::ast::{Clause, ProjectionItems, Query};
 use cypher_parser::{parse_and_check, CheckError};
 use gexpr::{build_query, BuildError, BuildOutput, ColumnKind};
+use graphqe_analyzer::TypeSig;
 use liastar::{DecideOptions, Decision};
 
 pub use certificate::certificate_counters;
@@ -530,6 +532,15 @@ impl BatchReport {
 /// The GraphQE prover with its configuration.
 #[derive(Debug, Clone)]
 pub struct GraphQE {
+    /// Run the stage-⓪ static analyzer ([`graphqe_analyzer`]) on both
+    /// queries before proving: flow-sensitive type inference produces an
+    /// output-column signature per query, a definite type error short-cuts
+    /// to `Unknown(TypeError)`, discriminating signatures prioritize the
+    /// counterexample search, and inferred integer columns feed a
+    /// last-resort typed decision retry. Disabled only by ablation
+    /// benchmarks; verdict-neutral apart from the retry upgrade (a
+    /// NOT_EQUIVALENT still always carries a concrete witness).
+    pub analyze: bool,
     /// Apply the Table II normalization rules (stage ②). Disabled only by the
     /// ablation benchmarks.
     pub normalize: bool,
@@ -570,6 +581,7 @@ pub struct GraphQE {
 impl Default for GraphQE {
     fn default() -> Self {
         GraphQE {
+            analyze: true,
             normalize: true,
             search_counterexamples: true,
             search_config: SearchConfig::default(),
@@ -647,13 +659,138 @@ impl GraphQE {
                 return (invalid(error), stats);
             }
         };
-        let mut verdict = self.prove_parsed_with_stats(&parsed1, &parsed2, &mut stats);
+        // Stage ⓪: flow-sensitive type inference over both ASTs. A definite
+        // type error (a query that can only ever raise at runtime) makes the
+        // pair unprovable; otherwise the inferred output signatures steer the
+        // rest of the pipeline without ever deciding a verdict on their own.
+        let stage_start = Instant::now();
+        let signatures = if self.analyze {
+            match analyzed_signatures(&parsed1, &parsed2) {
+                Ok(signatures) => signatures,
+                Err(verdict) => {
+                    stats.stages.analyze = stage_start.elapsed();
+                    stats.latency = start.elapsed();
+                    return (*verdict, stats);
+                }
+            }
+        } else {
+            None
+        };
+        stats.stages.analyze = stage_start.elapsed();
+        // Signature-discrimination fast path: when no type-compatible
+        // bijection between the output columns exists, equivalence is only
+        // possible if both queries always return the empty bag — so a
+        // witness is overwhelmingly likely and the (cheap, deterministic)
+        // counterexample search runs *before* the expensive proof attempt.
+        // Discrimination alone never decides: NOT_EQUIVALENT still requires
+        // a concrete witness graph, and an empty-handed search falls through
+        // to the full pipeline (which then skips the redundant re-search).
+        let mut searched_early = false;
+        if let Some((left, right)) = &signatures {
+            if self.search_counterexamples && graphqe_analyzer::signatures_discriminate(left, right)
+            {
+                let stage_start = Instant::now();
+                let witness = counterexample::find_counterexample_parallel(
+                    &parsed1,
+                    &parsed2,
+                    &self.search_config,
+                    self.effective_search_threads(),
+                );
+                stats.stages.search = stage_start.elapsed();
+                if let Some(example) = witness {
+                    stats.latency = start.elapsed();
+                    return (Verdict::NotEquivalent(Box::new(example)), stats);
+                }
+                searched_early = true;
+            }
+        }
+        let mut verdict = if searched_early {
+            // The deterministic search already came up empty; re-running it
+            // after the decision would find nothing and double the cost.
+            let no_re_search = GraphQE { search_counterexamples: false, ..self.clone() };
+            no_re_search.prove_parsed_with_stats(&parsed1, &parsed2, &mut stats)
+        } else {
+            self.prove_parsed_with_stats(&parsed1, &parsed2, &mut stats)
+        };
+        // Typed decision retry: when the pipeline could not decide and the
+        // analyzer inferred matching non-null Integer columns on both sides,
+        // rebuild both G-expressions with integer-sorted output terms and
+        // decide once more (identity column alignment only). Integer sorts
+        // let equality chains participate in the SMT solver's linear
+        // reasoning, which can prune summands the untyped encoding cannot.
+        if let Verdict::Unknown {
+            category: FailureCategory::UninterpretedFunction | FailureCategory::Other,
+            ..
+        } = &verdict
+        {
+            if let Some((left, right)) = &signatures {
+                let hints = graphqe_analyzer::int_hint_columns(left, right);
+                if !hints.is_empty()
+                    && self.prove_with_int_hints(&parsed1, &parsed2, &hints, &mut stats)
+                {
+                    stats.used_type_hints = true;
+                    verdict = Verdict::Equivalent(stats.clone());
+                }
+            }
+        }
         stats.latency = start.elapsed();
         if let Verdict::Equivalent(embedded) = &mut verdict {
             embedded.latency = stats.latency;
             embedded.stages = stats.stages;
         }
         (verdict, stats)
+    }
+
+    /// The stage-⓪ typed retry: normalize, build with integer-sorted output
+    /// columns ([`gexpr::build_query_typed`]), decide on the identity column
+    /// alignment. Returns whether the typed decision proved the pair. Strictly
+    /// best-effort — every failure (trip, unsupported feature, segment split)
+    /// leaves the original verdict standing.
+    fn prove_with_int_hints(
+        &self,
+        q1: &Query,
+        q2: &Query,
+        hints: &[usize],
+        stats: &mut ProofStats,
+    ) -> bool {
+        let normalized = if self.normalize {
+            let n1 = cypher_normalizer::try_normalize_query_with_report(q1);
+            let n2 = cypher_normalizer::try_normalize_query_with_report(q2);
+            match (n1, n2) {
+                (Ok((n1, _)), Ok((n2, _))) => (n1, n2),
+                _ => return false,
+            }
+        } else {
+            (q1.clone(), q2.clone())
+        };
+        let (n1, n2) = &normalized;
+        if divide::needs_divide_and_conquer(n1) || divide::needs_divide_and_conquer(n2) {
+            return false;
+        }
+        let build_start = Instant::now();
+        let built = (gexpr::build_query_typed(n1, hints), gexpr::build_query_typed(n2, hints));
+        stats.stages.build += build_start.elapsed();
+        let (Ok(built1), Ok(built2)) = built else {
+            return false;
+        };
+        if built1.columns != built2.columns {
+            return false;
+        }
+        let decide_start = Instant::now();
+        let outcome = liastar::try_check_equivalence_with_opts(
+            &built1.expr,
+            &built2.expr,
+            DecideOptions { tree_normalizer: self.use_tree_normalizer },
+        );
+        stats.stages.decide += decide_start.elapsed();
+        match outcome {
+            Ok((Decision::Proved, decision)) => {
+                stats.column_permutation = 0;
+                stats.decision = decision;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Proves many pairs in one call, distributing them over all available
@@ -998,7 +1135,9 @@ impl GraphQE {
                 } else {
                     None
                 };
-                stats.stages.search = stage_start.elapsed();
+                // Accumulates: the stage-⓪ fast path may already have
+                // charged an (empty-handed) search to this stage.
+                stats.stages.search += stage_start.elapsed();
                 if let Some(example) = witness {
                     // Sound even when a trip aborted the rest of the search:
                     // the witness graph concretely separates the queries.
@@ -1169,11 +1308,32 @@ fn invalid(error: CheckError) -> Verdict {
     Verdict::Unknown { category: FailureCategory::InvalidQuery, reason: error.to_string() }
 }
 
+/// Stage ⓪ for a parsed pair: the two output signatures when type inference
+/// produced one for each side (`None` when either signature is unknown, e.g.
+/// `RETURN *`), or the `Unknown(TypeError)` verdict when either query has a
+/// definite type error.
+fn analyzed_signatures(q1: &Query, q2: &Query) -> Result<Option<SignaturePair>, Box<Verdict>> {
+    let left = graphqe_analyzer::analyze(q1).map_err(|d| type_error("first", d))?;
+    let right = graphqe_analyzer::analyze(q2).map_err(|d| type_error("second", d))?;
+    Ok(left.signature.zip(right.signature))
+}
+
+/// Both sides' inferred output signatures, left then right.
+type SignaturePair = (Vec<TypeSig>, Vec<TypeSig>);
+
+fn type_error(side: &str, diagnostic: cypher_parser::Diagnostic) -> Verdict {
+    Verdict::Unknown {
+        category: FailureCategory::TypeError,
+        reason: format!("{side} query: {diagnostic}"),
+    }
+}
+
 fn categorize_build_error(error: BuildError) -> (FailureCategory, String) {
-    let category = match error.feature.as_deref() {
-        Some("sorting-truncation") => FailureCategory::SortingTruncation,
-        Some("nested-aggregate") => FailureCategory::NestedAggregate,
-        Some(_) => FailureCategory::UninterpretedFunction,
+    // Exhaustive over the typed feature enum: adding a feature class to the
+    // builder without deciding its failure category fails compilation here.
+    let category = match error.feature {
+        Some(gexpr::UnsupportedFeature::SortingTruncation) => FailureCategory::SortingTruncation,
+        Some(gexpr::UnsupportedFeature::NestedAggregate) => FailureCategory::NestedAggregate,
         None => FailureCategory::Other,
     };
     (category, error.to_string())
@@ -1728,5 +1888,78 @@ mod tests {
         assert!(permutations.contains(&vec![2, 1, 0]));
         assert_eq!(permutations.len(), 2);
         assert!(is_identity(&permutations[0]));
+    }
+
+    #[test]
+    fn ill_typed_queries_fail_with_a_type_error_verdict() {
+        let prover = prover();
+        let verdict = prover.prove("UNWIND 1 AS x RETURN x", "UNWIND [1] AS x RETURN x");
+        let Verdict::Unknown { category, reason } = verdict else {
+            panic!("ill-typed query must not produce a definite verdict")
+        };
+        assert_eq!(category, FailureCategory::TypeError);
+        assert!(reason.starts_with("first query:"), "reason names the side: {reason}");
+        assert!(reason.contains("UNWIND requires a list"), "reason carries the message: {reason}");
+        // The same pair with the analyzer disabled reaches the pipeline.
+        let unanalyzed = GraphQE { analyze: false, ..prover };
+        let verdict = unanalyzed.prove("UNWIND 1 AS x RETURN x", "UNWIND [1] AS x RETURN x");
+        assert!(
+            !matches!(&verdict, Verdict::Unknown { category: FailureCategory::TypeError, .. }),
+            "with analyze off there is no stage ⓪ to raise TypeError: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn discriminating_signatures_still_require_a_witness() {
+        // The signatures discriminate (Node vs. non-null Integer), so the
+        // fast path fires — but the verdict must rest on a concrete
+        // counterexample, recorded in the stats as searched graphs.
+        let prover = prover();
+        let (left, right) = ("MATCH (n) RETURN n", "MATCH (n) RETURN count(*)");
+        let verdict = prover.prove(left, right);
+        assert!(
+            matches!(&verdict, Verdict::NotEquivalent(_)),
+            "expected a counterexample verdict, got {verdict:?}"
+        );
+        // The emitted certificate carries the discriminating signatures
+        // alongside the witness, and the independent checker accepts it.
+        let certificate = prover
+            .certificate_for(left, right, &verdict)
+            .expect("a definite verdict emits a certificate");
+        assert!(
+            matches!(
+                &certificate.evidence,
+                graphqe_checker::cert::Evidence::SignatureMismatch { .. }
+            ),
+            "discriminating signatures must be recorded as evidence"
+        );
+        graphqe_checker::check_certificate(&certificate)
+            .expect("the checker validates signature-mismatch evidence");
+    }
+
+    #[test]
+    fn stage_zero_is_verdict_neutral_on_representative_pairs() {
+        let pairs = [
+            ("MATCH (n:Person) RETURN n.name", "MATCH (m:Person) RETURN m.name"),
+            ("MATCH (n) RETURN n", "MATCH (n) RETURN count(*)"),
+            ("MATCH (a)-[r:X]->(b) RETURN a", "MATCH (a)-[r:Y]->(b) RETURN a"),
+            ("RETURN 1 AS x", "RETURN 2 AS x"),
+        ];
+        let on = prover();
+        let off = GraphQE { analyze: false, ..prover() };
+        for (left, right) in pairs {
+            let with = on.prove(left, right);
+            let without = off.prove(left, right);
+            assert_eq!(
+                with.is_equivalent(),
+                without.is_equivalent(),
+                "{left} vs {right}: EQ drifted"
+            );
+            assert_eq!(
+                with.is_not_equivalent(),
+                without.is_not_equivalent(),
+                "{left} vs {right}: NEQ drifted"
+            );
+        }
     }
 }

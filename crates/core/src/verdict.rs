@@ -23,6 +23,10 @@ pub enum FailureCategory {
     UninterpretedFunction,
     /// The input failed the syntax or semantic check (stage ①).
     InvalidQuery,
+    /// The static analyzer (stage ⓪) found a definite type error in one of
+    /// the queries (e.g. `UNWIND` over a scalar, a non-boolean `WHERE`
+    /// predicate, arithmetic over graph entities).
+    TypeError,
     /// The proof's deadline expired; `stage` is where the expiry was
     /// observed.
     Timeout {
@@ -61,6 +65,7 @@ impl FailureCategory {
             FailureCategory::NestedAggregate => "nested_aggregate",
             FailureCategory::UninterpretedFunction => "uninterpreted_function",
             FailureCategory::InvalidQuery => "invalid_query",
+            FailureCategory::TypeError => "type_error",
             FailureCategory::Timeout { .. } => "timeout",
             FailureCategory::BudgetExhausted { .. } => "budget_exhausted",
             FailureCategory::Cancelled => "cancelled",
@@ -88,6 +93,26 @@ impl FailureCategory {
             _ => None,
         }
     }
+
+    /// The stable codes of every category, one per variant (trip-shaped
+    /// variants with representative payloads). Used by the repo's lint test
+    /// to check the serving documentation covers the whole taxonomy.
+    pub fn all_codes() -> Vec<&'static str> {
+        let representatives = [
+            FailureCategory::SortingTruncation,
+            FailureCategory::NestedAggregate,
+            FailureCategory::UninterpretedFunction,
+            FailureCategory::InvalidQuery,
+            FailureCategory::TypeError,
+            FailureCategory::Timeout { stage: limits::Stage::Search },
+            FailureCategory::BudgetExhausted { stage: limits::Stage::Smt, budget: 0 },
+            FailureCategory::Cancelled,
+            FailureCategory::Panicked,
+            FailureCategory::CertificateInvalid,
+            FailureCategory::Other,
+        ];
+        representatives.iter().map(|category| category.code()).collect()
+    }
 }
 
 impl fmt::Display for FailureCategory {
@@ -97,6 +122,7 @@ impl fmt::Display for FailureCategory {
             FailureCategory::NestedAggregate => f.write_str("nested aggregate"),
             FailureCategory::UninterpretedFunction => f.write_str("uninterpreted function"),
             FailureCategory::InvalidQuery => f.write_str("invalid query"),
+            FailureCategory::TypeError => f.write_str("type error"),
             FailureCategory::Timeout { stage } => write!(f, "timeout at {stage}"),
             FailureCategory::BudgetExhausted { stage, .. } => {
                 write!(f, "budget exhausted at {stage}")
@@ -129,6 +155,9 @@ impl From<limits::Trip> for FailureCategory {
 pub struct StageTimings {
     /// Stage ① — syntax/semantic check (through the parse cache).
     pub parse: Duration,
+    /// Stage ⓪ — static analysis (type inference and output signatures;
+    /// runs after parsing, the numbering mirrors the serving docs).
+    pub analyze: Duration,
     /// Stage ② — rule-based normalization.
     pub normalize: Duration,
     /// Stage ③ — G-expression construction (all permutation retries).
@@ -151,6 +180,10 @@ pub struct ProofStats {
     pub used_divide_and_conquer: bool,
     /// Which return-element mapping succeeded (0 = identity).
     pub column_permutation: usize,
+    /// Whether the proof came from the stage-⓪ typed decision retry
+    /// (integer-sorted output columns). Hint-derived proofs carry no
+    /// emittable certificate — the checker replays untyped builds only.
+    pub used_type_hints: bool,
     /// Statistics of the final G-expression decision.
     pub decision: DecisionStats,
 }
@@ -263,6 +296,7 @@ mod tests {
             (FailureCategory::NestedAggregate, "nested_aggregate"),
             (FailureCategory::UninterpretedFunction, "uninterpreted_function"),
             (FailureCategory::InvalidQuery, "invalid_query"),
+            (FailureCategory::TypeError, "type_error"),
             (FailureCategory::Timeout { stage: limits::Stage::Search }, "timeout"),
             (
                 FailureCategory::BudgetExhausted { stage: limits::Stage::Smt, budget: 7 },
@@ -273,6 +307,11 @@ mod tests {
             (FailureCategory::CertificateInvalid, "certificate_invalid"),
             (FailureCategory::Other, "other"),
         ];
+        // The lint-facing enumeration covers exactly the same codes.
+        assert_eq!(
+            FailureCategory::all_codes(),
+            all.iter().map(|(_, code)| *code).collect::<Vec<_>>()
+        );
         for (category, code) in all {
             assert_eq!(category.code(), code);
         }

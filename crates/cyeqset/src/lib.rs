@@ -14,6 +14,7 @@
 //! * [`cyneqset`] returns 148 non-equivalent pairs obtained by applying the
 //!   five mutation rules ([`mutate`]) to CyEqSet.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mutate;

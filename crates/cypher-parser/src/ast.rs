@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use crate::Span;
+
 /// The full query: one or more single queries combined by `UNION [ALL]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -84,7 +86,7 @@ impl Clause {
 
 /// A `MATCH` clause: one or more comma-separated path patterns and an
 /// optional `WHERE` predicate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MatchClause {
     /// `true` for `OPTIONAL MATCH`.
     pub optional: bool,
@@ -92,29 +94,35 @@ pub struct MatchClause {
     pub patterns: Vec<PathPattern>,
     /// The `WHERE` predicate attached to this `MATCH`, if any.
     pub where_clause: Option<Expr>,
+    /// Source span of the whole clause (dummy for synthesized clauses).
+    pub span: Span,
 }
 
 /// An `UNWIND <expr> AS <var>` clause.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct UnwindClause {
     /// The list expression to unwind.
     pub expr: Expr,
     /// The row variable introduced for each list element.
     pub alias: String,
+    /// Source span of the whole clause (dummy for synthesized clauses).
+    pub span: Span,
 }
 
 /// A `WITH` clause: a projection plus an optional `WHERE` filter on the
 /// projected rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WithClause {
     /// The projection (`DISTINCT`, items, `ORDER BY`, `SKIP`, `LIMIT`).
     pub projection: Projection,
     /// Filter applied to the projected rows.
     pub where_clause: Option<Expr>,
+    /// Source span of the whole clause (dummy for synthesized clauses).
+    pub span: Span,
 }
 
 /// The body of a `RETURN` or `WITH` clause.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Projection {
     /// `true` if `DISTINCT` was specified.
     pub distinct: bool,
@@ -126,6 +134,43 @@ pub struct Projection {
     pub skip: Option<Expr>,
     /// `LIMIT` expression, if any.
     pub limit: Option<Expr>,
+    /// Source span of the clause this projection came from (dummy for
+    /// synthesized projections).
+    pub span: Span,
+}
+
+// Spans are positional metadata, not syntax: two clauses parsed from
+// different offsets (or a parsed clause vs. a synthesized one) must still
+// compare equal, because the normalizer's tests and the prover's caches
+// compare ASTs structurally.
+impl PartialEq for MatchClause {
+    fn eq(&self, other: &Self) -> bool {
+        self.optional == other.optional
+            && self.patterns == other.patterns
+            && self.where_clause == other.where_clause
+    }
+}
+
+impl PartialEq for UnwindClause {
+    fn eq(&self, other: &Self) -> bool {
+        self.expr == other.expr && self.alias == other.alias
+    }
+}
+
+impl PartialEq for WithClause {
+    fn eq(&self, other: &Self) -> bool {
+        self.projection == other.projection && self.where_clause == other.where_clause
+    }
+}
+
+impl PartialEq for Projection {
+    fn eq(&self, other: &Self) -> bool {
+        self.distinct == other.distinct
+            && self.items == other.items
+            && self.order_by == other.order_by
+            && self.skip == other.skip
+            && self.limit == other.limit
+    }
 }
 
 impl Projection {
@@ -137,6 +182,7 @@ impl Projection {
             order_by: Vec::new(),
             skip: None,
             limit: None,
+            span: Span::dummy(),
         }
     }
 

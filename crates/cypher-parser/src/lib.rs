@@ -26,8 +26,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod functions;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -37,7 +39,8 @@ pub mod token;
 use std::fmt;
 
 pub use ast::*;
-pub use semantic::{check_semantics, SemanticError};
+pub use functions::BuiltinFunction;
+pub use semantic::{check_semantics, check_semantics_with_source, Diagnostic, SemanticError};
 
 /// A byte range into the original query text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,7 +137,7 @@ pub fn parse_expression(input: &str) -> Result<ast::Expr, ParseError> {
 /// the GraphQE workflow (Fig. 3 in the paper).
 pub fn parse_and_check(input: &str) -> Result<ast::Query, CheckError> {
     let query = parse_query(input).map_err(CheckError::Parse)?;
-    check_semantics(&query).map_err(CheckError::Semantic)?;
+    check_semantics_with_source(&query, input).map_err(CheckError::Semantic)?;
     Ok(query)
 }
 
@@ -144,7 +147,26 @@ pub enum CheckError {
     /// The query violates the Cypher grammar.
     Parse(ParseError),
     /// The query is grammatical but semantically invalid.
-    Semantic(SemanticError),
+    Semantic(Diagnostic),
+}
+
+impl CheckError {
+    /// The structured diagnostic view of this error: a stable code, a span
+    /// into the query text, the message and an optional note. Parse errors
+    /// are folded into the same shape (`code` = `"syntax"` / `"lexical"`).
+    pub fn diagnostic(&self) -> Diagnostic {
+        match self {
+            CheckError::Parse(e) => Diagnostic::new(
+                match e.kind {
+                    ParseErrorKind::Lexical => "lexical",
+                    ParseErrorKind::Syntax => "syntax",
+                },
+                e.span,
+                e.message.clone(),
+            ),
+            CheckError::Semantic(d) => d.clone(),
+        }
+    }
 }
 
 impl fmt::Display for CheckError {

@@ -88,6 +88,14 @@ impl Parser {
         Err(ParseError::syntax(msg, self.span()))
     }
 
+    /// Span of the most recently consumed token (used to close clause spans).
+    fn prev_span(&self) -> Span {
+        match self.pos.checked_sub(1) {
+            Some(index) => self.tokens[index].span,
+            None => self.span(),
+        }
+    }
+
     // -- query level ---------------------------------------------------------
 
     /// Parses a full query (with unions) and requires the whole input to be
@@ -155,6 +163,7 @@ impl Parser {
     // -- clauses ---------------------------------------------------------------
 
     fn parse_match(&mut self) -> Result<MatchClause, ParseError> {
+        let start = self.span();
         let optional = self.eat(&TokenKind::Optional);
         self.expect(&TokenKind::Match)?;
         let mut patterns = vec![self.parse_path_pattern()?];
@@ -163,31 +172,37 @@ impl Parser {
         }
         let where_clause =
             if self.eat(&TokenKind::Where) { Some(self.parse_expression()?) } else { None };
-        Ok(MatchClause { optional, patterns, where_clause })
+        let span = start.merge(self.prev_span());
+        Ok(MatchClause { optional, patterns, where_clause, span })
     }
 
     fn parse_unwind(&mut self) -> Result<UnwindClause, ParseError> {
+        let start = self.span();
         self.expect(&TokenKind::Unwind)?;
         let expr = self.parse_expression()?;
         self.expect(&TokenKind::As)?;
         let alias = self.expect_ident("alias after AS")?;
-        Ok(UnwindClause { expr, alias })
+        let span = start.merge(self.prev_span());
+        Ok(UnwindClause { expr, alias, span })
     }
 
     fn parse_with(&mut self) -> Result<WithClause, ParseError> {
+        let start = self.span();
         self.expect(&TokenKind::With)?;
-        let projection = self.parse_projection()?;
+        let projection = self.parse_projection(start)?;
         let where_clause =
             if self.eat(&TokenKind::Where) { Some(self.parse_expression()?) } else { None };
-        Ok(WithClause { projection, where_clause })
+        let span = start.merge(self.prev_span());
+        Ok(WithClause { projection, where_clause, span })
     }
 
     fn parse_return(&mut self) -> Result<Projection, ParseError> {
+        let start = self.span();
         self.expect(&TokenKind::Return)?;
-        self.parse_projection()
+        self.parse_projection(start)
     }
 
-    fn parse_projection(&mut self) -> Result<Projection, ParseError> {
+    fn parse_projection(&mut self, start: Span) -> Result<Projection, ParseError> {
         let distinct = self.eat(&TokenKind::Distinct);
         let items = if self.at(&TokenKind::Star) {
             self.bump();
@@ -211,7 +226,8 @@ impl Parser {
         }
         let skip = if self.eat(&TokenKind::Skip) { Some(self.parse_expression()?) } else { None };
         let limit = if self.eat(&TokenKind::Limit) { Some(self.parse_expression()?) } else { None };
-        Ok(Projection { distinct, items, order_by, skip, limit })
+        let span = start.merge(self.prev_span());
+        Ok(Projection { distinct, items, order_by, skip, limit, span })
     }
 
     fn parse_projection_item(&mut self) -> Result<ProjectionItem, ParseError> {

@@ -19,56 +19,68 @@
 //!    counterexample oracle's verdicts; admitting only the names the
 //!    evaluator models keeps its fallthrough unreachable for checked
 //!    queries.
+//!
+//! Every rejection is a [`Diagnostic`]: a stable machine-readable code, a
+//! byte-offset [`Span`] into the query text, a human-readable message and an
+//! optional note. When the original source text is available
+//! ([`check_semantics_with_source`]), spans are narrowed from the enclosing
+//! clause to the offending identifier.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::ast::*;
+use crate::functions::BuiltinFunction;
+use crate::token::TokenKind;
+use crate::Span;
 
-/// A semantic error detected during stage ① checking.
+/// A structured, coded diagnostic produced by stage ⓪/① static checks.
+///
+/// `code` values are stable and machine-readable (clients and the serving
+/// wire protocol dispatch on them); `span` is a byte-offset range into the
+/// query text (a dummy `0..0` span when no source position is known).
 #[derive(Debug, Clone, PartialEq)]
-pub struct SemanticError {
+pub struct Diagnostic {
+    /// Stable machine-readable code (`undefined_variable`,
+    /// `unknown_function`, `binding_conflict`,
+    /// `relationship_label_conflict`, `missing_return`, `type_mismatch`).
+    pub code: &'static str,
+    /// Byte-offset range of the offending construct in the query text.
+    pub span: Span,
     /// Human readable message.
     pub message: String,
+    /// Optional secondary explanation (rendered after the message).
+    pub note: Option<String>,
 }
 
-impl SemanticError {
-    fn new(message: impl Into<String>) -> Self {
-        SemanticError { message: message.into() }
+impl Diagnostic {
+    /// Creates a diagnostic with the given code, span and message.
+    pub fn new(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { code, span, message: message.into(), note: None }
+    }
+
+    /// Attaches a secondary note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
     }
 }
 
-impl fmt::Display for SemanticError {
+impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "semantic error: {}", self.message)
+        write!(f, "semantic error: {}", self.message)?;
+        if let Some(note) = &self.note {
+            write!(f, " (note: {note})")?;
+        }
+        Ok(())
     }
 }
 
-impl std::error::Error for SemanticError {}
+impl std::error::Error for Diagnostic {}
 
-/// The scalar function names the reference evaluator models. The parser
-/// lowercases function names (`SIZE(x)` parses as `size`), so the list is
-/// all-lowercase and matching is effectively case-insensitive — exactly the
-/// set `eval_function` in `property-graph`'s `expr.rs` implements (keep the
-/// two in sync). Aggregates (`COUNT`, `SUM`, ...) parse to
-/// `Expr::AggregateCall` and never reach this check.
-const KNOWN_FUNCTIONS: &[&str] = &[
-    "id",
-    "labels",
-    "type",
-    "size",
-    "length",
-    "head",
-    "last",
-    "abs",
-    "toupper",
-    "tolower",
-    "coalesce",
-    "exists",
-    "startnode",
-    "endnode",
-    "index",
-];
+/// The historical name of the stage-① error type; kept as an alias so
+/// downstream `SemanticError` mentions keep compiling and reading naturally.
+pub type SemanticError = Diagnostic;
 
 /// The kind of graph entity a variable is bound to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,14 +98,55 @@ struct Scope {
     bindings: BTreeMap<String, BindingKind>,
 }
 
+/// Span and source context for diagnostics: the enclosing clause's span plus
+/// (when available) the original query text for identifier-precise narrowing.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    source: Option<&'a str>,
+    clause: Span,
+}
+
+impl<'a> Ctx<'a> {
+    fn at(self, clause: Span) -> Self {
+        Ctx { clause, ..self }
+    }
+
+    /// The span of the first occurrence of identifier `name` inside the
+    /// current clause, falling back to the whole clause when the source text
+    /// is unavailable or the identifier cannot be located. Function names are
+    /// lowercased by the parser, so matching is case-insensitive.
+    fn identifier_span(&self, name: &str) -> Span {
+        let Some(source) = self.source else { return self.clause };
+        let Some(slice) = source.get(self.clause.start..self.clause.end) else {
+            return self.clause;
+        };
+        let Ok(tokens) = crate::lexer::tokenize(slice) else { return self.clause };
+        for token in &tokens {
+            if let TokenKind::Ident(ident) = &token.kind {
+                if ident.eq_ignore_ascii_case(name) {
+                    return Span::new(
+                        self.clause.start + token.span.start,
+                        self.clause.start + token.span.end,
+                    );
+                }
+            }
+        }
+        self.clause
+    }
+}
+
 impl Scope {
-    fn bind(&mut self, name: &str, kind: BindingKind) -> Result<(), SemanticError> {
+    fn bind(&mut self, name: &str, kind: BindingKind, ctx: Ctx<'_>) -> Result<(), Diagnostic> {
         match self.bindings.get(name) {
             Some(existing) if *existing != kind && kind != BindingKind::Value => {
-                Err(SemanticError::new(format!(
-                    "variable `{name}` is already bound as a {existing:?} and cannot be \
-                     re-bound as a {kind:?}"
-                )))
+                Err(Diagnostic::new(
+                    "binding_conflict",
+                    ctx.identifier_span(name),
+                    format!(
+                        "variable `{name}` is already bound as a {existing:?} and cannot be \
+                         re-bound as a {kind:?}"
+                    ),
+                ))
             }
             _ => {
                 self.bindings.insert(name.to_string(), kind);
@@ -107,10 +160,22 @@ impl Scope {
     }
 }
 
-/// Checks a full query for semantic validity.
-pub fn check_semantics(query: &Query) -> Result<(), SemanticError> {
+/// Checks a full query for semantic validity (no source text available:
+/// diagnostics carry clause-level spans of the parsed AST).
+pub fn check_semantics(query: &Query) -> Result<(), Diagnostic> {
+    check_semantics_inner(query, None)
+}
+
+/// Checks a full query for semantic validity, narrowing diagnostic spans to
+/// the offending identifier using the original query text.
+pub fn check_semantics_with_source(query: &Query, source: &str) -> Result<(), Diagnostic> {
+    check_semantics_inner(query, Some(source))
+}
+
+fn check_semantics_inner(query: &Query, source: Option<&str>) -> Result<(), Diagnostic> {
+    let ctx = Ctx { source, clause: Span::dummy() };
     for part in &query.parts {
-        check_single_query(part, &Scope::default(), true)?;
+        check_single_query(part, &Scope::default(), true, ctx)?;
     }
     Ok(())
 }
@@ -119,7 +184,8 @@ fn check_single_query(
     query: &SingleQuery,
     outer: &Scope,
     require_return: bool,
-) -> Result<(), SemanticError> {
+    ctx: Ctx<'_>,
+) -> Result<(), Diagnostic> {
     let mut scope = outer.clone();
     // Relationship variable -> label set, for the "one label per relationship"
     // check across the whole single query.
@@ -128,47 +194,61 @@ fn check_single_query(
     for clause in &query.clauses {
         match clause {
             Clause::Match(m) => {
+                let ctx = ctx.at(m.span);
                 // Patterns may refer to variables bound earlier (joins), so we
                 // first collect the new bindings, then check property maps and
                 // WHERE against the extended scope.
                 for pattern in &m.patterns {
-                    bind_path_pattern(pattern, &mut scope, &mut rel_labels)?;
+                    bind_path_pattern(pattern, &mut scope, &mut rel_labels, ctx)?;
                 }
                 for pattern in &m.patterns {
                     for node in pattern.nodes() {
                         for (_, value) in &node.properties {
-                            check_expr(value, &scope)?;
+                            check_expr(value, &scope, ctx)?;
                         }
                     }
                     for rel in pattern.relationships() {
                         for (_, value) in &rel.properties {
-                            check_expr(value, &scope)?;
+                            check_expr(value, &scope, ctx)?;
                         }
                     }
                 }
                 if let Some(predicate) = &m.where_clause {
-                    check_expr(predicate, &scope)?;
+                    check_expr(predicate, &scope, ctx)?;
                 }
             }
             Clause::Unwind(u) => {
-                check_expr(&u.expr, &scope)?;
-                scope.bind(&u.alias, BindingKind::Value)?;
+                let ctx = ctx.at(u.span);
+                check_expr(&u.expr, &scope, ctx)?;
+                scope.bind(&u.alias, BindingKind::Value, ctx)?;
             }
             Clause::With(w) => {
-                check_projection(&w.projection, &scope)?;
-                scope = projected_scope(&w.projection, &scope)?;
+                let ctx = ctx.at(w.span);
+                check_projection(&w.projection, &scope, ctx)?;
+                scope = projected_scope(&w.projection, &scope, ctx)?;
                 if let Some(predicate) = &w.where_clause {
-                    check_expr(predicate, &scope)?;
+                    check_expr(predicate, &scope, ctx)?;
                 }
             }
             Clause::Return(p) => {
-                check_projection(p, &scope)?;
+                check_projection(p, &scope, ctx.at(p.span))?;
             }
         }
     }
 
     if require_return && !matches!(query.clauses.last(), Some(Clause::Return(_))) {
-        return Err(SemanticError::new("a query must end with a RETURN clause"));
+        let span = match query.clauses.last() {
+            Some(Clause::Match(m)) => m.span,
+            Some(Clause::Unwind(u)) => u.span,
+            Some(Clause::With(w)) => w.span,
+            Some(Clause::Return(p)) => p.span,
+            None => Span::dummy(),
+        };
+        return Err(Diagnostic::new(
+            "missing_return",
+            span,
+            "a query must end with a RETURN clause",
+        ));
     }
     Ok(())
 }
@@ -177,26 +257,32 @@ fn bind_path_pattern(
     pattern: &PathPattern,
     scope: &mut Scope,
     rel_labels: &mut BTreeMap<String, Vec<String>>,
-) -> Result<(), SemanticError> {
+    ctx: Ctx<'_>,
+) -> Result<(), Diagnostic> {
     if let Some(path_var) = &pattern.variable {
-        scope.bind(path_var, BindingKind::Path)?;
+        scope.bind(path_var, BindingKind::Path, ctx)?;
     }
     for node in pattern.nodes() {
         if let Some(var) = &node.variable {
-            scope.bind(var, BindingKind::Node)?;
+            scope.bind(var, BindingKind::Node, ctx)?;
         }
     }
     for rel in pattern.relationships() {
         if let Some(var) = &rel.variable {
-            scope.bind(var, BindingKind::Relationship)?;
+            scope.bind(var, BindingKind::Relationship, ctx)?;
             let mut labels = rel.labels.clone();
             labels.sort();
             match rel_labels.get(var) {
                 Some(existing) if *existing != labels => {
-                    return Err(SemanticError::new(format!(
-                        "relationship variable `{var}` is used with conflicting label sets \
-                         {existing:?} and {labels:?}; a relationship has exactly one label"
-                    )));
+                    return Err(Diagnostic::new(
+                        "relationship_label_conflict",
+                        ctx.identifier_span(var),
+                        format!(
+                            "relationship variable `{var}` is used with conflicting label sets \
+                             {existing:?} and {labels:?}"
+                        ),
+                    )
+                    .with_note("a relationship has exactly one label"));
                 }
                 _ => {
                     rel_labels.insert(var.clone(), labels);
@@ -207,31 +293,39 @@ fn bind_path_pattern(
     Ok(())
 }
 
-fn check_projection(projection: &Projection, scope: &Scope) -> Result<(), SemanticError> {
+fn check_projection(
+    projection: &Projection,
+    scope: &Scope,
+    ctx: Ctx<'_>,
+) -> Result<(), Diagnostic> {
     if let Some(items) = projection.explicit_items() {
         for item in items {
-            check_expr(&item.expr, scope)?;
+            check_expr(&item.expr, scope, ctx)?;
         }
     }
     // ORDER BY may refer both to pre-projection variables and to the aliases
     // introduced by the projection itself.
-    let extended = projected_scope(projection, scope)?;
+    let extended = projected_scope(projection, scope, ctx)?;
     for order in &projection.order_by {
-        if check_expr(&order.expr, scope).is_err() {
-            check_expr(&order.expr, &extended)?;
+        if check_expr(&order.expr, scope, ctx).is_err() {
+            check_expr(&order.expr, &extended, ctx)?;
         }
     }
     if let Some(skip) = &projection.skip {
-        check_expr(skip, scope)?;
+        check_expr(skip, scope, ctx)?;
     }
     if let Some(limit) = &projection.limit {
-        check_expr(limit, scope)?;
+        check_expr(limit, scope, ctx)?;
     }
     Ok(())
 }
 
 /// Computes the scope visible after a `WITH` projection.
-fn projected_scope(projection: &Projection, current: &Scope) -> Result<Scope, SemanticError> {
+fn projected_scope(
+    projection: &Projection,
+    current: &Scope,
+    ctx: Ctx<'_>,
+) -> Result<Scope, Diagnostic> {
     match projection.explicit_items() {
         // `WITH *` keeps every binding.
         None => Ok(current.clone()),
@@ -240,18 +334,22 @@ fn projected_scope(projection: &Projection, current: &Scope) -> Result<Scope, Se
             for item in items {
                 match (&item.alias, &item.expr) {
                     (Some(alias), _) => {
-                        scope.bind(alias, BindingKind::Value)?;
+                        scope.bind(alias, BindingKind::Value, ctx)?;
                     }
                     // `WITH n` keeps `n` under its own name (and kind).
                     (None, Expr::Variable(name)) => {
                         let kind =
                             current.bindings.get(name).copied().unwrap_or(BindingKind::Value);
-                        scope.bind(name, kind)?;
+                        scope.bind(name, kind, ctx)?;
                     }
                     (None, expr) => {
                         // Un-aliased non-variable projections are addressable
                         // by their textual form (Cypher allows this).
-                        scope.bind(&crate::pretty::expr_to_string(expr), BindingKind::Value)?;
+                        scope.bind(
+                            &crate::pretty::expr_to_string(expr),
+                            BindingKind::Value,
+                            ctx,
+                        )?;
                     }
                 }
             }
@@ -260,7 +358,7 @@ fn projected_scope(projection: &Projection, current: &Scope) -> Result<Scope, Se
     }
 }
 
-fn check_expr(expr: &Expr, scope: &Scope) -> Result<(), SemanticError> {
+fn check_expr(expr: &Expr, scope: &Scope, ctx: Ctx<'_>) -> Result<(), Diagnostic> {
     let mut error = None;
     expr.walk(&mut |e| {
         if error.is_some() {
@@ -268,20 +366,36 @@ fn check_expr(expr: &Expr, scope: &Scope) -> Result<(), SemanticError> {
         }
         match e {
             Expr::Variable(name) if !scope.contains(name) => {
-                error =
-                    Some(SemanticError::new(format!("reference to undefined variable `{name}`")));
+                error = Some(
+                    Diagnostic::new(
+                        "undefined_variable",
+                        ctx.identifier_span(name),
+                        format!("reference to undefined variable `{name}`"),
+                    )
+                    .with_note(
+                        "variables must be bound by an enclosing MATCH, UNWIND or WITH \
+                         before use",
+                    ),
+                );
             }
-            Expr::FunctionCall { name, .. } if !KNOWN_FUNCTIONS.contains(&name.as_str()) => {
-                error = Some(SemanticError::new(format!(
-                    "unknown function `{name}` (the reference evaluator would silently \
-                     evaluate it to NULL, corrupting counterexample verdicts)"
-                )));
+            Expr::FunctionCall { name, .. } if BuiltinFunction::from_name(name).is_none() => {
+                error = Some(
+                    Diagnostic::new(
+                        "unknown_function",
+                        ctx.identifier_span(name),
+                        format!("unknown function `{name}`"),
+                    )
+                    .with_note(
+                        "the reference evaluator would silently evaluate it to NULL, \
+                         corrupting counterexample verdicts",
+                    ),
+                );
             }
             Expr::Exists(query) => {
                 // EXISTS subqueries see the outer scope and do not need a
                 // RETURN clause of their own.
                 for part in &query.parts {
-                    if let Err(e) = check_single_query(part, scope, false) {
+                    if let Err(e) = check_single_query(part, scope, false, ctx) {
                         error = Some(e);
                     }
                 }
@@ -300,8 +414,8 @@ mod tests {
     use super::*;
     use crate::parse_query;
 
-    fn check(text: &str) -> Result<(), SemanticError> {
-        check_semantics(&parse_query(text).expect("syntax"))
+    fn check(text: &str) -> Result<(), Diagnostic> {
+        check_semantics_with_source(&parse_query(text).expect("syntax"), text)
     }
 
     #[test]
@@ -317,14 +431,22 @@ mod tests {
 
     #[test]
     fn rejects_undefined_variable_in_where() {
-        let err = check("MATCH (n) WHERE m.age = 1 RETURN n").unwrap_err();
+        let text = "MATCH (n) WHERE m.age = 1 RETURN n";
+        let err = check(text).unwrap_err();
         assert!(err.message.contains("undefined variable `m`"));
+        assert_eq!(err.code, "undefined_variable");
+        // The span points at the identifier `m`, not the whole clause.
+        assert_eq!(&text[err.span.start..err.span.end], "m");
+        assert_eq!(err.span.start, text.find(" m.").unwrap() + 1);
     }
 
     #[test]
     fn rejects_undefined_variable_in_return() {
-        let err = check("MATCH (n) RETURN q").unwrap_err();
+        let text = "MATCH (n) RETURN q";
+        let err = check(text).unwrap_err();
         assert!(err.message.contains("undefined variable `q`"));
+        assert_eq!(err.code, "undefined_variable");
+        assert_eq!(&text[err.span.start..err.span.end], "q");
     }
 
     #[test]
@@ -341,8 +463,14 @@ mod tests {
 
     #[test]
     fn rejects_conflicting_relationship_labels() {
-        let err = check("MATCH (a)-[r:READ]->(b) MATCH (c)-[r:WRITE]->(d) RETURN a").unwrap_err();
+        let text = "MATCH (a)-[r:READ]->(b) MATCH (c)-[r:WRITE]->(d) RETURN a";
+        let err = check(text).unwrap_err();
         assert!(err.message.contains("conflicting label sets"));
+        assert_eq!(err.code, "relationship_label_conflict");
+        // The span falls inside the second MATCH clause, where the conflict
+        // was detected.
+        assert!(err.span.start >= text.find("MATCH (c)").unwrap());
+        assert_eq!(&text[err.span.start..err.span.end], "r");
     }
 
     #[test]
@@ -354,6 +482,14 @@ mod tests {
     fn rejects_node_and_relationship_kind_clash() {
         let err = check("MATCH (r)-[r]->(b) RETURN b").unwrap_err();
         assert!(err.message.contains("already bound"));
+        assert_eq!(err.code, "binding_conflict");
+    }
+
+    #[test]
+    fn missing_return_is_coded() {
+        let err =
+            check_semantics(&parse_query("MATCH (n) WITH n AS m").expect("syntax")).unwrap_err();
+        assert_eq!(err.code, "missing_return");
     }
 
     #[test]
@@ -386,9 +522,24 @@ mod tests {
     }
 
     #[test]
+    fn diagnostics_without_source_fall_back_to_clause_spans() {
+        let text = "MATCH (n) WHERE m.age = 1 RETURN n";
+        let query = parse_query(text).expect("syntax");
+        let err = check_semantics(&query).unwrap_err();
+        assert_eq!(err.code, "undefined_variable");
+        // Clause-level fallback: the span covers the whole MATCH clause.
+        assert_eq!(err.span, Span::new(0, text.find(" RETURN").unwrap()));
+    }
+
+    #[test]
     fn rejects_unknown_function_names() {
-        let err = check("MATCH (n) WHERE mystery(n) = 1 RETURN n").unwrap_err();
+        let text = "MATCH (n) WHERE mystery(n) = 1 RETURN n";
+        let err = check(text).unwrap_err();
         assert!(err.message.contains("unknown function `mystery`"), "{}", err.message);
+        assert_eq!(err.code, "unknown_function");
+        // The parser lowercases function names; identifier narrowing is
+        // case-insensitive, so the span still lands on the source spelling.
+        assert_eq!(&text[err.span.start..err.span.end], "mystery");
         // In projections and nested argument positions too.
         assert!(check("MATCH (n) RETURN frobnicate(n.age)").is_err());
         assert!(check("MATCH (n) RETURN size(frobnicate(n.age))").is_err());

@@ -80,6 +80,9 @@ pub enum ATerm {
     Var(VarId),
     /// Column `i` of the output tuple.
     OutCol(usize),
+    /// Column `i` of the output tuple with an integer-sort typing fact
+    /// (mirror of [`GTerm::IntCol`]).
+    IntCol(usize),
     /// A property access `base.key`.
     Prop(TermId, Sym),
     /// A constant.
@@ -311,7 +314,7 @@ impl GStore {
                     out.push(v);
                 }
             }
-            ATerm::OutCol(_) | ATerm::Const(_) => {}
+            ATerm::OutCol(_) | ATerm::IntCol(_) | ATerm::Const(_) => {}
             ATerm::Prop(base, _) => self.collect_term_occurring_vars(base, out),
             ATerm::App(_, args) => {
                 for arg in args.iter() {
@@ -404,6 +407,7 @@ impl GStore {
         let node = match t {
             GTerm::Var(v) => ATerm::Var(*v),
             GTerm::OutCol(i) => ATerm::OutCol(*i),
+            GTerm::IntCol(i) => ATerm::IntCol(*i),
             GTerm::Prop(base, key) => {
                 let base = self.intern_term(base);
                 let key = self.sym(key);
@@ -487,6 +491,7 @@ impl GStore {
         match self.term_of(t).clone() {
             ATerm::Var(v) => GTerm::Var(v),
             ATerm::OutCol(i) => GTerm::OutCol(i),
+            ATerm::IntCol(i) => GTerm::IntCol(i),
             ATerm::Prop(base, key) => {
                 GTerm::Prop(Box::new(self.extern_term(base)), self.str_of(key).to_string())
             }
@@ -634,7 +639,7 @@ impl GStore {
                     out.push(*v);
                 }
             }
-            ATerm::OutCol(_) | ATerm::Const(_) => {}
+            ATerm::OutCol(_) | ATerm::IntCol(_) | ATerm::Const(_) => {}
             ATerm::Prop(base, _) => self.term_variables(*base, out),
             ATerm::App(_, args) => {
                 for arg in args.iter() {
@@ -653,7 +658,7 @@ impl GStore {
     pub fn term_mentions(&self, t: TermId, var: VarId) -> bool {
         match self.term_of(t) {
             ATerm::Var(v) => *v == var,
-            ATerm::OutCol(_) | ATerm::Const(_) => false,
+            ATerm::OutCol(_) | ATerm::IntCol(_) | ATerm::Const(_) => false,
             ATerm::Prop(base, _) => self.term_mentions(*base, var),
             ATerm::App(_, args) => args.iter().any(|arg| self.term_mentions(*arg, var)),
             ATerm::Agg { arg, group, .. } => {
@@ -710,7 +715,7 @@ impl GStore {
     pub fn subst_term(&mut self, t: TermId, var: VarId, replacement: TermId) -> TermId {
         match self.term_of(t).clone() {
             ATerm::Var(v) if v == var => replacement,
-            ATerm::Var(_) | ATerm::OutCol(_) | ATerm::Const(_) => t,
+            ATerm::Var(_) | ATerm::OutCol(_) | ATerm::IntCol(_) | ATerm::Const(_) => t,
             ATerm::Prop(base, key) => {
                 let base = self.subst_term(base, var, replacement);
                 self.term(ATerm::Prop(base, key))
@@ -836,6 +841,9 @@ impl GStore {
             ATerm::Var(v) => Self::write_var(out, *v, anon),
             ATerm::OutCol(i) => {
                 let _ = write!(out, "t.col{}", i + 1);
+            }
+            ATerm::IntCol(i) => {
+                let _ = write!(out, "t.col{}:int", i + 1);
             }
             ATerm::Prop(base, key) => {
                 self.write_term(out, *base, anon);

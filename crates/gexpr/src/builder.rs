@@ -16,7 +16,7 @@
 //! [`UnsupportedFeature`](BuildError) error so the prover can report the same
 //! failure categories as the paper's evaluation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cypher_parser::ast::{
     Aggregate, BinaryOp, Clause, Expr, Literal, MatchClause, NodePattern, PathPattern, Projection,
@@ -27,15 +27,41 @@ use cypher_parser::ast::{
 use crate::expr::GExpr;
 use crate::term::{CmpOp, GAggKind, GAtom, GConst, GTerm, VarId};
 
+/// The paper's unsupported-feature classes, as a closed enum so downstream
+/// failure categorization is compiler-checked instead of string-matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnsupportedFeature {
+    /// `ORDER BY ... LIMIT`/`SKIP` inside `WITH` (§IV-B sorting with
+    /// truncation), outside the divide-and-conquer fragment.
+    SortingTruncation,
+    /// Aggregates nested inside other aggregates' arguments.
+    NestedAggregate,
+}
+
+impl UnsupportedFeature {
+    /// The stable wire name of this feature class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnsupportedFeature::SortingTruncation => "sorting-truncation",
+            UnsupportedFeature::NestedAggregate => "nested-aggregate",
+        }
+    }
+}
+
+impl std::fmt::Display for UnsupportedFeature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// An error raised while constructing a G-expression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BuildError {
     /// Human readable message.
     pub message: String,
-    /// The unsupported feature category, when the error mirrors one of the
-    /// paper's failure classes (e.g. `"sorting-truncation"`,
-    /// `"nested-aggregate"`).
-    pub feature: Option<String>,
+    /// The unsupported feature class, when the error mirrors one of the
+    /// paper's failure classes.
+    pub feature: Option<UnsupportedFeature>,
 }
 
 impl BuildError {
@@ -43,8 +69,8 @@ impl BuildError {
         BuildError { message: message.into(), feature: None }
     }
 
-    fn unsupported(feature: &str, message: impl Into<String>) -> Self {
-        BuildError { message: message.into(), feature: Some(feature.to_string()) }
+    fn unsupported(feature: UnsupportedFeature, message: impl Into<String>) -> Self {
+        BuildError { message: message.into(), feature: Some(feature) }
     }
 }
 
@@ -100,11 +126,21 @@ pub fn build_query(query: &Query) -> Result<BuildOutput, BuildError> {
     Builder::new().build_query(query)
 }
 
+/// Builds the G-expression of a query with integer-typing hints: the listed
+/// output columns are emitted as [`GTerm::IntCol`] instead of
+/// [`GTerm::OutCol`], telling the SMT encoding they are integer-valued and
+/// non-null. The caller (the prover) is responsible for only passing columns
+/// the static analyzer proved integer on **both** queries being compared.
+pub fn build_query_typed(query: &Query, int_cols: &[usize]) -> Result<BuildOutput, BuildError> {
+    Builder::with_int_hints(int_cols.iter().copied()).build_query(query)
+}
+
 /// The G-expression builder. Owns the variable counter so that every
 /// constructed variable is unique across the whole query (including
 /// subqueries and the emptiness tests of `OPTIONAL MATCH`).
 pub struct Builder {
     next_var: u32,
+    int_cols: BTreeSet<usize>,
 }
 
 /// Per-single-query accumulation state.
@@ -125,7 +161,22 @@ impl Default for Builder {
 impl Builder {
     /// Creates a fresh builder.
     pub fn new() -> Self {
-        Builder { next_var: 0 }
+        Builder { next_var: 0, int_cols: BTreeSet::new() }
+    }
+
+    /// Creates a builder that emits [`GTerm::IntCol`] for the given output
+    /// columns (integer typing facts from the static analyzer).
+    pub fn with_int_hints(int_cols: impl IntoIterator<Item = usize>) -> Self {
+        Builder { next_var: 0, int_cols: int_cols.into_iter().collect() }
+    }
+
+    /// The output-column term for `index`, honouring the typing hints.
+    fn out_col(&self, index: usize) -> GTerm {
+        if self.int_cols.contains(&index) {
+            GTerm::IntCol(index)
+        } else {
+            GTerm::OutCol(index)
+        }
     }
 
     fn fresh(&mut self) -> VarId {
@@ -510,7 +561,7 @@ impl Builder {
             // cannot be modeled directly; the prover's divide-and-conquer
             // splits the query at this point instead.
             return Err(BuildError::unsupported(
-                "sorting-truncation",
+                UnsupportedFeature::SortingTruncation,
                 "ORDER BY ... LIMIT/SKIP inside WITH requires divide-and-conquer proving",
             ));
         }
@@ -629,7 +680,7 @@ impl Builder {
             let mut key_equalities = Vec::new();
             let mut agg_equalities = Vec::new();
             for (index, (_, item)) in items.iter().enumerate() {
-                let col = GTerm::OutCol(index);
+                let col = self.out_col(index);
                 if item.contains_aggregate() {
                     let agg = self.build_aggregate_term(state, item, &key_equalities)?;
                     agg_equalities.push(GExpr::eq(col, agg));
@@ -657,7 +708,7 @@ impl Builder {
             let mut factors = state.factors.clone();
             for (index, (_, item)) in items.iter().enumerate() {
                 let term = self.build_term(state, item)?;
-                factors.push(GExpr::eq(GTerm::OutCol(index), term));
+                factors.push(GExpr::eq(self.out_col(index), term));
             }
             factors.extend(ordering_factors);
             let body = GExpr::sum(state.vars.clone(), GExpr::mul(factors));
@@ -702,7 +753,7 @@ impl Builder {
             Expr::AggregateCall { func, distinct, arg } => {
                 if arg.contains_aggregate() {
                     return Err(BuildError::unsupported(
-                        "nested-aggregate",
+                        UnsupportedFeature::NestedAggregate,
                         format!("nested aggregate `{expr}` cannot be modeled"),
                     ));
                 }
@@ -721,7 +772,7 @@ impl Builder {
             }
             other => {
                 return Err(BuildError::unsupported(
-                    "nested-aggregate",
+                    UnsupportedFeature::NestedAggregate,
                     format!("aggregate computation `{other}` cannot be modeled"),
                 ));
             }
@@ -903,7 +954,7 @@ impl Builder {
             }
             Expr::AggregateCall { .. } | Expr::CountStar { .. } => {
                 return Err(BuildError::unsupported(
-                    "nested-aggregate",
+                    UnsupportedFeature::NestedAggregate,
                     "aggregates may only appear as whole projection items",
                 ));
             }
@@ -1120,15 +1171,15 @@ mod tests {
     #[test]
     fn with_limit_is_unsupported() {
         let err = build_err("MATCH (n) WITH n ORDER BY n.p1 LIMIT 1 MATCH (n)-[]->(m) RETURN m");
-        assert_eq!(err.feature.as_deref(), Some("sorting-truncation"));
+        assert_eq!(err.feature, Some(UnsupportedFeature::SortingTruncation));
     }
 
     #[test]
     fn nested_aggregates_are_unsupported() {
         let err = build_err("MATCH (n) RETURN SUM(n.a) / COUNT(n)");
-        assert_eq!(err.feature.as_deref(), Some("nested-aggregate"));
+        assert_eq!(err.feature, Some(UnsupportedFeature::NestedAggregate));
         let err = build_err("MATCH (n) RETURN COUNT(SUM(n.a))");
-        assert_eq!(err.feature.as_deref(), Some("nested-aggregate"));
+        assert_eq!(err.feature, Some(UnsupportedFeature::NestedAggregate));
     }
 
     #[test]

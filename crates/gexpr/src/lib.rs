@@ -26,6 +26,7 @@
 //! println!("{}", output.expr); // Σ_{e0,e1,e2}(Node(e0) × Rel(e1) × ... × [e0.age = 59])
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;
@@ -38,7 +39,10 @@ pub use arena::{
     peak_node_count, reset_peak_node_count, thread_store_epoch, thread_store_node_count,
     with_thread_store, GStore, NodeId, Sym, TermId,
 };
-pub use builder::{build_query, BuildError, BuildOutput, Builder, ColumnKind};
+pub use builder::{
+    build_query, build_query_typed, BuildError, BuildOutput, Builder, ColumnKind,
+    UnsupportedFeature,
+};
 pub use expr::GExpr;
 pub use normalize::{is_zero_one, normalize, normalize_tree};
 pub use term::{CmpOp, GAggKind, GAtom, GConst, GTerm, VarId};

@@ -21,6 +21,11 @@ pub fn encode_term(term: &GTerm) -> Term {
     match term {
         GTerm::Var(v) => Term::value_var(format!("e{}", v.0)),
         GTerm::OutCol(i) => Term::value_var(format!("t_col{i}")),
+        // A typing fact from the static analyzer: the column is provably
+        // integer-valued and non-null, so it gets an integer sort (and a
+        // name disjoint from the untyped `t_col{i}` encoding, defensively —
+        // hinted and unhinted builds never share a solver query anyway).
+        GTerm::IntCol(i) => Term::int_var(format!("t_intcol{i}")),
         GTerm::Const(GConst::Integer(v)) => Term::IntConst(*v),
         GTerm::Const(GConst::Float(v)) => Term::App(format!("const:f{v}"), vec![]),
         GTerm::Const(GConst::String(s)) => Term::App(format!("const:s:{s}"), vec![]),
@@ -126,6 +131,7 @@ pub fn encode_term_id(store: &mut GStore, t: TermId) -> Term {
     match store.term_of(t).clone() {
         ATerm::Var(v) => Term::value_var(format!("e{}", v.0)),
         ATerm::OutCol(i) => Term::value_var(format!("t_col{i}")),
+        ATerm::IntCol(i) => Term::int_var(format!("t_intcol{i}")),
         ATerm::Const(c) => match store.const_of(c).clone() {
             GConst::Integer(v) => Term::IntConst(v),
             GConst::Float(v) => Term::App(format!("const:f{v}"), vec![]),

@@ -27,6 +27,7 @@
 //! Disarmed (the default), its cost is one relaxed atomic load per
 //! checkpoint.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;

@@ -16,6 +16,7 @@
 //! The driver applies one rule per round, in the dependency order the paper
 //! describes (② before ⑤, ③ before ⑤, ⑤ before ⑥), until no rule fires.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod rules;

@@ -127,11 +127,15 @@ impl SymbolTable {
             for clause in &part.clauses {
                 match clause {
                     cypher_parser::ast::Clause::Match(m) => self.intern_match(m),
-                    cypher_parser::ast::Clause::Unwind(UnwindClause { expr, alias }) => {
+                    cypher_parser::ast::Clause::Unwind(UnwindClause { expr, alias, .. }) => {
                         self.intern_expr(expr);
                         self.intern(alias);
                     }
-                    cypher_parser::ast::Clause::With(WithClause { projection, where_clause }) => {
+                    cypher_parser::ast::Clause::With(WithClause {
+                        projection,
+                        where_clause,
+                        ..
+                    }) => {
                         self.intern_projection(projection);
                         if let Some(predicate) = where_clause {
                             self.intern_expr(predicate);
@@ -719,82 +723,86 @@ pub fn read_property(ctx: EvalCtx<'_>, base: &Value, key: &str) -> Value {
 
 /// Evaluates the built-in scalar functions that the evaluation dataset uses.
 ///
-/// Unknown names evaluate to `NULL`, but since PR 5 the semantic check
-/// (stage ①) rejects any function name outside this list (`KNOWN_FUNCTIONS`
-/// in `cypher-parser`'s `semantic.rs` — keep the two in sync), so for
-/// checked queries the fallthrough is unreachable; it survives for direct
+/// The supported set is [`cypher_parser::BuiltinFunction`] — the same
+/// registry the stage-① semantic check admits, so the two cannot drift and
+/// the `match` below is exhaustive by construction. Unknown names evaluate
+/// to `NULL`, but since PR 5 the semantic check rejects them, so for checked
+/// queries the fallthrough is unreachable; it survives for direct
 /// `eval_expr` callers that bypass the checker.
 fn eval_function(ctx: EvalCtx<'_>, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    use cypher_parser::BuiltinFunction as F;
     let arg = |i: usize| args.get(i).cloned().unwrap_or(Value::Null);
-    Ok(match name {
-        "id" => match arg(0) {
+    let Some(function) = F::from_name(name) else {
+        // Unknown / unmodelled functions: NULL (mirrors the prover treating
+        // them as uninterpreted).
+        return Ok(Value::Null);
+    };
+    Ok(match function {
+        F::Id => match arg(0) {
             Value::Node(id) => Value::Integer(id.0 as i64),
             // Relationship ids live in a disjoint range so that `id(n) = id(r)`
             // can never hold between a node and a relationship.
             Value::Relationship(id) => Value::Integer(1_000_000_000 + id.0 as i64),
             _ => Value::Null,
         },
-        "labels" => match arg(0) {
+        F::Labels => match arg(0) {
             Value::Node(id) => {
                 Value::List(ctx.graph.node(id).labels.iter().cloned().map(Value::String).collect())
             }
             _ => Value::Null,
         },
-        "type" => match arg(0) {
+        F::Type => match arg(0) {
             Value::Relationship(id) => Value::String(ctx.graph.relationship(id).label.clone()),
             _ => Value::Null,
         },
-        "size" => match arg(0) {
+        F::Size => match arg(0) {
             Value::List(items) => Value::Integer(items.len() as i64),
             Value::String(s) => Value::Integer(s.chars().count() as i64),
             _ => Value::Null,
         },
-        "length" => match arg(0) {
+        F::Length => match arg(0) {
             Value::Path(items) => Value::Integer((items.len().saturating_sub(1) / 2) as i64),
             Value::List(items) => Value::Integer(items.len() as i64),
             Value::String(s) => Value::Integer(s.chars().count() as i64),
             _ => Value::Null,
         },
-        "head" => match arg(0) {
+        F::Head => match arg(0) {
             Value::List(items) => items.first().cloned().unwrap_or(Value::Null),
             _ => Value::Null,
         },
-        "last" => match arg(0) {
+        F::Last => match arg(0) {
             Value::List(items) => items.last().cloned().unwrap_or(Value::Null),
             _ => Value::Null,
         },
-        "abs" => match arg(0) {
+        F::Abs => match arg(0) {
             Value::Integer(v) => Value::Integer(v.abs()),
             Value::Float(v) => Value::Float(v.abs()),
             _ => Value::Null,
         },
-        "toupper" | "toUpper" => match arg(0) {
+        F::ToUpper => match arg(0) {
             Value::String(s) => Value::String(s.to_uppercase()),
             _ => Value::Null,
         },
-        "tolower" | "toLower" => match arg(0) {
+        F::ToLower => match arg(0) {
             Value::String(s) => Value::String(s.to_lowercase()),
             _ => Value::Null,
         },
-        "coalesce" => args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null),
-        "exists" => Value::Boolean(!arg(0).is_null()),
-        "startnode" => match arg(0) {
+        F::Coalesce => args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null),
+        F::Exists => Value::Boolean(!arg(0).is_null()),
+        F::StartNode => match arg(0) {
             Value::Relationship(id) => Value::Node(ctx.graph.relationship(id).source),
             _ => Value::Null,
         },
-        "endnode" => match arg(0) {
+        F::EndNode => match arg(0) {
             Value::Relationship(id) => Value::Node(ctx.graph.relationship(id).target),
             _ => Value::Null,
         },
-        "index" => match (arg(0), arg(1)) {
+        F::Index => match (arg(0), arg(1)) {
             (Value::List(items), Value::Integer(i)) if i >= 0 && (i as usize) < items.len() => {
                 items[i as usize].clone()
             }
             _ => Value::Null,
         },
-        // Unknown / unmodelled functions: NULL (mirrors the prover treating
-        // them as uninterpreted).
-        _ => Value::Null,
     })
 }
 
@@ -960,5 +968,45 @@ mod tests {
         assert_eq!(merged.get(&symbols, "a"), Some(&Value::Integer(7)));
         assert_eq!(merged.get(&symbols, "new"), Some(&Value::Integer(8)));
         assert_eq!(merged.len(), 5);
+    }
+
+    /// Every function in the shared [`cypher_parser::BuiltinFunction`]
+    /// registry evaluates through a real arm of `eval_function`: applied to
+    /// representative arguments, each returns a non-NULL value, which the
+    /// unknown-name fallthrough can never produce. This pins the runtime
+    /// side of the registry/evaluator agreement the enum guarantees at
+    /// compile time.
+    #[test]
+    fn every_registered_builtin_evaluates_non_null() {
+        use crate::graph::RelId;
+        use cypher_parser::BuiltinFunction;
+
+        let graph = PropertyGraph::paper_example();
+        let symbols = SymbolTable::new();
+        let mut row = Row::new();
+        row.insert(&symbols, "n", Value::Node(NodeId(0)));
+        row.insert(&symbols, "r", Value::Relationship(RelId(0)));
+        let representative = |function: BuiltinFunction| match function {
+            BuiltinFunction::Id => "id(n)",
+            BuiltinFunction::Labels => "labels(n)",
+            BuiltinFunction::Type => "type(r)",
+            BuiltinFunction::Size => "size('abc')",
+            BuiltinFunction::Length => "length([1, 2])",
+            BuiltinFunction::Head => "head([1, 2])",
+            BuiltinFunction::Last => "last([1, 2])",
+            BuiltinFunction::Abs => "abs(0 - 3)",
+            BuiltinFunction::ToUpper => "toUpper('a')",
+            BuiltinFunction::ToLower => "toLower('A')",
+            BuiltinFunction::Coalesce => "coalesce(n.missing, 7)",
+            BuiltinFunction::Exists => "exists(n.name)",
+            BuiltinFunction::StartNode => "startNode(r)",
+            BuiltinFunction::EndNode => "endNode(r)",
+            BuiltinFunction::Index => "index([4, 5], 1)",
+        };
+        for &function in BuiltinFunction::ALL {
+            let text = representative(function);
+            let value = eval(&graph, &symbols, &row, text);
+            assert!(!value.is_null(), "{text}: registered builtin evaluated to NULL");
+        }
     }
 }

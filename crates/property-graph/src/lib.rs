@@ -25,6 +25,7 @@
 //! assert_eq!(result.rows.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod eval;

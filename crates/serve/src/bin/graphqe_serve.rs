@@ -8,6 +8,8 @@
 //!               [--max-pairs N] [--max-body-bytes N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use graphqe_serve::{ServeConfig, Server};

@@ -119,10 +119,13 @@ fn parse_pair(entry: &Json) -> Result<(String, String), String> {
     Err("each pair must be [\"q1\",\"q2\"] or {\"left\":...,\"right\":...}".to_string())
 }
 
-/// Serializes one per-pair outcome. `certificate` is the pre-serialized
-/// proof artifact (from [`graphqe::Certificate::to_json`]) when the request
-/// asked for certificates and one was emitted; it is embedded verbatim.
-pub fn outcome_json(outcome: &BatchOutcome, certificate: Option<&str>) -> Json {
+/// Serializes one per-pair outcome. `pair` is the original query texts —
+/// needed to re-derive the spanned diagnostic of `invalid_query` and
+/// `type_error` outcomes (verdicts carry only the rendered reason).
+/// `certificate` is the pre-serialized proof artifact (from
+/// [`graphqe::Certificate::to_json`]) when the request asked for
+/// certificates and one was emitted; it is embedded verbatim.
+pub fn outcome_json(outcome: &BatchOutcome, pair: (&str, &str), certificate: Option<&str>) -> Json {
     let mut fields = vec![
         ("verdict", json::str(verdict_name(&outcome.verdict))),
         ("latency_us", json::num(outcome.latency.as_micros() as f64)),
@@ -142,13 +145,57 @@ pub fn outcome_json(outcome: &BatchOutcome, certificate: Option<&str>) -> Json {
             ));
         }
         Verdict::Unknown { category, reason } => {
-            fields.push(("error", failure_json(*category, reason)));
+            let mut error = failure_json(*category, reason);
+            if let (Json::Obj(fields), Some(diagnostic)) =
+                (&mut error, diagnostic_json(*category, pair.0, pair.1))
+            {
+                fields.push(("diagnostic".to_string(), diagnostic));
+            }
+            fields.push(("error", error));
         }
     }
     if let Some(cert) = certificate {
         fields.push(("certificate", Json::Raw(cert.to_string())));
     }
     json::obj(fields)
+}
+
+/// The structured `diagnostic` object of an `invalid_query` or `type_error`
+/// outcome: `side` (`"left"`/`"right"`), the stable diagnostic `code`, the
+/// byte-offset `span` into that side's query text, `message`, and `note`
+/// when present. Re-derived from the query texts through the same stage-⓪/①
+/// checks the prover ran (both are deterministic and cache-warm), since the
+/// verdict itself only carries the rendered reason string.
+pub fn diagnostic_json(category: FailureCategory, left: &str, right: &str) -> Option<Json> {
+    if !matches!(category, FailureCategory::InvalidQuery | FailureCategory::TypeError) {
+        return None;
+    }
+    let probe = |side: &'static str, text: &str| {
+        let diagnostic = match cypher_parser::parse_and_check(text) {
+            Err(error) => error.diagnostic(),
+            Ok(query) => match graphqe_analyzer::analyze_with_source(&query, text) {
+                Err(diagnostic) => diagnostic,
+                Ok(_) => return None,
+            },
+        };
+        let mut fields = vec![
+            ("side", json::str(side)),
+            ("code", json::str(diagnostic.code)),
+            (
+                "span",
+                json::obj(vec![
+                    ("start", json::num(diagnostic.span.start as f64)),
+                    ("end", json::num(diagnostic.span.end as f64)),
+                ]),
+            ),
+            ("message", json::str(&diagnostic.message)),
+        ];
+        if let Some(note) = &diagnostic.note {
+            fields.push(("note", json::str(note)));
+        }
+        Some(json::obj(fields))
+    };
+    probe("left", left).or_else(|| probe("right", right))
 }
 
 /// The `verdict` discriminator string.
@@ -253,5 +300,41 @@ mod tests {
         )
         .to_string();
         assert!(budget.contains(r#""budget":9"#));
+    }
+
+    #[test]
+    fn invalid_query_outcomes_carry_a_spanned_diagnostic() {
+        let rendered = diagnostic_json(
+            FailureCategory::InvalidQuery,
+            "MATCH (n) RETURN n",
+            "MATCH (n) WHERE m.age = 1 RETURN n",
+        )
+        .expect("diagnostic")
+        .to_string();
+        assert!(rendered.contains(r#""side":"right""#), "{rendered}");
+        assert!(rendered.contains(r#""code":"undefined_variable""#), "{rendered}");
+        assert!(rendered.contains(r#""span":{"start":16,"end":17}"#), "{rendered}");
+
+        let syntax = diagnostic_json(FailureCategory::InvalidQuery, "MATCH (n RETURN n", "x")
+            .expect("diagnostic")
+            .to_string();
+        assert!(syntax.contains(r#""side":"left""#), "{syntax}");
+        assert!(syntax.contains(r#""code":"syntax""#), "{syntax}");
+    }
+
+    #[test]
+    fn type_error_outcomes_carry_a_type_mismatch_diagnostic() {
+        let rendered = diagnostic_json(
+            FailureCategory::TypeError,
+            "UNWIND 1 AS x RETURN x",
+            "UNWIND [1] AS x RETURN x",
+        )
+        .expect("diagnostic")
+        .to_string();
+        assert!(rendered.contains(r#""side":"left""#), "{rendered}");
+        assert!(rendered.contains(r#""code":"type_mismatch""#), "{rendered}");
+        assert!(rendered.contains("UNWIND requires a list"), "{rendered}");
+        // Other failure categories never carry a diagnostic.
+        assert!(diagnostic_json(FailureCategory::Other, "a", "b").is_none());
     }
 }

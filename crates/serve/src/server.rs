@@ -372,7 +372,10 @@ fn handle_prove(shared: &Shared, body: &[u8]) -> (u16, String) {
     let results = outcomes
         .iter()
         .zip(&certificates)
-        .map(|(outcome, certificate)| outcome_json(outcome, certificate.as_deref()))
+        .zip(&parsed.pairs)
+        .map(|((outcome, certificate), (left, right))| {
+            outcome_json(outcome, (left, right), certificate.as_deref())
+        })
         .collect();
     let body = json::obj(vec![
         ("results", Json::Arr(results)),

@@ -31,6 +31,7 @@
 //! assert!(solver.check().is_unsat());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cnf;

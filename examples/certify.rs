@@ -8,6 +8,8 @@
 //!
 //! Run with `cargo run --example certify`.
 
+#![forbid(unsafe_code)]
+
 use std::path::Path;
 
 use graphqe::{GraphQE, Verdict};

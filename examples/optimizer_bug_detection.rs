@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --example optimizer_bug_detection`.
 
+#![forbid(unsafe_code)]
+
 use graphqe::{GraphQE, Verdict};
 
 fn main() {

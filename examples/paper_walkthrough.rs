@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run --example paper_walkthrough`.
 
+#![forbid(unsafe_code)]
+
 use cypher_parser::parse_query;
 use gexpr::build_query;
 use graphqe::GraphQE;

@@ -2,6 +2,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+#![forbid(unsafe_code)]
+
 use graphqe::GraphQE;
 
 fn main() {

@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --example rewrite_verification`.
 
+#![forbid(unsafe_code)]
+
 use cyeqset::rewrite;
 use cypher_parser::parse_query;
 use graphqe::GraphQE;

@@ -4,6 +4,8 @@
 //! (`examples/`) and cross-crate integration tests (`tests/`). It simply
 //! re-exports the public crates of the workspace under stable names.
 
+#![forbid(unsafe_code)]
+
 pub use cyeqset;
 pub use cypher_normalizer as normalizer;
 pub use cypher_parser as parser;

@@ -1,0 +1,101 @@
+//! Corpus-wide acceptance tests for the stage-⓪ analyzer:
+//!
+//! 1. the analyzer and the checker's independent signature re-implementation
+//!    agree on every query in both corpora (the property the
+//!    `signature_mismatch` certificate evidence rests on), and
+//! 2. the analyzer never discriminates a pair the prover should find
+//!    equivalent — discrimination only ever *prioritizes* counterexample
+//!    search, but a false positive here would waste the fast path's budget
+//!    on provable pairs.
+
+use cyeqset::{cyeqset, cyneqset};
+use cypher_parser::parse_query;
+
+/// The analyzer's signature mapped onto the certificate wire form, or `None`
+/// when the query is ill-typed or has no static signature.
+fn analyzer_signature(source: &str) -> Option<Vec<graphqe_checker::cert::SigColumn>> {
+    let query = parse_query(source).expect("corpus query parses");
+    let analysis = graphqe_analyzer::analyze(&query).ok()?;
+    analysis.signature.map(|columns| {
+        columns
+            .into_iter()
+            .map(|column| graphqe_checker::cert::SigColumn {
+                name: column.name,
+                ty: column.ty.to_string(),
+                nullable: column.nullable,
+            })
+            .collect()
+    })
+}
+
+/// The checker's view of the same query.
+fn checker_signature(source: &str) -> Option<Vec<graphqe_checker::cert::SigColumn>> {
+    let query = parse_query(source).expect("corpus query parses");
+    graphqe_checker::sig::infer_signature(&query)
+}
+
+#[test]
+fn analyzer_and_checker_signatures_agree_on_the_corpus() {
+    let mut queries = Vec::new();
+    for pair in cyeqset().into_iter().chain(cyneqset()) {
+        queries.push((format!("{}/left", pair.id), pair.left.clone()));
+        queries.push((format!("{}/right", pair.id), pair.right.clone()));
+    }
+    assert!(queries.len() > 500, "corpus unexpectedly small: {}", queries.len());
+    let mut signatures = 0usize;
+    for (id, source) in queries {
+        let analyzer = analyzer_signature(&source);
+        let checker = checker_signature(&source);
+        assert_eq!(
+            analyzer, checker,
+            "{id}: analyzer and checker disagree on the signature of {source:?}"
+        );
+        signatures += usize::from(analyzer.is_some());
+    }
+    assert!(signatures > 400, "too few inferred signatures to be meaningful: {signatures}");
+}
+
+#[test]
+fn analyzer_never_discriminates_equivalent_corpus_pairs() {
+    for pair in cyeqset() {
+        let left = parse_query(&pair.left).expect("corpus query parses");
+        let right = parse_query(&pair.right).expect("corpus query parses");
+        let (Ok(left), Ok(right)) =
+            (graphqe_analyzer::analyze(&left), graphqe_analyzer::analyze(&right))
+        else {
+            continue;
+        };
+        if let (Some(left), Some(right)) = (left.signature, right.signature) {
+            assert!(
+                !graphqe_analyzer::signatures_discriminate(&left, &right),
+                "{}: the analyzer discriminates an equivalent pair:\n  {}\n  {}",
+                pair.id,
+                pair.left,
+                pair.right
+            );
+        }
+    }
+    // Mechanical rewrites of seed queries must also never discriminate: the
+    // rewrite rules are equivalence-preserving by construction.
+    let bases = [
+        "MATCH (a:Person)-[r:READ]->(b:Book) RETURN a.name, b.title",
+        "MATCH (a)-[r]->(b) WHERE a.age > 2 AND b.age < 5 RETURN a, b",
+        "MATCH (u:User)-[f:FOLLOWS]->(v:User) WHERE v.age > 1 RETURN u.name",
+    ];
+    for base in bases {
+        let parsed = parse_query(base).expect("base parses");
+        let base_sig = graphqe_analyzer::analyze(&parsed).expect("base analyzes").signature;
+        for (rule, rewritten) in cyeqset::rewrite::all_rewrites(base) {
+            let rewritten_query = parse_query(&rewritten).expect("rewrite parses");
+            let sig = graphqe_analyzer::analyze(&rewritten_query)
+                .unwrap_or_else(|d| panic!("{rule}: rewrite fails to analyze: {d}"))
+                .signature;
+            if let (Some(left), Some(right)) = (&base_sig, &sig) {
+                assert!(
+                    !graphqe_analyzer::signatures_discriminate(left, right),
+                    "{rule}: rewrite of {base:?} discriminates: {rewritten:?}"
+                );
+            }
+        }
+    }
+}

@@ -140,6 +140,45 @@ fn editing_a_bag_row_is_rejected() {
     expect_rejection(&cert, "bag_mismatch");
 }
 
+#[test]
+fn tampering_a_recorded_signature_type_is_rejected() {
+    let prover = GraphQE::new();
+    // The corpus contains pairs the stage-⓪ analyzer discriminates, so
+    // their certificates carry the richer signature-mismatch evidence.
+    let mut cert = cyneqset()
+        .into_iter()
+        .filter_map(|pair| emit(&prover, &pair.left, &pair.right))
+        .find(|cert| matches!(&cert.evidence, Evidence::SignatureMismatch { .. }))
+        .expect("a NEQ certificate with signature-mismatch evidence");
+    check_certificate(&cert).expect("untampered certificate validates");
+
+    let Evidence::SignatureMismatch { left_signature, .. } = &mut cert.evidence else {
+        unreachable!()
+    };
+    let column = &mut left_signature[0];
+    column.ty = if column.ty == "String" { "Integer".into() } else { "String".into() };
+    expect_rejection(&cert, "signature_mismatch");
+}
+
+#[test]
+fn editing_a_signature_witness_row_is_rejected() {
+    let prover = GraphQE::new();
+    // A discriminating pair whose witness bag is never empty: `count(*)`
+    // returns exactly one row on every graph (the corpus discriminating
+    // pairs all witness via differently-shaped *empty* bags, which leave no
+    // row to tamper with).
+    let mut cert = emit(&prover, "MATCH (n) RETURN n", "MATCH (n) RETURN count(*)")
+        .expect("discriminating pair refutes");
+    check_certificate(&cert).expect("untampered certificate validates");
+
+    let Evidence::SignatureMismatch { left_rows, right_rows, .. } = &mut cert.evidence else {
+        panic!("discriminated pair must carry signature-mismatch evidence")
+    };
+    let rows = if left_rows.is_empty() { right_rows } else { left_rows };
+    rows[0][0] = Value::Integer(987_654_321);
+    expect_rejection(&cert, "bag_mismatch");
+}
+
 /// The acceptance gate: every definite verdict across both corpora (296
 /// pairs) yields a certificate the independent checker validates — without
 /// invoking the prover — and the verdict totals stay pinned to the same
